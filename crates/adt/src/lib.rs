@@ -1,0 +1,53 @@
+//! # ccr-adt — transactional abstract data types with verified
+//! commutativity-based conflict relations
+//!
+//! Each module implements one ADT as a [`ccr_core::adt::Adt`] serial
+//! specification, together with:
+//!
+//! * a finite invocation alphabet for bounded analyses
+//!   ([`ccr_core::adt::EnumerableAdt`]);
+//! * a documented finite **state cover** making the commutativity engines
+//!   exact ([`ccr_core::adt::StateCover`]);
+//! * hand-written `NFC` / `NRBC` conflict predicates covering *all* operation
+//!   parameters (not just the alphabet), each verified against the computed
+//!   relations in tests — these are what the `ccr-runtime` lock manager uses;
+//! * where meaningful, a logical-inverse implementation
+//!   ([`traits::InvertibleAdt`]) and a read/write classification
+//!   ([`traits::RwClassify`]) for the strict two-phase-locking baseline.
+//!
+//! The ADTs:
+//!
+//! | module | ADT | notes |
+//! |--------|-----|-------|
+//! | [`bank`] | the paper's bank account | Figures 6-1/6-2 live here |
+//! | [`counter`] | unbounded counter | minimal partial ADT |
+//! | [`escrow`] | bounded account (escrow-style, cf. O'Neil \[16\]) | conflicts on both bounds |
+//! | [`set`] | finite set | per-element commutativity |
+//! | [`kv`] | key-value store | blind writes: models page read/write DBs |
+//! | [`register`] | read/write register | the classical single-version model |
+//! | [`maxreg`] | max-register (monotone aggregate) | all updates commute |
+//! | [`pqueue`] | min-priority queue | value-dependent insert/extract conflicts |
+//! | [`queue`] | FIFO queue | almost nothing commutes |
+//! | [`stack`] | LIFO stack | ditto |
+//! | [`semiqueue`] | unordered buffer | non-deterministic `deq` enables concurrency |
+//! | [`combine`] | sum of two ADTs | heterogeneous systems |
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bank;
+pub mod combine;
+pub mod counter;
+pub mod escrow;
+pub mod kv;
+pub mod maxreg;
+pub mod pqueue;
+pub mod queue;
+pub mod register;
+pub mod semiqueue;
+pub mod set;
+pub mod stack;
+pub mod traits;
+
+#[cfg(test)]
+pub(crate) mod verify;

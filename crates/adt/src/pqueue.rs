@@ -1,0 +1,326 @@
+//! A min-priority queue: `[insert(v), ok]`, `[extract_min, got(v)]`,
+//! `[extract_min, empty]`.
+//!
+//! An instructive middle point between the FIFO queue and the semiqueue:
+//! like the semiqueue, *inserts always commute* (the state is a multiset —
+//! arrival order is unobservable); like the queue, extractions are ordered —
+//! but by **value**, which makes the insert/extract conflicts
+//! value-dependent: an insert of `w` disturbs an extraction of `v` only if
+//! `w < v` (it would have become the minimum).
+
+use std::collections::BTreeMap;
+
+use ccr_core::adt::{Adt, EnumerableAdt, Op, OpDeterministicAdt, StateCover};
+use ccr_core::conflict::FnConflict;
+
+use crate::traits::{InvertibleAdt, RwClassify};
+
+/// Priority values (smaller = higher priority).
+pub type Prio = u8;
+
+/// Multiset state: value → count.
+pub type Heap = BTreeMap<Prio, u32>;
+
+/// The min-priority-queue specification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PQueue {
+    /// Values for the bounded-analysis alphabet.
+    pub values: Vec<Prio>,
+}
+
+impl Default for PQueue {
+    fn default() -> Self {
+        PQueue { values: vec![0, 1, 2] }
+    }
+}
+
+/// Priority-queue invocations.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum PqInv {
+    /// Insert a value.
+    Insert(Prio),
+    /// Remove and return the minimum.
+    ExtractMin,
+}
+
+/// Priority-queue responses.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum PqResp {
+    /// Insert succeeded.
+    Ok,
+    /// The extracted minimum.
+    Got(Prio),
+    /// The queue was empty.
+    Empty,
+}
+
+impl Adt for PQueue {
+    type State = Heap;
+    type Invocation = PqInv;
+    type Response = PqResp;
+
+    fn initial(&self) -> Heap {
+        Heap::new()
+    }
+
+    fn step(&self, s: &Heap, inv: &PqInv) -> Vec<(PqResp, Heap)> {
+        match inv {
+            PqInv::Insert(v) => {
+                let mut s2 = s.clone();
+                *s2.entry(*v).or_insert(0) += 1;
+                vec![(PqResp::Ok, s2)]
+            }
+            PqInv::ExtractMin => match s.keys().next().copied() {
+                Some(min) => {
+                    let mut s2 = s.clone();
+                    match s2.get_mut(&min) {
+                        Some(c) if *c > 1 => *c -= 1,
+                        _ => {
+                            s2.remove(&min);
+                        }
+                    }
+                    vec![(PqResp::Got(min), s2)]
+                }
+                None => vec![(PqResp::Empty, Heap::new())],
+            },
+        }
+    }
+}
+
+impl OpDeterministicAdt for PQueue {}
+
+impl EnumerableAdt for PQueue {
+    fn invocations(&self) -> Vec<PqInv> {
+        let mut out: Vec<PqInv> = self.values.iter().map(|&v| PqInv::Insert(v)).collect();
+        out.push(PqInv::ExtractMin);
+        out
+    }
+}
+
+impl StateCover for PQueue {
+    /// Cover argument: pairwise behaviour depends only on the counts (up to
+    /// 2) of values mentioned by the operations/alphabet and on which of
+    /// them is the minimum; multisets with counts ≤ 2 over the mentioned
+    /// values plus one smaller and one larger fresh value cover every class.
+    fn state_cover(&self, ops: &[Op<Self>]) -> Vec<Heap> {
+        let mut vals = self.values.clone();
+        for op in ops {
+            if let PqInv::Insert(v) = &op.inv {
+                vals.push(*v);
+            }
+            if let PqResp::Got(v) = &op.resp {
+                vals.push(*v);
+            }
+        }
+        // A fresh value above and below the mentioned range, when available.
+        if let Some(&lo) = vals.iter().min() {
+            if lo > 0 {
+                vals.push(lo - 1);
+            }
+        }
+        if let Some(&hi) = vals.iter().max() {
+            if hi < Prio::MAX {
+                vals.push(hi + 1);
+            }
+        }
+        vals.sort_unstable();
+        vals.dedup();
+        let vals: Vec<Prio> = vals.into_iter().take(4).collect();
+        let mut out: Vec<Heap> = vec![Heap::new()];
+        for &v in &vals {
+            let mut next = Vec::new();
+            for h in &out {
+                for count in 0..=2u32 {
+                    let mut h2 = h.clone();
+                    if count > 0 {
+                        h2.insert(v, count);
+                    }
+                    next.push(h2);
+                }
+            }
+            out = next;
+        }
+        out
+    }
+
+    fn reach_sequence(&self, state: &Heap) -> Option<Vec<Op<Self>>> {
+        let mut out = Vec::new();
+        for (&v, &c) in state {
+            for _ in 0..c {
+                out.push(Op::new(PqInv::Insert(v), PqResp::Ok));
+            }
+        }
+        Some(out)
+    }
+}
+
+impl InvertibleAdt for PQueue {
+    fn undo(&self, state: &Heap, op: &Op<Self>) -> Option<Heap> {
+        match (&op.inv, &op.resp) {
+            (PqInv::Insert(v), PqResp::Ok) => {
+                let mut s = state.clone();
+                match s.get_mut(v) {
+                    Some(c) if *c > 1 => *c -= 1,
+                    Some(_) => {
+                        s.remove(v);
+                    }
+                    None => return None,
+                }
+                Some(s)
+            }
+            (PqInv::ExtractMin, PqResp::Got(v)) => {
+                // Re-inserting the extracted value is only a true inverse if
+                // it stays consistent with later extractions; under NRBC
+                // locking it does (a smaller concurrent extraction would
+                // have conflicted).
+                let mut s = state.clone();
+                *s.entry(*v).or_insert(0) += 1;
+                Some(s)
+            }
+            (PqInv::ExtractMin, PqResp::Empty) => Some(state.clone()),
+            _ => None,
+        }
+    }
+}
+
+impl RwClassify for PQueue {
+    fn is_write(&self, _inv: &PqInv) -> bool {
+        true
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Kp {
+    Ins(Prio),
+    Got(Prio),
+    Empty,
+}
+
+fn classify(op: &Op<PQueue>) -> Option<Kp> {
+    match (&op.inv, &op.resp) {
+        (PqInv::Insert(v), PqResp::Ok) => Some(Kp::Ins(*v)),
+        (PqInv::ExtractMin, PqResp::Got(v)) => Some(Kp::Got(*v)),
+        (PqInv::ExtractMin, PqResp::Empty) => Some(Kp::Empty),
+        _ => None,
+    }
+}
+
+/// Hand-written NFC: inserts always commute; `got(a)/got(b)` conflict iff
+/// `a == b` (distinct values are never both the minimum); `insert(w)` and
+/// `extract_min → got(v)` conflict iff `w < v` (the insert would have
+/// changed the minimum); inserts conflict with `empty` both ways.
+pub fn pqueue_nfc() -> FnConflict<PQueue> {
+    FnConflict::new("pqueue-NFC", |p, q| {
+        let (Some(p), Some(q)) = (classify(p), classify(q)) else {
+            return true;
+        };
+        use Kp::*;
+        match (p, q) {
+            (Got(a), Got(b)) => a == b,
+            (Ins(w), Got(v)) | (Got(v), Ins(w)) => w < v,
+            (Ins(_), Empty) | (Empty, Ins(_)) => true,
+            _ => false,
+        }
+    })
+}
+
+/// Hand-written NRBC: the asymmetries mirror the queue's, with the
+/// value-dependence of the priority order —
+///
+/// * `(insert w, got v)` conflicts iff `w < v`;
+/// * `(got v, insert w)` conflicts iff `v == w` (the extraction may have
+///   taken the very element the insert produced);
+/// * `(got a, got b)` conflicts iff `b < a` — extractions are ordered by
+///   value, so `got b · got a` is legal only for `b ≤ a`, and only the
+///   strict case resists being pushed back; `(empty, got)` and
+///   `(insert, empty)` conflict as for the queue.
+pub fn pqueue_nrbc() -> FnConflict<PQueue> {
+    FnConflict::new("pqueue-NRBC", |p, q| {
+        let (Some(p), Some(q)) = (classify(p), classify(q)) else {
+            return true;
+        };
+        use Kp::*;
+        match (p, q) {
+            (Got(a), Got(b)) => b < a,
+            (Ins(w), Got(v)) => w < v,
+            (Got(v), Ins(w)) => v == w,
+            (Ins(_), Empty) => true,
+            (Empty, Got(_)) => true,
+            _ => false,
+        }
+    })
+}
+
+/// Operation constructors.
+pub mod ops {
+    use super::*;
+
+    /// `[insert(v), ok]`
+    pub fn insert(v: Prio) -> Op<PQueue> {
+        Op::new(PqInv::Insert(v), PqResp::Ok)
+    }
+    /// `[extract_min, got(v)]`
+    pub fn extract_got(v: Prio) -> Op<PQueue> {
+        Op::new(PqInv::ExtractMin, PqResp::Got(v))
+    }
+    /// `[extract_min, empty]`
+    pub fn extract_empty() -> Op<PQueue> {
+        Op::new(PqInv::ExtractMin, PqResp::Empty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ops::*;
+    use super::*;
+    use ccr_core::conflict::Conflict;
+    use ccr_core::spec::legal;
+
+    #[test]
+    fn extraction_is_value_ordered() {
+        let pq = PQueue::default();
+        assert!(legal(
+            &pq,
+            &[insert(2), insert(0), insert(1), extract_got(0), extract_got(1), extract_got(2)]
+        ));
+        assert!(!legal(&pq, &[insert(2), insert(0), extract_got(2)]));
+        assert!(legal(&pq, &[extract_empty(), insert(1), extract_got(1), extract_empty()]));
+    }
+
+    #[test]
+    fn insert_conflicts_are_value_dependent() {
+        let nfc = pqueue_nfc();
+        // Inserting above the extracted minimum does not disturb it…
+        assert!(!nfc.conflicts(&insert(2), &extract_got(1)));
+        // …inserting below it does.
+        assert!(nfc.conflicts(&insert(0), &extract_got(1)));
+        // Inserts always commute with each other.
+        assert!(!nfc.conflicts(&insert(0), &insert(2)));
+    }
+
+    #[test]
+    fn hand_tables_match_computed() {
+        let pq = PQueue { values: vec![0, 1, 2] };
+        let grid = vec![
+            insert(0),
+            insert(1),
+            insert(2),
+            extract_got(0),
+            extract_got(1),
+            extract_got(2),
+            extract_empty(),
+        ];
+        crate::verify::verify_hand_tables(&pq, &grid, &pqueue_nfc(), &pqueue_nrbc());
+    }
+
+    #[test]
+    fn undo_restores_heap() {
+        let pq = PQueue::default();
+        let h: Heap = [(1, 1), (2, 1)].into_iter().collect();
+        assert_eq!(
+            pq.undo(&h, &extract_got(0)),
+            Some([(0, 1), (1, 1), (2, 1)].into_iter().collect())
+        );
+        assert_eq!(pq.undo(&h, &insert(1)), Some([(2, 1)].into_iter().collect()));
+    }
+}

@@ -1,0 +1,302 @@
+//! A *semiqueue* — an unordered buffer with a non-deterministic `deq`
+//! (Weihl's classic example of using non-determinism in a specification to
+//! buy concurrency; the paper's framework covers such types explicitly).
+//!
+//! * `[enq(v), ok]` — adds `v` to the multiset;
+//! * `[deq, got(v)]` — removes **some** present `v` (any one: the choice is
+//!   not constrained by the specification);
+//! * `[deq, empty]` — enabled iff the buffer is empty.
+//!
+//! Compared with the FIFO queue: enqueues always commute forward (the
+//! multiset is order-blind), and dequeues of the same value right-commute
+//! backward, so under update-in-place recovery concurrent consumers never
+//! conflict with each other. Giving up ordering buys almost all the
+//! concurrency the queue lost.
+
+use std::collections::BTreeMap;
+
+use ccr_core::adt::{Adt, EnumerableAdt, Op, OpDeterministicAdt, StateCover};
+use ccr_core::conflict::FnConflict;
+
+use crate::traits::{InvertibleAdt, RwClassify};
+
+/// Buffer values.
+pub type Val = u8;
+
+/// Multiset state: value → count (no zero counts stored).
+pub type Bag = BTreeMap<Val, u32>;
+
+/// The semiqueue specification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Semiqueue {
+    /// Values for the bounded-analysis alphabet.
+    pub values: Vec<Val>,
+}
+
+impl Default for Semiqueue {
+    fn default() -> Self {
+        Semiqueue { values: vec![0, 1] }
+    }
+}
+
+/// Semiqueue invocations.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum SqInv {
+    /// Add a value.
+    Enq(Val),
+    /// Remove an arbitrary present value.
+    Deq,
+}
+
+/// Semiqueue responses.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum SqResp {
+    /// Enqueue succeeded.
+    Ok,
+    /// The removed value.
+    Got(Val),
+    /// The buffer was empty.
+    Empty,
+}
+
+impl Adt for Semiqueue {
+    type State = Bag;
+    type Invocation = SqInv;
+    type Response = SqResp;
+
+    fn initial(&self) -> Bag {
+        Bag::new()
+    }
+
+    fn step(&self, s: &Bag, inv: &SqInv) -> Vec<(SqResp, Bag)> {
+        match inv {
+            SqInv::Enq(v) => {
+                let mut s2 = s.clone();
+                *s2.entry(*v).or_insert(0) += 1;
+                vec![(SqResp::Ok, s2)]
+            }
+            SqInv::Deq => {
+                if s.is_empty() {
+                    return vec![(SqResp::Empty, Bag::new())];
+                }
+                // One transition per removable value: response
+                // non-determinism, visible in the result.
+                s.keys()
+                    .map(|&v| {
+                        let mut s2 = s.clone();
+                        match s2.get_mut(&v) {
+                            Some(c) if *c > 1 => *c -= 1,
+                            _ => {
+                                s2.remove(&v);
+                            }
+                        }
+                        (SqResp::Got(v), s2)
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+// Each (state, Deq, Got(v)) has exactly one post-state, so the semiqueue is
+// operation-deterministic despite the non-deterministic response.
+impl OpDeterministicAdt for Semiqueue {}
+
+impl EnumerableAdt for Semiqueue {
+    fn invocations(&self) -> Vec<SqInv> {
+        let mut out: Vec<SqInv> = self.values.iter().map(|&v| SqInv::Enq(v)).collect();
+        out.push(SqInv::Deq);
+        out
+    }
+}
+
+impl StateCover for Semiqueue {
+    /// Cover argument: pairwise behaviour depends only on the counts of the
+    /// mentioned values up to 2 (enabledness needs ≥1, sequencing two
+    /// removals needs ≥2) and on emptiness; bags with counts ≤ 2 over the
+    /// mentioned values cover every class.
+    fn state_cover(&self, ops: &[Op<Self>]) -> Vec<Bag> {
+        let mut vals = self.values.clone();
+        for op in ops {
+            if let SqInv::Enq(v) = &op.inv {
+                vals.push(*v);
+            }
+            if let SqResp::Got(v) = &op.resp {
+                vals.push(*v);
+            }
+        }
+        vals.sort_unstable();
+        vals.dedup();
+        let vals: Vec<Val> = vals.into_iter().take(4).collect();
+        let mut out: Vec<Bag> = vec![Bag::new()];
+        for &v in &vals {
+            let mut next = Vec::new();
+            for bag in &out {
+                for count in 0..=2u32 {
+                    let mut b2 = bag.clone();
+                    if count > 0 {
+                        b2.insert(v, count);
+                    }
+                    next.push(b2);
+                }
+            }
+            out = next;
+        }
+        out
+    }
+
+    fn reach_sequence(&self, state: &Bag) -> Option<Vec<Op<Self>>> {
+        let mut out = Vec::new();
+        for (&v, &c) in state {
+            for _ in 0..c {
+                out.push(Op::new(SqInv::Enq(v), SqResp::Ok));
+            }
+        }
+        Some(out)
+    }
+}
+
+impl InvertibleAdt for Semiqueue {
+    fn undo(&self, state: &Bag, op: &Op<Self>) -> Option<Bag> {
+        match (&op.inv, &op.resp) {
+            (SqInv::Enq(v), SqResp::Ok) => {
+                let mut s = state.clone();
+                match s.get_mut(v) {
+                    Some(c) if *c > 1 => *c -= 1,
+                    Some(_) => {
+                        s.remove(v);
+                    }
+                    None => return None,
+                }
+                Some(s)
+            }
+            (SqInv::Deq, SqResp::Got(v)) => {
+                let mut s = state.clone();
+                *s.entry(*v).or_insert(0) += 1;
+                Some(s)
+            }
+            (SqInv::Deq, SqResp::Empty) => Some(state.clone()),
+            _ => None,
+        }
+    }
+}
+
+impl RwClassify for Semiqueue {
+    fn is_write(&self, _inv: &SqInv) -> bool {
+        true
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Kb {
+    Enq(Val),
+    Got(Val),
+    Empty,
+}
+
+fn classify(op: &Op<Semiqueue>) -> Option<Kb> {
+    match (&op.inv, &op.resp) {
+        (SqInv::Enq(v), SqResp::Ok) => Some(Kb::Enq(*v)),
+        (SqInv::Deq, SqResp::Got(v)) => Some(Kb::Got(*v)),
+        (SqInv::Deq, SqResp::Empty) => Some(Kb::Empty),
+        _ => None,
+    }
+}
+
+/// Hand-written NFC: only `got(v)/got(v)` (one copy may not support two
+/// removals) and `enq`/`deq-empty` conflict.
+pub fn semiqueue_nfc() -> FnConflict<Semiqueue> {
+    FnConflict::new("semiqueue-NFC", |p, q| {
+        let (Some(p), Some(q)) = (classify(p), classify(q)) else {
+            return true;
+        };
+        use Kb::*;
+        match (p, q) {
+            (Got(a), Got(b)) => a == b,
+            (Enq(_), Empty) | (Empty, Enq(_)) => true,
+            _ => false,
+        }
+    })
+}
+
+/// Hand-written NRBC: consumers never conflict with each other or with
+/// producers; a consumer conflicts with a held producer of the *same* value
+/// (it may have consumed that very item), and `deq-empty` conflicts with any
+/// held consumer or producer that could contradict emptiness.
+pub fn semiqueue_nrbc() -> FnConflict<Semiqueue> {
+    FnConflict::new("semiqueue-NRBC", |p, q| {
+        let (Some(p), Some(q)) = (classify(p), classify(q)) else {
+            return true;
+        };
+        use Kb::*;
+        match (p, q) {
+            (Got(a), Enq(b)) => a == b,
+            (Enq(_), Empty) => true,
+            (Empty, Got(_)) => true,
+            _ => false,
+        }
+    })
+}
+
+/// Operation constructors.
+pub mod ops {
+    use super::*;
+
+    /// `[enq(v), ok]`
+    pub fn enq(v: Val) -> Op<Semiqueue> {
+        Op::new(SqInv::Enq(v), SqResp::Ok)
+    }
+    /// `[deq, got(v)]`
+    pub fn deq_got(v: Val) -> Op<Semiqueue> {
+        Op::new(SqInv::Deq, SqResp::Got(v))
+    }
+    /// `[deq, empty]`
+    pub fn deq_empty() -> Op<Semiqueue> {
+        Op::new(SqInv::Deq, SqResp::Empty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ops::*;
+    use super::*;
+    use ccr_core::conflict::Conflict;
+    use ccr_core::spec::legal;
+
+    #[test]
+    fn any_present_value_may_be_dequeued() {
+        let s = Semiqueue::default();
+        assert!(legal(&s, &[enq(1), enq(2), deq_got(2), deq_got(1), deq_empty()]));
+        assert!(legal(&s, &[enq(1), enq(2), deq_got(1), deq_got(2)]));
+        assert!(!legal(&s, &[enq(1), deq_got(2)]));
+        assert!(!legal(&s, &[enq(1), deq_got(1), deq_got(1)]));
+    }
+
+    #[test]
+    fn consumers_do_not_conflict_under_uip() {
+        let nrbc = semiqueue_nrbc();
+        assert!(!nrbc.conflicts(&deq_got(1), &deq_got(1)));
+        assert!(!nrbc.conflicts(&deq_got(1), &deq_got(2)));
+        // …but DU still needs same-value consumers to conflict.
+        let nfc = semiqueue_nfc();
+        assert!(nfc.conflicts(&deq_got(1), &deq_got(1)));
+    }
+
+    #[test]
+    fn producers_always_commute() {
+        let nfc = semiqueue_nfc();
+        assert!(!nfc.conflicts(&enq(1), &enq(2)), "unlike the FIFO queue");
+    }
+
+    #[test]
+    fn undo_restores_counts() {
+        let s = Semiqueue::default();
+        let bag: Bag = [(1, 2)].into_iter().collect();
+        assert_eq!(s.undo(&bag, &enq(1)), Some([(1, 1)].into_iter().collect()));
+        assert_eq!(
+            s.undo(&bag, &deq_got(2)),
+            Some([(1, 2), (2, 1)].into_iter().collect())
+        );
+        assert_eq!(s.undo(&Bag::new(), &enq(1)), None);
+    }
+}

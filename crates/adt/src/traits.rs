@@ -1,0 +1,73 @@
+//! Extra per-ADT capabilities used by the runtime and the baselines.
+
+use ccr_core::adt::{Adt, Op};
+
+/// Logical inverses: remove the effect of an operation from a state.
+///
+/// Used by the update-in-place engine's fast abort path. The contract is the
+/// one implicit in the paper's UIP view: undoing a transaction's operations
+/// must leave a state equieffective to replaying the remaining (non-aborted)
+/// operations in order. For ADTs whose updates are group-like (bank deposits
+/// and withdrawals, counters, escrow credits/debits, set inserts/removes)
+/// this holds whenever the interleaved operations were admitted by an
+/// `NRBC`-containing conflict relation; the runtime's tests cross-check
+/// inverse-based undo against replay-based undo on random schedules.
+pub trait InvertibleAdt: Adt {
+    /// A state with the effect of `op` removed, or `None` if `op`'s effect
+    /// cannot be subtracted from `state` (the runtime then falls back to
+    /// replay).
+    fn undo(&self, state: &Self::State, op: &Op<Self>) -> Option<Self::State>;
+}
+
+/// Classical read/write classification of invocations, used by the strict
+/// two-phase-locking baseline (the single-version read/write model of
+/// Hadzilacos \[8\] that the paper contrasts with type-specific locking).
+///
+/// Classification is by *invocation*: a classical lock manager must acquire
+/// the lock before the result is known.
+pub trait RwClassify: Adt {
+    /// Whether the invocation requires a write (exclusive) lock.
+    fn is_write(&self, inv: &Self::Invocation) -> bool;
+}
+
+/// The strict-2PL conflict relation induced by a read/write classification:
+/// everything conflicts except read/read.
+#[derive(Clone, Debug)]
+pub struct RwConflict<A: RwClassify> {
+    adt: A,
+}
+
+impl<A: RwClassify> RwConflict<A> {
+    /// Build from the ADT (which carries the classification).
+    pub fn new(adt: A) -> Self {
+        RwConflict { adt }
+    }
+}
+
+impl<A: RwClassify> ccr_core::conflict::Conflict<A> for RwConflict<A> {
+    fn conflicts(&self, requested: &Op<A>, held: &Op<A>) -> bool {
+        self.adt.is_write(&requested.inv) || self.adt.is_write(&held.inv)
+    }
+
+    fn name(&self) -> String {
+        "2PL(read/write)".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bank::{BankAccount, BankInv, BankResp};
+    use ccr_core::conflict::Conflict;
+
+    #[test]
+    fn rw_conflict_blocks_everything_but_read_read() {
+        let c = RwConflict::new(BankAccount::default());
+        let bal = Op::<BankAccount>::new(BankInv::Balance, BankResp::Val(0));
+        let dep = Op::<BankAccount>::new(BankInv::Deposit(1), BankResp::Ok);
+        assert!(!c.conflicts(&bal, &bal));
+        assert!(c.conflicts(&dep, &bal));
+        assert!(c.conflicts(&bal, &dep));
+        assert!(c.conflicts(&dep, &dep));
+    }
+}

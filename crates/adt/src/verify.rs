@@ -1,0 +1,195 @@
+//! Test-only harness verifying each ADT's hand-written conflict tables
+//! against the relations computed from its specification — the crate's
+//! central correctness argument: for every pair of operations in a grid,
+//! `hand_nfc(p, q) ⇔ ¬FC(p, q)` and `hand_nrbc(p, q) ⇔ ¬RBC(p, q)`.
+
+use ccr_core::adt::{EnumerableAdt, Op, StateCover};
+use ccr_core::commutativity::{commute_forward, right_commutes_backward};
+use ccr_core::conflict::{Conflict, FnConflict};
+use ccr_core::equieffect::InclusionCfg;
+
+/// Assert that the hand tables agree with the computed relations over the
+/// full `grid × grid` of operations, and that every positive verdict is
+/// exact.
+pub fn verify_hand_tables<A: EnumerableAdt + StateCover>(
+    adt: &A,
+    grid: &[Op<A>],
+    nfc: &FnConflict<A>,
+    nrbc: &FnConflict<A>,
+) {
+    let cfg = InclusionCfg::default();
+    for p in grid {
+        for q in grid {
+            let fc = commute_forward(adt, p, q, cfg);
+            assert_eq!(
+                nfc.conflicts(p, q),
+                fc.is_err(),
+                "NFC mismatch for ({p:?}, {q:?}): hand says {}, computed FC {:?}",
+                nfc.conflicts(p, q),
+                fc
+            );
+            if let Ok(e) = &fc {
+                assert!(e.exact, "inexact FC verdict for ({p:?}, {q:?})");
+            }
+            let rbc = right_commutes_backward(adt, p, q, cfg);
+            assert_eq!(
+                nrbc.conflicts(p, q),
+                rbc.is_err(),
+                "NRBC mismatch for ({p:?}, {q:?}): hand says {}, computed RBC {:?}",
+                nrbc.conflicts(p, q),
+                rbc
+            );
+            if let Ok(e) = &rbc {
+                assert!(e.exact, "inexact RBC verdict for ({p:?}, {q:?})");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccr_core::adt::Op;
+
+    #[test]
+    fn bank_hand_tables_match_computed() {
+        use crate::bank::ops::*;
+        let adt = crate::bank::BankAccount::default();
+        let grid = vec![
+            deposit(1),
+            deposit(2),
+            withdraw_ok(1),
+            withdraw_ok(2),
+            withdraw_no(1),
+            withdraw_no(2),
+            balance(0),
+            balance(1),
+            balance(3),
+        ];
+        verify_hand_tables(&adt, &grid, &crate::bank::bank_nfc(), &crate::bank::bank_nrbc());
+    }
+
+    #[test]
+    fn counter_hand_tables_match_computed() {
+        use crate::counter::{CounterInv, CounterResp};
+        let adt = crate::counter::Counter;
+        let grid = vec![
+            Op::new(CounterInv::Inc, CounterResp::Ok),
+            Op::new(CounterInv::Dec, CounterResp::Ok),
+            Op::new(CounterInv::Dec, CounterResp::No),
+            Op::new(CounterInv::Read, CounterResp::Val(0)),
+            Op::new(CounterInv::Read, CounterResp::Val(2)),
+        ];
+        verify_hand_tables(
+            &adt,
+            &grid,
+            &crate::counter::counter_nfc(),
+            &crate::counter::counter_nrbc(),
+        );
+    }
+
+    #[test]
+    fn escrow_hand_tables_match_computed() {
+        use crate::escrow::ops::*;
+        let adt = crate::escrow::EscrowAccount::new(5, [1, 2]);
+        let grid = vec![
+            credit_ok(1),
+            credit_ok(2),
+            credit_no(1),
+            credit_no(2),
+            debit_ok(1),
+            debit_ok(2),
+            debit_no(1),
+            debit_no(2),
+        ];
+        verify_hand_tables(
+            &adt,
+            &grid,
+            &crate::escrow::escrow_nfc(),
+            &crate::escrow::escrow_nrbc(),
+        );
+    }
+
+    #[test]
+    fn set_hand_tables_match_computed() {
+        use crate::set::ops::*;
+        let adt = crate::set::IntSet::default();
+        let grid = vec![
+            insert_added(0),
+            insert_present(0),
+            remove_removed(0),
+            remove_absent(0),
+            contains(0, true),
+            contains(0, false),
+            insert_added(1),
+            remove_removed(1),
+            contains(1, true),
+        ];
+        verify_hand_tables(&adt, &grid, &crate::set::set_nfc(), &crate::set::set_nrbc());
+    }
+
+    #[test]
+    fn kv_hand_tables_match_computed() {
+        use crate::kv::ops::*;
+        let adt = crate::kv::KvStore::default();
+        let grid = vec![
+            put(0, 0),
+            put(0, 1),
+            get(0, None),
+            get(0, Some(0)),
+            get(0, Some(1)),
+            del(0),
+            put(1, 0),
+            get(1, None),
+            del(1),
+        ];
+        verify_hand_tables(&adt, &grid, &crate::kv::kv_nfc(), &crate::kv::kv_nrbc());
+    }
+
+    #[test]
+    fn queue_hand_tables_match_computed() {
+        use crate::queue::ops::*;
+        let adt = crate::queue::FifoQueue::default();
+        let grid = vec![
+            enq(0),
+            enq(1),
+            deq_got(0),
+            deq_got(1),
+            deq_empty(),
+        ];
+        verify_hand_tables(&adt, &grid, &crate::queue::queue_nfc(), &crate::queue::queue_nrbc());
+    }
+
+    #[test]
+    fn stack_hand_tables_match_computed() {
+        use crate::stack::ops::*;
+        let adt = crate::stack::Stack::default();
+        let grid = vec![
+            push(0),
+            push(1),
+            pop_got(0),
+            pop_got(1),
+            pop_empty(),
+        ];
+        verify_hand_tables(&adt, &grid, &crate::stack::stack_nfc(), &crate::stack::stack_nrbc());
+    }
+
+    #[test]
+    fn semiqueue_hand_tables_match_computed() {
+        use crate::semiqueue::ops::*;
+        let adt = crate::semiqueue::Semiqueue::default();
+        let grid = vec![
+            enq(0),
+            enq(1),
+            deq_got(0),
+            deq_got(1),
+            deq_empty(),
+        ];
+        verify_hand_tables(
+            &adt,
+            &grid,
+            &crate::semiqueue::semiqueue_nfc(),
+            &crate::semiqueue::semiqueue_nrbc(),
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! B2 (part 2): cost of the atomicity checkers — serializability search and
+//! dynamic atomicity as a function of history size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ccr_adt::bank::{bank_nrbc, BankAccount, BankInv};
+use ccr_core::atomicity::{check_dynamic_atomic, find_serialization, SystemSpec};
+use ccr_core::history::History;
+use ccr_core::ids::ObjectId;
+use ccr_runtime::scheduler::{run, SchedulerCfg};
+use ccr_runtime::script::{OpsScript, Script};
+use ccr_runtime::system::TxnSystem;
+
+/// Produce a committed, interleaved history with `txns` transactions via the
+/// runtime (each deposits then withdraws on the hot account).
+fn history(txns: usize) -> History<BankAccount> {
+    let mut sys: TxnSystem<BankAccount, ccr_runtime::UipEngine<BankAccount>, _> =
+        TxnSystem::new(BankAccount::default(), 1, bank_nrbc());
+    let scripts: Vec<Box<dyn Script<BankAccount>>> = (0..txns)
+        .map(|_| {
+            Box::new(OpsScript::on(
+                ObjectId::SOLE,
+                vec![BankInv::Deposit(2), BankInv::Withdraw(1)],
+            )) as Box<dyn Script<BankAccount>>
+        })
+        .collect();
+    let _ = run(&mut sys, scripts, &SchedulerCfg::default());
+    sys.trace().clone()
+}
+
+fn checkers(c: &mut Criterion) {
+    let spec = SystemSpec::single(BankAccount::default());
+    let mut g = c.benchmark_group("atomicity");
+    for txns in [2usize, 4, 6, 8] {
+        let h = history(txns);
+        g.bench_with_input(BenchmarkId::new("find-serialization", txns), &h, |b, h| {
+            b.iter(|| find_serialization(&spec, &h.permanent()))
+        });
+        g.bench_with_input(BenchmarkId::new("dynamic-atomic", txns), &h, |b, h| {
+            b.iter(|| check_dynamic_atomic(&spec, h).is_ok())
+        });
+    }
+    g.finish();
+}
+
+fn history_algebra(c: &mut Criterion) {
+    let h = history(8);
+    let mut g = c.benchmark_group("history");
+    g.bench_function("opseq", |b| b.iter(|| h.opseq().len()));
+    g.bench_function("precedes", |b| b.iter(|| h.precedes().len()));
+    g.bench_function("permanent+serial", |b| {
+        b.iter(|| {
+            let p = h.permanent();
+            let order: Vec<_> = p.txns().into_iter().collect();
+            p.serial(&order).len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, checkers, history_algebra);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! B2 (part 1): cost of the commutativity decision procedures — the
+//! machinery behind Figures 6-1/6-2 and the `NFC`/`NRBC` relations.
+//!
+//! Benchmarks single-pair FC/RBC checks, whole-table construction for the
+//! bank (Figure 6-1/6-2 regeneration), and the scaling of the state-cover
+//! engine with the cover size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ccr_adt::bank::{ops, BankAccount};
+use ccr_adt::set::{ops as set_ops, IntSet};
+use ccr_core::commutativity::{build_tables, commute_forward, right_commutes_backward};
+use ccr_core::conflict::{nfc_table, nrbc_table};
+use ccr_core::equieffect::InclusionCfg;
+
+fn single_pair(c: &mut Criterion) {
+    let ba = BankAccount::default();
+    let cfg = InclusionCfg::default();
+    let mut g = c.benchmark_group("commutativity/single-pair");
+    g.bench_function("fc/deposit-withdraw (commutes)", |b| {
+        b.iter(|| commute_forward(&ba, &ops::deposit(2), &ops::withdraw_ok(3), cfg).is_ok())
+    });
+    g.bench_function("fc/withdraw-withdraw (conflicts)", |b| {
+        b.iter(|| commute_forward(&ba, &ops::withdraw_ok(2), &ops::withdraw_ok(3), cfg).is_err())
+    });
+    g.bench_function("rbc/withdraw-deposit (conflicts)", |b| {
+        b.iter(|| {
+            right_commutes_backward(&ba, &ops::withdraw_ok(3), &ops::deposit(2), cfg).is_err()
+        })
+    });
+    g.bench_function("rbc/deposit-withdraw (commutes)", |b| {
+        b.iter(|| {
+            right_commutes_backward(&ba, &ops::deposit(2), &ops::withdraw_ok(3), cfg).is_ok()
+        })
+    });
+    g.finish();
+}
+
+fn figure_tables(c: &mut Criterion) {
+    let cfg = InclusionCfg::default();
+    let mut g = c.benchmark_group("commutativity/figures");
+    g.bench_function("figure-6-1-and-6-2 (bank, 9-op grid)", |b| {
+        let ba = BankAccount::default();
+        let grid = vec![
+            ops::deposit(1),
+            ops::deposit(2),
+            ops::withdraw_ok(1),
+            ops::withdraw_ok(2),
+            ops::withdraw_no(1),
+            ops::withdraw_no(2),
+            ops::balance(0),
+            ops::balance(1),
+            ops::balance(2),
+        ];
+        b.iter(|| build_tables(&ba, &grid, cfg))
+    });
+    g.bench_function("nfc+nrbc extraction (bank)", |b| {
+        let ba = BankAccount::default();
+        let grid = vec![
+            ops::deposit(1),
+            ops::withdraw_ok(1),
+            ops::withdraw_no(1),
+            ops::balance(0),
+        ];
+        b.iter(|| {
+            let nfc = nfc_table(&ba, &grid, cfg);
+            let nrbc = nrbc_table(&ba, &grid, cfg);
+            (nfc.density(), nrbc.density())
+        })
+    });
+    g.finish();
+}
+
+fn cover_scaling(c: &mut Criterion) {
+    // The set's cover is the powerset of the mentioned elements: 2^n states.
+    let cfg = InclusionCfg::default();
+    let mut g = c.benchmark_group("commutativity/cover-scaling");
+    for n in [1u8, 2, 3, 4] {
+        g.bench_with_input(BenchmarkId::new("set-insert-pair", n), &n, |b, &n| {
+            let set = IntSet { elems: (0..n).collect() };
+            b.iter(|| {
+                commute_forward(&set, &set_ops::insert_added(0), &set_ops::insert_added(0), cfg)
+                    .is_err()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, single_pair, figure_tables, cover_scaling);
+criterion_main!(benches);

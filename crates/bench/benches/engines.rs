@@ -1,0 +1,156 @@
+//! Recovery-engine micro-benchmarks and the undo-strategy ablation.
+//!
+//! * operation execution cost under UIP vs DU;
+//! * commit cost (UIP's trivial commit vs DU's validate-and-apply);
+//! * **abort cost** vs the number of concurrent operations in the log —
+//!   the design-choice ablation from DESIGN.md: inverse-based undo is O(own
+//!   ops) while replay-based undo is O(log), and DU aborts are O(1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ccr_adt::bank::{ops, BankAccount};
+use ccr_core::adt::{Adt, Op};
+use ccr_core::ids::{ObjectId, TxnId};
+use ccr_runtime::engine::{DuEngine, RecoveryEngine, UipEngine, UipInverseEngine};
+
+fn record<E: RecoveryEngine<BankAccount>>(e: &mut E, txn: TxnId, op: Op<BankAccount>) {
+    let s = e.view_state(txn);
+    let post = BankAccount::default()
+        .apply(&s, &op)
+        .into_iter()
+        .next()
+        .expect("legal");
+    e.record(txn, op, post);
+}
+
+fn op_execution(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/op");
+    g.bench_function("uip/deposit", |b| {
+        let mut e = UipEngine::new(BankAccount::default(), ObjectId::SOLE);
+        let mut i = 0u32;
+        b.iter(|| {
+            record(&mut e, TxnId(i % 8), ops::deposit(1));
+            i += 1;
+        })
+    });
+    g.bench_function("du/deposit", |b| {
+        let mut e = DuEngine::new(BankAccount::default(), ObjectId::SOLE);
+        let mut i = 0u32;
+        b.iter(|| {
+            record(&mut e, TxnId(i % 8), ops::deposit(1));
+            i += 1;
+        })
+    });
+    g.finish();
+}
+
+fn commit_cost(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/commit");
+    for ops_per_txn in [1usize, 8, 64] {
+        g.bench_with_input(
+            BenchmarkId::new("uip", ops_per_txn),
+            &ops_per_txn,
+            |b, &n| {
+                let mut next = 0u32;
+                b.iter_batched(
+                    || {
+                        let mut e = UipEngine::new(BankAccount::default(), ObjectId::SOLE);
+                        let t = TxnId(next);
+                        next += 1;
+                        for _ in 0..n {
+                            record(&mut e, t, ops::deposit(1));
+                        }
+                        (e, t)
+                    },
+                    |(mut e, t)| {
+                        e.prepare_commit(t).unwrap();
+                        e.commit(t);
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("du", ops_per_txn), &ops_per_txn, |b, &n| {
+            let mut next = 0u32;
+            b.iter_batched(
+                || {
+                    let mut e = DuEngine::new(BankAccount::default(), ObjectId::SOLE);
+                    let t = TxnId(next);
+                    next += 1;
+                    for _ in 0..n {
+                        record(&mut e, t, ops::deposit(1));
+                    }
+                    (e, t)
+                },
+                |(mut e, t)| {
+                    e.prepare_commit(t).unwrap();
+                    e.commit(t);
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// The ablation: abort one transaction's single op while `log` other
+/// operations from concurrent transactions sit in the log.
+fn abort_cost(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/abort-vs-log");
+    for log in [4usize, 32, 128] {
+        g.bench_with_input(
+            BenchmarkId::new("uip-replay", log),
+            &log,
+            |b, &log| {
+                b.iter_batched(
+                    || {
+                        let mut e = UipEngine::new(BankAccount::default(), ObjectId::SOLE);
+                        record(&mut e, TxnId(0), ops::deposit(1));
+                        for i in 0..log {
+                            record(&mut e, TxnId(1 + (i as u32 % 4)), ops::deposit(1));
+                        }
+                        e
+                    },
+                    |mut e| e.abort(TxnId(0)).unwrap(),
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("uip-inverse", log),
+            &log,
+            |b, &log| {
+                b.iter_batched(
+                    || {
+                        let mut e = UipInverseEngine::new(BankAccount::default(), ObjectId::SOLE);
+                        record(&mut e, TxnId(0), ops::deposit(1));
+                        for i in 0..log {
+                            record(&mut e, TxnId(1 + (i as u32 % 4)), ops::deposit(1));
+                        }
+                        e
+                    },
+                    |mut e| e.abort(TxnId(0)).unwrap(),
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("du", log), &log, |b, &log| {
+            b.iter_batched(
+                || {
+                    let mut e = DuEngine::new(BankAccount::default(), ObjectId::SOLE);
+                    record(&mut e, TxnId(0), ops::deposit(1));
+                    for i in 0..log {
+                        record(&mut e, TxnId(1 + (i as u32 % 4)), ops::deposit(1));
+                    }
+                    e
+                },
+                |mut e| e.abort(TxnId(0)).unwrap(),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, op_execution, commit_cost, abort_cost);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! B1: end-to-end hot-spot workloads through the scheduler for every
+//! configuration — the committed-work-per-wall-time comparison behind the
+//! EXPERIMENTS.md shape claims.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ccr_adt::bank::{bank_nfc, bank_nrbc, BankAccount, BankInv};
+use ccr_adt::traits::RwConflict;
+use ccr_core::conflict::{Conflict, SymmetricClosure};
+use ccr_core::ids::ObjectId;
+use ccr_runtime::engine::{DuEngine, RecoveryEngine, UipEngine};
+use ccr_runtime::scheduler::{run, SchedulerCfg};
+use ccr_runtime::script::Script;
+use ccr_runtime::system::TxnSystem;
+use ccr_workload::gen::{banking, deposit_only, withdraw_heavy, WorkloadCfg};
+
+fn w() -> WorkloadCfg {
+    WorkloadCfg { txns: 32, ops_per_txn: 3, objects: 2, hot_fraction: 0.9, seed: 11 }
+}
+
+fn run_one<E, C>(conflict: C, scripts: Vec<Box<dyn Script<BankAccount>>>) -> u64
+where
+    E: RecoveryEngine<BankAccount>,
+    C: Conflict<BankAccount>,
+{
+    let mut sys: TxnSystem<BankAccount, E, C> =
+        TxnSystem::new(BankAccount::default(), 2, conflict);
+    sys.set_record_trace(false);
+    let t = sys.begin();
+    for i in 0..2 {
+        sys.invoke(t, ObjectId(i), BankInv::Deposit(500)).unwrap();
+    }
+    sys.commit(t).unwrap();
+    let report = run(&mut sys, scripts, &SchedulerCfg::default());
+    report.committed
+}
+
+fn hotspot(c: &mut Criterion) {
+    let cfg = w();
+    let mut g = c.benchmark_group("hotspot");
+    g.sample_size(20);
+    for (wl_name, make) in [
+        ("deposit-only", deposit_only as fn(&WorkloadCfg) -> _),
+        ("withdraw-heavy", withdraw_heavy as fn(&WorkloadCfg) -> _),
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("uip-nrbc", wl_name),
+            &wl_name,
+            |b, _| b.iter(|| run_one::<UipEngine<BankAccount>, _>(bank_nrbc(), make(&cfg))),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("uip-sym-nrbc", wl_name),
+            &wl_name,
+            |b, _| {
+                b.iter(|| {
+                    run_one::<UipEngine<BankAccount>, _>(
+                        SymmetricClosure(bank_nrbc()),
+                        make(&cfg),
+                    )
+                })
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("du-nfc", wl_name), &wl_name, |b, _| {
+            b.iter(|| run_one::<DuEngine<BankAccount>, _>(bank_nfc(), make(&cfg)))
+        });
+        g.bench_with_input(BenchmarkId::new("uip-2pl", wl_name), &wl_name, |b, _| {
+            b.iter(|| {
+                run_one::<UipEngine<BankAccount>, _>(
+                    RwConflict::new(BankAccount::default()),
+                    make(&cfg),
+                )
+            })
+        });
+    }
+    // The mixed workload (documented thrash case) at a reduced MPL.
+    let small = WorkloadCfg { txns: 12, ..cfg };
+    g.bench_function("uip-nrbc/banking-mixed-mpl12", |b| {
+        b.iter(|| run_one::<UipEngine<BankAccount>, _>(bank_nrbc(), banking(&small, 0.7)))
+    });
+    g.bench_function("uip-2pl/banking-mixed-mpl12", |b| {
+        b.iter(|| {
+            run_one::<UipEngine<BankAccount>, _>(
+                RwConflict::new(BankAccount::default()),
+                banking(&small, 0.7),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, hotspot);
+criterion_main!(benches);

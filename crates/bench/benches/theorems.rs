@@ -1,0 +1,76 @@
+//! Cost of the theorem machinery itself: relation extraction, the
+//! counterexample constructions, and bounded model checking — the tooling a
+//! user pays for when verifying a new ADT's conflict tables.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ccr_adt::bank::{ops, BankAccount};
+use ccr_core::commutativity::right_commutes_backward;
+use ccr_core::conflict::{nfc_table, nrbc_table};
+use ccr_core::equieffect::InclusionCfg;
+use ccr_core::explore::ExploreCfg;
+use ccr_core::ids::{ObjectId, TxnId};
+use ccr_core::object::ObjectAutomaton;
+use ccr_core::theorems::{check_correctness, probe_uip_boundary, uip_counterexample};
+use ccr_core::view::Uip;
+
+fn grid() -> Vec<ccr_core::adt::Op<BankAccount>> {
+    vec![
+        ops::deposit(1),
+        ops::withdraw_ok(1),
+        ops::withdraw_no(1),
+        ops::balance(0),
+        ops::balance(1),
+    ]
+}
+
+fn relations(c: &mut Criterion) {
+    let ba = BankAccount { amounts: vec![1, 2] };
+    let cfg = InclusionCfg::default();
+    let mut g = c.benchmark_group("theorems");
+    g.bench_function("extract-nrbc+nfc (5-op grid)", |b| {
+        b.iter(|| {
+            let nrbc = nrbc_table(&ba, &grid(), cfg);
+            let nfc = nfc_table(&ba, &grid(), cfg);
+            (nrbc.density(), nfc.density())
+        })
+    });
+    g.bench_function("counterexample-construct+verify", |b| {
+        let p = ops::withdraw_ok(1);
+        let q = ops::deposit(1);
+        let fail = right_commutes_backward(&ba, &p, &q, cfg).unwrap_err();
+        let nfc = nfc_table(&ba, &grid(), cfg);
+        let automaton = ObjectAutomaton::new(ba.clone(), Uip, nfc, ObjectId::SOLE);
+        b.iter(|| {
+            let h = uip_counterexample(&p, &q, &fail, ObjectId::SOLE);
+            automaton.accepts(&h).is_ok()
+        })
+    });
+    g.bench_function("probe-uip-boundary (one missing pair)", |b| {
+        let nrbc = nrbc_table(&ba, &grid(), cfg);
+        let (p, q) = nrbc.pairs().into_iter().next().expect("non-empty");
+        let weakened = nrbc.without(&p, &q);
+        b.iter(|| probe_uip_boundary(&ba, &grid(), &weakened, cfg).unwrap().len())
+    });
+    g.sample_size(10);
+    g.bench_function("bounded-model-check (2 txns, 2 ops)", |b| {
+        let nrbc = nrbc_table(&ba, &grid(), cfg);
+        let automaton = ObjectAutomaton::new(ba.clone(), Uip, nrbc, ObjectId::SOLE);
+        let ecfg = ExploreCfg {
+            txns: vec![TxnId(0), TxnId(1)],
+            max_ops_per_txn: 2,
+            max_total_ops: 2,
+            allow_aborts: true,
+            max_histories: 0,
+        };
+        b.iter(|| {
+            let report = check_correctness(&automaton, &ecfg, false);
+            assert!(report.correct());
+            report.stats.histories
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, relations);
+criterion_main!(benches);

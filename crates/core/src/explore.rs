@@ -1,0 +1,497 @@
+//! Bounded enumeration of `L(I(X, Spec, View, Conflict))`.
+//!
+//! The "if" directions of Theorems 9 and 10 claim that *every* history the
+//! abstract automaton can generate is dynamic atomic. We check this by
+//! exhaustively enumerating the automaton's language up to a configurable
+//! bound (number of transactions, operations per transaction, total events)
+//! and running the atomicity checkers on every generated history. A random
+//! walk sampler covers larger parameters statistically.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::adt::{Adt, EnumerableAdt};
+use crate::conflict::Conflict;
+use crate::history::{Event, History};
+use crate::ids::TxnId;
+use crate::object::ObjectAutomaton;
+use crate::view::ViewFn;
+
+/// Bounds for exhaustive exploration.
+#[derive(Clone, Debug)]
+pub struct ExploreCfg {
+    /// Transactions that may participate.
+    pub txns: Vec<TxnId>,
+    /// Maximum operations per transaction.
+    pub max_ops_per_txn: usize,
+    /// Maximum total operations in a history.
+    pub max_total_ops: usize,
+    /// Whether abort events are generated.
+    pub allow_aborts: bool,
+    /// Cap on the number of histories visited (0 = unlimited).
+    pub max_histories: usize,
+}
+
+impl Default for ExploreCfg {
+    fn default() -> Self {
+        ExploreCfg {
+            txns: vec![TxnId(0), TxnId(1)],
+            max_ops_per_txn: 2,
+            max_total_ops: 3,
+            allow_aborts: false,
+            max_histories: 0,
+        }
+    }
+}
+
+/// Statistics from an exploration run.
+#[derive(Clone, Debug, Default)]
+pub struct ExploreStats {
+    /// Histories visited (every prefix counts — the language is
+    /// prefix-closed).
+    pub histories: usize,
+    /// Whether the exploration was cut short by `max_histories`.
+    pub truncated: bool,
+}
+
+/// Enumerate the language of the single-object automaton, invoking `visit` on
+/// every history (including all proper prefixes). `visit` returning `false`
+/// stops the exploration.
+pub fn enumerate<A, V, C, F>(
+    automaton: &ObjectAutomaton<A, V, C>,
+    cfg: &ExploreCfg,
+    mut visit: F,
+) -> ExploreStats
+where
+    A: EnumerableAdt,
+    V: ViewFn<A>,
+    C: Conflict<A>,
+    F: FnMut(&History<A>) -> bool,
+{
+    let mut stats = ExploreStats::default();
+    let mut h = History::new();
+    let alphabet = automaton.adt().invocations();
+    rec(automaton, cfg, &alphabet, &mut h, &mut visit, &mut stats);
+    stats
+}
+
+/// Returns `false` to stop the whole exploration.
+fn rec<A, V, C, F>(
+    automaton: &ObjectAutomaton<A, V, C>,
+    cfg: &ExploreCfg,
+    alphabet: &[A::Invocation],
+    h: &mut History<A>,
+    visit: &mut F,
+    stats: &mut ExploreStats,
+) -> bool
+where
+    A: EnumerableAdt,
+    V: ViewFn<A>,
+    C: Conflict<A>,
+    F: FnMut(&History<A>) -> bool,
+{
+    if cfg.max_histories != 0 && stats.histories >= cfg.max_histories {
+        stats.truncated = true;
+        return true;
+    }
+    stats.histories += 1;
+    if !visit(h) {
+        return false;
+    }
+    let obj = automaton.obj();
+    let committed = h.committed();
+    let aborted = h.aborted();
+    // Count pending invocations toward the budget so responses cannot push a
+    // history past `max_total_ops`.
+    let total_ops = h.opseq().len()
+        + cfg.txns.iter().filter(|t| h.pending_invocation(**t).is_some()).count();
+
+    for &txn in &cfg.txns {
+        if committed.contains(&txn) || aborted.contains(&txn) {
+            continue;
+        }
+        match h.pending_invocation(txn) {
+            Some((pobj, _)) if pobj == obj => {
+                // Response events.
+                let reach = automaton.view_reach(h, txn);
+                let (_, inv) = h.pending_invocation(txn).expect("pending");
+                let inv = inv.clone();
+                for resp in reach.responses(automaton.adt(), &inv) {
+                    if automaton.response_enabled(h, txn, &resp).is_ok() {
+                        h.push(Event::Respond { txn, obj, resp }).expect("wf");
+                        let go = rec(automaton, cfg, alphabet, h, visit, stats);
+                        pop(h);
+                        if !go {
+                            return false;
+                        }
+                    }
+                }
+            }
+            Some(_) => {}
+            None => {
+                // Invocations (bounded).
+                let my_ops = h.project_txn(txn).opseq().len();
+                if my_ops < cfg.max_ops_per_txn && total_ops < cfg.max_total_ops {
+                    for inv in alphabet {
+                        h.push(Event::Invoke { txn, obj, inv: inv.clone() }).expect("wf");
+                        let go = rec(automaton, cfg, alphabet, h, visit, stats);
+                        pop(h);
+                        if !go {
+                            return false;
+                        }
+                    }
+                }
+                // Commit / abort — only for transactions that did something.
+                if my_ops > 0 {
+                    h.push(Event::Commit { txn, obj }).expect("wf");
+                    let go = rec(automaton, cfg, alphabet, h, visit, stats);
+                    pop(h);
+                    if !go {
+                        return false;
+                    }
+                    if cfg.allow_aborts {
+                        h.push(Event::Abort { txn, obj }).expect("wf");
+                        let go = rec(automaton, cfg, alphabet, h, visit, stats);
+                        pop(h);
+                        if !go {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+fn pop<A: Adt>(h: &mut History<A>) {
+    // Prefixes of well-formed histories are well-formed, so backtracking by
+    // truncation preserves the History invariant.
+    h.truncate(h.len() - 1);
+}
+
+/// Enumerate the language of a **multi-object system**: each object runs its
+/// own `I(X, Spec, View, Conflict)` automaton; transactions interleave
+/// across objects subject to well-formedness (one pending invocation per
+/// transaction). This is the bounded mechanisation of the paper's Theorem 2
+/// setting: if every object's local histories are dynamic atomic, every
+/// system history must be atomic.
+pub fn enumerate_system<A, V, C, F>(
+    automata: &[ObjectAutomaton<A, V, C>],
+    cfg: &ExploreCfg,
+    mut visit: F,
+) -> ExploreStats
+where
+    A: EnumerableAdt,
+    V: ViewFn<A>,
+    C: Conflict<A>,
+    F: FnMut(&History<A>) -> bool,
+{
+    let mut stats = ExploreStats::default();
+    let mut h = History::new();
+    sys_rec(automata, cfg, &mut h, &mut visit, &mut stats);
+    stats
+}
+
+fn sys_rec<A, V, C, F>(
+    automata: &[ObjectAutomaton<A, V, C>],
+    cfg: &ExploreCfg,
+    h: &mut History<A>,
+    visit: &mut F,
+    stats: &mut ExploreStats,
+) -> bool
+where
+    A: EnumerableAdt,
+    V: ViewFn<A>,
+    C: Conflict<A>,
+    F: FnMut(&History<A>) -> bool,
+{
+    if cfg.max_histories != 0 && stats.histories >= cfg.max_histories {
+        stats.truncated = true;
+        return true;
+    }
+    stats.histories += 1;
+    if !visit(h) {
+        return false;
+    }
+    let committed = h.committed();
+    let aborted = h.aborted();
+    let total_ops = h.opseq().len()
+        + cfg.txns.iter().filter(|t| h.pending_invocation(**t).is_some()).count();
+
+    for &txn in &cfg.txns {
+        if committed.contains(&txn) || aborted.contains(&txn) {
+            continue;
+        }
+        match h.pending_invocation(txn) {
+            Some((pobj, inv)) => {
+                // Response events at the pending object only. Every object
+                // sees the projection of the system history onto itself
+                // (Lemma 1 direction: views and conflicts are local).
+                let Some(automaton) = automata.iter().find(|a| a.obj() == pobj) else {
+                    continue;
+                };
+                let inv: A::Invocation = inv.clone();
+                let local = h.project_obj(pobj);
+                let reach = automaton.view_reach(&local, txn);
+                for resp in reach.responses(automaton.adt(), &inv) {
+                    if automaton.response_enabled(&local, txn, &resp).is_ok() {
+                        h.push(Event::Respond { txn, obj: pobj, resp }).expect("wf");
+                        let go = sys_rec(automata, cfg, h, visit, stats);
+                        pop(h);
+                        if !go {
+                            return false;
+                        }
+                    }
+                }
+            }
+            None => {
+                let my_ops = h.project_txn(txn).opseq().len();
+                if my_ops < cfg.max_ops_per_txn && total_ops < cfg.max_total_ops {
+                    for automaton in automata {
+                        for inv in automaton.adt().invocations() {
+                            h.push(Event::Invoke { txn, obj: automaton.obj(), inv })
+                                .expect("wf");
+                            let go = sys_rec(automata, cfg, h, visit, stats);
+                            pop(h);
+                            if !go {
+                                return false;
+                            }
+                        }
+                    }
+                }
+                if my_ops > 0 {
+                    // Atomic commitment: commit at every touched object, in
+                    // object order (one commit event per object).
+                    let touched: Vec<_> = h
+                        .project_txn(txn)
+                        .objects()
+                        .into_iter()
+                        .collect();
+                    let before = h.len();
+                    for obj in &touched {
+                        h.push(Event::Commit { txn, obj: *obj }).expect("wf");
+                    }
+                    let go = sys_rec(automata, cfg, h, visit, stats);
+                    h.truncate(before);
+                    if !go {
+                        return false;
+                    }
+                    if cfg.allow_aborts {
+                        for obj in &touched {
+                            h.push(Event::Abort { txn, obj: *obj }).expect("wf");
+                        }
+                        let go = sys_rec(automata, cfg, h, visit, stats);
+                        h.truncate(before);
+                        if !go {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Generate one random history of the automaton's language by a uniform
+/// random walk of `steps` enabled events.
+pub fn random_history<A, V, C, R>(
+    automaton: &ObjectAutomaton<A, V, C>,
+    cfg: &ExploreCfg,
+    steps: usize,
+    rng: &mut R,
+) -> History<A>
+where
+    A: EnumerableAdt,
+    V: ViewFn<A>,
+    C: Conflict<A>,
+    R: Rng,
+{
+    let obj = automaton.obj();
+    let alphabet = automaton.adt().invocations();
+    let mut h: History<A> = History::new();
+    for _ in 0..steps {
+        let mut choices: Vec<Event<A>> = Vec::new();
+        let committed = h.committed();
+        let aborted = h.aborted();
+        let total_ops = h.opseq().len()
+            + cfg.txns.iter().filter(|t| h.pending_invocation(**t).is_some()).count();
+        for &txn in &cfg.txns {
+            if committed.contains(&txn) || aborted.contains(&txn) {
+                continue;
+            }
+            match h.pending_invocation(txn) {
+                Some((pobj, inv)) if pobj == obj => {
+                    let inv: A::Invocation = inv.clone();
+                    let reach = automaton.view_reach(&h, txn);
+                    for resp in reach.responses(automaton.adt(), &inv) {
+                        if automaton.response_enabled(&h, txn, &resp).is_ok() {
+                            choices.push(Event::Respond { txn, obj, resp });
+                        }
+                    }
+                }
+                Some(_) => {}
+                None => {
+                    let my_ops = h.project_txn(txn).opseq().len();
+                    if my_ops < cfg.max_ops_per_txn && total_ops < cfg.max_total_ops {
+                        for inv in &alphabet {
+                            choices.push(Event::Invoke { txn, obj, inv: inv.clone() });
+                        }
+                    }
+                    if my_ops > 0 {
+                        choices.push(Event::Commit { txn, obj });
+                        if cfg.allow_aborts {
+                            choices.push(Event::Abort { txn, obj });
+                        }
+                    }
+                }
+            }
+        }
+        match choices.choose(rng) {
+            Some(e) => h.push(e.clone()).expect("enabled events are well-formed"),
+            None => break,
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adt::test_adt::*;
+    use crate::atomicity::{check_dynamic_atomic, SystemSpec};
+    use crate::conflict::{NoConflict, TotalConflict};
+    use crate::ids::ObjectId;
+    use crate::view::Uip;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg() -> ExploreCfg {
+        ExploreCfg {
+            txns: vec![TxnId(0), TxnId(1)],
+            max_ops_per_txn: 2,
+            max_total_ops: 2,
+            allow_aborts: false,
+            max_histories: 0,
+        }
+    }
+
+    #[test]
+    fn enumeration_visits_prefixes_and_respects_bounds() {
+        let a = ObjectAutomaton::new(plain(3), Uip, NoConflict, ObjectId::SOLE);
+        let mut max_ops = 0;
+        let stats = enumerate(&a, &cfg(), |h| {
+            max_ops = max_ops.max(h.opseq().len());
+            true
+        });
+        assert!(stats.histories > 10);
+        assert!(!stats.truncated);
+        assert_eq!(max_ops, 2);
+    }
+
+    #[test]
+    fn every_enumerated_history_is_accepted() {
+        let a = ObjectAutomaton::new(plain(3), Uip, NoConflict, ObjectId::SOLE);
+        enumerate(&a, &cfg(), |h| {
+            assert!(a.accepts(h).is_ok(), "explorer generated a rejected history: {h:?}");
+            true
+        });
+    }
+
+    #[test]
+    fn total_conflict_yields_only_serial_histories_dynamic_atomic() {
+        // With the total conflict relation the automaton is serial, so every
+        // history must be dynamic atomic even with UIP and no commutativity.
+        let a = ObjectAutomaton::new(plain(3), Uip, TotalConflict, ObjectId::SOLE);
+        let spec = SystemSpec::single(plain(3));
+        let stats = enumerate(&a, &cfg(), |h| {
+            assert!(
+                check_dynamic_atomic(&spec, h).is_ok(),
+                "serial execution must be dynamic atomic: {h:?}"
+            );
+            true
+        });
+        assert!(stats.histories > 0);
+    }
+
+    #[test]
+    fn early_exit_stops() {
+        let a = ObjectAutomaton::new(plain(3), Uip, NoConflict, ObjectId::SOLE);
+        let mut seen = 0;
+        let _ = enumerate(&a, &cfg(), |_| {
+            seen += 1;
+            seen < 5
+        });
+        assert_eq!(seen, 5);
+    }
+
+    #[test]
+    fn history_cap_truncates() {
+        let a = ObjectAutomaton::new(plain(3), Uip, NoConflict, ObjectId::SOLE);
+        let mut c = cfg();
+        c.max_histories = 7;
+        let stats = enumerate(&a, &c, |_| true);
+        assert!(stats.truncated);
+        assert_eq!(stats.histories, 7);
+    }
+
+    #[test]
+    fn system_enumeration_mechanises_theorem_2() {
+        // Two objects, each locally I(X, Spec, UIP, NRBC-ish total): every
+        // generated *system* history must be atomic (local dynamic atomicity
+        // ⇒ global atomicity — Theorem 2, bounded).
+        use crate::atomicity::is_atomic;
+        use crate::conflict::TotalConflict;
+        let a0 = ObjectAutomaton::new(plain(3), Uip, TotalConflict, ObjectId::SOLE);
+        let a1 = ObjectAutomaton::new(plain(3), Uip, TotalConflict, ObjectId(1));
+        let spec = SystemSpec::uniform(plain(3), 2);
+        let cfg = ExploreCfg {
+            txns: vec![TxnId(0), TxnId(1)],
+            max_ops_per_txn: 2,
+            max_total_ops: 2,
+            allow_aborts: true,
+            max_histories: 30_000,
+        };
+        let stats = enumerate_system(&[a0, a1], &cfg, |h| {
+            assert!(is_atomic(&spec, h), "non-atomic system history: {h:?}");
+            true
+        });
+        assert!(stats.histories > 1_000);
+    }
+
+    #[test]
+    fn system_enumeration_spans_objects() {
+        let a0 = ObjectAutomaton::new(plain(3), Uip, NoConflict, ObjectId::SOLE);
+        let a1 = ObjectAutomaton::new(plain(3), Uip, NoConflict, ObjectId(1));
+        let cfg = ExploreCfg {
+            txns: vec![TxnId(0)],
+            max_ops_per_txn: 2,
+            max_total_ops: 2,
+            allow_aborts: false,
+            max_histories: 0,
+        };
+        let mut saw_cross_object = false;
+        enumerate_system(&[a0, a1], &cfg, |h| {
+            if h.objects().len() == 2 && h.committed().len() == 1 {
+                saw_cross_object = true;
+            }
+            true
+        });
+        assert!(saw_cross_object, "a transaction must span both objects somewhere");
+    }
+
+    #[test]
+    fn random_histories_are_in_the_language() {
+        let a = ObjectAutomaton::new(plain(3), Uip, NoConflict, ObjectId::SOLE);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut c = cfg();
+        c.allow_aborts = true;
+        c.max_total_ops = 6;
+        c.max_ops_per_txn = 3;
+        for _ in 0..50 {
+            let h = random_history(&a, &c, 12, &mut rng);
+            assert!(a.accepts(&h).is_ok(), "random walk left the language: {h:?}");
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Identifiers for the two kinds of entities in the computational model:
+//! transactions and objects (paper §2).
+
+use std::fmt;
+
+/// A transaction identifier.
+///
+/// The paper writes transactions as `A`, `B`, `C`, …; we use small integers.
+/// The ordering on `TxnId` is used by some runtime policies (e.g. picking the
+/// youngest deadlock victim) but carries no semantic weight in the formal
+/// model.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnId(pub u32);
+
+impl TxnId {
+    /// Convenience constructor.
+    pub const fn new(n: u32) -> Self {
+        TxnId(n)
+    }
+}
+
+impl fmt::Debug for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Render the first few ids the way the paper does (A, B, C, …) to make
+        // reproduced histories easy to compare against the text.
+        if self.0 < 26 {
+            write!(f, "{}", (b'A' + self.0 as u8) as char)
+        } else {
+            write!(f, "T{}", self.0)
+        }
+    }
+}
+
+/// An object identifier.
+///
+/// The paper writes objects as `X`, `Y`, `Z`. Single-object analyses use
+/// [`ObjectId::SOLE`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectId(pub u32);
+
+impl ObjectId {
+    /// The canonical object id for single-object histories.
+    pub const SOLE: ObjectId = ObjectId(0);
+
+    /// Convenience constructor.
+    pub const fn new(n: u32) -> Self {
+        ObjectId(n)
+    }
+}
+
+impl fmt::Debug for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "X{}", self.0)
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 3 {
+            write!(f, "{}", (b'X' + self.0 as u8) as char)
+        } else {
+            write!(f, "X{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txn_display_uses_letters() {
+        assert_eq!(TxnId(0).to_string(), "A");
+        assert_eq!(TxnId(2).to_string(), "C");
+        assert_eq!(TxnId(30).to_string(), "T30");
+    }
+
+    #[test]
+    fn object_display_uses_letters() {
+        assert_eq!(ObjectId(0).to_string(), "X");
+        assert_eq!(ObjectId(2).to_string(), "Z");
+        assert_eq!(ObjectId(5).to_string(), "X5");
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(TxnId(1) < TxnId(2));
+        assert!(ObjectId(0) < ObjectId(1));
+    }
+}

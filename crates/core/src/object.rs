@@ -1,0 +1,342 @@
+//! The abstract object implementation `I(X, Spec, View, Conflict)`
+//! (paper §4).
+//!
+//! An object implementation is modelled as an I/O automaton whose state is
+//! the history of events so far. Invocation, commit and abort events are
+//! inputs (always enabled); a response event `<R, X, A>` is enabled iff
+//!
+//! 1. `A` has a pending invocation `I` at `X`;
+//! 2. for every active transaction `B ≠ A` and every operation `P` in
+//!    `Opseq(s|B)`: `(X:[I,R], P) ∉ Conflict` — conflict-based locking, the
+//!    locks a transaction holds being implicit in the operations it has
+//!    executed;
+//! 3. `View(s, A) · X:[I,R] ∈ Spec` — the response is legal after the serial
+//!    state the recovery method exposes.
+//!
+//! The central question of the paper — which `(View, Conflict)` combinations
+//! are correct — is then: is every history in `L(I(X,Spec,View,Conflict))`
+//! dynamic atomic? [`crate::theorems`] answers it mechanically.
+
+use crate::adt::{Adt, Op};
+use crate::conflict::Conflict;
+use crate::history::{Event, History};
+use crate::ids::{ObjectId, TxnId};
+use crate::spec::{reach, ReachSet};
+use crate::view::ViewFn;
+
+/// The abstract automaton `I(X, Spec, View, Conflict)`.
+///
+/// `Spec` is given by the ADT; `View` and `Conflict` are pluggable. The
+/// automaton's state is a [`History`] (the events so far); this type holds
+/// the fixed parameters.
+pub struct ObjectAutomaton<A: Adt, V, C> {
+    adt: A,
+    view: V,
+    conflict: C,
+    obj: ObjectId,
+}
+
+/// Why a response event is not enabled.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NotEnabled {
+    /// The transaction has no pending invocation at this object.
+    NoPendingInvocation,
+    /// A conflicting operation is held by another active transaction.
+    Conflicts {
+        /// The active transaction holding the conflicting operation.
+        with_txn: TxnId,
+    },
+    /// The response is not legal after the view's serial state.
+    IllegalResponse,
+}
+
+impl<A: Adt, V: ViewFn<A>, C: Conflict<A>> ObjectAutomaton<A, V, C> {
+    /// Create the automaton for object `obj`.
+    pub fn new(adt: A, view: V, conflict: C, obj: ObjectId) -> Self {
+        ObjectAutomaton { adt, view, conflict, obj }
+    }
+
+    /// The object id.
+    pub fn obj(&self) -> ObjectId {
+        self.obj
+    }
+
+    /// The ADT (serial specification).
+    pub fn adt(&self) -> &A {
+        &self.adt
+    }
+
+    /// The view (recovery abstraction).
+    pub fn view(&self) -> &V {
+        &self.view
+    }
+
+    /// The conflict relation.
+    pub fn conflict(&self) -> &C {
+        &self.conflict
+    }
+
+    /// The reach-set of the view `View(s, txn)` — the serial states the
+    /// transaction may be observing.
+    pub fn view_reach(&self, s: &History<A>, txn: TxnId) -> ReachSet<A> {
+        let ops = self.view.view(s, self.obj, txn);
+        reach(&self.adt, &ops)
+    }
+
+    /// Check the response-event preconditions for `<resp, obj, txn>` in
+    /// state `s` (paper §4). `Ok` means the event is enabled.
+    pub fn response_enabled(
+        &self,
+        s: &History<A>,
+        txn: TxnId,
+        resp: &A::Response,
+    ) -> Result<(), NotEnabled> {
+        let inv = match s.pending_invocation(txn) {
+            Some((obj, inv)) if obj == self.obj => inv.clone(),
+            _ => return Err(NotEnabled::NoPendingInvocation),
+        };
+        let op = Op::new(inv, resp.clone());
+        // Concurrency control: no conflict with operations of other active
+        // transactions.
+        for other in s.active() {
+            if other == txn {
+                continue;
+            }
+            for held in s.project_txn(other).opseq_at(self.obj) {
+                if self.conflict.conflicts(&op, &held) {
+                    return Err(NotEnabled::Conflicts { with_txn: other });
+                }
+            }
+        }
+        // Recovery: the response must be legal after the view.
+        let r = self.view_reach(s, txn);
+        if r.advance(&self.adt, &op).is_empty() {
+            return Err(NotEnabled::IllegalResponse);
+        }
+        Ok(())
+    }
+
+    /// All enabled response events in state `s`, as `(txn, response)` pairs.
+    pub fn enabled_responses(&self, s: &History<A>) -> Vec<(TxnId, A::Response)> {
+        let mut out = Vec::new();
+        for txn in s.txns() {
+            let pending = match s.pending_invocation(txn) {
+                Some((obj, inv)) if obj == self.obj => inv.clone(),
+                _ => continue,
+            };
+            let r = self.view_reach(s, txn);
+            for resp in r.responses(&self.adt, &pending) {
+                if self.response_enabled(s, txn, &resp).is_ok() {
+                    out.push((txn, resp));
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether `h` is a schedule of this automaton (i.e. `h ∈ L(I)`):
+    /// well-formedness is assumed (it is a [`History`] invariant); every
+    /// response event must have been enabled when it occurred.
+    ///
+    /// Returns the index of the first violating event on failure.
+    pub fn accepts(&self, h: &History<A>) -> Result<(), (usize, NotEnabled)> {
+        let mut prefix: History<A> = History::new();
+        for (i, e) in h.events().iter().enumerate() {
+            if let Event::Respond { txn, obj, resp } = e {
+                if *obj == self.obj {
+                    if let Err(why) = self.response_enabled(&prefix, *txn, resp) {
+                        return Err((i, why));
+                    }
+                }
+            }
+            prefix.push(e.clone()).expect("history prefix is well-formed");
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adt::test_adt::*;
+    use crate::conflict::{NoConflict, TableConflict, TotalConflict};
+    use crate::history::HistoryBuilder;
+    use crate::view::{Du, Uip};
+
+    const T: fn(u32) -> TxnId = TxnId;
+    const X: ObjectId = ObjectId::SOLE;
+
+    fn inc() -> Op<MiniCounter> {
+        Op::new(CInv::Inc, CResp::Ok)
+    }
+    fn dec_ok() -> Op<MiniCounter> {
+        Op::new(CInv::Dec, CResp::Ok)
+    }
+    fn read(v: u32) -> Op<MiniCounter> {
+        Op::new(CInv::Read, CResp::Val(v))
+    }
+
+    fn automaton_uip() -> ObjectAutomaton<MiniCounter, Uip, NoConflict> {
+        ObjectAutomaton::new(plain(5), Uip, NoConflict, X)
+    }
+
+    fn automaton_du() -> ObjectAutomaton<MiniCounter, Du, NoConflict> {
+        ObjectAutomaton::new(plain(5), Du, NoConflict, X)
+    }
+
+    #[test]
+    fn response_requires_pending_invocation() {
+        let a = automaton_uip();
+        let h = History::new();
+        assert_eq!(
+            a.response_enabled(&h, T(0), &CResp::Ok),
+            Err(NotEnabled::NoPendingInvocation)
+        );
+    }
+
+    #[test]
+    fn response_must_be_legal_after_view() {
+        let a = automaton_uip();
+        let mut h = History::new();
+        h.push(Event::Invoke { txn: T(0), obj: X, inv: CInv::Read }).unwrap();
+        // Read must return 0 in the initial state.
+        assert!(a.response_enabled(&h, T(0), &CResp::Val(0)).is_ok());
+        assert_eq!(
+            a.response_enabled(&h, T(0), &CResp::Val(1)),
+            Err(NotEnabled::IllegalResponse)
+        );
+    }
+
+    #[test]
+    fn uip_view_sees_active_operations_du_does_not() {
+        // A (active) increments; B then reads. Under UIP B must read 1;
+        // under DU B must read 0.
+        let mut h = History::new();
+        h.push(Event::Invoke { txn: T(0), obj: X, inv: CInv::Inc }).unwrap();
+        h.push(Event::Respond { txn: T(0), obj: X, resp: CResp::Ok }).unwrap();
+        h.push(Event::Invoke { txn: T(1), obj: X, inv: CInv::Read }).unwrap();
+
+        let uip = automaton_uip();
+        assert!(uip.response_enabled(&h, T(1), &CResp::Val(1)).is_ok());
+        assert_eq!(
+            uip.response_enabled(&h, T(1), &CResp::Val(0)),
+            Err(NotEnabled::IllegalResponse)
+        );
+
+        let du = automaton_du();
+        assert!(du.response_enabled(&h, T(1), &CResp::Val(0)).is_ok());
+        assert_eq!(
+            du.response_enabled(&h, T(1), &CResp::Val(1)),
+            Err(NotEnabled::IllegalResponse)
+        );
+    }
+
+    #[test]
+    fn conflicts_block_responses() {
+        let conflict = TableConflict::new(
+            "inc-vs-read",
+            vec![inc(), dec_ok(), read(0), read(1)],
+            &[(read(1), inc()), (read(0), inc())],
+        );
+        let a = ObjectAutomaton::new(plain(5), Uip, conflict, X);
+        let mut h = History::new();
+        h.push(Event::Invoke { txn: T(0), obj: X, inv: CInv::Inc }).unwrap();
+        h.push(Event::Respond { txn: T(0), obj: X, resp: CResp::Ok }).unwrap();
+        h.push(Event::Invoke { txn: T(1), obj: X, inv: CInv::Read }).unwrap();
+        assert_eq!(
+            a.response_enabled(&h, T(1), &CResp::Val(1)),
+            Err(NotEnabled::Conflicts { with_txn: T(0) })
+        );
+        // Once T0 commits, its locks are released implicitly.
+        h.push(Event::Commit { txn: T(0), obj: X }).unwrap();
+        assert!(a.response_enabled(&h, T(1), &CResp::Val(1)).is_ok());
+    }
+
+    #[test]
+    fn total_conflict_serialises() {
+        let a = ObjectAutomaton::new(plain(5), Uip, TotalConflict, X);
+        let mut h = History::new();
+        h.push(Event::Invoke { txn: T(0), obj: X, inv: CInv::Inc }).unwrap();
+        h.push(Event::Respond { txn: T(0), obj: X, resp: CResp::Ok }).unwrap();
+        h.push(Event::Invoke { txn: T(1), obj: X, inv: CInv::Inc }).unwrap();
+        assert_eq!(
+            a.response_enabled(&h, T(1), &CResp::Ok),
+            Err(NotEnabled::Conflicts { with_txn: T(0) })
+        );
+    }
+
+    #[test]
+    fn accepts_replays_preconditions() {
+        let a = automaton_uip();
+        let good = HistoryBuilder::new(Some(plain(5)))
+            .op(T(0), X, CInv::Inc, CResp::Ok)
+            .commit(T(0), X)
+            .op(T(1), X, CInv::Read, CResp::Val(1))
+            .build();
+        assert!(a.accepts(&good).is_ok());
+
+        // An ill response (reads 2 after a single inc) is rejected at the
+        // right index.
+        let bad = HistoryBuilder::new(None)
+            .op(T(0), X, CInv::Inc, CResp::Ok)
+            .op(T(1), X, CInv::Read, CResp::Val(2))
+            .build();
+        let err = a.accepts(&bad).unwrap_err();
+        assert_eq!(err, (3, NotEnabled::IllegalResponse));
+    }
+
+    #[test]
+    fn enabled_responses_enumerates_choices() {
+        let a = automaton_du();
+        let mut h = History::new();
+        h.push(Event::Invoke { txn: T(0), obj: X, inv: CInv::Dec }).unwrap();
+        let resps = a.enabled_responses(&h);
+        assert_eq!(resps, vec![(T(0), CResp::No)]);
+    }
+
+    #[test]
+    fn enabled_responses_covers_all_pending_transactions() {
+        let a = automaton_uip();
+        let mut h = History::new();
+        h.push(Event::Invoke { txn: T(0), obj: X, inv: CInv::Read }).unwrap();
+        h.push(Event::Invoke { txn: T(1), obj: X, inv: CInv::Dec }).unwrap();
+        let mut resps = a.enabled_responses(&h);
+        resps.sort();
+        assert_eq!(resps, vec![(T(0), CResp::Val(0)), (T(1), CResp::No)]);
+    }
+
+    #[test]
+    fn view_reach_tracks_hidden_nondeterminism() {
+        // With the chaotic counter, the UIP view after one Inc is the
+        // reach-set {1, 2}; both Read responses are enabled.
+        let a = ObjectAutomaton::new(chaotic(5), Uip, NoConflict, X);
+        let mut h = History::new();
+        h.push(Event::Invoke { txn: T(0), obj: X, inv: CInv::Inc }).unwrap();
+        h.push(Event::Respond { txn: T(0), obj: X, resp: CResp::Ok }).unwrap();
+        h.push(Event::Commit { txn: T(0), obj: X }).unwrap();
+        h.push(Event::Invoke { txn: T(1), obj: X, inv: CInv::Read }).unwrap();
+        assert_eq!(a.view_reach(&h, T(1)).states(), &[1, 2]);
+        assert!(a.response_enabled(&h, T(1), &CResp::Val(1)).is_ok());
+        assert!(a.response_enabled(&h, T(1), &CResp::Val(2)).is_ok());
+        assert_eq!(
+            a.response_enabled(&h, T(1), &CResp::Val(3)),
+            Err(NotEnabled::IllegalResponse)
+        );
+    }
+
+    #[test]
+    fn enabled_responses_respects_conflicts() {
+        let conflict = TableConflict::new(
+            "reads-block-incs",
+            vec![inc(), read(0), read(1)],
+            &[(inc(), read(0)), (inc(), read(1))],
+        );
+        let a = ObjectAutomaton::new(plain(5), Uip, conflict, X);
+        let mut h = History::new();
+        // T0 reads 0 and stays active; T1 wants to inc.
+        h.push(Event::Invoke { txn: T(0), obj: X, inv: CInv::Read }).unwrap();
+        h.push(Event::Respond { txn: T(0), obj: X, resp: CResp::Val(0) }).unwrap();
+        h.push(Event::Invoke { txn: T(1), obj: X, inv: CInv::Inc }).unwrap();
+        assert!(a.enabled_responses(&h).is_empty());
+    }
+}

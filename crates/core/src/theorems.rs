@@ -1,0 +1,422 @@
+//! Executable Theorems 9 and 10 (paper §7).
+//!
+//! * **Theorem 9:** `I(X, Spec, UIP, Conflict)` is correct ⇔
+//!   `NRBC(Spec) ⊆ Conflict`.
+//! * **Theorem 10:** `I(X, Spec, DU, Conflict)` is correct ⇔
+//!   `NFC(Spec) ⊆ Conflict`.
+//!
+//! This module mechanises both directions over a finite operation alphabet:
+//!
+//! * **if** — [`check_correctness`] exhaustively enumerates the automaton's
+//!   language up to a bound and checks every history dynamic atomic (and
+//!   optionally online dynamic atomic, the induction invariant of the
+//!   paper's proof).
+//! * **only if** — for each pair missing from the conflict relation that the
+//!   theorem requires, [`uip_counterexample`] / [`du_counterexample`]
+//!   construct the history from the corresponding proof and the harness
+//!   verifies mechanically that it (a) is accepted by the automaton and
+//!   (b) is **not** dynamic atomic.
+
+use crate::adt::{Adt, EnumerableAdt, Op, StateCover};
+use crate::atomicity::{
+    check_dynamic_atomic, check_online_dynamic_atomic, DynAtomViolation, SystemSpec,
+};
+use crate::commutativity::{
+    commute_forward, right_commutes_backward, FcFailure, FcFailureKind, RbcFailure,
+};
+use crate::conflict::{Conflict, TableConflict};
+use crate::equieffect::InclusionCfg;
+use crate::explore::{enumerate, ExploreCfg, ExploreStats};
+use crate::history::{History, HistoryBuilder};
+use crate::ids::{ObjectId, TxnId};
+use crate::object::ObjectAutomaton;
+use crate::view::{Du, Uip, ViewFn};
+
+/// Result of a bounded "if-direction" check.
+#[derive(Debug)]
+pub struct CorrectnessReport<A: Adt> {
+    /// Exploration statistics.
+    pub stats: ExploreStats,
+    /// The first non-dynamic-atomic history found, if any, with the
+    /// refutation details.
+    pub violation: Option<(History<A>, DynAtomViolation)>,
+}
+
+impl<A: Adt> CorrectnessReport<A> {
+    /// Whether every explored history was dynamic atomic.
+    pub fn correct(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+/// Enumerate `L(I(X, Spec, View, Conflict))` within `cfg` and check every
+/// history dynamic atomic. With `online = true`, checks the stronger online
+/// dynamic atomicity of §7 instead.
+pub fn check_correctness<A, V, C>(
+    automaton: &ObjectAutomaton<A, V, C>,
+    cfg: &ExploreCfg,
+    online: bool,
+) -> CorrectnessReport<A>
+where
+    A: EnumerableAdt,
+    V: ViewFn<A>,
+    C: Conflict<A>,
+{
+    let spec = SystemSpec::single(automaton.adt().clone());
+    let mut violation = None;
+    let stats = enumerate(automaton, cfg, |h| {
+        let res = if online {
+            check_online_dynamic_atomic(&spec, h)
+        } else {
+            check_dynamic_atomic(&spec, h)
+        };
+        match res {
+            Ok(()) => true,
+            Err(v) => {
+                violation = Some((h.clone(), v));
+                false
+            }
+        }
+    });
+    CorrectnessReport { stats, violation }
+}
+
+/// Transaction roles in the proof constructions: A executes the prefix,
+/// B and C the non-conflicting pair, D the distinguishing continuation.
+const A_: TxnId = TxnId(0);
+const B_: TxnId = TxnId(1);
+const C_: TxnId = TxnId(2);
+const D_: TxnId = TxnId(3);
+
+fn run_ops<A: Adt>(
+    mut b: HistoryBuilder<A>,
+    txn: TxnId,
+    obj: ObjectId,
+    ops: &[Op<A>],
+) -> HistoryBuilder<A> {
+    for op in ops {
+        b = b.op(txn, obj, op.inv.clone(), op.resp.clone());
+    }
+    b
+}
+
+/// The Theorem 9 ("only if") counterexample for a pair
+/// `(P, Q) ∈ NRBC(Spec) ∖ Conflict`, built from the refutation witness
+/// `α Q P γ ∈ Spec`, `α P Q γ ∉ Spec`:
+///
+/// ```text
+/// A executes α and commits;  B executes Q;  C executes P;
+/// B commits;  C commits;  D executes γ and commits.
+/// ```
+///
+/// The history is in `L(I(X, Spec, UIP, Conflict))` whenever
+/// `(P, Q) ∉ Conflict`, yet it is not dynamic atomic: B and C are
+/// concurrent, and the order A-C-B-D yields `α P Q γ ∉ Spec`.
+pub fn uip_counterexample<A: Adt>(
+    p: &Op<A>,
+    q: &Op<A>,
+    fail: &RbcFailure<A>,
+    obj: ObjectId,
+) -> History<A> {
+    let mut b = HistoryBuilder::new(None);
+    if !fail.prefix.is_empty() {
+        b = run_ops(b, A_, obj, &fail.prefix).commit(A_, obj);
+    }
+    b = b
+        .op(B_, obj, q.inv.clone(), q.resp.clone())
+        .op(C_, obj, p.inv.clone(), p.resp.clone())
+        .commit(B_, obj)
+        .commit(C_, obj);
+    if !fail.continuation.is_empty() {
+        b = run_ops(b, D_, obj, &fail.continuation).commit(D_, obj);
+    }
+    b.build()
+}
+
+/// The Theorem 10 ("only if") counterexample for a pair
+/// `(P, Q) ∈ NFC(Spec) ∖ Conflict` (conflict pairs are ordered
+/// `(requested, held)`, so Q executes first and P is requested while Q is
+/// held). Three cases, following the proof:
+///
+/// * `α P Q ∉ Spec`: `A:α; B:Q; C:P; B commits; C commits` — not
+///   serializable in the order A-C-B.
+/// * `α Q P γ ∈ Spec, α P Q γ ∉ Spec`: commit B before C, append `D:γ` —
+///   D's deferred-update view is `αQPγ`; order A-C-B-D fails.
+/// * `α P Q γ ∈ Spec, α Q P γ ∉ Spec`: commit **C before B**, append `D:γ` —
+///   D's view is `αPQγ`; order A-B-C-D fails.
+pub fn du_counterexample<A: Adt>(
+    p: &Op<A>,
+    q: &Op<A>,
+    fail: &FcFailure<A>,
+    obj: ObjectId,
+) -> History<A> {
+    let mut b = HistoryBuilder::new(None);
+    if !fail.prefix.is_empty() {
+        b = run_ops(b, A_, obj, &fail.prefix).commit(A_, obj);
+    }
+    b = b
+        .op(B_, obj, q.inv.clone(), q.resp.clone())
+        .op(C_, obj, p.inv.clone(), p.resp.clone());
+    match &fail.kind {
+        FcFailureKind::PqIllegal => b.commit(B_, obj).commit(C_, obj).build(),
+        FcFailureKind::Distinguished { after_pq, continuation } => {
+            // Commit order determines which of αQP / αPQ the deferred-update
+            // view exposes to D; pick the legal one.
+            b = if *after_pq {
+                b.commit(C_, obj).commit(B_, obj)
+            } else {
+                b.commit(B_, obj).commit(C_, obj)
+            };
+            if !continuation.is_empty() {
+                b = run_ops(b, D_, obj, continuation).commit(D_, obj);
+            }
+            b.build()
+        }
+    }
+}
+
+/// A verified boundary violation: a missing conflict pair together with a
+/// machine-checked counterexample history.
+#[derive(Debug)]
+pub struct BoundaryViolation<A: Adt> {
+    /// The requested operation of the missing pair.
+    pub requested: Op<A>,
+    /// The held operation of the missing pair.
+    pub held: Op<A>,
+    /// The counterexample: accepted by the automaton, not dynamic atomic.
+    pub history: History<A>,
+    /// The refuting commit set / order.
+    pub violation: DynAtomViolation,
+}
+
+/// Errors from the boundary harness — these indicate a bug in the harness or
+/// engines, not a property of the inputs.
+#[derive(Debug)]
+pub enum HarnessError<A: Adt> {
+    /// The constructed counterexample was rejected by the automaton.
+    CounterexampleRejected {
+        /// The rejected history.
+        history: History<A>,
+        /// Index of the first rejected event.
+        at: usize,
+    },
+    /// The constructed counterexample was dynamic atomic after all.
+    CounterexampleAtomic {
+        /// The history that unexpectedly passed.
+        history: History<A>,
+    },
+}
+
+/// Theorem 9, "only if" direction: for every pair of `NRBC(Spec)` (over the
+/// given alphabet) **missing** from `conflict`, construct and verify a
+/// counterexample showing `I(X, Spec, UIP, conflict)` incorrect.
+pub fn probe_uip_boundary<A>(
+    adt: &A,
+    alphabet: &[Op<A>],
+    conflict: &TableConflict<A>,
+    cfg: InclusionCfg,
+) -> Result<Vec<BoundaryViolation<A>>, HarnessError<A>>
+where
+    A: EnumerableAdt + StateCover,
+{
+    let obj = ObjectId::SOLE;
+    let spec = SystemSpec::single(adt.clone());
+    let automaton = ObjectAutomaton::new(adt.clone(), Uip, conflict.clone(), obj);
+    let mut out = Vec::new();
+    for p in alphabet {
+        for q in alphabet {
+            if conflict.conflicts(p, q) {
+                continue;
+            }
+            let fail = match right_commutes_backward(adt, p, q, cfg) {
+                Ok(_) => continue, // (p, q) ∉ NRBC — no conflict required
+                Err(f) => f,
+            };
+            let h = uip_counterexample(p, q, &fail, obj);
+            if let Err((at, _)) = automaton.accepts(&h) {
+                return Err(HarnessError::CounterexampleRejected { history: h, at });
+            }
+            match check_dynamic_atomic(&spec, &h) {
+                Ok(()) => return Err(HarnessError::CounterexampleAtomic { history: h }),
+                Err(v) => out.push(BoundaryViolation {
+                    requested: p.clone(),
+                    held: q.clone(),
+                    history: h,
+                    violation: v,
+                }),
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Theorem 10, "only if" direction: the deferred-update analogue of
+/// [`probe_uip_boundary`].
+pub fn probe_du_boundary<A>(
+    adt: &A,
+    alphabet: &[Op<A>],
+    conflict: &TableConflict<A>,
+    cfg: InclusionCfg,
+) -> Result<Vec<BoundaryViolation<A>>, HarnessError<A>>
+where
+    A: EnumerableAdt + StateCover,
+{
+    let obj = ObjectId::SOLE;
+    let spec = SystemSpec::single(adt.clone());
+    let automaton = ObjectAutomaton::new(adt.clone(), Du, conflict.clone(), obj);
+    let mut out = Vec::new();
+    for p in alphabet {
+        for q in alphabet {
+            if conflict.conflicts(p, q) {
+                continue;
+            }
+            let fail = match commute_forward(adt, p, q, cfg) {
+                Ok(_) => continue,
+                Err(f) => f,
+            };
+            let h = du_counterexample(p, q, &fail, obj);
+            if let Err((at, _)) = automaton.accepts(&h) {
+                return Err(HarnessError::CounterexampleRejected { history: h, at });
+            }
+            match check_dynamic_atomic(&spec, &h) {
+                Ok(()) => return Err(HarnessError::CounterexampleAtomic { history: h }),
+                Err(v) => out.push(BoundaryViolation {
+                    requested: p.clone(),
+                    held: q.clone(),
+                    history: h,
+                    violation: v,
+                }),
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adt::test_adt::*;
+    use crate::conflict::{nfc_table, nrbc_table};
+
+    fn inc() -> Op<MiniCounter> {
+        Op::new(CInv::Inc, CResp::Ok)
+    }
+    fn dec_ok() -> Op<MiniCounter> {
+        Op::new(CInv::Dec, CResp::Ok)
+    }
+    fn dec_no() -> Op<MiniCounter> {
+        Op::new(CInv::Dec, CResp::No)
+    }
+    fn read(v: u32) -> Op<MiniCounter> {
+        Op::new(CInv::Read, CResp::Val(v))
+    }
+
+    fn alphabet() -> Vec<Op<MiniCounter>> {
+        vec![inc(), dec_ok(), dec_no(), read(0), read(1), read(2)]
+    }
+
+    const CFG: InclusionCfg = InclusionCfg { max_depth: 64, max_pairs: 20_000 };
+
+    fn explore_cfg() -> ExploreCfg {
+        ExploreCfg {
+            txns: vec![TxnId(0), TxnId(1)],
+            max_ops_per_txn: 2,
+            max_total_ops: 3,
+            allow_aborts: true,
+            max_histories: 0,
+        }
+    }
+
+    #[test]
+    fn uip_with_nrbc_is_correct_up_to_bound() {
+        let c = plain(3);
+        let nrbc = nrbc_table(&c, &alphabet(), CFG);
+        let a = ObjectAutomaton::new(c.clone(), Uip, nrbc, ObjectId::SOLE);
+        let report = check_correctness(&a, &explore_cfg(), true);
+        assert!(report.correct(), "violation: {:?}", report.violation);
+        assert!(report.stats.histories > 100);
+    }
+
+    #[test]
+    fn du_with_nfc_is_correct_up_to_bound() {
+        let c = plain(3);
+        let nfc = nfc_table(&c, &alphabet(), CFG);
+        let a = ObjectAutomaton::new(c.clone(), Du, nfc, ObjectId::SOLE);
+        let report = check_correctness(&a, &explore_cfg(), true);
+        assert!(report.correct(), "violation: {:?}", report.violation);
+    }
+
+    #[test]
+    fn uip_with_nfc_breaks() {
+        // NFC is NOT sufficient for UIP on the counter: (inc, dec_ok) ∈
+        // NRBC ∖ NFC, and the probe must produce a verified counterexample.
+        let c = plain(3);
+        let nfc = nfc_table(&c, &alphabet(), CFG);
+        let violations = probe_uip_boundary(&c, &alphabet(), &nfc, CFG).expect("harness ok");
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.requested == inc() && v.held == dec_ok()),
+            "expected (inc, dec_ok) violation"
+        );
+    }
+
+    #[test]
+    fn du_with_nrbc_breaks() {
+        // NRBC is NOT sufficient for DU: (dec_ok, dec_ok) ∈ NFC ∖ NRBC.
+        let c = plain(3);
+        let nrbc = nrbc_table(&c, &alphabet(), CFG);
+        let violations = probe_du_boundary(&c, &alphabet(), &nrbc, CFG).expect("harness ok");
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.requested == dec_ok() && v.held == dec_ok()),
+            "expected (dec_ok, dec_ok) violation"
+        );
+    }
+
+    #[test]
+    fn probing_the_exact_relation_finds_nothing() {
+        let c = plain(3);
+        let nrbc = nrbc_table(&c, &alphabet(), CFG);
+        assert!(probe_uip_boundary(&c, &alphabet(), &nrbc, CFG)
+            .expect("harness ok")
+            .is_empty());
+        let nfc = nfc_table(&c, &alphabet(), CFG);
+        assert!(probe_du_boundary(&c, &alphabet(), &nfc, CFG)
+            .expect("harness ok")
+            .is_empty());
+    }
+
+    #[test]
+    fn dropping_any_nrbc_pair_breaks_uip() {
+        // Theorem 9 is an iff: remove ANY single pair from NRBC and
+        // correctness fails (verified via constructed counterexamples).
+        let c = plain(3);
+        let nrbc = nrbc_table(&c, &alphabet(), CFG);
+        for (p, q) in nrbc.pairs() {
+            let weakened = nrbc.without(&p, &q);
+            let violations =
+                probe_uip_boundary(&c, &alphabet(), &weakened, CFG).expect("harness ok");
+            assert!(
+                violations.iter().any(|v| v.requested == p && v.held == q),
+                "dropping ({p:?},{q:?}) must be refuted"
+            );
+        }
+    }
+
+    #[test]
+    fn dropping_any_nfc_pair_breaks_du() {
+        let c = plain(3);
+        let nfc = nfc_table(&c, &alphabet(), CFG);
+        for (p, q) in nfc.pairs() {
+            let weakened = nfc.without(&p, &q);
+            let violations =
+                probe_du_boundary(&c, &alphabet(), &weakened, CFG).expect("harness ok");
+            assert!(
+                violations.iter().any(|v| v.requested == p && v.held == q),
+                "dropping ({p:?},{q:?}) must be refuted"
+            );
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Recovery methods as `View` functions (paper §5).
+//!
+//! Recovery is modelled by a function from histories and active transactions
+//! to operation sequences: the "serial state" used to determine the legal
+//! responses to an invocation. The two views studied by the paper:
+//!
+//! * **Update-in-place** (`UIP(H,A) = Opseq(H | ACT − Aborted(H))`): all
+//!   operations of non-aborted transactions, in execution order. Abstracts
+//!   recovery that maintains a single current state and undoes aborted
+//!   transactions (System R and most databases).
+//! * **Deferred update**
+//!   (`DU(H,A) = Opseq(Serial(H|Committed(H), Commit-order(H))) · Opseq(H|A)`):
+//!   committed operations in **commit order**, followed by `A`'s own
+//!   operations. Abstracts intentions-list / private-workspace recovery
+//!   (XDFS, CFS).
+//!
+//! The two differ in (a) the order of committed operations and (b) whether
+//! other *active* transactions' operations are visible. §5's bank example —
+//! reproduced in the tests — shows the difference concretely.
+
+use crate::adt::{Adt, Op};
+use crate::history::History;
+use crate::ids::{ObjectId, TxnId};
+
+/// A recovery method, abstracted as the paper's `View` function.
+pub trait ViewFn<A: Adt>: Clone + std::fmt::Debug + 'static {
+    /// The serial state (operation sequence at `obj`) that transaction `txn`
+    /// observes in history `h`.
+    ///
+    /// Defined for transactions that are active (or have not yet started) in
+    /// `h`, matching the paper's `View(s, A)` for `A ∈ Active(s)`.
+    fn view(&self, h: &History<A>, obj: ObjectId, txn: TxnId) -> Vec<Op<A>>;
+
+    /// Short human-readable name ("UIP" / "DU").
+    fn name(&self) -> &'static str;
+}
+
+/// Update-in-place recovery (paper §5).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Uip;
+
+impl<A: Adt> ViewFn<A> for Uip {
+    fn view(&self, h: &History<A>, obj: ObjectId, _txn: TxnId) -> Vec<Op<A>> {
+        // All non-aborted operations in execution order; note the view is the
+        // same for every active transaction.
+        h.project_not_aborted().opseq_at(obj)
+    }
+
+    fn name(&self) -> &'static str {
+        "UIP"
+    }
+}
+
+/// Deferred-update recovery (paper §5).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Du;
+
+impl<A: Adt> ViewFn<A> for Du {
+    fn view(&self, h: &History<A>, obj: ObjectId, txn: TxnId) -> Vec<Op<A>> {
+        debug_assert!(
+            !h.committed().contains(&txn) && !h.aborted().contains(&txn),
+            "DU view is defined for active transactions"
+        );
+        let commit_order = h.commit_order();
+        let committed = h.permanent().serial(&commit_order);
+        let mut ops = committed.opseq_at(obj);
+        ops.extend(h.project_txn(txn).opseq_at(obj));
+        ops
+    }
+
+    fn name(&self) -> &'static str {
+        "DU"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adt::test_adt::*;
+    use crate::adt::Op;
+    use crate::history::HistoryBuilder;
+
+    const T: fn(u32) -> TxnId = TxnId;
+    const X: ObjectId = ObjectId::SOLE;
+
+    fn inc() -> Op<MiniCounter> {
+        Op::new(CInv::Inc, CResp::Ok)
+    }
+
+    /// The §5 example transliterated to the counter: A performs an operation
+    /// and commits; B performs one and stays active.
+    fn section5_history() -> History<MiniCounter> {
+        HistoryBuilder::new(Some(plain(10)))
+            .op(T(0), X, CInv::Inc, CResp::Ok) // A: deposit(5) analogue
+            .commit(T(0), X)
+            .op(T(1), X, CInv::Dec, CResp::Ok) // B: withdraw(3) analogue
+            .build()
+    }
+
+    #[test]
+    fn uip_includes_active_transactions() {
+        let h = section5_history();
+        let v = <Uip as ViewFn<MiniCounter>>::view(&Uip, &h, X, T(1));
+        assert_eq!(v, vec![inc(), Op::new(CInv::Dec, CResp::Ok)]);
+        // UIP gives the same view to any transaction (paper: "UIP gives the
+        // same result regardless of the transaction").
+        let vc = <Uip as ViewFn<MiniCounter>>::view(&Uip, &h, X, T(2));
+        assert_eq!(v, vc);
+    }
+
+    #[test]
+    fn du_excludes_other_active_transactions() {
+        let h = section5_history();
+        // B sees the committed ops plus its own.
+        let vb = <Du as ViewFn<MiniCounter>>::view(&Du, &h, X, T(1));
+        assert_eq!(vb, vec![inc(), Op::new(CInv::Dec, CResp::Ok)]);
+        // A third transaction C sees only the committed operations —
+        // the paper's DU(H, C) = BA:[deposit(5),ok].
+        let vc = <Du as ViewFn<MiniCounter>>::view(&Du, &h, X, T(2));
+        assert_eq!(vc, vec![inc()]);
+    }
+
+    #[test]
+    fn uip_drops_aborted_operations() {
+        let h = HistoryBuilder::new(Some(plain(10)))
+            .op(T(0), X, CInv::Inc, CResp::Ok)
+            .op(T(1), X, CInv::Inc, CResp::Ok)
+            .abort(T(1), X)
+            .build();
+        let v = <Uip as ViewFn<MiniCounter>>::view(&Uip, &h, X, T(2));
+        assert_eq!(v, vec![inc()]);
+    }
+
+    #[test]
+    fn du_orders_by_commit_not_execution() {
+        // B executes first but commits second: DU must order A's op first.
+        let h = HistoryBuilder::new(None)
+            .op(T(1), X, CInv::Read, CResp::Val(0)) // B executes first
+            .op(T(0), X, CInv::Inc, CResp::Ok)
+            .commit(T(0), X) // A commits first
+            .commit(T(1), X)
+            .build();
+        let v = <Du as ViewFn<MiniCounter>>::view(&Du, &h, X, T(2));
+        assert_eq!(v, vec![inc(), Op::new(CInv::Read, CResp::Val(0))]);
+        // UIP orders by execution.
+        let u = <Uip as ViewFn<MiniCounter>>::view(&Uip, &h, X, T(2));
+        assert_eq!(u, vec![Op::new(CInv::Read, CResp::Val(0)), inc()]);
+    }
+
+    #[test]
+    fn views_are_per_object() {
+        let y = ObjectId(1);
+        let h = HistoryBuilder::new(None)
+            .op(T(0), X, CInv::Inc, CResp::Ok)
+            .op(T(0), y, CInv::Inc, CResp::Ok)
+            .commit(T(0), X)
+            .commit(T(0), y)
+            .build();
+        let vx = <Uip as ViewFn<MiniCounter>>::view(&Uip, &h, X, T(1));
+        let vy = <Uip as ViewFn<MiniCounter>>::view(&Uip, &h, y, T(1));
+        assert_eq!(vx.len(), 1);
+        assert_eq!(vy.len(), 1);
+    }
+}

@@ -1,0 +1,581 @@
+//! Recovery engines: executable realisations of the paper's two `View`
+//! functions (§5).
+//!
+//! * [`UipEngine`] — **update-in-place**: a single current state plus a
+//!   tagged operation log. Aborts remove the transaction's entries and
+//!   rebuild the state — by *logical inverses* when the ADT provides them
+//!   ([`ccr_adt::traits::InvertibleAdt`], O(ops-to-undo)), falling back to
+//!   replay of the surviving log (O(log length)). The visible state equals
+//!   the paper's `UIP(H, A)` view for every transaction.
+//! * [`DuEngine`] — **deferred update**: a committed base state (in commit
+//!   order) plus per-transaction intentions lists (private workspaces). The
+//!   visible state equals `DU(H, A)`: the committed base plus the
+//!   transaction's own operations. Commit applies the intentions to the
+//!   base after a validation pass; abort just drops the list.
+//!
+//! Engine invariants are cross-checked against the abstract `View` functions
+//! on recorded histories in the integration tests.
+
+use std::collections::BTreeMap;
+
+use ccr_adt::traits::InvertibleAdt;
+use ccr_core::adt::{Adt, Op};
+use ccr_core::ids::{ObjectId, TxnId};
+
+use crate::error::RecoveryError;
+
+/// A per-object recovery engine.
+pub trait RecoveryEngine<A: Adt>: Send + 'static {
+    /// Construct for an object of the given specification.
+    fn new(adt: A, obj: ObjectId) -> Self;
+
+    /// The serial state transaction `txn` observes (used to choose
+    /// responses).
+    fn view_state(&mut self, txn: TxnId) -> A::State;
+
+    /// Record an executed operation (the response was chosen against
+    /// `view_state(txn)`; `post` is the resulting state).
+    fn record(&mut self, txn: TxnId, op: Op<A>, post: A::State);
+
+    /// Validate that `txn` can commit (deferred-update engines check that
+    /// the intentions apply to the current base). Must not mutate state.
+    fn prepare_commit(&mut self, txn: TxnId) -> Result<(), RecoveryError>;
+
+    /// Commit `txn` (infallible after a successful [`Self::prepare_commit`]).
+    fn commit(&mut self, txn: TxnId);
+
+    /// Abort `txn`, undoing its effects.
+    fn abort(&mut self, txn: TxnId) -> Result<(), RecoveryError>;
+
+    /// Whether `txn` can no longer proceed because recovery invalidated its
+    /// view (deferred-update workspaces whose intentions no longer apply).
+    /// The system aborts such transactions with a validation failure.
+    fn is_doomed(&mut self, _txn: TxnId) -> bool {
+        false
+    }
+
+    /// The state reflecting only committed transactions (for inspection and
+    /// final-state assertions).
+    fn committed_state(&mut self) -> A::State;
+
+    /// Engine name for reports.
+    fn name() -> &'static str;
+}
+
+/// How [`UipEngine`] rebuilds state on abort.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum UndoStrategy {
+    /// Replay the surviving log from the base state.
+    #[default]
+    Replay,
+    /// Apply logical inverses of the aborted transaction's operations in
+    /// reverse order (falls back to replay if an inverse is unavailable).
+    /// Requires `A: InvertibleAdt` — see [`UipEngine::with_inverses`].
+    Inverse,
+}
+
+/// Update-in-place engine. See module docs.
+pub struct UipEngine<A: Adt> {
+    adt: A,
+    obj: ObjectId,
+    /// State reflecting `base_committed` (a fold of compacted log prefix).
+    base: A::State,
+    /// Operations of non-aborted transactions executed since `base`, in
+    /// execution order.
+    log: Vec<(TxnId, Op<A>)>,
+    /// Cached fold of `base` + `log` — the single "current" state.
+    current: A::State,
+    /// Which of the log's owners have committed (for compaction).
+    committed: std::collections::BTreeSet<TxnId>,
+    strategy: UndoStrategy,
+    use_inverses: Option<UndoFn<A>>,
+}
+
+/// A logical-inverse function: remove `op`'s effect from the state.
+type UndoFn<A> = fn(&A, &<A as Adt>::State, &Op<A>) -> Option<<A as Adt>::State>;
+
+impl<A: Adt> RecoveryEngine<A> for UipEngine<A> {
+    fn new(adt: A, obj: ObjectId) -> Self {
+        let base = adt.initial();
+        UipEngine {
+            current: base.clone(),
+            base,
+            adt,
+            obj,
+            log: Vec::new(),
+            committed: Default::default(),
+            strategy: UndoStrategy::Replay,
+            use_inverses: None,
+        }
+    }
+
+    fn view_state(&mut self, _txn: TxnId) -> A::State {
+        // UIP exposes the same current state to every transaction.
+        self.current.clone()
+    }
+
+    fn record(&mut self, txn: TxnId, op: Op<A>, post: A::State) {
+        debug_assert!(self.adt.apply(&self.current, &op).contains(&post));
+        self.log.push((txn, op));
+        self.current = post;
+    }
+
+    fn prepare_commit(&mut self, _txn: TxnId) -> Result<(), RecoveryError> {
+        Ok(()) // update-in-place commits are trivially valid
+    }
+
+    fn commit(&mut self, txn: TxnId) {
+        self.committed.insert(txn);
+        self.compact();
+    }
+
+    fn abort(&mut self, txn: TxnId) -> Result<(), RecoveryError> {
+        let undone: Vec<Op<A>> = self
+            .log
+            .iter()
+            .filter(|(t, _)| *t == txn)
+            .map(|(_, op)| op.clone())
+            .collect();
+        if undone.is_empty() {
+            return Ok(());
+        }
+        self.log.retain(|(t, _)| *t != txn);
+        if self.strategy == UndoStrategy::Inverse {
+            if let Some(invert) = self.use_inverses {
+                let mut s = self.current.clone();
+                let mut ok = true;
+                for op in undone.iter().rev() {
+                    match invert(&self.adt, &s, op) {
+                        Some(s2) => s = s2,
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if ok {
+                    self.current = s;
+                    return Ok(());
+                }
+                // fall through to replay
+            }
+        }
+        self.replay()
+    }
+
+    fn committed_state(&mut self) -> A::State {
+        // Fold only committed owners' operations over the base. Under an
+        // `NRBC`-containing conflict relation the committed subsequence is
+        // legal; if not, fall back to the raw current state.
+        let mut s = self.base.clone();
+        for (t, op) in &self.log {
+            if self.committed.contains(t) {
+                match self.adt.apply(&s, op).into_iter().next() {
+                    Some(s2) => s = s2,
+                    None => return self.current.clone(),
+                }
+            }
+        }
+        s
+    }
+
+    fn name() -> &'static str {
+        "UIP"
+    }
+}
+
+impl<A: Adt> UipEngine<A> {
+    /// Rebuild `current` by replaying the surviving log over `base`.
+    fn replay(&mut self) -> Result<(), RecoveryError> {
+        let mut s = self.base.clone();
+        for (_, op) in &self.log {
+            // Op-deterministic ADTs have at most one post-state; for others
+            // the first is taken (a fixed choice function, as §4 permits).
+            match self.adt.apply(&s, op).into_iter().next() {
+                Some(s2) => s = s2,
+                None => return Err(RecoveryError::ReplayFailed { obj: self.obj }),
+            }
+        }
+        self.current = s;
+        Ok(())
+    }
+
+    /// Fold committed-prefix operations into the base state so logs do not
+    /// grow without bound.
+    fn compact(&mut self) {
+        let mut folded = 0;
+        let mut s = self.base.clone();
+        for (t, op) in &self.log {
+            if !self.committed.contains(t) {
+                break;
+            }
+            match self.adt.apply(&s, op).into_iter().next() {
+                Some(s2) => s = s2,
+                None => break,
+            }
+            folded += 1;
+        }
+        if folded > 0 {
+            self.base = s;
+            self.log.drain(..folded);
+            // Committed markers are only needed while the owner still has
+            // entries in the log; drop the rest so the set stays bounded.
+            let live: std::collections::BTreeSet<TxnId> =
+                self.log.iter().map(|(owner, _)| *owner).collect();
+            self.committed.retain(|t| live.contains(t));
+        }
+    }
+
+    /// The number of log entries not yet compacted (for tests and metrics).
+    pub fn log_len(&self) -> usize {
+        self.log.len()
+    }
+}
+
+impl<A: InvertibleAdt> UipEngine<A> {
+    /// Switch abort handling to logical inverses (O(1) per undone op for
+    /// constant-size states) with replay as the fallback.
+    pub fn with_inverses(mut self) -> Self {
+        self.strategy = UndoStrategy::Inverse;
+        self.use_inverses = Some(|adt, s, op| adt.undo(s, op));
+        self
+    }
+}
+
+/// A convenience engine type: update-in-place with inverse-based undo.
+pub struct UipInverseEngine<A: InvertibleAdt>(UipEngine<A>);
+
+impl<A: InvertibleAdt> RecoveryEngine<A> for UipInverseEngine<A> {
+    fn new(adt: A, obj: ObjectId) -> Self {
+        UipInverseEngine(UipEngine::new(adt, obj).with_inverses())
+    }
+
+    fn view_state(&mut self, txn: TxnId) -> A::State {
+        self.0.view_state(txn)
+    }
+
+    fn record(&mut self, txn: TxnId, op: Op<A>, post: A::State) {
+        self.0.record(txn, op, post)
+    }
+
+    fn prepare_commit(&mut self, txn: TxnId) -> Result<(), RecoveryError> {
+        self.0.prepare_commit(txn)
+    }
+
+    fn commit(&mut self, txn: TxnId) {
+        self.0.commit(txn)
+    }
+
+    fn abort(&mut self, txn: TxnId) -> Result<(), RecoveryError> {
+        self.0.abort(txn)
+    }
+
+    fn committed_state(&mut self) -> A::State {
+        self.0.committed_state()
+    }
+
+    fn name() -> &'static str {
+        "UIP-inverse"
+    }
+}
+
+/// Deferred-update engine. See module docs.
+pub struct DuEngine<A: Adt> {
+    adt: A,
+    obj: ObjectId,
+    /// State reflecting committed transactions, in commit order.
+    base: A::State,
+    /// Bumped on every commit; invalidates private-workspace caches.
+    base_version: u64,
+    /// Per-transaction intentions and cached private state.
+    workspaces: BTreeMap<TxnId, Workspace<A>>,
+}
+
+struct Workspace<A: Adt> {
+    intentions: Vec<Op<A>>,
+    cached: A::State,
+    cached_version: u64,
+    /// Set if a base change made the intentions inapplicable — the
+    /// transaction is doomed and must abort.
+    doomed: bool,
+}
+
+impl<A: Adt> DuEngine<A> {
+    fn workspace(&mut self, txn: TxnId) -> &mut Workspace<A> {
+        let base = self.base.clone();
+        let version = self.base_version;
+        self.workspaces.entry(txn).or_insert(Workspace {
+            intentions: Vec::new(),
+            cached: base,
+            cached_version: version,
+            doomed: false,
+        })
+    }
+
+    /// Recompute a workspace's private state if the base moved under it.
+    fn refresh(&mut self, txn: TxnId) {
+        let base = self.base.clone();
+        let version = self.base_version;
+        let adt = self.adt.clone();
+        let ws = self.workspace(txn);
+        if ws.cached_version == version {
+            return;
+        }
+        let mut s = base;
+        for op in &ws.intentions {
+            match adt.apply(&s, op).into_iter().next() {
+                Some(s2) => s = s2,
+                None => {
+                    ws.doomed = true;
+                    break;
+                }
+            }
+        }
+        if !ws.doomed {
+            ws.cached = s;
+        }
+        ws.cached_version = version;
+    }
+
+}
+
+impl<A: Adt> RecoveryEngine<A> for DuEngine<A> {
+    fn new(adt: A, obj: ObjectId) -> Self {
+        DuEngine {
+            base: adt.initial(),
+            adt,
+            obj,
+            base_version: 0,
+            workspaces: BTreeMap::new(),
+        }
+    }
+
+    fn view_state(&mut self, txn: TxnId) -> A::State {
+        self.refresh(txn);
+        self.workspace(txn).cached.clone()
+    }
+
+    fn record(&mut self, txn: TxnId, op: Op<A>, post: A::State) {
+        self.refresh(txn);
+        let ws = self.workspace(txn);
+        debug_assert!(!ws.doomed, "recording on a doomed workspace");
+        ws.intentions.push(op);
+        ws.cached = post;
+    }
+
+    fn prepare_commit(&mut self, txn: TxnId) -> Result<(), RecoveryError> {
+        self.refresh(txn);
+        let obj = self.obj;
+        let adt = self.adt.clone();
+        let base = self.base.clone();
+        let ws = self.workspace(txn);
+        if ws.doomed {
+            return Err(RecoveryError::ApplyFailed { obj });
+        }
+        let mut s = base;
+        for op in &ws.intentions {
+            match adt.apply(&s, op).into_iter().next() {
+                Some(s2) => s = s2,
+                None => return Err(RecoveryError::ApplyFailed { obj }),
+            }
+        }
+        Ok(())
+    }
+
+    fn commit(&mut self, txn: TxnId) {
+        let Some(ws) = self.workspaces.remove(&txn) else {
+            return;
+        };
+        let mut s = self.base.clone();
+        for op in &ws.intentions {
+            match self.adt.apply(&s, op).into_iter().next() {
+                Some(s2) => s = s2,
+                None => unreachable!("commit after successful prepare_commit"),
+            }
+        }
+        if !ws.intentions.is_empty() {
+            self.base = s;
+            self.base_version += 1;
+        }
+    }
+
+    fn abort(&mut self, txn: TxnId) -> Result<(), RecoveryError> {
+        // Deferred update makes aborts trivial: discard the workspace.
+        self.workspaces.remove(&txn);
+        Ok(())
+    }
+
+    /// A base change can invalidate a workspace's intentions — possible only
+    /// when the conflict relation does not contain `NFC`.
+    fn is_doomed(&mut self, txn: TxnId) -> bool {
+        self.refresh(txn);
+        self.workspace(txn).doomed
+    }
+
+    fn committed_state(&mut self) -> A::State {
+        self.base.clone()
+    }
+
+    fn name() -> &'static str {
+        "DU"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccr_adt::bank::{ops::*, BankAccount};
+    use ccr_core::ids::{ObjectId, TxnId};
+
+    const T: fn(u32) -> TxnId = TxnId;
+    const X: ObjectId = ObjectId::SOLE;
+
+    fn record<E: RecoveryEngine<BankAccount>>(
+        e: &mut E,
+        txn: TxnId,
+        op: ccr_core::adt::Op<BankAccount>,
+    ) {
+        let s = e.view_state(txn);
+        let post = BankAccount::default()
+            .apply(&s, &op)
+            .into_iter()
+            .next()
+            .expect("op legal in view");
+        e.record(txn, op, post);
+    }
+
+    use ccr_core::adt::Adt;
+
+    #[test]
+    fn uip_view_is_shared_and_abort_replays() {
+        let mut e = UipEngine::new(BankAccount::default(), X);
+        record(&mut e, T(0), deposit(5));
+        record(&mut e, T(1), deposit(3));
+        // Both transactions see 8 — UIP exposes uncommitted effects.
+        assert_eq!(e.view_state(T(0)), 8);
+        assert_eq!(e.view_state(T(2)), 8);
+        e.abort(T(0)).unwrap();
+        assert_eq!(e.view_state(T(1)), 3);
+        e.commit(T(1));
+        assert_eq!(e.committed_state(), 3);
+    }
+
+    #[test]
+    fn uip_inverse_undo_matches_replay() {
+        // Drive the same interleaving through both undo strategies; the
+        // resulting states must agree at every step.
+        let mut replay = UipEngine::new(BankAccount::default(), X);
+        let mut inverse = UipInverseEngine::new(BankAccount::default(), X);
+        let script: &[(&str, TxnId, Option<ccr_core::adt::Op<BankAccount>>)] = &[
+            ("op", T(0), Some(deposit(5))),
+            ("op", T(1), Some(deposit(7))),
+            ("op", T(0), Some(withdraw_ok(2))),
+            ("op", T(2), Some(withdraw_ok(4))),
+            ("abort", T(0), None),
+            ("commit", T(1), None),
+            ("abort", T(2), None),
+        ];
+        for (what, t, op) in script {
+            match *what {
+                "op" => {
+                    let op = op.clone().unwrap();
+                    record(&mut replay, *t, op.clone());
+                    record(&mut inverse, *t, op);
+                }
+                "abort" => {
+                    replay.abort(*t).unwrap();
+                    inverse.abort(*t).unwrap();
+                }
+                "commit" => {
+                    replay.commit(*t);
+                    inverse.commit(*t);
+                }
+                _ => unreachable!(),
+            }
+            assert_eq!(
+                replay.view_state(T(99)),
+                inverse.view_state(T(99)),
+                "strategies diverged after {what} {t}"
+            );
+        }
+        assert_eq!(replay.committed_state(), 7);
+        assert_eq!(inverse.committed_state(), 7);
+    }
+
+    #[test]
+    fn du_views_are_private() {
+        let mut e = DuEngine::new(BankAccount::default(), X);
+        record(&mut e, T(0), deposit(5));
+        assert_eq!(e.view_state(T(0)), 5, "own ops visible");
+        assert_eq!(e.view_state(T(1)), 0, "others' uncommitted ops invisible");
+        e.prepare_commit(T(0)).unwrap();
+        e.commit(T(0));
+        assert_eq!(e.view_state(T(1)), 5, "committed ops visible");
+        assert_eq!(e.committed_state(), 5);
+    }
+
+    #[test]
+    fn du_abort_discards_workspace() {
+        let mut e = DuEngine::new(BankAccount::default(), X);
+        record(&mut e, T(0), deposit(5));
+        e.abort(T(0)).unwrap();
+        assert_eq!(e.committed_state(), 0);
+        assert_eq!(e.view_state(T(0)), 0, "fresh workspace after abort");
+    }
+
+    #[test]
+    fn du_workspaces_refresh_when_the_base_moves() {
+        let mut e = DuEngine::new(BankAccount::default(), X);
+        // T1 opens a workspace against the empty base.
+        assert_eq!(e.view_state(T(1)), 0);
+        record(&mut e, T(1), deposit(3));
+        assert_eq!(e.view_state(T(1)), 3);
+        // T0 commits a deposit: T1's private view must now include it
+        // *before* T1's own intentions (commit order precedes the active
+        // transaction's ops in DU(H, A)).
+        record(&mut e, T(0), deposit(10));
+        e.prepare_commit(T(0)).unwrap();
+        e.commit(T(0));
+        assert_eq!(e.view_state(T(1)), 13);
+        assert!(!e.is_doomed(T(1)));
+    }
+
+    #[test]
+    fn du_commit_orders_by_commit_not_execution() {
+        let mut e = DuEngine::new(BankAccount::default(), X);
+        record(&mut e, T(1), deposit(3)); // B executes first
+        record(&mut e, T(0), deposit(5));
+        e.prepare_commit(T(0)).unwrap();
+        e.commit(T(0)); // A commits first
+        e.prepare_commit(T(1)).unwrap();
+        e.commit(T(1));
+        assert_eq!(e.committed_state(), 8);
+    }
+
+    #[test]
+    fn du_doomed_workspace_fails_validation() {
+        // Without NFC conflicts, two concurrent withdrawals over-draw; the
+        // second to commit must fail validation.
+        let mut e = DuEngine::new(BankAccount::default(), X);
+        record(&mut e, T(9), deposit(3));
+        e.prepare_commit(T(9)).unwrap();
+        e.commit(T(9));
+        record(&mut e, T(0), withdraw_ok(3));
+        record(&mut e, T(1), withdraw_ok(3)); // both see balance 3
+        e.prepare_commit(T(0)).unwrap();
+        e.commit(T(0));
+        assert!(e.is_doomed(T(1)));
+        assert!(e.prepare_commit(T(1)).is_err());
+    }
+
+    #[test]
+    fn uip_compaction_bounds_log() {
+        let mut e = UipEngine::new(BankAccount::default(), X);
+        for i in 0..10 {
+            record(&mut e, T(i), deposit(1));
+            e.commit(T(i));
+        }
+        assert_eq!(e.log_len(), 0, "fully committed log compacts away");
+        assert_eq!(e.committed_state(), 10);
+    }
+}

@@ -1,0 +1,101 @@
+//! Runtime error types.
+
+use ccr_core::ids::{ObjectId, TxnId};
+use std::fmt;
+
+/// Why a transaction was aborted by the system (as opposed to by the
+/// application calling `abort`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AbortReason {
+    /// Chosen as a deadlock victim.
+    Deadlock,
+    /// Deferred-update commit validation failed: the intentions list could
+    /// not be applied to the committed base state. Cannot happen when the
+    /// conflict relation contains `NFC` (Theorem 10); with weaker relations
+    /// it is the runtime's last line of defence.
+    Validation,
+    /// The application requested the abort.
+    Requested,
+    /// Aborted because the conflict policy aborts requesters instead of
+    /// blocking them (optimistic-flavoured configurations).
+    ConflictAbort,
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbortReason::Deadlock => write!(f, "deadlock victim"),
+            AbortReason::Validation => write!(f, "deferred-update validation failed"),
+            AbortReason::Requested => write!(f, "requested"),
+            AbortReason::ConflictAbort => write!(f, "conflict (abort policy)"),
+        }
+    }
+}
+
+/// Errors surfaced by [`crate::system::TxnSystem`] operations.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TxnError {
+    /// The operation conflicts with operations held by the listed active
+    /// transactions; the caller should wait for one of them to finish (or
+    /// abort and retry, per policy).
+    Blocked {
+        /// Transactions holding conflicting operations.
+        on: Vec<TxnId>,
+    },
+    /// The transaction has been aborted.
+    Aborted(AbortReason),
+    /// The transaction id is unknown or already completed.
+    NotActive(TxnId),
+    /// The object id is unknown.
+    NoSuchObject(ObjectId),
+    /// The invocation has no legal response in the transaction's view —
+    /// either the specification is partial here, or (with a too-weak
+    /// conflict relation) recovery corrupted the view.
+    NoLegalResponse,
+}
+
+impl fmt::Display for TxnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxnError::Blocked { on } => write!(f, "blocked on {on:?}"),
+            TxnError::Aborted(r) => write!(f, "aborted: {r}"),
+            TxnError::NotActive(t) => write!(f, "transaction {t} is not active"),
+            TxnError::NoSuchObject(o) => write!(f, "no such object {o}"),
+            TxnError::NoLegalResponse => write!(f, "no legal response in view"),
+        }
+    }
+}
+
+impl std::error::Error for TxnError {}
+
+/// Internal recovery failures (engine level).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RecoveryError {
+    /// Replaying the surviving log after an abort failed: some remaining
+    /// operation is no longer legal. Cannot happen when the conflict
+    /// relation contains `NRBC` (Theorem 9).
+    ReplayFailed {
+        /// Object whose log could not be replayed.
+        obj: ObjectId,
+    },
+    /// A deferred-update intentions list could not be applied at commit.
+    ApplyFailed {
+        /// Object whose intentions could not be applied.
+        obj: ObjectId,
+    },
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::ReplayFailed { obj } => {
+                write!(f, "undo replay failed at {obj} (conflict relation ⊉ NRBC?)")
+            }
+            RecoveryError::ApplyFailed { obj } => {
+                write!(f, "intentions apply failed at {obj} (conflict relation ⊉ NFC?)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}

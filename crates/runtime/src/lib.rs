@@ -1,0 +1,48 @@
+//! # ccr-runtime — an executable transactional runtime for abstract data
+//! types with commutativity-based locking and pluggable recovery
+//!
+//! This crate turns the formal model of `ccr-core` into a system you can
+//! run:
+//!
+//! * [`engine`] — recovery engines: update-in-place ([`engine::UipEngine`],
+//!   with replay- or inverse-based undo) and deferred update
+//!   ([`engine::DuEngine`], intentions lists / private workspaces);
+//! * [`system`] — the transaction manager: conflict-relation locking with
+//!   implicit locks, atomic commitment across objects, wait-for-graph
+//!   deadlock detection, and full event-trace recording (executions can be
+//!   checked dynamic atomic post-hoc by `ccr-core`);
+//! * [`script`] + [`scheduler`] — deterministic, seeded execution of
+//!   transaction scripts with blocking, retries and deadlock-victim
+//!   handling (the substrate for the paper experiments);
+//! * [`threaded`] — a multi-threaded executor over the same system
+//!   (parking_lot-based blocking instead of scheduler polling);
+//! * [`optimistic`] — optimistic concurrency control (§3.4's remark):
+//!   execute without blocking, validate commutativity at commit;
+//! * [`escrow`] — the O'Neil-style state-dependent conflict test the
+//!   paper's §8 cites as *outside* the conflict-relation framework,
+//!   implemented as an extension for comparison;
+//! * [`crash`] — simulated crash recovery (the paper's deferred future
+//!   work): a redo journal in commit order, with verified replay.
+//!
+//! The correct pairings (Theorems 9 and 10) are `UipEngine` with an
+//! `NRBC`-containing conflict relation and `DuEngine` with an
+//! `NFC`-containing one. The runtime lets you run the *incorrect* pairings
+//! too — deferred-update validation and undo-replay failures then surface
+//! exactly where the theory predicts, which the tests exploit.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod crash;
+pub mod engine;
+pub mod error;
+pub mod escrow;
+pub mod optimistic;
+pub mod scheduler;
+pub mod script;
+pub mod system;
+pub mod threaded;
+
+pub use engine::{DuEngine, RecoveryEngine, UipEngine, UipInverseEngine};
+pub use error::{AbortReason, RecoveryError, TxnError};
+pub use system::{ConflictPolicy, SystemStats, TxnSystem};

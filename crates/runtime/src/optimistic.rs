@@ -1,0 +1,295 @@
+//! Optimistic concurrency control (Kung–Robinson style, adapted to
+//! commutativity).
+//!
+//! The paper (§3.4) notes that optimistic protocols achieve dynamic
+//! atomicity by letting conflicts *occur* and aborting conflicting
+//! transactions at commit. This module implements that scheme over the
+//! deferred-update substrate: invocations never block; at commit, the
+//! transaction validates its operations against every operation committed
+//! since it began, using a (forward-commutativity) conflict relation, and
+//! aborts on conflict. With an `NFC`-containing relation the committed
+//! executions are exactly those of deferred update, so Theorem 10's
+//! guarantee transfers.
+
+use std::collections::BTreeMap;
+
+use ccr_core::adt::{Adt, Op};
+use ccr_core::conflict::Conflict;
+use ccr_core::history::{Event, History};
+use ccr_core::ids::{ObjectId, TxnId};
+
+use crate::error::{AbortReason, TxnError};
+
+/// Aggregate counters for an optimistic execution.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OptimisticStats {
+    /// Transactions begun.
+    pub begun: u64,
+    /// Transactions committed.
+    pub committed: u64,
+    /// Transactions aborted at validation.
+    pub validation_aborts: u64,
+    /// Operations executed.
+    pub ops: u64,
+}
+
+/// An optimistic transactional system (single ADT type, many objects).
+pub struct OptimisticSystem<A: Adt, C: Conflict<A>> {
+    adt: A,
+    conflict: C,
+    objects: BTreeMap<ObjectId, ObjState<A>>,
+    txns: BTreeMap<TxnId, TxnState<A>>,
+    next_txn: u32,
+    /// Global commit counter (validation horizon).
+    commit_seq: u64,
+    trace: History<A>,
+    stats: OptimisticStats,
+}
+
+struct ObjState<A: Adt> {
+    /// Committed base state.
+    base: A::State,
+    /// Committed operations with their commit sequence number.
+    committed_log: Vec<(u64, Op<A>)>,
+}
+
+struct TxnState<A: Adt> {
+    start_seq: u64,
+    /// Per-object intentions and cached private state.
+    workspaces: BTreeMap<ObjectId, (Vec<Op<A>>, A::State)>,
+}
+
+impl<A: Adt, C: Conflict<A>> OptimisticSystem<A, C> {
+    /// Create with objects `0..n`.
+    pub fn new(adt: A, n_objects: u32, conflict: C) -> Self {
+        let mut objects = BTreeMap::new();
+        for i in 0..n_objects {
+            objects.insert(
+                ObjectId(i),
+                ObjState { base: adt.initial(), committed_log: Vec::new() },
+            );
+        }
+        OptimisticSystem {
+            adt,
+            conflict,
+            objects,
+            txns: BTreeMap::new(),
+            next_txn: 0,
+            commit_seq: 0,
+            trace: History::new(),
+            stats: OptimisticStats::default(),
+        }
+    }
+
+    /// Begin a transaction (records the validation horizon).
+    pub fn begin(&mut self) -> TxnId {
+        let t = TxnId(self.next_txn);
+        self.next_txn += 1;
+        self.txns.insert(
+            t,
+            TxnState { start_seq: self.commit_seq, workspaces: BTreeMap::new() },
+        );
+        self.stats.begun += 1;
+        t
+    }
+
+    /// Execute an operation in the transaction's private workspace. Never
+    /// blocks.
+    pub fn invoke(
+        &mut self,
+        txn: TxnId,
+        obj: ObjectId,
+        inv: A::Invocation,
+    ) -> Result<A::Response, TxnError> {
+        let t = self.txns.get_mut(&txn).ok_or(TxnError::NotActive(txn))?;
+        let o = self.objects.get(&obj).ok_or(TxnError::NoSuchObject(obj))?;
+        let (intentions, state) = t
+            .workspaces
+            .entry(obj)
+            .or_insert_with(|| (Vec::new(), o.base.clone()));
+        let (resp, post) = self
+            .adt
+            .step(state, &inv)
+            .into_iter()
+            .next()
+            .ok_or(TxnError::NoLegalResponse)?;
+        intentions.push(Op::new(inv.clone(), resp.clone()));
+        *state = post;
+        self.stats.ops += 1;
+        self.trace
+            .push(Event::Invoke { txn, obj, inv })
+            .expect("well-formed invoke");
+        self.trace
+            .push(Event::Respond { txn, obj, resp: resp.clone() })
+            .expect("well-formed respond");
+        Ok(resp)
+    }
+
+    /// Validate and commit. Backward validation: each of the transaction's
+    /// operations must not conflict with any operation committed after the
+    /// transaction began; then the intentions must re-apply to the current
+    /// base (their responses were chosen against a possibly stale snapshot).
+    pub fn commit(&mut self, txn: TxnId) -> Result<(), TxnError> {
+        let t = self.txns.get(&txn).ok_or(TxnError::NotActive(txn))?;
+        let mut valid = true;
+        'outer: for (obj, (intentions, _)) in &t.workspaces {
+            let o = &self.objects[obj];
+            for op in intentions {
+                for (seq, committed_op) in &o.committed_log {
+                    if *seq > t.start_seq && self.conflict.conflicts(op, committed_op) {
+                        valid = false;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        if valid {
+            // Re-apply intentions to the (possibly advanced) base.
+            'apply_check: for (obj, (intentions, _)) in &t.workspaces {
+                let mut s = self.objects[obj].base.clone();
+                for op in intentions {
+                    match self.adt.apply(&s, op).into_iter().next() {
+                        Some(s2) => s = s2,
+                        None => {
+                            valid = false;
+                            break 'apply_check;
+                        }
+                    }
+                }
+            }
+        }
+        if !valid {
+            self.abort_inner(txn);
+            self.stats.validation_aborts += 1;
+            return Err(TxnError::Aborted(AbortReason::Validation));
+        }
+        let t = self.txns.remove(&txn).expect("checked above");
+        self.commit_seq += 1;
+        let seq = self.commit_seq;
+        for (obj, (intentions, _)) in t.workspaces {
+            let o = self.objects.get_mut(&obj).expect("object exists");
+            for op in intentions {
+                let s2 = self
+                    .adt
+                    .apply(&o.base, &op)
+                    .into_iter()
+                    .next()
+                    .expect("validated above");
+                o.base = s2;
+                o.committed_log.push((seq, op));
+            }
+            self.trace
+                .push(Event::Commit { txn, obj })
+                .expect("well-formed commit");
+        }
+        self.stats.committed += 1;
+        Ok(())
+    }
+
+    /// Abort (discard workspaces).
+    pub fn abort(&mut self, txn: TxnId) -> Result<(), TxnError> {
+        if !self.txns.contains_key(&txn) {
+            return Err(TxnError::NotActive(txn));
+        }
+        self.abort_inner(txn);
+        Ok(())
+    }
+
+    fn abort_inner(&mut self, txn: TxnId) {
+        if let Some(t) = self.txns.remove(&txn) {
+            for obj in t.workspaces.keys() {
+                self.trace
+                    .push(Event::Abort { txn, obj: *obj })
+                    .expect("well-formed abort");
+            }
+            // Transactions that touched nothing still need a completion
+            // event for trace bookkeeping at some object; skip instead —
+            // they appear in no projection.
+        }
+    }
+
+    /// The committed state of `obj`.
+    pub fn committed_state(&self, obj: ObjectId) -> A::State {
+        self.objects[&obj].base.clone()
+    }
+
+    /// The recorded event history.
+    pub fn trace(&self) -> &History<A> {
+        &self.trace
+    }
+
+    /// Execution counters.
+    pub fn stats(&self) -> &OptimisticStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccr_adt::bank::{bank_nfc, BankAccount, BankInv};
+    use ccr_core::atomicity::{check_dynamic_atomic, SystemSpec};
+
+    const X: ObjectId = ObjectId::SOLE;
+
+    #[test]
+    fn non_conflicting_transactions_commit() {
+        let mut sys = OptimisticSystem::new(BankAccount::default(), 1, bank_nfc());
+        let a = sys.begin();
+        let b = sys.begin();
+        sys.invoke(a, X, BankInv::Deposit(5)).unwrap();
+        sys.invoke(b, X, BankInv::Deposit(3)).unwrap();
+        sys.commit(a).unwrap();
+        sys.commit(b).unwrap();
+        assert_eq!(sys.committed_state(X), 8);
+        let spec = SystemSpec::single(BankAccount::default());
+        assert!(check_dynamic_atomic(&spec, sys.trace()).is_ok());
+    }
+
+    #[test]
+    fn conflicting_transaction_aborts_at_commit() {
+        let mut sys = OptimisticSystem::new(BankAccount::default(), 1, bank_nfc());
+        let setup = sys.begin();
+        sys.invoke(setup, X, BankInv::Deposit(5)).unwrap();
+        sys.commit(setup).unwrap();
+
+        let a = sys.begin();
+        let b = sys.begin();
+        // Both read the balance; a then changes it. (deposit, balance) ∈ NFC
+        // so b must fail validation.
+        sys.invoke(a, X, BankInv::Deposit(2)).unwrap();
+        sys.invoke(b, X, BankInv::Balance).unwrap();
+        sys.commit(a).unwrap();
+        assert_eq!(
+            sys.commit(b),
+            Err(TxnError::Aborted(AbortReason::Validation))
+        );
+        assert_eq!(sys.stats().validation_aborts, 1);
+        let spec = SystemSpec::single(BankAccount::default());
+        assert!(check_dynamic_atomic(&spec, sys.trace()).is_ok());
+    }
+
+    #[test]
+    fn commuting_operations_survive_interleaved_commits() {
+        let mut sys = OptimisticSystem::new(BankAccount::default(), 1, bank_nfc());
+        let a = sys.begin();
+        let b = sys.begin();
+        // deposits commute forward: both commit even though they overlap.
+        sys.invoke(a, X, BankInv::Deposit(5)).unwrap();
+        sys.invoke(b, X, BankInv::Deposit(7)).unwrap();
+        sys.commit(a).unwrap();
+        sys.commit(b).unwrap();
+        assert_eq!(sys.committed_state(X), 12);
+    }
+
+    #[test]
+    fn reads_of_stale_snapshots_fail_validation() {
+        let mut sys = OptimisticSystem::new(BankAccount::default(), 1, bank_nfc());
+        let a = sys.begin();
+        let b = sys.begin();
+        sys.invoke(b, X, BankInv::Balance).unwrap(); // reads 0
+        sys.invoke(a, X, BankInv::Deposit(5)).unwrap();
+        sys.commit(a).unwrap();
+        assert!(sys.commit(b).is_err());
+    }
+}

@@ -1,0 +1,516 @@
+//! A deterministic, seeded scheduler driving scripts through a
+//! [`TxnSystem`].
+//!
+//! The scheduler interleaves scripts in a seeded random order, retries
+//! blocked invocations when a blocker completes, detects deadlocks through
+//! the system's wait-for graph (aborting the youngest transaction in the
+//! cycle), and restarts scripts whose transactions were aborted by the
+//! system. Determinism (same seed ⇒ same execution) makes experiment runs
+//! reproducible and lets property tests shrink failures.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use ccr_core::adt::Adt;
+use ccr_core::conflict::Conflict;
+use ccr_core::ids::TxnId;
+
+use crate::engine::RecoveryEngine;
+use crate::error::{AbortReason, TxnError};
+use crate::script::{Script, Step};
+use crate::system::{SystemStats, TxnSystem};
+
+/// Scheduler configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SchedulerCfg {
+    /// RNG seed for the interleaving order.
+    pub seed: u64,
+    /// Retries per script before giving up (deadlock victims and validation
+    /// aborts restart the script).
+    pub max_retries: usize,
+    /// Safety cap on scheduler iterations.
+    pub max_rounds: u64,
+    /// Admission control: maximum transactions in flight (0 = unlimited).
+    /// Throttling the multiprogramming level is the classical remedy for
+    /// lock thrashing on conflict-dense workloads.
+    pub mpl: usize,
+}
+
+impl Default for SchedulerCfg {
+    fn default() -> Self {
+        SchedulerCfg { seed: 0, max_retries: 64, max_rounds: 1_000_000, mpl: 0 }
+    }
+}
+
+/// Result of a scheduled run.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// Scripts that ultimately committed.
+    pub committed: u64,
+    /// Scripts that ended with a voluntary abort.
+    pub voluntary_aborts: u64,
+    /// Scripts that exhausted their retries.
+    pub gave_up: u64,
+    /// Deadlock victims (counted per abort, not per script).
+    pub deadlock_aborts: u64,
+    /// System-initiated validation aborts.
+    pub validation_aborts: u64,
+    /// Total retries across scripts.
+    pub retries: u64,
+    /// Driver-rounds spent queued by admission control (distinct from
+    /// `wait_rounds`, which counts lock waits).
+    pub admission_rounds: u64,
+    /// Operations that hit a conflict on their first attempt (the raw
+    /// `stats.blocks` additionally counts every retried attempt).
+    pub blocked_ops: u64,
+    /// Scheduler rounds until all scripts finished (a makespan in logical
+    /// time: more blocking ⇒ more rounds).
+    pub rounds: u64,
+    /// Driver-rounds spent waiting (blocked or sleeping after an abort) —
+    /// the cross-configuration "lost concurrency" measure.
+    pub wait_rounds: u64,
+    /// Final system counters.
+    pub stats: SystemStats,
+}
+
+struct Driver<A: Adt> {
+    script: Box<dyn Script<A>>,
+    txn: Option<TxnId>,
+    last: Option<A::Response>,
+    pending: Option<Step<A>>,
+    /// Completion epoch at the time this driver last blocked — retried only
+    /// after some transaction completes (releasing locks).
+    blocked_epoch: Option<u64>,
+    /// Commit count at the time this driver was restarted after a system
+    /// abort — it stays asleep until someone commits (backoff that lets a
+    /// conflict clique drain one committer at a time).
+    sleep_until_commit: Option<u64>,
+    retries: usize,
+    done: bool,
+    committed: bool,
+    voluntary_abort: bool,
+}
+
+fn epoch(stats: &SystemStats) -> u64 {
+    stats.committed + stats.aborted
+}
+
+/// Drive `scripts` to completion over `sys`. Each script runs as one
+/// transaction (re-begun on retry).
+pub fn run<A, E, C>(
+    sys: &mut TxnSystem<A, E, C>,
+    scripts: Vec<Box<dyn Script<A>>>,
+    cfg: &SchedulerCfg,
+) -> RunReport
+where
+    A: Adt,
+    E: RecoveryEngine<A>,
+    C: Conflict<A>,
+{
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut report = RunReport::default();
+    let mut drivers: Vec<Driver<A>> = scripts
+        .into_iter()
+        .map(|mut script| {
+            script.reset();
+            Driver {
+                script,
+                txn: None,
+                last: None,
+                pending: None,
+                blocked_epoch: None,
+                sleep_until_commit: None,
+                retries: 0,
+                done: false,
+                committed: false,
+                voluntary_abort: false,
+            }
+        })
+        .collect();
+
+    let mut rounds = 0u64;
+    loop {
+        rounds += 1;
+        if rounds > cfg.max_rounds {
+            break;
+        }
+        let mut order: Vec<usize> = (0..drivers.len()).filter(|&i| !drivers[i].done).collect();
+        if order.is_empty() {
+            break;
+        }
+        order.shuffle(&mut rng);
+        let mut progressed = false;
+        for i in order {
+            if drivers[i].done {
+                continue;
+            }
+            // A blocked driver is only retried once some transaction has
+            // completed since it blocked (locks are released on completion);
+            // a restarted victim additionally waits for a commit.
+            if let Some(c) = drivers[i].sleep_until_commit {
+                if sys.stats().committed == c {
+                    report.wait_rounds += 1;
+                    continue;
+                }
+                drivers[i].sleep_until_commit = None;
+            }
+            if let Some(e) = drivers[i].blocked_epoch {
+                if epoch(sys.stats()) == e {
+                    report.wait_rounds += 1;
+                    continue;
+                }
+            }
+            // Admission control: a driver without a transaction may only
+            // begin one while fewer than `mpl` are in flight.
+            if cfg.mpl > 0 && drivers[i].txn.is_none() {
+                let in_flight = drivers.iter().filter(|d| !d.done && d.txn.is_some()).count();
+                if in_flight >= cfg.mpl {
+                    report.admission_rounds += 1;
+                    continue;
+                }
+            }
+            if step_driver(sys, &mut drivers[i], cfg, &mut report) {
+                progressed = true;
+            } else {
+                report.wait_rounds += 1;
+            }
+        }
+        if !progressed {
+            // Every live driver is blocked: a cycle must exist in the
+            // wait-for graph. Abort the youngest transaction on some cycle.
+            let blocked: Vec<TxnId> = drivers
+                .iter()
+                .filter(|d| !d.done)
+                .filter_map(|d| d.txn)
+                .collect();
+            let mut victim = None;
+            for &t in &blocked {
+                if let Some(cycle) = sys.find_deadlock(t) {
+                    victim = cycle.into_iter().max();
+                    break;
+                }
+            }
+            let Some(victim) = victim else {
+                match blocked.into_iter().max() {
+                    // No cycle found: abort the youngest blocked transaction
+                    // to guarantee progress.
+                    Some(t) => {
+                        abort_and_restart(sys, &mut drivers, t, cfg, &mut report);
+                        continue;
+                    }
+                    // No driver holds a transaction: everyone is sleeping
+                    // after a restart with no commit in sight — wake one.
+                    None => {
+                        match drivers.iter_mut().find(|d| !d.done) {
+                            Some(d) => {
+                                d.blocked_epoch = None;
+                                d.sleep_until_commit = None;
+                                continue;
+                            }
+                            None => break,
+                        }
+                    }
+                }
+            };
+            report.deadlock_aborts += 1;
+            abort_and_restart(sys, &mut drivers, victim, cfg, &mut report);
+        }
+    }
+
+    report.rounds = rounds;
+    for d in &drivers {
+        if d.committed {
+            report.committed += 1;
+        } else if d.voluntary_abort {
+            report.voluntary_aborts += 1;
+        } else {
+            report.gave_up += 1;
+        }
+    }
+    report.validation_aborts = sys.stats().validation_aborts;
+    report.stats = sys.stats().clone();
+    report
+}
+
+/// Advance one driver by one step. Returns whether it made progress.
+fn step_driver<A, E, C>(
+    sys: &mut TxnSystem<A, E, C>,
+    d: &mut Driver<A>,
+    cfg: &SchedulerCfg,
+    report: &mut RunReport,
+) -> bool
+where
+    A: Adt,
+    E: RecoveryEngine<A>,
+    C: Conflict<A>,
+{
+    let txn = match d.txn {
+        Some(t) => t,
+        None => {
+            let t = sys.begin();
+            d.txn = Some(t);
+            t
+        }
+    };
+    let (step, fresh) = match d.pending.take() {
+        Some(s) => (s, false),
+        None => (d.script.next(d.last.as_ref()), true),
+    };
+    match step {
+        Step::Invoke(obj, inv) => match sys.invoke(txn, obj, inv.clone()) {
+            Ok(resp) => {
+                d.last = Some(resp);
+                d.blocked_epoch = None;
+                true
+            }
+            Err(TxnError::Blocked { .. }) => {
+                if fresh {
+                    report.blocked_ops += 1;
+                }
+                d.pending = Some(Step::Invoke(obj, inv));
+                d.blocked_epoch = Some(epoch(sys.stats()));
+                false
+            }
+            Err(TxnError::Aborted(_)) => {
+                restart(d, cfg, report, sys.stats().committed);
+                true
+            }
+            Err(e) => panic!("script error: {e}"),
+        },
+        Step::Commit => match sys.commit(txn) {
+            Ok(()) => {
+                d.done = true;
+                d.committed = true;
+                true
+            }
+            Err(TxnError::Aborted(_)) => {
+                restart(d, cfg, report, sys.stats().committed);
+                true
+            }
+            Err(e) => panic!("commit error: {e}"),
+        },
+        Step::Abort => {
+            sys.abort(txn).expect("active transaction");
+            d.done = true;
+            d.voluntary_abort = true;
+            true
+        }
+    }
+}
+
+/// Reset a driver after a system abort. The driver sleeps (via
+/// `blocked_epoch`) until the next completion event so that a restarted
+/// deadlock victim does not immediately re-acquire its locks and get chosen
+/// as the victim again — without this, clique-shaped conflicts livelock.
+fn restart<A: Adt>(d: &mut Driver<A>, cfg: &SchedulerCfg, report: &mut RunReport, commits_now: u64) {
+    d.txn = None;
+    d.last = None;
+    d.pending = None;
+    d.blocked_epoch = None;
+    d.sleep_until_commit = Some(commits_now);
+    d.retries += 1;
+    report.retries += 1;
+    d.script.reset();
+    if d.retries > cfg.max_retries {
+        d.done = true;
+    }
+}
+
+fn abort_and_restart<A, E, C>(
+    sys: &mut TxnSystem<A, E, C>,
+    drivers: &mut [Driver<A>],
+    victim: TxnId,
+    cfg: &SchedulerCfg,
+    report: &mut RunReport,
+) where
+    A: Adt,
+    E: RecoveryEngine<A>,
+    C: Conflict<A>,
+{
+    sys.abort_with(victim, AbortReason::Deadlock)
+        .expect("victim is active");
+    let commits = sys.stats().committed;
+    if let Some(d) = drivers.iter_mut().find(|d| d.txn == Some(victim)) {
+        restart(d, cfg, report, commits);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{DuEngine, UipEngine};
+    use crate::script::OpsScript;
+    use ccr_adt::bank::{bank_nfc, bank_nrbc, BankAccount, BankInv};
+    use ccr_core::atomicity::{check_dynamic_atomic, SystemSpec};
+    use ccr_core::ids::ObjectId;
+
+    const X: ObjectId = ObjectId::SOLE;
+
+    fn transfer_scripts(n: usize) -> Vec<Box<dyn Script<BankAccount>>> {
+        // Each deposits 2 then withdraws 1 on the single hot account.
+        (0..n)
+            .map(|_| {
+                Box::new(OpsScript::on(
+                    X,
+                    vec![BankInv::Deposit(2), BankInv::Withdraw(1)],
+                )) as Box<dyn Script<BankAccount>>
+            })
+            .collect()
+    }
+
+    #[test]
+    fn uip_nrbc_runs_hotspot_without_blocking() {
+        let mut sys: TxnSystem<BankAccount, UipEngine<BankAccount>, _> =
+            TxnSystem::new(BankAccount::default(), 1, bank_nrbc());
+        let report = run(&mut sys, transfer_scripts(8), &SchedulerCfg::default());
+        assert_eq!(report.committed, 8);
+        assert_eq!(report.gave_up, 0);
+        assert_eq!(sys.committed_state(X), 8);
+        // Every recorded execution must be dynamic atomic (Theorem 9).
+        let spec = SystemSpec::single(BankAccount::default());
+        assert!(check_dynamic_atomic(&spec, sys.trace()).is_ok());
+    }
+
+    #[test]
+    fn du_nfc_commits_all_with_blocking() {
+        let mut sys: TxnSystem<BankAccount, DuEngine<BankAccount>, _> =
+            TxnSystem::new(BankAccount::default(), 1, bank_nfc());
+        let report = run(&mut sys, transfer_scripts(8), &SchedulerCfg::default());
+        assert_eq!(report.committed, 8);
+        assert_eq!(sys.committed_state(X), 8);
+        let spec = SystemSpec::single(BankAccount::default());
+        assert!(check_dynamic_atomic(&spec, sys.trace()).is_ok());
+    }
+
+    #[test]
+    fn admission_control_bounds_in_flight_transactions() {
+        // With MPL 1 everything serialises: no blocks, no deadlocks, ever —
+        // even on the clique-shaped hotspot that thrashes unthrottled.
+        let mut sys: TxnSystem<BankAccount, UipEngine<BankAccount>, _> =
+            TxnSystem::new(BankAccount::default(), 1, bank_nrbc());
+        let cfg = SchedulerCfg { mpl: 1, ..Default::default() };
+        let report = run(&mut sys, transfer_scripts(8), &cfg);
+        assert_eq!(report.committed, 8);
+        assert_eq!(report.blocked_ops, 0);
+        assert_eq!(report.deadlock_aborts, 0);
+        assert!(report.admission_rounds > 0);
+        assert_eq!(sys.committed_state(X), 8);
+    }
+
+    #[test]
+    fn voluntary_aborts_are_counted_not_retried() {
+        use crate::script::ConditionalScript;
+        use ccr_adt::bank::BankResp;
+        // Withdraw 5 from an empty account; on refusal, abort voluntarily.
+        fn decide(pos: usize, last: Option<&BankResp>) -> Step<BankAccount> {
+            match pos {
+                0 => Step::Invoke(X, BankInv::Withdraw(5)),
+                _ => match last {
+                    Some(BankResp::Ok) => Step::Commit,
+                    _ => Step::Abort,
+                },
+            }
+        }
+        let mut sys: TxnSystem<BankAccount, UipEngine<BankAccount>, _> =
+            TxnSystem::new(BankAccount::default(), 1, bank_nrbc());
+        let scripts: Vec<Box<dyn Script<BankAccount>>> =
+            vec![Box::new(ConditionalScript::new(decide))];
+        let report = run(&mut sys, scripts, &SchedulerCfg::default());
+        assert_eq!(report.voluntary_aborts, 1);
+        assert_eq!(report.committed, 0);
+        assert_eq!(report.retries, 0);
+        assert_eq!(sys.committed_state(X), 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run_once = |seed: u64| {
+            let mut sys: TxnSystem<BankAccount, UipEngine<BankAccount>, _> =
+                TxnSystem::new(BankAccount::default(), 1, bank_nrbc());
+            let cfg = SchedulerCfg { seed, ..Default::default() };
+            let r = run(&mut sys, transfer_scripts(6), &cfg);
+            (r.stats.ops, r.stats.blocks, sys.trace().clone())
+        };
+        assert_eq!(run_once(7).2, run_once(7).2);
+        assert_eq!(run_once(7).0, run_once(7).0);
+    }
+
+    #[test]
+    fn no_wait_terminates_on_the_hotspot() {
+        use crate::system::ConflictPolicy;
+        // A conflict-heavy hotspot under no-wait: every conflict aborts the
+        // requester, yet retries with post-abort backoff drain the queue.
+        let mut sys: TxnSystem<BankAccount, UipEngine<BankAccount>, _> =
+            TxnSystem::new(BankAccount::default(), 1, bank_nrbc())
+                .with_policy(ConflictPolicy::NoWait);
+        let scripts: Vec<Box<dyn Script<BankAccount>>> = (0..8)
+            .map(|_| {
+                Box::new(OpsScript::on(
+                    X,
+                    vec![BankInv::Balance, BankInv::Deposit(1)],
+                )) as Box<dyn Script<BankAccount>>
+            })
+            .collect();
+        let report = run(&mut sys, scripts, &SchedulerCfg::default());
+        assert_eq!(report.committed, 8);
+        assert_eq!(report.deadlock_aborts, 0, "no-wait never needs detection");
+        assert!(report.stats.conflict_aborts > 0, "conflicts occurred");
+        assert_eq!(sys.committed_state(X), 8);
+    }
+
+    #[test]
+    fn wound_wait_is_deadlock_free() {
+        use crate::system::ConflictPolicy;
+        use ccr_core::ids::ObjectId;
+        // The crosswise balance/deposit pattern that deadlocks under the
+        // blocking policy cannot deadlock under wound-wait: no deadlock
+        // aborts may ever be needed.
+        let y = ObjectId(1);
+        for seed in 0..8u64 {
+            let mut sys: TxnSystem<BankAccount, UipEngine<BankAccount>, _> =
+                TxnSystem::new(BankAccount::default(), 2, bank_nrbc())
+                    .with_policy(ConflictPolicy::WoundWait);
+            let mut scripts: Vec<Box<dyn Script<BankAccount>>> = Vec::new();
+            for i in 0..8 {
+                let (a, b) = if i % 2 == 0 {
+                    (ccr_core::ids::ObjectId(0), y)
+                } else {
+                    (y, ccr_core::ids::ObjectId(0))
+                };
+                scripts.push(Box::new(OpsScript::new(vec![
+                    (a, BankInv::Balance),
+                    (b, BankInv::Deposit(1)),
+                ])));
+            }
+            let cfg = SchedulerCfg { seed, ..Default::default() };
+            let report = run(&mut sys, scripts, &cfg);
+            assert_eq!(report.committed, 8, "all must commit (seed {seed})");
+            assert_eq!(report.deadlock_aborts, 0, "wound-wait never deadlocks");
+            // The committed trace remains dynamic atomic.
+            use ccr_core::atomicity::{check_dynamic_atomic, SystemSpec};
+            let spec = SystemSpec::uniform(BankAccount::default(), 2);
+            assert!(check_dynamic_atomic(&spec, sys.trace()).is_ok());
+        }
+    }
+
+    #[test]
+    fn mismatched_pairing_still_terminates_correctly() {
+        // DU with the (insufficient) NRBC relation: validation aborts kick
+        // in, every script eventually commits via retry, and the committed
+        // trace remains atomic.
+        let mut sys: TxnSystem<BankAccount, DuEngine<BankAccount>, _> =
+            TxnSystem::new(BankAccount::default(), 1, bank_nrbc());
+        let scripts: Vec<Box<dyn Script<BankAccount>>> = (0..6)
+            .map(|_| {
+                Box::new(OpsScript::on(
+                    X,
+                    vec![BankInv::Deposit(5), BankInv::Withdraw(3)],
+                )) as Box<dyn Script<BankAccount>>
+            })
+            .collect();
+        let report = run(&mut sys, scripts, &SchedulerCfg::default());
+        assert_eq!(report.committed, 6);
+        assert_eq!(sys.committed_state(X), 12);
+    }
+}

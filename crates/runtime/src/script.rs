@@ -1,0 +1,132 @@
+//! Transaction scripts: restartable descriptions of a transaction's logic.
+//!
+//! Schedulers re-run scripts when their transaction is chosen as a deadlock
+//! victim or fails deferred-update validation, so a script must be
+//! resettable. Most workloads are fixed operation lists ([`OpsScript`]);
+//! response-dependent logic implements [`Script`] directly (see
+//! [`ConditionalScript`] for a worked example used in tests).
+
+use ccr_core::adt::Adt;
+use ccr_core::ids::ObjectId;
+
+/// One step of a transaction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Step<A: Adt> {
+    /// Invoke an operation.
+    Invoke(ObjectId, A::Invocation),
+    /// Commit and finish.
+    Commit,
+    /// Abort voluntarily and finish.
+    Abort,
+}
+
+/// A restartable transaction body.
+pub trait Script<A: Adt>: Send {
+    /// Restart from the beginning (called before first use and on retry).
+    fn reset(&mut self);
+
+    /// The next step. `last` is the response to the previous `Invoke` (or
+    /// `None` at the start). Must eventually return `Commit` or `Abort`.
+    fn next(&mut self, last: Option<&A::Response>) -> Step<A>;
+}
+
+/// A fixed list of invocations followed by a commit.
+pub struct OpsScript<A: Adt> {
+    steps: Vec<(ObjectId, A::Invocation)>,
+    pos: usize,
+}
+
+impl<A: Adt> OpsScript<A> {
+    /// Create from `(object, invocation)` pairs.
+    pub fn new(steps: Vec<(ObjectId, A::Invocation)>) -> Self {
+        OpsScript { steps, pos: 0 }
+    }
+
+    /// Convenience: all invocations target a single object.
+    pub fn on(obj: ObjectId, invs: Vec<A::Invocation>) -> Self {
+        OpsScript::new(invs.into_iter().map(|i| (obj, i)).collect())
+    }
+}
+
+impl<A: Adt> Script<A> for OpsScript<A> {
+    fn reset(&mut self) {
+        self.pos = 0;
+    }
+
+    fn next(&mut self, _last: Option<&A::Response>) -> Step<A> {
+        match self.steps.get(self.pos) {
+            Some((obj, inv)) => {
+                self.pos += 1;
+                Step::Invoke(*obj, inv.clone())
+            }
+            None => Step::Commit,
+        }
+    }
+}
+
+/// A script whose continuation depends on the previous response via a pure
+/// decision function — enough for "check then act" transactions while
+/// remaining trivially resettable.
+pub struct ConditionalScript<A: Adt> {
+    /// `decide(step_index, last_response)` returns the next step.
+    decide: fn(usize, Option<&A::Response>) -> Step<A>,
+    pos: usize,
+}
+
+impl<A: Adt> ConditionalScript<A> {
+    /// Create from the decision function.
+    pub fn new(decide: fn(usize, Option<&A::Response>) -> Step<A>) -> Self {
+        ConditionalScript { decide, pos: 0 }
+    }
+}
+
+impl<A: Adt> Script<A> for ConditionalScript<A> {
+    fn reset(&mut self) {
+        self.pos = 0;
+    }
+
+    fn next(&mut self, last: Option<&A::Response>) -> Step<A> {
+        let step = (self.decide)(self.pos, last);
+        self.pos += 1;
+        step
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccr_adt::bank::{BankAccount, BankInv, BankResp};
+
+    #[test]
+    fn ops_script_replays_after_reset() {
+        let mut s: OpsScript<BankAccount> = OpsScript::on(
+            ObjectId::SOLE,
+            vec![BankInv::Deposit(1), BankInv::Balance],
+        );
+        assert!(matches!(s.next(None), Step::Invoke(_, BankInv::Deposit(1))));
+        assert!(matches!(s.next(None), Step::Invoke(_, BankInv::Balance)));
+        assert!(matches!(s.next(None), Step::Commit));
+        s.reset();
+        assert!(matches!(s.next(None), Step::Invoke(_, BankInv::Deposit(1))));
+    }
+
+    #[test]
+    fn conditional_script_branches_on_response() {
+        // Withdraw 5; if refused, abort instead of committing.
+        fn decide(pos: usize, last: Option<&BankResp>) -> Step<BankAccount> {
+            match pos {
+                0 => Step::Invoke(ObjectId::SOLE, BankInv::Withdraw(5)),
+                _ => match last {
+                    Some(BankResp::Ok) => Step::Commit,
+                    _ => Step::Abort,
+                },
+            }
+        }
+        let mut s = ConditionalScript::new(decide);
+        assert!(matches!(s.next(None), Step::Invoke(..)));
+        assert!(matches!(s.next(Some(&BankResp::No)), Step::Abort));
+        s.reset();
+        s.next(None);
+        assert!(matches!(s.next(Some(&BankResp::Ok)), Step::Commit));
+    }
+}

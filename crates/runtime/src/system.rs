@@ -1,0 +1,660 @@
+//! The transactional object system: conflict-based locking over pluggable
+//! recovery engines.
+//!
+//! `TxnSystem` is the executable counterpart of the paper's
+//! `I(X, Spec, View, Conflict)` automaton (§4), generalised to many objects
+//! with atomic commitment across them:
+//!
+//! * **locks are implicit**: the operations a transaction has executed at an
+//!   object are its locks; they are released when it commits or aborts;
+//! * an invocation executes only if its operation (invocation *plus* chosen
+//!   response) conflicts with no operation held by another active
+//!   transaction — otherwise the caller gets [`TxnError::Blocked`] with the
+//!   blockers listed (wait-for edges for deadlock detection live here);
+//! * responses are chosen against the recovery engine's view, so the same
+//!   system runs update-in-place or deferred-update by swapping the engine.
+//!
+//! Every event is recorded in a [`History`], so entire executions can be
+//! checked dynamic atomic by `ccr-core` — the strongest end-to-end invariant
+//! in the test suite.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ccr_core::adt::{Adt, Op};
+use ccr_core::conflict::Conflict;
+use ccr_core::history::{Event, History};
+use ccr_core::ids::{ObjectId, TxnId};
+
+use crate::engine::RecoveryEngine;
+use crate::error::{AbortReason, RecoveryError, TxnError};
+
+/// What to do when a requested operation conflicts with held operations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ConflictPolicy {
+    /// Return [`TxnError::Blocked`]; the caller waits for a holder to
+    /// complete (deadlocks are possible and handled by detection).
+    #[default]
+    Block,
+    /// Wound-wait (Rosenkrantz et al.): an **older** requester wounds
+    /// (aborts) younger conflicting holders and proceeds; a younger
+    /// requester waits. Waits only ever point from younger to older
+    /// transactions, so the wait-for graph is acyclic — deadlock-free by
+    /// construction (asserted in tests).
+    WoundWait,
+    /// No-wait: a conflicting requester is aborted immediately (it never
+    /// waits). Trivially deadlock-free; trades waiting for retry work.
+    NoWait,
+}
+
+/// Aggregate counters for an execution.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SystemStats {
+    /// Transactions begun.
+    pub begun: u64,
+    /// Transactions committed.
+    pub committed: u64,
+    /// Transactions aborted (all reasons).
+    pub aborted: u64,
+    /// Aborts due to deferred-update validation failure.
+    pub validation_aborts: u64,
+    /// Operations executed.
+    pub ops: u64,
+    /// Invocations that came back [`TxnError::Blocked`].
+    pub blocks: u64,
+    /// Holders aborted by the wound-wait policy.
+    pub wounds: u64,
+    /// Requesters aborted by the no-wait policy.
+    pub conflict_aborts: u64,
+    /// Undo-replay failures (weak conflict relation under UIP).
+    pub replay_failures: u64,
+}
+
+/// A transactional system over objects of a single ADT type `A`, one engine
+/// `E` per object, and a shared conflict relation `C`.
+///
+/// # Examples
+///
+/// ```
+/// use ccr_adt::bank::{bank_nrbc, BankAccount, BankInv, BankResp};
+/// use ccr_core::ids::ObjectId;
+/// use ccr_runtime::{TxnSystem, UipEngine};
+///
+/// let mut sys: TxnSystem<BankAccount, UipEngine<BankAccount>, _> =
+///     TxnSystem::new(BankAccount::default(), 1, bank_nrbc());
+/// let a = sys.begin();
+/// let b = sys.begin();
+/// sys.invoke(a, ObjectId::SOLE, BankInv::Deposit(5)).unwrap();
+/// // Deposits commute: b proceeds while a's deposit is uncommitted.
+/// assert_eq!(sys.invoke(b, ObjectId::SOLE, BankInv::Deposit(3)).unwrap(), BankResp::Ok);
+/// sys.commit(a).unwrap();
+/// sys.commit(b).unwrap();
+/// assert_eq!(sys.committed_state(ObjectId::SOLE), 8);
+/// ```
+pub struct TxnSystem<A: Adt, E: RecoveryEngine<A>, C: Conflict<A>> {
+    conflict: C,
+    objects: BTreeMap<ObjectId, ObjectRt<A, E>>,
+    active: BTreeSet<TxnId>,
+    next_txn: u32,
+    /// (waiter, holder) wait-for edges from the last `Blocked` results.
+    waits: BTreeMap<TxnId, BTreeSet<TxnId>>,
+    /// Transactions aborted by the wound-wait policy whose owners have not
+    /// yet observed the abort.
+    wounded: BTreeSet<TxnId>,
+    policy: ConflictPolicy,
+    trace: History<A>,
+    stats: SystemStats,
+    record_trace: bool,
+}
+
+struct ObjectRt<A: Adt, E> {
+    engine: E,
+    /// Implicit locks: operations executed by each active transaction.
+    held: BTreeMap<TxnId, Vec<Op<A>>>,
+    adt: A,
+}
+
+impl<A: Adt, E: RecoveryEngine<A>, C: Conflict<A>> TxnSystem<A, E, C> {
+    /// Create a system with objects `0..n`, all with specification `adt`.
+    pub fn new(adt: A, n_objects: u32, conflict: C) -> Self {
+        let mut objects = BTreeMap::new();
+        for i in 0..n_objects {
+            let obj = ObjectId(i);
+            objects.insert(
+                obj,
+                ObjectRt { engine: E::new(adt.clone(), obj), held: BTreeMap::new(), adt: adt.clone() },
+            );
+        }
+        TxnSystem {
+            conflict,
+            objects,
+            active: BTreeSet::new(),
+            next_txn: 0,
+            waits: BTreeMap::new(),
+            wounded: BTreeSet::new(),
+            policy: ConflictPolicy::Block,
+            trace: History::new(),
+            stats: SystemStats::default(),
+            record_trace: true,
+        }
+    }
+
+    /// Create a system with explicitly configured objects — use when
+    /// objects carry different specifications (e.g. different sides of a
+    /// [`SumAdt`](https://docs.rs/ccr-adt) sum, or different capacities).
+    pub fn new_with(objects: Vec<(ObjectId, A)>, conflict: C) -> Self {
+        let objects = objects
+            .into_iter()
+            .map(|(obj, adt)| {
+                (obj, ObjectRt { engine: E::new(adt.clone(), obj), held: BTreeMap::new(), adt })
+            })
+            .collect();
+        TxnSystem {
+            conflict,
+            objects,
+            active: BTreeSet::new(),
+            next_txn: 0,
+            waits: BTreeMap::new(),
+            wounded: BTreeSet::new(),
+            policy: ConflictPolicy::Block,
+            trace: History::new(),
+            stats: SystemStats::default(),
+            record_trace: true,
+        }
+    }
+
+    /// Select the conflict policy (default: [`ConflictPolicy::Block`]).
+    pub fn with_policy(mut self, policy: ConflictPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Disable history recording (for long benchmark runs).
+    pub fn set_record_trace(&mut self, on: bool) {
+        self.record_trace = on;
+    }
+
+    /// Begin a new transaction.
+    pub fn begin(&mut self) -> TxnId {
+        let t = TxnId(self.next_txn);
+        self.next_txn += 1;
+        self.active.insert(t);
+        self.stats.begun += 1;
+        t
+    }
+
+    /// Execute one operation of `txn` at `obj`.
+    ///
+    /// Chooses a legal response from the engine's view; if several are legal
+    /// (non-deterministic specifications) it prefers one that does not
+    /// conflict with held operations. Returns `Blocked` (with wait-for edges
+    /// registered) when every legal response conflicts.
+    pub fn invoke(
+        &mut self,
+        txn: TxnId,
+        obj: ObjectId,
+        inv: A::Invocation,
+    ) -> Result<A::Response, TxnError> {
+        if self.take_wound(txn)? {
+            return Err(TxnError::Aborted(AbortReason::ConflictAbort));
+        }
+        if !self.active.contains(&txn) {
+            return Err(TxnError::NotActive(txn));
+        }
+        let conflict = &self.conflict;
+        let o = self
+            .objects
+            .get_mut(&obj)
+            .ok_or(TxnError::NoSuchObject(obj))?;
+        if o.engine.is_doomed(txn) {
+            self.abort_inner(txn, AbortReason::Validation);
+            self.stats.validation_aborts += 1;
+            return Err(TxnError::Aborted(AbortReason::Validation));
+        }
+        let view = o.engine.view_state(txn);
+        let candidates = o.adt.step(&view, &inv);
+        if candidates.is_empty() {
+            return Err(TxnError::NoLegalResponse);
+        }
+        let mut blockers: BTreeSet<TxnId> = BTreeSet::new();
+        for (resp, post) in candidates {
+            let op = Op::new(inv.clone(), resp.clone());
+            let mut conflicting = Vec::new();
+            for (&holder, ops) in &o.held {
+                if holder == txn {
+                    continue;
+                }
+                if ops.iter().any(|held| conflict.conflicts(&op, held)) {
+                    conflicting.push(holder);
+                }
+            }
+            if conflicting.is_empty() {
+                // Execute.
+                o.engine.record(txn, op.clone(), post);
+                o.held.entry(txn).or_default().push(op.clone());
+                self.stats.ops += 1;
+                self.waits.remove(&txn);
+                if self.record_trace {
+                    self.trace
+                        .push(Event::Invoke { txn, obj, inv: op.inv })
+                        .expect("well-formed invoke");
+                    self.trace
+                        .push(Event::Respond { txn, obj, resp: resp.clone() })
+                        .expect("well-formed respond");
+                }
+                return Ok(resp);
+            }
+            blockers.extend(conflicting);
+        }
+        if self.policy == ConflictPolicy::NoWait {
+            self.abort_inner(txn, AbortReason::ConflictAbort);
+            self.stats.conflict_aborts += 1;
+            return Err(TxnError::Aborted(AbortReason::ConflictAbort));
+        }
+        if self.policy == ConflictPolicy::WoundWait && blockers.iter().all(|b| *b > txn) {
+            // Older requester: wound every younger conflicting holder, then
+            // retry the invocation against the cleaned lock table.
+            let victims: Vec<TxnId> = blockers.into_iter().collect();
+            for v in victims {
+                self.abort_inner(v, AbortReason::ConflictAbort);
+                self.wounded.insert(v);
+                self.stats.wounds += 1;
+            }
+            return self.invoke(txn, obj, inv);
+        }
+        self.stats.blocks += 1;
+        self.waits.insert(txn, blockers.clone());
+        Err(TxnError::Blocked { on: blockers.into_iter().collect() })
+    }
+
+    /// If `txn` was wounded, consume the marker. Returns `Ok(true)` when the
+    /// caller should observe the abort.
+    fn take_wound(&mut self, txn: TxnId) -> Result<bool, TxnError> {
+        Ok(self.wounded.remove(&txn))
+    }
+
+    /// Commit `txn` at all objects it touched (atomic commitment: validate
+    /// everywhere, then apply everywhere). On validation failure the
+    /// transaction is aborted instead and `Aborted(Validation)` is returned.
+    pub fn commit(&mut self, txn: TxnId) -> Result<(), TxnError> {
+        if self.take_wound(txn)? {
+            return Err(TxnError::Aborted(AbortReason::ConflictAbort));
+        }
+        if !self.active.contains(&txn) {
+            return Err(TxnError::NotActive(txn));
+        }
+        let touched: Vec<ObjectId> = self
+            .objects
+            .iter()
+            .filter(|(_, o)| o.held.contains_key(&txn))
+            .map(|(&obj, _)| obj)
+            .collect();
+        // Phase 1: validate.
+        for &obj in &touched {
+            let o = self.objects.get_mut(&obj).expect("touched object exists");
+            if o.engine.prepare_commit(txn).is_err() {
+                self.abort_inner(txn, AbortReason::Validation);
+                self.stats.validation_aborts += 1;
+                return Err(TxnError::Aborted(AbortReason::Validation));
+            }
+        }
+        // Phase 2: apply.
+        for &obj in &touched {
+            let o = self.objects.get_mut(&obj).expect("touched object exists");
+            o.engine.commit(txn);
+            o.held.remove(&txn);
+            if self.record_trace {
+                self.trace
+                    .push(Event::Commit { txn, obj })
+                    .expect("well-formed commit");
+            }
+        }
+        self.active.remove(&txn);
+        self.waits.remove(&txn);
+        self.stats.committed += 1;
+        Ok(())
+    }
+
+    /// Abort `txn` (application-requested).
+    pub fn abort(&mut self, txn: TxnId) -> Result<(), TxnError> {
+        if self.take_wound(txn)? {
+            return Ok(()); // already aborted by the policy
+        }
+        if !self.active.contains(&txn) {
+            return Err(TxnError::NotActive(txn));
+        }
+        self.abort_inner(txn, AbortReason::Requested);
+        Ok(())
+    }
+
+    /// Abort with an explicit reason (used by schedulers for deadlock
+    /// victims).
+    pub fn abort_with(&mut self, txn: TxnId, reason: AbortReason) -> Result<(), TxnError> {
+        if !self.active.contains(&txn) {
+            return Err(TxnError::NotActive(txn));
+        }
+        self.abort_inner(txn, reason);
+        Ok(())
+    }
+
+    fn abort_inner(&mut self, txn: TxnId, _reason: AbortReason) {
+        let touched: Vec<ObjectId> = self
+            .objects
+            .iter()
+            .filter(|(_, o)| o.held.contains_key(&txn))
+            .map(|(&obj, _)| obj)
+            .collect();
+        for &obj in &touched {
+            let o = self.objects.get_mut(&obj).expect("touched object exists");
+            if let Err(RecoveryError::ReplayFailed { .. }) = o.engine.abort(txn) {
+                self.stats.replay_failures += 1;
+            }
+            o.held.remove(&txn);
+            if self.record_trace {
+                self.trace
+                    .push(Event::Abort { txn, obj })
+                    .expect("well-formed abort");
+            }
+        }
+        self.active.remove(&txn);
+        self.waits.remove(&txn);
+        self.stats.aborted += 1;
+    }
+
+    /// Detect a deadlock reachable from `start` in the wait-for graph.
+    /// Returns the cycle's transactions if one exists.
+    pub fn find_deadlock(&self, start: TxnId) -> Option<Vec<TxnId>> {
+        // DFS from `start`; a path returning to a node on the stack is a
+        // cycle. Waits only exist for blocked transactions, so graphs are
+        // tiny.
+        fn dfs(
+            waits: &BTreeMap<TxnId, BTreeSet<TxnId>>,
+            node: TxnId,
+            stack: &mut Vec<TxnId>,
+            visited: &mut BTreeSet<TxnId>,
+        ) -> Option<Vec<TxnId>> {
+            if let Some(pos) = stack.iter().position(|t| *t == node) {
+                return Some(stack[pos..].to_vec());
+            }
+            if !visited.insert(node) {
+                return None;
+            }
+            stack.push(node);
+            if let Some(next) = waits.get(&node) {
+                for &n in next {
+                    if let Some(c) = dfs(waits, n, stack, visited) {
+                        return Some(c);
+                    }
+                }
+            }
+            stack.pop();
+            None
+        }
+        let mut stack = Vec::new();
+        let mut visited = BTreeSet::new();
+        dfs(&self.waits, start, &mut stack, &mut visited)
+    }
+
+    /// Clear `txn`'s wait-for edges (caller stopped waiting).
+    pub fn clear_wait(&mut self, txn: TxnId) {
+        self.waits.remove(&txn);
+    }
+
+    /// The serial state `txn` currently observes at `obj` (the engine's
+    /// realisation of the paper's `View` function) — for inspection and the
+    /// cross-crate view-equivalence tests.
+    pub fn view_state(&mut self, txn: TxnId, obj: ObjectId) -> Option<A::State> {
+        Some(self.objects.get_mut(&obj)?.engine.view_state(txn))
+    }
+
+    /// The committed state of `obj`.
+    pub fn committed_state(&mut self, obj: ObjectId) -> A::State {
+        self.objects
+            .get_mut(&obj)
+            .unwrap_or_else(|| panic!("no such object {obj}"))
+            .engine
+            .committed_state()
+    }
+
+    /// Currently active transactions.
+    pub fn active(&self) -> impl Iterator<Item = TxnId> + '_ {
+        self.active.iter().copied()
+    }
+
+    /// The recorded event history.
+    pub fn trace(&self) -> &History<A> {
+        &self.trace
+    }
+
+    /// Execution counters.
+    pub fn stats(&self) -> &SystemStats {
+        &self.stats
+    }
+
+    /// The conflict relation's display name.
+    pub fn conflict_name(&self) -> String {
+        self.conflict.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{DuEngine, UipEngine};
+    use ccr_adt::bank::{bank_nfc, bank_nrbc, BankAccount, BankInv, BankResp};
+    use ccr_core::atomicity::{check_dynamic_atomic, SystemSpec};
+    use ccr_core::conflict::FnConflict;
+
+    type UipSys = TxnSystem<BankAccount, UipEngine<BankAccount>, FnConflict<BankAccount>>;
+    type DuSys = TxnSystem<BankAccount, DuEngine<BankAccount>, FnConflict<BankAccount>>;
+
+    const X: ObjectId = ObjectId::SOLE;
+
+    #[test]
+    fn basic_commit_flow() {
+        let mut sys: UipSys = TxnSystem::new(BankAccount::default(), 1, bank_nrbc());
+        let t = sys.begin();
+        assert_eq!(sys.invoke(t, X, BankInv::Deposit(5)).unwrap(), BankResp::Ok);
+        assert_eq!(
+            sys.invoke(t, X, BankInv::Balance).unwrap(),
+            BankResp::Val(5)
+        );
+        sys.commit(t).unwrap();
+        assert_eq!(sys.committed_state(X), 5);
+        assert_eq!(sys.stats().committed, 1);
+    }
+
+    #[test]
+    fn uip_nrbc_allows_concurrent_withdrawals() {
+        // (withdraw_ok, withdraw_ok) ∉ NRBC: two withdrawals proceed
+        // concurrently under update-in-place.
+        let mut sys: UipSys = TxnSystem::new(BankAccount::default(), 1, bank_nrbc());
+        let setup = sys.begin();
+        sys.invoke(setup, X, BankInv::Deposit(10)).unwrap();
+        sys.commit(setup).unwrap();
+
+        let a = sys.begin();
+        let b = sys.begin();
+        assert_eq!(sys.invoke(a, X, BankInv::Withdraw(4)).unwrap(), BankResp::Ok);
+        assert_eq!(sys.invoke(b, X, BankInv::Withdraw(4)).unwrap(), BankResp::Ok);
+        sys.commit(a).unwrap();
+        sys.commit(b).unwrap();
+        assert_eq!(sys.committed_state(X), 2);
+    }
+
+    #[test]
+    fn du_nfc_blocks_concurrent_withdrawals() {
+        // (withdraw_ok, withdraw_ok) ∈ NFC: the second withdrawal blocks
+        // under deferred update.
+        let mut sys: DuSys = TxnSystem::new(BankAccount::default(), 1, bank_nfc());
+        let setup = sys.begin();
+        sys.invoke(setup, X, BankInv::Deposit(10)).unwrap();
+        sys.commit(setup).unwrap();
+
+        let a = sys.begin();
+        let b = sys.begin();
+        assert_eq!(sys.invoke(a, X, BankInv::Withdraw(4)).unwrap(), BankResp::Ok);
+        match sys.invoke(b, X, BankInv::Withdraw(4)) {
+            Err(TxnError::Blocked { on }) => assert_eq!(on, vec![a]),
+            other => panic!("expected block, got {other:?}"),
+        }
+        sys.commit(a).unwrap();
+        // After a's commit the lock is released and b can proceed.
+        assert_eq!(sys.invoke(b, X, BankInv::Withdraw(4)).unwrap(), BankResp::Ok);
+        sys.commit(b).unwrap();
+        assert_eq!(sys.committed_state(X), 2);
+    }
+
+    #[test]
+    fn du_nrbc_yields_incorrect_but_detected_executions() {
+        // Using UIP's relation under DU is exactly what Theorem 10 forbids:
+        // concurrent withdrawals both see the full balance; validation
+        // catches the second at commit.
+        let mut sys: DuSys = TxnSystem::new(BankAccount::default(), 1, bank_nrbc());
+        let setup = sys.begin();
+        sys.invoke(setup, X, BankInv::Deposit(5)).unwrap();
+        sys.commit(setup).unwrap();
+
+        let a = sys.begin();
+        let b = sys.begin();
+        assert_eq!(sys.invoke(a, X, BankInv::Withdraw(4)).unwrap(), BankResp::Ok);
+        assert_eq!(sys.invoke(b, X, BankInv::Withdraw(4)).unwrap(), BankResp::Ok);
+        sys.commit(a).unwrap();
+        assert_eq!(
+            sys.commit(b),
+            Err(TxnError::Aborted(AbortReason::Validation))
+        );
+        assert_eq!(sys.committed_state(X), 1);
+        // The committed trace is still atomic thanks to the forced abort.
+        let spec = SystemSpec::single(BankAccount::default());
+        assert!(check_dynamic_atomic(&spec, sys.trace()).is_ok());
+    }
+
+    #[test]
+    fn uip_abort_restores_state_for_others() {
+        let mut sys: UipSys = TxnSystem::new(BankAccount::default(), 1, bank_nrbc());
+        let a = sys.begin();
+        let b = sys.begin();
+        sys.invoke(a, X, BankInv::Deposit(5)).unwrap();
+        sys.invoke(b, X, BankInv::Deposit(3)).unwrap();
+        sys.abort(a).unwrap();
+        assert_eq!(sys.invoke(b, X, BankInv::Balance).unwrap(), BankResp::Val(3));
+        sys.commit(b).unwrap();
+        assert_eq!(sys.committed_state(X), 3);
+    }
+
+    #[test]
+    fn deadlock_detection_finds_cycles() {
+        // Two balance readers block two depositors crosswise over two
+        // objects.
+        let mut sys: UipSys = TxnSystem::new(BankAccount::default(), 2, bank_nrbc());
+        let y = ObjectId(1);
+        let a = sys.begin();
+        let b = sys.begin();
+        sys.invoke(a, X, BankInv::Balance).unwrap();
+        sys.invoke(b, y, BankInv::Balance).unwrap();
+        // (deposit, balance) ∈ NRBC: each deposit blocks on the other's read.
+        assert!(matches!(
+            sys.invoke(a, y, BankInv::Deposit(1)),
+            Err(TxnError::Blocked { .. })
+        ));
+        assert!(matches!(
+            sys.invoke(b, X, BankInv::Deposit(1)),
+            Err(TxnError::Blocked { .. })
+        ));
+        let cycle = sys.find_deadlock(b).expect("deadlock");
+        assert!(cycle.contains(&a) && cycle.contains(&b));
+        sys.abort_with(b, AbortReason::Deadlock).unwrap();
+        assert_eq!(sys.invoke(a, y, BankInv::Deposit(1)).unwrap(), BankResp::Ok);
+        sys.commit(a).unwrap();
+    }
+
+    #[test]
+    fn undefined_invocations_surface_as_no_legal_response() {
+        // deposit(0) has no transition (the paper requires i > 0).
+        let mut sys: UipSys = TxnSystem::new(BankAccount::default(), 1, bank_nrbc());
+        let t = sys.begin();
+        assert_eq!(
+            sys.invoke(t, X, BankInv::Deposit(0)),
+            Err(TxnError::NoLegalResponse)
+        );
+        // The transaction survives and can continue.
+        assert_eq!(sys.invoke(t, X, BankInv::Deposit(1)).unwrap(), BankResp::Ok);
+        sys.commit(t).unwrap();
+    }
+
+    #[test]
+    fn wound_wait_aborts_younger_holders() {
+        use super::ConflictPolicy;
+        let mut sys: UipSys = TxnSystem::new(BankAccount::default(), 1, bank_nrbc())
+            .with_policy(ConflictPolicy::WoundWait);
+        let setup = sys.begin();
+        sys.invoke(setup, X, BankInv::Deposit(10)).unwrap();
+        sys.commit(setup).unwrap();
+
+        let older = sys.begin();
+        let younger = sys.begin();
+        // The younger transaction takes a balance read (held op).
+        sys.invoke(younger, X, BankInv::Balance).unwrap();
+        // The older transaction's deposit conflicts with the held read:
+        // under wound-wait it wounds the younger holder and proceeds.
+        assert_eq!(
+            sys.invoke(older, X, BankInv::Deposit(1)).unwrap(),
+            BankResp::Ok
+        );
+        assert_eq!(sys.stats().wounds, 1);
+        // The younger transaction observes its abort on its next call.
+        assert_eq!(
+            sys.invoke(younger, X, BankInv::Balance),
+            Err(TxnError::Aborted(AbortReason::ConflictAbort))
+        );
+        sys.commit(older).unwrap();
+        assert_eq!(sys.committed_state(X), 11);
+    }
+
+    #[test]
+    fn no_wait_aborts_the_requester_immediately() {
+        use super::ConflictPolicy;
+        let mut sys: UipSys = TxnSystem::new(BankAccount::default(), 1, bank_nrbc())
+            .with_policy(ConflictPolicy::NoWait);
+        let a = sys.begin();
+        let b = sys.begin();
+        sys.invoke(a, X, BankInv::Balance).unwrap();
+        assert_eq!(
+            sys.invoke(b, X, BankInv::Deposit(1)),
+            Err(TxnError::Aborted(AbortReason::ConflictAbort))
+        );
+        assert_eq!(sys.stats().conflict_aborts, 1);
+        // The holder is untouched.
+        sys.commit(a).unwrap();
+    }
+
+    #[test]
+    fn wound_wait_younger_requesters_still_wait() {
+        use super::ConflictPolicy;
+        let mut sys: UipSys = TxnSystem::new(BankAccount::default(), 1, bank_nrbc())
+            .with_policy(ConflictPolicy::WoundWait);
+        let older = sys.begin();
+        let younger = sys.begin();
+        sys.invoke(older, X, BankInv::Balance).unwrap();
+        // Younger requester vs older holder: must block, not wound.
+        assert!(matches!(
+            sys.invoke(younger, X, BankInv::Deposit(1)),
+            Err(TxnError::Blocked { .. })
+        ));
+        assert_eq!(sys.stats().wounds, 0);
+    }
+
+    #[test]
+    fn trace_records_full_history() {
+        let mut sys: UipSys = TxnSystem::new(BankAccount::default(), 1, bank_nrbc());
+        let t = sys.begin();
+        sys.invoke(t, X, BankInv::Deposit(5)).unwrap();
+        sys.commit(t).unwrap();
+        let u = sys.begin();
+        sys.invoke(u, X, BankInv::Withdraw(9)).unwrap(); // refused: No
+        sys.abort(u).unwrap();
+        assert_eq!(sys.trace().len(), 6);
+        assert_eq!(sys.trace().committed().len(), 1);
+        assert_eq!(sys.trace().aborted().len(), 1);
+    }
+}

@@ -1,0 +1,297 @@
+//! A multi-threaded executor over [`TxnSystem`].
+//!
+//! Worker threads pull scripts from a shared queue and drive them against a
+//! mutex-protected system. Blocked invocations wait on a condvar that is
+//! signalled whenever any transaction completes (completion is what releases
+//! implicit locks). Deadlocks are detected while holding the manager lock:
+//! a blocked worker checks the wait-for graph and, if its own transaction is
+//! the youngest on a cycle, self-aborts and retries.
+//!
+//! The manager lock serialises bookkeeping, not transactions: waiting
+//! transactions release the lock, so the admitted interleavings are those of
+//! the conflict relation, which is what the experiments measure.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use ccr_core::adt::Adt;
+use ccr_core::conflict::Conflict;
+
+use crate::engine::RecoveryEngine;
+use crate::error::{AbortReason, TxnError};
+use crate::scheduler::RunReport;
+use crate::script::{Script, Step};
+use crate::system::TxnSystem;
+
+/// Threaded-executor configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ThreadedCfg {
+    /// Worker threads.
+    pub workers: usize,
+    /// Retries per script.
+    pub max_retries: usize,
+    /// Condvar wait slice (re-checks deadlock after each).
+    pub wait_slice: Duration,
+}
+
+impl Default for ThreadedCfg {
+    fn default() -> Self {
+        ThreadedCfg {
+            workers: 4,
+            max_retries: 64,
+            wait_slice: Duration::from_millis(5),
+        }
+    }
+}
+
+struct Shared<A: Adt, E: RecoveryEngine<A>, C: Conflict<A>> {
+    sys: Mutex<TxnSystem<A, E, C>>,
+    queue: Mutex<VecDeque<Box<dyn Script<A>>>>,
+    completed: Condvar,
+    tallies: Mutex<Tallies>,
+}
+
+#[derive(Default)]
+struct Tallies {
+    committed: u64,
+    voluntary_aborts: u64,
+    gave_up: u64,
+    deadlock_aborts: u64,
+    retries: u64,
+    blocked_ops: u64,
+}
+
+/// Run `scripts` over `sys` with `cfg.workers` threads; returns the report
+/// and the system (for trace/state inspection).
+pub fn run_threaded<A, E, C>(
+    sys: TxnSystem<A, E, C>,
+    scripts: Vec<Box<dyn Script<A>>>,
+    cfg: &ThreadedCfg,
+) -> (RunReport, TxnSystem<A, E, C>)
+where
+    A: Adt,
+    E: RecoveryEngine<A>,
+    C: Conflict<A> + Send + Sync,
+{
+    let shared = Arc::new(Shared {
+        sys: Mutex::new(sys),
+        queue: Mutex::new(scripts.into_iter().collect::<VecDeque<_>>()),
+        completed: Condvar::new(),
+        tallies: Mutex::new(Tallies::default()),
+    });
+
+    std::thread::scope(|scope| {
+        for _ in 0..cfg.workers.max(1) {
+            let shared = Arc::clone(&shared);
+            let cfg = *cfg;
+            scope.spawn(move || worker(&shared, &cfg));
+        }
+    });
+
+    let shared = Arc::try_unwrap(shared).unwrap_or_else(|_| unreachable!("workers joined"));
+    let sys = shared.sys.into_inner();
+    let t = shared.tallies.into_inner();
+    let report = RunReport {
+        committed: t.committed,
+        voluntary_aborts: t.voluntary_aborts,
+        gave_up: t.gave_up,
+        deadlock_aborts: t.deadlock_aborts,
+        validation_aborts: sys.stats().validation_aborts,
+        retries: t.retries,
+        admission_rounds: 0,
+        blocked_ops: t.blocked_ops,
+        rounds: 0,
+        wait_rounds: 0,
+        stats: sys.stats().clone(),
+    };
+    (report, sys)
+}
+
+fn worker<A, E, C>(shared: &Shared<A, E, C>, cfg: &ThreadedCfg)
+where
+    A: Adt,
+    E: RecoveryEngine<A>,
+    C: Conflict<A> + Send + Sync,
+{
+    loop {
+        let script = {
+            let mut q = shared.queue.lock();
+            match q.pop_front() {
+                Some(s) => s,
+                None => return,
+            }
+        };
+        drive(shared, cfg, script);
+    }
+}
+
+fn drive<A, E, C>(shared: &Shared<A, E, C>, cfg: &ThreadedCfg, mut script: Box<dyn Script<A>>)
+where
+    A: Adt,
+    E: RecoveryEngine<A>,
+    C: Conflict<A> + Send + Sync,
+{
+    let mut retries = 0usize;
+    'attempt: loop {
+        script.reset();
+        let mut last: Option<A::Response> = None;
+        let txn = shared.sys.lock().begin();
+        loop {
+            let step = script.next(last.as_ref());
+            match step {
+                Step::Invoke(obj, inv) => {
+                    let mut sys = shared.sys.lock();
+                    let mut first_attempt = true;
+                    loop {
+                        match sys.invoke(txn, obj, inv.clone()) {
+                            Ok(resp) => {
+                                last = Some(resp);
+                                break;
+                            }
+                            Err(TxnError::Blocked { .. }) => {
+                                if first_attempt {
+                                    shared.tallies.lock().blocked_ops += 1;
+                                    first_attempt = false;
+                                }
+                                // Deadlock check: self-abort if this txn is
+                                // the youngest on a cycle it belongs to.
+                                if let Some(cycle) = sys.find_deadlock(txn) {
+                                    let victim =
+                                        cycle.iter().copied().max().expect("non-empty cycle");
+                                    if victim == txn {
+                                        sys.abort_with(txn, AbortReason::Deadlock)
+                                            .expect("active");
+                                        shared.tallies.lock().deadlock_aborts += 1;
+                                        shared.completed.notify_all();
+                                        drop(sys);
+                                        retries += 1;
+                                        shared.tallies.lock().retries += 1;
+                                        if retries > cfg.max_retries {
+                                            shared.tallies.lock().gave_up += 1;
+                                            return;
+                                        }
+                                        continue 'attempt;
+                                    }
+                                    // Another worker owns the victim; fall
+                                    // through and wait for it to notice.
+                                }
+                                shared.completed.wait_for(&mut sys, cfg.wait_slice);
+                            }
+                            Err(TxnError::Aborted(_)) => {
+                                drop(sys);
+                                shared.completed.notify_all();
+                                retries += 1;
+                                shared.tallies.lock().retries += 1;
+                                if retries > cfg.max_retries {
+                                    shared.tallies.lock().gave_up += 1;
+                                    return;
+                                }
+                                continue 'attempt;
+                            }
+                            Err(e) => panic!("script error: {e}"),
+                        }
+                    }
+                }
+                Step::Commit => {
+                    let mut sys = shared.sys.lock();
+                    match sys.commit(txn) {
+                        Ok(()) => {
+                            drop(sys);
+                            shared.completed.notify_all();
+                            shared.tallies.lock().committed += 1;
+                            return;
+                        }
+                        Err(TxnError::Aborted(_)) => {
+                            drop(sys);
+                            shared.completed.notify_all();
+                            retries += 1;
+                            shared.tallies.lock().retries += 1;
+                            if retries > cfg.max_retries {
+                                shared.tallies.lock().gave_up += 1;
+                                return;
+                            }
+                            continue 'attempt;
+                        }
+                        Err(e) => panic!("commit error: {e}"),
+                    }
+                }
+                Step::Abort => {
+                    shared.sys.lock().abort(txn).expect("active");
+                    shared.completed.notify_all();
+                    shared.tallies.lock().voluntary_aborts += 1;
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{DuEngine, UipEngine};
+    use crate::script::OpsScript;
+    use ccr_adt::bank::{bank_nfc, bank_nrbc, BankAccount, BankInv};
+    use ccr_core::atomicity::{check_dynamic_atomic, SystemSpec};
+    use ccr_core::ids::ObjectId;
+
+    const X: ObjectId = ObjectId::SOLE;
+
+    fn scripts(n: usize) -> Vec<Box<dyn Script<BankAccount>>> {
+        (0..n)
+            .map(|_| {
+                Box::new(OpsScript::on(
+                    X,
+                    vec![BankInv::Deposit(2), BankInv::Withdraw(1)],
+                )) as Box<dyn Script<BankAccount>>
+            })
+            .collect()
+    }
+
+    #[test]
+    fn threaded_uip_commits_everything() {
+        let sys: TxnSystem<BankAccount, UipEngine<BankAccount>, _> =
+            TxnSystem::new(BankAccount::default(), 1, bank_nrbc());
+        let (report, mut sys) = run_threaded(sys, scripts(16), &ThreadedCfg::default());
+        assert_eq!(report.committed, 16);
+        assert_eq!(sys.committed_state(X), 16);
+        let spec = SystemSpec::single(BankAccount::default());
+        assert!(check_dynamic_atomic(&spec, sys.trace()).is_ok());
+    }
+
+    #[test]
+    fn threaded_du_commits_everything() {
+        let sys: TxnSystem<BankAccount, DuEngine<BankAccount>, _> =
+            TxnSystem::new(BankAccount::default(), 1, bank_nfc());
+        let (report, mut sys) = run_threaded(sys, scripts(16), &ThreadedCfg::default());
+        assert_eq!(report.committed, 16);
+        assert_eq!(sys.committed_state(X), 16);
+    }
+
+    #[test]
+    fn cross_object_deadlocks_resolve() {
+        // Balance-then-deposit crosswise over two objects (the deadlock
+        // pattern from the system tests), many times over.
+        let sys: TxnSystem<BankAccount, UipEngine<BankAccount>, _> =
+            TxnSystem::new(BankAccount::default(), 2, bank_nrbc());
+        let y = ObjectId(1);
+        let mut scripts: Vec<Box<dyn Script<BankAccount>>> = Vec::new();
+        for i in 0..8 {
+            let (first, second) = if i % 2 == 0 { (X, y) } else { (y, X) };
+            scripts.push(Box::new(OpsScript::new(vec![
+                (first, BankInv::Balance),
+                (second, BankInv::Deposit(1)),
+            ])));
+        }
+        let cfg = ThreadedCfg { workers: 4, ..Default::default() };
+        let (report, mut sys) = run_threaded(sys, scripts, &cfg);
+        assert_eq!(report.committed + report.gave_up, 8);
+        assert_eq!(report.gave_up, 0, "retries must eventually succeed");
+        let spec = SystemSpec::uniform(BankAccount::default(), 2);
+        assert!(check_dynamic_atomic(&spec, sys.trace()).is_ok());
+        let _ = sys.committed_state(X);
+    }
+}

@@ -1,0 +1,35 @@
+//! Regenerate every paper artifact and print the markdown report.
+//!
+//! ```text
+//! cargo run --release -p ccr-workload --bin ccr-experiments            # markdown
+//! cargo run --release -p ccr-workload --bin ccr-experiments -- --json # raw outcomes
+//! ```
+
+use ccr_workload::experiments;
+
+fn main() {
+    if std::env::args().any(|a| a == "--json") {
+        // Structured outcomes of the measurement experiments (the figure /
+        // theorem sections are exact reproductions with no free parameters,
+        // so they are omitted from the JSON form).
+        let mut outcomes = Vec::new();
+        let (fifo, pq, sq) = experiments::queues::outcomes();
+        outcomes.extend([fifo, pq, sq]);
+        for (typed, classical) in experiments::panorama::outcomes() {
+            outcomes.extend([typed, classical]);
+        }
+        for (_, typed, classical) in experiments::admission::sweep() {
+            outcomes.extend([typed, classical]);
+        }
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&outcomes).expect("outcomes serialise")
+        );
+        return;
+    }
+    println!("# ccr experiment report\n");
+    println!(
+        "Reproduction of Weihl, *The Impact of Recovery on Concurrency Control* (1989).\n"
+    );
+    print!("{}", experiments::run_all());
+}

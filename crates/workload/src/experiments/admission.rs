@@ -1,0 +1,114 @@
+//! **B5 — admission control resolves the thrash caveat.**
+//!
+//! B1 reported honestly that unthrottled NRBC locking thrashes on the mixed
+//! banking workload (bidirectional deposit/balance conflicts at high
+//! multiprogramming) while pessimistic 2PL self-serialises. The classical
+//! remedy is admission control; this experiment sweeps the multiprogramming
+//! level and shows thrash vanishing as MPL drops: on bidirectional-conflict
+//! mixes the MPL, not the conflict relation, dominates throughput — the
+//! typed relation's advantage lives on commuting workloads (B1, B4).
+
+use ccr_adt::bank::{bank_nrbc, BankAccount, BankInv};
+use ccr_adt::traits::RwConflict;
+use ccr_core::ids::ObjectId;
+use ccr_runtime::engine::UipEngine;
+
+use crate::gen::{banking, WorkloadCfg};
+use crate::harness::{run_config, HarnessCfg, Outcome};
+
+const MPLS: [usize; 5] = [1, 2, 4, 8, 0]; // 0 = unlimited
+
+fn w() -> WorkloadCfg {
+    WorkloadCfg { txns: 32, ops_per_txn: 3, objects: 1, hot_fraction: 1.0, seed: 17 }
+}
+
+/// `(mpl, typed outcome, classical outcome)` per sweep point.
+pub fn sweep() -> Vec<(usize, Outcome, Outcome)> {
+    let w = w();
+    let setup = vec![(ObjectId::SOLE, BankInv::Deposit(200))];
+    MPLS.iter()
+        .map(|&mpl| {
+            let cfg = HarnessCfg { seed: 29, mpl, ..Default::default() };
+            let typed = run_config::<BankAccount, UipEngine<BankAccount>, _>(
+                "UIP + NRBC",
+                "banking 70%",
+                BankAccount::default(),
+                1,
+                bank_nrbc(),
+                &setup,
+                banking(&w, 0.7),
+                &cfg,
+            );
+            let classical = run_config::<BankAccount, UipEngine<BankAccount>, _>(
+                "UIP + 2PL",
+                "banking 70%",
+                BankAccount::default(),
+                1,
+                RwConflict::new(BankAccount::default()),
+                &setup,
+                banking(&w, 0.7),
+                &cfg,
+            );
+            (mpl, typed, classical)
+        })
+        .collect()
+}
+
+/// Run and render.
+pub fn run() -> String {
+    let mut out = String::new();
+    out.push_str("## B5 — Admission control vs lock thrashing (MPL sweep)\n\n");
+    out.push_str(
+        "Mixed banking (70 % updates) on one hot account, 32 transactions, \
+         makespan in scheduler rounds (lower = higher throughput):\n\n",
+    );
+    out.push_str("| MPL | NRBC makespan | NRBC deadlocks | 2PL makespan | 2PL deadlocks |\n");
+    out.push_str("|---|---:|---:|---:|---:|\n");
+    for (mpl, typed, classical) in sweep() {
+        let label = if mpl == 0 { "∞".to_string() } else { mpl.to_string() };
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} |\n",
+            label, typed.rounds, typed.deadlock_aborts, classical.rounds, classical.deadlock_aborts
+        ));
+    }
+    out.push_str(
+        "\nThe sweep quantifies the caveat: on this conflict-dense mix the \
+         multiprogramming level, not the conflict relation, dominates — MPL 1–2 \
+         beats the unthrottled run by >2× for either relation, and deadlock churn \
+         falls with MPL (to zero at MPL 1). The typed relation's advantage lives \
+         on commuting workloads (B1, B4); on bidirectional-conflict mixes its \
+         extra admitted concurrency converts to deadlock retries instead of \
+         throughput unless throttled.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throttling_tames_the_thrash() {
+        let sweep = sweep();
+        let at = |mpl: usize| sweep.iter().find(|(m, _, _)| *m == mpl).unwrap();
+        let (_, typed_unltd, _) = at(0);
+        let (_, typed_m1, classical_m1) = at(1);
+        let (_, typed_m2, _) = at(2);
+        // All commit everywhere.
+        for (_, t, c) in &sweep {
+            assert_eq!(t.committed, 32, "typed commits at mpl sweep");
+            assert_eq!(c.committed, 32, "classical commits at mpl sweep");
+        }
+        // (a) MPL 1 is serial for either relation: zero deadlocks, equal
+        // makespans.
+        assert_eq!(typed_m1.deadlock_aborts, 0);
+        assert_eq!(classical_m1.deadlock_aborts, 0);
+        assert_eq!(typed_m1.rounds, classical_m1.rounds);
+        // (b) Deadlock churn shrinks with the MPL.
+        assert!(typed_unltd.deadlock_aborts > typed_m2.deadlock_aborts);
+        assert!(typed_m2.deadlock_aborts > typed_m1.deadlock_aborts);
+        // (c) Throttled runs beat the unthrottled one by a wide margin.
+        assert!(typed_m1.rounds * 2 < typed_unltd.rounds);
+        assert!(typed_m2.rounds * 2 < typed_unltd.rounds);
+    }
+}

@@ -1,0 +1,152 @@
+//! **E9 — why *local atomicity properties* matter (§3.4).**
+//!
+//! The paper: "if different objects use 'correct' but incompatible
+//! concurrency control methods, non-serializable executions can result."
+//! A local atomicity property fixes how objects *agree* on a serialization
+//! order; dynamic atomicity is one such property (and an optimal one).
+//!
+//! This experiment constructs the classic incompatibility witness over two
+//! bank accounts:
+//!
+//! * object X runs a **dynamic** protocol: it orders transactions by
+//!   completion (A commits at X before B reads A's deposit);
+//! * object Y runs a **static** (timestamp) protocol: it orders transactions
+//!   by pre-assigned timestamps, here `B < A` — so it happily lets A read
+//!   B's uncommitted deposit, because in timestamp order B precedes A.
+//!
+//! Each local history satisfies its own property — X's is dynamic atomic,
+//! Y's is *static atomic* (serializable in the timestamp order) — yet the
+//! global history is **not atomic**: X forces A before B, Y forces B before
+//! A. Mechanically we also show the fix: a dynamic-atomic object would have
+//! refused Y's read (the `I(Y, Spec, UIP, NRBC)` automaton rejects Y's local
+//! history at exactly that response).
+
+use ccr_adt::bank::{bank_nrbc, BankAccount, BankInv, BankResp};
+use ccr_core::atomicity::{
+    check_dynamic_atomic, is_atomic, serializable_in, SystemSpec,
+};
+use ccr_core::history::{Event, History};
+use ccr_core::ids::{ObjectId, TxnId};
+use ccr_core::object::ObjectAutomaton;
+use ccr_core::view::Uip;
+
+const A: TxnId = TxnId(0);
+const B: TxnId = TxnId(1);
+const X: ObjectId = ObjectId(0);
+const Y: ObjectId = ObjectId(1);
+
+/// Static atomicity: `permanent(h)` serializable in one fixed, pre-agreed
+/// order (here: a timestamp order) — the local property a timestamp-ordered
+/// object guarantees.
+pub fn is_static_atomic(
+    spec: &SystemSpec<BankAccount>,
+    h: &History<BankAccount>,
+    timestamp_order: &[TxnId],
+) -> bool {
+    serializable_in(spec, &h.permanent(), timestamp_order)
+}
+
+/// The incompatibility witness (timestamps: B before A).
+pub fn incompatible_history() -> History<BankAccount> {
+    let mut h = History::new();
+    let mut push = |e: Event<BankAccount>| h.push(e).expect("well-formed");
+    // At Y (timestamp-ordered): B deposits 5; A reads 5 *before* B commits —
+    // legal for Y because timestamp order already fixes B < A.
+    push(Event::Invoke { txn: B, obj: Y, inv: BankInv::Deposit(5) });
+    push(Event::Respond { txn: B, obj: Y, resp: BankResp::Ok });
+    push(Event::Invoke { txn: A, obj: Y, inv: BankInv::Balance });
+    push(Event::Respond { txn: A, obj: Y, resp: BankResp::Val(5) });
+    // At X (dynamic): A deposits 3 and commits; B reads it afterwards —
+    // the completion order fixes A < B.
+    push(Event::Invoke { txn: A, obj: X, inv: BankInv::Deposit(3) });
+    push(Event::Respond { txn: A, obj: X, resp: BankResp::Ok });
+    push(Event::Commit { txn: A, obj: X });
+    push(Event::Commit { txn: A, obj: Y });
+    push(Event::Invoke { txn: B, obj: X, inv: BankInv::Balance });
+    push(Event::Respond { txn: B, obj: X, resp: BankResp::Val(3) });
+    push(Event::Commit { txn: B, obj: X });
+    push(Event::Commit { txn: B, obj: Y });
+    h
+}
+
+/// Structured verdicts for the report and tests.
+pub struct LocalAtomicityVerdicts {
+    /// X's local history is dynamic atomic.
+    pub x_dynamic_atomic: bool,
+    /// Y's local history is static atomic in timestamp order B < A.
+    pub y_static_atomic: bool,
+    /// Y's local history is dynamic atomic (it must not be).
+    pub y_dynamic_atomic: bool,
+    /// The global history is atomic (it must not be).
+    pub global_atomic: bool,
+    /// A dynamic-atomic implementation of Y refuses the run (index of the
+    /// first rejected event in Y's local history).
+    pub y_rejected_by_dynamic_impl_at: Option<usize>,
+}
+
+/// Compute everything.
+pub fn verdicts() -> LocalAtomicityVerdicts {
+    let h = incompatible_history();
+    let spec = SystemSpec::uniform(BankAccount::default(), 2);
+    let hx = h.project_obj(X);
+    let hy = h.project_obj(Y);
+    let y_auto = ObjectAutomaton::new(BankAccount::default(), Uip, bank_nrbc(), Y);
+    LocalAtomicityVerdicts {
+        x_dynamic_atomic: check_dynamic_atomic(&spec, &hx).is_ok(),
+        y_static_atomic: is_static_atomic(&spec, &hy, &[B, A]),
+        y_dynamic_atomic: check_dynamic_atomic(&spec, &hy).is_ok(),
+        global_atomic: is_atomic(&spec, &h),
+        y_rejected_by_dynamic_impl_at: y_auto.accepts(&hy).err().map(|(i, _)| i),
+    }
+}
+
+/// Run and render.
+pub fn run() -> String {
+    let v = verdicts();
+    let mut out = String::new();
+    out.push_str("## E9 — Incompatible local protocols (§3.4)\n\n");
+    out.push_str(
+        "Two bank accounts: X orders transactions dynamically (by completion), \
+         Y statically (by timestamp, B < A). Each local history is correct for \
+         its own property; the system is not atomic:\n\n",
+    );
+    out.push_str(&format!(
+        "| verdict | value |\n|---|---|\n\
+         | X's local history dynamic atomic | {} |\n\
+         | Y's local history static atomic (order B-A) | {} |\n\
+         | Y's local history dynamic atomic | {} |\n\
+         | global history atomic | **{}** |\n\n",
+        v.x_dynamic_atomic, v.y_static_atomic, v.y_dynamic_atomic, v.global_atomic,
+    ));
+    out.push_str(&format!(
+        "The fix is a *shared* local atomicity property: a dynamic-atomic \
+         implementation of Y (`I(Y, Spec, UIP, NRBC)`) rejects Y's local history \
+         at event {:?} — A's read of the uncommitted deposit is exactly the \
+         response a commutativity-locked object refuses.\n",
+        v.y_rejected_by_dynamic_impl_at,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locally_correct_but_globally_broken() {
+        let v = verdicts();
+        assert!(v.x_dynamic_atomic, "X's protocol is locally correct");
+        assert!(v.y_static_atomic, "Y's protocol is locally correct for *its* property");
+        assert!(!v.y_dynamic_atomic, "…but Y is not dynamic atomic");
+        assert!(!v.global_atomic, "and the composition is not atomic");
+        // The dynamic implementation refuses A's balance read at Y (event
+        // index 3 of Y's local history: inv B-dep, resp, inv A-bal, RESP).
+        assert_eq!(v.y_rejected_by_dynamic_impl_at, Some(3));
+    }
+
+    #[test]
+    fn report_renders() {
+        let md = run();
+        assert!(md.contains("| global history atomic | **false** |"));
+    }
+}

@@ -1,0 +1,37 @@
+//! One module per paper artifact. Every experiment exposes a `run()`
+//! returning a markdown section (consumed by the `ccr-experiments` binary
+//! and recorded in `EXPERIMENTS.md`) plus structured accessors used by the
+//! integration tests.
+
+pub mod admission;
+pub mod baselines;
+pub mod figures;
+pub mod incomparability;
+pub mod local_atomicity;
+pub mod panorama;
+pub mod queues;
+pub mod theorems;
+pub mod worked_examples;
+
+/// Run every experiment and concatenate the markdown sections.
+pub fn run_all() -> String {
+    let mut out = String::new();
+    out.push_str(&figures::run());
+    out.push('\n');
+    out.push_str(&worked_examples::run());
+    out.push('\n');
+    out.push_str(&theorems::run());
+    out.push('\n');
+    out.push_str(&incomparability::run());
+    out.push('\n');
+    out.push_str(&local_atomicity::run());
+    out.push('\n');
+    out.push_str(&baselines::run());
+    out.push('\n');
+    out.push_str(&queues::run());
+    out.push('\n');
+    out.push_str(&panorama::run());
+    out.push('\n');
+    out.push_str(&admission::run());
+    out
+}

@@ -1,0 +1,174 @@
+//! **E7 / E8 — the paper's worked examples.**
+//!
+//! * E7 (§3.3–3.4): the interleaved bank history that is atomic and dynamic
+//!   atomic, serializable exactly in the order A-B-C; and the variant
+//!   (B's last response moved before A's commit) that is atomic but **not**
+//!   dynamic atomic.
+//! * E8 (§5): the `UIP(H, ·)` / `DU(H, ·)` view computations on the
+//!   deposit-then-withdraw history, showing DU hiding active transactions'
+//!   operations.
+
+use ccr_adt::bank::{BankAccount, BankInv, BankResp};
+#[cfg(test)]
+use ccr_adt::bank::ops;
+use ccr_core::atomicity::{check_dynamic_atomic, find_serialization, is_atomic, SystemSpec};
+use ccr_core::history::{Event, History};
+use ccr_core::ids::{ObjectId, TxnId};
+use ccr_core::view::{Du, Uip, ViewFn};
+
+const A: TxnId = TxnId(0);
+const B: TxnId = TxnId(1);
+const C: TxnId = TxnId(2);
+const BA: ObjectId = ObjectId::SOLE;
+
+/// The §3.3 history, transcribed event for event:
+///
+/// ```text
+/// <deposit(3), BA, A> <ok, BA, A>
+/// <withdraw(2), BA, B> <ok, BA, B>
+/// <balance, BA, A> <3, BA, A>
+/// <balance, BA, B>
+/// <commit, BA, A>
+/// <1, BA, B>
+/// <commit, BA, B>
+/// <withdraw(2), BA, C> <no, BA, C>
+/// <commit, BA, C>
+/// ```
+pub fn section_3_3_history() -> History<BankAccount> {
+    let mut h = History::new();
+    let mut push = |e: Event<BankAccount>| h.push(e).expect("well-formed");
+    push(Event::Invoke { txn: A, obj: BA, inv: BankInv::Deposit(3) });
+    push(Event::Respond { txn: A, obj: BA, resp: BankResp::Ok });
+    push(Event::Invoke { txn: B, obj: BA, inv: BankInv::Withdraw(2) });
+    push(Event::Respond { txn: B, obj: BA, resp: BankResp::Ok });
+    push(Event::Invoke { txn: A, obj: BA, inv: BankInv::Balance });
+    push(Event::Respond { txn: A, obj: BA, resp: BankResp::Val(3) });
+    push(Event::Invoke { txn: B, obj: BA, inv: BankInv::Balance });
+    push(Event::Commit { txn: A, obj: BA });
+    push(Event::Respond { txn: B, obj: BA, resp: BankResp::Val(1) });
+    push(Event::Commit { txn: B, obj: BA });
+    push(Event::Invoke { txn: C, obj: BA, inv: BankInv::Withdraw(2) });
+    push(Event::Respond { txn: C, obj: BA, resp: BankResp::No });
+    push(Event::Commit { txn: C, obj: BA });
+    h
+}
+
+/// The §3.4 variant: B's balance responds *before* A commits, so A and B are
+/// concurrent and the order B-A-C must also serialize — it does not.
+pub fn section_3_4_variant() -> History<BankAccount> {
+    let mut h = History::new();
+    let mut push = |e: Event<BankAccount>| h.push(e).expect("well-formed");
+    push(Event::Invoke { txn: A, obj: BA, inv: BankInv::Deposit(3) });
+    push(Event::Respond { txn: A, obj: BA, resp: BankResp::Ok });
+    push(Event::Invoke { txn: B, obj: BA, inv: BankInv::Withdraw(2) });
+    push(Event::Respond { txn: B, obj: BA, resp: BankResp::Ok });
+    push(Event::Invoke { txn: A, obj: BA, inv: BankInv::Balance });
+    push(Event::Respond { txn: A, obj: BA, resp: BankResp::Val(3) });
+    push(Event::Invoke { txn: B, obj: BA, inv: BankInv::Balance });
+    push(Event::Respond { txn: B, obj: BA, resp: BankResp::Val(1) });
+    push(Event::Commit { txn: A, obj: BA });
+    push(Event::Commit { txn: B, obj: BA });
+    push(Event::Invoke { txn: C, obj: BA, inv: BankInv::Withdraw(2) });
+    push(Event::Respond { txn: C, obj: BA, resp: BankResp::No });
+    push(Event::Commit { txn: C, obj: BA });
+    h
+}
+
+/// The §5 history: A deposits 5 and commits; B withdraws 3 and stays active.
+pub fn section_5_history() -> History<BankAccount> {
+    let mut h = History::new();
+    let mut push = |e: Event<BankAccount>| h.push(e).expect("well-formed");
+    push(Event::Invoke { txn: A, obj: BA, inv: BankInv::Deposit(5) });
+    push(Event::Respond { txn: A, obj: BA, resp: BankResp::Ok });
+    push(Event::Commit { txn: A, obj: BA });
+    push(Event::Invoke { txn: B, obj: BA, inv: BankInv::Withdraw(3) });
+    push(Event::Respond { txn: B, obj: BA, resp: BankResp::Ok });
+    h
+}
+
+/// Run the worked examples and render the verdicts.
+pub fn run() -> String {
+    let spec = SystemSpec::single(BankAccount::default());
+    let h = section_3_3_history();
+    let order = find_serialization(&spec, &h);
+    let da = check_dynamic_atomic(&spec, &h);
+    let variant = section_3_4_variant();
+    let variant_atomic = is_atomic(&spec, &variant);
+    let variant_da = check_dynamic_atomic(&spec, &variant);
+
+    let h5 = section_5_history();
+    let uip_b = <Uip as ViewFn<BankAccount>>::view(&Uip, &h5, BA, B);
+    let uip_c = <Uip as ViewFn<BankAccount>>::view(&Uip, &h5, BA, C);
+    let du_b = <Du as ViewFn<BankAccount>>::view(&Du, &h5, BA, B);
+    let du_c = <Du as ViewFn<BankAccount>>::view(&Du, &h5, BA, C);
+
+    let mut out = String::new();
+    out.push_str("## E7 — §3.3/§3.4 worked history\n\n");
+    out.push_str(&format!(
+        "The transcribed history is atomic with serialization order {:?} \
+         (paper: A-B-C) and dynamic atomic: **{}**.\n\n",
+        order,
+        da.is_ok()
+    ));
+    out.push_str(&format!(
+        "The §3.4 variant (B's response before A's commit) is atomic: **{variant_atomic}**, \
+         but dynamic atomic: **{}** (refuted by order {:?}; paper: B-A-C fails).\n\n",
+        variant_da.is_ok(),
+        variant_da.as_ref().err().map(|v| v.order.clone()).unwrap_or_default(),
+    ));
+    out.push_str("## E8 — §5 view computations\n\n");
+    out.push_str(&format!("`UIP(H, B)` = {uip_b:?} (paper: deposit(5)·withdraw(3))\n\n"));
+    out.push_str(&format!("`UIP(H, C)` = {uip_c:?} (same for every transaction)\n\n"));
+    out.push_str(&format!("`DU(H, B)`  = {du_b:?} (B sees its own operations)\n\n"));
+    out.push_str(&format!("`DU(H, C)`  = {du_c:?} (paper: deposit(5) only)\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccr_core::order::TxnOrder;
+
+    #[test]
+    fn section_3_3_is_atomic_in_order_abc_only() {
+        let spec = SystemSpec::single(BankAccount::default());
+        let h = section_3_3_history();
+        assert!(is_atomic(&spec, &h));
+        assert_eq!(find_serialization(&spec, &h), Some(vec![A, B, C]));
+        assert!(check_dynamic_atomic(&spec, &h).is_ok());
+        // precedes pins A before B before C, exactly as the paper argues.
+        let prec = TxnOrder::from_pairs(h.precedes());
+        assert!(prec.consistent(&[A, B, C]));
+        assert!(!prec.consistent(&[B, A, C]));
+    }
+
+    #[test]
+    fn section_3_4_variant_fails_dynamic_atomicity() {
+        let spec = SystemSpec::single(BankAccount::default());
+        let h = section_3_4_variant();
+        assert!(is_atomic(&spec, &h), "still atomic (A-B-C works)");
+        let v = check_dynamic_atomic(&spec, &h).unwrap_err();
+        assert_eq!(v.order[..2], [B, A], "refuted by an order starting B-A");
+    }
+
+    #[test]
+    fn section_5_views_match_paper() {
+        let h = section_5_history();
+        assert_eq!(
+            <Uip as ViewFn<BankAccount>>::view(&Uip, &h, BA, B),
+            vec![ops::deposit(5), ops::withdraw_ok(3)]
+        );
+        assert_eq!(
+            <Uip as ViewFn<BankAccount>>::view(&Uip, &h, BA, C),
+            vec![ops::deposit(5), ops::withdraw_ok(3)]
+        );
+        assert_eq!(
+            <Du as ViewFn<BankAccount>>::view(&Du, &h, BA, B),
+            vec![ops::deposit(5), ops::withdraw_ok(3)]
+        );
+        assert_eq!(
+            <Du as ViewFn<BankAccount>>::view(&Du, &h, BA, C),
+            vec![ops::deposit(5)]
+        );
+    }
+}

@@ -1,0 +1,20 @@
+//! # ccr-workload — workload generators, measurement harness and the
+//! paper-experiment drivers
+//!
+//! * [`gen`] — seeded workload generators: hot-spot banking, counters,
+//!   escrow accounts, producer/consumer queues and semiqueues, sets;
+//! * [`harness`] — run a workload under a named (recovery engine, conflict
+//!   relation) configuration and collect a serialisable [`harness::Outcome`]
+//!   (commits, blocks, deadlocks, validation aborts, retries, wall time,
+//!   and — for small runs — a dynamic-atomicity verdict on the full trace);
+//! * [`experiments`] — one module per paper artifact (Figures 6-1/6-2,
+//!   Theorems 9/10, the §6.4/§8 incomparability, the worked examples of
+//!   §3.3/§5) plus the concurrency comparisons; each renders a markdown
+//!   section consumed by `EXPERIMENTS.md` and the `ccr-experiments` binary.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod gen;
+pub mod harness;

@@ -1,0 +1,13 @@
+//! The paper's central claim, executed (E5): update-in-place and deferred
+//! update place *incomparable* constraints on concurrency control — each
+//! admits interleavings the other must forbid.
+//!
+//! ```text
+//! cargo run --release --example incomparability
+//! ```
+
+fn main() {
+    print!("{}", ccr::workload::experiments::incomparability::run());
+    println!();
+    print!("{}", ccr::workload::experiments::baselines::run());
+}

@@ -1,0 +1,11 @@
+//! Regenerate the paper's figures and worked examples (E1, E2, E7, E8).
+//!
+//! ```text
+//! cargo run --example paper_tables
+//! ```
+
+fn main() {
+    print!("{}", ccr::workload::experiments::figures::run());
+    println!();
+    print!("{}", ccr::workload::experiments::worked_examples::run());
+}

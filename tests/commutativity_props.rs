@@ -1,0 +1,194 @@
+//! Property tests for the core formal machinery (spec legality,
+//! equieffectiveness, commutativity) on the bank account.
+
+use ccr::adt::bank::{ops, BankAccount};
+use ccr::core::adt::Op;
+use ccr::core::commutativity::{commute_forward, right_commutes_backward};
+use ccr::core::equieffect::{equieffective, looks_like, InclusionCfg};
+use ccr::core::spec::{legal, legal_prefix_len, reach};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary bank operation with small parameters. Responses
+/// may be "wrong" (e.g. `withdraw → ok` at a low balance); legality filters
+/// them, which is exactly what we want to exercise.
+fn op_strategy() -> impl Strategy<Value = Op<BankAccount>> {
+    prop_oneof![
+        (1u64..=4).prop_map(ops::deposit),
+        (1u64..=4).prop_map(ops::withdraw_ok),
+        (1u64..=4).prop_map(ops::withdraw_no),
+        (0u64..=6).prop_map(ops::balance),
+    ]
+}
+
+fn seq_strategy(max: usize) -> impl Strategy<Value = Vec<Op<BankAccount>>> {
+    prop::collection::vec(op_strategy(), 0..max)
+}
+
+proptest! {
+    /// Spec membership is prefix-closed (the defining property of a serial
+    /// specification, §3.2).
+    #[test]
+    fn legality_is_prefix_closed(seq in seq_strategy(10)) {
+        let ba = BankAccount::default();
+        let n = legal_prefix_len(&ba, &seq);
+        for k in 0..=seq.len() {
+            prop_assert_eq!(legal(&ba, &seq[..k]), k <= n);
+        }
+    }
+
+    /// Reach-sets of the (deterministic) bank are at most singletons, and
+    /// the reached balance equals the arithmetic fold.
+    #[test]
+    fn reach_matches_arithmetic(seq in seq_strategy(10)) {
+        let ba = BankAccount::default();
+        let r = reach(&ba, &seq);
+        prop_assert!(r.states().len() <= 1);
+        if let Some(&balance) = r.states().first() {
+            let mut acc: i64 = 0;
+            for op in &seq {
+                match (&op.inv, &op.resp) {
+                    (ccr::adt::bank::BankInv::Deposit(i), ccr::adt::bank::BankResp::Ok) => {
+                        acc += *i as i64
+                    }
+                    (ccr::adt::bank::BankInv::Withdraw(i), ccr::adt::bank::BankResp::Ok) => {
+                        acc -= *i as i64
+                    }
+                    _ => {}
+                }
+            }
+            prop_assert_eq!(balance as i64, acc);
+        }
+    }
+
+    /// Lemma 3: *looks like* is transitive (checked on triples where the
+    /// premises hold).
+    #[test]
+    fn looks_like_is_transitive(
+        a in seq_strategy(5),
+        b in seq_strategy(5),
+        c in seq_strategy(5),
+    ) {
+        let ba = BankAccount::default();
+        let cfg = InclusionCfg::default();
+        if looks_like(&ba, &a, &b, cfg).holds() && looks_like(&ba, &b, &c, cfg).holds() {
+            prop_assert!(looks_like(&ba, &a, &c, cfg).holds());
+        }
+    }
+
+    /// Lemma 6: if α looks like β then αγ looks like βγ.
+    #[test]
+    fn looks_like_right_congruence(
+        a in seq_strategy(5),
+        b in seq_strategy(5),
+        g in seq_strategy(3),
+    ) {
+        let ba = BankAccount::default();
+        let cfg = InclusionCfg::default();
+        if looks_like(&ba, &a, &b, cfg).holds() {
+            let mut ag = a.clone();
+            ag.extend(g.iter().cloned());
+            let mut bg = b.clone();
+            bg.extend(g.iter().cloned());
+            prop_assert!(looks_like(&ba, &ag, &bg, cfg).holds());
+        }
+    }
+
+    /// *Looks like* is reflexive; equieffectiveness is reflexive and
+    /// symmetric (Lemmas 3 and 4).
+    #[test]
+    fn equieffective_is_reflexive_and_symmetric(
+        a in seq_strategy(6),
+        b in seq_strategy(6),
+    ) {
+        let ba = BankAccount::default();
+        let cfg = InclusionCfg::default();
+        prop_assert!(looks_like(&ba, &a, &a, cfg).holds());
+        let ab = equieffective(&ba, &a, &b, cfg).holds();
+        let ba_ = equieffective(&ba, &b, &a, cfg).holds();
+        prop_assert_eq!(ab, ba_);
+    }
+
+    /// Lemma 7: equieffectiveness is preserved by appending a common suffix.
+    #[test]
+    fn equieffective_right_congruence(
+        a in seq_strategy(5),
+        b in seq_strategy(5),
+        suffix in seq_strategy(3),
+    ) {
+        let ba = BankAccount::default();
+        let cfg = InclusionCfg::default();
+        if equieffective(&ba, &a, &b, cfg).holds() {
+            let mut a2 = a.clone();
+            a2.extend(suffix.iter().cloned());
+            let mut b2 = b.clone();
+            b2.extend(suffix.iter().cloned());
+            prop_assert!(equieffective(&ba, &a2, &b2, cfg).holds());
+        }
+    }
+
+    /// Lemma 8: forward commutativity is symmetric.
+    #[test]
+    fn fc_is_symmetric(p in op_strategy(), q in op_strategy()) {
+        let ba = BankAccount::default();
+        let cfg = InclusionCfg::default();
+        prop_assert_eq!(
+            commute_forward(&ba, &p, &q, cfg).is_ok(),
+            commute_forward(&ba, &q, &p, cfg).is_ok()
+        );
+    }
+
+    /// An RBC refutation witness really is a witness:
+    /// `α·Q·P·γ ∈ Spec ∧ α·P·Q·γ ∉ Spec`.
+    #[test]
+    fn rbc_witnesses_replay(p in op_strategy(), q in op_strategy()) {
+        let ba = BankAccount::default();
+        let cfg = InclusionCfg::default();
+        if let Err(f) = right_commutes_backward(&ba, &p, &q, cfg) {
+            let mut qp = f.prefix.clone();
+            qp.extend([q.clone(), p.clone()]);
+            qp.extend(f.continuation.iter().cloned());
+            prop_assert!(legal(&ba, &qp), "αQPγ must be legal");
+            let mut pq = f.prefix.clone();
+            pq.extend([p.clone(), q.clone()]);
+            pq.extend(f.continuation.iter().cloned());
+            prop_assert!(!legal(&ba, &pq), "αPQγ must be illegal");
+        }
+    }
+
+    /// An FC refutation witness replays: `αP, αQ ∈ Spec` and the failure
+    /// mode is real.
+    #[test]
+    fn fc_witnesses_replay(p in op_strategy(), q in op_strategy()) {
+        use ccr::core::commutativity::FcFailureKind;
+        let ba = BankAccount::default();
+        let cfg = InclusionCfg::default();
+        if let Err(f) = commute_forward(&ba, &p, &q, cfg) {
+            let mut ap = f.prefix.clone();
+            ap.push(p.clone());
+            prop_assert!(legal(&ba, &ap));
+            let mut aq = f.prefix.clone();
+            aq.push(q.clone());
+            prop_assert!(legal(&ba, &aq));
+            match &f.kind {
+                FcFailureKind::PqIllegal => {
+                    let mut pq = f.prefix.clone();
+                    pq.extend([p.clone(), q.clone()]);
+                    prop_assert!(!legal(&ba, &pq));
+                }
+                FcFailureKind::Distinguished { after_pq, continuation } => {
+                    let mut pq = f.prefix.clone();
+                    pq.extend([p.clone(), q.clone()]);
+                    pq.extend(continuation.iter().cloned());
+                    let mut qp = f.prefix.clone();
+                    qp.extend([q.clone(), p.clone()]);
+                    qp.extend(continuation.iter().cloned());
+                    if *after_pq {
+                        prop_assert!(legal(&ba, &pq) && !legal(&ba, &qp));
+                    } else {
+                        prop_assert!(legal(&ba, &qp) && !legal(&ba, &pq));
+                    }
+                }
+            }
+        }
+    }
+}

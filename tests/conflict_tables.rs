@@ -1,0 +1,201 @@
+//! Cross-crate verification that every ADT's hand-written conflict tables
+//! equal the relations computed from its specification — the public-API
+//! version of the reproduction of Figures 6-1/6-2, extended to the whole
+//! ADT library.
+
+use ccr::core::adt::{EnumerableAdt, Op, StateCover};
+use ccr::core::commutativity::{
+    build_tables_bounded, commute_forward, right_commutes_backward, PrefixCfg,
+};
+use ccr::core::conflict::{Conflict, FnConflict};
+use ccr::core::equieffect::InclusionCfg;
+
+fn verify<A: EnumerableAdt + StateCover>(
+    adt: &A,
+    grid: &[Op<A>],
+    nfc: &FnConflict<A>,
+    nrbc: &FnConflict<A>,
+) {
+    let cfg = InclusionCfg::default();
+    for p in grid {
+        for q in grid {
+            assert_eq!(
+                nfc.conflicts(p, q),
+                commute_forward(adt, p, q, cfg).is_err(),
+                "NFC mismatch for ({p:?}, {q:?})"
+            );
+            assert_eq!(
+                nrbc.conflicts(p, q),
+                right_commutes_backward(adt, p, q, cfg).is_err(),
+                "NRBC mismatch for ({p:?}, {q:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn bank_tables_match_over_a_wide_grid() {
+    use ccr::adt::bank::{bank_nfc, bank_nrbc, ops, BankAccount};
+    let adt = BankAccount { amounts: vec![1, 2, 3, 4] };
+    let mut grid = Vec::new();
+    for i in 1..=4 {
+        grid.push(ops::deposit(i));
+        grid.push(ops::withdraw_ok(i));
+        grid.push(ops::withdraw_no(i));
+    }
+    for v in 0..=5 {
+        grid.push(ops::balance(v));
+    }
+    verify(&adt, &grid, &bank_nfc(), &bank_nrbc());
+}
+
+#[test]
+fn escrow_tables_match_for_several_capacities() {
+    use ccr::adt::escrow::{escrow_nfc, escrow_nrbc, ops, EscrowAccount};
+    for cap in [3u64, 5, 7] {
+        let adt = EscrowAccount::new(cap, [1, 2]);
+        let mut grid = Vec::new();
+        for i in 1..=cap.min(3) {
+            grid.push(ops::credit_ok(i));
+            grid.push(ops::credit_no(i));
+            grid.push(ops::debit_ok(i));
+            grid.push(ops::debit_no(i));
+        }
+        verify(&adt, &grid, &escrow_nfc(), &escrow_nrbc());
+    }
+}
+
+#[test]
+fn queue_and_stack_tables_match() {
+    {
+        use ccr::adt::queue::{ops, queue_nfc, queue_nrbc, FifoQueue};
+        let adt = FifoQueue { values: vec![0, 1, 2] };
+        let grid = vec![
+            ops::enq(0),
+            ops::enq(1),
+            ops::enq(2),
+            ops::deq_got(0),
+            ops::deq_got(1),
+            ops::deq_empty(),
+        ];
+        verify(&adt, &grid, &queue_nfc(), &queue_nrbc());
+    }
+    {
+        use ccr::adt::stack::{ops, stack_nfc, stack_nrbc, Stack};
+        let adt = Stack { values: vec![0, 1, 2] };
+        let grid = vec![
+            ops::push(0),
+            ops::push(1),
+            ops::pop_got(0),
+            ops::pop_got(1),
+            ops::pop_empty(),
+        ];
+        verify(&adt, &grid, &stack_nfc(), &stack_nrbc());
+    }
+}
+
+#[test]
+fn semiqueue_tables_match_and_beat_the_queue() {
+    use ccr::adt::semiqueue::{ops, semiqueue_nfc, semiqueue_nrbc, Semiqueue};
+    let adt = Semiqueue { values: vec![0, 1] };
+    let grid = vec![
+        ops::enq(0),
+        ops::enq(1),
+        ops::deq_got(0),
+        ops::deq_got(1),
+        ops::deq_empty(),
+    ];
+    verify(&adt, &grid, &semiqueue_nfc(), &semiqueue_nrbc());
+
+    // The concurrency pay-off of specification non-determinism: strictly
+    // fewer conflicts than the FIFO queue over the analogous grid.
+    use ccr::adt::queue::{queue_nfc, queue_nrbc};
+    let count = |f: &dyn Fn(usize, usize) -> bool| {
+        (0..grid.len())
+            .flat_map(|i| (0..grid.len()).map(move |j| (i, j)))
+            .filter(|(i, j)| f(*i, *j))
+            .count()
+    };
+    let q_grid = [
+        ccr::adt::queue::ops::enq(0),
+        ccr::adt::queue::ops::enq(1),
+        ccr::adt::queue::ops::deq_got(0),
+        ccr::adt::queue::ops::deq_got(1),
+        ccr::adt::queue::ops::deq_empty(),
+    ];
+    let sq_nfc = semiqueue_nfc();
+    let sq_nrbc = semiqueue_nrbc();
+    let q_nfc = queue_nfc();
+    let q_nrbc = queue_nrbc();
+    let sq_nfc_n = count(&|i, j| sq_nfc.conflicts(&grid[i], &grid[j]));
+    let q_nfc_n = count(&|i, j| q_nfc.conflicts(&q_grid[i], &q_grid[j]));
+    let sq_nrbc_n = count(&|i, j| sq_nrbc.conflicts(&grid[i], &grid[j]));
+    let q_nrbc_n = count(&|i, j| q_nrbc.conflicts(&q_grid[i], &q_grid[j]));
+    assert!(sq_nfc_n < q_nfc_n, "semiqueue NFC {sq_nfc_n} vs queue {q_nfc_n}");
+    assert!(sq_nrbc_n < q_nrbc_n, "semiqueue NRBC {sq_nrbc_n} vs queue {q_nrbc_n}");
+}
+
+#[test]
+fn kv_and_register_tables_match() {
+    {
+        use ccr::adt::kv::{kv_nfc, kv_nrbc, ops, KvStore};
+        let adt = KvStore { keys: vec![0, 1], values: vec![0, 1] };
+        let grid = vec![
+            ops::put(0, 0),
+            ops::put(0, 1),
+            ops::get(0, None),
+            ops::get(0, Some(0)),
+            ops::get(0, Some(1)),
+            ops::del(0),
+            ops::put(1, 1),
+            ops::get(1, Some(1)),
+        ];
+        verify(&adt, &grid, &kv_nfc(), &kv_nrbc());
+    }
+    {
+        use ccr::adt::register::{ops, register_nfc, register_nrbc, RwRegister};
+        let adt = RwRegister { values: vec![0, 1, 2] };
+        let grid = vec![
+            ops::write(0),
+            ops::write(1),
+            ops::write(2),
+            ops::read(0),
+            ops::read(1),
+            ops::read(3),
+        ];
+        verify(&adt, &grid, &register_nfc(), &register_nrbc());
+    }
+}
+
+/// The two engines (state cover vs bounded prefix exploration) agree on a
+/// finite-state ADT — cross-validation of the decision procedures
+/// themselves.
+#[test]
+fn cover_and_bounded_engines_agree_on_escrow() {
+    use ccr::adt::escrow::{ops, EscrowAccount};
+    let adt = EscrowAccount::new(3, [1, 2]);
+    let grid = vec![
+        ops::credit_ok(1),
+        ops::credit_ok(2),
+        ops::credit_no(2),
+        ops::debit_ok(1),
+        ops::debit_no(2),
+    ];
+    let cfg = InclusionCfg::default();
+    let bounded = build_tables_bounded(&adt, &grid, &PrefixCfg::default());
+    assert!(bounded.exact, "escrow prefix space must close");
+    for (i, p) in grid.iter().enumerate() {
+        for (j, q) in grid.iter().enumerate() {
+            assert_eq!(
+                bounded.fc[i][j],
+                commute_forward(&adt, p, q, cfg).is_ok(),
+                "engines disagree on FC({p:?},{q:?})"
+            );
+            assert_eq!(
+                bounded.rbc[i][j],
+                right_commutes_backward(&adt, p, q, cfg).is_ok(),
+                "engines disagree on RBC({p:?},{q:?})"
+            );
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Money-conservation property: transfer transactions (withdraw here,
+//! deposit there; abort on refusal) never create or destroy money, under any
+//! engine, conflict relation, policy, schedule seed, or executor — the
+//! application-level face of atomicity.
+
+use ccr::adt::bank::{bank_nfc, bank_nrbc, BankAccount, BankInv, BankResp};
+use ccr::core::conflict::{Conflict, SymmetricClosure};
+use ccr::core::ids::ObjectId;
+use ccr::runtime::engine::{DuEngine, RecoveryEngine, UipEngine, UipInverseEngine};
+use ccr::runtime::scheduler::{run, SchedulerCfg};
+use ccr::runtime::script::{ConditionalScript, Script, Step};
+use ccr::runtime::threaded::{run_threaded, ThreadedCfg};
+use ccr::runtime::{ConflictPolicy, TxnSystem};
+use proptest::prelude::*;
+
+const ACCOUNTS: u32 = 3;
+const SEED_FUNDS: u64 = 20;
+
+/// Transfer 2 units from account `(k mod 3)` to `(k+1 mod 3)`; abort when
+/// the withdrawal is refused. All scripts share this decision function with
+/// the source/target rotated by the step-index trick, so four static
+/// variants cover the rotations.
+fn transfer(from: u32, to: u32) -> ConditionalScript<BankAccount> {
+    // ConditionalScript requires a fn pointer, so enumerate rotations.
+    match (from, to) {
+        (0, 1) => ConditionalScript::new(|pos, last| step(pos, last, 0, 1)),
+        (1, 2) => ConditionalScript::new(|pos, last| step(pos, last, 1, 2)),
+        (2, 0) => ConditionalScript::new(|pos, last| step(pos, last, 2, 0)),
+        _ => unreachable!("rotations only"),
+    }
+}
+
+fn step(pos: usize, last: Option<&BankResp>, from: u32, to: u32) -> Step<BankAccount> {
+    match pos {
+        0 => Step::Invoke(ObjectId(from), BankInv::Withdraw(2)),
+        1 => match last {
+            Some(BankResp::Ok) => Step::Invoke(ObjectId(to), BankInv::Deposit(2)),
+            _ => Step::Abort,
+        },
+        _ => Step::Commit,
+    }
+}
+
+fn scripts(n: usize) -> Vec<Box<dyn Script<BankAccount>>> {
+    (0..n)
+        .map(|i| {
+            let from = (i as u32) % ACCOUNTS;
+            let to = (from + 1) % ACCOUNTS;
+            Box::new(transfer(from, to)) as Box<dyn Script<BankAccount>>
+        })
+        .collect()
+}
+
+fn total<E, C>(sys: &mut TxnSystem<BankAccount, E, C>) -> u64
+where
+    E: RecoveryEngine<BankAccount>,
+    C: Conflict<BankAccount>,
+{
+    (0..ACCOUNTS).map(|i| sys.committed_state(ObjectId(i))).sum()
+}
+
+fn seed_funds<E, C>(sys: &mut TxnSystem<BankAccount, E, C>)
+where
+    E: RecoveryEngine<BankAccount>,
+    C: Conflict<BankAccount>,
+{
+    let t = sys.begin();
+    for i in 0..ACCOUNTS {
+        sys.invoke(t, ObjectId(i), BankInv::Deposit(SEED_FUNDS)).unwrap();
+    }
+    sys.commit(t).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn conservation_under_every_configuration(
+        seed in 0u64..10_000,
+        n in 1usize..10,
+        mpl in 0usize..4,
+    ) {
+        let cfg = SchedulerCfg { seed, mpl, ..Default::default() };
+
+        let mut sys: TxnSystem<BankAccount, UipEngine<BankAccount>, _> =
+            TxnSystem::new(BankAccount::default(), ACCOUNTS, bank_nrbc());
+        seed_funds(&mut sys);
+        run(&mut sys, scripts(n), &cfg);
+        prop_assert_eq!(total(&mut sys), SEED_FUNDS * ACCOUNTS as u64);
+
+        let mut sys: TxnSystem<BankAccount, UipInverseEngine<BankAccount>, _> =
+            TxnSystem::new(BankAccount::default(), ACCOUNTS, bank_nrbc())
+                .with_policy(ConflictPolicy::WoundWait);
+        seed_funds(&mut sys);
+        run(&mut sys, scripts(n), &cfg);
+        prop_assert_eq!(total(&mut sys), SEED_FUNDS * ACCOUNTS as u64);
+
+        let mut sys: TxnSystem<BankAccount, DuEngine<BankAccount>, _> =
+            TxnSystem::new(BankAccount::default(), ACCOUNTS, bank_nfc());
+        seed_funds(&mut sys);
+        run(&mut sys, scripts(n), &cfg);
+        prop_assert_eq!(total(&mut sys), SEED_FUNDS * ACCOUNTS as u64);
+
+        // Even the mismatched pairing conserves: validation aborts discard
+        // whole transactions, never halves of them (atomic commitment).
+        let mut sys: TxnSystem<BankAccount, DuEngine<BankAccount>, _> =
+            TxnSystem::new(BankAccount::default(), ACCOUNTS, SymmetricClosure(bank_nrbc()));
+        seed_funds(&mut sys);
+        run(&mut sys, scripts(n), &cfg);
+        prop_assert_eq!(total(&mut sys), SEED_FUNDS * ACCOUNTS as u64);
+    }
+}
+
+#[test]
+fn conservation_under_optimistic_execution() {
+    use ccr::runtime::optimistic::OptimisticSystem;
+    use ccr::runtime::TxnError;
+    let mut sys = OptimisticSystem::new(BankAccount::default(), ACCOUNTS, bank_nfc());
+    let t = sys.begin();
+    for i in 0..ACCOUNTS {
+        sys.invoke(t, ObjectId(i), BankInv::Deposit(SEED_FUNDS)).unwrap();
+    }
+    sys.commit(t).unwrap();
+
+    // Drive transfer scripts manually with retry-on-validation.
+    for mut script in scripts(24) {
+        let mut attempts = 0;
+        'retry: loop {
+            attempts += 1;
+            assert!(attempts < 100, "optimistic retry storm");
+            script.reset();
+            let txn = sys.begin();
+            let mut last = None;
+            loop {
+                match script.next(last.as_ref()) {
+                    Step::Invoke(obj, inv) => {
+                        last = Some(sys.invoke(txn, obj, inv).unwrap());
+                    }
+                    Step::Commit => match sys.commit(txn) {
+                        Ok(()) => break 'retry,
+                        Err(TxnError::Aborted(_)) => continue 'retry,
+                        Err(e) => panic!("{e}"),
+                    },
+                    Step::Abort => {
+                        sys.abort(txn).unwrap();
+                        break 'retry;
+                    }
+                }
+            }
+        }
+    }
+    let total: u64 = (0..ACCOUNTS).map(|i| sys.committed_state(ObjectId(i))).sum();
+    assert_eq!(total, SEED_FUNDS * ACCOUNTS as u64);
+}
+
+#[test]
+fn conservation_under_threads() {
+    for workers in [2usize, 4, 8] {
+        let mut sys: TxnSystem<BankAccount, UipEngine<BankAccount>, _> =
+            TxnSystem::new(BankAccount::default(), ACCOUNTS, bank_nrbc());
+        seed_funds(&mut sys);
+        let cfg = ThreadedCfg { workers, ..Default::default() };
+        let (report, mut sys) = run_threaded(sys, scripts(24), &cfg);
+        assert_eq!(report.committed + report.voluntary_aborts + report.gave_up, 24);
+        assert_eq!(total(&mut sys), SEED_FUNDS * ACCOUNTS as u64, "{workers} workers");
+    }
+}

@@ -1,0 +1,136 @@
+//! Theorems 9 and 10 swept across the ADT library — the characterisations
+//! are type-independent, so the boundary must hold for every specification,
+//! not just the paper's bank account.
+
+use ccr::core::adt::{EnumerableAdt, Op, StateCover};
+use ccr::core::conflict::{nfc_table, nrbc_table};
+use ccr::core::equieffect::InclusionCfg;
+use ccr::core::explore::ExploreCfg;
+use ccr::core::ids::{ObjectId, TxnId};
+use ccr::core::object::ObjectAutomaton;
+use ccr::core::theorems::{check_correctness, probe_du_boundary, probe_uip_boundary};
+use ccr::core::view::{Du, Uip};
+
+fn explore_cfg() -> ExploreCfg {
+    ExploreCfg {
+        txns: vec![TxnId(0), TxnId(1)],
+        max_ops_per_txn: 2,
+        max_total_ops: 2,
+        allow_aborts: true,
+        max_histories: 20_000,
+    }
+}
+
+/// Both directions of both theorems over the given ADT and operation grid.
+fn sweep<A: EnumerableAdt + StateCover>(adt: A, grid: Vec<Op<A>>) {
+    let cfg = InclusionCfg::default();
+    let nrbc = nrbc_table(&adt, &grid, cfg);
+    let nfc = nfc_table(&adt, &grid, cfg);
+
+    // If directions (bounded).
+    let uip = ObjectAutomaton::new(adt.clone(), Uip, nrbc.clone(), ObjectId::SOLE);
+    let r = check_correctness(&uip, &explore_cfg(), false);
+    assert!(r.correct(), "UIP+NRBC violated on {adt:?}: {:?}", r.violation);
+    let du = ObjectAutomaton::new(adt.clone(), Du, nfc.clone(), ObjectId::SOLE);
+    let r = check_correctness(&du, &explore_cfg(), false);
+    assert!(r.correct(), "DU+NFC violated on {adt:?}: {:?}", r.violation);
+
+    // Only-if: dropping any pair must be refuted by a verified
+    // counterexample.
+    for (p, q) in nrbc.pairs() {
+        let weakened = nrbc.without(&p, &q);
+        let v = probe_uip_boundary(&adt, &grid, &weakened, cfg)
+            .unwrap_or_else(|e| panic!("harness error on {adt:?}: {e:?}"));
+        assert!(
+            v.iter().any(|b| b.requested == p && b.held == q),
+            "dropping ({p:?},{q:?}) from NRBC must break UIP on {adt:?}"
+        );
+    }
+    for (p, q) in nfc.pairs() {
+        let weakened = nfc.without(&p, &q);
+        let v = probe_du_boundary(&adt, &grid, &weakened, cfg)
+            .unwrap_or_else(|e| panic!("harness error on {adt:?}: {e:?}"));
+        assert!(
+            v.iter().any(|b| b.requested == p && b.held == q),
+            "dropping ({p:?},{q:?}) from NFC must break DU on {adt:?}"
+        );
+    }
+}
+
+#[test]
+fn counter_boundary() {
+    use ccr::adt::counter::{Counter, CounterInv, CounterResp};
+    let grid = vec![
+        Op::new(CounterInv::Inc, CounterResp::Ok),
+        Op::new(CounterInv::Dec, CounterResp::Ok),
+        Op::new(CounterInv::Dec, CounterResp::No),
+        Op::new(CounterInv::Read, CounterResp::Val(0)),
+        Op::new(CounterInv::Read, CounterResp::Val(1)),
+    ];
+    sweep(Counter, grid);
+}
+
+#[test]
+fn escrow_boundary() {
+    use ccr::adt::escrow::{ops, EscrowAccount};
+    let adt = EscrowAccount::new(3, [1, 2]);
+    let grid = vec![
+        ops::credit_ok(1),
+        ops::credit_ok(2),
+        ops::credit_no(2),
+        ops::debit_ok(1),
+        ops::debit_ok(2),
+        ops::debit_no(2),
+    ];
+    sweep(adt, grid);
+}
+
+#[test]
+fn register_boundary() {
+    use ccr::adt::register::{ops, RwRegister};
+    let adt = RwRegister { values: vec![0, 1] };
+    let grid = vec![ops::write(0), ops::write(1), ops::read(0), ops::read(1)];
+    sweep(adt, grid);
+}
+
+#[test]
+fn semiqueue_boundary() {
+    use ccr::adt::semiqueue::{ops, Semiqueue};
+    let adt = Semiqueue { values: vec![0, 1] };
+    let grid = vec![
+        ops::enq(0),
+        ops::enq(1),
+        ops::deq_got(0),
+        ops::deq_got(1),
+        ops::deq_empty(),
+    ];
+    sweep(adt, grid);
+}
+
+#[test]
+fn maxreg_boundary() {
+    use ccr::adt::maxreg::{ops, MaxRegister};
+    let adt = MaxRegister { values: vec![0, 1, 2] };
+    let grid = vec![
+        ops::write_max(1),
+        ops::write_max(2),
+        ops::read(0),
+        ops::read(1),
+        ops::read(2),
+    ];
+    sweep(adt, grid);
+}
+
+#[test]
+fn pqueue_boundary() {
+    use ccr::adt::pqueue::{ops, PQueue};
+    let adt = PQueue { values: vec![0, 1] };
+    let grid = vec![
+        ops::insert(0),
+        ops::insert(1),
+        ops::extract_got(0),
+        ops::extract_got(1),
+        ops::extract_empty(),
+    ];
+    sweep(adt, grid);
+}
