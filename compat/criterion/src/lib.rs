@@ -1,0 +1,249 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the slice of criterion its benches use: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`] / `bench_with_input` / `sample_size` /
+//! `finish`, [`Bencher::iter`] / `iter_batched`, [`BenchmarkId`],
+//! [`black_box`], and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Deliberate simplification: no statistical analysis, warm-up tuning, or
+//! HTML reports. Each benchmark runs a short calibrated loop and prints the
+//! median per-iteration wall time. When the binary is executed by
+//! `cargo test` (which runs `harness = false` bench targets), the `--test`
+//! flag makes each routine run exactly once — a smoke test, not a timing
+//! run — so test suites stay fast.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting a
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How per-iteration setup cost is amortized in
+/// [`Bencher::iter_batched`]. Only the variants the workspace uses exist.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: one setup per routine invocation.
+    SmallInput,
+    /// Large inputs: identical behavior in this subset.
+    LargeInput,
+}
+
+/// A benchmark identifier: a function name plus a parameter rendering.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Anything usable as a benchmark name in `bench_function` /
+/// `bench_with_input`.
+pub trait IntoBenchmarkId {
+    /// Render to the printed identifier.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Drives timing for one benchmark routine.
+pub struct Bencher {
+    samples: u32,
+    /// Median per-iteration time, filled in by `iter`/`iter_batched`.
+    result: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, called in a loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let mut times = Vec::with_capacity(self.samples as usize);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            times.push(start.elapsed());
+        }
+        self.record(times);
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut times = Vec::with_capacity(self.samples as usize);
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            times.push(start.elapsed());
+        }
+        self.record(times);
+    }
+
+    fn record(&mut self, mut times: Vec<Duration>) {
+        times.sort_unstable();
+        self.result = times.get(times.len() / 2).copied();
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: u32,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = (n as u32).max(1);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<R>(&mut self, id: impl IntoBenchmarkId, routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        self.run(id.into_id(), routine);
+        self
+    }
+
+    /// Run one benchmark against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, R>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.into_id(), |b| routine(b, input));
+        self
+    }
+
+    fn run<R: FnMut(&mut Bencher)>(&mut self, id: String, mut routine: R) {
+        let samples = if self.criterion.smoke_test { 1 } else { self.sample_size };
+        let mut b = Bencher { samples, result: None };
+        routine(&mut b);
+        let shown = match b.result {
+            Some(t) => format!("{t:?}/iter"),
+            None => "no measurement".to_owned(),
+        };
+        println!("bench {}/{id}: {shown} ({samples} samples)", self.name);
+    }
+
+    /// Mark the group complete (reporting hook in the real crate).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    smoke_test: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` executes harness=false bench binaries with `--test`;
+        // run everything once so suites stay fast.
+        let smoke_test = std::env::args().any(|a| a == "--test");
+        Criterion { smoke_test }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 20 }
+    }
+
+    /// Builder no-op kept for API compatibility.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Collect benchmark functions into a named runner, like the real macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Produce `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fib(n: u64) -> u64 {
+        if n < 2 {
+            n
+        } else {
+            fib(n - 1) + fib(n - 2)
+        }
+    }
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(10);
+        g.bench_function("fib-10", |b| b.iter(|| fib(black_box(10))));
+        g.bench_with_input(BenchmarkId::new("fib", 12), &12u64, |b, &n| {
+            b.iter_batched(|| n, fib, BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_without_panicking() {
+        benches();
+    }
+}

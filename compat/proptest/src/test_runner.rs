@@ -1,0 +1,65 @@
+//! Test execution support: per-test configuration, case errors, and the
+//! deterministic per-test RNG.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for a `proptest!` block.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Base seed mixed with the test name to derive the case stream.
+    pub seed: u64,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, seed: 0x1CC2_5EED }
+    }
+}
+
+impl ProptestConfig {
+    /// Default configuration with a different case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..Default::default() }
+    }
+}
+
+/// A failed property within one generated case.
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failure carrying the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+
+    /// Alias for [`TestCaseError::fail`] matching the real crate's naming.
+    pub fn reject(message: impl Into<String>) -> Self {
+        Self::fail(message)
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// The RNG a named test's cases are drawn from: base seed xor an FNV-1a
+/// hash of the test name, so each test gets an independent, reproducible
+/// stream.
+pub fn rng_for(test_name: &str, base_seed: u64) -> StdRng {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01B3);
+    }
+    StdRng::seed_from_u64(base_seed ^ h)
+}

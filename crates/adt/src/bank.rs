@@ -343,15 +343,9 @@ mod tests {
         // Spec(BA) includes: deposit(5); withdraw(3) ok; balance 2;
         // withdraw(3) no.
         let ba = BankAccount::default();
-        assert!(legal(
-            &ba,
-            &[deposit(5), withdraw_ok(3), balance(2), withdraw_no(3)]
-        ));
+        assert!(legal(&ba, &[deposit(5), withdraw_ok(3), balance(2), withdraw_no(3)]));
         // ... but not the same sequence with the final withdrawal succeeding.
-        assert!(!legal(
-            &ba,
-            &[deposit(5), withdraw_ok(3), balance(2), withdraw_ok(3)]
-        ));
+        assert!(!legal(&ba, &[deposit(5), withdraw_ok(3), balance(2), withdraw_ok(3)]));
     }
 
     #[test]
@@ -415,8 +409,8 @@ mod tests {
             balance(1),
             balance(2),
         ];
-        use std::collections::HashMap;
         use ccr_core::conflict::Conflict;
+        use std::collections::HashMap;
         let nfc = bank_nfc();
         // Per-instance: the computed relation must equal the hand predicate.
         // Per-kind: a figure mark (x) means some instance pair of those kinds
@@ -434,9 +428,8 @@ mod tests {
                 if let Ok(e) = &computed {
                     assert!(e.exact, "verdict for ({p:?},{q:?}) must be exact");
                 }
-                let cell = any_conflict
-                    .entry((kind(p).unwrap(), kind(q).unwrap()))
-                    .or_insert(false);
+                let cell =
+                    any_conflict.entry((kind(p).unwrap(), kind(q).unwrap())).or_insert(false);
                 *cell |= computed.is_err();
             }
         }
@@ -464,8 +457,8 @@ mod tests {
             balance(0),
             balance(2),
         ];
-        use std::collections::HashMap;
         use ccr_core::conflict::Conflict;
+        use std::collections::HashMap;
         let nrbc = bank_nrbc();
         let mut any_conflict: HashMap<(BankOpKind, BankOpKind), bool> = HashMap::new();
         for p in &grid {
@@ -477,9 +470,8 @@ mod tests {
                     "RBC({p:?}, {q:?}): computed {:?} disagrees with the hand table",
                     computed.is_ok(),
                 );
-                let cell = any_conflict
-                    .entry((kind(p).unwrap(), kind(q).unwrap()))
-                    .or_insert(false);
+                let cell =
+                    any_conflict.entry((kind(p).unwrap(), kind(q).unwrap())).or_insert(false);
                 *cell |= computed.is_err();
             }
         }
@@ -532,10 +524,7 @@ mod tests {
                 assert_eq!(fc_by_kind(a, b), fc_by_kind(b, a));
             }
         }
-        assert_ne!(
-            rbc_by_kind(DepositOk, WithdrawOk),
-            rbc_by_kind(WithdrawOk, DepositOk)
-        );
+        assert_ne!(rbc_by_kind(DepositOk, WithdrawOk), rbc_by_kind(WithdrawOk, DepositOk));
     }
 
     #[test]

@@ -39,16 +39,12 @@ impl<A: Adt, B: Adt> Adt for SumAdt<A, B> {
 
     fn step(&self, s: &Self::State, inv: &Self::Invocation) -> Vec<(Self::Response, Self::State)> {
         match (self, s, inv) {
-            (SumAdt::Left(a), Either::L(s), Either::L(i)) => a
-                .step(s, i)
-                .into_iter()
-                .map(|(r, s2)| (Either::L(r), Either::L(s2)))
-                .collect(),
-            (SumAdt::Right(b), Either::R(s), Either::R(i)) => b
-                .step(s, i)
-                .into_iter()
-                .map(|(r, s2)| (Either::R(r), Either::R(s2)))
-                .collect(),
+            (SumAdt::Left(a), Either::L(s), Either::L(i)) => {
+                a.step(s, i).into_iter().map(|(r, s2)| (Either::L(r), Either::L(s2))).collect()
+            }
+            (SumAdt::Right(b), Either::R(s), Either::R(i)) => {
+                b.step(s, i).into_iter().map(|(r, s2)| (Either::R(r), Either::R(s2))).collect()
+            }
             _ => Vec::new(), // wrong side: not enabled
         }
     }
@@ -160,21 +156,12 @@ mod tests {
     #[test]
     fn each_side_behaves_as_its_inner_adt() {
         let bank: Mixed = SumAdt::Left(BankAccount::default());
-        let dep = Op::<Mixed>::new(
-            Either::L(BankInv::Deposit(5)),
-            Either::L(BankResp::Ok),
-        );
-        let bal = Op::<Mixed>::new(
-            Either::L(BankInv::Balance),
-            Either::L(BankResp::Val(5)),
-        );
+        let dep = Op::<Mixed>::new(Either::L(BankInv::Deposit(5)), Either::L(BankResp::Ok));
+        let bal = Op::<Mixed>::new(Either::L(BankInv::Balance), Either::L(BankResp::Val(5)));
         assert!(legal(&bank, &[dep.clone(), bal]));
 
         let q: Mixed = SumAdt::Right(FifoQueue::default());
-        let enq = Op::<Mixed>::new(
-            Either::R(QueueInv::Enq(1)),
-            Either::R(QueueResp::Ok),
-        );
+        let enq = Op::<Mixed>::new(Either::R(QueueInv::Enq(1)), Either::R(QueueResp::Ok));
         assert!(legal(&q, &[enq]));
         // A bank op against a queue object is never enabled.
         assert!(!legal(&q, &[dep]));
@@ -184,14 +171,8 @@ mod tests {
     fn sum_conflict_dispatches_per_side() {
         use ccr_core::conflict::Conflict;
         let c = SumConflict::new(crate::bank::bank_nrbc(), crate::queue::queue_nrbc());
-        let wok = Op::<Mixed>::new(
-            Either::L(BankInv::Withdraw(1)),
-            Either::L(BankResp::Ok),
-        );
-        let dep = Op::<Mixed>::new(
-            Either::L(BankInv::Deposit(1)),
-            Either::L(BankResp::Ok),
-        );
+        let wok = Op::<Mixed>::new(Either::L(BankInv::Withdraw(1)), Either::L(BankResp::Ok));
+        let dep = Op::<Mixed>::new(Either::L(BankInv::Deposit(1)), Either::L(BankResp::Ok));
         let enq = Op::<Mixed>::new(Either::R(QueueInv::Enq(1)), Either::R(QueueResp::Ok));
         assert!(c.conflicts(&wok, &dep), "bank NRBC applies on the left");
         assert!(!c.conflicts(&dep, &wok));
@@ -217,9 +198,6 @@ mod tests {
     #[test]
     fn alphabets_follow_the_side() {
         let bank: Mixed = SumAdt::Left(BankAccount::default());
-        assert!(bank
-            .invocations()
-            .iter()
-            .all(|i| matches!(i, Either::L(_))));
+        assert!(bank.invocations().iter().all(|i| matches!(i, Either::L(_))));
     }
 }

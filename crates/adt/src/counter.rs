@@ -84,11 +84,7 @@ impl StateCover for Counter {
     }
 
     fn reach_sequence(&self, state: &u64) -> Option<Vec<Op<Self>>> {
-        Some(
-            (0..*state)
-                .map(|_| Op::new(CounterInv::Inc, CounterResp::Ok))
-                .collect(),
-        )
+        Some((0..*state).map(|_| Op::new(CounterInv::Inc, CounterResp::Ok)).collect())
     }
 }
 

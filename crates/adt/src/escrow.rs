@@ -37,10 +37,7 @@ impl EscrowAccount {
     /// Create with the given capacity and alphabet amounts (each clamped
     /// into `1..=cap`).
     pub fn new(cap: u64, amounts: impl IntoIterator<Item = u64>) -> Self {
-        let amounts = amounts
-            .into_iter()
-            .map(|a| a.clamp(1, cap))
-            .collect();
+        let amounts = amounts.into_iter().map(|a| a.clamp(1, cap)).collect();
         EscrowAccount { cap, amounts }
     }
 }

@@ -141,12 +141,7 @@ impl StateCover for KvStore {
     }
 
     fn reach_sequence(&self, state: &BTreeMap<Key, Value>) -> Option<Vec<Op<Self>>> {
-        Some(
-            state
-                .iter()
-                .map(|(&k, &v)| Op::new(KvInv::Put(k, v), KvResp::Ok))
-                .collect(),
-        )
+        Some(state.iter().map(|(&k, &v)| Op::new(KvInv::Put(k, v), KvResp::Ok)).collect())
     }
 }
 

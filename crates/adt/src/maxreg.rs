@@ -119,14 +119,12 @@ impl RwClassify for MaxRegister {
 /// conflicts with a read of `u` (either order) iff `v > u` — a smaller or
 /// equal write is invisible to the read.
 pub fn maxreg_nfc() -> FnConflict<MaxRegister> {
-    FnConflict::new("maxreg-NFC", |p, q| {
-        match ((&p.inv, &p.resp), (&q.inv, &q.resp)) {
-            ((MaxInv::WriteMax(v), MaxResp::Ok), (MaxInv::Read, MaxResp::Val(u)))
-            | ((MaxInv::Read, MaxResp::Val(u)), (MaxInv::WriteMax(v), MaxResp::Ok)) => v > u,
-            ((MaxInv::WriteMax(_), MaxResp::Ok), (MaxInv::WriteMax(_), MaxResp::Ok))
-            | ((MaxInv::Read, MaxResp::Val(_)), (MaxInv::Read, MaxResp::Val(_))) => false,
-            _ => true,
-        }
+    FnConflict::new("maxreg-NFC", |p, q| match ((&p.inv, &p.resp), (&q.inv, &q.resp)) {
+        ((MaxInv::WriteMax(v), MaxResp::Ok), (MaxInv::Read, MaxResp::Val(u)))
+        | ((MaxInv::Read, MaxResp::Val(u)), (MaxInv::WriteMax(v), MaxResp::Ok)) => v > u,
+        ((MaxInv::WriteMax(_), MaxResp::Ok), (MaxInv::WriteMax(_), MaxResp::Ok))
+        | ((MaxInv::Read, MaxResp::Val(_)), (MaxInv::Read, MaxResp::Val(_))) => false,
+        _ => true,
     })
 }
 
@@ -135,16 +133,12 @@ pub fn maxreg_nfc() -> FnConflict<MaxRegister> {
 /// exactly `u` (the write may have produced the value read) — except `u = 0`,
 /// which the initial state already provides.
 pub fn maxreg_nrbc() -> FnConflict<MaxRegister> {
-    FnConflict::new("maxreg-NRBC", |p, q| {
-        match ((&p.inv, &p.resp), (&q.inv, &q.resp)) {
-            ((MaxInv::WriteMax(v), MaxResp::Ok), (MaxInv::Read, MaxResp::Val(u))) => v > u,
-            ((MaxInv::Read, MaxResp::Val(u)), (MaxInv::WriteMax(v), MaxResp::Ok)) => {
-                u == v && *v > 0
-            }
-            ((MaxInv::WriteMax(_), MaxResp::Ok), (MaxInv::WriteMax(_), MaxResp::Ok))
-            | ((MaxInv::Read, MaxResp::Val(_)), (MaxInv::Read, MaxResp::Val(_))) => false,
-            _ => true,
-        }
+    FnConflict::new("maxreg-NRBC", |p, q| match ((&p.inv, &p.resp), (&q.inv, &q.resp)) {
+        ((MaxInv::WriteMax(v), MaxResp::Ok), (MaxInv::Read, MaxResp::Val(u))) => v > u,
+        ((MaxInv::Read, MaxResp::Val(u)), (MaxInv::WriteMax(v), MaxResp::Ok)) => u == v && *v > 0,
+        ((MaxInv::WriteMax(_), MaxResp::Ok), (MaxInv::WriteMax(_), MaxResp::Ok))
+        | ((MaxInv::Read, MaxResp::Val(_)), (MaxInv::Read, MaxResp::Val(_))) => false,
+        _ => true,
     })
 }
 
@@ -199,15 +193,8 @@ mod tests {
     #[test]
     fn hand_tables_match_computed() {
         let m = MaxRegister { values: vec![0, 1, 2] };
-        let grid = vec![
-            write_max(0),
-            write_max(1),
-            write_max(2),
-            read(0),
-            read(1),
-            read(2),
-            read(3),
-        ];
+        let grid =
+            vec![write_max(0), write_max(1), write_max(2), read(0), read(1), read(2), read(3)];
         crate::verify::verify_hand_tables(&m, &grid, &maxreg_nfc(), &maxreg_nrbc());
     }
 }

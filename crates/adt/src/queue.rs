@@ -127,12 +127,7 @@ impl StateCover for FifoQueue {
     }
 
     fn reach_sequence(&self, state: &QueueState) -> Option<Vec<Op<Self>>> {
-        Some(
-            state
-                .iter()
-                .map(|&v| Op::new(QueueInv::Enq(v), QueueResp::Ok))
-                .collect(),
-        )
+        Some(state.iter().map(|&v| Op::new(QueueInv::Enq(v), QueueResp::Ok)).collect())
     }
 }
 

@@ -111,14 +111,12 @@ impl RwClassify for RwRegister {
 /// (either order) conflict iff the read is not the written value; read/read
 /// never.
 pub fn register_nfc() -> FnConflict<RwRegister> {
-    FnConflict::new("register-NFC", |p, q| {
-        match ((&p.inv, &p.resp), (&q.inv, &q.resp)) {
-            ((RegInv::Write(v1), RegResp::Ok), (RegInv::Write(v2), RegResp::Ok)) => v1 != v2,
-            ((RegInv::Write(v), RegResp::Ok), (RegInv::Read, RegResp::Val(u)))
-            | ((RegInv::Read, RegResp::Val(u)), (RegInv::Write(v), RegResp::Ok)) => u != v,
-            ((RegInv::Read, RegResp::Val(_)), (RegInv::Read, RegResp::Val(_))) => false,
-            _ => true,
-        }
+    FnConflict::new("register-NFC", |p, q| match ((&p.inv, &p.resp), (&q.inv, &q.resp)) {
+        ((RegInv::Write(v1), RegResp::Ok), (RegInv::Write(v2), RegResp::Ok)) => v1 != v2,
+        ((RegInv::Write(v), RegResp::Ok), (RegInv::Read, RegResp::Val(u)))
+        | ((RegInv::Read, RegResp::Val(u)), (RegInv::Write(v), RegResp::Ok)) => u != v,
+        ((RegInv::Read, RegResp::Val(_)), (RegInv::Read, RegResp::Val(_))) => false,
+        _ => true,
     })
 }
 
@@ -126,14 +124,12 @@ pub fn register_nfc() -> FnConflict<RwRegister> {
 /// pushed before the write — `(read v, write v)` conflicts while
 /// `(write v, read v)` does not.
 pub fn register_nrbc() -> FnConflict<RwRegister> {
-    FnConflict::new("register-NRBC", |p, q| {
-        match ((&p.inv, &p.resp), (&q.inv, &q.resp)) {
-            ((RegInv::Write(v1), RegResp::Ok), (RegInv::Write(v2), RegResp::Ok)) => v1 != v2,
-            ((RegInv::Write(v), RegResp::Ok), (RegInv::Read, RegResp::Val(u))) => u != v,
-            ((RegInv::Read, RegResp::Val(u)), (RegInv::Write(v), RegResp::Ok)) => u == v,
-            ((RegInv::Read, RegResp::Val(_)), (RegInv::Read, RegResp::Val(_))) => false,
-            _ => true,
-        }
+    FnConflict::new("register-NRBC", |p, q| match ((&p.inv, &p.resp), (&q.inv, &q.resp)) {
+        ((RegInv::Write(v1), RegResp::Ok), (RegInv::Write(v2), RegResp::Ok)) => v1 != v2,
+        ((RegInv::Write(v), RegResp::Ok), (RegInv::Read, RegResp::Val(u))) => u != v,
+        ((RegInv::Read, RegResp::Val(u)), (RegInv::Write(v), RegResp::Ok)) => u == v,
+        ((RegInv::Read, RegResp::Val(_)), (RegInv::Read, RegResp::Val(_))) => false,
+        _ => true,
     })
 }
 

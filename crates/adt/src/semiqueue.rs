@@ -293,10 +293,7 @@ mod tests {
         let s = Semiqueue::default();
         let bag: Bag = [(1, 2)].into_iter().collect();
         assert_eq!(s.undo(&bag, &enq(1)), Some([(1, 1)].into_iter().collect()));
-        assert_eq!(
-            s.undo(&bag, &deq_got(2)),
-            Some([(1, 2), (2, 1)].into_iter().collect())
-        );
+        assert_eq!(s.undo(&bag, &deq_got(2)), Some([(1, 2), (2, 1)].into_iter().collect()));
         assert_eq!(s.undo(&Bag::new(), &enq(1)), None);
     }
 }

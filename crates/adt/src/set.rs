@@ -139,12 +139,7 @@ impl StateCover for IntSet {
     }
 
     fn reach_sequence(&self, state: &BTreeSet<Elem>) -> Option<Vec<Op<Self>>> {
-        Some(
-            state
-                .iter()
-                .map(|&x| Op::new(SetInv::Insert(x), SetResp::Added))
-                .collect(),
-        )
+        Some(state.iter().map(|&x| Op::new(SetInv::Insert(x), SetResp::Added)).collect())
     }
 }
 
@@ -322,14 +317,8 @@ mod tests {
     fn undo_set_operations() {
         let s = IntSet::default();
         let st: BTreeSet<Elem> = [1, 2].into_iter().collect();
-        assert_eq!(
-            s.undo(&st, &insert_added(2)),
-            Some([1].into_iter().collect())
-        );
-        assert_eq!(
-            s.undo(&st, &remove_removed(3)),
-            Some([1, 2, 3].into_iter().collect())
-        );
+        assert_eq!(s.undo(&st, &insert_added(2)), Some([1].into_iter().collect()));
+        assert_eq!(s.undo(&st, &remove_removed(3)), Some([1, 2, 3].into_iter().collect()));
         assert_eq!(s.undo(&st, &insert_added(3)), None, "3 is not present");
     }
 

@@ -119,12 +119,7 @@ impl StateCover for Stack {
     }
 
     fn reach_sequence(&self, state: &Vec<Val>) -> Option<Vec<Op<Self>>> {
-        Some(
-            state
-                .iter()
-                .map(|&v| Op::new(StackInv::Push(v), StackResp::Ok))
-                .collect(),
-        )
+        Some(state.iter().map(|&v| Op::new(StackInv::Push(v), StackResp::Ok)).collect())
     }
 }
 

@@ -150,13 +150,7 @@ mod tests {
     fn queue_hand_tables_match_computed() {
         use crate::queue::ops::*;
         let adt = crate::queue::FifoQueue::default();
-        let grid = vec![
-            enq(0),
-            enq(1),
-            deq_got(0),
-            deq_got(1),
-            deq_empty(),
-        ];
+        let grid = vec![enq(0), enq(1), deq_got(0), deq_got(1), deq_empty()];
         verify_hand_tables(&adt, &grid, &crate::queue::queue_nfc(), &crate::queue::queue_nrbc());
     }
 
@@ -164,13 +158,7 @@ mod tests {
     fn stack_hand_tables_match_computed() {
         use crate::stack::ops::*;
         let adt = crate::stack::Stack::default();
-        let grid = vec![
-            push(0),
-            push(1),
-            pop_got(0),
-            pop_got(1),
-            pop_empty(),
-        ];
+        let grid = vec![push(0), push(1), pop_got(0), pop_got(1), pop_empty()];
         verify_hand_tables(&adt, &grid, &crate::stack::stack_nfc(), &crate::stack::stack_nrbc());
     }
 
@@ -178,13 +166,7 @@ mod tests {
     fn semiqueue_hand_tables_match_computed() {
         use crate::semiqueue::ops::*;
         let adt = crate::semiqueue::Semiqueue::default();
-        let grid = vec![
-            enq(0),
-            enq(1),
-            deq_got(0),
-            deq_got(1),
-            deq_empty(),
-        ];
+        let grid = vec![enq(0), enq(1), deq_got(0), deq_got(1), deq_empty()];
         verify_hand_tables(
             &adt,
             &grid,

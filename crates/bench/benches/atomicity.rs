@@ -18,10 +18,8 @@ fn history(txns: usize) -> History<BankAccount> {
         TxnSystem::new(BankAccount::default(), 1, bank_nrbc());
     let scripts: Vec<Box<dyn Script<BankAccount>>> = (0..txns)
         .map(|_| {
-            Box::new(OpsScript::on(
-                ObjectId::SOLE,
-                vec![BankInv::Deposit(2), BankInv::Withdraw(1)],
-            )) as Box<dyn Script<BankAccount>>
+            Box::new(OpsScript::on(ObjectId::SOLE, vec![BankInv::Deposit(2), BankInv::Withdraw(1)]))
+                as Box<dyn Script<BankAccount>>
         })
         .collect();
     let _ = run(&mut sys, scripts, &SchedulerCfg::default());

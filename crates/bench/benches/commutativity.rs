@@ -29,9 +29,7 @@ fn single_pair(c: &mut Criterion) {
         })
     });
     g.bench_function("rbc/deposit-withdraw (commutes)", |b| {
-        b.iter(|| {
-            right_commutes_backward(&ba, &ops::deposit(2), &ops::withdraw_ok(3), cfg).is_ok()
-        })
+        b.iter(|| right_commutes_backward(&ba, &ops::deposit(2), &ops::withdraw_ok(3), cfg).is_ok())
     });
     g.finish();
 }
@@ -56,12 +54,7 @@ fn figure_tables(c: &mut Criterion) {
     });
     g.bench_function("nfc+nrbc extraction (bank)", |b| {
         let ba = BankAccount::default();
-        let grid = vec![
-            ops::deposit(1),
-            ops::withdraw_ok(1),
-            ops::withdraw_no(1),
-            ops::balance(0),
-        ];
+        let grid = vec![ops::deposit(1), ops::withdraw_ok(1), ops::withdraw_no(1), ops::balance(0)];
         b.iter(|| {
             let nfc = nfc_table(&ba, &grid, cfg);
             let nrbc = nrbc_table(&ba, &grid, cfg);

@@ -15,11 +15,7 @@ use ccr_runtime::engine::{DuEngine, RecoveryEngine, UipEngine, UipInverseEngine}
 
 fn record<E: RecoveryEngine<BankAccount>>(e: &mut E, txn: TxnId, op: Op<BankAccount>) {
     let s = e.view_state(txn);
-    let post = BankAccount::default()
-        .apply(&s, &op)
-        .into_iter()
-        .next()
-        .expect("legal");
+    let post = BankAccount::default().apply(&s, &op).into_iter().next().expect("legal");
     e.record(txn, op, post);
 }
 
@@ -47,29 +43,25 @@ fn op_execution(c: &mut Criterion) {
 fn commit_cost(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine/commit");
     for ops_per_txn in [1usize, 8, 64] {
-        g.bench_with_input(
-            BenchmarkId::new("uip", ops_per_txn),
-            &ops_per_txn,
-            |b, &n| {
-                let mut next = 0u32;
-                b.iter_batched(
-                    || {
-                        let mut e = UipEngine::new(BankAccount::default(), ObjectId::SOLE);
-                        let t = TxnId(next);
-                        next += 1;
-                        for _ in 0..n {
-                            record(&mut e, t, ops::deposit(1));
-                        }
-                        (e, t)
-                    },
-                    |(mut e, t)| {
-                        e.prepare_commit(t).unwrap();
-                        e.commit(t);
-                    },
-                    criterion::BatchSize::SmallInput,
-                )
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("uip", ops_per_txn), &ops_per_txn, |b, &n| {
+            let mut next = 0u32;
+            b.iter_batched(
+                || {
+                    let mut e = UipEngine::new(BankAccount::default(), ObjectId::SOLE);
+                    let t = TxnId(next);
+                    next += 1;
+                    for _ in 0..n {
+                        record(&mut e, t, ops::deposit(1));
+                    }
+                    (e, t)
+                },
+                |(mut e, t)| {
+                    e.prepare_commit(t).unwrap();
+                    e.commit(t);
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
         g.bench_with_input(BenchmarkId::new("du", ops_per_txn), &ops_per_txn, |b, &n| {
             let mut next = 0u32;
             b.iter_batched(
@@ -98,42 +90,34 @@ fn commit_cost(c: &mut Criterion) {
 fn abort_cost(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine/abort-vs-log");
     for log in [4usize, 32, 128] {
-        g.bench_with_input(
-            BenchmarkId::new("uip-replay", log),
-            &log,
-            |b, &log| {
-                b.iter_batched(
-                    || {
-                        let mut e = UipEngine::new(BankAccount::default(), ObjectId::SOLE);
-                        record(&mut e, TxnId(0), ops::deposit(1));
-                        for i in 0..log {
-                            record(&mut e, TxnId(1 + (i as u32 % 4)), ops::deposit(1));
-                        }
-                        e
-                    },
-                    |mut e| e.abort(TxnId(0)).unwrap(),
-                    criterion::BatchSize::SmallInput,
-                )
-            },
-        );
-        g.bench_with_input(
-            BenchmarkId::new("uip-inverse", log),
-            &log,
-            |b, &log| {
-                b.iter_batched(
-                    || {
-                        let mut e = UipInverseEngine::new(BankAccount::default(), ObjectId::SOLE);
-                        record(&mut e, TxnId(0), ops::deposit(1));
-                        for i in 0..log {
-                            record(&mut e, TxnId(1 + (i as u32 % 4)), ops::deposit(1));
-                        }
-                        e
-                    },
-                    |mut e| e.abort(TxnId(0)).unwrap(),
-                    criterion::BatchSize::SmallInput,
-                )
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("uip-replay", log), &log, |b, &log| {
+            b.iter_batched(
+                || {
+                    let mut e = UipEngine::new(BankAccount::default(), ObjectId::SOLE);
+                    record(&mut e, TxnId(0), ops::deposit(1));
+                    for i in 0..log {
+                        record(&mut e, TxnId(1 + (i as u32 % 4)), ops::deposit(1));
+                    }
+                    e
+                },
+                |mut e| e.abort(TxnId(0)).unwrap(),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("uip-inverse", log), &log, |b, &log| {
+            b.iter_batched(
+                || {
+                    let mut e = UipInverseEngine::new(BankAccount::default(), ObjectId::SOLE);
+                    record(&mut e, TxnId(0), ops::deposit(1));
+                    for i in 0..log {
+                        record(&mut e, TxnId(1 + (i as u32 % 4)), ops::deposit(1));
+                    }
+                    e
+                },
+                |mut e| e.abort(TxnId(0)).unwrap(),
+                criterion::BatchSize::SmallInput,
+            )
+        });
         g.bench_with_input(BenchmarkId::new("du", log), &log, |b, &log| {
             b.iter_batched(
                 || {

@@ -23,8 +23,7 @@ where
     E: RecoveryEngine<BankAccount>,
     C: Conflict<BankAccount>,
 {
-    let mut sys: TxnSystem<BankAccount, E, C> =
-        TxnSystem::new(BankAccount::default(), 2, conflict);
+    let mut sys: TxnSystem<BankAccount, E, C> = TxnSystem::new(BankAccount::default(), 2, conflict);
     sys.set_record_trace(false);
     let t = sys.begin();
     for i in 0..2 {
@@ -43,23 +42,14 @@ fn hotspot(c: &mut Criterion) {
         ("deposit-only", deposit_only as fn(&WorkloadCfg) -> _),
         ("withdraw-heavy", withdraw_heavy as fn(&WorkloadCfg) -> _),
     ] {
-        g.bench_with_input(
-            BenchmarkId::new("uip-nrbc", wl_name),
-            &wl_name,
-            |b, _| b.iter(|| run_one::<UipEngine<BankAccount>, _>(bank_nrbc(), make(&cfg))),
-        );
-        g.bench_with_input(
-            BenchmarkId::new("uip-sym-nrbc", wl_name),
-            &wl_name,
-            |b, _| {
-                b.iter(|| {
-                    run_one::<UipEngine<BankAccount>, _>(
-                        SymmetricClosure(bank_nrbc()),
-                        make(&cfg),
-                    )
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("uip-nrbc", wl_name), &wl_name, |b, _| {
+            b.iter(|| run_one::<UipEngine<BankAccount>, _>(bank_nrbc(), make(&cfg)))
+        });
+        g.bench_with_input(BenchmarkId::new("uip-sym-nrbc", wl_name), &wl_name, |b, _| {
+            b.iter(|| {
+                run_one::<UipEngine<BankAccount>, _>(SymmetricClosure(bank_nrbc()), make(&cfg))
+            })
+        });
         g.bench_with_input(BenchmarkId::new("du-nfc", wl_name), &wl_name, |b, _| {
             b.iter(|| run_one::<DuEngine<BankAccount>, _>(bank_nfc(), make(&cfg)))
         });

@@ -48,8 +48,11 @@ pub trait Adt: Clone + fmt::Debug + Send + Sync + 'static {
     /// * empty ⇒ no operation with this invocation is enabled here
     ///   (partiality);
     /// * more than one entry ⇒ non-determinism.
-    fn step(&self, state: &Self::State, inv: &Self::Invocation)
-        -> Vec<(Self::Response, Self::State)>;
+    fn step(
+        &self,
+        state: &Self::State,
+        inv: &Self::Invocation,
+    ) -> Vec<(Self::Response, Self::State)>;
 
     /// Post-states of executing the *operation* `op` (invocation plus fixed
     /// response) in `state`. Empty means the operation is not legal here.
@@ -63,9 +66,7 @@ pub trait Adt: Clone + fmt::Debug + Send + Sync + 'static {
 
     /// Whether `op` is legal in `state`.
     fn enabled(&self, state: &Self::State, op: &Op<Self>) -> bool {
-        self.step(state, &op.inv)
-            .iter()
-            .any(|(resp, _)| *resp == op.resp)
+        self.step(state, &op.inv).iter().any(|(resp, _)| *resp == op.resp)
     }
 }
 

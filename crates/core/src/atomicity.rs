@@ -56,9 +56,7 @@ impl<A: Adt> SystemSpec<A> {
 
     /// The specification of `obj` (panics if absent — a programming error).
     pub fn adt(&self, obj: ObjectId) -> &A {
-        self.adts
-            .get(&obj)
-            .unwrap_or_else(|| panic!("no specification for object {obj}"))
+        self.adts.get(&obj).unwrap_or_else(|| panic!("no specification for object {obj}"))
     }
 
     /// The objects in the system.
@@ -69,9 +67,7 @@ impl<A: Adt> SystemSpec<A> {
     /// Whether the serial failure-free history `h` is acceptable: at every
     /// object, the operation sequence is legal (paper §3.3).
     pub fn acceptable(&self, h: &History<A>) -> bool {
-        h.objects()
-            .iter()
-            .all(|obj| crate::spec::legal(self.adt(*obj), &h.opseq_at(*obj)))
+        h.objects().iter().all(|obj| crate::spec::legal(self.adt(*obj), &h.opseq_at(*obj)))
     }
 }
 
@@ -102,10 +98,8 @@ pub fn find_serialization<A: Adt>(spec: &SystemSpec<A>, h: &History<A>) -> Optio
             ops.insert((t, obj), ht.opseq_at(obj));
         }
     }
-    let init: Vec<(ObjectId, ReachSet<A>)> = objects
-        .iter()
-        .map(|&obj| (obj, ReachSet::initial(spec.adt(obj))))
-        .collect();
+    let init: Vec<(ObjectId, ReachSet<A>)> =
+        objects.iter().map(|&obj| (obj, ReachSet::initial(spec.adt(obj)))).collect();
 
     fn rec<A: Adt>(
         spec: &SystemSpec<A>,
@@ -188,10 +182,8 @@ pub fn check_dynamic_atomic<A: Adt>(
         if serializable_in(spec, &permanent, order) {
             true
         } else {
-            violation = Some(DynAtomViolation {
-                commit_set: committed.clone(),
-                order: order.to_vec(),
-            });
+            violation =
+                Some(DynAtomViolation { commit_set: committed.clone(), order: order.to_vec() });
             false
         }
     });
@@ -254,6 +246,27 @@ pub fn check_dynamic_atomic_sampled<A: Adt, R: rand::Rng>(
     Ok(())
 }
 
+/// Check dynamic atomicity with an automatically chosen strategy: the
+/// exhaustive checker when at most `exhaustive_limit` transactions committed
+/// (its cost is factorial in the mutually concurrent committed transactions),
+/// the seeded sampler with `samples` random consistent orders otherwise.
+/// Deterministic: the same `(h, seed)` always examines the same orders.
+pub fn check_dynamic_atomic_auto<A: Adt>(
+    spec: &SystemSpec<A>,
+    h: &History<A>,
+    exhaustive_limit: usize,
+    samples: usize,
+    seed: u64,
+) -> Result<(), DynAtomViolation> {
+    if h.committed().len() <= exhaustive_limit {
+        check_dynamic_atomic(spec, h)
+    } else {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        check_dynamic_atomic_sampled(spec, h, samples, &mut rng)
+    }
+}
+
 /// Whether `h` is *online* dynamic atomic (paper §7): dynamic atomicity for
 /// every commit set. Exponential in the number of active transactions; meant
 /// for the bounded model-checking harness.
@@ -280,10 +293,8 @@ pub fn check_online_dynamic_atomic<A: Adt>(
             if serializable_in(spec, &hcs, order) {
                 true
             } else {
-                violation = Some(DynAtomViolation {
-                    commit_set: cs_vec.clone(),
-                    order: order.to_vec(),
-                });
+                violation =
+                    Some(DynAtomViolation { commit_set: cs_vec.clone(), order: order.to_vec() });
                 false
             }
         });
@@ -485,6 +496,22 @@ mod tests {
         let h = b.build();
         let mut rng = StdRng::seed_from_u64(3);
         assert!(check_dynamic_atomic_sampled(&s, &h, 100, &mut rng).is_ok());
+    }
+
+    #[test]
+    fn auto_checker_matches_exhaustive_and_sampled() {
+        let s = spec();
+        let bad = HistoryBuilder::new(None)
+            .op(T(0), X, CInv::Inc, CResp::Ok)
+            .op(T(1), X, CInv::Read, CResp::Val(1))
+            .commit(T(0), X)
+            .commit(T(1), X)
+            .build();
+        // Below the limit: exhaustive, deterministic refutation.
+        assert!(check_dynamic_atomic_auto(&s, &bad, 8, 0, 0).is_err());
+        // Above the limit: the sampler takes over (64 samples find the 2-txn
+        // refutation with overwhelming probability at any seed).
+        assert!(check_dynamic_atomic_auto(&s, &bad, 1, 64, 7).is_err());
     }
 
     #[test]

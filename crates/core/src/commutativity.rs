@@ -32,7 +32,9 @@
 use std::collections::HashSet;
 
 use crate::adt::{Adt, EnumerableAdt, Op, StateCover};
-use crate::equieffect::{equieffective_sets, language_included, Equieffect, Inclusion, InclusionCfg};
+use crate::equieffect::{
+    equieffective_sets, language_included, Equieffect, Inclusion, InclusionCfg,
+};
 use crate::spec::ReachSet;
 
 /// Why a pair of operations fails to commute forward.
@@ -153,9 +155,8 @@ pub fn commute_forward<A: EnumerableAdt + StateCover>(
     for s in adt.state_cover(&[p.clone(), q.clone()]) {
         let r = ReachSet::singleton(s.clone());
         if let Some(kind) = fc_at(adt, &r, p, q, cfg, &mut exact) {
-            let prefix = adt
-                .reach_sequence(&s)
-                .expect("state_cover must contain only reachable states");
+            let prefix =
+                adt.reach_sequence(&s).expect("state_cover must contain only reachable states");
             return Err(FcFailure { prefix, kind });
         }
     }
@@ -173,9 +174,8 @@ pub fn right_commutes_backward<A: EnumerableAdt + StateCover>(
     for s in adt.state_cover(&[p.clone(), q.clone()]) {
         let r = ReachSet::singleton(s.clone());
         if let Some(continuation) = rbc_at(adt, &r, p, q, cfg, &mut exact) {
-            let prefix = adt
-                .reach_sequence(&s)
-                .expect("state_cover must contain only reachable states");
+            let prefix =
+                adt.reach_sequence(&s).expect("state_cover must contain only reachable states");
             return Err(RbcFailure { prefix, continuation });
         }
     }
@@ -204,10 +204,7 @@ type PrefixPoint<A> = (ReachSet<A>, Vec<Op<A>>);
 
 /// All prefix reach-sets (with a representative prefix each) reachable over
 /// the ADT's alphabet within the budget. Returns `(sets, closed)`.
-fn prefix_reach_sets<A: EnumerableAdt>(
-    adt: &A,
-    cfg: &PrefixCfg,
-) -> (Vec<PrefixPoint<A>>, bool) {
+fn prefix_reach_sets<A: EnumerableAdt>(adt: &A, cfg: &PrefixCfg) -> (Vec<PrefixPoint<A>>, bool) {
     let alphabet = adt.invocations();
     let mut out: Vec<PrefixPoint<A>> = Vec::new();
     let mut visited: HashSet<ReachSet<A>> = HashSet::new();
@@ -410,8 +407,7 @@ pub fn build_tables_bounded<A: EnumerableAdt>(
                 if fc_ok && fc_at(adt, r, &ops[i], &ops[j], cfg.inclusion, &mut exact).is_some() {
                     fc_ok = false;
                 }
-                if rbc_ok && rbc_at(adt, r, &ops[i], &ops[j], cfg.inclusion, &mut exact).is_some()
-                {
+                if rbc_ok && rbc_at(adt, r, &ops[i], &ops[j], cfg.inclusion, &mut exact).is_some() {
                     rbc_ok = false;
                 }
                 if !fc_ok && !rbc_ok {
@@ -452,10 +448,7 @@ mod tests {
         // withdraw/withdraw).
         let c = plain(5);
         let v = commute_forward(&c, &dec_ok(), &dec_ok(), CFG);
-        assert!(matches!(
-            v,
-            Err(FcFailure { kind: FcFailureKind::PqIllegal, .. })
-        ));
+        assert!(matches!(v, Err(FcFailure { kind: FcFailureKind::PqIllegal, .. })));
     }
 
     #[test]

@@ -11,9 +11,7 @@
 use std::collections::HashSet;
 
 use crate::adt::{Adt, EnumerableAdt, Op, StateCover};
-use crate::commutativity::{
-    commute_forward, right_commutes_backward, CommutativityTable,
-};
+use crate::commutativity::{commute_forward, right_commutes_backward, CommutativityTable};
 use crate::equieffect::InclusionCfg;
 
 /// A conflict relation on operations: the essential variable in
@@ -74,10 +72,7 @@ impl<A: Adt> TableConflict<A> {
     /// Build from explicit conflicting pairs.
     pub fn new(name: impl Into<String>, alphabet: Vec<Op<A>>, pairs: &[(Op<A>, Op<A>)]) -> Self {
         let index = |op: &Op<A>| alphabet.iter().position(|o| o == op);
-        let pairs = pairs
-            .iter()
-            .filter_map(|(p, q)| Some((index(p)?, index(q)?)))
-            .collect();
+        let pairs = pairs.iter().filter_map(|(p, q)| Some((index(p)?, index(q)?))).collect();
         TableConflict { name: name.into(), alphabet, pairs }
     }
 
@@ -322,10 +317,12 @@ mod tests {
         let nfc = nfc_table(&c, &alphabet(), cfg);
         let nrbc = nrbc_table(&c, &alphabet(), cfg);
         // FC symmetric ⇒ NFC symmetric.
-        assert!(nfc.contains(&nfc.symmetric_closure()) || {
-            // equivalent statement: closure adds nothing
-            nfc.symmetric_closure().density() == nfc.density()
-        });
+        assert!(
+            nfc.contains(&nfc.symmetric_closure()) || {
+                // equivalent statement: closure adds nothing
+                nfc.symmetric_closure().density() == nfc.density()
+            }
+        );
         // NRBC is not symmetric on the saturating counter: (inc, dec_ok) ∈
         // NRBC (see commutativity tests) — and (dec_ok, inc) ∈ NRBC as well
         // there; use read pairs instead: (read(1), inc) ∈ NRBC but

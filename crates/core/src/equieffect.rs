@@ -112,13 +112,8 @@ pub fn language_included<A: EnumerableAdt>(
         op: Option<Op<A>>,
         depth: usize,
     }
-    let mut nodes: Vec<Node<A>> = vec![Node {
-        lhs: lhs.clone(),
-        rhs: rhs.clone(),
-        parent: 0,
-        op: None,
-        depth: 0,
-    }];
+    let mut nodes: Vec<Node<A>> =
+        vec![Node { lhs: lhs.clone(), rhs: rhs.clone(), parent: 0, op: None, depth: 0 }];
     let mut visited: HashSet<(ReachSet<A>, ReachSet<A>)> = HashSet::new();
     visited.insert((lhs.clone(), rhs.clone()));
     let mut frontier = std::collections::VecDeque::from([0usize]);
@@ -312,10 +307,13 @@ mod tests {
         let c = plain(3);
         let three = vec![inc(), inc(), inc()];
         let v1 = looks_like(&c, &three, &[], InclusionCfg::default());
-        assert!(!v1.holds(), "state 3 allows dec;dec;dec;dec_no? no — dec_no only at 0; \
+        assert!(
+            !v1.holds(),
+            "state 3 allows dec;dec;dec;dec_no? no — dec_no only at 0; \
                  but inc is illegal at 3 and legal at 0, so inclusion should fail? \
                  Futures of 3 ⊆ futures of 0? dec,dec,dec,dec_no legal from 3, \
-                 from 0 the first dec_ok is illegal → fails");
+                 from 0 the first dec_ok is illegal → fails"
+        );
         let v2 = looks_like(&c, &[], &three, InclusionCfg::default());
         assert!(!v2.holds(), "inc legal from 0, illegal from 3");
     }
@@ -355,12 +353,7 @@ mod tests {
         // With a tiny pair budget on a chaotic ADT the exploration truncates.
         let c = chaotic(4);
         let cfg = InclusionCfg { max_depth: 1, max_pairs: 2 };
-        let v = language_included(
-            &c,
-            &ReachSet::singleton(0),
-            &ReachSet::singleton(0),
-            cfg,
-        );
+        let v = language_included(&c, &ReachSet::singleton(0), &ReachSet::singleton(0), cfg);
         // Identical sets: no failure possible, but depth bound truncates.
         assert!(v.holds());
     }

@@ -103,8 +103,8 @@ where
     let aborted = h.aborted();
     // Count pending invocations toward the budget so responses cannot push a
     // history past `max_total_ops`.
-    let total_ops = h.opseq().len()
-        + cfg.txns.iter().filter(|t| h.pending_invocation(**t).is_some()).count();
+    let total_ops =
+        h.opseq().len() + cfg.txns.iter().filter(|t| h.pending_invocation(**t).is_some()).count();
 
     for &txn in &cfg.txns {
         if committed.contains(&txn) || aborted.contains(&txn) {
@@ -216,8 +216,8 @@ where
     }
     let committed = h.committed();
     let aborted = h.aborted();
-    let total_ops = h.opseq().len()
-        + cfg.txns.iter().filter(|t| h.pending_invocation(**t).is_some()).count();
+    let total_ops =
+        h.opseq().len() + cfg.txns.iter().filter(|t| h.pending_invocation(**t).is_some()).count();
 
     for &txn in &cfg.txns {
         if committed.contains(&txn) || aborted.contains(&txn) {
@@ -250,8 +250,7 @@ where
                 if my_ops < cfg.max_ops_per_txn && total_ops < cfg.max_total_ops {
                     for automaton in automata {
                         for inv in automaton.adt().invocations() {
-                            h.push(Event::Invoke { txn, obj: automaton.obj(), inv })
-                                .expect("wf");
+                            h.push(Event::Invoke { txn, obj: automaton.obj(), inv }).expect("wf");
                             let go = sys_rec(automata, cfg, h, visit, stats);
                             pop(h);
                             if !go {
@@ -263,11 +262,7 @@ where
                 if my_ops > 0 {
                     // Atomic commitment: commit at every touched object, in
                     // object order (one commit event per object).
-                    let touched: Vec<_> = h
-                        .project_txn(txn)
-                        .objects()
-                        .into_iter()
-                        .collect();
+                    let touched: Vec<_> = h.project_txn(txn).objects().into_iter().collect();
                     let before = h.len();
                     for obj in &touched {
                         h.push(Event::Commit { txn, obj: *obj }).expect("wf");

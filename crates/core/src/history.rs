@@ -254,6 +254,29 @@ impl<A: Adt> History<A> {
         Ok(())
     }
 
+    /// A 64-bit FNV-1a digest of the history: the fold of every event's
+    /// canonical `Debug` rendering, mixed with the event count. Two histories
+    /// fingerprint equal iff they render the same event sequence — the
+    /// determinism witness used by the fault-injection simulator (same seed
+    /// and fault plan ⇒ same fingerprint across runs).
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(&(self.events.len() as u64).to_le_bytes());
+        for e in &self.events {
+            mix(format!("{e:?}").as_bytes());
+            mix(&[0xff]); // event separator
+        }
+        h
+    }
+
     /// Whether `e` is a well-formed extension of this history.
     pub fn check_extension(&self, e: &Event<A>) -> Result<(), WfError> {
         let txn = e.txn();
@@ -368,10 +391,7 @@ impl<A: Adt> History<A> {
     pub fn active(&self) -> BTreeSet<TxnId> {
         let committed = self.committed();
         let aborted = self.aborted();
-        self.txns()
-            .into_iter()
-            .filter(|t| !committed.contains(t) && !aborted.contains(t))
-            .collect()
+        self.txns().into_iter().filter(|t| !committed.contains(t) && !aborted.contains(t)).collect()
     }
 
     /// Objects appearing in this history.
@@ -383,12 +403,7 @@ impl<A: Adt> History<A> {
     /// them. Projections of well-formed histories are well-formed.
     pub fn project_txns(&self, txns: &BTreeSet<TxnId>) -> History<A> {
         History {
-            events: self
-                .events
-                .iter()
-                .filter(|e| txns.contains(&e.txn()))
-                .cloned()
-                .collect(),
+            events: self.events.iter().filter(|e| txns.contains(&e.txn())).cloned().collect(),
         }
     }
 
@@ -401,9 +416,7 @@ impl<A: Adt> History<A> {
 
     /// `H|X` for a single object.
     pub fn project_obj(&self, obj: ObjectId) -> History<A> {
-        History {
-            events: self.events.iter().filter(|e| e.obj() == obj).cloned().collect(),
-        }
+        History { events: self.events.iter().filter(|e| e.obj() == obj).cloned().collect() }
     }
 
     /// `permanent(H) = H | Committed(H)` (paper §3.3).
@@ -416,12 +429,7 @@ impl<A: Adt> History<A> {
     pub fn project_not_aborted(&self) -> History<A> {
         let aborted = self.aborted();
         History {
-            events: self
-                .events
-                .iter()
-                .filter(|e| !aborted.contains(&e.txn()))
-                .cloned()
-                .collect(),
+            events: self.events.iter().filter(|e| !aborted.contains(&e.txn())).cloned().collect(),
         }
     }
 
@@ -452,11 +460,7 @@ impl<A: Adt> History<A> {
 
     /// `Opseq(H|X)`: the operation sequence at a single object.
     pub fn opseq_at(&self, obj: ObjectId) -> Vec<Op<A>> {
-        self.opseq()
-            .into_iter()
-            .filter(|(o, _)| *o == obj)
-            .map(|(_, op)| op)
-            .collect()
+        self.opseq().into_iter().filter(|(o, _)| *o == obj).map(|(_, op)| op).collect()
     }
 
     /// `Serial(H, T)` (paper §3.3): the serial history equivalent to `H` with
@@ -475,8 +479,7 @@ impl<A: Adt> History<A> {
     pub fn equivalent(&self, other: &History<A>) -> bool {
         let mut txns = self.txns();
         txns.extend(other.txns());
-        txns.iter()
-            .all(|t| self.project_txn(*t).events == other.project_txn(*t).events)
+        txns.iter().all(|t| self.project_txn(*t).events == other.project_txn(*t).events)
     }
 
     /// `precedes(H)` (paper §3.4): pairs `(A, B)` such that some operation
@@ -589,12 +592,8 @@ impl<A: Adt> HistoryBuilder<A> {
     /// Execute a complete operation (invocation immediately followed by its
     /// response) by `txn` at `obj`.
     pub fn op(mut self, txn: TxnId, obj: ObjectId, inv: A::Invocation, resp: A::Response) -> Self {
-        self.history
-            .push(Event::Invoke { txn, obj, inv })
-            .expect("well-formed invoke");
-        self.history
-            .push(Event::Respond { txn, obj, resp })
-            .expect("well-formed respond");
+        self.history.push(Event::Invoke { txn, obj, inv }).expect("well-formed invoke");
+        self.history.push(Event::Respond { txn, obj, resp }).expect("well-formed respond");
         if let Some(adt) = &self.adt_check {
             let ops = self.history.opseq_at(obj);
             assert!(
@@ -643,6 +642,17 @@ mod tests {
     }
     fn ev_abort(t: u32) -> Event<MiniCounter> {
         Event::Abort { txn: T(t), obj: X }
+    }
+
+    #[test]
+    fn fingerprint_separates_histories_and_is_stable() {
+        let a = H::from_events(vec![ev_inv(0, CInv::Inc), ev_resp(0, CResp::Ok), ev_commit(0)])
+            .unwrap();
+        let b =
+            H::from_events(vec![ev_inv(0, CInv::Inc), ev_resp(0, CResp::Ok), ev_abort(0)]).unwrap();
+        assert_eq!(a.fingerprint(), a.clone().fingerprint());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), H::new().fingerprint());
     }
 
     fn sample() -> H {
@@ -711,10 +721,7 @@ mod tests {
         assert_eq!(h.push(ev_commit(0)), Err(WfError::CommitWhilePending { txn: T(0) }));
         h.push(ev_resp(0, CResp::Ok)).unwrap();
         h.push(ev_commit(0)).unwrap();
-        assert_eq!(
-            h.push(ev_inv(0, CInv::Read)),
-            Err(WfError::EventAfterCompletion { txn: T(0) })
-        );
+        assert_eq!(h.push(ev_inv(0, CInv::Read)), Err(WfError::EventAfterCompletion { txn: T(0) }));
         assert_eq!(h.push(ev_commit(0)), Err(WfError::DuplicateCompletion { txn: T(0), obj: X }));
     }
 
@@ -806,17 +813,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "not legal")]
     fn builder_panics_on_illegal_op() {
-        let _ = HistoryBuilder::new(Some(plain(3)))
-            .op(T(0), X, CInv::Read, CResp::Val(9))
-            .build();
+        let _ = HistoryBuilder::new(Some(plain(3))).op(T(0), X, CInv::Read, CResp::Val(9)).build();
     }
 
     #[test]
     fn display_renders_paper_notation() {
-        let h: History<MiniCounter> = HistoryBuilder::new(None)
-            .op(T(0), X, CInv::Inc, CResp::Ok)
-            .commit(T(0), X)
-            .build();
+        let h: History<MiniCounter> =
+            HistoryBuilder::new(None).op(T(0), X, CInv::Inc, CResp::Ok).commit(T(0), X).build();
         let s = h.to_string();
         assert_eq!(s.lines().count(), 3);
         assert!(s.contains("<Inc, X, A>"));

@@ -188,10 +188,7 @@ mod tests {
     fn response_requires_pending_invocation() {
         let a = automaton_uip();
         let h = History::new();
-        assert_eq!(
-            a.response_enabled(&h, T(0), &CResp::Ok),
-            Err(NotEnabled::NoPendingInvocation)
-        );
+        assert_eq!(a.response_enabled(&h, T(0), &CResp::Ok), Err(NotEnabled::NoPendingInvocation));
     }
 
     #[test]
@@ -201,10 +198,7 @@ mod tests {
         h.push(Event::Invoke { txn: T(0), obj: X, inv: CInv::Read }).unwrap();
         // Read must return 0 in the initial state.
         assert!(a.response_enabled(&h, T(0), &CResp::Val(0)).is_ok());
-        assert_eq!(
-            a.response_enabled(&h, T(0), &CResp::Val(1)),
-            Err(NotEnabled::IllegalResponse)
-        );
+        assert_eq!(a.response_enabled(&h, T(0), &CResp::Val(1)), Err(NotEnabled::IllegalResponse));
     }
 
     #[test]
@@ -225,10 +219,7 @@ mod tests {
 
         let du = automaton_du();
         assert!(du.response_enabled(&h, T(1), &CResp::Val(0)).is_ok());
-        assert_eq!(
-            du.response_enabled(&h, T(1), &CResp::Val(1)),
-            Err(NotEnabled::IllegalResponse)
-        );
+        assert_eq!(du.response_enabled(&h, T(1), &CResp::Val(1)), Err(NotEnabled::IllegalResponse));
     }
 
     #[test]
@@ -318,10 +309,7 @@ mod tests {
         assert_eq!(a.view_reach(&h, T(1)).states(), &[1, 2]);
         assert!(a.response_enabled(&h, T(1), &CResp::Val(1)).is_ok());
         assert!(a.response_enabled(&h, T(1), &CResp::Val(2)).is_ok());
-        assert_eq!(
-            a.response_enabled(&h, T(1), &CResp::Val(3)),
-            Err(NotEnabled::IllegalResponse)
-        );
+        assert_eq!(a.response_enabled(&h, T(1), &CResp::Val(3)), Err(NotEnabled::IllegalResponse));
     }
 
     #[test]

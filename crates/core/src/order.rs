@@ -80,10 +80,8 @@ impl TxnOrder {
         for i in 0..remaining.len() {
             let cand = remaining[i];
             // cand may come next iff no remaining element must precede it
-            let blocked = self
-                .pairs
-                .iter()
-                .any(|(a, b)| *b == cand && *a != cand && remaining.contains(a));
+            let blocked =
+                self.pairs.iter().any(|(a, b)| *b == cand && *a != cand && remaining.contains(a));
             if blocked {
                 continue;
             }

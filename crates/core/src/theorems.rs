@@ -154,9 +154,7 @@ pub fn du_counterexample<A: Adt>(
     if !fail.prefix.is_empty() {
         b = run_ops(b, A_, obj, &fail.prefix).commit(A_, obj);
     }
-    b = b
-        .op(B_, obj, q.inv.clone(), q.resp.clone())
-        .op(C_, obj, p.inv.clone(), p.resp.clone());
+    b = b.op(B_, obj, q.inv.clone(), q.resp.clone()).op(C_, obj, p.inv.clone(), p.resp.clone());
     match &fail.kind {
         FcFailureKind::PqIllegal => b.commit(B_, obj).commit(C_, obj).build(),
         FcFailureKind::Distinguished { after_pq, continuation } => {
@@ -354,9 +352,7 @@ mod tests {
         let nfc = nfc_table(&c, &alphabet(), CFG);
         let violations = probe_uip_boundary(&c, &alphabet(), &nfc, CFG).expect("harness ok");
         assert!(
-            violations
-                .iter()
-                .any(|v| v.requested == inc() && v.held == dec_ok()),
+            violations.iter().any(|v| v.requested == inc() && v.held == dec_ok()),
             "expected (inc, dec_ok) violation"
         );
     }
@@ -368,9 +364,7 @@ mod tests {
         let nrbc = nrbc_table(&c, &alphabet(), CFG);
         let violations = probe_du_boundary(&c, &alphabet(), &nrbc, CFG).expect("harness ok");
         assert!(
-            violations
-                .iter()
-                .any(|v| v.requested == dec_ok() && v.held == dec_ok()),
+            violations.iter().any(|v| v.requested == dec_ok() && v.held == dec_ok()),
             "expected (dec_ok, dec_ok) violation"
         );
     }
@@ -379,13 +373,9 @@ mod tests {
     fn probing_the_exact_relation_finds_nothing() {
         let c = plain(3);
         let nrbc = nrbc_table(&c, &alphabet(), CFG);
-        assert!(probe_uip_boundary(&c, &alphabet(), &nrbc, CFG)
-            .expect("harness ok")
-            .is_empty());
+        assert!(probe_uip_boundary(&c, &alphabet(), &nrbc, CFG).expect("harness ok").is_empty());
         let nfc = nfc_table(&c, &alphabet(), CFG);
-        assert!(probe_du_boundary(&c, &alphabet(), &nfc, CFG)
-            .expect("harness ok")
-            .is_empty());
+        assert!(probe_du_boundary(&c, &alphabet(), &nfc, CFG).expect("harness ok").is_empty());
     }
 
     #[test]

@@ -31,6 +31,11 @@ pub struct Journal<A: Adt> {
 }
 
 struct JournalRecord<A: Adt> {
+    /// Record header written atomically at commit: the number of operations
+    /// the record is supposed to carry. A *torn write* (crash mid-flush)
+    /// leaves `ops.len() < op_count`, which recovery detects ARIES-style by
+    /// comparing the body against the header.
+    op_count: usize,
     ops: Vec<(ObjectId, Op<A>)>,
 }
 
@@ -50,10 +55,23 @@ impl<A: Adt> Journal<A> {
     pub fn is_empty(&self) -> bool {
         self.records.is_empty()
     }
+
+    /// The operations of each record, in commit order — the input to the
+    /// simulator's shadow-replay oracle.
+    pub fn record_ops(&self) -> impl Iterator<Item = &[(ObjectId, Op<A>)]> {
+        self.records.iter().map(|r| r.ops.as_slice())
+    }
+
+    /// The index of the first torn record (body shorter than its header), if
+    /// any.
+    pub fn torn_record(&self) -> Option<usize> {
+        self.records.iter().position(|r| r.ops.len() != r.op_count)
+    }
 }
 
 /// Why recovery failed (a diagnostic, not an expected runtime condition —
-/// under a Theorem-9/10-correct pairing redo always succeeds).
+/// under a Theorem-9/10-correct pairing and an intact journal redo always
+/// succeeds).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum RedoError {
     /// A journaled operation produced a different response on replay.
@@ -68,6 +86,29 @@ pub enum RedoError {
         /// Journal record index.
         record: usize,
     },
+    /// A record's body is shorter than its header promised: the crash tore
+    /// the final journal flush. Surfaced under [`TornPolicy::Strict`].
+    TornRecord {
+        /// Journal record index.
+        record: usize,
+        /// Operations the header promised.
+        expected: usize,
+        /// Operations actually present.
+        found: usize,
+    },
+}
+
+/// How recovery treats a torn final journal record.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TornPolicy {
+    /// Refuse to recover: surface [`RedoError::TornRecord`]. The default —
+    /// a torn record must never be replayed as if complete.
+    #[default]
+    Strict,
+    /// Discard the torn record and everything after it (the transaction's
+    /// commit never fully reached stable storage, so dropping it is
+    /// equivalent to the transaction having aborted), then recover.
+    DiscardTail,
 }
 
 /// A [`TxnSystem`] with write-ahead-style redo journaling and crash
@@ -114,7 +155,7 @@ where
     pub fn commit(&mut self, txn: TxnId) -> Result<(), TxnError> {
         let ops = self.sys.trace().project_txn(txn).opseq();
         self.sys.commit(txn)?;
-        self.journal.records.push(JournalRecord { ops });
+        self.journal.records.push(JournalRecord { op_count: ops.len(), ops });
         Ok(())
     }
 
@@ -126,7 +167,35 @@ where
     /// Simulate a crash: every piece of volatile state is lost — active
     /// transactions, their effects, the lock table — then rebuild by redoing
     /// the journal. Each replayed response is verified against the journal.
+    /// Equivalent to [`crash_and_recover_with`](Self::crash_and_recover_with)
+    /// under [`TornPolicy::Strict`].
     pub fn crash_and_recover(&mut self) -> Result<(), RedoError> {
+        self.crash_and_recover_with(TornPolicy::Strict)
+    }
+
+    /// Crash and recover under an explicit [`TornPolicy`]. On `Err` the
+    /// pre-crash volatile system is left in place untouched (recovery is
+    /// all-or-nothing), so callers can inspect it — the fault simulator
+    /// relies on this to diagnose oracle failures.
+    pub fn crash_and_recover_with(&mut self, policy: TornPolicy) -> Result<(), RedoError> {
+        if let Some(ri) = self.journal.torn_record() {
+            match policy {
+                TornPolicy::Strict => {
+                    let r = &self.journal.records[ri];
+                    return Err(RedoError::TornRecord {
+                        record: ri,
+                        expected: r.op_count,
+                        found: r.ops.len(),
+                    });
+                }
+                TornPolicy::DiscardTail => self.journal.records.truncate(ri),
+            }
+        }
+        // Counters and the transaction-id allocator model durable monitoring
+        // state: carry them across the rebuild so post-recovery ids never
+        // collide with pre-crash ones and fault counters survive.
+        let pre_stats = self.sys.stats().clone();
+        let pre_next = self.sys.next_txn_id();
         let mut fresh = (self.make)();
         fresh.set_record_trace(true);
         for (ri, rec) in self.journal.records.iter().enumerate() {
@@ -138,12 +207,31 @@ where
                     Err(_) => return Err(RedoError::ReplayRefused { record: ri }),
                 }
             }
-            fresh
-                .commit(t)
-                .map_err(|_| RedoError::ReplayRefused { record: ri })?;
+            fresh.commit(t).map_err(|_| RedoError::ReplayRefused { record: ri })?;
         }
+        fresh.set_stats(pre_stats);
+        fresh.stats_mut().crashes += 1;
+        fresh.reserve_txn_ids(pre_next);
         self.sys = fresh;
         Ok(())
+    }
+
+    /// Inject a torn write: drop the last `drop_ops` operations from the
+    /// final journal record's body, leaving its header intact — as if the
+    /// crash interrupted the record's flush to stable storage. Returns
+    /// `false` when there is no record with enough operations to tear (the
+    /// header must still promise more than the body delivers).
+    pub fn tear_last_record(&mut self, drop_ops: usize) -> bool {
+        let Some(rec) = self.journal.records.last_mut() else {
+            return false;
+        };
+        if drop_ops == 0 || rec.ops.is_empty() {
+            return false;
+        }
+        let keep = rec.ops.len().saturating_sub(drop_ops);
+        rec.ops.truncate(keep);
+        self.sys.stats_mut().torn_crashes += 1;
+        true
     }
 
     /// The committed state of `obj`.
@@ -159,6 +247,17 @@ where
     /// Access the volatile system (e.g. for trace inspection).
     pub fn system(&self) -> &TxnSystem<A, E, C> {
         &self.sys
+    }
+
+    /// Mutable access to the volatile system (scheduler loops and fault
+    /// injection need `abort_with`, `find_deadlock` etc.).
+    pub fn system_mut(&mut self) -> &mut TxnSystem<A, E, C> {
+        &mut self.sys
+    }
+
+    /// Execution counters (carried across crashes).
+    pub fn stats(&self) -> &crate::system::SystemStats {
+        self.sys.stats()
     }
 }
 
@@ -207,10 +306,7 @@ mod tests {
         sys.crash_and_recover().unwrap();
         assert_eq!(sys.committed_state(X), 10);
         // The old handle is dead in the rebuilt system.
-        assert!(matches!(
-            sys.invoke(u, X, BankInv::Balance),
-            Err(TxnError::NotActive(_))
-        ));
+        assert!(matches!(sys.invoke(u, X, BankInv::Balance), Err(TxnError::NotActive(_))));
     }
 
     #[test]
@@ -221,14 +317,52 @@ mod tests {
         sys.commit(t).unwrap();
         sys.crash_and_recover().unwrap();
         let u = sys.begin();
-        assert_eq!(
-            sys.invoke(u, X, BankInv::Balance).unwrap(),
-            ccr_adt::bank::BankResp::Val(3)
-        );
+        assert_eq!(sys.invoke(u, X, BankInv::Balance).unwrap(), ccr_adt::bank::BankResp::Val(3));
         sys.commit(u).unwrap();
         sys.crash_and_recover().unwrap();
         assert_eq!(sys.committed_state(X), 3);
         assert_eq!(sys.journal().len(), 2);
+    }
+
+    #[test]
+    fn torn_record_detected_strictly_then_discardable() {
+        let mut sys: Durable = DurableSystem::new(BankAccount::default(), 1, bank_nrbc());
+        let t = sys.begin();
+        sys.invoke(t, X, BankInv::Deposit(10)).unwrap();
+        sys.commit(t).unwrap();
+        let u = sys.begin();
+        sys.invoke(u, X, BankInv::Deposit(1)).unwrap();
+        sys.invoke(u, X, BankInv::Withdraw(2)).unwrap();
+        sys.commit(u).unwrap();
+
+        assert!(sys.tear_last_record(1));
+        // Strict recovery refuses the torn record — never silent corruption.
+        assert_eq!(
+            sys.crash_and_recover(),
+            Err(RedoError::TornRecord { record: 1, expected: 2, found: 1 })
+        );
+        // DiscardTail drops the torn commit entirely, as if `u` aborted.
+        sys.crash_and_recover_with(TornPolicy::DiscardTail).unwrap();
+        assert_eq!(sys.committed_state(X), 10);
+        assert_eq!(sys.journal().len(), 1);
+        assert_eq!(sys.stats().torn_crashes, 1);
+    }
+
+    #[test]
+    fn counters_and_txn_ids_survive_crashes() {
+        let mut sys: Durable = DurableSystem::new(BankAccount::default(), 1, bank_nrbc());
+        let t = sys.begin();
+        sys.invoke(t, X, BankInv::Deposit(3)).unwrap();
+        sys.commit(t).unwrap();
+        let pre_next = sys.system().next_txn_id();
+        sys.crash_and_recover().unwrap();
+        assert_eq!(sys.stats().crashes, 1);
+        assert_eq!(sys.stats().committed, 1, "replay must not double-count");
+        // Post-recovery ids never collide with pre-crash ones.
+        assert!(sys.system().next_txn_id() >= pre_next);
+        let u = sys.begin();
+        assert!(u.0 >= pre_next);
+        sys.abort(u).unwrap();
     }
 
     #[test]

@@ -130,12 +130,8 @@ impl<A: Adt> RecoveryEngine<A> for UipEngine<A> {
     }
 
     fn abort(&mut self, txn: TxnId) -> Result<(), RecoveryError> {
-        let undone: Vec<Op<A>> = self
-            .log
-            .iter()
-            .filter(|(t, _)| *t == txn)
-            .map(|(_, op)| op.clone())
-            .collect();
+        let undone: Vec<Op<A>> =
+            self.log.iter().filter(|(t, _)| *t == txn).map(|(_, op)| op.clone()).collect();
         if undone.is_empty() {
             return Ok(());
         }
@@ -336,18 +332,11 @@ impl<A: Adt> DuEngine<A> {
         }
         ws.cached_version = version;
     }
-
 }
 
 impl<A: Adt> RecoveryEngine<A> for DuEngine<A> {
     fn new(adt: A, obj: ObjectId) -> Self {
-        DuEngine {
-            base: adt.initial(),
-            adt,
-            obj,
-            base_version: 0,
-            workspaces: BTreeMap::new(),
-        }
+        DuEngine { base: adt.initial(), adt, obj, base_version: 0, workspaces: BTreeMap::new() }
     }
 
     fn view_state(&mut self, txn: TxnId) -> A::State {
@@ -436,11 +425,8 @@ mod tests {
         op: ccr_core::adt::Op<BankAccount>,
     ) {
         let s = e.view_state(txn);
-        let post = BankAccount::default()
-            .apply(&s, &op)
-            .into_iter()
-            .next()
-            .expect("op legal in view");
+        let post =
+            BankAccount::default().apply(&s, &op).into_iter().next().expect("op legal in view");
         e.record(txn, op, post);
     }
 

@@ -54,29 +54,16 @@ impl EscrowObject {
     }
 
     fn uncommitted_credits(&self) -> u64 {
-        self.pending
-            .values()
-            .flatten()
-            .filter(|d| **d > 0)
-            .map(|d| *d as u64)
-            .sum()
+        self.pending.values().flatten().filter(|d| **d > 0).map(|d| *d as u64).sum()
     }
 
     fn uncommitted_debits(&self) -> u64 {
-        self.pending
-            .values()
-            .flatten()
-            .filter(|d| **d < 0)
-            .map(|d| (-*d) as u64)
-            .sum()
+        self.pending.values().flatten().filter(|d| **d < 0).map(|d| (-*d) as u64).sum()
     }
 
     /// The guaranteed balance interval over all serializations.
     pub fn bounds(&self) -> (u64, u64) {
-        (
-            self.committed - self.uncommitted_debits(),
-            self.committed + self.uncommitted_credits(),
-        )
+        (self.committed - self.uncommitted_debits(), self.committed + self.uncommitted_credits())
     }
 
     /// Request `debit(n)` for `txn`. `Ok(Ok)` reserves the amount; `Ok(No)`
@@ -108,11 +95,7 @@ impl EscrowObject {
     }
 
     fn holders(&self, requester: TxnId) -> Vec<TxnId> {
-        self.pending
-            .keys()
-            .copied()
-            .filter(|t| *t != requester)
-            .collect()
+        self.pending.keys().copied().filter(|t| *t != requester).collect()
     }
 
     /// Commit `txn`: fold its reservations into the committed balance.

@@ -1,0 +1,245 @@
+//! Fault plans: deterministic schedules of injected failures.
+//!
+//! A [`FaultPlan`] is a sorted list of (event index, fault kind) pairs. The
+//! simulator ([`crate::sim`]) counts scheduler events and injects each fault
+//! exactly when the global event counter reaches its index — so the same
+//! `(seed, plan)` pair always injects the same faults at the same points of
+//! the same interleaving. Plans render to and parse from a compact text form
+//! (`"12:crash,30:torn2,45:abort,60:delay5,80:wound"`) so a failing run can
+//! be re-executed from a command line.
+
+use std::fmt;
+use std::str::FromStr;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One kind of injected failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Crash the durable system (volatile state lost, redo from journal).
+    Crash,
+    /// Crash with a torn final journal record: the last `drop_ops`
+    /// operations of the most recent record are lost mid-flush.
+    TornCrash {
+        /// Operations torn off the final record's body.
+        drop_ops: usize,
+    },
+    /// Force-abort the youngest active transaction.
+    ForceAbort,
+    /// Delay the next commit attempt by `rounds` scheduler turns.
+    DelayCommit {
+        /// Turns the committing driver is forced to sleep.
+        rounds: u32,
+    },
+    /// Abort *every* active transaction at once (a wound storm).
+    WoundStorm,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::Crash => write!(f, "crash"),
+            FaultKind::TornCrash { drop_ops } => write!(f, "torn{drop_ops}"),
+            FaultKind::ForceAbort => write!(f, "abort"),
+            FaultKind::DelayCommit { rounds } => write!(f, "delay{rounds}"),
+            FaultKind::WoundStorm => write!(f, "wound"),
+        }
+    }
+}
+
+/// A fault scheduled at a global event index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// The simulator's global event counter value at which to inject.
+    pub at_event: u64,
+    /// What to inject.
+    pub kind: FaultKind,
+}
+
+impl fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.at_event, self.kind)
+    }
+}
+
+/// A deterministic schedule of faults, sorted by event index.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// Build a plan from faults (sorted by event index; ties keep their
+    /// given order).
+    pub fn new(mut faults: Vec<FaultSpec>) -> Self {
+        faults.sort_by_key(|f| f.at_event);
+        FaultPlan { faults }
+    }
+
+    /// The empty plan (fault-free run).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Derive `count` faults over event indices `1..horizon` from `seed`.
+    /// Deterministic: the same arguments always yield the same plan.
+    pub fn from_seed(seed: u64, horizon: u64, count: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xFA17_FA17_FA17_FA17);
+        let horizon = horizon.max(2);
+        let faults = (0..count)
+            .map(|_| {
+                let at_event = rng.gen_range(1..horizon);
+                let kind = match rng.gen_range(0u32..8) {
+                    0 | 1 => FaultKind::Crash,
+                    2 => FaultKind::TornCrash { drop_ops: rng.gen_range(1usize..3) },
+                    3 | 4 => FaultKind::ForceAbort,
+                    5 => FaultKind::DelayCommit { rounds: rng.gen_range(1u32..6) },
+                    _ => FaultKind::WoundStorm,
+                };
+                FaultSpec { at_event, kind }
+            })
+            .collect();
+        FaultPlan::new(faults)
+    }
+
+    /// The scheduled faults, sorted by event index.
+    pub fn faults(&self) -> &[FaultSpec] {
+        &self.faults
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The plan without the fault at `index` (for delta-debugging).
+    pub fn without_index(&self, index: usize) -> Self {
+        let mut faults = self.faults.clone();
+        faults.remove(index);
+        FaultPlan { faults }
+    }
+
+    /// The plan restricted to the given fault indices (for delta-debugging).
+    pub fn subset(&self, indices: &[usize]) -> Self {
+        FaultPlan::new(indices.iter().filter_map(|&i| self.faults.get(i).copied()).collect())
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.faults.is_empty() {
+            return write!(f, "none");
+        }
+        for (i, fs) in self.faults.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{fs}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Why a fault-plan string failed to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultParseError(pub String);
+
+impl fmt::Display for FaultParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad fault spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for FaultParseError {}
+
+impl FromStr for FaultKind {
+    type Err = FaultParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || FaultParseError(s.to_string());
+        if s == "crash" {
+            Ok(FaultKind::Crash)
+        } else if s == "abort" {
+            Ok(FaultKind::ForceAbort)
+        } else if s == "wound" {
+            Ok(FaultKind::WoundStorm)
+        } else if let Some(n) = s.strip_prefix("torn") {
+            Ok(FaultKind::TornCrash { drop_ops: n.parse().map_err(|_| err())? })
+        } else if let Some(n) = s.strip_prefix("delay") {
+            Ok(FaultKind::DelayCommit { rounds: n.parse().map_err(|_| err())? })
+        } else {
+            Err(err())
+        }
+    }
+}
+
+impl FromStr for FaultPlan {
+    type Err = FaultParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if s.is_empty() || s == "none" {
+            return Ok(FaultPlan::none());
+        }
+        let mut faults = Vec::new();
+        for part in s.split(',') {
+            let (at, kind) =
+                part.split_once(':').ok_or_else(|| FaultParseError(part.to_string()))?;
+            faults.push(FaultSpec {
+                at_event: at.trim().parse().map_err(|_| FaultParseError(part.to_string()))?,
+                kind: kind.trim().parse()?,
+            });
+        }
+        Ok(FaultPlan::new(faults))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_parse_round_trip() {
+        let plan = FaultPlan::new(vec![
+            FaultSpec { at_event: 45, kind: FaultKind::ForceAbort },
+            FaultSpec { at_event: 12, kind: FaultKind::Crash },
+            FaultSpec { at_event: 30, kind: FaultKind::TornCrash { drop_ops: 2 } },
+            FaultSpec { at_event: 60, kind: FaultKind::DelayCommit { rounds: 5 } },
+            FaultSpec { at_event: 80, kind: FaultKind::WoundStorm },
+        ]);
+        let s = plan.to_string();
+        assert_eq!(s, "12:crash,30:torn2,45:abort,60:delay5,80:wound");
+        assert_eq!(s.parse::<FaultPlan>().unwrap(), plan);
+        assert_eq!("none".parse::<FaultPlan>().unwrap(), FaultPlan::none());
+        assert_eq!("".parse::<FaultPlan>().unwrap(), FaultPlan::none());
+        assert!("7:meteor".parse::<FaultPlan>().is_err());
+        assert!("crash".parse::<FaultPlan>().is_err());
+    }
+
+    #[test]
+    fn from_seed_is_deterministic_and_sorted() {
+        let a = FaultPlan::from_seed(9, 100, 6);
+        let b = FaultPlan::from_seed(9, 100, 6);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 6);
+        assert!(a.faults().windows(2).all(|w| w[0].at_event <= w[1].at_event));
+        assert!(a.faults().iter().all(|f| (1..100).contains(&f.at_event)));
+        assert_ne!(a, FaultPlan::from_seed(10, 100, 6));
+    }
+
+    #[test]
+    fn subset_and_without_support_shrinking() {
+        let plan = FaultPlan::from_seed(3, 50, 4);
+        assert_eq!(plan.without_index(0).len(), 3);
+        let sub = plan.subset(&[1, 3]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.faults()[0], plan.faults()[1]);
+        assert_eq!(sub.faults()[1], plan.faults()[3]);
+    }
+}

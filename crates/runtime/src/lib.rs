@@ -22,7 +22,12 @@
 //!   paper's §8 cites as *outside* the conflict-relation framework,
 //!   implemented as an extension for comparison;
 //! * [`crash`] — simulated crash recovery (the paper's deferred future
-//!   work): a redo journal in commit order, with verified replay.
+//!   work): a redo journal in commit order, with verified replay and
+//!   torn-write detection;
+//! * [`fault`] + [`sim`] — deterministic fault injection: seeded fault
+//!   plans (crashes, torn writes, forced aborts, delayed commits, wound
+//!   storms) driven through a [`crash::DurableSystem`] with an atomicity /
+//!   equieffectivity oracle after every fault.
 //!
 //! The correct pairings (Theorems 9 and 10) are `UipEngine` with an
 //! `NRBC`-containing conflict relation and `DuEngine` with an
@@ -37,9 +42,11 @@ pub mod crash;
 pub mod engine;
 pub mod error;
 pub mod escrow;
+pub mod fault;
 pub mod optimistic;
 pub mod scheduler;
 pub mod script;
+pub mod sim;
 pub mod system;
 pub mod threaded;
 

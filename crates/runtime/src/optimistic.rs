@@ -64,10 +64,8 @@ impl<A: Adt, C: Conflict<A>> OptimisticSystem<A, C> {
     pub fn new(adt: A, n_objects: u32, conflict: C) -> Self {
         let mut objects = BTreeMap::new();
         for i in 0..n_objects {
-            objects.insert(
-                ObjectId(i),
-                ObjState { base: adt.initial(), committed_log: Vec::new() },
-            );
+            objects
+                .insert(ObjectId(i), ObjState { base: adt.initial(), committed_log: Vec::new() });
         }
         OptimisticSystem {
             adt,
@@ -85,10 +83,7 @@ impl<A: Adt, C: Conflict<A>> OptimisticSystem<A, C> {
     pub fn begin(&mut self) -> TxnId {
         let t = TxnId(self.next_txn);
         self.next_txn += 1;
-        self.txns.insert(
-            t,
-            TxnState { start_seq: self.commit_seq, workspaces: BTreeMap::new() },
-        );
+        self.txns.insert(t, TxnState { start_seq: self.commit_seq, workspaces: BTreeMap::new() });
         self.stats.begun += 1;
         t
     }
@@ -103,22 +98,14 @@ impl<A: Adt, C: Conflict<A>> OptimisticSystem<A, C> {
     ) -> Result<A::Response, TxnError> {
         let t = self.txns.get_mut(&txn).ok_or(TxnError::NotActive(txn))?;
         let o = self.objects.get(&obj).ok_or(TxnError::NoSuchObject(obj))?;
-        let (intentions, state) = t
-            .workspaces
-            .entry(obj)
-            .or_insert_with(|| (Vec::new(), o.base.clone()));
-        let (resp, post) = self
-            .adt
-            .step(state, &inv)
-            .into_iter()
-            .next()
-            .ok_or(TxnError::NoLegalResponse)?;
+        let (intentions, state) =
+            t.workspaces.entry(obj).or_insert_with(|| (Vec::new(), o.base.clone()));
+        let (resp, post) =
+            self.adt.step(state, &inv).into_iter().next().ok_or(TxnError::NoLegalResponse)?;
         intentions.push(Op::new(inv.clone(), resp.clone()));
         *state = post;
         self.stats.ops += 1;
-        self.trace
-            .push(Event::Invoke { txn, obj, inv })
-            .expect("well-formed invoke");
+        self.trace.push(Event::Invoke { txn, obj, inv }).expect("well-formed invoke");
         self.trace
             .push(Event::Respond { txn, obj, resp: resp.clone() })
             .expect("well-formed respond");
@@ -169,18 +156,11 @@ impl<A: Adt, C: Conflict<A>> OptimisticSystem<A, C> {
         for (obj, (intentions, _)) in t.workspaces {
             let o = self.objects.get_mut(&obj).expect("object exists");
             for op in intentions {
-                let s2 = self
-                    .adt
-                    .apply(&o.base, &op)
-                    .into_iter()
-                    .next()
-                    .expect("validated above");
+                let s2 = self.adt.apply(&o.base, &op).into_iter().next().expect("validated above");
                 o.base = s2;
                 o.committed_log.push((seq, op));
             }
-            self.trace
-                .push(Event::Commit { txn, obj })
-                .expect("well-formed commit");
+            self.trace.push(Event::Commit { txn, obj }).expect("well-formed commit");
         }
         self.stats.committed += 1;
         Ok(())
@@ -198,9 +178,7 @@ impl<A: Adt, C: Conflict<A>> OptimisticSystem<A, C> {
     fn abort_inner(&mut self, txn: TxnId) {
         if let Some(t) = self.txns.remove(&txn) {
             for obj in t.workspaces.keys() {
-                self.trace
-                    .push(Event::Abort { txn, obj: *obj })
-                    .expect("well-formed abort");
+                self.trace.push(Event::Abort { txn, obj: *obj }).expect("well-formed abort");
             }
             // Transactions that touched nothing still need a completion
             // event for trace bookkeeping at some object; skip instead —
@@ -260,10 +238,7 @@ mod tests {
         sys.invoke(a, X, BankInv::Deposit(2)).unwrap();
         sys.invoke(b, X, BankInv::Balance).unwrap();
         sys.commit(a).unwrap();
-        assert_eq!(
-            sys.commit(b),
-            Err(TxnError::Aborted(AbortReason::Validation))
-        );
+        assert_eq!(sys.commit(b), Err(TxnError::Aborted(AbortReason::Validation)));
         assert_eq!(sys.stats().validation_aborts, 1);
         let spec = SystemSpec::single(BankAccount::default());
         assert!(check_dynamic_atomic(&spec, sys.trace()).is_ok());

@@ -179,11 +179,8 @@ where
         if !progressed {
             // Every live driver is blocked: a cycle must exist in the
             // wait-for graph. Abort the youngest transaction on some cycle.
-            let blocked: Vec<TxnId> = drivers
-                .iter()
-                .filter(|d| !d.done)
-                .filter_map(|d| d.txn)
-                .collect();
+            let blocked: Vec<TxnId> =
+                drivers.iter().filter(|d| !d.done).filter_map(|d| d.txn).collect();
             let mut victim = None;
             for &t in &blocked {
                 if let Some(cycle) = sys.find_deadlock(t) {
@@ -201,16 +198,14 @@ where
                     }
                     // No driver holds a transaction: everyone is sleeping
                     // after a restart with no commit in sight — wake one.
-                    None => {
-                        match drivers.iter_mut().find(|d| !d.done) {
-                            Some(d) => {
-                                d.blocked_epoch = None;
-                                d.sleep_until_commit = None;
-                                continue;
-                            }
-                            None => break,
+                    None => match drivers.iter_mut().find(|d| !d.done) {
+                        Some(d) => {
+                            d.blocked_epoch = None;
+                            d.sleep_until_commit = None;
+                            continue;
                         }
-                    }
+                        None => break,
+                    },
                 }
             };
             report.deadlock_aborts += 1;
@@ -303,7 +298,12 @@ where
 /// `blocked_epoch`) until the next completion event so that a restarted
 /// deadlock victim does not immediately re-acquire its locks and get chosen
 /// as the victim again — without this, clique-shaped conflicts livelock.
-fn restart<A: Adt>(d: &mut Driver<A>, cfg: &SchedulerCfg, report: &mut RunReport, commits_now: u64) {
+fn restart<A: Adt>(
+    d: &mut Driver<A>,
+    cfg: &SchedulerCfg,
+    report: &mut RunReport,
+    commits_now: u64,
+) {
     d.txn = None;
     d.last = None;
     d.pending = None;
@@ -328,8 +328,7 @@ fn abort_and_restart<A, E, C>(
     E: RecoveryEngine<A>,
     C: Conflict<A>,
 {
-    sys.abort_with(victim, AbortReason::Deadlock)
-        .expect("victim is active");
+    sys.abort_with(victim, AbortReason::Deadlock).expect("victim is active");
     let commits = sys.stats().committed;
     if let Some(d) = drivers.iter_mut().find(|d| d.txn == Some(victim)) {
         restart(d, cfg, report, commits);
@@ -351,10 +350,8 @@ mod tests {
         // Each deposits 2 then withdraws 1 on the single hot account.
         (0..n)
             .map(|_| {
-                Box::new(OpsScript::on(
-                    X,
-                    vec![BankInv::Deposit(2), BankInv::Withdraw(1)],
-                )) as Box<dyn Script<BankAccount>>
+                Box::new(OpsScript::on(X, vec![BankInv::Deposit(2), BankInv::Withdraw(1)]))
+                    as Box<dyn Script<BankAccount>>
             })
             .collect()
     }
@@ -446,10 +443,8 @@ mod tests {
                 .with_policy(ConflictPolicy::NoWait);
         let scripts: Vec<Box<dyn Script<BankAccount>>> = (0..8)
             .map(|_| {
-                Box::new(OpsScript::on(
-                    X,
-                    vec![BankInv::Balance, BankInv::Deposit(1)],
-                )) as Box<dyn Script<BankAccount>>
+                Box::new(OpsScript::on(X, vec![BankInv::Balance, BankInv::Deposit(1)]))
+                    as Box<dyn Script<BankAccount>>
             })
             .collect();
         let report = run(&mut sys, scripts, &SchedulerCfg::default());
@@ -503,10 +498,8 @@ mod tests {
             TxnSystem::new(BankAccount::default(), 1, bank_nrbc());
         let scripts: Vec<Box<dyn Script<BankAccount>>> = (0..6)
             .map(|_| {
-                Box::new(OpsScript::on(
-                    X,
-                    vec![BankInv::Deposit(5), BankInv::Withdraw(3)],
-                )) as Box<dyn Script<BankAccount>>
+                Box::new(OpsScript::on(X, vec![BankInv::Deposit(5), BankInv::Withdraw(3)]))
+                    as Box<dyn Script<BankAccount>>
             })
             .collect();
         let report = run(&mut sys, scripts, &SchedulerCfg::default());

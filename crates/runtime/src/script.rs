@@ -99,10 +99,8 @@ mod tests {
 
     #[test]
     fn ops_script_replays_after_reset() {
-        let mut s: OpsScript<BankAccount> = OpsScript::on(
-            ObjectId::SOLE,
-            vec![BankInv::Deposit(1), BankInv::Balance],
-        );
+        let mut s: OpsScript<BankAccount> =
+            OpsScript::on(ObjectId::SOLE, vec![BankInv::Deposit(1), BankInv::Balance]);
         assert!(matches!(s.next(None), Step::Invoke(_, BankInv::Deposit(1))));
         assert!(matches!(s.next(None), Step::Invoke(_, BankInv::Balance)));
         assert!(matches!(s.next(None), Step::Commit));

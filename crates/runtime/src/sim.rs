@@ -1,0 +1,880 @@
+//! Deterministic fault-injection simulation with an atomicity oracle.
+//!
+//! [`run_sim`] drives seeded scripts through a [`DurableSystem`] exactly like
+//! the plain scheduler, but counts every driver step on a global *event
+//! counter* and injects the faults of a [`FaultPlan`] when the counter
+//! reaches their indices: crashes (with optional torn final journal record),
+//! forced aborts, delayed commits and wound storms. After every injected
+//! fault — and once more at the end of the run — an **oracle** checks that
+//!
+//! 1. the recorded history is dynamic atomic (paper §3.4, via the
+//!    `ccr-core` checkers);
+//! 2. redo-replay is equieffective with the pre-crash committed state
+//!    (strict crashes) and with a shadow fold of the journal through the
+//!    serial specification (all checks);
+//! 3. any caller-supplied state invariant holds (e.g. escrow capacity
+//!    bounds).
+//!
+//! Everything is deterministic in `(seed, plan, scripts)`: the report —
+//! including a fingerprint folded over every crash epoch's history — is
+//! byte-identical across runs, which is what makes failures shrinkable
+//! (see `ccr-workload`'s shrinker).
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use ccr_core::adt::Adt;
+use ccr_core::atomicity::{check_dynamic_atomic_auto, DynAtomViolation, SystemSpec};
+use ccr_core::conflict::Conflict;
+use ccr_core::history::History;
+use ccr_core::ids::{ObjectId, TxnId};
+
+use crate::crash::{DurableSystem, RedoError, TornPolicy};
+use crate::engine::RecoveryEngine;
+use crate::error::{AbortReason, TxnError};
+use crate::fault::{FaultKind, FaultPlan};
+use crate::script::{Script, Step};
+use crate::system::SystemStats;
+
+/// Simulator configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SimCfg {
+    /// RNG seed for the interleaving order.
+    pub seed: u64,
+    /// Retries per script before giving up.
+    pub max_retries: usize,
+    /// Safety cap on scheduler rounds.
+    pub max_rounds: u64,
+    /// Use the exhaustive dynamic-atomicity checker up to this many
+    /// committed transactions; sample beyond it.
+    pub exhaustive_limit: usize,
+    /// Consistent orders sampled by the non-exhaustive checker.
+    pub oracle_samples: usize,
+}
+
+impl Default for SimCfg {
+    fn default() -> Self {
+        SimCfg {
+            seed: 0,
+            max_retries: 64,
+            max_rounds: 100_000,
+            exhaustive_limit: 6,
+            oracle_samples: 64,
+        }
+    }
+}
+
+/// Outcome of a fault-free-of-violations simulation. Contains no wall-clock
+/// or other nondeterministic data: the same `(seed, plan, scripts)` must
+/// produce an identical report.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SimReport {
+    /// Scripts that ultimately committed.
+    pub committed: u64,
+    /// Scripts that ended with a voluntary abort.
+    pub voluntary_aborts: u64,
+    /// Scripts that exhausted their retries (or lost their step to
+    /// corruption).
+    pub gave_up: u64,
+    /// Script restarts.
+    pub retries: u64,
+    /// Scheduler rounds executed.
+    pub rounds: u64,
+    /// Global events counted (the fault clock).
+    pub events: u64,
+    /// Faults actually injected (plan entries beyond the run never fire).
+    pub faults_injected: u64,
+    /// Oracle passes executed.
+    pub oracle_checks: u64,
+    /// Deadlock victims aborted by the simulator.
+    pub deadlock_aborts: u64,
+    /// Fingerprint folded over every crash epoch's recorded history — the
+    /// determinism witness.
+    pub history_fingerprint: u64,
+    /// Final system counters (crash/fault counters included).
+    pub stats: SystemStats,
+}
+
+/// A single oracle violation.
+#[derive(Clone, Debug)]
+pub enum OracleFailure {
+    /// The recorded history is not dynamic atomic.
+    NotDynamicAtomic(DynAtomViolation),
+    /// Crash recovery failed (divergence, refusal, or an unexpected torn
+    /// record).
+    Redo(RedoError),
+    /// A torn journal record was injected but strict recovery replayed it
+    /// as if complete — the defect the torn-write fault exists to catch.
+    TornNotDetected {
+        /// The journal record that was torn.
+        record: usize,
+    },
+    /// An engine's committed state disagrees with the shadow fold of the
+    /// journal through the serial specification.
+    StateDiverged {
+        /// The divergent object.
+        obj: ObjectId,
+        /// The engine's committed state (`Debug` form).
+        engine: String,
+        /// The journal shadow fold's state (`Debug` form).
+        shadow: String,
+    },
+    /// The journal itself is not serially legal: some journaled operation is
+    /// refused when refolded through the specification (a committed effect
+    /// depended on an uncommitted one — the classic weak-relation defect).
+    ShadowRefused {
+        /// Journal record index.
+        record: usize,
+        /// Operation index within the record.
+        op: usize,
+    },
+    /// Committed state after recovery differs from committed state captured
+    /// just before the crash.
+    CrashStateMismatch {
+        /// The divergent object.
+        obj: ObjectId,
+        /// State before the crash (`Debug` form).
+        before: String,
+        /// State after recovery (`Debug` form).
+        after: String,
+    },
+    /// A caller-supplied invariant over committed states was violated.
+    InvariantViolated {
+        /// The invariant's own description of the violation.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for OracleFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OracleFailure::NotDynamicAtomic(v) => {
+                write!(f, "history not dynamic atomic (refuting order {:?})", v.order)
+            }
+            OracleFailure::Redo(e) => write!(f, "redo recovery failed: {e:?}"),
+            OracleFailure::TornNotDetected { record } => {
+                write!(f, "torn journal record {record} replayed as if complete")
+            }
+            OracleFailure::StateDiverged { obj, engine, shadow } => write!(
+                f,
+                "committed state diverged at {obj}: engine {engine}, journal fold {shadow}"
+            ),
+            OracleFailure::ShadowRefused { record, op } => {
+                write!(f, "journal record {record} op {op} illegal under serial refold")
+            }
+            OracleFailure::CrashStateMismatch { obj, before, after } => write!(
+                f,
+                "recovery changed committed state at {obj}: {before} before, {after} after"
+            ),
+            OracleFailure::InvariantViolated { detail } => {
+                write!(f, "state invariant violated: {detail}")
+            }
+        }
+    }
+}
+
+/// An oracle failure together with the event index it surfaced at — the
+/// shrinker's search coordinates.
+#[derive(Clone, Debug)]
+pub struct SimFailure {
+    /// Global event counter value when the failing oracle pass ran.
+    pub at_event: u64,
+    /// What the oracle found.
+    pub failure: OracleFailure,
+}
+
+impl std::fmt::Display for SimFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "oracle failure at event {}: {}", self.at_event, self.failure)
+    }
+}
+
+/// A caller-supplied invariant over the map of committed states.
+pub type StateInvariant<A> = dyn Fn(&BTreeMap<ObjectId, <A as Adt>::State>) -> Result<(), String>;
+
+struct Driver<A: Adt> {
+    script: Box<dyn Script<A>>,
+    txn: Option<TxnId>,
+    last: Option<A::Response>,
+    pending: Option<Step<A>>,
+    blocked_epoch: Option<u64>,
+    sleep_until_commit: Option<u64>,
+    /// Turns left to sleep before attempting a commit (delayed-commit fault).
+    delay_turns: u32,
+    retries: usize,
+    done: bool,
+    committed: bool,
+    voluntary_abort: bool,
+}
+
+impl<A: Adt> Driver<A> {
+    fn new(mut script: Box<dyn Script<A>>) -> Self {
+        script.reset();
+        Driver {
+            script,
+            txn: None,
+            last: None,
+            pending: None,
+            blocked_epoch: None,
+            sleep_until_commit: None,
+            delay_turns: 0,
+            retries: 0,
+            done: false,
+            committed: false,
+            voluntary_abort: false,
+        }
+    }
+
+    /// Reset after the driver's transaction was aborted (by the system, a
+    /// fault, or a crash). `commits_now` gates the post-abort backoff.
+    fn restart(&mut self, max_retries: usize, backoff_until: Option<u64>, retries: &mut u64) {
+        self.txn = None;
+        self.last = None;
+        self.pending = None;
+        self.blocked_epoch = None;
+        self.sleep_until_commit = backoff_until;
+        self.delay_turns = 0;
+        self.retries += 1;
+        *retries += 1;
+        self.script.reset();
+        if self.retries > max_retries {
+            self.done = true;
+        }
+    }
+}
+
+fn epoch(stats: &SystemStats) -> u64 {
+    stats.committed + stats.aborted
+}
+
+/// Run `scripts` through `sys` under `plan`, checking the oracle after every
+/// injected fault and at the end. Returns the deterministic report, or the
+/// first oracle failure.
+pub fn run_sim<A, E, C>(
+    sys: &mut DurableSystem<A, E, C>,
+    scripts: Vec<Box<dyn Script<A>>>,
+    plan: &FaultPlan,
+    cfg: &SimCfg,
+    spec: &SystemSpec<A>,
+    invariant: Option<&StateInvariant<A>>,
+) -> Result<SimReport, SimFailure>
+where
+    A: Adt,
+    E: RecoveryEngine<A>,
+    C: Conflict<A> + Clone,
+{
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut drivers: Vec<Driver<A>> = scripts.into_iter().map(Driver::new).collect();
+    let mut report = SimReport::default();
+    let mut fault_idx = 0usize;
+    // Fingerprint fold across crash epochs: each crash seals the epoch's
+    // history into the fold before the trace is lost.
+    let mut fp_fold = 0u64;
+    // A pending delayed-commit fault, consumed by the next committer.
+    let mut delay_next_commit: Option<u32> = None;
+
+    let mut rounds = 0u64;
+    'outer: loop {
+        rounds += 1;
+        if rounds > cfg.max_rounds {
+            break;
+        }
+        let mut order: Vec<usize> = (0..drivers.len()).filter(|&i| !drivers[i].done).collect();
+        if order.is_empty() {
+            break;
+        }
+        order.shuffle(&mut rng);
+        let mut progressed = false;
+        for i in order {
+            if drivers[i].done {
+                continue;
+            }
+            // The fault clock ticks once per scheduled driver visit.
+            report.events += 1;
+            while let Some(f) = plan.faults().get(fault_idx) {
+                if f.at_event > report.events {
+                    break;
+                }
+                fault_idx += 1;
+                report.faults_injected += 1;
+                inject(
+                    f.kind,
+                    sys,
+                    &mut drivers,
+                    cfg,
+                    spec,
+                    invariant,
+                    &mut report,
+                    &mut fp_fold,
+                    &mut delay_next_commit,
+                )?;
+            }
+            if drivers[i].done {
+                continue; // a fault may have exhausted this driver's retries
+            }
+            if drivers[i].delay_turns > 0 {
+                drivers[i].delay_turns -= 1;
+                progressed = true; // the delay itself is ticking down
+                continue;
+            }
+            if let Some(c) = drivers[i].sleep_until_commit {
+                if sys.stats().committed == c {
+                    continue;
+                }
+                drivers[i].sleep_until_commit = None;
+            }
+            if let Some(e) = drivers[i].blocked_epoch {
+                if epoch(sys.stats()) == e {
+                    continue;
+                }
+            }
+            if step_driver(sys, &mut drivers[i], cfg, &mut report, &mut delay_next_commit) {
+                progressed = true;
+            }
+        }
+        if !progressed {
+            // Every live driver is blocked or sleeping: break a deadlock or
+            // wake a sleeper, as the plain scheduler does.
+            let blocked: Vec<TxnId> =
+                drivers.iter().filter(|d| !d.done).filter_map(|d| d.txn).collect();
+            let mut victim = None;
+            for &t in &blocked {
+                if let Some(cycle) = sys.system().find_deadlock(t) {
+                    victim = cycle.into_iter().max();
+                    break;
+                }
+            }
+            let victim = match victim {
+                Some(v) => {
+                    report.deadlock_aborts += 1;
+                    v
+                }
+                None => match blocked.into_iter().max() {
+                    Some(t) => t,
+                    None => match drivers.iter_mut().find(|d| !d.done) {
+                        Some(d) => {
+                            d.blocked_epoch = None;
+                            d.sleep_until_commit = None;
+                            continue 'outer;
+                        }
+                        None => break,
+                    },
+                },
+            };
+            sys.system_mut().abort_with(victim, AbortReason::Deadlock).expect("victim is active");
+            let commits = sys.stats().committed;
+            if let Some(d) = drivers.iter_mut().find(|d| d.txn == Some(victim)) {
+                d.restart(cfg.max_retries, Some(commits), &mut report.retries);
+            }
+        }
+    }
+
+    // Final oracle pass over the last epoch.
+    oracle(sys, spec, cfg, invariant, None, report.events, &mut report)?;
+
+    report.rounds = rounds;
+    for d in &drivers {
+        if d.committed {
+            report.committed += 1;
+        } else if d.voluntary_abort {
+            report.voluntary_aborts += 1;
+        } else {
+            report.gave_up += 1;
+        }
+    }
+    report.history_fingerprint = fold_fp(fp_fold, sys.system().trace());
+    report.stats = sys.stats().clone();
+    Ok(report)
+}
+
+fn fold_fp<A: Adt>(fold: u64, trace: &History<A>) -> u64 {
+    fold.rotate_left(7) ^ trace.fingerprint()
+}
+
+/// Inject one fault and run the oracle afterwards.
+#[allow(clippy::too_many_arguments)] // internal plumbing of one call site
+fn inject<A, E, C>(
+    kind: FaultKind,
+    sys: &mut DurableSystem<A, E, C>,
+    drivers: &mut [Driver<A>],
+    cfg: &SimCfg,
+    spec: &SystemSpec<A>,
+    invariant: Option<&StateInvariant<A>>,
+    report: &mut SimReport,
+    fp_fold: &mut u64,
+    delay_next_commit: &mut Option<u32>,
+) -> Result<(), SimFailure>
+where
+    A: Adt,
+    E: RecoveryEngine<A>,
+    C: Conflict<A> + Clone,
+{
+    let at = report.events;
+    let fail = |failure| SimFailure { at_event: at, failure };
+    match kind {
+        FaultKind::Crash => {
+            let pre_states = committed_states(sys);
+            *fp_fold = fold_fp(*fp_fold, sys.system().trace());
+            // The oracle examines the pre-crash history *before* it is lost.
+            let pre_trace = sys.system().trace().clone();
+            check_history(spec, cfg, &pre_trace, at, report)?;
+            sys.crash_and_recover().map_err(|e| fail(OracleFailure::Redo(e)))?;
+            restart_all(drivers, cfg, report);
+            oracle(sys, spec, cfg, invariant, Some(&pre_states), at, report)
+        }
+        FaultKind::TornCrash { drop_ops } => {
+            if !sys.tear_last_record(drop_ops) {
+                // Nothing journaled yet: degrade to a plain crash.
+                return inject(
+                    FaultKind::Crash,
+                    sys,
+                    drivers,
+                    cfg,
+                    spec,
+                    invariant,
+                    report,
+                    fp_fold,
+                    delay_next_commit,
+                );
+            }
+            *fp_fold = fold_fp(*fp_fold, sys.system().trace());
+            let pre_trace = sys.system().trace().clone();
+            check_history(spec, cfg, &pre_trace, at, report)?;
+            // Strict recovery MUST refuse the torn record: silence here is
+            // itself an oracle failure.
+            match sys.crash_and_recover() {
+                Ok(()) => {
+                    let record = sys.journal().len().saturating_sub(1);
+                    return Err(fail(OracleFailure::TornNotDetected { record }));
+                }
+                Err(RedoError::TornRecord { .. }) => {}
+                Err(e) => return Err(fail(OracleFailure::Redo(e))),
+            }
+            sys.crash_and_recover_with(TornPolicy::DiscardTail)
+                .map_err(|e| fail(OracleFailure::Redo(e)))?;
+            restart_all(drivers, cfg, report);
+            // The torn transaction's durability was legitimately lost, so no
+            // pre-crash state comparison — the journal shadow fold remains
+            // the equieffectivity authority.
+            oracle(sys, spec, cfg, invariant, None, at, report)
+        }
+        FaultKind::ForceAbort => {
+            let victim = sys.system().active().max();
+            if let Some(t) = victim {
+                sys.system_mut()
+                    .abort_with(t, AbortReason::ConflictAbort)
+                    .expect("victim is active");
+                sys.system_mut().stats_mut().forced_aborts += 1;
+                let commits = sys.stats().committed;
+                if let Some(d) = drivers.iter_mut().find(|d| d.txn == Some(t)) {
+                    d.restart(cfg.max_retries, Some(commits), &mut report.retries);
+                }
+            }
+            oracle(sys, spec, cfg, invariant, None, at, report)
+        }
+        FaultKind::WoundStorm => {
+            let victims: Vec<TxnId> = sys.system().active().collect();
+            for t in &victims {
+                sys.system_mut()
+                    .abort_with(*t, AbortReason::ConflictAbort)
+                    .expect("victim is active");
+            }
+            sys.system_mut().stats_mut().wound_storms += 1;
+            let commits = sys.stats().committed;
+            for d in drivers.iter_mut() {
+                if d.txn.is_some_and(|t| victims.contains(&t)) {
+                    d.restart(cfg.max_retries, Some(commits), &mut report.retries);
+                }
+            }
+            oracle(sys, spec, cfg, invariant, None, at, report)
+        }
+        FaultKind::DelayCommit { rounds } => {
+            *delay_next_commit = Some(rounds);
+            sys.system_mut().stats_mut().delayed_commits += 1;
+            Ok(())
+        }
+    }
+}
+
+/// Restart every driver whose transaction evaporated in a crash. Crash
+/// restarts carry no commit backoff: the rebuilt system holds no locks.
+fn restart_all<A: Adt>(drivers: &mut [Driver<A>], cfg: &SimCfg, report: &mut SimReport) {
+    for d in drivers.iter_mut() {
+        if !d.done && d.txn.is_some() {
+            d.restart(cfg.max_retries, None, &mut report.retries);
+        }
+    }
+}
+
+fn committed_states<A, E, C>(sys: &mut DurableSystem<A, E, C>) -> BTreeMap<ObjectId, A::State>
+where
+    A: Adt,
+    E: RecoveryEngine<A>,
+    C: Conflict<A> + Clone,
+{
+    sys.system().object_ids().into_iter().map(|obj| (obj, sys.committed_state(obj))).collect()
+}
+
+/// Dynamic-atomicity leg of the oracle, over an explicit history (the live
+/// trace, or a pre-crash clone).
+fn check_history<A: Adt>(
+    spec: &SystemSpec<A>,
+    cfg: &SimCfg,
+    h: &History<A>,
+    at: u64,
+    report: &mut SimReport,
+) -> Result<(), SimFailure> {
+    report.oracle_checks += 1;
+    check_dynamic_atomic_auto(spec, h, cfg.exhaustive_limit, cfg.oracle_samples, cfg.seed ^ at)
+        .map_err(|v| SimFailure { at_event: at, failure: OracleFailure::NotDynamicAtomic(v) })
+}
+
+/// The full oracle: dynamic atomicity of the current trace, journal shadow
+/// fold vs engine committed states, optional pre-crash state comparison,
+/// optional caller invariant.
+fn oracle<A, E, C>(
+    sys: &mut DurableSystem<A, E, C>,
+    spec: &SystemSpec<A>,
+    cfg: &SimCfg,
+    invariant: Option<&StateInvariant<A>>,
+    pre_states: Option<&BTreeMap<ObjectId, A::State>>,
+    at: u64,
+    report: &mut SimReport,
+) -> Result<(), SimFailure>
+where
+    A: Adt,
+    E: RecoveryEngine<A>,
+    C: Conflict<A> + Clone,
+{
+    let fail = |failure| SimFailure { at_event: at, failure };
+    let trace = sys.system().trace().clone();
+    check_history(spec, cfg, &trace, at, report)?;
+
+    // Shadow fold: refold the whole journal through the serial spec from
+    // initial states. Every journaled response must be legal, and the final
+    // states must match the engines' committed states.
+    let mut shadow: BTreeMap<ObjectId, A::State> = sys
+        .system()
+        .object_ids()
+        .into_iter()
+        .map(|obj| {
+            let adt = sys.system().adt_of(obj).expect("object exists");
+            (obj, adt.initial())
+        })
+        .collect();
+    for (ri, ops) in sys.journal().record_ops().enumerate() {
+        for (oi, (obj, op)) in ops.iter().enumerate() {
+            let adt = sys.system().adt_of(*obj).expect("object exists").clone();
+            let state = shadow.get_mut(obj).expect("object exists");
+            let next = adt
+                .step(state, &op.inv)
+                .into_iter()
+                .find(|(resp, _)| *resp == op.resp)
+                .map(|(_, post)| post);
+            match next {
+                Some(post) => *state = post,
+                None => return Err(fail(OracleFailure::ShadowRefused { record: ri, op: oi })),
+            }
+        }
+    }
+    for (obj, shadow_state) in &shadow {
+        let engine_state = sys.committed_state(*obj);
+        if engine_state != *shadow_state {
+            return Err(fail(OracleFailure::StateDiverged {
+                obj: *obj,
+                engine: format!("{engine_state:?}"),
+                shadow: format!("{shadow_state:?}"),
+            }));
+        }
+    }
+
+    if let Some(pre) = pre_states {
+        for (obj, before) in pre {
+            let after = sys.committed_state(*obj);
+            if after != *before {
+                return Err(fail(OracleFailure::CrashStateMismatch {
+                    obj: *obj,
+                    before: format!("{before:?}"),
+                    after: format!("{after:?}"),
+                }));
+            }
+        }
+    }
+
+    if let Some(inv) = invariant {
+        inv(&shadow).map_err(|detail| fail(OracleFailure::InvariantViolated { detail }))?;
+    }
+    Ok(())
+}
+
+/// Advance one driver by one step. Returns whether it made progress.
+fn step_driver<A, E, C>(
+    sys: &mut DurableSystem<A, E, C>,
+    d: &mut Driver<A>,
+    cfg: &SimCfg,
+    report: &mut SimReport,
+    delay_next_commit: &mut Option<u32>,
+) -> bool
+where
+    A: Adt,
+    E: RecoveryEngine<A>,
+    C: Conflict<A> + Clone,
+{
+    let txn = match d.txn {
+        Some(t) => t,
+        None => {
+            let t = sys.begin();
+            d.txn = Some(t);
+            t
+        }
+    };
+    let step = match d.pending.take() {
+        Some(s) => s,
+        None => d.script.next(d.last.as_ref()),
+    };
+    match step {
+        Step::Invoke(obj, inv) => match sys.invoke(txn, obj, inv.clone()) {
+            Ok(resp) => {
+                d.last = Some(resp);
+                d.blocked_epoch = None;
+                true
+            }
+            Err(TxnError::Blocked { .. }) => {
+                d.pending = Some(Step::Invoke(obj, inv));
+                d.blocked_epoch = Some(epoch(sys.stats()));
+                false
+            }
+            Err(TxnError::Aborted(_)) => {
+                let commits = sys.stats().committed;
+                d.restart(cfg.max_retries, Some(commits), &mut report.retries);
+                true
+            }
+            // Unlike the plain scheduler, the simulator tolerates refused
+            // invocations (faults can strand scripts in states their
+            // generator never anticipated): the script simply gives up and
+            // the oracle remains the arbiter of correctness.
+            Err(_) => {
+                if let Some(t) = d.txn.take() {
+                    let _ = sys.abort(t);
+                }
+                d.done = true;
+                true
+            }
+        },
+        Step::Commit => {
+            if let Some(rounds) = delay_next_commit.take() {
+                d.pending = Some(Step::Commit);
+                d.delay_turns = rounds;
+                return true;
+            }
+            match sys.commit(txn) {
+                Ok(()) => {
+                    d.done = true;
+                    d.committed = true;
+                    true
+                }
+                Err(TxnError::Aborted(_)) => {
+                    let commits = sys.stats().committed;
+                    d.restart(cfg.max_retries, Some(commits), &mut report.retries);
+                    true
+                }
+                Err(_) => {
+                    d.done = true;
+                    true
+                }
+            }
+        }
+        Step::Abort => {
+            let _ = sys.abort(txn);
+            d.done = true;
+            d.voluntary_abort = true;
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{DuEngine, UipEngine};
+    use crate::fault::FaultSpec;
+    use crate::script::OpsScript;
+    use ccr_adt::bank::{bank_nfc, bank_nrbc, BankAccount, BankInv};
+    use ccr_core::conflict::{FnConflict, SymmetricClosure};
+
+    const X: ObjectId = ObjectId::SOLE;
+
+    type UipDurable = DurableSystem<BankAccount, UipEngine<BankAccount>, FnConflict<BankAccount>>;
+    type DuDurable = DurableSystem<BankAccount, DuEngine<BankAccount>, FnConflict<BankAccount>>;
+
+    fn transfer_scripts(n: usize) -> Vec<Box<dyn Script<BankAccount>>> {
+        (0..n)
+            .map(|_| {
+                Box::new(OpsScript::on(X, vec![BankInv::Deposit(2), BankInv::Withdraw(1)]))
+                    as Box<dyn Script<BankAccount>>
+            })
+            .collect()
+    }
+
+    fn spec() -> SystemSpec<BankAccount> {
+        SystemSpec::single(BankAccount::default())
+    }
+
+    #[test]
+    fn fault_free_sim_matches_plain_run() {
+        let mut sys: UipDurable = DurableSystem::new(BankAccount::default(), 1, bank_nrbc());
+        let report = run_sim(
+            &mut sys,
+            transfer_scripts(6),
+            &FaultPlan::none(),
+            &SimCfg::default(),
+            &spec(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(report.committed, 6);
+        assert_eq!(report.faults_injected, 0);
+        assert!(report.oracle_checks >= 1);
+        assert_eq!(sys.committed_state(X), 6);
+    }
+
+    #[test]
+    fn crash_faults_pass_the_oracle_on_a_correct_pairing() {
+        let plan = FaultPlan::new(vec![
+            FaultSpec { at_event: 3, kind: FaultKind::Crash },
+            FaultSpec { at_event: 9, kind: FaultKind::Crash },
+        ]);
+        let mut sys: UipDurable = DurableSystem::new(BankAccount::default(), 1, bank_nrbc());
+        let report =
+            run_sim(&mut sys, transfer_scripts(6), &plan, &SimCfg::default(), &spec(), None)
+                .unwrap();
+        assert_eq!(report.faults_injected, 2);
+        assert_eq!(report.stats.crashes, 2);
+        assert_eq!(report.committed, 6);
+        assert_eq!(sys.committed_state(X), 6);
+    }
+
+    #[test]
+    fn every_fault_kind_passes_on_correct_pairings() {
+        let plan = FaultPlan::new(vec![
+            FaultSpec { at_event: 2, kind: FaultKind::ForceAbort },
+            FaultSpec { at_event: 5, kind: FaultKind::DelayCommit { rounds: 3 } },
+            FaultSpec { at_event: 9, kind: FaultKind::TornCrash { drop_ops: 1 } },
+            FaultSpec { at_event: 14, kind: FaultKind::WoundStorm },
+            FaultSpec { at_event: 20, kind: FaultKind::Crash },
+        ]);
+        let mut uip: UipDurable = DurableSystem::new(BankAccount::default(), 1, bank_nrbc());
+        let r1 = run_sim(&mut uip, transfer_scripts(6), &plan, &SimCfg::default(), &spec(), None)
+            .unwrap();
+        assert_eq!(r1.faults_injected, 5);
+
+        let mut du: DuDurable = DurableSystem::new(BankAccount::default(), 1, bank_nfc());
+        let r2 = run_sim(&mut du, transfer_scripts(6), &plan, &SimCfg::default(), &spec(), None)
+            .unwrap();
+        assert_eq!(r2.faults_injected, 5);
+    }
+
+    #[test]
+    fn same_seed_and_plan_give_identical_reports() {
+        let plan = FaultPlan::from_seed(11, 40, 4);
+        let run_once = || {
+            let mut sys: UipDurable = DurableSystem::new(BankAccount::default(), 1, bank_nrbc());
+            run_sim(
+                &mut sys,
+                transfer_scripts(6),
+                &plan,
+                &SimCfg { seed: 5, ..Default::default() },
+                &spec(),
+                None,
+            )
+            .unwrap()
+        };
+        let (a, b) = (run_once(), run_once());
+        assert_eq!(a, b, "SimReport must be byte-identical across runs");
+        assert_eq!(a.history_fingerprint, b.history_fingerprint);
+    }
+
+    #[test]
+    fn weakened_relation_under_uip_is_caught() {
+        // UIP paired with (symmetrised) FC instead of RBC: FC does not
+        // relate withdraw-ok to a pending deposit, so a withdrawal can read
+        // through an uncommitted deposit under update-in-place; a fault
+        // aborting the depositor leaves a committed withdrawal whose
+        // response is serially impossible. The oracle must notice.
+        let conflict = SymmetricClosure(bank_nfc());
+        type Weak = DurableSystem<
+            BankAccount,
+            UipEngine<BankAccount>,
+            SymmetricClosure<FnConflict<BankAccount>>,
+        >;
+        let mut caught = None;
+        'seeds: for seed in 0..64u64 {
+            for f in 1..12u64 {
+                let plan =
+                    FaultPlan::new(vec![FaultSpec { at_event: f, kind: FaultKind::ForceAbort }]);
+                let scripts: Vec<Box<dyn Script<BankAccount>>> = vec![
+                    Box::new(OpsScript::on(X, vec![BankInv::Deposit(3)])),
+                    Box::new(OpsScript::on(X, vec![BankInv::Withdraw(3)])),
+                ];
+                let mut sys: Weak = DurableSystem::new(BankAccount::default(), 1, conflict.clone());
+                let cfg = SimCfg { seed, ..Default::default() };
+                if let Err(e) = run_sim(&mut sys, scripts, &plan, &cfg, &spec(), None) {
+                    caught = Some(e);
+                    break 'seeds;
+                }
+            }
+        }
+        let failure = caught.expect("the weakened relation must be refuted within the sweep");
+        assert!(
+            matches!(
+                failure.failure,
+                OracleFailure::NotDynamicAtomic(_)
+                    | OracleFailure::ShadowRefused { .. }
+                    | OracleFailure::StateDiverged { .. }
+                    | OracleFailure::Redo(_)
+            ),
+            "unexpected failure mode: {failure}"
+        );
+    }
+
+    #[test]
+    fn torn_writes_surface_as_redo_errors_never_silent_mismatch() {
+        for at in 3..20u64 {
+            let plan = FaultPlan::new(vec![FaultSpec {
+                at_event: at,
+                kind: FaultKind::TornCrash { drop_ops: 1 },
+            }]);
+            let mut sys: UipDurable = DurableSystem::new(BankAccount::default(), 1, bank_nrbc());
+            let result =
+                run_sim(&mut sys, transfer_scripts(5), &plan, &SimCfg::default(), &spec(), None);
+            // A correct pairing recovers from every torn write: strict
+            // recovery reports TornRecord internally, DiscardTail then
+            // succeeds and the oracle holds. Any failure here would be a
+            // torn write slipping through as silent state divergence.
+            let report = result.unwrap_or_else(|e| panic!("torn crash at {at}: {e}"));
+            if report.stats.torn_crashes > 0 {
+                // The discarded commit is visible as journal < committed.
+                assert!(sys.journal().len() as u64 <= report.stats.committed);
+            }
+        }
+    }
+
+    #[test]
+    fn invariant_violations_are_reported() {
+        let mut sys: UipDurable = DurableSystem::new(BankAccount::default(), 1, bank_nrbc());
+        let inv = |_: &BTreeMap<ObjectId, u64>| Err("always wrong".to_string());
+        let err = run_sim(
+            &mut sys,
+            transfer_scripts(2),
+            &FaultPlan::none(),
+            &SimCfg::default(),
+            &spec(),
+            Some(&inv),
+        )
+        .unwrap_err();
+        assert!(matches!(err.failure, OracleFailure::InvariantViolated { .. }));
+    }
+}

@@ -67,6 +67,16 @@ pub struct SystemStats {
     pub conflict_aborts: u64,
     /// Undo-replay failures (weak conflict relation under UIP).
     pub replay_failures: u64,
+    /// Simulated crashes survived (fault injection).
+    pub crashes: u64,
+    /// Crashes injected with a torn (truncated) final journal record.
+    pub torn_crashes: u64,
+    /// Transactions force-aborted by fault injection.
+    pub forced_aborts: u64,
+    /// Commits artificially delayed by fault injection.
+    pub delayed_commits: u64,
+    /// Wound-storm faults injected (every active transaction aborted).
+    pub wound_storms: u64,
 }
 
 /// A transactional system over objects of a single ADT type `A`, one engine
@@ -121,7 +131,11 @@ impl<A: Adt, E: RecoveryEngine<A>, C: Conflict<A>> TxnSystem<A, E, C> {
             let obj = ObjectId(i);
             objects.insert(
                 obj,
-                ObjectRt { engine: E::new(adt.clone(), obj), held: BTreeMap::new(), adt: adt.clone() },
+                ObjectRt {
+                    engine: E::new(adt.clone(), obj),
+                    held: BTreeMap::new(),
+                    adt: adt.clone(),
+                },
             );
         }
         TxnSystem {
@@ -168,6 +182,12 @@ impl<A: Adt, E: RecoveryEngine<A>, C: Conflict<A>> TxnSystem<A, E, C> {
         self
     }
 
+    /// Set the conflict policy in place (for systems behind wrappers that
+    /// obstruct the builder form, e.g. [`crate::crash::DurableSystem`]).
+    pub fn set_policy(&mut self, policy: ConflictPolicy) {
+        self.policy = policy;
+    }
+
     /// Disable history recording (for long benchmark runs).
     pub fn set_record_trace(&mut self, on: bool) {
         self.record_trace = on;
@@ -201,10 +221,7 @@ impl<A: Adt, E: RecoveryEngine<A>, C: Conflict<A>> TxnSystem<A, E, C> {
             return Err(TxnError::NotActive(txn));
         }
         let conflict = &self.conflict;
-        let o = self
-            .objects
-            .get_mut(&obj)
-            .ok_or(TxnError::NoSuchObject(obj))?;
+        let o = self.objects.get_mut(&obj).ok_or(TxnError::NoSuchObject(obj))?;
         if o.engine.is_doomed(txn) {
             self.abort_inner(txn, AbortReason::Validation);
             self.stats.validation_aborts += 1;
@@ -303,9 +320,7 @@ impl<A: Adt, E: RecoveryEngine<A>, C: Conflict<A>> TxnSystem<A, E, C> {
             o.engine.commit(txn);
             o.held.remove(&txn);
             if self.record_trace {
-                self.trace
-                    .push(Event::Commit { txn, obj })
-                    .expect("well-formed commit");
+                self.trace.push(Event::Commit { txn, obj }).expect("well-formed commit");
             }
         }
         self.active.remove(&txn);
@@ -350,9 +365,7 @@ impl<A: Adt, E: RecoveryEngine<A>, C: Conflict<A>> TxnSystem<A, E, C> {
             }
             o.held.remove(&txn);
             if self.record_trace {
-                self.trace
-                    .push(Event::Abort { txn, obj })
-                    .expect("well-formed abort");
+                self.trace.push(Event::Abort { txn, obj }).expect("well-formed abort");
             }
         }
         self.active.remove(&txn);
@@ -430,6 +443,40 @@ impl<A: Adt, E: RecoveryEngine<A>, C: Conflict<A>> TxnSystem<A, E, C> {
         &self.stats
     }
 
+    /// Mutable execution counters (fault injection bookkeeping).
+    pub fn stats_mut(&mut self) -> &mut SystemStats {
+        &mut self.stats
+    }
+
+    /// Replace the counters wholesale — used by crash recovery to carry the
+    /// pre-crash counters across the rebuild (stats model a monitoring store
+    /// that survives the crash, unlike volatile transaction state).
+    pub fn set_stats(&mut self, stats: SystemStats) {
+        self.stats = stats;
+    }
+
+    /// The id the next [`begin`](Self::begin) will allocate.
+    pub fn next_txn_id(&self) -> u32 {
+        self.next_txn
+    }
+
+    /// Raise the transaction-id allocator to at least `floor`, so ids stay
+    /// globally unique across a crash/rebuild (replayed journal records must
+    /// not collide with pre-crash ids recorded in histories).
+    pub fn reserve_txn_ids(&mut self, floor: u32) {
+        self.next_txn = self.next_txn.max(floor);
+    }
+
+    /// The ids of all objects in the system.
+    pub fn object_ids(&self) -> Vec<ObjectId> {
+        self.objects.keys().copied().collect()
+    }
+
+    /// The serial specification configured at `obj`.
+    pub fn adt_of(&self, obj: ObjectId) -> Option<&A> {
+        self.objects.get(&obj).map(|o| &o.adt)
+    }
+
     /// The conflict relation's display name.
     pub fn conflict_name(&self) -> String {
         self.conflict.name()
@@ -454,10 +501,7 @@ mod tests {
         let mut sys: UipSys = TxnSystem::new(BankAccount::default(), 1, bank_nrbc());
         let t = sys.begin();
         assert_eq!(sys.invoke(t, X, BankInv::Deposit(5)).unwrap(), BankResp::Ok);
-        assert_eq!(
-            sys.invoke(t, X, BankInv::Balance).unwrap(),
-            BankResp::Val(5)
-        );
+        assert_eq!(sys.invoke(t, X, BankInv::Balance).unwrap(), BankResp::Val(5));
         sys.commit(t).unwrap();
         assert_eq!(sys.committed_state(X), 5);
         assert_eq!(sys.stats().committed, 1);
@@ -519,10 +563,7 @@ mod tests {
         assert_eq!(sys.invoke(a, X, BankInv::Withdraw(4)).unwrap(), BankResp::Ok);
         assert_eq!(sys.invoke(b, X, BankInv::Withdraw(4)).unwrap(), BankResp::Ok);
         sys.commit(a).unwrap();
-        assert_eq!(
-            sys.commit(b),
-            Err(TxnError::Aborted(AbortReason::Validation))
-        );
+        assert_eq!(sys.commit(b), Err(TxnError::Aborted(AbortReason::Validation)));
         assert_eq!(sys.committed_state(X), 1);
         // The committed trace is still atomic thanks to the forced abort.
         let spec = SystemSpec::single(BankAccount::default());
@@ -553,14 +594,8 @@ mod tests {
         sys.invoke(a, X, BankInv::Balance).unwrap();
         sys.invoke(b, y, BankInv::Balance).unwrap();
         // (deposit, balance) ∈ NRBC: each deposit blocks on the other's read.
-        assert!(matches!(
-            sys.invoke(a, y, BankInv::Deposit(1)),
-            Err(TxnError::Blocked { .. })
-        ));
-        assert!(matches!(
-            sys.invoke(b, X, BankInv::Deposit(1)),
-            Err(TxnError::Blocked { .. })
-        ));
+        assert!(matches!(sys.invoke(a, y, BankInv::Deposit(1)), Err(TxnError::Blocked { .. })));
+        assert!(matches!(sys.invoke(b, X, BankInv::Deposit(1)), Err(TxnError::Blocked { .. })));
         let cycle = sys.find_deadlock(b).expect("deadlock");
         assert!(cycle.contains(&a) && cycle.contains(&b));
         sys.abort_with(b, AbortReason::Deadlock).unwrap();
@@ -573,10 +608,7 @@ mod tests {
         // deposit(0) has no transition (the paper requires i > 0).
         let mut sys: UipSys = TxnSystem::new(BankAccount::default(), 1, bank_nrbc());
         let t = sys.begin();
-        assert_eq!(
-            sys.invoke(t, X, BankInv::Deposit(0)),
-            Err(TxnError::NoLegalResponse)
-        );
+        assert_eq!(sys.invoke(t, X, BankInv::Deposit(0)), Err(TxnError::NoLegalResponse));
         // The transaction survives and can continue.
         assert_eq!(sys.invoke(t, X, BankInv::Deposit(1)).unwrap(), BankResp::Ok);
         sys.commit(t).unwrap();
@@ -597,10 +629,7 @@ mod tests {
         sys.invoke(younger, X, BankInv::Balance).unwrap();
         // The older transaction's deposit conflicts with the held read:
         // under wound-wait it wounds the younger holder and proceeds.
-        assert_eq!(
-            sys.invoke(older, X, BankInv::Deposit(1)).unwrap(),
-            BankResp::Ok
-        );
+        assert_eq!(sys.invoke(older, X, BankInv::Deposit(1)).unwrap(), BankResp::Ok);
         assert_eq!(sys.stats().wounds, 1);
         // The younger transaction observes its abort on its next call.
         assert_eq!(

@@ -39,11 +39,7 @@ pub struct ThreadedCfg {
 
 impl Default for ThreadedCfg {
     fn default() -> Self {
-        ThreadedCfg {
-            workers: 4,
-            max_retries: 64,
-            wait_slice: Duration::from_millis(5),
-        }
+        ThreadedCfg { workers: 4, max_retries: 64, wait_slice: Duration::from_millis(5) }
     }
 }
 
@@ -162,8 +158,7 @@ where
                                     let victim =
                                         cycle.iter().copied().max().expect("non-empty cycle");
                                     if victim == txn {
-                                        sys.abort_with(txn, AbortReason::Deadlock)
-                                            .expect("active");
+                                        sys.abort_with(txn, AbortReason::Deadlock).expect("active");
                                         shared.tallies.lock().deadlock_aborts += 1;
                                         shared.completed.notify_all();
                                         drop(sys);
@@ -243,10 +238,8 @@ mod tests {
     fn scripts(n: usize) -> Vec<Box<dyn Script<BankAccount>>> {
         (0..n)
             .map(|_| {
-                Box::new(OpsScript::on(
-                    X,
-                    vec![BankInv::Deposit(2), BankInv::Withdraw(1)],
-                )) as Box<dyn Script<BankAccount>>
+                Box::new(OpsScript::on(X, vec![BankInv::Deposit(2), BankInv::Withdraw(1)]))
+                    as Box<dyn Script<BankAccount>>
             })
             .collect()
     }

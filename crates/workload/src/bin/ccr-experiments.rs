@@ -3,12 +3,39 @@
 //! ```text
 //! cargo run --release -p ccr-workload --bin ccr-experiments            # markdown
 //! cargo run --release -p ccr-workload --bin ccr-experiments -- --json # raw outcomes
+//!
+//! # Deterministic fault-injection simulation (see DESIGN.md):
+//! ccr-experiments sim --combo uip-nrbc --seed 7 --faults 12:crash,30:torn2
+//! ccr-experiments sim --combo uip-sym-nfc --sweep 64        # hunt + shrink
 //! ```
 
-use ccr_workload::experiments;
+use std::process::ExitCode;
 
-fn main() {
-    if std::env::args().any(|a| a == "--json") {
+use ccr_runtime::fault::FaultPlan;
+use ccr_workload::experiments;
+use ccr_workload::sim::{parse_policy, run_scenario, shrink, sweep, Combo, SimScenario};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("sim") {
+        return match sim_main(&args[1..]) {
+            Ok(code) => code,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!(
+                    "usage: ccr-experiments sim --combo <uip-nrbc|du-nfc|uip-sym-nfc|escrow-uip-nrbc|escrow-du-nfc>"
+                );
+                eprintln!(
+                    "           [--policy block|wound|nowait] [--seed N] [--txns N] [--ops N]"
+                );
+                eprintln!("           [--objects N] [--skip i,j,...] [--faults SPEC|none]");
+                eprintln!("       ccr-experiments sim --combo C --sweep SEEDS [--horizon N] [--fault-count N]");
+                eprintln!("fault SPEC: e.g. 12:crash,30:torn2,45:abort,60:delay5,80:wound");
+                ExitCode::from(2)
+            }
+        };
+    }
+    if args.iter().any(|a| a == "--json") {
         // Structured outcomes of the measurement experiments (the figure /
         // theorem sections are exact reproductions with no free parameters,
         // so they are omitted from the JSON form).
@@ -21,15 +48,117 @@ fn main() {
         for (_, typed, classical) in experiments::admission::sweep() {
             outcomes.extend([typed, classical]);
         }
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&outcomes).expect("outcomes serialise")
-        );
-        return;
+        println!("{}", ccr_workload::harness::outcomes_json(&outcomes));
+        return ExitCode::SUCCESS;
     }
     println!("# ccr experiment report\n");
-    println!(
-        "Reproduction of Weihl, *The Impact of Recovery on Concurrency Control* (1989).\n"
-    );
+    println!("Reproduction of Weihl, *The Impact of Recovery on Concurrency Control* (1989).\n");
     print!("{}", experiments::run_all());
+    ExitCode::SUCCESS
+}
+
+/// Parse and run the `sim` subcommand. Exit code 0: oracle passed; 1: an
+/// oracle failure was found (with a shrunk reproducer printed); 2: bad args.
+fn sim_main(args: &[String]) -> Result<ExitCode, String> {
+    let mut combo: Option<Combo> = None;
+    let mut scenario = SimScenario::new(Combo::UipNrbc, 0, FaultPlan::none());
+    let mut sweep_seeds: Option<u64> = None;
+    let mut horizon = 60u64;
+    let mut fault_count = 4usize;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value =
+            || it.next().map(String::as_str).ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--combo" => combo = Some(value()?.parse()?),
+            "--policy" => scenario.policy = parse_policy(value()?)?,
+            "--seed" => scenario.seed = parse_num(flag, value()?)?,
+            "--txns" => scenario.txns = parse_num(flag, value()?)?,
+            "--ops" => scenario.ops_per_txn = parse_num(flag, value()?)?,
+            "--objects" => scenario.objects = parse_num(flag, value()?)?,
+            "--skip" => {
+                scenario.skip = value()?
+                    .split(',')
+                    .map(|s| parse_num("--skip", s.trim()))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--faults" => {
+                scenario.plan = value()?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--sweep" => sweep_seeds = Some(parse_num(flag, value()?)?),
+            "--horizon" => horizon = parse_num(flag, value()?)?,
+            "--fault-count" => fault_count = parse_num(flag, value()?)?,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    let combo = combo.ok_or("missing --combo")?;
+    scenario.combo = combo;
+
+    if let Some(seeds) = sweep_seeds {
+        println!(
+            "sweeping {seeds} seeds of {combo} (horizon {horizon}, {fault_count} faults per plan)"
+        );
+        return Ok(match sweep(combo, seeds, horizon, fault_count) {
+            None => {
+                println!("oracle passed on every seed");
+                ExitCode::SUCCESS
+            }
+            Some(f) => {
+                println!("\noracle FAILED: {}", f.failure);
+                println!("original: {}", f.original.reproducer());
+                println!(
+                    "shrunk to {} txns, {} faults in {} runs:",
+                    f.shrunk.live_txns(),
+                    f.shrunk.plan.len(),
+                    f.shrink_runs
+                );
+                println!("  {}", f.shrunk.reproducer());
+                ExitCode::FAILURE
+            }
+        });
+    }
+
+    Ok(match run_scenario(&scenario) {
+        Ok(report) => {
+            println!("oracle passed: {}", scenario.reproducer());
+            println!(
+                "committed {}  gave-up {}  retries {}  rounds {}  events {}  oracle-checks {}",
+                report.committed,
+                report.gave_up,
+                report.retries,
+                report.rounds,
+                report.events,
+                report.oracle_checks,
+            );
+            println!(
+                "faults injected {}  crashes {}  torn {}  forced-aborts {}  delayed-commits {}  wound-storms {}",
+                report.faults_injected,
+                report.stats.crashes,
+                report.stats.torn_crashes,
+                report.stats.forced_aborts,
+                report.stats.delayed_commits,
+                report.stats.wound_storms,
+            );
+            println!("history fingerprint {:#018x}", report.history_fingerprint);
+            ExitCode::SUCCESS
+        }
+        Err(failure) => {
+            println!("oracle FAILED: {failure}");
+            let (shrunk, shrunk_failure, runs) = shrink(&scenario);
+            println!(
+                "shrunk to {} txns, {} faults in {} runs ({}):",
+                shrunk.live_txns(),
+                shrunk.plan.len(),
+                runs,
+                shrunk_failure,
+            );
+            println!("  {}", shrunk.reproducer());
+            ExitCode::FAILURE
+        }
+    })
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("{flag}: bad number {s:?}"))
 }

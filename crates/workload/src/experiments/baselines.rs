@@ -49,20 +49,13 @@ pub fn densities() -> (usize, usize, usize, usize) {
     let sym = SymmetricClosure(bank_nrbc());
     let nfc = bank_nfc();
     let two_pl = RwConflict::new(BankAccount::default());
-    (
-        density(&nrbc, &grid),
-        density(&sym, &grid),
-        density(&nfc, &grid),
-        density(&two_pl, &grid),
-    )
+    (density(&nrbc, &grid), density(&sym, &grid), density(&nfc, &grid), density(&two_pl, &grid))
 }
 
 /// Seed deposits for every object so withdrawals have funds.
 fn setup(objects: u32) -> Vec<(ObjectId, BankInv)> {
     // One large deposit per object so concurrent withdrawals rarely drain it.
-    (0..objects)
-        .map(|i| (ObjectId(i), BankInv::Deposit(200)))
-        .collect()
+    (0..objects).map(|i| (ObjectId(i), BankInv::Deposit(200))).collect()
 }
 
 /// Run one workload through the full configuration matrix.
@@ -249,10 +242,7 @@ pub fn run() -> String {
             "withdraw-heavy",
             configuration_matrix("withdraw-heavy", || withdraw_heavy(&w), w.objects),
         ),
-        (
-            "deposit-heavy",
-            configuration_matrix("deposit-heavy", || deposit_heavy(&w), w.objects),
-        ),
+        ("deposit-heavy", configuration_matrix("deposit-heavy", || deposit_heavy(&w), w.objects)),
     ] {
         out.push_str(&format!("### {name}\n\n"));
         out.push_str(&outcomes_table(&scripts));

@@ -7,21 +7,15 @@
 //! verified against the hand tables in `ccr-adt`. Both matrices must match
 //! the paper's figures exactly.
 
-use ccr_adt::bank::{
-    fc_by_kind, kind, ops, rbc_by_kind, BankAccount, BankOpKind,
-};
+use ccr_adt::bank::{fc_by_kind, kind, ops, rbc_by_kind, BankAccount, BankOpKind};
 use ccr_core::adt::Op;
 use ccr_core::commutativity::{commute_forward, right_commutes_backward};
 use ccr_core::equieffect::InclusionCfg;
 use ccr_core::table::render_matrix;
 
 /// The four kinds in the paper's row/column order.
-pub const KINDS: [BankOpKind; 4] = [
-    BankOpKind::DepositOk,
-    BankOpKind::WithdrawOk,
-    BankOpKind::WithdrawNo,
-    BankOpKind::Balance,
-];
+pub const KINDS: [BankOpKind; 4] =
+    [BankOpKind::DepositOk, BankOpKind::WithdrawOk, BankOpKind::WithdrawNo, BankOpKind::Balance];
 
 /// Kind labels as the paper prints them.
 pub fn labels() -> Vec<String> {
@@ -60,11 +54,7 @@ fn kind_matrix(holds: impl Fn(&Op<BankAccount>, &Op<BankAccount>) -> bool) -> Ve
                 .map(|kq| {
                     grid.iter()
                         .filter(|p| kind(p) == Some(*kp))
-                        .all(|p| {
-                            grid.iter()
-                                .filter(|q| kind(q) == Some(*kq))
-                                .all(|q| holds(p, q))
-                        })
+                        .all(|p| grid.iter().filter(|q| kind(q) == Some(*kq)).all(|q| holds(p, q)))
                 })
                 .collect()
         })
@@ -87,18 +77,12 @@ pub fn figure_6_2() -> Vec<Vec<bool>> {
 
 /// The paper's transcribed matrices (for the match report).
 pub fn paper_6_1() -> Vec<Vec<bool>> {
-    KINDS
-        .iter()
-        .map(|p| KINDS.iter().map(|q| fc_by_kind(*p, *q)).collect())
-        .collect()
+    KINDS.iter().map(|p| KINDS.iter().map(|q| fc_by_kind(*p, *q)).collect()).collect()
 }
 
 /// See [`paper_6_1`].
 pub fn paper_6_2() -> Vec<Vec<bool>> {
-    KINDS
-        .iter()
-        .map(|p| KINDS.iter().map(|q| rbc_by_kind(*p, *q)).collect())
-        .collect()
+    KINDS.iter().map(|p| KINDS.iter().map(|q| rbc_by_kind(*p, *q)).collect()).collect()
 }
 
 /// Render both figures with a paper-vs-computed verdict.
@@ -118,7 +102,9 @@ pub fn run() -> String {
         "Computed relation matches the paper's Figure 6-1: **{}**\n\n",
         fc == paper_6_1()
     ));
-    out.push_str("## E2 — Figure 6-2: right backward commutativity for the bank account\n\n```text\n");
+    out.push_str(
+        "## E2 — Figure 6-2: right backward commutativity for the bank account\n\n```text\n",
+    );
     out.push_str(&render_matrix(
         &labels,
         &rbc,

@@ -127,7 +127,9 @@ pub fn run() -> String {
         "Each method admits an interleaving the other must forbid — the relations are \
          incomparable, so neither recovery method dominates (the paper's central claim).\n\n",
     );
-    out.push_str("Witness counts per ADT (`|NRBC ∖ NFC|`, `|NFC ∖ NRBC|`) over the alphabet grids:\n\n");
+    out.push_str(
+        "Witness counts per ADT (`|NRBC ∖ NFC|`, `|NFC ∖ NRBC|`) over the alphabet grids:\n\n",
+    );
     out.push_str("| ADT | NRBC ∖ NFC | NFC ∖ NRBC |\n|---|---:|---:|\n");
     let bank = BankAccount { amounts: vec![1, 2] };
     let (a, b) = witness_counts(&bank);

@@ -22,9 +22,7 @@
 //! history at exactly that response).
 
 use ccr_adt::bank::{bank_nrbc, BankAccount, BankInv, BankResp};
-use ccr_core::atomicity::{
-    check_dynamic_atomic, is_atomic, serializable_in, SystemSpec,
-};
+use ccr_core::atomicity::{check_dynamic_atomic, is_atomic, serializable_in, SystemSpec};
 use ccr_core::history::{Event, History};
 use ccr_core::ids::{ObjectId, TxnId};
 use ccr_core::object::ObjectAutomaton;

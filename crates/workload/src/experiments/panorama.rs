@@ -64,32 +64,14 @@ where
 pub fn outcomes() -> Vec<(Outcome, Outcome)> {
     let w = w();
     let mut out = Vec::new();
-    out.push(pair(
-        "counter",
-        Counter,
-        counter_nrbc(),
-        &[],
-        || counter_hotspot(&w, 0.1),
-    ));
-    out.push(pair(
-        "set",
-        IntSet { elems: (0..8).collect() },
-        set_nrbc(),
-        &[],
-        || set_churn(&w, 8),
-    ));
+    out.push(pair("counter", Counter, counter_nrbc(), &[], || counter_hotspot(&w, 0.1)));
+    out.push(pair("set", IntSet { elems: (0..8).collect() }, set_nrbc(), &[], || set_churn(&w, 8)));
     // Credit-only escrow: the commuting side of the type. The *mixed*
     // credit/debit workload has bidirectional NRBC conflicts and thrashes at
     // this multiprogramming level (same admission-control caveat as the
     // mixed banking workload in B1) — reported separately below.
     let escrow = EscrowAccount::new(1000, [1, 2, 3]);
-    out.push(pair(
-        "escrow (credits)",
-        escrow.clone(),
-        escrow_nrbc(),
-        &[],
-        || escrow_credits(&w),
-    ));
+    out.push(pair("escrow (credits)", escrow.clone(), escrow_nrbc(), &[], || escrow_credits(&w)));
     out
 }
 

@@ -36,9 +36,8 @@ where
 {
     (0..TXNS)
         .map(|i| {
-            let invs: Vec<A::Invocation> = (0..OPS)
-                .map(|k| if i % 2 == 0 { prod(i * OPS + k) } else { cons() })
-                .collect();
+            let invs: Vec<A::Invocation> =
+                (0..OPS).map(|k| if i % 2 == 0 { prod(i * OPS + k) } else { cons() }).collect();
             Box::new(OpsScript::on(ObjectId::SOLE, invs)) as Box<dyn Script<A>>
         })
         .collect()
@@ -74,10 +73,7 @@ pub fn outcomes() -> (Outcome, Outcome, Outcome) {
         "priority queue (UIP + NRBC)",
         PQueue { values: vec![0, 1, 2, 3] },
         pqueue_nrbc(),
-        producer_consumer::<PQueue, _, _>(
-            |i| PqInv::Insert((i % 4) as u8),
-            || PqInv::ExtractMin,
-        ),
+        producer_consumer::<PQueue, _, _>(|i| PqInv::Insert((i % 4) as u8), || PqInv::ExtractMin),
     );
     let sq = run_buffer(
         "semiqueue (UIP + NRBC)",

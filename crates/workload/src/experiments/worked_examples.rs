@@ -8,9 +8,9 @@
 //!   deposit-then-withdraw history, showing DU hiding active transactions'
 //!   operations.
 
-use ccr_adt::bank::{BankAccount, BankInv, BankResp};
 #[cfg(test)]
 use ccr_adt::bank::ops;
+use ccr_adt::bank::{BankAccount, BankInv, BankResp};
 use ccr_core::atomicity::{check_dynamic_atomic, find_serialization, is_atomic, SystemSpec};
 use ccr_core::history::{Event, History};
 use ccr_core::ids::{ObjectId, TxnId};
@@ -166,9 +166,6 @@ mod tests {
             <Du as ViewFn<BankAccount>>::view(&Du, &h, BA, B),
             vec![ops::deposit(5), ops::withdraw_ok(3)]
         );
-        assert_eq!(
-            <Du as ViewFn<BankAccount>>::view(&Du, &h, BA, C),
-            vec![ops::deposit(5)]
-        );
+        assert_eq!(<Du as ViewFn<BankAccount>>::view(&Du, &h, BA, C), vec![ops::deposit(5)]);
     }
 }

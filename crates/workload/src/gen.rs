@@ -57,9 +57,8 @@ where
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     (0..cfg.txns)
         .map(|_| {
-            let steps: Vec<(ObjectId, A::Invocation)> = (0..cfg.ops_per_txn)
-                .map(|_| (pick_obj(&mut rng, cfg), op(&mut rng)))
-                .collect();
+            let steps: Vec<(ObjectId, A::Invocation)> =
+                (0..cfg.ops_per_txn).map(|_| (pick_obj(&mut rng, cfg), op(&mut rng))).collect();
             Box::new(OpsScript::new(steps)) as Box<dyn Script<A>>
         })
         .collect()
@@ -222,7 +221,8 @@ mod tests {
 
     #[test]
     fn hot_fraction_skews_access() {
-        let cfg = WorkloadCfg { txns: 200, ops_per_txn: 1, hot_fraction: 0.9, ..Default::default() };
+        let cfg =
+            WorkloadCfg { txns: 200, ops_per_txn: 1, hot_fraction: 0.9, ..Default::default() };
         let scripts = counter_hotspot(&cfg, 0.0);
         let mut hot = 0;
         for mut s in scripts {
@@ -260,10 +260,7 @@ mod tests {
             .into_iter()
             .map(|mut s| {
                 s.reset();
-                matches!(
-                    s.next(None),
-                    ccr_runtime::script::Step::Invoke(_, QueueInv::Enq(_))
-                )
+                matches!(s.next(None), ccr_runtime::script::Step::Invoke(_, QueueInv::Enq(_)))
             })
             .collect();
         assert_eq!(kinds, vec![true, false, true, false]);

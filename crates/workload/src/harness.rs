@@ -3,8 +3,6 @@
 
 use std::time::Instant;
 
-use serde::Serialize;
-
 use ccr_core::adt::Adt;
 use ccr_core::atomicity::{check_dynamic_atomic, SystemSpec};
 use ccr_core::conflict::Conflict;
@@ -15,7 +13,7 @@ use ccr_runtime::script::Script;
 use ccr_runtime::system::{ConflictPolicy, TxnSystem};
 
 /// Aggregated measurements from one run.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Outcome {
     /// Configuration name, e.g. `"UIP + NRBC"`.
     pub config: String,
@@ -68,6 +66,62 @@ impl Outcome {
             (self.deadlock_aborts + self.validation_aborts) as f64 / self.committed as f64
         }
     }
+
+    /// Render as a JSON object (hand-rolled: the build has no serde).
+    pub fn to_json(&self) -> String {
+        let da = match self.dynamic_atomic {
+            Some(b) => b.to_string(),
+            None => "null".to_string(),
+        };
+        format!(
+            concat!(
+                "{{\"config\":{},\"workload\":{},\"committed\":{},\"gave_up\":{},",
+                "\"blocks\":{},\"block_attempts\":{},\"rounds\":{},\"wait_rounds\":{},",
+                "\"deadlock_aborts\":{},\"validation_aborts\":{},\"retries\":{},",
+                "\"ops\":{},\"wall_micros\":{},\"dynamic_atomic\":{}}}"
+            ),
+            json_string(&self.config),
+            json_string(&self.workload),
+            self.committed,
+            self.gave_up,
+            self.blocks,
+            self.block_attempts,
+            self.rounds,
+            self.wait_rounds,
+            self.deadlock_aborts,
+            self.validation_aborts,
+            self.retries,
+            self.ops,
+            self.wall_micros,
+            da,
+        )
+    }
+}
+
+/// Escape a string as a JSON string literal.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render outcomes as a pretty-printed JSON array.
+pub fn outcomes_json(outcomes: &[Outcome]) -> String {
+    let body =
+        outcomes.iter().map(|o| format!("  {}", o.to_json())).collect::<Vec<_>>().join(",\n");
+    format!("[\n{body}\n]")
 }
 
 /// Harness knobs.
@@ -126,8 +180,7 @@ where
     if !setup.is_empty() {
         let t = sys.begin();
         for (obj, inv) in setup {
-            sys.invoke(t, *obj, inv.clone())
-                .expect("setup operations must not conflict");
+            sys.invoke(t, *obj, inv.clone()).expect("setup operations must not conflict");
         }
         sys.commit(t).expect("setup commit");
     }
@@ -217,9 +270,8 @@ mod tests {
     fn harness_runs_and_checks_atomicity() {
         let wcfg = WorkloadCfg { txns: 10, ops_per_txn: 2, objects: 2, ..Default::default() };
         let scripts = banking(&wcfg, 0.7);
-        let setup: Vec<(ObjectId, BankInv)> = (0..2)
-            .map(|i| (ObjectId(i), BankInv::Deposit(100)))
-            .collect();
+        let setup: Vec<(ObjectId, BankInv)> =
+            (0..2).map(|i| (ObjectId(i), BankInv::Deposit(100))).collect();
         let outcome = run_config::<BankAccount, UipEngine<BankAccount>, _>(
             "UIP + NRBC",
             "banking",

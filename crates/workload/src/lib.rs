@@ -10,7 +10,11 @@
 //! * [`experiments`] — one module per paper artifact (Figures 6-1/6-2,
 //!   Theorems 9/10, the §6.4/§8 incomparability, the worked examples of
 //!   §3.3/§5) plus the concurrency comparisons; each renders a markdown
-//!   section consumed by `EXPERIMENTS.md` and the `ccr-experiments` binary.
+//!   section consumed by `EXPERIMENTS.md` and the `ccr-experiments` binary;
+//! * [`sim`] — fault-injection scenarios over the `ccr-runtime` simulator:
+//!   engine × relation combos (including a deliberately weakened one),
+//!   seed sweeps, and a delta-debugging shrinker that reduces an oracle
+//!   failure to a replayable `ccr-experiments sim …` command line.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -18,3 +22,4 @@
 pub mod experiments;
 pub mod gen;
 pub mod harness;
+pub mod sim;

@@ -1,0 +1,501 @@
+//! Fault-simulation scenarios: seeded workloads × engine/relation combos ×
+//! fault plans, with a sweep driver and a failure shrinker.
+//!
+//! A [`SimScenario`] is a fully serialisable description of one simulated
+//! run — everything needed to reproduce it is in the struct, and
+//! [`SimScenario::reproducer`] renders it as a replayable
+//! `ccr-experiments sim …` command line. [`sweep`] searches seeds and fault
+//! plans for an oracle failure; [`shrink`] then minimises a failing scenario
+//! with a delta-debugging loop (drop faults, drop scripts, shorten
+//! transactions, bisect fault event indices) so the reproducer is as small
+//! as the defect allows — typically two or three transactions for a
+//! weakened conflict relation.
+
+use std::fmt;
+use std::str::FromStr;
+
+use ccr_adt::bank::{bank_nfc, bank_nrbc, BankAccount};
+use ccr_adt::escrow::{escrow_nfc, escrow_nrbc, EscrowAccount};
+use ccr_core::adt::Adt;
+use ccr_core::atomicity::SystemSpec;
+use ccr_core::conflict::{Conflict, SymmetricClosure};
+use ccr_runtime::crash::DurableSystem;
+use ccr_runtime::engine::{DuEngine, RecoveryEngine, UipEngine};
+use ccr_runtime::fault::FaultPlan;
+use ccr_runtime::script::Script;
+use ccr_runtime::sim::{run_sim, SimCfg, SimFailure, SimReport, StateInvariant};
+use ccr_runtime::system::ConflictPolicy;
+
+use crate::gen::{banking, escrow_mix, WorkloadCfg};
+
+/// Escrow capacity used by the escrow scenarios.
+const ESCROW_CAP: u64 = 20;
+
+/// An engine × conflict-relation pairing the simulator can run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Combo {
+    /// Update-in-place with NRBC — correct (Theorem 9).
+    UipNrbc,
+    /// Deferred update with NFC — correct (Theorem 10).
+    DuNfc,
+    /// Update-in-place with symmetrised NFC — **deliberately weakened**:
+    /// FC does not order operations against pending non-commuting updates
+    /// the way RBC does, so UIP executions can commit serially impossible
+    /// responses. The oracle must catch this combo.
+    UipSymNfc,
+    /// Escrow accounts under update-in-place with NRBC — correct.
+    EscrowUipNrbc,
+    /// Escrow accounts under deferred update with NFC — correct.
+    EscrowDuNfc,
+}
+
+impl Combo {
+    /// All combos, for sweeps.
+    pub const ALL: [Combo; 5] =
+        [Combo::UipNrbc, Combo::DuNfc, Combo::UipSymNfc, Combo::EscrowUipNrbc, Combo::EscrowDuNfc];
+
+    /// Whether the pairing is one of the paper's correct ones (the oracle is
+    /// expected to pass on these under every fault plan).
+    pub fn is_correct_pairing(self) -> bool {
+        !matches!(self, Combo::UipSymNfc)
+    }
+}
+
+impl fmt::Display for Combo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Combo::UipNrbc => "uip-nrbc",
+            Combo::DuNfc => "du-nfc",
+            Combo::UipSymNfc => "uip-sym-nfc",
+            Combo::EscrowUipNrbc => "escrow-uip-nrbc",
+            Combo::EscrowDuNfc => "escrow-du-nfc",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl FromStr for Combo {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "uip-nrbc" => Ok(Combo::UipNrbc),
+            "du-nfc" => Ok(Combo::DuNfc),
+            "uip-sym-nfc" => Ok(Combo::UipSymNfc),
+            "escrow-uip-nrbc" => Ok(Combo::EscrowUipNrbc),
+            "escrow-du-nfc" => Ok(Combo::EscrowDuNfc),
+            other => Err(format!("unknown combo {other:?}")),
+        }
+    }
+}
+
+/// Parse a conflict policy name (`block` / `wound` / `nowait`).
+pub fn parse_policy(s: &str) -> Result<ConflictPolicy, String> {
+    match s {
+        "block" => Ok(ConflictPolicy::Block),
+        "wound" => Ok(ConflictPolicy::WoundWait),
+        "nowait" => Ok(ConflictPolicy::NoWait),
+        other => Err(format!("unknown policy {other:?}")),
+    }
+}
+
+fn policy_name(p: ConflictPolicy) -> &'static str {
+    match p {
+        ConflictPolicy::Block => "block",
+        ConflictPolicy::WoundWait => "wound",
+        ConflictPolicy::NoWait => "nowait",
+    }
+}
+
+/// One fully reproducible simulated run.
+#[derive(Clone, Debug)]
+pub struct SimScenario {
+    /// Engine × conflict-relation pairing.
+    pub combo: Combo,
+    /// Conflict policy.
+    pub policy: ConflictPolicy,
+    /// Seed for both workload generation and scheduler interleaving.
+    pub seed: u64,
+    /// Scripts generated (before `skip` filtering).
+    pub txns: usize,
+    /// Operations per script.
+    pub ops_per_txn: usize,
+    /// Objects in the system.
+    pub objects: u32,
+    /// Generated script indices to omit (the shrinker's script minimiser).
+    pub skip: Vec<usize>,
+    /// The fault plan.
+    pub plan: FaultPlan,
+}
+
+impl SimScenario {
+    /// A scenario with the default workload shape.
+    pub fn new(combo: Combo, seed: u64, plan: FaultPlan) -> Self {
+        SimScenario {
+            combo,
+            policy: ConflictPolicy::Block,
+            seed,
+            txns: 8,
+            ops_per_txn: 2,
+            objects: 1,
+            skip: Vec::new(),
+            plan,
+        }
+    }
+
+    /// Scripts actually run (after skipping).
+    pub fn live_txns(&self) -> usize {
+        self.txns - self.skip.iter().filter(|&&i| i < self.txns).count()
+    }
+
+    /// The replayable command line for this scenario.
+    pub fn reproducer(&self) -> String {
+        let mut s = format!(
+            "ccr-experiments sim --combo {} --policy {} --seed {} --txns {} --ops {} --objects {}",
+            self.combo,
+            policy_name(self.policy),
+            self.seed,
+            self.txns,
+            self.ops_per_txn,
+            self.objects,
+        );
+        if !self.skip.is_empty() {
+            let list: Vec<String> = self.skip.iter().map(|i| i.to_string()).collect();
+            s.push_str(&format!(" --skip {}", list.join(",")));
+        }
+        s.push_str(&format!(" --faults {}", self.plan));
+        s
+    }
+}
+
+fn run_combo<A, E, C>(
+    scenario: &SimScenario,
+    adt: A,
+    conflict: C,
+    scripts: Vec<Box<dyn Script<A>>>,
+    invariant: Option<&StateInvariant<A>>,
+) -> Result<SimReport, SimFailure>
+where
+    A: Adt,
+    E: RecoveryEngine<A>,
+    C: Conflict<A> + Clone,
+{
+    let mut sys: DurableSystem<A, E, C> =
+        DurableSystem::new(adt.clone(), scenario.objects, conflict);
+    sys.system_mut().set_policy(scenario.policy);
+    let spec = SystemSpec::uniform(adt, scenario.objects);
+    let cfg = SimCfg { seed: scenario.seed, ..Default::default() };
+    run_sim(&mut sys, scripts, &scenario.plan, &cfg, &spec, invariant)
+}
+
+fn filter_scripts<A: Adt>(
+    scripts: Vec<Box<dyn Script<A>>>,
+    skip: &[usize],
+) -> Vec<Box<dyn Script<A>>> {
+    scripts.into_iter().enumerate().filter(|(i, _)| !skip.contains(i)).map(|(_, s)| s).collect()
+}
+
+/// Run one scenario to completion (or its first oracle failure).
+pub fn run_scenario(scenario: &SimScenario) -> Result<SimReport, SimFailure> {
+    let wcfg = WorkloadCfg {
+        txns: scenario.txns,
+        ops_per_txn: scenario.ops_per_txn,
+        objects: scenario.objects,
+        hot_fraction: 0.8,
+        seed: scenario.seed,
+    };
+    match scenario.combo {
+        Combo::UipNrbc => {
+            let scripts = filter_scripts(banking(&wcfg, 0.8), &scenario.skip);
+            run_combo::<_, UipEngine<BankAccount>, _>(
+                scenario,
+                BankAccount::default(),
+                bank_nrbc(),
+                scripts,
+                None,
+            )
+        }
+        Combo::DuNfc => {
+            let scripts = filter_scripts(banking(&wcfg, 0.8), &scenario.skip);
+            run_combo::<_, DuEngine<BankAccount>, _>(
+                scenario,
+                BankAccount::default(),
+                bank_nfc(),
+                scripts,
+                None,
+            )
+        }
+        Combo::UipSymNfc => {
+            let scripts = filter_scripts(banking(&wcfg, 0.8), &scenario.skip);
+            run_combo::<_, UipEngine<BankAccount>, _>(
+                scenario,
+                BankAccount::default(),
+                SymmetricClosure(bank_nfc()),
+                scripts,
+                None,
+            )
+        }
+        Combo::EscrowUipNrbc => {
+            let adt = EscrowAccount::new(ESCROW_CAP, [1, 2, 3]);
+            let scripts = filter_scripts(escrow_mix(&wcfg, ESCROW_CAP), &scenario.skip);
+            run_combo::<_, UipEngine<EscrowAccount>, _>(
+                scenario,
+                adt,
+                escrow_nrbc(),
+                scripts,
+                Some(&escrow_invariant),
+            )
+        }
+        Combo::EscrowDuNfc => {
+            let adt = EscrowAccount::new(ESCROW_CAP, [1, 2, 3]);
+            let scripts = filter_scripts(escrow_mix(&wcfg, ESCROW_CAP), &scenario.skip);
+            run_combo::<_, DuEngine<EscrowAccount>, _>(
+                scenario,
+                adt,
+                escrow_nfc(),
+                scripts,
+                Some(&escrow_invariant),
+            )
+        }
+    }
+}
+
+/// Escrow conservation: every committed balance stays within the capacity
+/// bound (the ADT's defining invariant, checked over the journal fold).
+fn escrow_invariant(
+    states: &std::collections::BTreeMap<ccr_core::ids::ObjectId, u64>,
+) -> Result<(), String> {
+    for (obj, s) in states {
+        if *s > ESCROW_CAP {
+            return Err(format!("escrow {obj} holds {s} > cap {ESCROW_CAP}"));
+        }
+    }
+    Ok(())
+}
+
+/// Outcome of a [`sweep`]: the first failing scenario found, already shrunk.
+#[derive(Clone, Debug)]
+pub struct SweepFailure {
+    /// The original (pre-shrink) failing scenario.
+    pub original: SimScenario,
+    /// The minimised scenario.
+    pub shrunk: SimScenario,
+    /// The failure the shrunk scenario still reproduces.
+    pub failure: SimFailure,
+    /// Scenario runs spent shrinking.
+    pub shrink_runs: u64,
+}
+
+/// Sweep `seeds` seeds of `combo`: seed `s` runs the seeded workload under
+/// `FaultPlan::from_seed(s, horizon, faults)`. Returns the first oracle
+/// failure, shrunk to a minimal reproducer — or `None` if every run passed.
+pub fn sweep(combo: Combo, seeds: u64, horizon: u64, faults: usize) -> Option<SweepFailure> {
+    for seed in 0..seeds {
+        let plan = FaultPlan::from_seed(seed, horizon, faults);
+        let scenario = SimScenario::new(combo, seed, plan);
+        if run_scenario(&scenario).is_err() {
+            let (shrunk, failure, shrink_runs) = shrink(&scenario);
+            return Some(SweepFailure { original: scenario, shrunk, failure, shrink_runs });
+        }
+    }
+    None
+}
+
+/// Minimise a failing scenario by delta debugging. Returns the smallest
+/// still-failing scenario found, its failure, and the number of candidate
+/// runs spent. Panics if `scenario` does not fail (a shrinker needs a
+/// failure to preserve).
+pub fn shrink(scenario: &SimScenario) -> (SimScenario, SimFailure, u64) {
+    let mut runs = 0u64;
+    let mut best = scenario.clone();
+    let mut failure = match run_scenario(&best) {
+        Err(e) => e,
+        Ok(_) => panic!("shrink() called on a passing scenario"),
+    };
+    runs += 1;
+    // Each pass may unlock further reductions in another dimension; iterate
+    // to a global fixpoint (bounded: every accepted step strictly shrinks).
+    loop {
+        let mut changed = false;
+
+        // 1. Drop faults one at a time.
+        let mut i = 0;
+        while i < best.plan.len() {
+            let candidate = SimScenario { plan: best.plan.without_index(i), ..best.clone() };
+            runs += 1;
+            if let Err(e) = run_scenario(&candidate) {
+                best = candidate;
+                failure = e;
+                changed = true;
+            } else {
+                i += 1;
+            }
+        }
+
+        // 2. Drop scripts one at a time (latest first, so surviving indices
+        //    stay meaningful for the reproducer).
+        for idx in (0..best.txns).rev() {
+            if best.skip.contains(&idx) {
+                continue;
+            }
+            let mut candidate = best.clone();
+            candidate.skip.push(idx);
+            candidate.skip.sort_unstable();
+            runs += 1;
+            if let Err(e) = run_scenario(&candidate) {
+                best = candidate;
+                failure = e;
+                changed = true;
+            }
+        }
+
+        // 2b. Greedy dropping can stall above the true minimum because
+        //     removing a script reshuffles the interleaving: each single
+        //     drop may pass while a pair or triple alone still fails. When
+        //     few enough scripts remain, search all 2- and 3-element script
+        //     subsets outright — each candidate run is tiny, and this
+        //     guarantees a minimal script set whenever one exists.
+        if best.live_txns() > 3 && best.txns <= 16 {
+            let live: Vec<usize> = (0..best.txns).filter(|i| !best.skip.contains(i)).collect();
+            'subsets: for size in 2..=3usize {
+                for subset in k_subsets(&live, size) {
+                    let candidate = SimScenario {
+                        skip: (0..best.txns).filter(|i| !subset.contains(i)).collect(),
+                        ..best.clone()
+                    };
+                    runs += 1;
+                    if let Err(e) = run_scenario(&candidate) {
+                        best = candidate;
+                        failure = e;
+                        changed = true;
+                        break 'subsets;
+                    }
+                }
+            }
+        }
+
+        // 3. Shorten transactions.
+        while best.ops_per_txn > 1 {
+            let candidate = SimScenario { ops_per_txn: best.ops_per_txn - 1, ..best.clone() };
+            runs += 1;
+            match run_scenario(&candidate) {
+                Err(e) => {
+                    best = candidate;
+                    failure = e;
+                    changed = true;
+                }
+                Ok(_) => break,
+            }
+        }
+
+        // 4. Bisect each fault's event index to the smallest still-failing
+        //    trigger point.
+        for fi in 0..best.plan.len() {
+            let (mut lo, mut hi) = (1u64, best.plan.faults()[fi].at_event);
+            // Invariant: firing at `hi` fails; search the least such index.
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                let mut faults: Vec<_> = best.plan.faults().to_vec();
+                faults[fi].at_event = mid;
+                let candidate = SimScenario { plan: FaultPlan::new(faults), ..best.clone() };
+                runs += 1;
+                match run_scenario(&candidate) {
+                    Err(e) => {
+                        best = candidate;
+                        failure = e;
+                        changed = true;
+                        hi = mid;
+                    }
+                    Ok(_) => lo = mid + 1,
+                }
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+    (best, failure, runs)
+}
+
+/// All `k`-element subsets of `items`, in lexicographic order (`k` ∈ {2,3}
+/// in practice; the shrinker bounds `items` to 16, so at most 560 subsets).
+fn k_subsets(items: &[usize], k: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    match k {
+        2 => {
+            for i in 0..items.len() {
+                for j in i + 1..items.len() {
+                    out.push(vec![items[i], items[j]]);
+                }
+            }
+        }
+        3 => {
+            for i in 0..items.len() {
+                for j in i + 1..items.len() {
+                    for l in j + 1..items.len() {
+                        out.push(vec![items[i], items[j], items[l]]);
+                    }
+                }
+            }
+        }
+        _ => unreachable!("only pair/triple subsets are searched"),
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correct_pairings_survive_a_fault_sweep() {
+        for combo in Combo::ALL {
+            if !combo.is_correct_pairing() {
+                continue;
+            }
+            assert!(
+                sweep(combo, 6, 40, 3).is_none(),
+                "correct pairing {combo} failed a fault sweep"
+            );
+        }
+    }
+
+    #[test]
+    fn weakened_combo_is_caught_and_shrunk_small() {
+        let fail =
+            sweep(Combo::UipSymNfc, 64, 60, 4).expect("uip-sym-nfc must fail within the sweep");
+        // The shrunk reproducer involves at most 3 live transactions.
+        assert!(
+            fail.shrunk.live_txns() <= 3,
+            "reproducer too large: {} txns\n{}",
+            fail.shrunk.live_txns(),
+            fail.shrunk.reproducer()
+        );
+        // The reproducer line round-trips through the scenario runner.
+        assert!(run_scenario(&fail.shrunk).is_err(), "shrunk scenario must still fail");
+        let line = fail.shrunk.reproducer();
+        assert!(line.contains("--combo uip-sym-nfc") && line.contains("--faults"));
+    }
+
+    #[test]
+    fn scenario_runs_are_deterministic() {
+        let plan = FaultPlan::from_seed(3, 40, 3);
+        let scenario = SimScenario::new(Combo::DuNfc, 3, plan);
+        let a = run_scenario(&scenario).unwrap();
+        let b = run_scenario(&scenario).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn combo_and_policy_parse_round_trip() {
+        for combo in Combo::ALL {
+            assert_eq!(combo.to_string().parse::<Combo>().unwrap(), combo);
+        }
+        assert!("2pl".parse::<Combo>().is_err());
+        for p in [ConflictPolicy::Block, ConflictPolicy::WoundWait, ConflictPolicy::NoWait] {
+            assert_eq!(parse_policy(policy_name(p)).unwrap(), p);
+        }
+        assert!(parse_policy("optimism").is_err());
+    }
+}

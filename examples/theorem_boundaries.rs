@@ -28,25 +28,18 @@ fn main() {
     println!("== One counterexample in detail ==\n");
     let p = ops::withdraw_ok(2);
     let q = ops::withdraw_ok(2);
-    let fail = commute_forward(&ba, &p, &q, cfg)
-        .expect_err("withdrawals do not commute forward");
+    let fail = commute_forward(&ba, &p, &q, cfg).expect_err("withdrawals do not commute forward");
     println!("(P, Q) = ({p:?}, {q:?}) ∈ NFC — witness prefix α = {:?}\n", fail.prefix);
     let h = du_counterexample(&p, &q, &fail, ObjectId::SOLE);
     println!("Theorem 10 construction (paper notation):\n{h}");
 
     let nrbc = nrbc_table(&ba, &grid, cfg);
     let automaton = ObjectAutomaton::new(ba.clone(), Du, nrbc, ObjectId::SOLE);
-    println!(
-        "accepted by I(BA, Spec, DU, NRBC): {}",
-        automaton.accepts(&h).is_ok()
-    );
+    println!("accepted by I(BA, Spec, DU, NRBC): {}", automaton.accepts(&h).is_ok());
     let spec = SystemSpec::single(ba.clone());
     match check_dynamic_atomic(&spec, &h) {
         Ok(()) => println!("dynamic atomic: true (unexpected!)"),
-        Err(v) => println!(
-            "dynamic atomic: FALSE — refuted by the consistent order {:?}",
-            v.order
-        ),
+        Err(v) => println!("dynamic atomic: FALSE — refuted by the consistent order {:?}", v.order),
     }
 
     println!("\n== Full boundary sweep ==\n");

@@ -32,8 +32,7 @@ type App = SumAdt<BankAccount, Semiqueue>;
 const INVENTORY: ObjectId = ObjectId(0);
 const AUDIT: ObjectId = ObjectId(1);
 
-type AppConflict =
-    SumConflict<FnConflict<BankAccount>, FnConflict<Semiqueue>>;
+type AppConflict = SumConflict<FnConflict<BankAccount>, FnConflict<Semiqueue>>;
 
 /// Dispatch the per-side NRBC tables through the sum.
 fn app_nrbc() -> AppConflict {
@@ -49,9 +48,7 @@ fn sale(record: u8) -> ConditionalScript<App> {
     ConditionalScript::new(|pos, last| match pos {
         0 => Step::Invoke(INVENTORY, Either::L(BankInv::Withdraw(1))),
         1 => match last {
-            Some(Either::L(BankResp::Ok)) => {
-                Step::Invoke(AUDIT, Either::R(SqInv::Enq(1)))
-            }
+            Some(Either::L(BankResp::Ok)) => Step::Invoke(AUDIT, Either::R(SqInv::Enq(1))),
             _ => Step::Abort,
         },
         _ => Step::Commit,
@@ -61,9 +58,8 @@ fn sale(record: u8) -> ConditionalScript<App> {
 fn main() {
     let mut sys = build_system();
 
-    let scripts: Vec<Box<dyn Script<App>>> = (0..20)
-        .map(|i| Box::new(sale(i as u8)) as Box<dyn Script<App>>)
-        .collect();
+    let scripts: Vec<Box<dyn Script<App>>> =
+        (0..20).map(|i| Box::new(sale(i as u8)) as Box<dyn Script<App>>).collect();
 
     // Stock 12 tickets: 20 buyers compete, 8 must be refused.
     let t = sys.begin();

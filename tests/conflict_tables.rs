@@ -3,12 +3,18 @@
 //! version of the reproduction of Figures 6-1/6-2, extended to the whole
 //! ADT library.
 
+mod common;
+
 use ccr::core::adt::{EnumerableAdt, Op, StateCover};
 use ccr::core::commutativity::{
-    build_tables_bounded, commute_forward, right_commutes_backward, PrefixCfg,
+    build_tables, build_tables_bounded, commute_forward, right_commutes_backward, FcFailure,
+    FcFailureKind, PrefixCfg,
 };
 use ccr::core::conflict::{Conflict, FnConflict};
 use ccr::core::equieffect::InclusionCfg;
+use ccr::core::spec;
+use common::{table_adt, TableAdt};
+use proptest::prelude::*;
 
 fn verify<A: EnumerableAdt + StateCover>(
     adt: &A,
@@ -83,13 +89,8 @@ fn queue_and_stack_tables_match() {
     {
         use ccr::adt::stack::{ops, stack_nfc, stack_nrbc, Stack};
         let adt = Stack { values: vec![0, 1, 2] };
-        let grid = vec![
-            ops::push(0),
-            ops::push(1),
-            ops::pop_got(0),
-            ops::pop_got(1),
-            ops::pop_empty(),
-        ];
+        let grid =
+            vec![ops::push(0), ops::push(1), ops::pop_got(0), ops::pop_got(1), ops::pop_empty()];
         verify(&adt, &grid, &stack_nfc(), &stack_nrbc());
     }
 }
@@ -98,13 +99,7 @@ fn queue_and_stack_tables_match() {
 fn semiqueue_tables_match_and_beat_the_queue() {
     use ccr::adt::semiqueue::{ops, semiqueue_nfc, semiqueue_nrbc, Semiqueue};
     let adt = Semiqueue { values: vec![0, 1] };
-    let grid = vec![
-        ops::enq(0),
-        ops::enq(1),
-        ops::deq_got(0),
-        ops::deq_got(1),
-        ops::deq_empty(),
-    ];
+    let grid = vec![ops::enq(0), ops::enq(1), ops::deq_got(0), ops::deq_got(1), ops::deq_empty()];
     verify(&adt, &grid, &semiqueue_nfc(), &semiqueue_nrbc());
 
     // The concurrency pay-off of specification non-determinism: strictly
@@ -165,6 +160,113 @@ fn kv_and_register_tables_match() {
         ];
         verify(&adt, &grid, &register_nfc(), &register_nrbc());
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random specifications: FC is symmetric (Lemma 8) and the two
+    /// decision engines agree pair-by-pair — so neither the curated ADT
+    /// library nor hand-picked grids are load-bearing for the tables.
+    #[test]
+    fn random_tables_are_fc_symmetric_and_engine_agreed(adt in table_adt()) {
+        let grid = adt.grid();
+        let t = build_tables(&adt, &grid, InclusionCfg::default());
+        prop_assert!(t.exact, "state-cover verdicts must be exact on {adt:?}");
+        prop_assert!(t.fc_symmetric(), "Lemma 8: FC must be symmetric on {adt:?}");
+        let b = build_tables_bounded(&adt, &grid, &PrefixCfg::default());
+        prop_assert!(b.exact, "finite machine must close under prefixes");
+        prop_assert_eq!(&t.fc, &b.fc, "engines disagree on FC for {:?}", &adt);
+        prop_assert_eq!(&t.rbc, &b.rbc, "engines disagree on RBC for {:?}", &adt);
+    }
+
+    /// Every negative verdict on a random specification carries a witness
+    /// that replays against the specification itself: `αQPγ` legal but
+    /// `αPQγ` illegal for RBC, and `αP, αQ` legal with `αPQ` illegal for
+    /// the `PqIllegal` mode of FC.
+    #[test]
+    fn random_table_refutations_are_replayable(adt in table_adt()) {
+        let grid = adt.grid();
+        let cfg = InclusionCfg::default();
+        for p in &grid {
+            for q in &grid {
+                if let Err(f) = right_commutes_backward(&adt, p, q, cfg) {
+                    let mut aqp = f.prefix.clone();
+                    aqp.extend([q.clone(), p.clone()]);
+                    aqp.extend(f.continuation.iter().cloned());
+                    prop_assert!(spec::legal(&adt, &aqp), "αQPγ must be legal on {adt:?}");
+                    let mut apq = f.prefix.clone();
+                    apq.extend([p.clone(), q.clone()]);
+                    apq.extend(f.continuation.iter().cloned());
+                    prop_assert!(!spec::legal(&adt, &apq), "αPQγ must be illegal on {adt:?}");
+                }
+                if let Err(FcFailure { prefix, kind }) = commute_forward(&adt, p, q, cfg) {
+                    let mut ap = prefix.clone();
+                    ap.push(p.clone());
+                    prop_assert!(spec::legal(&adt, &ap), "αP must be legal on {adt:?}");
+                    let mut aq = prefix.clone();
+                    aq.push(q.clone());
+                    prop_assert!(spec::legal(&adt, &aq), "αQ must be legal on {adt:?}");
+                    if matches!(kind, FcFailureKind::PqIllegal) {
+                        let mut apq = ap;
+                        apq.push(q.clone());
+                        prop_assert!(!spec::legal(&adt, &apq), "αPQ must be illegal on {adt:?}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// FC and RBC are *incomparable* — in particular the tempting containment
+/// "RBC admits every pair FC admits" (FC ⊆ RBC) is **false**. This is the
+/// paper's §6.4 point: neither recovery method needs a subset of the other's
+/// conflicts. Witnessed on the paper's own bank account:
+///
+/// * `(withdraw_ok, deposit)`: FC holds (both enabled ⇒ funds suffice in
+///   either order, same final balance) yet withdraw_ok does **not** right
+///   commute backward with deposit (`α·deposit·withdraw_ok` may be legal
+///   only *because* of the deposit) — so FC ⊄ RBC;
+/// * `(withdraw_ok, withdraw_ok)`: RBC holds (`α·w·w` legal ⇒ funds cover
+///   both) yet FC fails (`αP, αQ` legal needs one withdrawal's funds, the
+///   sequence needs both) — so RBC ⊄ FC.
+///
+/// RBC is also asymmetric on exactly this pair: deposit *does* right commute
+/// backward with withdraw_ok while the converse fails (Figure 6-2's
+/// asymmetric row).
+#[test]
+fn fc_and_rbc_are_incomparable_and_rbc_is_asymmetric() {
+    use ccr::adt::bank::{ops, BankAccount};
+    let adt = BankAccount { amounts: vec![1, 2, 3] };
+    let cfg = InclusionCfg::default();
+    let dep = ops::deposit(2);
+    let wok = ops::withdraw_ok(2);
+
+    // FC ⊄ RBC.
+    assert!(commute_forward(&adt, &wok, &dep, cfg).is_ok());
+    assert!(right_commutes_backward(&adt, &wok, &dep, cfg).is_err());
+    // RBC ⊄ FC.
+    assert!(right_commutes_backward(&adt, &wok, &wok, cfg).is_ok());
+    assert!(commute_forward(&adt, &wok, &wok, cfg).is_err());
+    // RBC asymmetry on (deposit, withdraw_ok).
+    assert!(right_commutes_backward(&adt, &dep, &wok, cfg).is_ok());
+}
+
+/// RBC asymmetry is not a bank-account quirk: it shows up in randomly
+/// generated specifications too (while FC symmetry never breaks — Lemma 8).
+#[test]
+fn rbc_asymmetry_appears_in_random_tables() {
+    let mut asymmetric = 0u32;
+    for seed in 0..64u64 {
+        let adt = TableAdt::from_seed(seed);
+        let grid = adt.grid();
+        let t = build_tables(&adt, &grid, InclusionCfg::default());
+        assert!(t.fc_symmetric(), "Lemma 8 violated on seed {seed}: {adt:?}");
+        if !t.rbc_symmetric() {
+            asymmetric += 1;
+        }
+    }
+    assert!(asymmetric > 0, "no asymmetric RBC table in 64 random machines");
 }
 
 /// The two engines (state cover vs bounded prefix exploration) agree on a

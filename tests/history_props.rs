@@ -14,12 +14,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn sample_history(seed: u64, steps: usize) -> History<BankAccount> {
-    let automaton = ObjectAutomaton::new(
-        BankAccount { amounts: vec![1, 2] },
-        Uip,
-        bank_nrbc(),
-        ObjectId::SOLE,
-    );
+    let automaton =
+        ObjectAutomaton::new(BankAccount { amounts: vec![1, 2] }, Uip, bank_nrbc(), ObjectId::SOLE);
     let cfg = ExploreCfg {
         txns: vec![TxnId(0), TxnId(1), TxnId(2)],
         max_ops_per_txn: 3,

@@ -6,13 +6,14 @@
 
 use ccr::adt::bank::{bank_nfc, bank_nrbc, BankAccount, BankInv};
 use ccr::adt::semiqueue::{semiqueue_nfc, semiqueue_nrbc, Semiqueue, SqInv};
-use ccr::core::atomicity::{check_dynamic_atomic, SystemSpec};
+use ccr::core::atomicity::{check_dynamic_atomic, check_dynamic_atomic_auto, SystemSpec};
 use ccr::core::conflict::{Conflict, SymmetricClosure, TotalConflict};
 use ccr::core::ids::ObjectId;
 use ccr::runtime::engine::{DuEngine, RecoveryEngine, UipEngine, UipInverseEngine};
 use ccr::runtime::scheduler::{run, SchedulerCfg};
 use ccr::runtime::script::{OpsScript, Script};
-use ccr::runtime::TxnSystem;
+use ccr::runtime::threaded::{run_threaded, ThreadedCfg};
+use ccr::runtime::{ConflictPolicy, TxnSystem};
 use proptest::prelude::*;
 
 /// A random bank workload: per-script lists of (object, invocation).
@@ -22,18 +23,14 @@ fn bank_scripts() -> impl Strategy<Value = Vec<Vec<(u32, BankInv)>>> {
         (1u64..=3).prop_map(BankInv::Withdraw),
         Just(BankInv::Balance),
     ];
-    prop::collection::vec(
-        prop::collection::vec(((0u32..2), inv), 1..4),
-        1..6,
-    )
+    prop::collection::vec(prop::collection::vec(((0u32..2), inv), 1..4), 1..6)
 }
 
 fn to_scripts(raw: &[Vec<(u32, BankInv)>]) -> Vec<Box<dyn Script<BankAccount>>> {
     raw.iter()
         .map(|steps| {
-            Box::new(OpsScript::new(
-                steps.iter().map(|(o, i)| (ObjectId(*o), i.clone())).collect(),
-            )) as Box<dyn Script<BankAccount>>
+            Box::new(OpsScript::new(steps.iter().map(|(o, i)| (ObjectId(*o), i.clone())).collect()))
+                as Box<dyn Script<BankAccount>>
         })
         .collect()
 }
@@ -106,6 +103,57 @@ proptest! {
         let (_, da) = run_and_check::<DuEngine<BankAccount>, _>(&raw, bank_nrbc(), seed);
         prop_assert!(da);
     }
+}
+
+/// Crosswise balance-then-deposit scripts over two objects — the classic
+/// deadlock-prone pattern (each script reads one object, then updates the
+/// other, half of them in each order).
+fn crosswise_scripts(n: usize) -> Vec<Box<dyn Script<BankAccount>>> {
+    let (x, y) = (ObjectId(0), ObjectId(1));
+    (0..n)
+        .map(|i| {
+            let (first, second) = if i % 2 == 0 { (x, y) } else { (y, x) };
+            Box::new(OpsScript::new(vec![(first, BankInv::Balance), (second, BankInv::Deposit(1))]))
+                as Box<dyn Script<BankAccount>>
+        })
+        .collect()
+}
+
+/// Wound-wait under the threaded executor (≥ 4 workers): an older requester
+/// wounds younger lock holders, so wait-for edges only ever point from
+/// younger to older transactions — the graph stays acyclic and the
+/// deadlock detector must never fire, while the deadlock-prone crosswise
+/// workload still commits completely and stays dynamic atomic.
+#[test]
+fn threaded_wound_wait_keeps_wait_for_acyclic() {
+    let sys: TxnSystem<BankAccount, UipEngine<BankAccount>, _> =
+        TxnSystem::new(BankAccount::default(), 2, bank_nrbc())
+            .with_policy(ConflictPolicy::WoundWait);
+    let cfg = ThreadedCfg { workers: 6, max_retries: 512, ..Default::default() };
+    let (report, sys) = run_threaded(sys, crosswise_scripts(10), &cfg);
+    assert_eq!(report.deadlock_aborts, 0, "wound-wait admits no wait-for cycles");
+    assert_eq!(report.gave_up, 0, "the oldest transaction always progresses");
+    assert_eq!(report.committed, 10);
+    let spec = SystemSpec::uniform(BankAccount::default(), 2);
+    assert!(check_dynamic_atomic_auto(&spec, sys.trace(), 6, 64, 0).is_ok());
+}
+
+/// No-wait under the threaded executor: a conflicting request aborts
+/// immediately instead of blocking, so nothing ever waits — zero blocked
+/// operations and zero deadlock aborts by construction; every script either
+/// commits or exhausts its retry budget, and the committed trace is dynamic
+/// atomic.
+#[test]
+fn threaded_no_wait_never_deadlocks() {
+    let sys: TxnSystem<BankAccount, UipEngine<BankAccount>, _> =
+        TxnSystem::new(BankAccount::default(), 2, bank_nrbc()).with_policy(ConflictPolicy::NoWait);
+    let cfg = ThreadedCfg { workers: 6, max_retries: 512, ..Default::default() };
+    let (report, sys) = run_threaded(sys, crosswise_scripts(10), &cfg);
+    assert_eq!(report.blocked_ops, 0, "no-wait must never block");
+    assert_eq!(report.deadlock_aborts, 0, "nothing waits, so nothing deadlocks");
+    assert_eq!(report.committed + report.gave_up, 10);
+    let spec = SystemSpec::uniform(BankAccount::default(), 2);
+    assert!(check_dynamic_atomic_auto(&spec, sys.trace(), 6, 64, 0).is_ok());
 }
 
 // Non-deterministic specification end-to-end: semiqueue producers and

@@ -2,14 +2,18 @@
 //! are type-independent, so the boundary must hold for every specification,
 //! not just the paper's bank account.
 
+mod common;
+
 use ccr::core::adt::{EnumerableAdt, Op, StateCover};
-use ccr::core::conflict::{nfc_table, nrbc_table};
+use ccr::core::conflict::{nfc_table, nrbc_table, Conflict};
 use ccr::core::equieffect::InclusionCfg;
 use ccr::core::explore::ExploreCfg;
 use ccr::core::ids::{ObjectId, TxnId};
 use ccr::core::object::ObjectAutomaton;
 use ccr::core::theorems::{check_correctness, probe_du_boundary, probe_uip_boundary};
 use ccr::core::view::{Du, Uip};
+use common::table_adt;
+use proptest::prelude::*;
 
 fn explore_cfg() -> ExploreCfg {
     ExploreCfg {
@@ -57,6 +61,50 @@ fn sweep<A: EnumerableAdt + StateCover>(adt: A, grid: Vec<Op<A>>) {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The "if" directions of Theorems 9/10 on *randomly generated*
+    /// specifications: the minimal relations computed from an arbitrary
+    /// table machine must make the matching pairings correct. (The only-if
+    /// per-pair probes stay on the curated ADTs above — bounded exploration
+    /// is not guaranteed to refute every dropped pair of an arbitrary
+    /// random machine within the budget.)
+    #[test]
+    fn random_specs_satisfy_the_if_directions(adt in table_adt()) {
+        let grid = adt.grid();
+        let cfg = InclusionCfg::default();
+        let nrbc = nrbc_table(&adt, &grid, cfg);
+        let uip = ObjectAutomaton::new(adt.clone(), Uip, nrbc, ObjectId::SOLE);
+        let r = check_correctness(&uip, &explore_cfg(), false);
+        prop_assert!(r.correct(), "UIP+NRBC violated on {:?}: {:?}", &adt, r.violation);
+        let nfc = nfc_table(&adt, &grid, cfg);
+        let du = ObjectAutomaton::new(adt.clone(), Du, nfc, ObjectId::SOLE);
+        let r = check_correctness(&du, &explore_cfg(), false);
+        prop_assert!(r.correct(), "DU+NFC violated on {:?}: {:?}", &adt, r.violation);
+    }
+
+    /// `NRBC` built from a random specification reflects RBC's asymmetry
+    /// faithfully: `conflicts(p, q)` must equal the (directional) failure of
+    /// "p right commutes backward with q", never its symmetrisation.
+    #[test]
+    fn random_nrbc_tables_preserve_direction(adt in table_adt()) {
+        use ccr::core::commutativity::right_commutes_backward;
+        let grid = adt.grid();
+        let cfg = InclusionCfg::default();
+        let nrbc = nrbc_table(&adt, &grid, cfg);
+        for p in &grid {
+            for q in &grid {
+                prop_assert_eq!(
+                    nrbc.conflicts(p, q),
+                    right_commutes_backward(&adt, p, q, cfg).is_err(),
+                    "NRBC direction mismatch for ({:?}, {:?}) on {:?}", p, q, &adt
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn counter_boundary() {
     use ccr::adt::counter::{Counter, CounterInv, CounterResp};
@@ -97,13 +145,7 @@ fn register_boundary() {
 fn semiqueue_boundary() {
     use ccr::adt::semiqueue::{ops, Semiqueue};
     let adt = Semiqueue { values: vec![0, 1] };
-    let grid = vec![
-        ops::enq(0),
-        ops::enq(1),
-        ops::deq_got(0),
-        ops::deq_got(1),
-        ops::deq_empty(),
-    ];
+    let grid = vec![ops::enq(0), ops::enq(1), ops::deq_got(0), ops::deq_got(1), ops::deq_empty()];
     sweep(adt, grid);
 }
 
@@ -111,13 +153,7 @@ fn semiqueue_boundary() {
 fn maxreg_boundary() {
     use ccr::adt::maxreg::{ops, MaxRegister};
     let adt = MaxRegister { values: vec![0, 1, 2] };
-    let grid = vec![
-        ops::write_max(1),
-        ops::write_max(2),
-        ops::read(0),
-        ops::read(1),
-        ops::read(2),
-    ];
+    let grid = vec![ops::write_max(1), ops::write_max(2), ops::read(0), ops::read(1), ops::read(2)];
     sweep(adt, grid);
 }
 

@@ -73,9 +73,7 @@ where
             for obj in 0..OBJS {
                 let abstract_ops = view.view(&trace, ObjectId(obj), *slot);
                 let abstract_state = reach(&adt, &abstract_ops);
-                let engine_state = sys
-                    .view_state(*slot, ObjectId(obj))
-                    .expect("object exists");
+                let engine_state = sys.view_state(*slot, ObjectId(obj)).expect("object exists");
                 assert_eq!(
                     abstract_state.states(),
                     &[engine_state],
