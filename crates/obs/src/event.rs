@@ -1,0 +1,177 @@
+//! The structured event schema (see DESIGN.md §8).
+//!
+//! Every runtime action of interest becomes one [`ObsEvent`], stamped with
+//! the tracer's **logical event clock** (a `u64` that ticks once per emitted
+//! event) and, in threaded runs that opt in, a wall-clock microsecond offset.
+//! The logical stamp is the deterministic one: the same seed produces the
+//! same event sequence with the same stamps, byte for byte, which is what
+//! makes traces diffable CI artifacts. Wall stamps are for humans reading a
+//! threaded profile and are off by default.
+
+use ccr_core::ids::{ObjectId, TxnId};
+
+/// Why a transaction was aborted, as observed by the tracer. Richer than the
+/// runtime's public `AbortReason`: it separates the abort paths that the
+/// legacy counters distinguished (wound-wait victims vs no-wait requesters
+/// vs externally forced aborts).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AbortCause {
+    /// The application asked for the abort.
+    Requested,
+    /// Chosen as a deadlock victim.
+    Deadlock,
+    /// Deferred-update validation failed.
+    Validation,
+    /// Wounded by an older transaction under the wound-wait policy.
+    Wounded,
+    /// Aborted as a conflicting requester under the no-wait policy.
+    NoWaitConflict,
+    /// Aborted from outside the lock manager (fault injection, drivers).
+    External,
+}
+
+impl AbortCause {
+    /// Short lowercase label used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            AbortCause::Requested => "requested",
+            AbortCause::Deadlock => "deadlock",
+            AbortCause::Validation => "validation",
+            AbortCause::Wounded => "wounded",
+            AbortCause::NoWaitConflict => "nowait",
+            AbortCause::External => "external",
+        }
+    }
+}
+
+/// Which fault-injection counter an injected fault bumps (the crash-shaped
+/// faults are counted by their [`EventKind::Recovery`] / torn-write events
+/// instead, mirroring the pre-tracer counter semantics).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultCounter {
+    /// A transaction was force-aborted by the plan.
+    ForcedAbort,
+    /// Every active transaction was aborted at once.
+    WoundStorm,
+    /// The next commit was artificially delayed.
+    DelayedCommit,
+}
+
+/// A wait-for-graph snapshot: `(waiter, holders)` edges at the instant of a
+/// block or wound event.
+pub type WaitGraph = Vec<(TxnId, Vec<TxnId>)>;
+
+/// What happened. String payloads are rendered lazily (only when event
+/// recording is on), so the counters-only mode never allocates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A transaction began.
+    Begin,
+    /// An operation executed: invocation, chosen response, and the logical
+    /// ticks the invocation spent blocked before succeeding (0 when it ran
+    /// on the first attempt).
+    Op {
+        /// Rendered invocation.
+        inv: String,
+        /// Rendered response.
+        resp: String,
+        /// Logical ticks between the first blocked attempt and success.
+        waited: u64,
+    },
+    /// An invocation found every legal response in conflict and blocked.
+    Block {
+        /// Rendered invocation.
+        inv: String,
+        /// The conflicting holders.
+        on: Vec<TxnId>,
+        /// Snapshot of the whole wait-for graph, including the new edges.
+        graph: WaitGraph,
+    },
+    /// A previously blocked transaction's invocation succeeded.
+    Unblock {
+        /// Logical ticks spent blocked.
+        waited: u64,
+    },
+    /// A holder was wounded (aborted) by an older requester.
+    Wound {
+        /// The older requester that wounded this transaction.
+        by: TxnId,
+        /// Wait-for graph at the instant of the wound.
+        graph: WaitGraph,
+    },
+    /// The transaction committed at every object it touched.
+    Commit,
+    /// The transaction aborted.
+    Abort {
+        /// Why.
+        cause: AbortCause,
+    },
+    /// Undo-replay failed while aborting (weak conflict relation under UIP).
+    ReplayFailure,
+    /// A torn journal record was injected (crash mid-flush).
+    TornWrite {
+        /// Index of the torn record.
+        record: usize,
+    },
+    /// Crash recovery completed by replaying the journal.
+    Recovery {
+        /// Committed records replayed.
+        replayed: usize,
+    },
+    /// A fault-plan entry fired (the crash-shaped ones are followed by
+    /// [`EventKind::Recovery`] once the rebuild succeeds).
+    Fault {
+        /// The fault's compact text form (`crash`, `torn2`, `abort`, …).
+        kind: String,
+        /// Which injection counter the fault bumped, if it took effect
+        /// (`None` for crash-shaped faults — those are counted by their
+        /// recovery/torn-write events — and for no-op injections).
+        counter: Option<FaultCounter>,
+    },
+}
+
+/// One structured trace event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ObsEvent {
+    /// Logical event-clock stamp (monotonic, ticks once per event).
+    pub seq: u64,
+    /// Microseconds since the tracer's wall epoch; `None` unless wall
+    /// stamping was explicitly enabled (threaded profiling runs).
+    pub wall_us: Option<u64>,
+    /// The transaction the event belongs to, if any.
+    pub txn: Option<TxnId>,
+    /// The object involved, if any.
+    pub obj: Option<ObjectId>,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl ObsEvent {
+    /// Short lowercase name of the event kind (exporter phase names).
+    pub fn kind_name(&self) -> &'static str {
+        match self.kind {
+            EventKind::Begin => "begin",
+            EventKind::Op { .. } => "op",
+            EventKind::Block { .. } => "block",
+            EventKind::Unblock { .. } => "unblock",
+            EventKind::Wound { .. } => "wound",
+            EventKind::Commit => "commit",
+            EventKind::Abort { .. } => "abort",
+            EventKind::ReplayFailure => "replay_failure",
+            EventKind::TornWrite { .. } => "torn_write",
+            EventKind::Recovery { .. } => "recovery",
+            EventKind::Fault { .. } => "fault",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultCounter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FaultCounter::ForcedAbort => "forced_abort",
+            FaultCounter::WoundStorm => "wound_storm",
+            FaultCounter::DelayedCommit => "delayed_commit",
+        };
+        write!(f, "{s}")
+    }
+}

@@ -1,0 +1,348 @@
+//! Trace and metrics exporters.
+//!
+//! Three renderings of one [`Tracer`]:
+//!
+//! * [`chrome_trace`] — the Chrome `trace_event` JSON array format, loadable
+//!   in `chrome://tracing` / Perfetto. Transactions map to *tids*, so each
+//!   transaction gets its own row; spans (`ph:"X"`) cover op execution and
+//!   lock waits, instants (`ph:"i"`) mark begins, commits, aborts, wounds,
+//!   faults and recoveries.
+//! * [`flame_summary`] — a compact text flamegraph: one line per
+//!   `kind;detail` stack with its total logical-tick weight, suitable for
+//!   `flamegraph.pl`-style folded-stack tooling or plain reading.
+//! * [`MetricsReport`] — labels + counters + histogram percentile summaries,
+//!   rendered to JSON by [`MetricsReport::to_json`].
+//!
+//! All three are deterministic: they render only logical-clock data unless
+//! wall stamping was explicitly enabled, so the same seed yields
+//! byte-identical output.
+
+use std::collections::BTreeMap;
+
+use crate::event::EventKind;
+use crate::hist::HistogramSummary;
+use crate::stats::SystemStats;
+use crate::tracer::Tracer;
+
+/// Escape a string for embedding in a JSON document (with quotes).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_labels(labels: &BTreeMap<String, String>) -> String {
+    let body: Vec<String> =
+        labels.iter().map(|(k, v)| format!("{}:{}", json_string(k), json_string(v))).collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// One Chrome `trace_event` record. `ts`/`dur` are the logical clock (or
+/// wall microseconds when stamped); `tid` is the transaction id + 1 (tid 0
+/// is reserved for system-wide events: faults, torn writes, recoveries).
+fn chrome_record(
+    ph: char,
+    name: &str,
+    cat: &str,
+    tid: u64,
+    ts: u64,
+    dur: Option<u64>,
+    args: &[(String, String)],
+) -> String {
+    let mut rec = format!(
+        "{{\"name\":{},\"cat\":{},\"ph\":\"{}\",\"pid\":1,\"tid\":{},\"ts\":{}",
+        json_string(name),
+        json_string(cat),
+        ph,
+        tid,
+        ts
+    );
+    if let Some(d) = dur {
+        rec.push_str(&format!(",\"dur\":{d}"));
+    }
+    if ph == 'i' {
+        // Thread-scoped instant so each marker renders on its txn row.
+        rec.push_str(",\"s\":\"t\"");
+    }
+    if !args.is_empty() {
+        let body: Vec<String> =
+            args.iter().map(|(k, v)| format!("{}:{}", json_string(k), v.clone())).collect();
+        rec.push_str(&format!(",\"args\":{{{}}}", body.join(",")));
+    }
+    rec.push('}');
+    rec
+}
+
+fn txn_tid(txn: Option<ccr_core::ids::TxnId>) -> u64 {
+    txn.map(|t| t.0 as u64 + 1).unwrap_or(0)
+}
+
+fn graph_json(graph: &[(ccr_core::ids::TxnId, Vec<ccr_core::ids::TxnId>)]) -> String {
+    let edges: Vec<String> = graph
+        .iter()
+        .map(|(w, hs)| {
+            let holders: Vec<String> = hs.iter().map(|h| format!("\"{h}\"")).collect();
+            format!("\"{w}\":[{}]", holders.join(","))
+        })
+        .collect();
+    format!("{{{}}}", edges.join(","))
+}
+
+/// Render the recorded events as a Chrome `trace_event` JSON document
+/// (`{"traceEvents":[...],"otherData":{...labels...}}`).
+pub fn chrome_trace(tracer: &Tracer) -> String {
+    let mut records: Vec<String> = Vec::with_capacity(tracer.events().len() + 8);
+    for e in tracer.events() {
+        let ts = e.wall_us.unwrap_or(e.seq);
+        let tid = txn_tid(e.txn);
+        let obj = e.obj.map(|o| format!("\"{o}\""));
+        let mut args: Vec<(String, String)> = vec![("seq".into(), e.seq.to_string())];
+        if let Some(o) = &obj {
+            args.push(("obj".into(), o.clone()));
+        }
+        match &e.kind {
+            EventKind::Begin => {
+                records.push(chrome_record('i', "begin", "txn", tid, ts, None, &args));
+            }
+            EventKind::Op { inv, resp, waited } => {
+                args.push(("inv".into(), json_string(inv)));
+                args.push(("resp".into(), json_string(resp)));
+                // A span of 1 logical tick (+ any blocked wait drawn by the
+                // preceding lock_wait span).
+                args.push(("waited".into(), waited.to_string()));
+                records.push(chrome_record('X', "op", "op", tid, ts, Some(1), &args));
+            }
+            EventKind::Block { inv, on, graph } => {
+                args.push(("inv".into(), json_string(inv)));
+                let holders: Vec<String> = on.iter().map(|h| format!("\"{h}\"")).collect();
+                args.push(("on".into(), format!("[{}]", holders.join(","))));
+                args.push(("wait_for".into(), graph_json(graph)));
+                records.push(chrome_record('i', "block", "lock", tid, ts, None, &args));
+            }
+            EventKind::Unblock { waited } => {
+                // Draw the wait as a span ending at the unblock instant.
+                records.push(chrome_record(
+                    'X',
+                    "lock_wait",
+                    "lock",
+                    tid,
+                    ts.saturating_sub(*waited),
+                    Some(*waited),
+                    &args,
+                ));
+            }
+            EventKind::Wound { by, graph } => {
+                args.push(("by".into(), format!("\"{by}\"")));
+                args.push(("wait_for".into(), graph_json(graph)));
+                records.push(chrome_record('i', "wound", "lock", tid, ts, None, &args));
+            }
+            EventKind::Commit => {
+                records.push(chrome_record('i', "commit", "txn", tid, ts, None, &args));
+            }
+            EventKind::Abort { cause } => {
+                args.push(("cause".into(), json_string(cause.label())));
+                records.push(chrome_record('i', "abort", "txn", tid, ts, None, &args));
+            }
+            EventKind::ReplayFailure => {
+                records.push(chrome_record(
+                    'i',
+                    "replay_failure",
+                    "recovery",
+                    tid,
+                    ts,
+                    None,
+                    &args,
+                ));
+            }
+            EventKind::TornWrite { record } => {
+                args.push(("record".into(), record.to_string()));
+                records.push(chrome_record('i', "torn_write", "recovery", tid, ts, None, &args));
+            }
+            EventKind::Recovery { replayed } => {
+                args.push(("replayed".into(), replayed.to_string()));
+                records.push(chrome_record('i', "recovery", "recovery", tid, ts, None, &args));
+            }
+            EventKind::Fault { kind, counter } => {
+                args.push(("fault".into(), json_string(kind)));
+                if let Some(c) = counter {
+                    args.push(("counter".into(), json_string(&c.to_string())));
+                }
+                records.push(chrome_record('i', "fault", "fault", tid, ts, None, &args));
+            }
+        }
+    }
+    format!(
+        "{{\"traceEvents\":[{}],\"displayTimeUnit\":\"ms\",\"otherData\":{}}}\n",
+        records.join(",\n"),
+        json_labels(tracer.labels())
+    )
+}
+
+/// Render a compact folded-stack flamegraph summary: one `stack weight` line
+/// per distinct event stack, weighted by logical ticks (spans use their
+/// duration, instants weigh 1), sorted by stack name for determinism.
+pub fn flame_summary(tracer: &Tracer) -> String {
+    let mut weights: BTreeMap<String, u64> = BTreeMap::new();
+    for e in tracer.events() {
+        let (stack, weight) = match &e.kind {
+            EventKind::Op { inv, .. } => (format!("op;{inv}"), 1),
+            EventKind::Unblock { waited } => ("lock;wait".to_string(), (*waited).max(1)),
+            EventKind::Block { .. } => ("lock;block".to_string(), 1),
+            EventKind::Wound { .. } => ("lock;wound".to_string(), 1),
+            EventKind::Begin => ("txn;begin".to_string(), 1),
+            EventKind::Commit => ("txn;commit".to_string(), 1),
+            EventKind::Abort { cause } => (format!("txn;abort;{}", cause.label()), 1),
+            EventKind::ReplayFailure => ("recovery;replay_failure".to_string(), 1),
+            EventKind::TornWrite { .. } => ("recovery;torn_write".to_string(), 1),
+            EventKind::Recovery { replayed } => {
+                ("recovery;replay".to_string(), (*replayed as u64).max(1))
+            }
+            EventKind::Fault { kind, .. } => (format!("fault;{kind}"), 1),
+        };
+        *weights.entry(stack).or_insert(0) += weight;
+    }
+    let mut out = String::new();
+    for (stack, weight) in &weights {
+        out.push_str(&format!("{stack} {weight}\n"));
+    }
+    out
+}
+
+/// Labels + counters + histogram summaries for one run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricsReport {
+    /// The tracer's labels (combo, policy, ADT, …).
+    pub labels: BTreeMap<String, String>,
+    /// Logical events observed (the final clock value).
+    pub events: u64,
+    /// The counter projection.
+    pub stats: SystemStats,
+    /// Op latency (logical ticks; 0 = never blocked).
+    pub op_latency: HistogramSummary,
+    /// Lock-wait time for invocations that blocked.
+    pub lock_wait: HistogramSummary,
+    /// Begin-to-commit logical ticks.
+    pub time_to_commit: HistogramSummary,
+    /// Journal records replayed per crash recovery.
+    pub replay_len: HistogramSummary,
+}
+
+impl MetricsReport {
+    /// Snapshot a tracer's metrics.
+    pub fn from_tracer(tracer: &Tracer) -> Self {
+        MetricsReport {
+            labels: tracer.labels().clone(),
+            events: tracer.clock(),
+            stats: tracer.stats().clone(),
+            op_latency: tracer.op_latency().summary(),
+            lock_wait: tracer.lock_wait().summary(),
+            time_to_commit: tracer.time_to_commit().summary(),
+            replay_len: tracer.replay_len().summary(),
+        }
+    }
+
+    /// Render as a JSON object (field order fixed for diffable artifacts).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"labels\":{},\"events\":{},\"stats\":{},",
+                "\"op_latency\":{},\"lock_wait\":{},",
+                "\"time_to_commit\":{},\"replay_len\":{}}}"
+            ),
+            json_labels(&self.labels),
+            self.events,
+            self.stats.to_json(),
+            self.op_latency.to_json(),
+            self.lock_wait.to_json(),
+            self.time_to_commit.to_json(),
+            self.replay_len.to_json(),
+        )
+    }
+}
+
+impl Tracer {
+    /// Snapshot this tracer's labels, counters and histogram summaries.
+    pub fn metrics_report(&self) -> MetricsReport {
+        MetricsReport::from_tracer(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::AbortCause;
+    use ccr_core::ids::{ObjectId, TxnId};
+
+    fn sample_tracer() -> Tracer {
+        let mut t = Tracer::new();
+        t.set_label("combo", "uip-nrbc");
+        t.set_label("policy", "block");
+        t.on_begin(TxnId(0));
+        t.on_begin(TxnId(1));
+        t.on_op(TxnId(0), ObjectId(0), || ("enq(1)".into(), "ok".into()));
+        t.on_block(TxnId(1), ObjectId(0), || {
+            ("deq".into(), vec![TxnId(0)], vec![(TxnId(1), vec![TxnId(0)])])
+        });
+        t.on_commit(TxnId(0));
+        t.on_op(TxnId(1), ObjectId(0), || ("deq".into(), "got(1)".into()));
+        t.on_abort(TxnId(1), AbortCause::Requested);
+        t
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_shaped_and_deterministic() {
+        let a = chrome_trace(&sample_tracer());
+        let b = chrome_trace(&sample_tracer());
+        assert_eq!(a, b, "same observations must render byte-identically");
+        assert!(a.starts_with("{\"traceEvents\":["));
+        assert!(a.contains("\"ph\":\"X\""));
+        assert!(a.contains("\"ph\":\"i\""));
+        assert!(a.contains("\"combo\":\"uip-nrbc\""));
+        assert!(a.contains("\"wait_for\":{\"B\":[\"A\"]}"));
+        // Balanced braces/brackets (cheap well-formedness check — no string
+        // payloads here contain braces).
+        let opens = a.matches('{').count();
+        let closes = a.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn flame_summary_weights_waits_and_sorts() {
+        let f = flame_summary(&sample_tracer());
+        let lines: Vec<&str> = f.lines().collect();
+        let mut sorted = lines.clone();
+        sorted.sort();
+        assert_eq!(lines, sorted, "folded stacks are sorted for determinism");
+        assert!(f.contains("op;enq(1) 1"));
+        assert!(f.contains("lock;wait 1"), "B waited 1 tick: {f}");
+        assert!(f.contains("txn;abort;requested 1"));
+    }
+
+    #[test]
+    fn metrics_report_round_trips_to_json() {
+        let r = sample_tracer().metrics_report();
+        let js = r.to_json();
+        assert!(js.starts_with("{\"labels\":{\"combo\":\"uip-nrbc\",\"policy\":\"block\"}"));
+        assert!(js.contains("\"stats\":{\"begun\":2,"));
+        assert!(js.contains("\"time_to_commit\":{\"count\":1,"));
+        assert_eq!(r, sample_tracer().metrics_report());
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+}

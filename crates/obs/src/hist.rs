@@ -1,0 +1,228 @@
+//! Log-bucketed latency histograms.
+//!
+//! A [`LogHistogram`] buckets `u64` samples by the position of their highest
+//! set bit: bucket 0 holds the value 0, bucket `i ≥ 1` holds values in
+//! `[2^(i-1), 2^i)`. Recording is O(1) with no allocation, percentile
+//! queries are deterministic (they return a bucket's inclusive upper bound,
+//! never an interpolation), and two histograms [`merge`](LogHistogram::merge)
+//! by element-wise addition — an associative, commutative fold, so per-worker
+//! histograms can be combined in any order with an identical result.
+
+/// Number of buckets: the zero bucket plus one per possible highest bit.
+const BUCKETS: usize = 65;
+
+/// A mergeable histogram over `u64` samples with power-of-two buckets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogHistogram {
+    counts: [u64; BUCKETS],
+    total: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram { counts: [0; BUCKETS], total: 0, sum: 0, max: 0 }
+    }
+}
+
+/// Bucket index of a sample: 0 for 0, otherwise `floor(log2(v)) + 1`.
+fn bucket(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of a bucket (what percentile queries report).
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl LogHistogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket(v)] += 1;
+        self.total += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample recorded (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// The `p`-th percentile (0 < p ≤ 100) as the inclusive upper bound of
+    /// the first bucket whose cumulative count reaches `ceil(p% · total)`.
+    /// Returns 0 for an empty histogram. Deterministic by construction.
+    pub fn percentile(&self, p: u64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = (self.total * p).div_ceil(100).max(1);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Tighten the top bucket to the true maximum.
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merge `other` into `self` (element-wise; associative and commutative).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// A compact summary (count, max, p50/p90/p99) for reports.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.total,
+            max: self.max,
+            p50: self.percentile(50),
+            p90: self.percentile(90),
+            p99: self.percentile(99),
+        }
+    }
+}
+
+/// Percentile summary of one histogram, as embedded in metrics reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Median (bucket upper bound).
+    pub p50: u64,
+    /// 90th percentile (bucket upper bound).
+    pub p90: u64,
+    /// 99th percentile (bucket upper bound).
+    pub p99: u64,
+}
+
+impl HistogramSummary {
+    /// Render as a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+            self.count, self.max, self.p50, self.p90, self.p99
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_domain() {
+        assert_eq!(bucket(0), 0);
+        assert_eq!(bucket(1), 1);
+        assert_eq!(bucket(2), 2);
+        assert_eq!(bucket(3), 2);
+        assert_eq!(bucket(4), 3);
+        assert_eq!(bucket(u64::MAX), 64);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn percentiles_are_bucket_upper_bounds() {
+        let mut h = LogHistogram::new();
+        for v in [0u64, 0, 1, 2, 3, 5, 9, 70, 200, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.max(), 1000);
+        // rank(50) = 5 → cumulative: 0→2, 1→3, [2,3]→5 ⇒ bucket 2, upper 3.
+        assert_eq!(h.percentile(50), 3);
+        // rank(99) = 10 ⇒ last bucket, tightened to max.
+        assert_eq!(h.percentile(99), 1000);
+        assert_eq!(LogHistogram::new().percentile(50), 0);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let samples: [&[u64]; 3] =
+            [&[1, 5, 9, 1000, 0], &[2, 2, 2, 64, u64::MAX], &[7, 13, 100_000]];
+        let mk = |vals: &[u64]| {
+            let mut h = LogHistogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let (a, b, c) = (mk(samples[0]), mk(samples[1]), mk(samples[2]));
+
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+
+        // a ⊕ b == b ⊕ a
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+
+        // Merging equals recording the concatenation.
+        let all: Vec<u64> = samples.iter().flat_map(|s| s.iter().copied()).collect();
+        assert_eq!(left, mk(&all));
+    }
+
+    #[test]
+    fn summary_round_trips_to_json() {
+        let mut h = LogHistogram::new();
+        for v in 0..100u64 {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 100);
+        let js = s.to_json();
+        assert!(js.starts_with("{\"count\":100,"));
+        assert!(js.contains("\"p50\":"));
+    }
+}

@@ -1,0 +1,126 @@
+//! Aggregate execution counters, derived from tracer events.
+//!
+//! [`SystemStats`] began life in `ccr-runtime` as a bag of manually bumped
+//! counters. It now lives here and is a **projection of the event stream**:
+//! the [`Tracer`](crate::Tracer) folds every emitted event into these
+//! counters in exactly one place ([`SystemStats::absorb`]), and
+//! [`Tracer::project_stats`](crate::Tracer::project_stats) recomputes the
+//! same struct from the recorded events — the equality of the two is a test
+//! invariant. `ccr-runtime` re-exports this type, so existing
+//! `sys.stats().committed`-style call sites are unchanged.
+
+use crate::event::{AbortCause, EventKind, FaultCounter, ObsEvent};
+
+/// Aggregate counters for an execution.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SystemStats {
+    /// Transactions begun.
+    pub begun: u64,
+    /// Transactions committed.
+    pub committed: u64,
+    /// Transactions aborted (all reasons).
+    pub aborted: u64,
+    /// Aborts due to deferred-update validation failure.
+    pub validation_aborts: u64,
+    /// Operations executed.
+    pub ops: u64,
+    /// Invocations that came back blocked.
+    pub blocks: u64,
+    /// Holders aborted by the wound-wait policy.
+    pub wounds: u64,
+    /// Requesters aborted by the no-wait policy.
+    pub conflict_aborts: u64,
+    /// Undo-replay failures (weak conflict relation under UIP).
+    pub replay_failures: u64,
+    /// Simulated crashes survived (fault injection).
+    pub crashes: u64,
+    /// Crashes injected with a torn (truncated) final journal record.
+    pub torn_crashes: u64,
+    /// Transactions force-aborted by fault injection.
+    pub forced_aborts: u64,
+    /// Commits artificially delayed by fault injection.
+    pub delayed_commits: u64,
+    /// Wound-storm faults injected (every active transaction aborted).
+    pub wound_storms: u64,
+}
+
+impl SystemStats {
+    /// Fold one event into the counters. This is the *only* place any of
+    /// these counters is incremented — every layer that used to bump a field
+    /// by hand now emits the corresponding event instead.
+    pub fn absorb(&mut self, kind: &EventKind) {
+        match kind {
+            EventKind::Begin => self.begun += 1,
+            EventKind::Op { .. } => self.ops += 1,
+            EventKind::Block { .. } => self.blocks += 1,
+            EventKind::Unblock { .. } => {}
+            EventKind::Wound { .. } => {} // counted by the Abort(Wounded) that follows
+            EventKind::Commit => self.committed += 1,
+            EventKind::Abort { cause } => {
+                self.aborted += 1;
+                match cause {
+                    AbortCause::Validation => self.validation_aborts += 1,
+                    AbortCause::Wounded => self.wounds += 1,
+                    AbortCause::NoWaitConflict => self.conflict_aborts += 1,
+                    AbortCause::Requested | AbortCause::Deadlock | AbortCause::External => {}
+                }
+            }
+            EventKind::ReplayFailure => self.replay_failures += 1,
+            EventKind::TornWrite { .. } => self.torn_crashes += 1,
+            EventKind::Recovery { .. } => self.crashes += 1,
+            EventKind::Fault { counter, .. } => {
+                if let Some(c) = counter {
+                    self.absorb_fault(*c);
+                }
+            }
+        }
+    }
+
+    /// Fold one *effective* injected fault into its counter (separate from
+    /// [`absorb`](Self::absorb) because a fault event may be recorded
+    /// without a counter bump, e.g. a force-abort that found no victim).
+    pub fn absorb_fault(&mut self, counter: FaultCounter) {
+        match counter {
+            FaultCounter::ForcedAbort => self.forced_aborts += 1,
+            FaultCounter::WoundStorm => self.wound_storms += 1,
+            FaultCounter::DelayedCommit => self.delayed_commits += 1,
+        }
+    }
+
+    /// Render the counters as a JSON object (field order fixed).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"begun\":{},\"committed\":{},\"aborted\":{},\"validation_aborts\":{},",
+                "\"ops\":{},\"blocks\":{},\"wounds\":{},\"conflict_aborts\":{},",
+                "\"replay_failures\":{},\"crashes\":{},\"torn_crashes\":{},",
+                "\"forced_aborts\":{},\"delayed_commits\":{},\"wound_storms\":{}}}"
+            ),
+            self.begun,
+            self.committed,
+            self.aborted,
+            self.validation_aborts,
+            self.ops,
+            self.blocks,
+            self.wounds,
+            self.conflict_aborts,
+            self.replay_failures,
+            self.crashes,
+            self.torn_crashes,
+            self.forced_aborts,
+            self.delayed_commits,
+            self.wound_storms,
+        )
+    }
+}
+
+/// Recompute the counter projection from a recorded event stream. Equals the
+/// incrementally maintained stats whenever event recording was on for the
+/// whole run (asserted by the tracer tests).
+pub fn project(events: &[ObsEvent]) -> SystemStats {
+    let mut s = SystemStats::default();
+    for e in events {
+        s.absorb(&e.kind);
+    }
+    s
+}

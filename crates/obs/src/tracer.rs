@@ -1,0 +1,361 @@
+//! The deterministic structured tracer.
+//!
+//! One [`Tracer`] lives inside each `TxnSystem` and observes the whole
+//! transaction lifecycle: begin → op → block/unblock → wound → commit/abort
+//! → crash recovery, plus injected faults. Each observation
+//!
+//! * ticks the **logical event clock** (the deterministic timestamp),
+//! * folds into the [`SystemStats`] counter projection (the single place
+//!   any counter is incremented),
+//! * feeds the latency histograms (op latency, lock-wait time,
+//!   time-to-commit, recovery replay length), and
+//! * — when event recording is on — appends a structured [`ObsEvent`].
+//!
+//! String payloads are rendered through `FnOnce` closures so the
+//! counters-only mode (used by long benchmark runs) never allocates.
+//! Determinism: with wall stamping off (the default), the recorded event
+//! stream is a pure function of the observation sequence, so a seeded
+//! scheduler produces byte-identical exports run after run.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use ccr_core::ids::{ObjectId, TxnId};
+
+use crate::event::{AbortCause, EventKind, FaultCounter, ObsEvent, WaitGraph};
+use crate::hist::LogHistogram;
+use crate::stats::{self, SystemStats};
+
+/// Structured event tracer + metrics recorder. See the module docs.
+#[derive(Clone, Debug)]
+pub struct Tracer {
+    /// Logical event clock: the stamp of the most recent event.
+    clock: u64,
+    record_events: bool,
+    wall_epoch: Option<Instant>,
+    events: Vec<ObsEvent>,
+    labels: BTreeMap<String, String>,
+    stats: SystemStats,
+    op_latency: LogHistogram,
+    lock_wait: LogHistogram,
+    time_to_commit: LogHistogram,
+    replay_len: LogHistogram,
+    /// Logical begin stamp of each live transaction.
+    begin_seq: BTreeMap<TxnId, u64>,
+    /// First blocked-attempt stamp of each currently blocked transaction.
+    block_start: BTreeMap<TxnId, u64>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer {
+            clock: 0,
+            record_events: true,
+            wall_epoch: None,
+            events: Vec::new(),
+            labels: BTreeMap::new(),
+            stats: SystemStats::default(),
+            op_latency: LogHistogram::new(),
+            lock_wait: LogHistogram::new(),
+            time_to_commit: LogHistogram::new(),
+            replay_len: LogHistogram::new(),
+            begin_seq: BTreeMap::new(),
+            block_start: BTreeMap::new(),
+        }
+    }
+}
+
+impl Tracer {
+    /// A fresh tracer (event recording on, wall stamping off).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Toggle structured event recording. Counters and histograms are always
+    /// maintained; only the per-event records (and their string rendering)
+    /// are affected.
+    pub fn set_record_events(&mut self, on: bool) {
+        self.record_events = on;
+    }
+
+    /// Whether structured events are being recorded.
+    pub fn record_events(&self) -> bool {
+        self.record_events
+    }
+
+    /// Stamp subsequent events with wall-clock microseconds as well as the
+    /// logical clock. Only for threaded profiling runs — wall stamps destroy
+    /// byte-identical determinism by design.
+    pub fn enable_wall_clock(&mut self) {
+        self.wall_epoch = Some(Instant::now());
+    }
+
+    /// Attach a `key=value` label (combo, policy, ADT, …) carried into every
+    /// exporter's metadata.
+    pub fn set_label(&mut self, key: &str, value: impl Into<String>) {
+        self.labels.insert(key.to_string(), value.into());
+    }
+
+    /// The attached labels.
+    pub fn labels(&self) -> &BTreeMap<String, String> {
+        &self.labels
+    }
+
+    /// The current logical clock value (stamp of the latest event).
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// The recorded events (empty when recording is off).
+    pub fn events(&self) -> &[ObsEvent] {
+        &self.events
+    }
+
+    /// The incrementally maintained counter projection.
+    pub fn stats(&self) -> &SystemStats {
+        &self.stats
+    }
+
+    /// Recompute the counters from the recorded events. Equals
+    /// [`stats`](Self::stats) whenever event recording was on for the whole
+    /// run — the tracer-refactor soundness check.
+    pub fn project_stats(&self) -> SystemStats {
+        stats::project(&self.events)
+    }
+
+    /// Op latency histogram: logical ticks from an invocation's first
+    /// (possibly blocked) attempt to its successful response; 0 for
+    /// operations that never blocked.
+    pub fn op_latency(&self) -> &LogHistogram {
+        &self.op_latency
+    }
+
+    /// Lock-wait histogram: blocked invocations only — ticks from first
+    /// blocked attempt to success.
+    pub fn lock_wait(&self) -> &LogHistogram {
+        &self.lock_wait
+    }
+
+    /// Time-to-commit histogram: ticks from begin to commit, per committed
+    /// transaction.
+    pub fn time_to_commit(&self) -> &LogHistogram {
+        &self.time_to_commit
+    }
+
+    /// Recovery replay-length histogram: journal records replayed per
+    /// successful crash recovery.
+    pub fn replay_len(&self) -> &LogHistogram {
+        &self.replay_len
+    }
+
+    /// Merge another tracer's histograms into this one (order-independent —
+    /// see [`LogHistogram::merge`]). For combining per-worker metrics.
+    pub fn merge_histograms(&mut self, other: &Tracer) {
+        self.op_latency.merge(&other.op_latency);
+        self.lock_wait.merge(&other.lock_wait);
+        self.time_to_commit.merge(&other.time_to_commit);
+        self.replay_len.merge(&other.replay_len);
+    }
+
+    fn emit(&mut self, txn: Option<TxnId>, obj: Option<ObjectId>, kind: EventKind) -> u64 {
+        self.clock += 1;
+        self.stats.absorb(&kind);
+        if self.record_events {
+            let wall_us = self.wall_epoch.map(|e| e.elapsed().as_micros() as u64);
+            self.events.push(ObsEvent { seq: self.clock, wall_us, txn, obj, kind });
+        }
+        self.clock
+    }
+
+    /// A transaction began.
+    pub fn on_begin(&mut self, txn: TxnId) {
+        let seq = self.emit(Some(txn), None, EventKind::Begin);
+        self.begin_seq.insert(txn, seq);
+    }
+
+    /// An operation executed successfully. `render` produces the
+    /// `(invocation, response)` strings and runs only when events are
+    /// recorded. Emits an `Unblock` first when the invocation had been
+    /// blocked, and feeds the latency histograms either way.
+    pub fn on_op(&mut self, txn: TxnId, obj: ObjectId, render: impl FnOnce() -> (String, String)) {
+        let waited = match self.block_start.remove(&txn) {
+            Some(start) => {
+                let waited = self.clock.saturating_sub(start);
+                self.lock_wait.record(waited);
+                self.emit(Some(txn), Some(obj), EventKind::Unblock { waited });
+                waited
+            }
+            None => 0,
+        };
+        self.op_latency.record(waited);
+        let (inv, resp) =
+            if self.record_events { render() } else { (String::new(), String::new()) };
+        self.emit(Some(txn), Some(obj), EventKind::Op { inv, resp, waited });
+    }
+
+    /// An invocation blocked on conflicting holders. `snapshot` renders the
+    /// invocation string and the wait-for-graph snapshot (including the new
+    /// edges) and runs only when events are recorded. Every blocked attempt
+    /// emits an event (matching the historical `blocks` counter), but the
+    /// wait-start stamp is kept from the *first* blocked attempt.
+    pub fn on_block(
+        &mut self,
+        txn: TxnId,
+        obj: ObjectId,
+        snapshot: impl FnOnce() -> (String, Vec<TxnId>, WaitGraph),
+    ) {
+        let (inv, on, graph) =
+            if self.record_events { snapshot() } else { (String::new(), Vec::new(), Vec::new()) };
+        let seq = self.emit(Some(txn), Some(obj), EventKind::Block { inv, on, graph });
+        self.block_start.entry(txn).or_insert(seq);
+    }
+
+    /// A holder was wounded by the older requester `by`.
+    pub fn on_wound(&mut self, victim: TxnId, by: TxnId, graph: impl FnOnce() -> WaitGraph) {
+        let graph = if self.record_events { graph() } else { Vec::new() };
+        self.emit(Some(victim), None, EventKind::Wound { by, graph });
+    }
+
+    /// The transaction committed (once per transaction, not per object).
+    pub fn on_commit(&mut self, txn: TxnId) {
+        let seq = self.emit(Some(txn), None, EventKind::Commit);
+        if let Some(begin) = self.begin_seq.remove(&txn) {
+            self.time_to_commit.record(seq.saturating_sub(begin));
+        }
+        self.block_start.remove(&txn);
+    }
+
+    /// The transaction aborted.
+    pub fn on_abort(&mut self, txn: TxnId, cause: AbortCause) {
+        self.emit(Some(txn), None, EventKind::Abort { cause });
+        self.begin_seq.remove(&txn);
+        self.block_start.remove(&txn);
+    }
+
+    /// Undo-replay failed while aborting `txn` at `obj`.
+    pub fn on_replay_failure(&mut self, txn: TxnId, obj: ObjectId) {
+        self.emit(Some(txn), Some(obj), EventKind::ReplayFailure);
+    }
+
+    /// A torn journal record was injected.
+    pub fn on_torn(&mut self, record: usize) {
+        self.emit(None, None, EventKind::TornWrite { record });
+    }
+
+    /// Crash recovery completed after replaying `replayed` journal records.
+    /// Active transactions evaporated with the crash, so their open spans
+    /// are dropped.
+    pub fn on_recovery(&mut self, replayed: usize) {
+        self.emit(None, None, EventKind::Recovery { replayed });
+        self.replay_len.record(replayed as u64);
+        self.begin_seq.clear();
+        self.block_start.clear();
+    }
+
+    /// A fault-plan entry fired. `counter` names the injection counter to
+    /// bump if the fault took effect; `render` produces the fault's compact
+    /// text form and runs only when events are recorded.
+    pub fn on_fault(&mut self, counter: Option<FaultCounter>, render: impl FnOnce() -> String) {
+        let kind = if self.record_events { render() } else { String::new() };
+        self.emit(None, None, EventKind::Fault { kind, counter });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: TxnId = TxnId(0);
+    const T1: TxnId = TxnId(1);
+    const X: ObjectId = ObjectId(0);
+
+    fn op(t: &mut Tracer, txn: TxnId) {
+        t.on_op(txn, X, || ("inc".into(), "ok".into()));
+    }
+
+    #[test]
+    fn projection_equals_incremental_stats() {
+        let mut t = Tracer::new();
+        t.on_begin(T0);
+        t.on_begin(T1);
+        op(&mut t, T0);
+        t.on_block(T1, X, || ("inc".into(), vec![T0], vec![(T1, vec![T0])]));
+        t.on_commit(T0);
+        op(&mut t, T1);
+        t.on_wound(T1, T0, Vec::new);
+        t.on_abort(T1, AbortCause::Wounded);
+        t.on_fault(Some(FaultCounter::WoundStorm), || "wound".into());
+        t.on_torn(3);
+        t.on_recovery(2);
+        assert_eq!(t.project_stats(), *t.stats());
+        assert_eq!(t.stats().begun, 2);
+        assert_eq!(t.stats().committed, 1);
+        assert_eq!(t.stats().aborted, 1);
+        assert_eq!(t.stats().wounds, 1);
+        assert_eq!(t.stats().blocks, 1);
+        assert_eq!(t.stats().wound_storms, 1);
+        assert_eq!(t.stats().torn_crashes, 1);
+        assert_eq!(t.stats().crashes, 1);
+    }
+
+    #[test]
+    fn counters_only_mode_keeps_stats_without_events() {
+        let mut t = Tracer::new();
+        t.set_record_events(false);
+        t.on_begin(T0);
+        op(&mut t, T0);
+        t.on_commit(T0);
+        assert!(t.events().is_empty());
+        assert_eq!(t.stats().committed, 1);
+        assert_eq!(t.op_latency().count(), 1);
+        assert_eq!(t.time_to_commit().count(), 1);
+    }
+
+    #[test]
+    fn lock_wait_measured_from_first_blocked_attempt() {
+        let mut t = Tracer::new();
+        t.on_begin(T0);
+        t.on_begin(T1);
+        op(&mut t, T0); // seq 3
+        let snap = || ("inc".to_string(), vec![T0], vec![(T1, vec![T0])]);
+        t.on_block(T1, X, snap); // first attempt: seq 4
+        t.on_block(T1, X, snap); // retried attempt: seq 5 (stamp kept at 4)
+        t.on_commit(T0); // seq 6
+        op(&mut t, T1); // unblock at seq 7: waited = 6 - 4 = 2
+        assert_eq!(t.lock_wait().count(), 1);
+        assert_eq!(t.lock_wait().max(), 2);
+        assert_eq!(t.stats().blocks, 2, "every blocked attempt counts");
+        // The unblock event carries the same wait.
+        let unblock = t
+            .events()
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::Unblock { .. }))
+            .expect("unblock recorded");
+        assert!(matches!(unblock.kind, EventKind::Unblock { waited: 2 }));
+    }
+
+    #[test]
+    fn logical_clock_is_deterministic_and_wall_free() {
+        let run = || {
+            let mut t = Tracer::new();
+            t.on_begin(T0);
+            op(&mut t, T0);
+            t.on_commit(T0);
+            t
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.events(), b.events());
+        assert!(a.events().iter().all(|e| e.wall_us.is_none()));
+        assert_eq!(a.events().last().unwrap().seq, a.clock());
+    }
+
+    #[test]
+    fn recovery_drops_open_spans() {
+        let mut t = Tracer::new();
+        t.on_begin(T0);
+        t.on_recovery(0);
+        t.on_commit(T0); // begin stamp was dropped: no time-to-commit sample
+        assert_eq!(t.time_to_commit().count(), 0);
+        assert_eq!(t.replay_len().count(), 1);
+    }
+}

@@ -191,13 +191,17 @@ where
                 TornPolicy::DiscardTail => self.journal.records.truncate(ri),
             }
         }
-        // Counters and the transaction-id allocator model durable monitoring
-        // state: carry them across the rebuild so post-recovery ids never
-        // collide with pre-crash ones and fault counters survive.
-        let pre_stats = self.sys.stats().clone();
+        // The tracer and the transaction-id allocator model durable
+        // monitoring state: carry them across the rebuild so post-recovery
+        // ids never collide with pre-crash ones and counters/histograms
+        // survive. The replay below runs against the fresh system's own
+        // throwaway tracer (recovery must not double-count the replayed
+        // commits), which is discarded on success.
         let pre_next = self.sys.next_txn_id();
+        let replayed = self.journal.records.len();
         let mut fresh = (self.make)();
         fresh.set_record_trace(true);
+        fresh.obs_mut().set_record_events(false);
         for (ri, rec) in self.journal.records.iter().enumerate() {
             let t = fresh.begin();
             for (oi, (obj, op)) in rec.ops.iter().enumerate() {
@@ -209,8 +213,12 @@ where
             }
             fresh.commit(t).map_err(|_| RedoError::ReplayRefused { record: ri })?;
         }
-        fresh.set_stats(pre_stats);
-        fresh.stats_mut().crashes += 1;
+        // Replay succeeded: move the surviving tracer over and record the
+        // recovery on it (on `Err` above the pre-crash system — tracer
+        // included — is left untouched, preserving all-or-nothing recovery).
+        let mut obs = self.sys.take_obs();
+        obs.on_recovery(replayed);
+        fresh.set_obs(obs);
         fresh.reserve_txn_ids(pre_next);
         self.sys = fresh;
         Ok(())
@@ -230,7 +238,8 @@ where
         }
         let keep = rec.ops.len().saturating_sub(drop_ops);
         rec.ops.truncate(keep);
-        self.sys.stats_mut().torn_crashes += 1;
+        let record = self.journal.records.len() - 1;
+        self.sys.obs_mut().on_torn(record);
         true
     }
 

@@ -29,6 +29,13 @@
 //!   storms) driven through a [`crash::DurableSystem`] with an atomicity /
 //!   equieffectivity oracle after every fault.
 //!
+//! Every layer reports through the `ccr-obs` tracer embedded in the system
+//! ([`system::TxnSystem::obs`]): structured events on a deterministic
+//! logical clock, latency histograms, and the [`system::SystemStats`]
+//! counters — which are now a *projection* of the event stream rather than
+//! ad-hoc bumps (the struct itself lives in `ccr-obs` and is re-exported
+//! here unchanged).
+//!
 //! The correct pairings (Theorems 9 and 10) are `UipEngine` with an
 //! `NRBC`-containing conflict relation and `DuEngine` with an
 //! `NFC`-containing one. The runtime lets you run the *incorrect* pairings

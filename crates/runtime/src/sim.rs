@@ -31,6 +31,7 @@ use ccr_core::atomicity::{check_dynamic_atomic_auto, DynAtomViolation, SystemSpe
 use ccr_core::conflict::Conflict;
 use ccr_core::history::History;
 use ccr_core::ids::{ObjectId, TxnId};
+use ccr_obs::FaultCounter;
 
 use crate::crash::{DurableSystem, RedoError, TornPolicy};
 use crate::engine::RecoveryEngine;
@@ -416,6 +417,7 @@ where
     let fail = |failure| SimFailure { at_event: at, failure };
     match kind {
         FaultKind::Crash => {
+            sys.system_mut().obs_mut().on_fault(None, || kind.to_string());
             let pre_states = committed_states(sys);
             *fp_fold = fold_fp(*fp_fold, sys.system().trace());
             // The oracle examines the pre-crash history *before* it is lost.
@@ -440,6 +442,7 @@ where
                     delay_next_commit,
                 );
             }
+            sys.system_mut().obs_mut().on_fault(None, || kind.to_string());
             *fp_fold = fold_fp(*fp_fold, sys.system().trace());
             let pre_trace = sys.system().trace().clone();
             check_history(spec, cfg, &pre_trace, at, report)?;
@@ -463,11 +466,16 @@ where
         }
         FaultKind::ForceAbort => {
             let victim = sys.system().active().max();
+            // The counter is bumped only when the fault found a victim; the
+            // fault *event* is recorded either way so traces show every
+            // injection.
+            sys.system_mut()
+                .obs_mut()
+                .on_fault(victim.map(|_| FaultCounter::ForcedAbort), || kind.to_string());
             if let Some(t) = victim {
                 sys.system_mut()
                     .abort_with(t, AbortReason::ConflictAbort)
                     .expect("victim is active");
-                sys.system_mut().stats_mut().forced_aborts += 1;
                 let commits = sys.stats().committed;
                 if let Some(d) = drivers.iter_mut().find(|d| d.txn == Some(t)) {
                     d.restart(cfg.max_retries, Some(commits), &mut report.retries);
@@ -476,13 +484,15 @@ where
             oracle(sys, spec, cfg, invariant, None, at, report)
         }
         FaultKind::WoundStorm => {
+            sys.system_mut()
+                .obs_mut()
+                .on_fault(Some(FaultCounter::WoundStorm), || kind.to_string());
             let victims: Vec<TxnId> = sys.system().active().collect();
             for t in &victims {
                 sys.system_mut()
                     .abort_with(*t, AbortReason::ConflictAbort)
                     .expect("victim is active");
             }
-            sys.system_mut().stats_mut().wound_storms += 1;
             let commits = sys.stats().committed;
             for d in drivers.iter_mut() {
                 if d.txn.is_some_and(|t| victims.contains(&t)) {
@@ -493,7 +503,9 @@ where
         }
         FaultKind::DelayCommit { rounds } => {
             *delay_next_commit = Some(rounds);
-            sys.system_mut().stats_mut().delayed_commits += 1;
+            sys.system_mut()
+                .obs_mut()
+                .on_fault(Some(FaultCounter::DelayedCommit), || kind.to_string());
             Ok(())
         }
     }

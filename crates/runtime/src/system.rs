@@ -24,9 +24,12 @@ use ccr_core::adt::{Adt, Op};
 use ccr_core::conflict::Conflict;
 use ccr_core::history::{Event, History};
 use ccr_core::ids::{ObjectId, TxnId};
+use ccr_obs::{AbortCause, Tracer, WaitGraph};
 
 use crate::engine::RecoveryEngine;
 use crate::error::{AbortReason, RecoveryError, TxnError};
+
+pub use ccr_obs::SystemStats;
 
 /// What to do when a requested operation conflicts with held operations.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -46,37 +49,15 @@ pub enum ConflictPolicy {
     NoWait,
 }
 
-/// Aggregate counters for an execution.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct SystemStats {
-    /// Transactions begun.
-    pub begun: u64,
-    /// Transactions committed.
-    pub committed: u64,
-    /// Transactions aborted (all reasons).
-    pub aborted: u64,
-    /// Aborts due to deferred-update validation failure.
-    pub validation_aborts: u64,
-    /// Operations executed.
-    pub ops: u64,
-    /// Invocations that came back [`TxnError::Blocked`].
-    pub blocks: u64,
-    /// Holders aborted by the wound-wait policy.
-    pub wounds: u64,
-    /// Requesters aborted by the no-wait policy.
-    pub conflict_aborts: u64,
-    /// Undo-replay failures (weak conflict relation under UIP).
-    pub replay_failures: u64,
-    /// Simulated crashes survived (fault injection).
-    pub crashes: u64,
-    /// Crashes injected with a torn (truncated) final journal record.
-    pub torn_crashes: u64,
-    /// Transactions force-aborted by fault injection.
-    pub forced_aborts: u64,
-    /// Commits artificially delayed by fault injection.
-    pub delayed_commits: u64,
-    /// Wound-storm faults injected (every active transaction aborted).
-    pub wound_storms: u64,
+impl ConflictPolicy {
+    /// Short lowercase label (tracer/exporter metadata).
+    pub fn label(self) -> &'static str {
+        match self {
+            ConflictPolicy::Block => "block",
+            ConflictPolicy::WoundWait => "wound-wait",
+            ConflictPolicy::NoWait => "no-wait",
+        }
+    }
 }
 
 /// A transactional system over objects of a single ADT type `A`, one engine
@@ -112,7 +93,8 @@ pub struct TxnSystem<A: Adt, E: RecoveryEngine<A>, C: Conflict<A>> {
     wounded: BTreeSet<TxnId>,
     policy: ConflictPolicy,
     trace: History<A>,
-    stats: SystemStats,
+    /// Structured tracer; the stats counters are a projection of its events.
+    obs: Tracer,
     record_trace: bool,
 }
 
@@ -139,6 +121,7 @@ impl<A: Adt, E: RecoveryEngine<A>, C: Conflict<A>> TxnSystem<A, E, C> {
             );
         }
         TxnSystem {
+            obs: Self::init_obs(&conflict),
             conflict,
             objects,
             active: BTreeSet::new(),
@@ -147,7 +130,6 @@ impl<A: Adt, E: RecoveryEngine<A>, C: Conflict<A>> TxnSystem<A, E, C> {
             wounded: BTreeSet::new(),
             policy: ConflictPolicy::Block,
             trace: History::new(),
-            stats: SystemStats::default(),
             record_trace: true,
         }
     }
@@ -163,6 +145,7 @@ impl<A: Adt, E: RecoveryEngine<A>, C: Conflict<A>> TxnSystem<A, E, C> {
             })
             .collect();
         TxnSystem {
+            obs: Self::init_obs(&conflict),
             conflict,
             objects,
             active: BTreeSet::new(),
@@ -171,14 +154,20 @@ impl<A: Adt, E: RecoveryEngine<A>, C: Conflict<A>> TxnSystem<A, E, C> {
             wounded: BTreeSet::new(),
             policy: ConflictPolicy::Block,
             trace: History::new(),
-            stats: SystemStats::default(),
             record_trace: true,
         }
     }
 
+    fn init_obs(conflict: &C) -> Tracer {
+        let mut obs = Tracer::new();
+        obs.set_label("conflict", conflict.name());
+        obs.set_label("policy", ConflictPolicy::Block.label());
+        obs
+    }
+
     /// Select the conflict policy (default: [`ConflictPolicy::Block`]).
     pub fn with_policy(mut self, policy: ConflictPolicy) -> Self {
-        self.policy = policy;
+        self.set_policy(policy);
         self
     }
 
@@ -186,9 +175,13 @@ impl<A: Adt, E: RecoveryEngine<A>, C: Conflict<A>> TxnSystem<A, E, C> {
     /// obstruct the builder form, e.g. [`crate::crash::DurableSystem`]).
     pub fn set_policy(&mut self, policy: ConflictPolicy) {
         self.policy = policy;
+        self.obs.set_label("policy", policy.label());
     }
 
-    /// Disable history recording (for long benchmark runs).
+    /// Disable history recording (for long benchmark runs). Structured
+    /// tracer events are controlled separately via
+    /// [`obs_mut`](Self::obs_mut) — the atomicity oracle needs the history
+    /// even when nobody wants a rendered trace, and vice versa.
     pub fn set_record_trace(&mut self, on: bool) {
         self.record_trace = on;
     }
@@ -198,7 +191,7 @@ impl<A: Adt, E: RecoveryEngine<A>, C: Conflict<A>> TxnSystem<A, E, C> {
         let t = TxnId(self.next_txn);
         self.next_txn += 1;
         self.active.insert(t);
-        self.stats.begun += 1;
+        self.obs.on_begin(t);
         t
     }
 
@@ -223,8 +216,7 @@ impl<A: Adt, E: RecoveryEngine<A>, C: Conflict<A>> TxnSystem<A, E, C> {
         let conflict = &self.conflict;
         let o = self.objects.get_mut(&obj).ok_or(TxnError::NoSuchObject(obj))?;
         if o.engine.is_doomed(txn) {
-            self.abort_inner(txn, AbortReason::Validation);
-            self.stats.validation_aborts += 1;
+            self.abort_inner(txn, AbortCause::Validation);
             return Err(TxnError::Aborted(AbortReason::Validation));
         }
         let view = o.engine.view_state(txn);
@@ -246,10 +238,14 @@ impl<A: Adt, E: RecoveryEngine<A>, C: Conflict<A>> TxnSystem<A, E, C> {
             }
             if conflicting.is_empty() {
                 // Execute.
+                let rendered = self
+                    .obs
+                    .record_events()
+                    .then(|| (format!("{:?}", op.inv), format!("{resp:?}")));
                 o.engine.record(txn, op.clone(), post);
                 o.held.entry(txn).or_default().push(op.clone());
-                self.stats.ops += 1;
                 self.waits.remove(&txn);
+                self.obs.on_op(txn, obj, || rendered.expect("rendered when recording"));
                 if self.record_trace {
                     self.trace
                         .push(Event::Invoke { txn, obj, inv: op.inv })
@@ -263,8 +259,7 @@ impl<A: Adt, E: RecoveryEngine<A>, C: Conflict<A>> TxnSystem<A, E, C> {
             blockers.extend(conflicting);
         }
         if self.policy == ConflictPolicy::NoWait {
-            self.abort_inner(txn, AbortReason::ConflictAbort);
-            self.stats.conflict_aborts += 1;
+            self.abort_inner(txn, AbortCause::NoWaitConflict);
             return Err(TxnError::Aborted(AbortReason::ConflictAbort));
         }
         if self.policy == ConflictPolicy::WoundWait && blockers.iter().all(|b| *b > txn) {
@@ -272,15 +267,24 @@ impl<A: Adt, E: RecoveryEngine<A>, C: Conflict<A>> TxnSystem<A, E, C> {
             // retry the invocation against the cleaned lock table.
             let victims: Vec<TxnId> = blockers.into_iter().collect();
             for v in victims {
-                self.abort_inner(v, AbortReason::ConflictAbort);
+                let graph = self.obs.record_events().then(|| self.graph_snapshot());
+                self.obs.on_wound(v, txn, || graph.unwrap_or_default());
+                self.abort_inner(v, AbortCause::Wounded);
                 self.wounded.insert(v);
-                self.stats.wounds += 1;
             }
             return self.invoke(txn, obj, inv);
         }
-        self.stats.blocks += 1;
         self.waits.insert(txn, blockers.clone());
+        let snap = self.obs.record_events().then(|| {
+            (format!("{inv:?}"), blockers.iter().copied().collect(), self.graph_snapshot())
+        });
+        self.obs.on_block(txn, obj, || snap.expect("rendered when recording"));
         Err(TxnError::Blocked { on: blockers.into_iter().collect() })
+    }
+
+    /// Snapshot the wait-for graph (for block/wound events).
+    fn graph_snapshot(&self) -> WaitGraph {
+        self.waits.iter().map(|(w, hs)| (*w, hs.iter().copied().collect())).collect()
     }
 
     /// If `txn` was wounded, consume the marker. Returns `Ok(true)` when the
@@ -309,8 +313,7 @@ impl<A: Adt, E: RecoveryEngine<A>, C: Conflict<A>> TxnSystem<A, E, C> {
         for &obj in &touched {
             let o = self.objects.get_mut(&obj).expect("touched object exists");
             if o.engine.prepare_commit(txn).is_err() {
-                self.abort_inner(txn, AbortReason::Validation);
-                self.stats.validation_aborts += 1;
+                self.abort_inner(txn, AbortCause::Validation);
                 return Err(TxnError::Aborted(AbortReason::Validation));
             }
         }
@@ -325,7 +328,7 @@ impl<A: Adt, E: RecoveryEngine<A>, C: Conflict<A>> TxnSystem<A, E, C> {
         }
         self.active.remove(&txn);
         self.waits.remove(&txn);
-        self.stats.committed += 1;
+        self.obs.on_commit(txn);
         Ok(())
     }
 
@@ -337,21 +340,31 @@ impl<A: Adt, E: RecoveryEngine<A>, C: Conflict<A>> TxnSystem<A, E, C> {
         if !self.active.contains(&txn) {
             return Err(TxnError::NotActive(txn));
         }
-        self.abort_inner(txn, AbortReason::Requested);
+        self.abort_inner(txn, AbortCause::Requested);
         Ok(())
     }
 
     /// Abort with an explicit reason (used by schedulers for deadlock
-    /// victims).
+    /// victims and by fault injection).
     pub fn abort_with(&mut self, txn: TxnId, reason: AbortReason) -> Result<(), TxnError> {
         if !self.active.contains(&txn) {
             return Err(TxnError::NotActive(txn));
         }
-        self.abort_inner(txn, reason);
+        // `ConflictAbort` through this external entry point is a driver or
+        // fault-injector decision, not the no-wait policy path — the tracer
+        // distinguishes the two so the `conflict_aborts` counter keeps its
+        // historical meaning (requesters aborted *by the policy*).
+        let cause = match reason {
+            AbortReason::Deadlock => AbortCause::Deadlock,
+            AbortReason::Validation => AbortCause::Validation,
+            AbortReason::Requested => AbortCause::Requested,
+            AbortReason::ConflictAbort => AbortCause::External,
+        };
+        self.abort_inner(txn, cause);
         Ok(())
     }
 
-    fn abort_inner(&mut self, txn: TxnId, _reason: AbortReason) {
+    fn abort_inner(&mut self, txn: TxnId, cause: AbortCause) {
         let touched: Vec<ObjectId> = self
             .objects
             .iter()
@@ -361,7 +374,7 @@ impl<A: Adt, E: RecoveryEngine<A>, C: Conflict<A>> TxnSystem<A, E, C> {
         for &obj in &touched {
             let o = self.objects.get_mut(&obj).expect("touched object exists");
             if let Err(RecoveryError::ReplayFailed { .. }) = o.engine.abort(txn) {
-                self.stats.replay_failures += 1;
+                self.obs.on_replay_failure(txn, obj);
             }
             o.held.remove(&txn);
             if self.record_trace {
@@ -370,7 +383,7 @@ impl<A: Adt, E: RecoveryEngine<A>, C: Conflict<A>> TxnSystem<A, E, C> {
         }
         self.active.remove(&txn);
         self.waits.remove(&txn);
-        self.stats.aborted += 1;
+        self.obs.on_abort(txn, cause);
     }
 
     /// Detect a deadlock reachable from `start` in the wait-for graph.
@@ -438,21 +451,34 @@ impl<A: Adt, E: RecoveryEngine<A>, C: Conflict<A>> TxnSystem<A, E, C> {
         &self.trace
     }
 
-    /// Execution counters.
+    /// Execution counters (a projection of the tracer's event stream).
     pub fn stats(&self) -> &SystemStats {
-        &self.stats
+        self.obs.stats()
     }
 
-    /// Mutable execution counters (fault injection bookkeeping).
-    pub fn stats_mut(&mut self) -> &mut SystemStats {
-        &mut self.stats
+    /// The structured tracer: events, histograms, labels and counters.
+    pub fn obs(&self) -> &Tracer {
+        &self.obs
     }
 
-    /// Replace the counters wholesale — used by crash recovery to carry the
-    /// pre-crash counters across the rebuild (stats model a monitoring store
-    /// that survives the crash, unlike volatile transaction state).
-    pub fn set_stats(&mut self, stats: SystemStats) {
-        self.stats = stats;
+    /// Mutable tracer access (fault injection emits events through this; the
+    /// trace subcommand toggles event recording and wall stamping).
+    pub fn obs_mut(&mut self) -> &mut Tracer {
+        &mut self.obs
+    }
+
+    /// Take the tracer out, leaving a fresh one — used by crash recovery to
+    /// carry the observability state across the rebuild (the tracer models a
+    /// monitoring store that survives the crash, unlike volatile transaction
+    /// state).
+    pub fn take_obs(&mut self) -> Tracer {
+        std::mem::take(&mut self.obs)
+    }
+
+    /// Install a tracer wholesale (the other half of
+    /// [`take_obs`](Self::take_obs)).
+    pub fn set_obs(&mut self, obs: Tracer) {
+        self.obs = obs;
     }
 
     /// The id the next [`begin`](Self::begin) will allocate.

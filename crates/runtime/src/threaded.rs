@@ -35,11 +35,20 @@ pub struct ThreadedCfg {
     pub max_retries: usize,
     /// Condvar wait slice (re-checks deadlock after each).
     pub wait_slice: Duration,
+    /// Stamp tracer events with wall-clock microseconds in addition to the
+    /// logical clock. Off by default: wall stamps are nondeterministic by
+    /// nature and exist only for human-read threaded profiles.
+    pub wall_clock: bool,
 }
 
 impl Default for ThreadedCfg {
     fn default() -> Self {
-        ThreadedCfg { workers: 4, max_retries: 64, wait_slice: Duration::from_millis(5) }
+        ThreadedCfg {
+            workers: 4,
+            max_retries: 64,
+            wait_slice: Duration::from_millis(5),
+            wall_clock: false,
+        }
     }
 }
 
@@ -63,7 +72,7 @@ struct Tallies {
 /// Run `scripts` over `sys` with `cfg.workers` threads; returns the report
 /// and the system (for trace/state inspection).
 pub fn run_threaded<A, E, C>(
-    sys: TxnSystem<A, E, C>,
+    mut sys: TxnSystem<A, E, C>,
     scripts: Vec<Box<dyn Script<A>>>,
     cfg: &ThreadedCfg,
 ) -> (RunReport, TxnSystem<A, E, C>)
@@ -72,6 +81,9 @@ where
     E: RecoveryEngine<A>,
     C: Conflict<A> + Send + Sync,
 {
+    if cfg.wall_clock {
+        sys.obs_mut().enable_wall_clock();
+    }
     let shared = Arc::new(Shared {
         sys: Mutex::new(sys),
         queue: Mutex::new(scripts.into_iter().collect::<VecDeque<_>>()),

@@ -1,0 +1,103 @@
+//! The `SystemStats` counters are maintained incrementally by the tracer's
+//! `absorb` as events are emitted — and `ccr_obs::project` replays the same
+//! `absorb` over the recorded event stream. These tests pin the refactor's
+//! core invariant: on every scenario (policies, engines, every fault kind,
+//! crash recovery) the projection of the recorded events equals the
+//! incrementally maintained counters, i.e. the counters really are a pure
+//! function of the trace.
+
+use ccr_adt::bank::{bank_nfc, bank_nrbc, BankAccount, BankInv};
+use ccr_core::atomicity::SystemSpec;
+use ccr_core::ids::ObjectId;
+use ccr_runtime::crash::DurableSystem;
+use ccr_runtime::engine::{DuEngine, UipEngine};
+use ccr_runtime::fault::{FaultKind, FaultPlan, FaultSpec};
+use ccr_runtime::scheduler::{run, SchedulerCfg};
+use ccr_runtime::script::{OpsScript, Script};
+use ccr_runtime::sim::{run_sim, SimCfg};
+use ccr_runtime::system::{ConflictPolicy, TxnSystem};
+
+const X: ObjectId = ObjectId::SOLE;
+
+fn scripts(n: usize) -> Vec<Box<dyn Script<BankAccount>>> {
+    (0..n)
+        .map(|_| {
+            Box::new(OpsScript::on(X, vec![BankInv::Deposit(2), BankInv::Withdraw(1)]))
+                as Box<dyn Script<BankAccount>>
+        })
+        .collect()
+}
+
+fn assert_projection_matches<A, E, C>(sys: &TxnSystem<A, E, C>)
+where
+    A: ccr_core::adt::Adt,
+    E: ccr_runtime::engine::RecoveryEngine<A>,
+    C: ccr_core::conflict::Conflict<A>,
+{
+    let obs = sys.obs();
+    assert!(obs.record_events(), "projection needs the event stream");
+    assert_eq!(
+        obs.project_stats(),
+        *obs.stats(),
+        "projected counters must equal incrementally absorbed counters"
+    );
+}
+
+#[test]
+fn projection_matches_under_every_conflict_policy() {
+    for policy in [ConflictPolicy::Block, ConflictPolicy::WoundWait, ConflictPolicy::NoWait] {
+        let mut sys: TxnSystem<BankAccount, UipEngine<BankAccount>, _> =
+            TxnSystem::new(BankAccount::default(), 1, bank_nrbc()).with_policy(policy);
+        run(&mut sys, scripts(8), &SchedulerCfg { seed: 3, ..Default::default() });
+        assert!(sys.stats().committed > 0);
+        assert_projection_matches(&sys);
+    }
+}
+
+#[test]
+fn projection_matches_for_deferred_update_with_validation() {
+    let mut sys: TxnSystem<BankAccount, DuEngine<BankAccount>, _> =
+        TxnSystem::new(BankAccount::default(), 1, bank_nfc());
+    run(&mut sys, scripts(8), &SchedulerCfg { seed: 5, ..Default::default() });
+    assert_projection_matches(&sys);
+}
+
+#[test]
+fn projection_matches_across_every_fault_kind_and_crash_recovery() {
+    let plan = FaultPlan::new(vec![
+        FaultSpec { at_event: 2, kind: FaultKind::ForceAbort },
+        FaultSpec { at_event: 5, kind: FaultKind::DelayCommit { rounds: 3 } },
+        FaultSpec { at_event: 9, kind: FaultKind::TornCrash { drop_ops: 1 } },
+        FaultSpec { at_event: 14, kind: FaultKind::WoundStorm },
+        FaultSpec { at_event: 20, kind: FaultKind::Crash },
+    ]);
+    let spec = SystemSpec::single(BankAccount::default());
+
+    let mut uip: DurableSystem<BankAccount, UipEngine<BankAccount>, _> =
+        DurableSystem::new(BankAccount::default(), 1, bank_nrbc());
+    let r = run_sim(&mut uip, scripts(6), &plan, &SimCfg::default(), &spec, None).unwrap();
+    assert_eq!(r.faults_injected, 5);
+    assert!(uip.system().stats().crashes >= 1, "the plan's crashes must have fired");
+    assert_projection_matches(uip.system());
+
+    let mut du: DurableSystem<BankAccount, DuEngine<BankAccount>, _> =
+        DurableSystem::new(BankAccount::default(), 1, bank_nfc());
+    let r = run_sim(&mut du, scripts(6), &plan, &SimCfg::default(), &spec, None).unwrap();
+    assert_eq!(r.faults_injected, 5);
+    assert_projection_matches(du.system());
+}
+
+#[test]
+fn projection_matches_on_seeded_fault_plans() {
+    // Seeded plans mix fault kinds and land on arbitrary event indices —
+    // a broader net than the hand-picked plan above.
+    let spec = SystemSpec::single(BankAccount::default());
+    for seed in 0..8 {
+        let plan = FaultPlan::from_seed(seed, 40, 4);
+        let mut sys: DurableSystem<BankAccount, UipEngine<BankAccount>, _> =
+            DurableSystem::new(BankAccount::default(), 1, bank_nrbc());
+        run_sim(&mut sys, scripts(6), &plan, &SimCfg { seed, ..Default::default() }, &spec, None)
+            .unwrap();
+        assert_projection_matches(sys.system());
+    }
+}

@@ -7,13 +7,21 @@
 //! # Deterministic fault-injection simulation (see DESIGN.md):
 //! ccr-experiments sim --combo uip-nrbc --seed 7 --faults 12:crash,30:torn2
 //! ccr-experiments sim --combo uip-sym-nfc --sweep 64        # hunt + shrink
+//!
+//! # Deterministic tracing (see DESIGN.md §8): Chrome trace_event JSON,
+//! # flamegraph summary and a metrics report from one simulated run.
+//! ccr-experiments trace --combo uip-nrbc --seed 7 --out trace.json
+//! ccr-experiments trace --combo uip-nrbc --seed 7 --flame flame.txt --metrics metrics.json
 //! ```
 
 use std::process::ExitCode;
 
 use ccr_runtime::fault::FaultPlan;
 use ccr_workload::experiments;
-use ccr_workload::sim::{parse_policy, run_scenario, shrink, sweep, Combo, SimScenario};
+use ccr_workload::harness::json_string;
+use ccr_workload::sim::{
+    parse_policy, run_scenario, run_scenario_traced, shrink, sweep, Combo, SimScenario,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -28,9 +36,31 @@ fn main() -> ExitCode {
                 eprintln!(
                     "           [--policy block|wound|nowait] [--seed N] [--txns N] [--ops N]"
                 );
-                eprintln!("           [--objects N] [--skip i,j,...] [--faults SPEC|none]");
+                eprintln!(
+                    "           [--objects N] [--skip i,j,...] [--faults SPEC|none] [--json]"
+                );
                 eprintln!("       ccr-experiments sim --combo C --sweep SEEDS [--horizon N] [--fault-count N]");
                 eprintln!("fault SPEC: e.g. 12:crash,30:torn2,45:abort,60:delay5,80:wound");
+                ExitCode::from(2)
+            }
+        };
+    }
+    if args.first().map(String::as_str) == Some("trace") {
+        return match trace_main(&args[1..]) {
+            Ok(code) => code,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!(
+                    "usage: ccr-experiments trace --combo <uip-nrbc|du-nfc|uip-sym-nfc|escrow-uip-nrbc|escrow-du-nfc>"
+                );
+                eprintln!(
+                    "           [--policy block|wound|nowait] [--seed N] [--txns N] [--ops N]"
+                );
+                eprintln!("           [--objects N] [--skip i,j,...] [--faults SPEC|none]");
+                eprintln!(
+                    "           [--out trace.json] [--flame flame.txt] [--metrics metrics.json]"
+                );
+                eprintln!("without --out the Chrome trace JSON goes to stdout");
                 ExitCode::from(2)
             }
         };
@@ -65,6 +95,7 @@ fn sim_main(args: &[String]) -> Result<ExitCode, String> {
     let mut sweep_seeds: Option<u64> = None;
     let mut horizon = 60u64;
     let mut fault_count = 4usize;
+    let mut json = false;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -89,11 +120,16 @@ fn sim_main(args: &[String]) -> Result<ExitCode, String> {
             "--sweep" => sweep_seeds = Some(parse_num(flag, value()?)?),
             "--horizon" => horizon = parse_num(flag, value()?)?,
             "--fault-count" => fault_count = parse_num(flag, value()?)?,
+            "--json" => json = true,
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
     let combo = combo.ok_or("missing --combo")?;
     scenario.combo = combo;
+
+    if json {
+        return Ok(sim_json(&scenario, sweep_seeds, horizon, fault_count));
+    }
 
     if let Some(seeds) = sweep_seeds {
         println!(
@@ -154,6 +190,170 @@ fn sim_main(args: &[String]) -> Result<ExitCode, String> {
                 shrunk_failure,
             );
             println!("  {}", shrunk.reproducer());
+            ExitCode::FAILURE
+        }
+    })
+}
+
+/// The `sim --json` structured run report: one JSON object on stdout with an
+/// oracle verdict, the run counters, per-fault-kind counters and (on
+/// failure) the shrink result. Exit codes match the text mode.
+fn sim_json(
+    scenario: &SimScenario,
+    sweep_seeds: Option<u64>,
+    horizon: u64,
+    fault_count: usize,
+) -> ExitCode {
+    if let Some(seeds) = sweep_seeds {
+        return match sweep(scenario.combo, seeds, horizon, fault_count) {
+            None => {
+                println!(
+                    "{{\"mode\":\"sweep\",\"combo\":{},\"seeds\":{seeds},\"verdict\":\"pass\"}}",
+                    json_string(&scenario.combo.to_string()),
+                );
+                ExitCode::SUCCESS
+            }
+            Some(f) => {
+                println!(
+                    concat!(
+                        "{{\"mode\":\"sweep\",\"combo\":{},\"seeds\":{},\"verdict\":\"fail\",",
+                        "\"failure\":{},\"at_event\":{},\"original\":{},\"shrunk\":{},",
+                        "\"shrunk_txns\":{},\"shrunk_faults\":{},\"shrink_runs\":{}}}"
+                    ),
+                    json_string(&scenario.combo.to_string()),
+                    seeds,
+                    json_string(&f.failure.failure.to_string()),
+                    f.failure.at_event,
+                    json_string(&f.original.reproducer()),
+                    json_string(&f.shrunk.reproducer()),
+                    f.shrunk.live_txns(),
+                    f.shrunk.plan.len(),
+                    f.shrink_runs,
+                );
+                ExitCode::FAILURE
+            }
+        };
+    }
+    match run_scenario(scenario) {
+        Ok(report) => {
+            let s = &report.stats;
+            println!(
+                concat!(
+                    "{{\"mode\":\"run\",\"verdict\":\"pass\",\"reproducer\":{},",
+                    "\"committed\":{},\"gave_up\":{},\"retries\":{},\"rounds\":{},",
+                    "\"events\":{},\"oracle_checks\":{},\"faults_injected\":{},",
+                    "\"fault_counters\":{{\"crashes\":{},\"torn_crashes\":{},",
+                    "\"forced_aborts\":{},\"delayed_commits\":{},\"wound_storms\":{}}},",
+                    "\"history_fingerprint\":{}}}"
+                ),
+                json_string(&scenario.reproducer()),
+                report.committed,
+                report.gave_up,
+                report.retries,
+                report.rounds,
+                report.events,
+                report.oracle_checks,
+                report.faults_injected,
+                s.crashes,
+                s.torn_crashes,
+                s.forced_aborts,
+                s.delayed_commits,
+                s.wound_storms,
+                json_string(&format!("{:#018x}", report.history_fingerprint)),
+            );
+            ExitCode::SUCCESS
+        }
+        Err(failure) => {
+            let (shrunk, shrunk_failure, runs) = shrink(scenario);
+            println!(
+                concat!(
+                    "{{\"mode\":\"run\",\"verdict\":\"fail\",\"failure\":{},\"at_event\":{},",
+                    "\"original\":{},\"shrunk\":{},\"shrunk_txns\":{},\"shrunk_faults\":{},",
+                    "\"shrink_runs\":{}}}"
+                ),
+                json_string(&shrunk_failure.failure.to_string()),
+                failure.at_event,
+                json_string(&scenario.reproducer()),
+                json_string(&shrunk.reproducer()),
+                shrunk.live_txns(),
+                shrunk.plan.len(),
+                runs,
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parse and run the `trace` subcommand: run one scenario with full event
+/// recording and write the Chrome `trace_event` JSON (stdout, or `--out`),
+/// plus an optional flamegraph summary and metrics report. Exit code 0 when
+/// the oracle passed, 1 when it failed — the artifacts are written either
+/// way, since a failing run's trace is the one worth opening.
+fn trace_main(args: &[String]) -> Result<ExitCode, String> {
+    let mut combo: Option<Combo> = None;
+    let mut scenario = SimScenario::new(Combo::UipNrbc, 0, FaultPlan::none());
+    let mut out: Option<String> = None;
+    let mut flame: Option<String> = None;
+    let mut metrics: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value =
+            || it.next().map(String::as_str).ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--combo" => combo = Some(value()?.parse()?),
+            "--policy" => scenario.policy = parse_policy(value()?)?,
+            "--seed" => scenario.seed = parse_num(flag, value()?)?,
+            "--txns" => scenario.txns = parse_num(flag, value()?)?,
+            "--ops" => scenario.ops_per_txn = parse_num(flag, value()?)?,
+            "--objects" => scenario.objects = parse_num(flag, value()?)?,
+            "--skip" => {
+                scenario.skip = value()?
+                    .split(',')
+                    .map(|s| parse_num("--skip", s.trim()))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--faults" => {
+                scenario.plan = value()?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--out" => out = Some(value()?.to_string()),
+            "--flame" => flame = Some(value()?.to_string()),
+            "--metrics" => metrics = Some(value()?.to_string()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    scenario.combo = combo.ok_or("missing --combo")?;
+
+    let (result, artifacts) = run_scenario_traced(&scenario);
+    match &out {
+        Some(path) => {
+            std::fs::write(path, &artifacts.chrome).map_err(|e| format!("write {path}: {e}"))?;
+            eprintln!("wrote {path} (open in chrome://tracing or ui.perfetto.dev)");
+        }
+        None => println!("{}", artifacts.chrome),
+    }
+    if let Some(path) = &flame {
+        std::fs::write(path, &artifacts.flame).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &metrics {
+        std::fs::write(path, artifacts.metrics.to_json())
+            .map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(match result {
+        Ok(report) => {
+            eprintln!(
+                "oracle passed: {} (committed {}, events {}, faults {})",
+                scenario.reproducer(),
+                report.committed,
+                report.events,
+                report.faults_injected,
+            );
+            ExitCode::SUCCESS
+        }
+        Err(failure) => {
+            eprintln!("oracle FAILED: {failure}");
             ExitCode::FAILURE
         }
     })

@@ -14,6 +14,7 @@ use ccr_adt::traits::RwConflict;
 use ccr_core::adt::Op;
 use ccr_core::conflict::{Conflict, SymmetricClosure};
 use ccr_core::ids::ObjectId;
+use ccr_obs::HistogramSummary;
 use ccr_runtime::engine::{DuEngine, UipEngine, UipInverseEngine};
 use ccr_runtime::error::TxnError;
 use ccr_runtime::optimistic::OptimisticSystem;
@@ -200,6 +201,19 @@ pub fn run_optimistic(
         retries,
         ops: sys.stats().ops,
         wall_micros: started.elapsed().as_micros(),
+        throughput: {
+            let secs = started.elapsed().as_secs_f64();
+            if secs > 0.0 {
+                committed as f64 / secs
+            } else {
+                0.0
+            }
+        },
+        // The optimistic system has no embedded tracer; its runs never
+        // block, so the latency histograms are empty by construction.
+        op_latency: HistogramSummary::default(),
+        lock_wait: HistogramSummary::default(),
+        time_to_commit: HistogramSummary::default(),
         dynamic_atomic: None,
     }
 }

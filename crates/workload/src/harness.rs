@@ -7,6 +7,7 @@ use ccr_core::adt::Adt;
 use ccr_core::atomicity::{check_dynamic_atomic, SystemSpec};
 use ccr_core::conflict::Conflict;
 use ccr_core::ids::ObjectId;
+use ccr_obs::HistogramSummary;
 use ccr_runtime::engine::RecoveryEngine;
 use ccr_runtime::scheduler::{run, SchedulerCfg};
 use ccr_runtime::script::Script;
@@ -42,6 +43,17 @@ pub struct Outcome {
     pub ops: u64,
     /// Wall-clock time of the scheduled run, microseconds.
     pub wall_micros: u128,
+    /// Committed transactions per wall-clock second (0 when the run was too
+    /// fast to time).
+    pub throughput: f64,
+    /// Per-operation wait latency in logical ticks (0 for ops that never
+    /// blocked), from the tracer histogram.
+    pub op_latency: HistogramSummary,
+    /// Lock-wait latency in logical ticks, recorded only for ops that
+    /// blocked at least once.
+    pub lock_wait: HistogramSummary,
+    /// Begin-to-commit span in logical ticks, per committed transaction.
+    pub time_to_commit: HistogramSummary,
     /// Dynamic-atomicity verdict on the recorded trace (only computed for
     /// small runs — the check is exponential).
     pub dynamic_atomic: Option<bool>,
@@ -78,7 +90,9 @@ impl Outcome {
                 "{{\"config\":{},\"workload\":{},\"committed\":{},\"gave_up\":{},",
                 "\"blocks\":{},\"block_attempts\":{},\"rounds\":{},\"wait_rounds\":{},",
                 "\"deadlock_aborts\":{},\"validation_aborts\":{},\"retries\":{},",
-                "\"ops\":{},\"wall_micros\":{},\"dynamic_atomic\":{}}}"
+                "\"ops\":{},\"wall_micros\":{},\"throughput\":{:.3},",
+                "\"op_latency\":{},\"lock_wait\":{},\"time_to_commit\":{},",
+                "\"dynamic_atomic\":{}}}"
             ),
             json_string(&self.config),
             json_string(&self.workload),
@@ -93,6 +107,10 @@ impl Outcome {
             self.retries,
             self.ops,
             self.wall_micros,
+            self.throughput,
+            self.op_latency.to_json(),
+            self.lock_wait.to_json(),
+            self.time_to_commit.to_json(),
             da,
         )
     }
@@ -210,6 +228,8 @@ where
     } else {
         None
     };
+    let wall_secs = wall.as_secs_f64();
+    let throughput = if wall_secs > 0.0 { report.committed as f64 / wall_secs } else { 0.0 };
     Outcome {
         config: config_name.to_string(),
         workload: workload_name.to_string(),
@@ -224,6 +244,10 @@ where
         retries: report.retries,
         ops: report.stats.ops,
         wall_micros: wall.as_micros(),
+        throughput,
+        op_latency: sys.obs().op_latency().summary(),
+        lock_wait: sys.obs().lock_wait().summary(),
+        time_to_commit: sys.obs().time_to_commit().summary(),
         dynamic_atomic,
     }
 }
@@ -303,6 +327,10 @@ mod tests {
             retries: 1,
             ops: 12,
             wall_micros: 1000,
+            throughput: 5000.0,
+            op_latency: HistogramSummary::default(),
+            lock_wait: HistogramSummary::default(),
+            time_to_commit: HistogramSummary::default(),
             dynamic_atomic: Some(true),
         };
         let t = outcomes_table(&[o]);

@@ -19,6 +19,7 @@ use ccr_adt::escrow::{escrow_nfc, escrow_nrbc, EscrowAccount};
 use ccr_core::adt::Adt;
 use ccr_core::atomicity::SystemSpec;
 use ccr_core::conflict::{Conflict, SymmetricClosure};
+use ccr_obs::{chrome_trace, flame_summary, MetricsReport};
 use ccr_runtime::crash::DurableSystem;
 use ccr_runtime::engine::{DuEngine, RecoveryEngine, UipEngine};
 use ccr_runtime::fault::FaultPlan;
@@ -58,6 +59,14 @@ impl Combo {
     /// expected to pass on these under every fault plan).
     pub fn is_correct_pairing(self) -> bool {
         !matches!(self, Combo::UipSymNfc)
+    }
+
+    /// The ADT the combo runs over (tracer label).
+    pub fn adt_name(self) -> &'static str {
+        match self {
+            Combo::UipNrbc | Combo::DuNfc | Combo::UipSymNfc => "bank",
+            Combo::EscrowUipNrbc | Combo::EscrowDuNfc => "escrow",
+        }
     }
 }
 
@@ -168,13 +177,27 @@ impl SimScenario {
     }
 }
 
+/// Rendered observability artifacts of one traced scenario run: the Chrome
+/// `trace_event` JSON, the folded-stack flame summary, and the metrics
+/// report. All three are byte-deterministic in the scenario.
+#[derive(Clone, Debug)]
+pub struct TraceArtifacts {
+    /// Chrome `trace_event` JSON (load in `chrome://tracing` / Perfetto).
+    pub chrome: String,
+    /// Folded-stack text flamegraph summary.
+    pub flame: String,
+    /// Labels + counters + histogram percentiles.
+    pub metrics: MetricsReport,
+}
+
 fn run_combo<A, E, C>(
     scenario: &SimScenario,
     adt: A,
     conflict: C,
     scripts: Vec<Box<dyn Script<A>>>,
     invariant: Option<&StateInvariant<A>>,
-) -> Result<SimReport, SimFailure>
+    traced: bool,
+) -> (Result<SimReport, SimFailure>, Option<TraceArtifacts>)
 where
     A: Adt,
     E: RecoveryEngine<A>,
@@ -183,9 +206,29 @@ where
     let mut sys: DurableSystem<A, E, C> =
         DurableSystem::new(adt.clone(), scenario.objects, conflict);
     sys.system_mut().set_policy(scenario.policy);
+    if traced {
+        let obs = sys.system_mut().obs_mut();
+        obs.set_label("combo", scenario.combo.to_string());
+        obs.set_label("adt", scenario.combo.adt_name());
+        obs.set_label("seed", scenario.seed.to_string());
+    } else {
+        // Counters and histograms stay on; only the per-event records (and
+        // their string rendering) are skipped. The shrinker runs thousands
+        // of scenarios, so the untraced path must not allocate per event.
+        sys.system_mut().obs_mut().set_record_events(false);
+    }
     let spec = SystemSpec::uniform(adt, scenario.objects);
     let cfg = SimCfg { seed: scenario.seed, ..Default::default() };
-    run_sim(&mut sys, scripts, &scenario.plan, &cfg, &spec, invariant)
+    let result = run_sim(&mut sys, scripts, &scenario.plan, &cfg, &spec, invariant);
+    let artifacts = traced.then(|| {
+        let obs = sys.system().obs();
+        TraceArtifacts {
+            chrome: chrome_trace(obs),
+            flame: flame_summary(obs),
+            metrics: obs.metrics_report(),
+        }
+    });
+    (result, artifacts)
 }
 
 fn filter_scripts<A: Adt>(
@@ -195,8 +238,28 @@ fn filter_scripts<A: Adt>(
     scripts.into_iter().enumerate().filter(|(i, _)| !skip.contains(i)).map(|(_, s)| s).collect()
 }
 
-/// Run one scenario to completion (or its first oracle failure).
+/// Run one scenario to completion (or its first oracle failure). Structured
+/// event recording is off on this path — the sweep and shrink drivers call
+/// it thousands of times; use [`run_scenario_traced`] to render artifacts.
 pub fn run_scenario(scenario: &SimScenario) -> Result<SimReport, SimFailure> {
+    run_scenario_inner(scenario, false).0
+}
+
+/// Run one scenario with full event recording and render the observability
+/// artifacts (Chrome trace, flame summary, metrics report). The artifacts
+/// are produced whether or not the oracle passes — a failing run's trace is
+/// exactly the one worth looking at.
+pub fn run_scenario_traced(
+    scenario: &SimScenario,
+) -> (Result<SimReport, SimFailure>, TraceArtifacts) {
+    let (result, artifacts) = run_scenario_inner(scenario, true);
+    (result, artifacts.expect("traced run renders artifacts"))
+}
+
+fn run_scenario_inner(
+    scenario: &SimScenario,
+    traced: bool,
+) -> (Result<SimReport, SimFailure>, Option<TraceArtifacts>) {
     let wcfg = WorkloadCfg {
         txns: scenario.txns,
         ops_per_txn: scenario.ops_per_txn,
@@ -213,6 +276,7 @@ pub fn run_scenario(scenario: &SimScenario) -> Result<SimReport, SimFailure> {
                 bank_nrbc(),
                 scripts,
                 None,
+                traced,
             )
         }
         Combo::DuNfc => {
@@ -223,6 +287,7 @@ pub fn run_scenario(scenario: &SimScenario) -> Result<SimReport, SimFailure> {
                 bank_nfc(),
                 scripts,
                 None,
+                traced,
             )
         }
         Combo::UipSymNfc => {
@@ -233,6 +298,7 @@ pub fn run_scenario(scenario: &SimScenario) -> Result<SimReport, SimFailure> {
                 SymmetricClosure(bank_nfc()),
                 scripts,
                 None,
+                traced,
             )
         }
         Combo::EscrowUipNrbc => {
@@ -244,6 +310,7 @@ pub fn run_scenario(scenario: &SimScenario) -> Result<SimReport, SimFailure> {
                 escrow_nrbc(),
                 scripts,
                 Some(&escrow_invariant),
+                traced,
             )
         }
         Combo::EscrowDuNfc => {
@@ -255,6 +322,7 @@ pub fn run_scenario(scenario: &SimScenario) -> Result<SimReport, SimFailure> {
                 escrow_nfc(),
                 scripts,
                 Some(&escrow_invariant),
+                traced,
             )
         }
     }

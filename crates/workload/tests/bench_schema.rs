@@ -1,0 +1,72 @@
+//! Schema pin for `reports/BENCH_baseline.json`: the committed baseline and
+//! a freshly produced [`Outcome`] must expose exactly the same JSON keys.
+//! Values drift with the machine (wall time, throughput); the key set is
+//! the contract downstream tooling scripts against, and CI fails on drift.
+
+use std::collections::BTreeSet;
+
+use ccr_adt::bank::{bank_nrbc, BankAccount, BankInv};
+use ccr_core::ids::ObjectId;
+use ccr_runtime::engine::UipEngine;
+use ccr_workload::gen::{banking, WorkloadCfg};
+use ccr_workload::harness::{run_config, HarnessCfg};
+
+const BASELINE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../reports/BENCH_baseline.json");
+
+/// Collect every distinct `"key":` token in a JSON blob (nested objects
+/// included — histogram sub-keys are part of the schema).
+fn json_keys(s: &str) -> BTreeSet<String> {
+    let mut keys = BTreeSet::new();
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let start = i + 1;
+            let mut j = start;
+            while j < bytes.len() && bytes[j] != b'"' {
+                if bytes[j] == b'\\' {
+                    j += 1;
+                }
+                j += 1;
+            }
+            if j + 1 < bytes.len() && bytes[j + 1] == b':' {
+                keys.insert(s[start..j].to_string());
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    keys
+}
+
+#[test]
+fn baseline_report_schema_matches_fresh_outcomes() {
+    let baseline = std::fs::read_to_string(BASELINE).expect(
+        "reports/BENCH_baseline.json is committed; regenerate with `ccr-experiments --json`",
+    );
+    let baseline_keys = json_keys(&baseline);
+    assert!(!baseline_keys.is_empty(), "baseline must contain JSON objects");
+
+    let wcfg = WorkloadCfg { txns: 6, ops_per_txn: 2, objects: 2, ..Default::default() };
+    let setup: Vec<(ObjectId, BankInv)> =
+        (0..2).map(|i| (ObjectId(i), BankInv::Deposit(100))).collect();
+    let outcome = run_config::<BankAccount, UipEngine<BankAccount>, _>(
+        "schema-probe",
+        "banking",
+        BankAccount::default(),
+        2,
+        bank_nrbc(),
+        &setup,
+        banking(&wcfg, 0.7),
+        &HarnessCfg::default(),
+    );
+    let fresh_keys = json_keys(&outcome.to_json());
+
+    assert_eq!(
+        baseline_keys, fresh_keys,
+        "Outcome::to_json keys drifted from the committed baseline — \
+         regenerate reports/BENCH_baseline.json with `ccr-experiments --json` \
+         in the same commit that changes the schema"
+    );
+}

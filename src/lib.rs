@@ -6,7 +6,7 @@
 //! > William E. Weihl, *The Impact of Recovery on Concurrency Control*
 //! > (Extended Abstract), MIT/LCS/TM-382, February 1989 (PODS 1989).
 //!
-//! This facade crate re-exports the four workspace crates:
+//! This facade crate re-exports the workspace crates:
 //!
 //! * [`core`] (`ccr-core`) — the formal model: histories, serial
 //!   specifications, dynamic atomicity, forward/right-backward
@@ -19,6 +19,10 @@
 //!   conflict-relation locking, update-in-place and deferred-update
 //!   recovery engines, deadlock handling, optimistic validation and an
 //!   escrow extension;
+//! * [`obs`] (`ccr-obs`) — the deterministic tracing and metrics layer
+//!   every runtime path reports through: structured events on a logical
+//!   clock, latency histograms, the `SystemStats` projection and the
+//!   Chrome-trace / flamegraph / metrics exporters (see `DESIGN.md` §8);
 //! * [`workload`] (`ccr-workload`) — workload generators, the measurement
 //!   harness and the drivers that regenerate every figure/table of the
 //!   paper (see `EXPERIMENTS.md`).
@@ -54,6 +58,7 @@
 
 pub use ccr_adt as adt;
 pub use ccr_core as core;
+pub use ccr_obs as obs;
 pub use ccr_runtime as runtime;
 pub use ccr_workload as workload;
 

@@ -5,7 +5,7 @@
 //! surfacing as `RedoError`s rather than silent state divergence.
 
 use ccr::runtime::fault::FaultPlan;
-use ccr::workload::sim::{run_scenario, sweep, Combo, SimScenario};
+use ccr::workload::sim::{run_scenario, run_scenario_traced, sweep, Combo, SimScenario};
 
 /// Same `(seed, FaultPlan)` ⇒ identical run reports (which embed the
 /// history fingerprint and every per-fault-kind counter), run twice through
@@ -19,6 +19,27 @@ fn same_seed_and_plan_give_identical_reports() {
         let b = run_scenario(&scenario).expect("correct pairing must pass the oracle");
         assert_eq!(a, b, "report must be identical across runs of {combo}");
         assert!(a.faults_injected > 0, "the plan must actually fire on {combo}");
+    }
+}
+
+/// The `SystemStats` counters are now a projection of the tracer's event
+/// stream; a traced run (events recorded, artifacts rendered) must report
+/// exactly the counters the untraced legacy path reports, and event
+/// recording must not perturb the run itself.
+#[test]
+fn traced_runs_report_the_legacy_counters() {
+    let plan: FaultPlan = "5:crash,11:torn1,17:abort,23:delay2,29:wound".parse().unwrap();
+    for combo in [Combo::UipNrbc, Combo::DuNfc, Combo::EscrowUipNrbc] {
+        let scenario = SimScenario::new(combo, 42, plan.clone());
+        let untraced = run_scenario(&scenario).expect("correct pairing must pass the oracle");
+        let (traced, artifacts) = run_scenario_traced(&scenario);
+        let traced = traced.expect("correct pairing must pass the oracle");
+        assert_eq!(untraced, traced, "recording events must not perturb the run of {combo}");
+        assert_eq!(
+            artifacts.metrics.stats, untraced.stats,
+            "metrics stats must equal the legacy counters on {combo}"
+        );
+        assert!(artifacts.chrome.contains("\"recovery\""), "{combo}: crash must be traced");
     }
 }
 
