@@ -55,6 +55,33 @@ pub enum FaultCounter {
     WoundStorm,
     /// The next commit was artificially delayed.
     DelayedCommit,
+    /// A commit's flush was torn at sector granularity.
+    SectorTear,
+    /// A commit's multi-sector flush reached the platter out of order.
+    ReorderedFlush,
+}
+
+/// What kind of physical log damage recovery's scanner classified.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CorruptionKind {
+    /// A frame's CRC failed: bits changed at rest.
+    BitFlip,
+    /// The log's tail is incomplete (torn frame or a hole where the frame's
+    /// extent should be).
+    TornTail,
+    /// Damage *before* intact frames — unrecoverable under any tail policy.
+    Interior,
+}
+
+impl CorruptionKind {
+    /// Short lowercase label used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            CorruptionKind::BitFlip => "bitflip",
+            CorruptionKind::TornTail => "torn_tail",
+            CorruptionKind::Interior => "interior",
+        }
+    }
 }
 
 /// A wait-for-graph snapshot: `(waiter, holders)` edges at the instant of a
@@ -128,6 +155,31 @@ pub enum EventKind {
         /// recovery/torn-write events — and for no-op injections).
         counter: Option<FaultCounter>,
     },
+    /// Recovery scanned the durable log segments.
+    SegmentScan {
+        /// Segments visited.
+        segments: u64,
+        /// Valid frames decoded.
+        frames: u64,
+        /// Sectors read.
+        sectors: u64,
+        /// Damage classification (`clean`, `torn-tail`, `interior`, …).
+        damage: String,
+    },
+    /// The scanner detected physical log damage.
+    CorruptionDetected {
+        /// What kind of damage.
+        kind: CorruptionKind,
+        /// The first affected sector.
+        sector: u64,
+    },
+    /// A checkpoint was written (and the log prefix truncated).
+    Checkpoint {
+        /// Committed records folded into the checkpoint image.
+        records: u64,
+        /// Whole log segments deleted by the truncation.
+        truncated_segments: u64,
+    },
 }
 
 /// One structured trace event.
@@ -161,6 +213,9 @@ impl ObsEvent {
             EventKind::TornWrite { .. } => "torn_write",
             EventKind::Recovery { .. } => "recovery",
             EventKind::Fault { .. } => "fault",
+            EventKind::SegmentScan { .. } => "segment_scan",
+            EventKind::CorruptionDetected { .. } => "corruption",
+            EventKind::Checkpoint { .. } => "checkpoint",
         }
     }
 }
@@ -171,6 +226,8 @@ impl std::fmt::Display for FaultCounter {
             FaultCounter::ForcedAbort => "forced_abort",
             FaultCounter::WoundStorm => "wound_storm",
             FaultCounter::DelayedCommit => "delayed_commit",
+            FaultCounter::SectorTear => "sector_tear",
+            FaultCounter::ReorderedFlush => "reordered_flush",
         };
         write!(f, "{s}")
     }

@@ -181,6 +181,23 @@ pub fn chrome_trace(tracer: &Tracer) -> String {
                 }
                 records.push(chrome_record('i', "fault", "fault", tid, ts, None, &args));
             }
+            EventKind::SegmentScan { segments, frames, sectors, damage } => {
+                args.push(("segments".into(), segments.to_string()));
+                args.push(("frames".into(), frames.to_string()));
+                args.push(("sectors".into(), sectors.to_string()));
+                args.push(("damage".into(), json_string(damage)));
+                records.push(chrome_record('i', "segment_scan", "storage", tid, ts, None, &args));
+            }
+            EventKind::CorruptionDetected { kind, sector } => {
+                args.push(("kind".into(), json_string(kind.label())));
+                args.push(("sector".into(), sector.to_string()));
+                records.push(chrome_record('i', "corruption", "storage", tid, ts, None, &args));
+            }
+            EventKind::Checkpoint { records: recs, truncated_segments } => {
+                args.push(("records".into(), recs.to_string()));
+                args.push(("truncated".into(), truncated_segments.to_string()));
+                records.push(chrome_record('i', "checkpoint", "storage", tid, ts, None, &args));
+            }
         }
     }
     format!(
@@ -210,6 +227,13 @@ pub fn flame_summary(tracer: &Tracer) -> String {
                 ("recovery;replay".to_string(), (*replayed as u64).max(1))
             }
             EventKind::Fault { kind, .. } => (format!("fault;{kind}"), 1),
+            EventKind::SegmentScan { sectors, damage, .. } => {
+                (format!("storage;scan;{damage}"), (*sectors).max(1))
+            }
+            EventKind::CorruptionDetected { kind, .. } => {
+                (format!("storage;corruption;{}", kind.label()), 1)
+            }
+            EventKind::Checkpoint { .. } => ("storage;checkpoint".to_string(), 1),
         };
         *weights.entry(stack).or_insert(0) += weight;
     }
@@ -237,6 +261,8 @@ pub struct MetricsReport {
     pub time_to_commit: HistogramSummary,
     /// Journal records replayed per crash recovery.
     pub replay_len: HistogramSummary,
+    /// Sectors read per recovery segment scan.
+    pub scan_len: HistogramSummary,
 }
 
 impl MetricsReport {
@@ -250,6 +276,7 @@ impl MetricsReport {
             lock_wait: tracer.lock_wait().summary(),
             time_to_commit: tracer.time_to_commit().summary(),
             replay_len: tracer.replay_len().summary(),
+            scan_len: tracer.scan_len().summary(),
         }
     }
 
@@ -259,7 +286,7 @@ impl MetricsReport {
             concat!(
                 "{{\"labels\":{},\"events\":{},\"stats\":{},",
                 "\"op_latency\":{},\"lock_wait\":{},",
-                "\"time_to_commit\":{},\"replay_len\":{}}}"
+                "\"time_to_commit\":{},\"replay_len\":{},\"scan_len\":{}}}"
             ),
             json_labels(&self.labels),
             self.events,
@@ -268,6 +295,7 @@ impl MetricsReport {
             self.lock_wait.to_json(),
             self.time_to_commit.to_json(),
             self.replay_len.to_json(),
+            self.scan_len.to_json(),
         )
     }
 }

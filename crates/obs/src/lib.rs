@@ -29,7 +29,7 @@ pub mod hist;
 pub mod stats;
 pub mod tracer;
 
-pub use event::{AbortCause, EventKind, FaultCounter, ObsEvent, WaitGraph};
+pub use event::{AbortCause, CorruptionKind, EventKind, FaultCounter, ObsEvent, WaitGraph};
 pub use export::{chrome_trace, flame_summary, json_string, MetricsReport};
 pub use hist::{HistogramSummary, LogHistogram};
 pub use stats::{project, SystemStats};

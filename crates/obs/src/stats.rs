@@ -9,7 +9,7 @@
 //! invariant. `ccr-runtime` re-exports this type, so existing
 //! `sys.stats().committed`-style call sites are unchanged.
 
-use crate::event::{AbortCause, EventKind, FaultCounter, ObsEvent};
+use crate::event::{AbortCause, CorruptionKind, EventKind, FaultCounter, ObsEvent};
 
 /// Aggregate counters for an execution.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -42,6 +42,14 @@ pub struct SystemStats {
     pub delayed_commits: u64,
     /// Wound-storm faults injected (every active transaction aborted).
     pub wound_storms: u64,
+    /// Commit flushes torn at sector granularity by fault injection.
+    pub sector_tears: u64,
+    /// Commit flushes persisted out of order by fault injection.
+    pub reordered_flushes: u64,
+    /// Bit flips detected by the recovery scanner's CRC check.
+    pub bitflips_detected: u64,
+    /// Checkpoints written (log prefix truncations).
+    pub checkpoints: u64,
 }
 
 impl SystemStats {
@@ -73,6 +81,15 @@ impl SystemStats {
                     self.absorb_fault(*c);
                 }
             }
+            EventKind::SegmentScan { .. } => {}
+            EventKind::CorruptionDetected { kind, .. } => {
+                // Torn tails and interior damage are counted by their fault /
+                // torn-write events; the CRC detections get their own counter.
+                if *kind == CorruptionKind::BitFlip {
+                    self.bitflips_detected += 1;
+                }
+            }
+            EventKind::Checkpoint { .. } => self.checkpoints += 1,
         }
     }
 
@@ -84,6 +101,8 @@ impl SystemStats {
             FaultCounter::ForcedAbort => self.forced_aborts += 1,
             FaultCounter::WoundStorm => self.wound_storms += 1,
             FaultCounter::DelayedCommit => self.delayed_commits += 1,
+            FaultCounter::SectorTear => self.sector_tears += 1,
+            FaultCounter::ReorderedFlush => self.reordered_flushes += 1,
         }
     }
 
@@ -94,7 +113,9 @@ impl SystemStats {
                 "{{\"begun\":{},\"committed\":{},\"aborted\":{},\"validation_aborts\":{},",
                 "\"ops\":{},\"blocks\":{},\"wounds\":{},\"conflict_aborts\":{},",
                 "\"replay_failures\":{},\"crashes\":{},\"torn_crashes\":{},",
-                "\"forced_aborts\":{},\"delayed_commits\":{},\"wound_storms\":{}}}"
+                "\"forced_aborts\":{},\"delayed_commits\":{},\"wound_storms\":{},",
+                "\"sector_tears\":{},\"reordered_flushes\":{},\"bitflips_detected\":{},",
+                "\"checkpoints\":{}}}"
             ),
             self.begun,
             self.committed,
@@ -110,6 +131,10 @@ impl SystemStats {
             self.forced_aborts,
             self.delayed_commits,
             self.wound_storms,
+            self.sector_tears,
+            self.reordered_flushes,
+            self.bitflips_detected,
+            self.checkpoints,
         )
     }
 }

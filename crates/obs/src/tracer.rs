@@ -22,7 +22,7 @@ use std::time::Instant;
 
 use ccr_core::ids::{ObjectId, TxnId};
 
-use crate::event::{AbortCause, EventKind, FaultCounter, ObsEvent, WaitGraph};
+use crate::event::{AbortCause, CorruptionKind, EventKind, FaultCounter, ObsEvent, WaitGraph};
 use crate::hist::LogHistogram;
 use crate::stats::{self, SystemStats};
 
@@ -40,6 +40,7 @@ pub struct Tracer {
     lock_wait: LogHistogram,
     time_to_commit: LogHistogram,
     replay_len: LogHistogram,
+    scan_len: LogHistogram,
     /// Logical begin stamp of each live transaction.
     begin_seq: BTreeMap<TxnId, u64>,
     /// First blocked-attempt stamp of each currently blocked transaction.
@@ -59,6 +60,7 @@ impl Default for Tracer {
             lock_wait: LogHistogram::new(),
             time_to_commit: LogHistogram::new(),
             replay_len: LogHistogram::new(),
+            scan_len: LogHistogram::new(),
             begin_seq: BTreeMap::new(),
             block_start: BTreeMap::new(),
         }
@@ -148,6 +150,13 @@ impl Tracer {
         &self.replay_len
     }
 
+    /// Recovery scan-latency histogram: sectors read per segment scan (both
+    /// failed and successful scans are samples — a failed Strict scan
+    /// followed by a DiscardTail retry is two).
+    pub fn scan_len(&self) -> &LogHistogram {
+        &self.scan_len
+    }
+
     /// Merge another tracer's histograms into this one (order-independent —
     /// see [`LogHistogram::merge`]). For combining per-worker metrics.
     pub fn merge_histograms(&mut self, other: &Tracer) {
@@ -155,6 +164,7 @@ impl Tracer {
         self.lock_wait.merge(&other.lock_wait);
         self.time_to_commit.merge(&other.time_to_commit);
         self.replay_len.merge(&other.replay_len);
+        self.scan_len.merge(&other.scan_len);
     }
 
     fn emit(&mut self, txn: Option<TxnId>, obj: Option<ObjectId>, kind: EventKind) -> u64 {
@@ -258,6 +268,32 @@ impl Tracer {
     pub fn on_fault(&mut self, counter: Option<FaultCounter>, render: impl FnOnce() -> String) {
         let kind = if self.record_events { render() } else { String::new() };
         self.emit(None, None, EventKind::Fault { kind, counter });
+    }
+
+    /// Recovery scanned the durable log (whether or not it went on to
+    /// succeed). `damage` is the scanner's classification and runs only when
+    /// events are recorded; `sectors` feeds the scan-latency histogram.
+    pub fn on_segment_scan(
+        &mut self,
+        segments: u64,
+        frames: u64,
+        sectors: u64,
+        damage: impl FnOnce() -> String,
+    ) {
+        let damage = if self.record_events { damage() } else { String::new() };
+        self.emit(None, None, EventKind::SegmentScan { segments, frames, sectors, damage });
+        self.scan_len.record(sectors);
+    }
+
+    /// The scanner detected physical log damage at `sector`.
+    pub fn on_corruption(&mut self, kind: CorruptionKind, sector: u64) {
+        self.emit(None, None, EventKind::CorruptionDetected { kind, sector });
+    }
+
+    /// A checkpoint folded `records` committed records into an image,
+    /// deleting `truncated_segments` whole log segments.
+    pub fn on_checkpoint(&mut self, records: u64, truncated_segments: u64) {
+        self.emit(None, None, EventKind::Checkpoint { records, truncated_segments });
     }
 }
 

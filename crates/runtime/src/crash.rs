@@ -2,70 +2,101 @@
 //!
 //! The paper analyses *abort* recovery and explicitly leaves crash recovery
 //! for later, noting that crash mechanisms are usually similar but must cope
-//! with losing volatile state. This module provides that simulation so the
-//! claim can be exercised: a redo journal on simulated stable storage, a
+//! with losing volatile state. This module provides that simulation: a redo
+//! journal on stable storage behind the [`LogBackend`] trait, a
 //! [`DurableSystem`] wrapper that journals each transaction's operations at
 //! commit, and a `crash()` that discards all volatile state (active
-//! transactions, lock table, engine caches) and rebuilds from the journal.
+//! transactions, lock table, engine caches) and rebuilds from whatever the
+//! backend's recovery scan reconstructs.
+//!
+//! Two backends exist: [`MemBackend`] (the fast default — the struct itself
+//! is stable memory, torn writes at operation granularity) and
+//! `ccr-store`'s `WalBackend` (a segmented CRC'd write-ahead log on a
+//! simulated sector device, with torn/reordered/bit-flipped flush injection).
+//! Both feed the same replay pipeline here.
 //!
 //! Soundness note: the journal holds each committed transaction's operations
-//! grouped by transaction, **in commit order**. Dynamic atomicity guarantees
-//! the committed transactions are serializable in *every* order consistent
-//! with `precedes`, and the commit order is such an order, so redo-replay is
+//! grouped by transaction, **in commit order**, each operation stamped with
+//! its global execution sequence. Dynamic atomicity guarantees the committed
+//! transactions are serializable in *every* order consistent with
+//! `precedes`, and the commit order is such an order, so redo-replay is
 //! legal whenever the underlying pairing is correct (Theorems 9/10) — the
 //! recovery verifier checks each replayed response against the journal and
 //! surfaces any divergence.
+//!
+//! Honesty of the restart model: the transaction-id floor, the execution
+//! sequence and the durable storage counters are all read back *from the
+//! recovered log* (last record's floor, else the checkpoint's, else cold
+//! start) — never carried across the crash in process memory. The tracer is
+//! the one deliberate exception: it models a monitoring store outside the
+//! crashed process.
+
+use std::collections::{BTreeMap, BTreeSet};
 
 use ccr_core::adt::{Adt, Op};
 use ccr_core::conflict::Conflict;
 use ccr_core::ids::{ObjectId, TxnId};
+use ccr_obs::{CorruptionKind, Tracer};
+use ccr_store::{
+    CheckpointImage, CommitRecord, Detection, LogBackend, MemBackend, ScanReport, StoreFailureKind,
+    StoreStats, TailPolicy,
+};
 
 use crate::engine::RecoveryEngine;
 use crate::error::TxnError;
 use crate::system::TxnSystem;
 
-/// Simulated stable storage: the redo journal survives crashes.
+/// The volatile mirror of stable storage: what a successful recovery of the
+/// backend would reconstruct right now. The simulator's shadow-fold oracle
+/// reads this (it needs the *intended* contents to compare against), while
+/// the backend holds the possibly-damaged physical truth.
 pub struct Journal<A: Adt> {
-    /// One record per committed transaction, in commit order.
-    records: Vec<JournalRecord<A>>,
-}
-
-struct JournalRecord<A: Adt> {
-    /// Record header written atomically at commit: the number of operations
-    /// the record is supposed to carry. A *torn write* (crash mid-flush)
-    /// leaves `ops.len() < op_count`, which recovery detects ARIES-style by
-    /// comparing the body against the header.
-    op_count: usize,
-    ops: Vec<(ObjectId, Op<A>)>,
+    /// Commit records folded into the checkpoint base (monotone; never reset
+    /// by truncation).
+    base_records: u64,
+    /// Checkpointed committed state per object, if a checkpoint was taken.
+    base: Option<Vec<(ObjectId, A::State)>>,
+    /// Commit records after the checkpoint, in commit order.
+    records: Vec<CommitRecord<A>>,
 }
 
 impl<A: Adt> Default for Journal<A> {
     fn default() -> Self {
-        Journal { records: Vec::new() }
+        Journal { base_records: 0, base: None, records: Vec::new() }
     }
 }
 
 impl<A: Adt> Journal<A> {
-    /// Number of committed transactions journaled.
+    /// Number of committed transactions journaled over the log's whole life
+    /// (checkpointed-away records included).
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.base_records as usize + self.records.len()
     }
 
-    /// Whether the journal is empty.
+    /// Whether nothing has ever been journaled.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.len() == 0
     }
 
-    /// The operations of each record, in commit order — the input to the
-    /// simulator's shadow-replay oracle.
-    pub fn record_ops(&self) -> impl Iterator<Item = &[(ObjectId, Op<A>)]> {
+    /// Records folded into the checkpoint base.
+    pub fn base_records(&self) -> u64 {
+        self.base_records
+    }
+
+    /// The checkpointed committed states, if a checkpoint was taken.
+    pub fn base_states(&self) -> Option<&[(ObjectId, A::State)]> {
+        self.base.as_deref()
+    }
+
+    /// The post-checkpoint commit records, in commit order.
+    pub fn records(&self) -> &[CommitRecord<A>] {
+        &self.records
+    }
+
+    /// The operations of each post-checkpoint record, in commit order — the
+    /// input to the simulator's shadow-replay oracle.
+    pub fn record_ops(&self) -> impl Iterator<Item = &[(u64, ObjectId, Op<A>)]> {
         self.records.iter().map(|r| r.ops.as_slice())
-    }
-
-    /// The index of the first torn record (body shorter than its header), if
-    /// any.
-    pub fn torn_record(&self) -> Option<usize> {
-        self.records.iter().position(|r| r.ops.len() != r.op_count)
     }
 }
 
@@ -86,19 +117,28 @@ pub enum RedoError {
         /// Journal record index.
         record: usize,
     },
-    /// A record's body is shorter than its header promised: the crash tore
-    /// the final journal flush. Surfaced under [`TornPolicy::Strict`].
+    /// The log tail is incomplete: the crash tore the final flush. Surfaced
+    /// under [`TornPolicy::Strict`]. Units follow the backend's tear
+    /// granularity: operations for the mem backend, sectors for the WAL.
     TornRecord {
-        /// Journal record index.
+        /// Journal record (mem) or frame (disk) index.
         record: usize,
-        /// Operations the header promised.
+        /// Units the header promised.
         expected: usize,
-        /// Operations actually present.
+        /// Units actually present.
         found: usize,
+    },
+    /// The recovery scan found damage no tail policy may discard: a CRC
+    /// mismatch, interior corruption behind intact frames, or a missing
+    /// checkpoint after truncation. Recovery refuses loudly rather than
+    /// replaying a log it cannot vouch for.
+    CorruptRecord {
+        /// First affected sector.
+        sector: u64,
     },
 }
 
-/// How recovery treats a torn final journal record.
+/// How recovery treats a damaged log tail.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum TornPolicy {
     /// Refuse to recover: surface [`RedoError::TornRecord`]. The default —
@@ -107,32 +147,80 @@ pub enum TornPolicy {
     Strict,
     /// Discard the torn record and everything after it (the transaction's
     /// commit never fully reached stable storage, so dropping it is
-    /// equivalent to the transaction having aborted), then recover.
+    /// equivalent to the transaction having aborted), then recover. Interior
+    /// corruption is still refused.
     DiscardTail,
 }
 
-/// A [`TxnSystem`] with write-ahead-style redo journaling and crash
-/// simulation.
-pub struct DurableSystem<A: Adt, E: RecoveryEngine<A>, C: Conflict<A>> {
-    sys: TxnSystem<A, E, C>,
-    journal: Journal<A>,
-    make: Box<dyn Fn() -> TxnSystem<A, E, C> + Send>,
+impl TornPolicy {
+    fn tail(self) -> TailPolicy {
+        match self {
+            TornPolicy::Strict => TailPolicy::Strict,
+            TornPolicy::DiscardTail => TailPolicy::DiscardTail,
+        }
+    }
 }
 
-impl<A, E, C> DurableSystem<A, E, C>
+/// A [`TxnSystem`] with write-ahead redo journaling through a pluggable
+/// [`LogBackend`] and crash simulation.
+pub struct DurableSystem<A, E, C, B = MemBackend<A>>
+where
+    A: Adt,
+    E: RecoveryEngine<A>,
+    C: Conflict<A>,
+    B: LogBackend<A>,
+{
+    sys: TxnSystem<A, E, C>,
+    backend: B,
+    journal: Journal<A>,
+    make: Box<dyn Fn() -> TxnSystem<A, E, C> + Send>,
+    /// Global execution-sequence allocator (stamps every executed op, so UIP
+    /// replay can restore execution order across transactions). Restored
+    /// from the log on recovery.
+    op_seq: u64,
+    /// Executed-but-uncommitted operations per live transaction, with their
+    /// execution stamps — the write-ahead buffer that `commit` journals.
+    pending_ops: BTreeMap<TxnId, Vec<(u64, ObjectId, Op<A>)>>,
+}
+
+impl<A, E, C> DurableSystem<A, E, C, MemBackend<A>>
 where
     A: Adt,
     E: RecoveryEngine<A>,
     C: Conflict<A> + Clone,
 {
-    /// Create over a fresh system with `n` objects of `adt`.
+    /// Create over a fresh system with `n` objects of `adt`, journaling to
+    /// the fast in-memory backend.
     pub fn new(adt: A, n_objects: u32, conflict: C) -> Self {
+        Self::with_backend(adt, n_objects, conflict, MemBackend::new())
+    }
+}
+
+impl<A, E, C, B> DurableSystem<A, E, C, B>
+where
+    A: Adt,
+    E: RecoveryEngine<A>,
+    C: Conflict<A> + Clone,
+    B: LogBackend<A>,
+{
+    /// Create over a fresh system with `n` objects of `adt`, journaling to
+    /// an explicit backend (e.g. `ccr-store`'s `WalBackend`).
+    pub fn with_backend(adt: A, n_objects: u32, conflict: C, backend: B) -> Self {
         let make = {
             let adt = adt.clone();
             let conflict = conflict.clone();
             Box::new(move || TxnSystem::<A, E, C>::new(adt.clone(), n_objects, conflict.clone()))
         };
-        DurableSystem { sys: make(), journal: Journal::default(), make }
+        let mut sys = DurableSystem {
+            sys: make(),
+            backend,
+            journal: Journal::default(),
+            make,
+            op_seq: 0,
+            pending_ops: BTreeMap::new(),
+        };
+        sys.sys.obs_mut().set_label("backend", sys.backend.name());
+        sys
     }
 
     /// Begin a transaction (volatile until commit).
@@ -140,71 +228,131 @@ where
         self.sys.begin()
     }
 
-    /// Execute an operation (volatile until commit).
+    /// Execute an operation (volatile until commit; buffered for the
+    /// write-ahead journal with its global execution stamp).
     pub fn invoke(
         &mut self,
         txn: TxnId,
         obj: ObjectId,
         inv: A::Invocation,
     ) -> Result<A::Response, TxnError> {
-        self.sys.invoke(txn, obj, inv)
+        let resp = self.sys.invoke(txn, obj, inv.clone())?;
+        let seq = self.op_seq;
+        self.op_seq += 1;
+        self.pending_ops.entry(txn).or_default().push((seq, obj, Op::new(inv, resp.clone())));
+        Ok(resp)
     }
 
     /// Commit: journal the transaction's operations (force to stable
     /// storage, in commit order), then commit in the volatile system.
     pub fn commit(&mut self, txn: TxnId) -> Result<(), TxnError> {
-        let ops = self.sys.trace().project_txn(txn).opseq();
         self.sys.commit(txn)?;
-        self.journal.records.push(JournalRecord { op_count: ops.len(), ops });
+        let ops = self.pending_ops.remove(&txn).unwrap_or_default();
+        // The floor is read back from the log on recovery: journal it.
+        let rec = CommitRecord { floor: self.sys.next_txn_id(), ops };
+        self.backend.append_commit(&rec);
+        self.journal.records.push(rec);
+        // Transactions aborted behind our back (wound-wait victims, wound
+        // storms) never reach `abort` here; prune their buffers lazily.
+        let active: BTreeSet<TxnId> = self.sys.active().collect();
+        self.pending_ops.retain(|t, _| active.contains(t));
         Ok(())
     }
 
     /// Abort (nothing reaches the journal).
     pub fn abort(&mut self, txn: TxnId) -> Result<(), TxnError> {
+        self.pending_ops.remove(&txn);
         self.sys.abort(txn)
     }
 
+    /// Write a checkpoint: fold every object's committed state into a
+    /// durable image, after which the backend may truncate the covered log
+    /// prefix. Returns the number of whole segments truncated. No-op
+    /// returning 0 when nothing was committed since the last checkpoint.
+    pub fn checkpoint(&mut self) -> u64 {
+        let records = self.journal.records.len() as u64;
+        if records == 0 && self.journal.base.is_some() {
+            return 0;
+        }
+        let states: Vec<(ObjectId, A::State)> = self
+            .sys
+            .object_ids()
+            .into_iter()
+            .map(|obj| {
+                let state = self.sys.committed_state(obj);
+                (obj, state)
+            })
+            .collect();
+        let img = CheckpointImage {
+            base_records: self.journal.base_records + records,
+            txn_floor: self.sys.next_txn_id(),
+            next_exec_seq: self.op_seq,
+            states: states.clone(),
+        };
+        let truncated = self.backend.write_checkpoint(&img);
+        self.journal.base_records = img.base_records;
+        self.journal.base = Some(states);
+        self.journal.records.clear();
+        self.sys.obs_mut().on_checkpoint(records, truncated);
+        truncated
+    }
+
     /// Simulate a crash: every piece of volatile state is lost — active
-    /// transactions, their effects, the lock table — then rebuild by redoing
-    /// the journal. Each replayed response is verified against the journal.
-    /// Equivalent to [`crash_and_recover_with`](Self::crash_and_recover_with)
-    /// under [`TornPolicy::Strict`].
+    /// transactions, their effects, the lock table, the backend's write
+    /// cache — then rebuild from the backend's recovery scan. Each replayed
+    /// response is verified against the journal. Equivalent to
+    /// [`crash_and_recover_with`](Self::crash_and_recover_with) under
+    /// [`TornPolicy::Strict`].
     pub fn crash_and_recover(&mut self) -> Result<(), RedoError> {
         self.crash_and_recover_with(TornPolicy::Strict)
     }
 
     /// Crash and recover under an explicit [`TornPolicy`]. On `Err` the
-    /// pre-crash volatile system is left in place untouched (recovery is
-    /// all-or-nothing), so callers can inspect it — the fault simulator
-    /// relies on this to diagnose oracle failures.
+    /// pre-crash volatile system is left in place (recovery is
+    /// all-or-nothing), with the failed scan's evidence recorded on its
+    /// tracer — callers can inspect both; the fault simulator relies on
+    /// this to diagnose oracle failures.
     pub fn crash_and_recover_with(&mut self, policy: TornPolicy) -> Result<(), RedoError> {
-        if let Some(ri) = self.journal.torn_record() {
-            match policy {
-                TornPolicy::Strict => {
-                    let r = &self.journal.records[ri];
-                    return Err(RedoError::TornRecord {
-                        record: ri,
-                        expected: r.op_count,
-                        found: r.ops.len(),
-                    });
-                }
-                TornPolicy::DiscardTail => self.journal.records.truncate(ri),
+        self.backend.crash();
+        self.recover_with(policy)
+    }
+
+    /// Re-run recovery against the *current* durable image, without crashing
+    /// again. This is the retry path after a failed scan whose cause was
+    /// repaired in place (e.g. [`repair_flips`](Self::repair_flips)): a
+    /// fresh crash would wipe the backend's volatile detection counters, so
+    /// the repair flow must not take one.
+    pub fn recover_with(&mut self, policy: TornPolicy) -> Result<(), RedoError> {
+        let recovered = match self.backend.recover(policy.tail()) {
+            Ok(r) => r,
+            Err(fail) => {
+                // Surface the scan evidence on the surviving tracer even
+                // though the rebuild is refused.
+                emit_scan(self.sys.obs_mut(), &fail.report);
+                return Err(match fail.kind {
+                    StoreFailureKind::Torn { record, expected, found } => {
+                        RedoError::TornRecord { record, expected, found }
+                    }
+                    StoreFailureKind::Corrupt { sector } => RedoError::CorruptRecord { sector },
+                });
             }
-        }
-        // The tracer and the transaction-id allocator model durable
-        // monitoring state: carry them across the rebuild so post-recovery
-        // ids never collide with pre-crash ones and counters/histograms
-        // survive. The replay below runs against the fresh system's own
-        // throwaway tracer (recovery must not double-count the replayed
-        // commits), which is discarded on success.
-        let pre_next = self.sys.next_txn_id();
-        let replayed = self.journal.records.len();
+        };
+        // The tracer models durable monitoring state: carry it across the
+        // rebuild so counters/histograms survive. The replay below runs
+        // against the fresh system's own throwaway tracer (recovery must not
+        // double-count the replayed commits), which is discarded on success.
         let mut fresh = (self.make)();
         fresh.set_record_trace(true);
         fresh.obs_mut().set_record_events(false);
-        for (ri, rec) in self.journal.records.iter().enumerate() {
+        if let Some(cp) = &recovered.checkpoint {
+            for (obj, state) in &cp.states {
+                fresh.restore_committed(*obj, state.clone());
+            }
+        }
+        let replayed = recovered.records.len();
+        for (ri, rec) in recovered.records.iter().enumerate() {
             let t = fresh.begin();
-            for (oi, (obj, op)) in rec.ops.iter().enumerate() {
+            for (oi, (_seq, obj, op)) in rec.ops.iter().enumerate() {
                 match fresh.invoke(t, *obj, op.inv.clone()) {
                     Ok(resp) if resp == op.resp => {}
                     Ok(_) => return Err(RedoError::ResponseDiverged { record: ri, op: oi }),
@@ -213,34 +361,65 @@ where
             }
             fresh.commit(t).map_err(|_| RedoError::ReplayRefused { record: ri })?;
         }
-        // Replay succeeded: move the surviving tracer over and record the
-        // recovery on it (on `Err` above the pre-crash system — tracer
-        // included — is left untouched, preserving all-or-nothing recovery).
+        // Replay succeeded: move the surviving tracer over, record the scan
+        // evidence and the recovery on it (on `Err` above the pre-crash
+        // system is left in place, preserving all-or-nothing recovery).
         let mut obs = self.sys.take_obs();
+        emit_scan(&mut obs, &recovered.scan);
         obs.on_recovery(replayed);
         fresh.set_obs(obs);
-        fresh.reserve_txn_ids(pre_next);
+        // Floors come from the log, not from pre-crash process memory.
+        fresh.reserve_txn_ids(recovered.txn_floor);
+        self.op_seq = recovered.next_exec_seq;
+        self.pending_ops.clear();
+        self.journal = Journal {
+            base_records: recovered.checkpoint.as_ref().map_or(0, |c| c.base_records),
+            base: recovered.checkpoint.map(|c| c.states),
+            records: recovered.records,
+        };
         self.sys = fresh;
         Ok(())
     }
 
-    /// Inject a torn write: drop the last `drop_ops` operations from the
-    /// final journal record's body, leaving its header intact — as if the
-    /// crash interrupted the record's flush to stable storage. Returns
-    /// `false` when there is no record with enough operations to tear (the
-    /// header must still promise more than the body delivers).
+    /// Inject a torn write: drop the last `drop_ops` units of the final
+    /// journal append, leaving its header intact — as if the crash
+    /// interrupted the record's flush to stable storage. Returns `false`
+    /// when the backend's stable image cannot be torn that way.
     pub fn tear_last_record(&mut self, drop_ops: usize) -> bool {
-        let Some(rec) = self.journal.records.last_mut() else {
-            return false;
-        };
-        if drop_ops == 0 || rec.ops.is_empty() {
+        if !self.backend.tear_last_flush(drop_ops) {
             return false;
         }
-        let keep = rec.ops.len().saturating_sub(drop_ops);
-        rec.ops.truncate(keep);
-        let record = self.journal.records.len() - 1;
+        let record = self.journal.len().saturating_sub(1);
         self.sys.obs_mut().on_torn(record);
         true
+    }
+
+    /// Tear the last commit flush at the backend's physical granularity
+    /// (sectors for the WAL, operations for the mem backend) *without*
+    /// counting it as a torn-record fault — the simulator's sector-tear
+    /// fault reports itself through its own counter. Returns `false` when
+    /// the stable image cannot be torn that way.
+    pub fn tear_last_flush(&mut self, sectors: usize) -> bool {
+        self.backend.tear_last_flush(sectors)
+    }
+
+    /// Lose the first sector of the last multi-sector commit flush, as if
+    /// the device reordered persistence across the un-fsynced write. Returns
+    /// `false` when the backend's image cannot express that fault.
+    pub fn reorder_last_flush(&mut self) -> bool {
+        self.backend.reorder_last_flush()
+    }
+
+    /// Flip one durable bit (index reduced modulo the stable image size).
+    /// Returns `false` for backends with no byte image.
+    pub fn flip_bit(&mut self, bit: u64) -> bool {
+        self.backend.flip_bit(bit)
+    }
+
+    /// Undo all injected bit flips (the medium is repaired; the log bytes
+    /// return to what was written). Returns the number of repairs.
+    pub fn repair_flips(&mut self) -> usize {
+        self.backend.repair_flips()
     }
 
     /// The committed state of `obj`.
@@ -248,9 +427,27 @@ where
         self.sys.committed_state(obj)
     }
 
-    /// The journal (stable storage).
+    /// The volatile mirror of stable storage (what an undamaged recovery
+    /// would reconstruct).
     pub fn journal(&self) -> &Journal<A> {
         &self.journal
+    }
+
+    /// The storage backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Mutable backend access (tests and fault injection reach the disk
+    /// through this).
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
+    }
+
+    /// The backend's durable counters (persisted in segment headers for the
+    /// WAL; the struct itself for the mem backend).
+    pub fn store_stats(&self) -> StoreStats {
+        self.backend.stats()
     }
 
     /// Access the volatile system (e.g. for trace inspection).
@@ -270,11 +467,27 @@ where
     }
 }
 
+/// Record a recovery scan's physical evidence on the tracer: one corruption
+/// event per damage site, then the scan summary (which also feeds the
+/// scan-latency histogram).
+fn emit_scan(obs: &mut Tracer, scan: &ScanReport) {
+    for d in &scan.detections {
+        let kind = match d {
+            Detection::CrcMismatch { .. } => CorruptionKind::BitFlip,
+            Detection::TornFrame { .. } | Detection::MissingData { .. } => CorruptionKind::TornTail,
+            Detection::InteriorFrame { .. } => CorruptionKind::Interior,
+        };
+        obs.on_corruption(kind, d.sector());
+    }
+    obs.on_segment_scan(scan.segments, scan.frames, scan.sectors, || scan.damage.to_string());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::engine::UipEngine;
     use ccr_adt::bank::{bank_nrbc, BankAccount, BankInv};
+    use ccr_store::{WalBackend, WalConfig};
 
     const X: ObjectId = ObjectId::SOLE;
 
@@ -283,6 +496,22 @@ mod tests {
         UipEngine<BankAccount>,
         ccr_core::conflict::FnConflict<BankAccount>,
     >;
+
+    type DiskDurable = DurableSystem<
+        BankAccount,
+        UipEngine<BankAccount>,
+        ccr_core::conflict::FnConflict<BankAccount>,
+        WalBackend<BankAccount>,
+    >;
+
+    fn disk_sys(n_objects: u32) -> DiskDurable {
+        DurableSystem::with_backend(
+            BankAccount::default(),
+            n_objects,
+            bank_nrbc(),
+            WalBackend::new(WalConfig::default()),
+        )
+    }
 
     #[test]
     fn committed_state_survives_a_crash() {
@@ -385,5 +614,109 @@ mod tests {
             sys.crash_and_recover().unwrap();
             assert_eq!(sys.committed_state(X), (1..=i).sum::<u64>());
         }
+    }
+
+    #[test]
+    fn checkpoint_truncates_and_recovery_replays_from_it() {
+        let mut sys: Durable = DurableSystem::new(BankAccount::default(), 2, bank_nrbc());
+        let y = ObjectId(1);
+        for i in 1..=3u64 {
+            let t = sys.begin();
+            sys.invoke(t, X, BankInv::Deposit(i)).unwrap();
+            sys.commit(t).unwrap();
+        }
+        sys.checkpoint();
+        assert_eq!(sys.journal().base_records(), 3);
+        assert_eq!(sys.journal().records().len(), 0);
+        assert_eq!(sys.journal().len(), 3, "checkpointed records still count");
+        // A post-checkpoint commit, then crash: recovery seeds from the
+        // checkpoint image and replays only the suffix.
+        let t = sys.begin();
+        sys.invoke(t, y, BankInv::Deposit(7)).unwrap();
+        sys.commit(t).unwrap();
+        sys.crash_and_recover().unwrap();
+        assert_eq!(sys.committed_state(X), 6);
+        assert_eq!(sys.committed_state(y), 7);
+        assert_eq!(sys.journal().base_records(), 3);
+        assert_eq!(sys.journal().records().len(), 1);
+        assert_eq!(sys.stats().checkpoints, 1);
+        // Checkpointing again folds the replayed suffix...
+        sys.checkpoint();
+        assert_eq!(sys.store_stats().checkpoints, 2);
+        // ...and an *empty* checkpoint (nothing committed since) is a no-op.
+        assert_eq!(sys.checkpoint(), 0);
+        assert_eq!(sys.store_stats().checkpoints, 2);
+    }
+
+    #[test]
+    fn disk_backend_round_trips_through_real_recovery() {
+        let mut sys = disk_sys(2);
+        let y = ObjectId(1);
+        for i in 1..=4u64 {
+            let t = sys.begin();
+            sys.invoke(t, X, BankInv::Deposit(i)).unwrap();
+            sys.invoke(t, y, BankInv::Deposit(i * 10)).unwrap();
+            sys.commit(t).unwrap();
+        }
+        let pre_next = sys.system().next_txn_id();
+        sys.crash_and_recover().unwrap();
+        assert_eq!(sys.committed_state(X), 10);
+        assert_eq!(sys.committed_state(y), 100);
+        assert_eq!(sys.journal().len(), 4);
+        assert!(sys.system().next_txn_id() >= pre_next, "floor read back from the log");
+        assert_eq!(sys.store_stats().recoveries, 1);
+        // Checkpoint, keep going, crash again: the suffix replays over the
+        // checkpoint image.
+        sys.checkpoint();
+        let t = sys.begin();
+        sys.invoke(t, X, BankInv::Withdraw(9)).unwrap();
+        sys.commit(t).unwrap();
+        sys.crash_and_recover().unwrap();
+        assert_eq!(sys.committed_state(X), 1);
+        assert_eq!(sys.committed_state(y), 100);
+    }
+
+    #[test]
+    fn disk_bitflip_is_detected_then_recoverable_after_repair() {
+        let mut sys = disk_sys(1);
+        for i in 1..=2u64 {
+            let t = sys.begin();
+            sys.invoke(t, X, BankInv::Deposit(i)).unwrap();
+            sys.commit(t).unwrap();
+        }
+        assert!(sys.flip_bit(700));
+        let err = sys.crash_and_recover().unwrap_err();
+        assert!(
+            matches!(err, RedoError::CorruptRecord { .. } | RedoError::TornRecord { .. }),
+            "a flipped bit must fail loudly, got {err:?}"
+        );
+        // The medium is repaired; the retry must NOT crash again (that would
+        // wipe the backend's volatile detection counters before they are
+        // persisted by the successful recovery).
+        assert_eq!(sys.repair_flips(), 1);
+        sys.recover_with(TornPolicy::Strict).unwrap();
+        assert_eq!(sys.committed_state(X), 3);
+        let stats = sys.store_stats();
+        assert!(
+            stats.bitflips_detected + stats.sector_tears + stats.reordered_flushes >= 1,
+            "the failed scan's detection must be persisted: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn disk_torn_flush_respects_the_tail_policy() {
+        let mut sys = disk_sys(1);
+        let t = sys.begin();
+        sys.invoke(t, X, BankInv::Deposit(5)).unwrap();
+        sys.commit(t).unwrap();
+        let u = sys.begin();
+        sys.invoke(u, X, BankInv::Deposit(1)).unwrap();
+        sys.invoke(u, X, BankInv::Withdraw(2)).unwrap();
+        sys.commit(u).unwrap();
+        assert!(sys.tear_last_record(1), "multi-sector commit frame is tearable");
+        assert!(matches!(sys.crash_and_recover(), Err(RedoError::TornRecord { .. })));
+        sys.crash_and_recover_with(TornPolicy::DiscardTail).unwrap();
+        assert_eq!(sys.committed_state(X), 5);
+        assert_eq!(sys.journal().len(), 1);
     }
 }

@@ -58,6 +58,12 @@ pub trait RecoveryEngine<A: Adt>: Send + 'static {
     /// final-state assertions).
     fn committed_state(&mut self) -> A::State;
 
+    /// Reset the engine so `state` is its committed base — used by crash
+    /// recovery to seed an object from a checkpoint image before replaying
+    /// the log suffix. All in-flight transaction state is discarded (a crash
+    /// already destroyed it).
+    fn restore(&mut self, state: A::State);
+
     /// Engine name for reports.
     fn name() -> &'static str;
 }
@@ -175,6 +181,13 @@ impl<A: Adt> RecoveryEngine<A> for UipEngine<A> {
         s
     }
 
+    fn restore(&mut self, state: A::State) {
+        self.base = state.clone();
+        self.current = state;
+        self.log.clear();
+        self.committed.clear();
+    }
+
     fn name() -> &'static str {
         "UIP"
     }
@@ -268,6 +281,10 @@ impl<A: InvertibleAdt> RecoveryEngine<A> for UipInverseEngine<A> {
 
     fn committed_state(&mut self) -> A::State {
         self.0.committed_state()
+    }
+
+    fn restore(&mut self, state: A::State) {
+        self.0.restore(state)
     }
 
     fn name() -> &'static str {
@@ -403,6 +420,12 @@ impl<A: Adt> RecoveryEngine<A> for DuEngine<A> {
 
     fn committed_state(&mut self) -> A::State {
         self.base.clone()
+    }
+
+    fn restore(&mut self, state: A::State) {
+        self.base = state;
+        self.base_version += 1;
+        self.workspaces.clear();
     }
 
     fn name() -> &'static str {

@@ -34,6 +34,28 @@ pub enum FaultKind {
     },
     /// Abort *every* active transaction at once (a wound storm).
     WoundStorm,
+    /// Crash with the last commit flush torn at *sector* granularity: its
+    /// trailing `sectors` sectors never reach the platter (power loss
+    /// mid-fsync). Degrades to [`FaultKind::Crash`] on backends without a
+    /// sector image or when the tear would remove the whole flush.
+    SectorTorn {
+        /// Trailing sectors torn off the final flush.
+        sectors: usize,
+    },
+    /// Crash with the last commit flush reordered: the device persisted its
+    /// later sectors but not the first (write reordering across an
+    /// un-fsynced multi-sector write). Degrades to [`FaultKind::Crash`]
+    /// when inexpressible.
+    ReorderFlush,
+    /// Flip one durable bit (index reduced modulo the stable image size),
+    /// then crash. The CRC layer must detect the flip during the recovery
+    /// scan — an undetected flip that changes state is the
+    /// silent-corruption verdict. Degrades to [`FaultKind::Crash`] on
+    /// backends without a byte image.
+    BitFlip {
+        /// The bit index to flip.
+        bit: u64,
+    },
 }
 
 impl fmt::Display for FaultKind {
@@ -44,6 +66,9 @@ impl fmt::Display for FaultKind {
             FaultKind::ForceAbort => write!(f, "abort"),
             FaultKind::DelayCommit { rounds } => write!(f, "delay{rounds}"),
             FaultKind::WoundStorm => write!(f, "wound"),
+            FaultKind::SectorTorn { sectors } => write!(f, "sect{sectors}"),
+            FaultKind::ReorderFlush => write!(f, "reorder"),
+            FaultKind::BitFlip { bit } => write!(f, "flip{bit}"),
         }
     }
 }
@@ -90,12 +115,15 @@ impl FaultPlan {
         let faults = (0..count)
             .map(|_| {
                 let at_event = rng.gen_range(1..horizon);
-                let kind = match rng.gen_range(0u32..8) {
+                let kind = match rng.gen_range(0u32..12) {
                     0 | 1 => FaultKind::Crash,
                     2 => FaultKind::TornCrash { drop_ops: rng.gen_range(1usize..3) },
                     3 | 4 => FaultKind::ForceAbort,
                     5 => FaultKind::DelayCommit { rounds: rng.gen_range(1u32..6) },
-                    _ => FaultKind::WoundStorm,
+                    6 => FaultKind::WoundStorm,
+                    7 | 8 => FaultKind::SectorTorn { sectors: rng.gen_range(1usize..3) },
+                    9 => FaultKind::ReorderFlush,
+                    _ => FaultKind::BitFlip { bit: rng.gen_range(0u64..1_000_000) },
                 };
                 FaultSpec { at_event, kind }
             })
@@ -169,6 +197,12 @@ impl FromStr for FaultKind {
             Ok(FaultKind::ForceAbort)
         } else if s == "wound" {
             Ok(FaultKind::WoundStorm)
+        } else if s == "reorder" {
+            Ok(FaultKind::ReorderFlush)
+        } else if let Some(n) = s.strip_prefix("sect") {
+            Ok(FaultKind::SectorTorn { sectors: n.parse().map_err(|_| err())? })
+        } else if let Some(n) = s.strip_prefix("flip") {
+            Ok(FaultKind::BitFlip { bit: n.parse().map_err(|_| err())? })
         } else if let Some(n) = s.strip_prefix("torn") {
             Ok(FaultKind::TornCrash { drop_ops: n.parse().map_err(|_| err())? })
         } else if let Some(n) = s.strip_prefix("delay") {
@@ -216,6 +250,14 @@ mod tests {
         let s = plan.to_string();
         assert_eq!(s, "12:crash,30:torn2,45:abort,60:delay5,80:wound");
         assert_eq!(s.parse::<FaultPlan>().unwrap(), plan);
+        let storage = FaultPlan::new(vec![
+            FaultSpec { at_event: 5, kind: FaultKind::SectorTorn { sectors: 2 } },
+            FaultSpec { at_event: 9, kind: FaultKind::ReorderFlush },
+            FaultSpec { at_event: 14, kind: FaultKind::BitFlip { bit: 4093 } },
+        ]);
+        let s = storage.to_string();
+        assert_eq!(s, "5:sect2,9:reorder,14:flip4093");
+        assert_eq!(s.parse::<FaultPlan>().unwrap(), storage);
         assert_eq!("none".parse::<FaultPlan>().unwrap(), FaultPlan::none());
         assert_eq!("".parse::<FaultPlan>().unwrap(), FaultPlan::none());
         assert!("7:meteor".parse::<FaultPlan>().is_err());

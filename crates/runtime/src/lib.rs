@@ -22,12 +22,16 @@
 //!   paper's §8 cites as *outside* the conflict-relation framework,
 //!   implemented as an extension for comparison;
 //! * [`crash`] — simulated crash recovery (the paper's deferred future
-//!   work): a redo journal in commit order, with verified replay and
-//!   torn-write detection;
+//!   work): a redo journal in commit order with verified replay,
+//!   torn-write detection and checkpoint truncation, persisted through a
+//!   pluggable `ccr-store` [`LogBackend`](ccr_store::LogBackend) — the
+//!   fast in-memory journal or the segmented, checksummed WAL on a
+//!   simulated sector device (DESIGN.md §9);
 //! * [`fault`] + [`sim`] — deterministic fault injection: seeded fault
 //!   plans (crashes, torn writes, forced aborts, delayed commits, wound
-//!   storms) driven through a [`crash::DurableSystem`] with an atomicity /
-//!   equieffectivity oracle after every fault.
+//!   storms, sector tears, flush reordering, bit flips) driven through a
+//!   [`crash::DurableSystem`] with an atomicity / equieffectivity /
+//!   recovery-view oracle after every fault.
 //!
 //! Every layer reports through the `ccr-obs` tracer embedded in the system
 //! ([`system::TxnSystem::obs`]): structured events on a deterministic

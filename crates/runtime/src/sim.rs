@@ -4,15 +4,23 @@
 //! the plain scheduler, but counts every driver step on a global *event
 //! counter* and injects the faults of a [`FaultPlan`] when the counter
 //! reaches their indices: crashes (with optional torn final journal record),
-//! forced aborts, delayed commits and wound storms. After every injected
-//! fault — and once more at the end of the run — an **oracle** checks that
+//! forced aborts, delayed commits, wound storms, and — through the
+//! `ccr-store` backend — sector-granularity storage faults: torn flushes,
+//! reordered flushes, bit flips. After every injected fault — and once more
+//! at the end of the run — an **oracle** checks that
 //!
 //! 1. the recorded history is dynamic atomic (paper §3.4, via the
 //!    `ccr-core` checkers);
 //! 2. redo-replay is equieffective with the pre-crash committed state
 //!    (strict crashes) and with a shadow fold of the journal through the
 //!    serial specification (all checks);
-//! 3. any caller-supplied state invariant holds (e.g. escrow capacity
+//! 3. the paper's two physical recovery views — redo in execution order
+//!    (UIP) and commit-ordered replay (DU) — reconstruct the *same*
+//!    committed state from the journal, modulo a legitimately-lost
+//!    un-fsynced tail;
+//! 4. injected storage damage is always *detected*: strict recovery must
+//!    refuse a torn or corrupted log rather than replay it silently;
+//! 5. any caller-supplied state invariant holds (e.g. escrow capacity
 //!    bounds).
 //!
 //! Everything is deterministic in `(seed, plan, scripts)`: the report —
@@ -32,6 +40,7 @@ use ccr_core::conflict::Conflict;
 use ccr_core::history::History;
 use ccr_core::ids::{ObjectId, TxnId};
 use ccr_obs::FaultCounter;
+use ccr_store::{replay_uip, LogBackend};
 
 use crate::crash::{DurableSystem, RedoError, TornPolicy};
 use crate::engine::RecoveryEngine;
@@ -54,6 +63,10 @@ pub struct SimCfg {
     pub exhaustive_limit: usize,
     /// Consistent orders sampled by the non-exhaustive checker.
     pub oracle_samples: usize,
+    /// Write a checkpoint (folding the journal prefix into a durable image
+    /// and letting the backend truncate) every this many commits. `None`
+    /// disables checkpointing.
+    pub checkpoint_every: Option<u64>,
 }
 
 impl Default for SimCfg {
@@ -64,6 +77,7 @@ impl Default for SimCfg {
             max_rounds: 100_000,
             exhaustive_limit: 6,
             oracle_samples: 64,
+            checkpoint_every: None,
         }
     }
 }
@@ -142,6 +156,28 @@ pub enum OracleFailure {
         /// State after recovery (`Debug` form).
         after: String,
     },
+    /// The paper's two recovery views disagree: redo in execution order
+    /// (UIP, Theorem 9) and commit-ordered replay (DU, Theorem 10)
+    /// reconstruct different committed states from the same journal.
+    RecoveryViewDiverged {
+        /// The divergent object.
+        obj: ObjectId,
+        /// The UIP (execution-order) view (`Debug` form, or `"refused"`).
+        uip: String,
+        /// The DU (commit-order) view (`Debug` form).
+        du: String,
+    },
+    /// A storage fault (bit flip) survived recovery *undetected* and changed
+    /// committed state — the silent-corruption verdict the CRC layer exists
+    /// to make impossible.
+    SilentCorruption {
+        /// The divergent object.
+        obj: ObjectId,
+        /// State before the fault (`Debug` form).
+        before: String,
+        /// State after the undetected recovery (`Debug` form).
+        after: String,
+    },
     /// A caller-supplied invariant over committed states was violated.
     InvariantViolated {
         /// The invariant's own description of the violation.
@@ -169,6 +205,14 @@ impl std::fmt::Display for OracleFailure {
             OracleFailure::CrashStateMismatch { obj, before, after } => write!(
                 f,
                 "recovery changed committed state at {obj}: {before} before, {after} after"
+            ),
+            OracleFailure::RecoveryViewDiverged { obj, uip, du } => write!(
+                f,
+                "recovery views diverged at {obj}: exec-order (UIP) {uip}, commit-order (DU) {du}"
+            ),
+            OracleFailure::SilentCorruption { obj, before, after } => write!(
+                f,
+                "storage fault survived recovery undetected at {obj}: {before} before, {after} after"
             ),
             OracleFailure::InvariantViolated { detail } => {
                 write!(f, "state invariant violated: {detail}")
@@ -254,8 +298,8 @@ fn epoch(stats: &SystemStats) -> u64 {
 /// Run `scripts` through `sys` under `plan`, checking the oracle after every
 /// injected fault and at the end. Returns the deterministic report, or the
 /// first oracle failure.
-pub fn run_sim<A, E, C>(
-    sys: &mut DurableSystem<A, E, C>,
+pub fn run_sim<A, E, C, B>(
+    sys: &mut DurableSystem<A, E, C, B>,
     scripts: Vec<Box<dyn Script<A>>>,
     plan: &FaultPlan,
     cfg: &SimCfg,
@@ -266,6 +310,7 @@ where
     A: Adt,
     E: RecoveryEngine<A>,
     C: Conflict<A> + Clone,
+    B: LogBackend<A>,
 {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut drivers: Vec<Driver<A>> = scripts.into_iter().map(Driver::new).collect();
@@ -397,9 +442,9 @@ fn fold_fp<A: Adt>(fold: u64, trace: &History<A>) -> u64 {
 
 /// Inject one fault and run the oracle afterwards.
 #[allow(clippy::too_many_arguments)] // internal plumbing of one call site
-fn inject<A, E, C>(
+fn inject<A, E, C, B>(
     kind: FaultKind,
-    sys: &mut DurableSystem<A, E, C>,
+    sys: &mut DurableSystem<A, E, C, B>,
     drivers: &mut [Driver<A>],
     cfg: &SimCfg,
     spec: &SystemSpec<A>,
@@ -412,6 +457,7 @@ where
     A: Adt,
     E: RecoveryEngine<A>,
     C: Conflict<A> + Clone,
+    B: LogBackend<A>,
 {
     let at = report.events;
     let fail = |failure| SimFailure { at_event: at, failure };
@@ -443,26 +489,104 @@ where
                 );
             }
             sys.system_mut().obs_mut().on_fault(None, || kind.to_string());
+            torn_storage_flow(sys, drivers, cfg, spec, invariant, report, fp_fold, at)
+        }
+        FaultKind::SectorTorn { sectors } => {
+            if !sys.tear_last_flush(sectors) {
+                // No tearable flush (nothing journaled, or the tear would
+                // remove the whole flush — indistinguishable from a plain
+                // crash before the write): degrade to a plain crash.
+                return inject(
+                    FaultKind::Crash,
+                    sys,
+                    drivers,
+                    cfg,
+                    spec,
+                    invariant,
+                    report,
+                    fp_fold,
+                    delay_next_commit,
+                );
+            }
+            sys.system_mut()
+                .obs_mut()
+                .on_fault(Some(FaultCounter::SectorTear), || kind.to_string());
+            torn_storage_flow(sys, drivers, cfg, spec, invariant, report, fp_fold, at)
+        }
+        FaultKind::ReorderFlush => {
+            if !sys.reorder_last_flush() {
+                // The last flush was a single sector (or the backend has no
+                // sector image): reordering is inexpressible, degrade.
+                return inject(
+                    FaultKind::Crash,
+                    sys,
+                    drivers,
+                    cfg,
+                    spec,
+                    invariant,
+                    report,
+                    fp_fold,
+                    delay_next_commit,
+                );
+            }
+            sys.system_mut()
+                .obs_mut()
+                .on_fault(Some(FaultCounter::ReorderedFlush), || kind.to_string());
+            torn_storage_flow(sys, drivers, cfg, spec, invariant, report, fp_fold, at)
+        }
+        FaultKind::BitFlip { bit } => {
+            if !sys.flip_bit(bit) {
+                // No durable byte image (mem backend): degrade.
+                return inject(
+                    FaultKind::Crash,
+                    sys,
+                    drivers,
+                    cfg,
+                    spec,
+                    invariant,
+                    report,
+                    fp_fold,
+                    delay_next_commit,
+                );
+            }
+            sys.system_mut().obs_mut().on_fault(None, || kind.to_string());
+            let pre_states = committed_states(sys);
             *fp_fold = fold_fp(*fp_fold, sys.system().trace());
             let pre_trace = sys.system().trace().clone();
             check_history(spec, cfg, &pre_trace, at, report)?;
-            // Strict recovery MUST refuse the torn record: silence here is
-            // itself an oracle failure.
-            match sys.crash_and_recover() {
-                Ok(()) => {
-                    let record = sys.journal().len().saturating_sub(1);
-                    return Err(fail(OracleFailure::TornNotDetected { record }));
+            let detected = match sys.crash_and_recover() {
+                // Recovery claims the log is intact despite the flip: the
+                // oracle below decides with the pre-crash states whether
+                // that claim was honest (any divergence is the
+                // silent-corruption verdict).
+                Ok(()) => false,
+                Err(_) => {
+                    // Detected. Repair the medium and retry WITHOUT a fresh
+                    // crash (a crash would wipe the backend's volatile
+                    // detection counters before a successful recovery
+                    // persists them); nothing was lost, so strict recovery
+                    // must now succeed.
+                    sys.repair_flips();
+                    sys.recover_with(TornPolicy::Strict)
+                        .map_err(|e| fail(OracleFailure::Redo(e)))?;
+                    true
                 }
-                Err(RedoError::TornRecord { .. }) => {}
-                Err(e) => return Err(fail(OracleFailure::Redo(e))),
-            }
-            sys.crash_and_recover_with(TornPolicy::DiscardTail)
-                .map_err(|e| fail(OracleFailure::Redo(e)))?;
+            };
             restart_all(drivers, cfg, report);
-            // The torn transaction's durability was legitimately lost, so no
-            // pre-crash state comparison — the journal shadow fold remains
-            // the equieffectivity authority.
-            oracle(sys, spec, cfg, invariant, None, at, report)
+            oracle(sys, spec, cfg, invariant, Some(&pre_states), at, report).map_err(|e| {
+                match e.failure {
+                    // An undetected flip that changed state is the silent-
+                    // corruption verdict; after a *detected* flip the
+                    // repair-and-retry path keeps the plain mismatch name.
+                    OracleFailure::CrashStateMismatch { obj, before, after } if !detected => {
+                        SimFailure {
+                            at_event: e.at_event,
+                            failure: OracleFailure::SilentCorruption { obj, before, after },
+                        }
+                    }
+                    _ => e,
+                }
+            })
         }
         FaultKind::ForceAbort => {
             let victim = sys.system().active().max();
@@ -511,6 +635,49 @@ where
     }
 }
 
+/// The shared tail of every torn-storage fault (torn record, torn flush,
+/// reordered flush), run after the damage was injected and the fault event
+/// emitted: seal the epoch's history into the fingerprint, check it, demand
+/// that strict recovery *refuses* the damaged tail (silence is itself an
+/// oracle failure), recover under `DiscardTail`, and re-run the oracle. The
+/// torn transaction's durability was legitimately lost, so there is no
+/// pre-crash state comparison — the journal shadow fold remains the
+/// equieffectivity authority.
+#[allow(clippy::too_many_arguments)] // internal plumbing of three call sites
+fn torn_storage_flow<A, E, C, B>(
+    sys: &mut DurableSystem<A, E, C, B>,
+    drivers: &mut [Driver<A>],
+    cfg: &SimCfg,
+    spec: &SystemSpec<A>,
+    invariant: Option<&StateInvariant<A>>,
+    report: &mut SimReport,
+    fp_fold: &mut u64,
+    at: u64,
+) -> Result<(), SimFailure>
+where
+    A: Adt,
+    E: RecoveryEngine<A>,
+    C: Conflict<A> + Clone,
+    B: LogBackend<A>,
+{
+    let fail = |failure| SimFailure { at_event: at, failure };
+    *fp_fold = fold_fp(*fp_fold, sys.system().trace());
+    let pre_trace = sys.system().trace().clone();
+    check_history(spec, cfg, &pre_trace, at, report)?;
+    match sys.crash_and_recover() {
+        Ok(()) => {
+            let record = sys.journal().len().saturating_sub(1);
+            return Err(fail(OracleFailure::TornNotDetected { record }));
+        }
+        Err(RedoError::TornRecord { .. }) => {}
+        Err(e) => return Err(fail(OracleFailure::Redo(e))),
+    }
+    sys.crash_and_recover_with(TornPolicy::DiscardTail)
+        .map_err(|e| fail(OracleFailure::Redo(e)))?;
+    restart_all(drivers, cfg, report);
+    oracle(sys, spec, cfg, invariant, None, at, report)
+}
+
 /// Restart every driver whose transaction evaporated in a crash. Crash
 /// restarts carry no commit backoff: the rebuilt system holds no locks.
 fn restart_all<A: Adt>(drivers: &mut [Driver<A>], cfg: &SimCfg, report: &mut SimReport) {
@@ -521,11 +688,12 @@ fn restart_all<A: Adt>(drivers: &mut [Driver<A>], cfg: &SimCfg, report: &mut Sim
     }
 }
 
-fn committed_states<A, E, C>(sys: &mut DurableSystem<A, E, C>) -> BTreeMap<ObjectId, A::State>
+fn committed_states<A, E, C, B>(sys: &mut DurableSystem<A, E, C, B>) -> BTreeMap<ObjectId, A::State>
 where
     A: Adt,
     E: RecoveryEngine<A>,
     C: Conflict<A> + Clone,
+    B: LogBackend<A>,
 {
     sys.system().object_ids().into_iter().map(|obj| (obj, sys.committed_state(obj))).collect()
 }
@@ -547,8 +715,8 @@ fn check_history<A: Adt>(
 /// The full oracle: dynamic atomicity of the current trace, journal shadow
 /// fold vs engine committed states, optional pre-crash state comparison,
 /// optional caller invariant.
-fn oracle<A, E, C>(
-    sys: &mut DurableSystem<A, E, C>,
+fn oracle<A, E, C, B>(
+    sys: &mut DurableSystem<A, E, C, B>,
     spec: &SystemSpec<A>,
     cfg: &SimCfg,
     invariant: Option<&StateInvariant<A>>,
@@ -560,25 +728,32 @@ where
     A: Adt,
     E: RecoveryEngine<A>,
     C: Conflict<A> + Clone,
+    B: LogBackend<A>,
 {
     let fail = |failure| SimFailure { at_event: at, failure };
     let trace = sys.system().trace().clone();
     check_history(spec, cfg, &trace, at, report)?;
 
-    // Shadow fold: refold the whole journal through the serial spec from
-    // initial states. Every journaled response must be legal, and the final
-    // states must match the engines' committed states.
-    let mut shadow: BTreeMap<ObjectId, A::State> = sys
-        .system()
-        .object_ids()
-        .into_iter()
-        .map(|obj| {
-            let adt = sys.system().adt_of(obj).expect("object exists");
-            (obj, adt.initial())
-        })
-        .collect();
+    // Shadow fold: refold the journal through the serial spec, starting
+    // from the checkpoint base when one was taken (the image stands in for
+    // the truncated records' effects). Every journaled response must be
+    // legal, and the final states must match the engines' committed states.
+    let base: BTreeMap<ObjectId, A::State> = match sys.journal().base_states() {
+        Some(states) => states.iter().cloned().collect(),
+        None => sys
+            .system()
+            .object_ids()
+            .into_iter()
+            .map(|obj| {
+                let adt = sys.system().adt_of(obj).expect("object exists");
+                (obj, adt.initial())
+            })
+            .collect(),
+    };
+    let base_records = sys.journal().base_records() as usize;
+    let mut shadow = base.clone();
     for (ri, ops) in sys.journal().record_ops().enumerate() {
-        for (oi, (obj, op)) in ops.iter().enumerate() {
+        for (oi, (_seq, obj, op)) in ops.iter().enumerate() {
             let adt = sys.system().adt_of(*obj).expect("object exists").clone();
             let state = shadow.get_mut(obj).expect("object exists");
             let next = adt
@@ -588,7 +763,12 @@ where
                 .map(|(_, post)| post);
             match next {
                 Some(post) => *state = post,
-                None => return Err(fail(OracleFailure::ShadowRefused { record: ri, op: oi })),
+                None => {
+                    return Err(fail(OracleFailure::ShadowRefused {
+                        record: base_records + ri,
+                        op: oi,
+                    }))
+                }
             }
         }
     }
@@ -600,6 +780,34 @@ where
                 engine: format!("{engine_state:?}"),
                 shadow: format!("{shadow_state:?}"),
             }));
+        }
+    }
+
+    // Fifth leg: the paper's two physical recovery views must agree. The
+    // shadow fold above *is* the DU view (commit-ordered replay, Theorem
+    // 10); redo the same journal in global execution order (the UIP view,
+    // Theorem 9) and demand the identical committed state.
+    if let Some(first) = sys.system().object_ids().first().copied() {
+        let adt = sys.system().adt_of(first).expect("object exists").clone();
+        match replay_uip(&adt, &base, sys.journal().records()) {
+            Some(uip) => {
+                for (obj, du_state) in &shadow {
+                    if uip.get(obj) != Some(du_state) {
+                        return Err(fail(OracleFailure::RecoveryViewDiverged {
+                            obj: *obj,
+                            uip: format!("{:?}", uip.get(obj)),
+                            du: format!("{du_state:?}"),
+                        }));
+                    }
+                }
+            }
+            None => {
+                return Err(fail(OracleFailure::RecoveryViewDiverged {
+                    obj: first,
+                    uip: "refused".to_string(),
+                    du: "legal fold".to_string(),
+                }))
+            }
         }
     }
 
@@ -623,8 +831,8 @@ where
 }
 
 /// Advance one driver by one step. Returns whether it made progress.
-fn step_driver<A, E, C>(
-    sys: &mut DurableSystem<A, E, C>,
+fn step_driver<A, E, C, B>(
+    sys: &mut DurableSystem<A, E, C, B>,
     d: &mut Driver<A>,
     cfg: &SimCfg,
     report: &mut SimReport,
@@ -634,6 +842,7 @@ where
     A: Adt,
     E: RecoveryEngine<A>,
     C: Conflict<A> + Clone,
+    B: LogBackend<A>,
 {
     let txn = match d.txn {
         Some(t) => t,
@@ -684,6 +893,11 @@ where
             }
             match sys.commit(txn) {
                 Ok(()) => {
+                    if let Some(every) = cfg.checkpoint_every {
+                        if every > 0 && sys.stats().committed.is_multiple_of(every) {
+                            sys.checkpoint();
+                        }
+                    }
                     d.done = true;
                     d.committed = true;
                     true
@@ -716,11 +930,24 @@ mod tests {
     use crate::script::OpsScript;
     use ccr_adt::bank::{bank_nfc, bank_nrbc, BankAccount, BankInv};
     use ccr_core::conflict::{FnConflict, SymmetricClosure};
+    use ccr_store::{WalBackend, WalConfig};
 
     const X: ObjectId = ObjectId::SOLE;
 
     type UipDurable = DurableSystem<BankAccount, UipEngine<BankAccount>, FnConflict<BankAccount>>;
     type DuDurable = DurableSystem<BankAccount, DuEngine<BankAccount>, FnConflict<BankAccount>>;
+    type DiskUip = DurableSystem<
+        BankAccount,
+        UipEngine<BankAccount>,
+        FnConflict<BankAccount>,
+        WalBackend<BankAccount>,
+    >;
+    type DiskDu = DurableSystem<
+        BankAccount,
+        DuEngine<BankAccount>,
+        FnConflict<BankAccount>,
+        WalBackend<BankAccount>,
+    >;
 
     fn transfer_scripts(n: usize) -> Vec<Box<dyn Script<BankAccount>>> {
         (0..n)
@@ -733,6 +960,10 @@ mod tests {
 
     fn spec() -> SystemSpec<BankAccount> {
         SystemSpec::single(BankAccount::default())
+    }
+
+    fn spec_n(n: u32) -> SystemSpec<BankAccount> {
+        SystemSpec::uniform(BankAccount::default(), n)
     }
 
     #[test]
@@ -846,6 +1077,7 @@ mod tests {
                 OracleFailure::NotDynamicAtomic(_)
                     | OracleFailure::ShadowRefused { .. }
                     | OracleFailure::StateDiverged { .. }
+                    | OracleFailure::RecoveryViewDiverged { .. }
                     | OracleFailure::Redo(_)
             ),
             "unexpected failure mode: {failure}"
@@ -872,6 +1104,129 @@ mod tests {
                 assert!(sys.journal().len() as u64 <= report.stats.committed);
             }
         }
+    }
+
+    /// Scripts on six *distinct* objects: no lock contention, so commits
+    /// (and hence tearable commit flushes) land at predictable events.
+    fn disjoint_scripts() -> Vec<Box<dyn Script<BankAccount>>> {
+        (0..6)
+            .map(|i| {
+                Box::new(OpsScript::on(
+                    ObjectId(i),
+                    vec![BankInv::Deposit(2), BankInv::Withdraw(1)],
+                )) as Box<dyn Script<BankAccount>>
+            })
+            .collect()
+    }
+
+    /// Run one storage fault through a disk-backed system under both
+    /// pairings, returning the UIP run's stats. With six disjoint drivers,
+    /// round 3 (events 13–18) is all commits, so a fault at event 16 always
+    /// finds a fresh, tearable commit flush.
+    fn one_storage_fault(kind: FaultKind) -> SystemStats {
+        let plan = FaultPlan::new(vec![FaultSpec { at_event: 16, kind }]);
+        let mut uip: DiskUip = DurableSystem::with_backend(
+            BankAccount::default(),
+            6,
+            bank_nrbc(),
+            WalBackend::new(WalConfig::default()),
+        );
+        let r1 = run_sim(&mut uip, disjoint_scripts(), &plan, &SimCfg::default(), &spec_n(6), None)
+            .unwrap();
+        assert_eq!(r1.faults_injected, 1);
+        assert_eq!(r1.committed, 6, "every script recommits after the fault");
+
+        let mut du: DiskDu = DurableSystem::with_backend(
+            BankAccount::default(),
+            6,
+            bank_nfc(),
+            WalBackend::new(WalConfig::default()),
+        );
+        let r2 = run_sim(&mut du, disjoint_scripts(), &plan, &SimCfg::default(), &spec_n(6), None)
+            .unwrap();
+        assert_eq!(r2.faults_injected, 1);
+        r1.stats
+    }
+
+    #[test]
+    fn sector_tears_pass_the_oracle_on_the_disk_backend() {
+        let stats = one_storage_fault(FaultKind::SectorTorn { sectors: 1 });
+        assert_eq!(stats.sector_tears, 1, "the tear must not degrade: {stats:?}");
+        assert_eq!(stats.torn_crashes, 0, "sector tears report via their own counter");
+    }
+
+    #[test]
+    fn reordered_flushes_pass_the_oracle_on_the_disk_backend() {
+        let stats = one_storage_fault(FaultKind::ReorderFlush);
+        assert_eq!(stats.reordered_flushes, 1, "the reorder must not degrade: {stats:?}");
+    }
+
+    #[test]
+    fn bitflips_are_always_detected_on_the_disk_backend() {
+        // Zero-silent-corruption criterion: whatever durable bit the flip
+        // lands on, the CRC scan must detect it (the oracle inside run_sim
+        // would report SilentCorruption otherwise).
+        for bit in [3, 997, 4093, 65_537] {
+            let stats = one_storage_fault(FaultKind::BitFlip { bit });
+            assert!(stats.bitflips_detected >= 1, "flip at {bit} undetected: {stats:?}");
+        }
+    }
+
+    #[test]
+    fn storage_faults_on_the_mem_backend_degrade_to_crashes() {
+        // The mem backend has no sector image: reorder and flip degrade to
+        // plain crashes, and the run still passes the oracle.
+        let plan = FaultPlan::new(vec![
+            FaultSpec { at_event: 16, kind: FaultKind::ReorderFlush },
+            FaultSpec { at_event: 24, kind: FaultKind::BitFlip { bit: 997 } },
+        ]);
+        let mut sys: UipDurable = DurableSystem::new(BankAccount::default(), 1, bank_nrbc());
+        let report =
+            run_sim(&mut sys, transfer_scripts(6), &plan, &SimCfg::default(), &spec(), None)
+                .unwrap();
+        assert_eq!(report.faults_injected, 2);
+        assert_eq!(report.stats.crashes, 2, "both faults degrade to crashes: {:?}", report.stats);
+        assert_eq!(report.stats.bitflips_detected, 0);
+        assert_eq!(report.stats.reordered_flushes, 0);
+    }
+
+    #[test]
+    fn disk_backend_runs_are_deterministic_with_checkpoints() {
+        let plan = FaultPlan::from_seed(23, 60, 5);
+        let run_once = || {
+            let mut sys: DiskUip = DurableSystem::with_backend(
+                BankAccount::default(),
+                1,
+                bank_nrbc(),
+                WalBackend::new(WalConfig::default()),
+            );
+            let cfg = SimCfg { seed: 7, checkpoint_every: Some(2), ..Default::default() };
+            run_sim(&mut sys, transfer_scripts(6), &plan, &cfg, &spec(), None).unwrap()
+        };
+        let (a, b) = (run_once(), run_once());
+        assert_eq!(a, b, "SimReport must be byte-identical across runs");
+        assert!(a.stats.checkpoints >= 1, "checkpoint cadence never fired: {:?}", a.stats);
+    }
+
+    #[test]
+    fn checkpointed_and_uncheckpointed_runs_agree_on_final_state() {
+        let plan = FaultPlan::new(vec![
+            FaultSpec { at_event: 6, kind: FaultKind::Crash },
+            FaultSpec { at_event: 13, kind: FaultKind::Crash },
+        ]);
+        let run = |every: Option<u64>| {
+            let mut sys: DiskUip = DurableSystem::with_backend(
+                BankAccount::default(),
+                1,
+                bank_nrbc(),
+                WalBackend::new(WalConfig::default()),
+            );
+            let cfg = SimCfg { seed: 3, checkpoint_every: every, ..Default::default() };
+            let report =
+                run_sim(&mut sys, transfer_scripts(6), &plan, &cfg, &spec(), None).unwrap();
+            (report.committed, sys.committed_state(X))
+        };
+        assert_eq!(run(None), run(Some(1)), "checkpointing must not change outcomes");
     }
 
     #[test]

@@ -441,6 +441,18 @@ impl<A: Adt, E: RecoveryEngine<A>, C: Conflict<A>> TxnSystem<A, E, C> {
             .committed_state()
     }
 
+    /// Reset `obj`'s engine so `state` is its committed base — crash
+    /// recovery seeds freshly built systems from a checkpoint image this way
+    /// before replaying the log suffix. Only valid on a system with no
+    /// in-flight transactions at `obj`.
+    pub fn restore_committed(&mut self, obj: ObjectId, state: A::State) {
+        self.objects
+            .get_mut(&obj)
+            .unwrap_or_else(|| panic!("no such object {obj}"))
+            .engine
+            .restore(state);
+    }
+
     /// Currently active transactions.
     pub fn active(&self) -> impl Iterator<Item = TxnId> + '_ {
         self.active.iter().copied()

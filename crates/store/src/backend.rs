@@ -1,0 +1,500 @@
+//! The [`LogBackend`] abstraction: what the durable runtime needs from a
+//! log, and the fast in-memory implementation.
+//!
+//! `DurableSystem` (in `ccr-runtime`) journals one [`CommitRecord`] per
+//! committed transaction and periodically folds the log into a
+//! [`CheckpointImage`]. After a crash it calls [`LogBackend::recover`] and
+//! replays the surviving records. Two implementations exist:
+//!
+//! - [`MemBackend`]: a `Vec` of records. The struct itself plays the role of
+//!   stable memory (crash is a no-op on it), and torn writes are modeled at
+//!   *operation* granularity — the semantics the original in-memory journal
+//!   had, preserved so the fast test suite keeps its exact failure shapes.
+//! - [`crate::WalBackend`]: the real thing — a segmented CRC'd write-ahead
+//!   log on a [`crate::SimDisk`], with sector-granularity fault injection.
+//!
+//! The recovery *views* of the paper live here too, as pure functions:
+//! [`replay_uip`] folds operations in execution order (update-in-place redo);
+//! [`replay_du`] folds whole intentions lists in commit order (deferred
+//! update). For a dynamically atomic history the two folds agree — that
+//! equality is the fifth leg of the simulator's oracle.
+
+use std::collections::BTreeMap;
+
+use ccr_core::adt::{Adt, Op};
+use ccr_core::ids::ObjectId;
+
+/// One committed transaction as journaled: the transaction-id floor at
+/// commit time plus the committed operations, each stamped with its global
+/// execution sequence number (`exec_seq`) so UIP replay can restore
+/// execution order across transactions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommitRecord<A: Adt> {
+    /// `next_txn_id` immediately after this commit — recovery restores the
+    /// id floor from the last surviving record (satellite: the floor must
+    /// come from the log, not from process memory).
+    pub floor: u32,
+    /// `(exec_seq, object, operation)` in intention-list (per-transaction
+    /// program) order.
+    pub ops: Vec<(u64, ObjectId, Op<A>)>,
+}
+
+/// A checkpoint: the folded committed state of every object, plus the
+/// counters a restart must not lose. Records before the checkpoint can be
+/// truncated once it is durable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckpointImage<A: Adt> {
+    /// How many commit records the checkpoint folds (monotone across the
+    /// log's life, never reset by truncation).
+    pub base_records: u64,
+    /// Transaction-id floor at checkpoint time.
+    pub txn_floor: u32,
+    /// Global execution sequence floor at checkpoint time.
+    pub next_exec_seq: u64,
+    /// Committed state per object, sorted by object id.
+    pub states: Vec<(ObjectId, A::State)>,
+}
+
+/// Durable counters a real restart reads back from the log (satellite:
+/// `SystemStats` continuity across crashes must come from storage, not from
+/// the fiction of surviving process memory).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Checkpoints written.
+    pub checkpoints: u64,
+    /// Successful recoveries.
+    pub recoveries: u64,
+    /// Torn writes *detected* by recovery scans (frames extending into
+    /// lost sectors; op-granularity tears for the mem backend).
+    pub sector_tears: u64,
+    /// Reordered flushes detected (a hole where a frame should start, with
+    /// surviving data after it).
+    pub reordered_flushes: u64,
+    /// CRC mismatches detected on structurally complete frames.
+    pub bitflips_detected: u64,
+}
+
+impl StoreStats {
+    pub fn add(&mut self, other: &StoreStats) {
+        self.checkpoints += other.checkpoints;
+        self.recoveries += other.recoveries;
+        self.sector_tears += other.sector_tears;
+        self.reordered_flushes += other.reordered_flushes;
+        self.bitflips_detected += other.bitflips_detected;
+    }
+}
+
+/// One damage site found by a recovery scan, with the physical evidence
+/// that classified it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Detection {
+    /// A frame extends into sectors that are absent or zero — the write was
+    /// torn mid-frame.
+    TornFrame { sector: u64 },
+    /// A frame position holds no data but later sectors of the same segment
+    /// do — the flush persisted out of order.
+    MissingData { sector: u64 },
+    /// A structurally complete frame whose CRC does not match — bit rot.
+    CrcMismatch { sector: u64 },
+    /// A valid frame found *after* a damage point — interior corruption,
+    /// never recoverable by tail discard.
+    InteriorFrame { sector: u64 },
+}
+
+impl Detection {
+    pub fn sector(&self) -> u64 {
+        match *self {
+            Detection::TornFrame { sector }
+            | Detection::MissingData { sector }
+            | Detection::CrcMismatch { sector }
+            | Detection::InteriorFrame { sector } => sector,
+        }
+    }
+}
+
+/// What a recovery scan saw, whether or not it succeeded. Carried on both
+/// [`RecoveredLog`] and [`StoreFailure`] so the runtime can emit
+/// observability events for every scan.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ScanReport {
+    /// Log segments visited.
+    pub segments: u64,
+    /// Valid frames decoded.
+    pub frames: u64,
+    /// Durable sectors examined.
+    pub sectors: u64,
+    /// Damage sites, in scan order.
+    pub detections: Vec<Detection>,
+    /// Human-readable damage classification (`"clean"`, `"torn-tail"`,
+    /// `"interior"`, ...).
+    pub damage: &'static str,
+}
+
+/// The log contents reconstructed by a successful recovery.
+#[derive(Clone, Debug)]
+pub struct RecoveredLog<A: Adt> {
+    /// The newest valid checkpoint, if any survived.
+    pub checkpoint: Option<CheckpointImage<A>>,
+    /// Commit records after the checkpoint, in commit order.
+    pub records: Vec<CommitRecord<A>>,
+    /// Transaction-id floor to resume from.
+    pub txn_floor: u32,
+    /// Execution-sequence floor to resume from.
+    pub next_exec_seq: u64,
+    /// Durable counters, read back from the log and updated with this
+    /// scan's detections.
+    pub stats: StoreStats,
+    /// Physical evidence from the scan.
+    pub scan: ScanReport,
+}
+
+/// Why recovery refused to produce a state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoreFailure {
+    pub report: ScanReport,
+    pub kind: StoreFailureKind,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoreFailureKind {
+    /// The log tail is torn and the policy is [`TailPolicy::Strict`].
+    /// For the WAL the units are sectors; for the mem backend, operations —
+    /// matching the granularity at which the tear happened.
+    Torn { record: usize, expected: usize, found: usize },
+    /// Corruption that no tail policy may discard: interior damage, a CRC
+    /// mismatch, or a missing checkpoint after truncation.
+    Corrupt { sector: u64 },
+}
+
+/// What recovery may do with a damaged log tail. Mirrors the runtime's
+/// `TornPolicy` (the store crate sits below the runtime and cannot name it).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TailPolicy {
+    /// Refuse to recover from any damage.
+    #[default]
+    Strict,
+    /// Discard a damaged tail (committed-but-torn suffix is legitimately
+    /// lost); still refuse interior corruption.
+    DiscardTail,
+}
+
+/// A durable journal for one `DurableSystem`.
+///
+/// The backend is also the storage-fault injection point: `tear_last_flush`
+/// / `reorder_last_flush` / `flip_bit` damage the stable image the way a
+/// hostile device would, and return `false` when the image cannot express
+/// that fault (the simulator then degrades the fault to a plain crash).
+pub trait LogBackend<A: Adt>: Send {
+    /// Durably append one commit record (write + fsync).
+    fn append_commit(&mut self, rec: &CommitRecord<A>);
+
+    /// Durably write a checkpoint and truncate what it covers. Returns the
+    /// number of whole segments truncated (always 0 for the mem backend).
+    fn write_checkpoint(&mut self, img: &CheckpointImage<A>) -> u64;
+
+    /// Power loss: drop everything not yet durable. Idempotent.
+    fn crash(&mut self);
+
+    /// Scan and validate the stable image, classify damage, and reconstruct
+    /// the surviving log contents.
+    fn recover(&mut self, policy: TailPolicy) -> Result<RecoveredLog<A>, StoreFailure>;
+
+    /// Tear the most recent durable append, dropping its last `n` units
+    /// (sectors or operations). `false` if the image cannot be torn that way.
+    fn tear_last_flush(&mut self, n: usize) -> bool;
+
+    /// Lose the *first* unit of the most recent multi-sector append, as if
+    /// the device reordered persistence. `false` if inexpressible.
+    fn reorder_last_flush(&mut self) -> bool;
+
+    /// Flip one stable bit (index is reduced modulo [`Self::storage_bits`]).
+    /// `false` if there are no stable bits to flip.
+    fn flip_bit(&mut self, bit: u64) -> bool;
+
+    /// Undo all injected bit flips (the medium is repaired; the log bytes
+    /// return to what was written). Returns the number of repairs.
+    fn repair_flips(&mut self) -> usize;
+
+    /// Current durable-counter view (persisted + this process's detections).
+    fn stats(&self) -> StoreStats;
+
+    /// Total stable bits (0 for the mem backend — it has no byte image).
+    fn storage_bits(&self) -> u64;
+
+    /// Backend name for labels and reproducers (`"mem"` / `"disk"`).
+    fn name(&self) -> &'static str;
+}
+
+/// Fold `records` over `base` in *execution order* — the UIP view: every
+/// committed operation is redone against the in-place state in the global
+/// order it originally executed. `None` if some operation is not enabled
+/// where replay puts it (the history was not recoverable under this view).
+pub fn replay_uip<A: Adt>(
+    adt: &A,
+    base: &BTreeMap<ObjectId, A::State>,
+    records: &[CommitRecord<A>],
+) -> Option<BTreeMap<ObjectId, A::State>> {
+    let mut states = base.clone();
+    let mut ops: Vec<&(u64, ObjectId, Op<A>)> = records.iter().flat_map(|r| r.ops.iter()).collect();
+    ops.sort_by_key(|(seq, _, _)| *seq);
+    for (_, obj, op) in ops {
+        let s = states.get(obj)?;
+        let post = adt.apply(s, op);
+        states.insert(*obj, post.into_iter().next()?);
+    }
+    Some(states)
+}
+
+/// Fold `records` over `base` in *commit order* — the DU view: each
+/// transaction's intentions list is installed atomically when it commits,
+/// in commit order, regardless of when its operations executed.
+pub fn replay_du<A: Adt>(
+    adt: &A,
+    base: &BTreeMap<ObjectId, A::State>,
+    records: &[CommitRecord<A>],
+) -> Option<BTreeMap<ObjectId, A::State>> {
+    let mut states = base.clone();
+    for rec in records {
+        for (_, obj, op) in &rec.ops {
+            let s = states.get(obj)?;
+            let post = adt.apply(s, op);
+            states.insert(*obj, post.into_iter().next()?);
+        }
+    }
+    Some(states)
+}
+
+/// The fast in-memory backend: the struct is the stable store.
+///
+/// Torn writes keep the record's original `op_count` while dropping trailing
+/// operations, reproducing the op-granularity `TornRecord { record,
+/// expected, found }` failure shape of the original in-memory journal.
+#[derive(Debug, Default)]
+pub struct MemBackend<A: Adt> {
+    checkpoint: Option<CheckpointImage<A>>,
+    records: Vec<StoredRecord<A>>,
+    stats: StoreStats,
+}
+
+#[derive(Debug)]
+struct StoredRecord<A: Adt> {
+    /// Operation count at append time; survives a tear of the ops list.
+    op_count: usize,
+    rec: CommitRecord<A>,
+}
+
+impl<A: Adt> MemBackend<A> {
+    pub fn new() -> Self {
+        MemBackend { checkpoint: None, records: Vec::new(), stats: StoreStats::default() }
+    }
+
+    fn floors(&self) -> (u32, u64) {
+        // The newest surviving record wins; fall back to the checkpoint,
+        // then to a cold start.
+        if let Some(last) = self.records.last() {
+            let floor = last.rec.floor;
+            let seq = last.rec.ops.iter().map(|(s, _, _)| s + 1).max();
+            // A fully torn record still advances nothing; walk back through
+            // earlier records for the exec-seq floor.
+            let seq = seq
+                .or_else(|| {
+                    self.records
+                        .iter()
+                        .rev()
+                        .find_map(|r| r.rec.ops.iter().map(|(s, _, _)| s + 1).max())
+                })
+                .unwrap_or_else(|| self.checkpoint.as_ref().map_or(0, |c| c.next_exec_seq));
+            (floor, seq)
+        } else if let Some(cp) = &self.checkpoint {
+            (cp.txn_floor, cp.next_exec_seq)
+        } else {
+            (0, 0)
+        }
+    }
+}
+
+impl<A: Adt> LogBackend<A> for MemBackend<A> {
+    fn append_commit(&mut self, rec: &CommitRecord<A>) {
+        self.records.push(StoredRecord { op_count: rec.ops.len(), rec: rec.clone() });
+    }
+
+    fn write_checkpoint(&mut self, img: &CheckpointImage<A>) -> u64 {
+        self.checkpoint = Some(img.clone());
+        self.records.clear();
+        self.stats.checkpoints += 1;
+        0
+    }
+
+    fn crash(&mut self) {
+        // The struct is the stable store; commit already "fsynced" by
+        // returning. Nothing volatile to lose.
+    }
+
+    fn recover(&mut self, policy: TailPolicy) -> Result<RecoveredLog<A>, StoreFailure> {
+        let mut report = ScanReport {
+            segments: 1,
+            frames: self.records.len() as u64 + self.checkpoint.is_some() as u64,
+            sectors: 0,
+            detections: Vec::new(),
+            damage: "clean",
+        };
+        if let Some(last) = self.records.last() {
+            if last.rec.ops.len() < last.op_count {
+                let idx = self.records.len() - 1;
+                report.detections.push(Detection::TornFrame { sector: idx as u64 });
+                report.damage = "torn-tail";
+                self.stats.sector_tears += 1;
+                match policy {
+                    TailPolicy::Strict => {
+                        return Err(StoreFailure {
+                            report,
+                            kind: StoreFailureKind::Torn {
+                                record: idx,
+                                expected: last.op_count,
+                                found: last.rec.ops.len(),
+                            },
+                        });
+                    }
+                    TailPolicy::DiscardTail => {
+                        self.records.pop();
+                        report.frames -= 1;
+                    }
+                }
+            }
+        }
+        self.stats.recoveries += 1;
+        let (txn_floor, next_exec_seq) = self.floors();
+        Ok(RecoveredLog {
+            checkpoint: self.checkpoint.clone(),
+            records: self.records.iter().map(|r| r.rec.clone()).collect(),
+            txn_floor,
+            next_exec_seq,
+            stats: self.stats,
+            scan: report,
+        })
+    }
+
+    fn tear_last_flush(&mut self, n: usize) -> bool {
+        let Some(last) = self.records.last_mut() else { return false };
+        if n == 0 || last.rec.ops.is_empty() {
+            return false;
+        }
+        let keep = last.rec.ops.len().saturating_sub(n);
+        last.rec.ops.truncate(keep);
+        true
+    }
+
+    fn reorder_last_flush(&mut self) -> bool {
+        false
+    }
+
+    fn flip_bit(&mut self, _bit: u64) -> bool {
+        false
+    }
+
+    fn repair_flips(&mut self) -> usize {
+        0
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    fn storage_bits(&self) -> u64 {
+        0
+    }
+
+    fn name(&self) -> &'static str {
+        "mem"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccr_adt::bank::{BankAccount, BankInv, BankResp};
+
+    fn dep(amount: u64) -> Op<BankAccount> {
+        Op::new(BankInv::Deposit(amount), BankResp::Ok)
+    }
+
+    fn rec(floor: u32, ops: Vec<(u64, ObjectId, Op<BankAccount>)>) -> CommitRecord<BankAccount> {
+        CommitRecord { floor, ops }
+    }
+
+    #[test]
+    fn mem_round_trip_and_floor_from_log() {
+        let mut b = MemBackend::<BankAccount>::new();
+        b.append_commit(&rec(1, vec![(0, ObjectId(0), dep(5))]));
+        b.append_commit(&rec(2, vec![(1, ObjectId(0), dep(3)), (2, ObjectId(0), dep(4))]));
+        b.crash();
+        let out = b.recover(TailPolicy::Strict).unwrap();
+        assert_eq!(out.records.len(), 2);
+        assert_eq!(out.txn_floor, 2);
+        assert_eq!(out.next_exec_seq, 3);
+        assert_eq!(out.stats.recoveries, 1);
+        assert_eq!(out.scan.damage, "clean");
+    }
+
+    #[test]
+    fn mem_tear_matches_the_legacy_failure_shape() {
+        let mut b = MemBackend::<BankAccount>::new();
+        b.append_commit(&rec(1, vec![(0, ObjectId(0), dep(5))]));
+        b.append_commit(&rec(2, vec![(1, ObjectId(0), dep(3)), (2, ObjectId(0), dep(4))]));
+        assert!(b.tear_last_flush(1));
+        b.crash();
+        let err = b.recover(TailPolicy::Strict).unwrap_err();
+        assert_eq!(err.kind, StoreFailureKind::Torn { record: 1, expected: 2, found: 1 });
+        assert_eq!(err.report.damage, "torn-tail");
+        let out = b.recover(TailPolicy::DiscardTail).unwrap();
+        assert_eq!(out.records.len(), 1);
+        assert_eq!(out.stats.sector_tears, 2); // one detection per scan
+        assert_eq!(out.txn_floor, 1);
+    }
+
+    #[test]
+    fn checkpoint_clears_records_and_keeps_floors() {
+        let mut b = MemBackend::<BankAccount>::new();
+        b.append_commit(&rec(3, vec![(0, ObjectId(0), dep(5))]));
+        b.write_checkpoint(&CheckpointImage {
+            base_records: 1,
+            txn_floor: 3,
+            next_exec_seq: 1,
+            states: vec![(ObjectId(0), 5u64)],
+        });
+        let out = b.recover(TailPolicy::Strict).unwrap();
+        assert!(out.records.is_empty());
+        assert_eq!(out.checkpoint.as_ref().unwrap().states, vec![(ObjectId(0), 5)]);
+        assert_eq!(out.txn_floor, 3);
+        assert_eq!(out.next_exec_seq, 1);
+        assert_eq!(out.stats.checkpoints, 1);
+    }
+
+    #[test]
+    fn uip_and_du_replays_agree_on_serializable_logs() {
+        let adt = BankAccount::default();
+        let base: BTreeMap<ObjectId, u64> =
+            [(ObjectId(0), 0u64), (ObjectId(1), 0u64)].into_iter().collect();
+        // Two transactions with interleaved execution (seq 0..3) committing
+        // in order: UIP replays by seq, DU by commit; both end at the same
+        // states because deposits commute.
+        let records = vec![
+            rec(1, vec![(0, ObjectId(0), dep(5)), (2, ObjectId(1), dep(1))]),
+            rec(2, vec![(1, ObjectId(0), dep(3)), (3, ObjectId(1), dep(2))]),
+        ];
+        let uip = replay_uip(&adt, &base, &records).unwrap();
+        let du = replay_du(&adt, &base, &records).unwrap();
+        assert_eq!(uip, du);
+        assert_eq!(uip[&ObjectId(0)], 8);
+        assert_eq!(uip[&ObjectId(1)], 3);
+    }
+
+    #[test]
+    fn replay_refuses_an_illegal_operation() {
+        let adt = BankAccount::default();
+        let base: BTreeMap<ObjectId, u64> = [(ObjectId(0), 0u64)].into_iter().collect();
+        let bad = rec(1, vec![(0, ObjectId(0), Op::new(BankInv::Withdraw(5), BankResp::Ok))]);
+        assert!(replay_uip(&adt, &base, &[bad.clone()]).is_none());
+        assert!(replay_du(&adt, &base, &[bad]).is_none());
+    }
+}

@@ -1,0 +1,338 @@
+//! Byte codec for durable records, plus the CRC32 integrity check.
+//!
+//! The container has no crates.io access, so serialization is hand-rolled: a
+//! minimal [`Persist`] trait (fixed-endian, length-prefixed, no schema
+//! evolution — the log format is versioned by the frame magic instead) with
+//! implementations for the primitive types the WAL persists and for the ADT
+//! payload types of the workloads that run on the durable stack
+//! ([`ccr_adt::bank`], [`ccr_adt::escrow`]).
+//!
+//! The CRC is the IEEE 802.3 polynomial (the one `crc32fast` implements),
+//! table-driven and computed over the *entire sector-aligned frame extent*
+//! including zero padding — so any single-bit flip anywhere inside a frame's
+//! sectors, padding included, changes the checksum (satellite: corruption
+//! exhaustion).
+
+use ccr_core::adt::{Adt, Op};
+use ccr_core::ids::{ObjectId, TxnId};
+
+/// IEEE CRC32 lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// IEEE CRC32 of `data` (same polynomial and pre/post-conditioning as
+/// `crc32fast` / zlib).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Fixed-endian byte serialization for durable records.
+///
+/// `decode` consumes from `buf` at `*pos`, advancing it past the value;
+/// `None` means the bytes are structurally invalid (truncated or a bad tag).
+/// Structural validation is best-effort — the WAL's CRC is the integrity
+/// authority; `decode` only needs to never panic on arbitrary bytes.
+pub trait Persist: Sized {
+    /// Append this value's byte form to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Parse one value from `buf` at `*pos`, advancing the cursor.
+    fn decode(buf: &[u8], pos: &mut usize) -> Option<Self>;
+}
+
+fn take<'a>(buf: &'a [u8], pos: &mut usize, n: usize) -> Option<&'a [u8]> {
+    let end = pos.checked_add(n)?;
+    if end > buf.len() {
+        return None;
+    }
+    let s = &buf[*pos..end];
+    *pos = end;
+    Some(s)
+}
+
+impl Persist for u8 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self);
+    }
+
+    fn decode(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        take(buf, pos, 1).map(|b| b[0])
+    }
+}
+
+impl Persist for u32 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+
+    fn decode(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        take(buf, pos, 4).map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+}
+
+impl Persist for u64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+
+    fn decode(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        take(buf, pos, 8).map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+}
+
+impl Persist for ObjectId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+
+    fn decode(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        u32::decode(buf, pos).map(ObjectId)
+    }
+}
+
+impl Persist for TxnId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+
+    fn decode(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        u32::decode(buf, pos).map(TxnId)
+    }
+}
+
+impl<T: Persist> Persist for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+
+    fn decode(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        let n = u32::decode(buf, pos)? as usize;
+        // Each element takes at least one byte; reject absurd lengths before
+        // allocating (arbitrary corrupt bytes must never OOM the scanner).
+        if n > buf.len().saturating_sub(*pos) {
+            return None;
+        }
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(T::decode(buf, pos)?);
+        }
+        Some(v)
+    }
+}
+
+impl<S: Persist, T: Persist> Persist for (S, T) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+
+    fn decode(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        Some((S::decode(buf, pos)?, T::decode(buf, pos)?))
+    }
+}
+
+impl<S: Persist, T: Persist, U: Persist> Persist for (S, T, U) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+        self.2.encode(out);
+    }
+
+    fn decode(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        Some((S::decode(buf, pos)?, T::decode(buf, pos)?, U::decode(buf, pos)?))
+    }
+}
+
+impl<A> Persist for Op<A>
+where
+    A: Adt,
+    A::Invocation: Persist,
+    A::Response: Persist,
+{
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.inv.encode(out);
+        self.resp.encode(out);
+    }
+
+    fn decode(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        Some(Op { inv: A::Invocation::decode(buf, pos)?, resp: A::Response::decode(buf, pos)? })
+    }
+}
+
+impl Persist for ccr_adt::bank::BankInv {
+    fn encode(&self, out: &mut Vec<u8>) {
+        use ccr_adt::bank::BankInv::*;
+        match self {
+            Deposit(i) => {
+                out.push(0);
+                i.encode(out);
+            }
+            Withdraw(i) => {
+                out.push(1);
+                i.encode(out);
+            }
+            Balance => out.push(2),
+        }
+    }
+
+    fn decode(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        use ccr_adt::bank::BankInv::*;
+        match u8::decode(buf, pos)? {
+            0 => Some(Deposit(u64::decode(buf, pos)?)),
+            1 => Some(Withdraw(u64::decode(buf, pos)?)),
+            2 => Some(Balance),
+            _ => None,
+        }
+    }
+}
+
+impl Persist for ccr_adt::bank::BankResp {
+    fn encode(&self, out: &mut Vec<u8>) {
+        use ccr_adt::bank::BankResp::*;
+        match self {
+            Ok => out.push(0),
+            No => out.push(1),
+            Val(i) => {
+                out.push(2);
+                i.encode(out);
+            }
+        }
+    }
+
+    fn decode(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        use ccr_adt::bank::BankResp::*;
+        match u8::decode(buf, pos)? {
+            0 => Some(Ok),
+            1 => Some(No),
+            2 => Some(Val(u64::decode(buf, pos)?)),
+            _ => None,
+        }
+    }
+}
+
+impl Persist for ccr_adt::escrow::EscrowInv {
+    fn encode(&self, out: &mut Vec<u8>) {
+        use ccr_adt::escrow::EscrowInv::*;
+        match self {
+            Credit(i) => {
+                out.push(0);
+                i.encode(out);
+            }
+            Debit(i) => {
+                out.push(1);
+                i.encode(out);
+            }
+        }
+    }
+
+    fn decode(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        use ccr_adt::escrow::EscrowInv::*;
+        match u8::decode(buf, pos)? {
+            0 => Some(Credit(u64::decode(buf, pos)?)),
+            1 => Some(Debit(u64::decode(buf, pos)?)),
+            _ => None,
+        }
+    }
+}
+
+impl Persist for ccr_adt::escrow::EscrowResp {
+    fn encode(&self, out: &mut Vec<u8>) {
+        use ccr_adt::escrow::EscrowResp::*;
+        match self {
+            Ok => out.push(0),
+            No => out.push(1),
+        }
+    }
+
+    fn decode(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        use ccr_adt::escrow::EscrowResp::*;
+        match u8::decode(buf, pos)? {
+            0 => Some(Ok),
+            1 => Some(No),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccr_adt::bank::{BankInv, BankResp};
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The IEEE check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"a"), crc32(b"b"));
+    }
+
+    #[test]
+    fn every_bit_flip_changes_the_crc() {
+        let data = b"the impact of recovery on concurrency control".to_vec();
+        let base = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), base, "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        fn rt<T: Persist + PartialEq + std::fmt::Debug>(v: T) {
+            let mut buf = Vec::new();
+            v.encode(&mut buf);
+            let mut pos = 0;
+            assert_eq!(T::decode(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len(), "decode must consume exactly what encode wrote");
+        }
+        rt(0xDEAD_BEEFu32);
+        rt(u64::MAX);
+        rt(ObjectId(7));
+        rt(TxnId(3));
+        rt(vec![1u64, 2, 3]);
+        rt((ObjectId(1), 9u64));
+        rt(BankInv::Deposit(5));
+        rt(BankInv::Withdraw(2));
+        rt(BankInv::Balance);
+        rt(BankResp::Val(11));
+        rt(ccr_adt::escrow::EscrowInv::Debit(4));
+        rt(ccr_adt::escrow::EscrowResp::No);
+    }
+
+    #[test]
+    fn decode_rejects_garbage_without_panicking() {
+        let garbage = [0xFFu8; 16];
+        let mut pos = 0;
+        assert_eq!(BankInv::decode(&garbage, &mut pos), None);
+        let mut pos = 0;
+        // A length prefix larger than the buffer must be rejected, not
+        // allocated.
+        assert_eq!(<Vec<u64>>::decode(&garbage, &mut pos), None);
+        let mut pos = 15;
+        assert_eq!(u64::decode(&garbage, &mut pos), None);
+    }
+}

@@ -1,0 +1,344 @@
+//! `SimDisk`: a deterministic virtual block device with sector-level fault
+//! injection.
+//!
+//! The disk models the failure semantics of a real device under a
+//! write-back cache:
+//!
+//! - Writes land in a volatile *pending* buffer; nothing is durable until
+//!   [`SimDisk::flush`] (the fsync analogue) moves pending sectors to the
+//!   durable map.
+//! - [`SimDisk::crash`] drops the pending buffer — un-fsynced data is lost,
+//!   fsynced data survives. Crash is idempotent.
+//! - Faults are *armed* on the disk ahead of time and fire at the next
+//!   matching operation, so the caller (the fault simulator) decides *what*
+//!   happens and the disk decides *where* in the byte stream it lands:
+//!   - [`SimDisk::tear_last_flush`]: retroactively shortens the most recent
+//!     flush to its first `keep` sectors, modeling a torn multi-sector
+//!     write that straddled the crash.
+//!   - [`SimDisk::reorder_last_flush`]: retroactively drops the *first*
+//!     sector of the most recent multi-sector flush while keeping the rest,
+//!     modeling the device persisting queued sectors out of order before
+//!     power loss.
+//!   - [`SimDisk::flip_bit`]: flips one bit of durable data, modeling bit
+//!     rot / medium error. Flips are journaled so tests can repair them.
+//!   - [`SimDisk::arm_misdirect`]: the next pending write is redirected by a
+//!     sector delta, modeling a misdirected write (firmware writes good data
+//!     to the wrong LBA).
+//!
+//! Everything is plain `BTreeMap` state iterated in key order, so the same
+//! call sequence always produces the same bytes — the determinism the
+//! simulator's byte-identical-replay acceptance criterion needs.
+
+use std::collections::BTreeMap;
+
+/// Counters for the physical activity of one [`SimDisk`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Sectors made durable by `flush`.
+    pub sectors_flushed: u64,
+    /// `flush` calls that had at least one pending sector.
+    pub flushes: u64,
+    /// `crash` calls that discarded at least one pending sector.
+    pub lossy_crashes: u64,
+    /// Sectors dropped by `tear_last_flush`.
+    pub torn_sectors: u64,
+    /// Sectors dropped by `reorder_last_flush`.
+    pub reordered_sectors: u64,
+    /// Bits flipped by `flip_bit`.
+    pub flipped_bits: u64,
+    /// Writes redirected by an armed misdirect.
+    pub misdirected_writes: u64,
+}
+
+/// A deterministic simulated block device. See the module docs for the fault
+/// model.
+#[derive(Debug)]
+pub struct SimDisk {
+    sector: usize,
+    /// Durable sectors, by sector index. Absent means never written (reads
+    /// as zeroes).
+    durable: BTreeMap<u64, Vec<u8>>,
+    /// Written but not yet flushed, in write order.
+    pending: Vec<(u64, Vec<u8>)>,
+    /// Sector indices made durable by the most recent flush, in write order.
+    last_flush: Vec<u64>,
+    /// Journal of applied bit flips `(sector, byte, mask)` so tests can
+    /// repair the medium.
+    flips: Vec<(u64, usize, u8)>,
+    /// Sector delta applied to the next write, then cleared.
+    misdirect: Option<i64>,
+    stats: DiskStats,
+}
+
+impl SimDisk {
+    /// A new empty disk with the given sector size in bytes.
+    pub fn new(sector: usize) -> Self {
+        assert!(sector > 0, "sector size must be positive");
+        SimDisk {
+            sector,
+            durable: BTreeMap::new(),
+            pending: Vec::new(),
+            last_flush: Vec::new(),
+            flips: Vec::new(),
+            misdirect: None,
+            stats: DiskStats::default(),
+        }
+    }
+
+    /// Sector size in bytes.
+    pub fn sector_size(&self) -> usize {
+        self.sector
+    }
+
+    pub fn stats(&self) -> &DiskStats {
+        &self.stats
+    }
+
+    /// Queue a write of `data` starting at `sector` (volatile until
+    /// [`flush`](Self::flush)). `data` must be a whole number of sectors.
+    pub fn write(&mut self, sector: u64, data: &[u8]) {
+        assert!(
+            data.len().is_multiple_of(self.sector) && !data.is_empty(),
+            "writes must cover whole sectors (got {} bytes, sector {})",
+            data.len(),
+            self.sector
+        );
+        let base = match self.misdirect.take() {
+            Some(delta) => {
+                self.stats.misdirected_writes += 1;
+                sector.wrapping_add_signed(delta)
+            }
+            None => sector,
+        };
+        for (i, chunk) in data.chunks(self.sector).enumerate() {
+            self.pending.push((base + i as u64, chunk.to_vec()));
+        }
+    }
+
+    /// Make all pending writes durable, in write order. Returns the number
+    /// of sectors persisted.
+    pub fn flush(&mut self) -> usize {
+        if self.pending.is_empty() {
+            return 0;
+        }
+        self.last_flush.clear();
+        let pending = std::mem::take(&mut self.pending);
+        let n = pending.len();
+        for (idx, bytes) in pending {
+            self.durable.insert(idx, bytes);
+            self.last_flush.push(idx);
+        }
+        self.stats.sectors_flushed += n as u64;
+        self.stats.flushes += 1;
+        n
+    }
+
+    /// Drop all un-flushed writes (power loss). Idempotent.
+    pub fn crash(&mut self) {
+        if !self.pending.is_empty() {
+            self.stats.lossy_crashes += 1;
+        }
+        self.pending.clear();
+        self.misdirect = None;
+    }
+
+    /// Read one sector; `None` if it was never written.
+    /// Reads see only durable data — the pending buffer is the device
+    /// cache, and the recovery scanner runs strictly post-crash.
+    pub fn read(&self, sector: u64) -> Option<&[u8]> {
+        self.durable.get(&sector).map(Vec::as_slice)
+    }
+
+    /// Sectors persisted by the most recent flush.
+    pub fn last_flush_len(&self) -> usize {
+        self.last_flush.len()
+    }
+
+    /// Indices of all durable sectors, ascending.
+    pub fn durable_sectors(&self) -> impl Iterator<Item = u64> + '_ {
+        self.durable.keys().copied()
+    }
+
+    /// Total durable bits on the medium (the bit-flip address space).
+    pub fn durable_bits(&self) -> u64 {
+        self.durable.values().map(|v| v.len() as u64 * 8).sum()
+    }
+
+    /// Delete a durable sector (used by log truncation and tail discard).
+    pub fn delete(&mut self, sector: u64) -> bool {
+        self.durable.remove(&sector).is_some()
+    }
+
+    /// Retroactively shorten the most recent flush to its first `keep`
+    /// sectors, as if the crash interrupted the physical write. Returns
+    /// `false` (no effect) when the last flush had ≤ `keep` sectors —
+    /// nothing to tear.
+    pub fn tear_last_flush(&mut self, keep: usize) -> bool {
+        if self.last_flush.len() <= keep {
+            return false;
+        }
+        for &idx in &self.last_flush[keep..] {
+            self.durable.remove(&idx);
+            self.stats.torn_sectors += 1;
+        }
+        self.last_flush.truncate(keep);
+        true
+    }
+
+    /// Retroactively drop the *first* sector of the most recent flush while
+    /// keeping the later ones, as if the device persisted its queue out of
+    /// order and lost power before the head sector landed. Returns `false`
+    /// when the last flush had < 2 sectors (reordering is unobservable).
+    pub fn reorder_last_flush(&mut self) -> bool {
+        if self.last_flush.len() < 2 {
+            return false;
+        }
+        let first = self.last_flush.remove(0);
+        self.durable.remove(&first);
+        self.stats.reordered_sectors += 1;
+        true
+    }
+
+    /// Flip one durable bit. `bit` is reduced modulo the total durable bit
+    /// count and located by iterating durable sectors in key order, so the
+    /// same `bit` always hits the same stored byte for the same disk image.
+    /// Returns `false` when the disk holds no durable data.
+    pub fn flip_bit(&mut self, bit: u64) -> bool {
+        let total = self.durable_bits();
+        if total == 0 {
+            return false;
+        }
+        let mut target = bit % total;
+        for (&idx, bytes) in self.durable.iter_mut() {
+            let here = bytes.len() as u64 * 8;
+            if target < here {
+                let byte = (target / 8) as usize;
+                let mask = 1u8 << (target % 8);
+                bytes[byte] ^= mask;
+                self.flips.push((idx, byte, mask));
+                self.stats.flipped_bits += 1;
+                return true;
+            }
+            target -= here;
+        }
+        unreachable!("target bit within durable_bits() total");
+    }
+
+    /// Undo every flip applied by [`flip_bit`](Self::flip_bit) whose sector
+    /// still exists. Returns the number of repairs.
+    pub fn unflip_all(&mut self) -> usize {
+        let flips = std::mem::take(&mut self.flips);
+        let mut repaired = 0;
+        for (idx, byte, mask) in flips {
+            if let Some(bytes) = self.durable.get_mut(&idx) {
+                if byte < bytes.len() {
+                    bytes[byte] ^= mask;
+                    repaired += 1;
+                }
+            }
+        }
+        repaired
+    }
+
+    /// Redirect the next write by `delta` sectors.
+    pub fn arm_misdirect(&mut self, delta: i64) {
+        self.misdirect = Some(delta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sec(fill: u8, n: usize) -> Vec<u8> {
+        vec![fill; n]
+    }
+
+    #[test]
+    fn unflushed_writes_die_in_a_crash() {
+        let mut d = SimDisk::new(8);
+        d.write(0, &sec(1, 8));
+        d.flush();
+        d.write(1, &sec(2, 8));
+        d.crash();
+        d.crash(); // idempotent
+        assert_eq!(d.read(0), Some(sec(1, 8).as_slice()));
+        assert_eq!(d.read(1), None);
+        assert_eq!(d.stats().lossy_crashes, 1);
+    }
+
+    #[test]
+    fn tear_keeps_a_prefix_of_the_last_flush() {
+        let mut d = SimDisk::new(8);
+        d.write(0, &[sec(1, 8), sec(2, 8), sec(3, 8)].concat());
+        d.flush();
+        assert!(d.tear_last_flush(1));
+        assert_eq!(d.read(0), Some(sec(1, 8).as_slice()));
+        assert_eq!(d.read(1), None);
+        assert_eq!(d.read(2), None);
+        assert_eq!(d.stats().torn_sectors, 2);
+        // A single-sector flush can't be torn down to one sector.
+        d.write(5, &sec(9, 8));
+        d.flush();
+        assert!(!d.tear_last_flush(1));
+    }
+
+    #[test]
+    fn reorder_drops_the_head_sector_only() {
+        let mut d = SimDisk::new(8);
+        d.write(0, &[sec(1, 8), sec(2, 8)].concat());
+        d.flush();
+        assert!(d.reorder_last_flush());
+        assert_eq!(d.read(0), None);
+        assert_eq!(d.read(1), Some(sec(2, 8).as_slice()));
+        // Single-sector flushes can't reorder.
+        d.write(4, &sec(7, 8));
+        d.flush();
+        assert!(!d.reorder_last_flush());
+    }
+
+    #[test]
+    fn flips_are_deterministic_and_repairable() {
+        let mut d = SimDisk::new(4);
+        d.write(0, &[sec(0, 4), sec(0xFF, 4)].concat());
+        d.flush();
+        assert_eq!(d.durable_bits(), 64);
+        assert!(d.flip_bit(3));
+        assert!(d.flip_bit(3 + 64)); // wraps to the same bit → flips back
+        assert_eq!(d.read(0), Some(sec(0, 4).as_slice()));
+        assert!(d.flip_bit(35)); // second sector, byte 0, bit 3
+        assert_eq!(d.read(1).unwrap()[0], 0xFF ^ 0x08);
+        assert_eq!(d.unflip_all(), 3);
+        assert_eq!(d.read(1), Some(sec(0xFF, 4).as_slice()));
+        let empty = &mut SimDisk::new(4);
+        assert!(!empty.flip_bit(0));
+    }
+
+    #[test]
+    fn misdirect_redirects_exactly_one_write() {
+        let mut d = SimDisk::new(8);
+        d.arm_misdirect(3);
+        d.write(0, &sec(1, 8));
+        d.write(1, &sec(2, 8));
+        d.flush();
+        assert_eq!(d.read(0), None);
+        assert_eq!(d.read(3), Some(sec(1, 8).as_slice()));
+        assert_eq!(d.read(1), Some(sec(2, 8).as_slice()));
+        assert_eq!(d.stats().misdirected_writes, 1);
+    }
+
+    #[test]
+    fn same_operations_same_image() {
+        let run = || {
+            let mut d = SimDisk::new(8);
+            d.write(0, &[sec(1, 8), sec(2, 8), sec(3, 8)].concat());
+            d.flush();
+            d.write(3, &sec(4, 8));
+            d.flush();
+            d.flip_bit(77);
+            d.tear_last_flush(0);
+            d.durable_sectors().map(|s| (s, d.read(s).unwrap().to_vec())).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

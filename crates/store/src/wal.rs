@@ -1,0 +1,1011 @@
+//! Segmented write-ahead log on a [`SimDisk`], with CRC'd frames,
+//! epoch-stamped segment headers, checkpoint truncation, and a recovery
+//! scanner that classifies physical damage.
+//!
+//! # On-disk format
+//!
+//! Every stored object is a **frame**, zero-padded to a whole number of
+//! sectors:
+//!
+//! ```text
+//! magic  u32-le   b"CCRF"
+//! kind   u8       1 = segment header, 2 = commit, 3 = checkpoint
+//! len    u32-le   payload byte length
+//! crc    u32-le   CRC32 of the whole padded frame with this field zeroed
+//! payload[len]
+//! zero padding to a sector multiple
+//! ```
+//!
+//! The CRC covers the padding, so *every durable bit* of the log belongs to
+//! exactly one frame's checked extent — any single-bit flip is detectable.
+//!
+//! The log is an array of fixed-size **segments** (`seg_sectors` sectors).
+//! Sector 0 of each segment holds a segment-header frame carrying the
+//! recovery epoch, the segment index, a `requires_checkpoint` flag (set once
+//! truncation has ever deleted a segment — after that, a scan that finds no
+//! valid checkpoint must refuse rather than silently start cold), the
+//! transaction-id / exec-seq floors, and the durable [`StoreStats`]
+//! counters. The header is rewritten in place at segment creation, at every
+//! checkpoint, and at every successful recovery (with the epoch bumped).
+//!
+//! # Recovery state machine
+//!
+//! The scanner walks candidate segments (every distinct durable
+//! `sector / seg_sectors`) in order, validates the header, then walks
+//! sector-aligned frame positions. At each position:
+//!
+//! * absent sector → candidate log end. All later sectors of the segment
+//!   must also be absent: a clean roll or clean tail leaves no data after
+//!   the end. Data after a hole is the signature of a reordered flush
+//!   ([`Detection::MissingData`]).
+//! * frame extends into absent sectors → torn write
+//!   ([`Detection::TornFrame`]).
+//! * structurally complete frame with bad magic/len/CRC → bit rot
+//!   ([`Detection::CrcMismatch`]).
+//!
+//! On damage the scanner probes every later frame position; a valid frame
+//! *after* the damage point upgrades the classification to interior
+//! corruption ([`Detection::InteriorFrame`]), which no policy may discard.
+//! Otherwise the damage is a torn tail: [`TailPolicy::Strict`] refuses and
+//! [`TailPolicy::DiscardTail`] deletes the damaged suffix and recovers the
+//! valid prefix. The newest valid checkpoint becomes the replay base;
+//! commit frames after it are returned in commit order.
+
+use std::marker::PhantomData;
+
+use ccr_core::adt::Adt;
+
+use crate::backend::{
+    CheckpointImage, CommitRecord, Detection, LogBackend, RecoveredLog, ScanReport, StoreFailure,
+    StoreFailureKind, StoreStats, TailPolicy,
+};
+use crate::codec::{crc32, Persist};
+use crate::disk::SimDisk;
+
+/// Geometry of the simulated log device.
+///
+/// The defaults are deliberately tiny — 32-byte sectors make a one-operation
+/// commit span two sectors (so torn writes are expressible), and 64-sector
+/// segments make rolls and checkpoint truncation fire in small tests.
+#[derive(Clone, Copy, Debug)]
+pub struct WalConfig {
+    /// Sector size in bytes.
+    pub sector: usize,
+    /// Sectors per log segment.
+    pub seg_sectors: u64,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        WalConfig { sector: 32, seg_sectors: 64 }
+    }
+}
+
+const MAGIC: u32 = u32::from_le_bytes(*b"CCRF");
+const KIND_SEG_HEADER: u8 = 1;
+const KIND_COMMIT: u8 = 2;
+const KIND_CHECKPOINT: u8 = 3;
+/// magic(4) + kind(1) + len(4) + crc(4).
+const FRAME_OVERHEAD: usize = 13;
+/// epoch(8) + seg_index(8) + requires_checkpoint(1) + txn_floor(4) +
+/// next_exec_seq(8) + five `StoreStats` counters (40).
+const HEADER_PAYLOAD: usize = 69;
+
+fn build_frame(kind: u8, payload: &[u8], sector: usize) -> Vec<u8> {
+    let total = (FRAME_OVERHEAD + payload.len()).div_ceil(sector) * sector;
+    let mut buf = Vec::with_capacity(total);
+    buf.extend_from_slice(&MAGIC.to_le_bytes());
+    buf.push(kind);
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&[0u8; 4]);
+    buf.extend_from_slice(payload);
+    buf.resize(total, 0);
+    let crc = crc32(&buf);
+    buf[9..13].copy_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+/// What one frame position holds.
+enum FrameRead {
+    /// No durable data at this position.
+    Absent,
+    /// A frame starts here but extends into absent sectors.
+    Torn {
+        expected: usize,
+        found: usize,
+    },
+    /// Durable data that is not a valid frame (bad magic, insane length, or
+    /// CRC mismatch).
+    Corrupt,
+    Valid {
+        kind: u8,
+        payload: Vec<u8>,
+        sectors: u64,
+    },
+}
+
+fn read_frame(disk: &SimDisk, cfg: &WalConfig, pos: u64, seg_end: u64) -> FrameRead {
+    let Some(first) = disk.read(pos) else { return FrameRead::Absent };
+    if first.len() < FRAME_OVERHEAD {
+        return FrameRead::Corrupt;
+    }
+    let magic = u32::from_le_bytes(first[0..4].try_into().expect("4 bytes"));
+    if magic != MAGIC {
+        return FrameRead::Corrupt;
+    }
+    let kind = first[4];
+    if !(KIND_SEG_HEADER..=KIND_CHECKPOINT).contains(&kind) {
+        return FrameRead::Corrupt;
+    }
+    let len = u32::from_le_bytes(first[5..9].try_into().expect("4 bytes")) as usize;
+    let Some(total) = FRAME_OVERHEAD.checked_add(len) else { return FrameRead::Corrupt };
+    let sectors = total.div_ceil(cfg.sector) as u64;
+    if pos + sectors > seg_end {
+        // The claimed length runs past the segment — a flipped length field.
+        return FrameRead::Corrupt;
+    }
+    let mut buf = Vec::with_capacity(sectors as usize * cfg.sector);
+    for (i, s) in (pos..pos + sectors).enumerate() {
+        match disk.read(s) {
+            Some(bytes) => buf.extend_from_slice(bytes),
+            None => return FrameRead::Torn { expected: sectors as usize, found: i },
+        }
+    }
+    let stored = u32::from_le_bytes(buf[9..13].try_into().expect("4 bytes"));
+    buf[9..13].fill(0);
+    if crc32(&buf) != stored {
+        return FrameRead::Corrupt;
+    }
+    FrameRead::Valid { kind, payload: buf[FRAME_OVERHEAD..FRAME_OVERHEAD + len].to_vec(), sectors }
+}
+
+/// Decoded segment-header payload.
+#[derive(Clone, Copy, Debug, Default)]
+struct SegHeader {
+    epoch: u64,
+    seg_index: u64,
+    requires_checkpoint: bool,
+    txn_floor: u32,
+    next_exec_seq: u64,
+    stats: StoreStats,
+}
+
+impl SegHeader {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_PAYLOAD);
+        self.epoch.encode(&mut out);
+        self.seg_index.encode(&mut out);
+        (self.requires_checkpoint as u8).encode(&mut out);
+        self.txn_floor.encode(&mut out);
+        self.next_exec_seq.encode(&mut out);
+        self.stats.checkpoints.encode(&mut out);
+        self.stats.recoveries.encode(&mut out);
+        self.stats.sector_tears.encode(&mut out);
+        self.stats.reordered_flushes.encode(&mut out);
+        self.stats.bitflips_detected.encode(&mut out);
+        debug_assert_eq!(out.len(), HEADER_PAYLOAD);
+        out
+    }
+
+    fn decode(payload: &[u8]) -> Option<SegHeader> {
+        let mut pos = 0;
+        let h = SegHeader {
+            epoch: u64::decode(payload, &mut pos)?,
+            seg_index: u64::decode(payload, &mut pos)?,
+            requires_checkpoint: u8::decode(payload, &mut pos)? != 0,
+            txn_floor: u32::decode(payload, &mut pos)?,
+            next_exec_seq: u64::decode(payload, &mut pos)?,
+            stats: StoreStats {
+                checkpoints: u64::decode(payload, &mut pos)?,
+                recoveries: u64::decode(payload, &mut pos)?,
+                sector_tears: u64::decode(payload, &mut pos)?,
+                reordered_flushes: u64::decode(payload, &mut pos)?,
+                bitflips_detected: u64::decode(payload, &mut pos)?,
+            },
+        };
+        (pos == payload.len()).then_some(h)
+    }
+}
+
+fn encode_commit<A>(rec: &CommitRecord<A>) -> Vec<u8>
+where
+    A: Adt,
+    A::Invocation: Persist,
+    A::Response: Persist,
+{
+    let mut out = Vec::new();
+    rec.floor.encode(&mut out);
+    rec.ops.encode(&mut out);
+    out
+}
+
+fn decode_commit<A>(payload: &[u8]) -> Option<CommitRecord<A>>
+where
+    A: Adt,
+    A::Invocation: Persist,
+    A::Response: Persist,
+{
+    let mut pos = 0;
+    let rec = CommitRecord {
+        floor: u32::decode(payload, &mut pos)?,
+        ops: Persist::decode(payload, &mut pos)?,
+    };
+    (pos == payload.len()).then_some(rec)
+}
+
+fn encode_checkpoint<A>(img: &CheckpointImage<A>) -> Vec<u8>
+where
+    A: Adt,
+    A::State: Persist,
+{
+    let mut out = Vec::new();
+    img.base_records.encode(&mut out);
+    img.txn_floor.encode(&mut out);
+    img.next_exec_seq.encode(&mut out);
+    img.states.encode(&mut out);
+    out
+}
+
+fn decode_checkpoint<A>(payload: &[u8]) -> Option<CheckpointImage<A>>
+where
+    A: Adt,
+    A::State: Persist,
+{
+    let mut pos = 0;
+    let img = CheckpointImage {
+        base_records: u64::decode(payload, &mut pos)?,
+        txn_floor: u32::decode(payload, &mut pos)?,
+        next_exec_seq: u64::decode(payload, &mut pos)?,
+        states: Persist::decode(payload, &mut pos)?,
+    };
+    (pos == payload.len()).then_some(img)
+}
+
+/// The durable WAL backend: a segmented CRC'd log on a [`SimDisk`].
+#[derive(Debug)]
+pub struct WalBackend<A: Adt> {
+    disk: SimDisk,
+    cfg: WalConfig,
+    epoch: u64,
+    /// Current segment index.
+    seg: u64,
+    /// Next free sector *within* the current segment.
+    head: u64,
+    requires_checkpoint: bool,
+    txn_floor: u32,
+    next_exec_seq: u64,
+    /// In-process view of the durable counters (what the last header write
+    /// persisted, plus activity since). Wiped by `crash` and rebuilt from
+    /// the log by `recover` — process memory is not stable storage.
+    stats: StoreStats,
+    /// Detections accumulated by scans since the last crash, folded into
+    /// `stats` (and persisted) at the next successful recovery.
+    detected: StoreStats,
+    /// Whether the most recent flush was a commit append. Header and
+    /// checkpoint flushes are synchronous fsyncs the caller waited on, so
+    /// tear / reorder faults (which model an interrupted flush) do not
+    /// apply to them.
+    tearable: bool,
+    _marker: PhantomData<fn() -> A>,
+}
+
+impl<A> WalBackend<A>
+where
+    A: Adt,
+    A::Invocation: Persist,
+    A::Response: Persist,
+    A::State: Persist,
+{
+    pub fn new(cfg: WalConfig) -> Self {
+        let header_sectors = (FRAME_OVERHEAD + HEADER_PAYLOAD).div_ceil(cfg.sector) as u64;
+        assert!(
+            cfg.seg_sectors > header_sectors,
+            "segment must have room for data after its header"
+        );
+        let mut wal = WalBackend {
+            disk: SimDisk::new(cfg.sector),
+            cfg,
+            epoch: 0,
+            seg: 0,
+            head: header_sectors,
+            requires_checkpoint: false,
+            txn_floor: 0,
+            next_exec_seq: 0,
+            stats: StoreStats::default(),
+            detected: StoreStats::default(),
+            tearable: false,
+            _marker: PhantomData,
+        };
+        wal.write_header();
+        wal
+    }
+
+    /// Direct access to the underlying device, for fault-injection tests
+    /// that target the disk itself (e.g. misdirected writes).
+    pub fn disk_mut(&mut self) -> &mut SimDisk {
+        &mut self.disk
+    }
+
+    pub fn config(&self) -> WalConfig {
+        self.cfg
+    }
+
+    fn header_sectors(&self) -> u64 {
+        (FRAME_OVERHEAD + HEADER_PAYLOAD).div_ceil(self.cfg.sector) as u64
+    }
+
+    fn header(&self) -> SegHeader {
+        SegHeader {
+            epoch: self.epoch,
+            seg_index: self.seg,
+            requires_checkpoint: self.requires_checkpoint,
+            txn_floor: self.txn_floor,
+            next_exec_seq: self.next_exec_seq,
+            stats: self.stats,
+        }
+    }
+
+    /// (Re)write the current segment's header in place and fsync it.
+    fn write_header(&mut self) {
+        let frame = build_frame(KIND_SEG_HEADER, &self.header().encode(), self.cfg.sector);
+        self.disk.write(self.seg * self.cfg.seg_sectors, &frame);
+        self.disk.flush();
+        self.tearable = false;
+    }
+
+    /// Append one frame at the head (rolling to a new segment if it does
+    /// not fit), fsync it, and return whether the flush is tearable.
+    fn append_frame(&mut self, kind: u8, payload: &[u8]) {
+        let frame = build_frame(kind, payload, self.cfg.sector);
+        let sectors = (frame.len() / self.cfg.sector) as u64;
+        assert!(
+            sectors <= self.cfg.seg_sectors - self.header_sectors(),
+            "frame of {sectors} sectors exceeds segment capacity"
+        );
+        if self.head + sectors > self.cfg.seg_sectors {
+            self.seg += 1;
+            self.head = self.header_sectors();
+            self.write_header();
+        }
+        let tearable = kind == KIND_COMMIT;
+        self.disk.write(self.seg * self.cfg.seg_sectors + self.head, &frame);
+        self.disk.flush();
+        self.head += sectors;
+        self.tearable = tearable;
+    }
+
+    /// All sector-aligned frame positions after `pos` that could start a
+    /// frame: the rest of `pos`'s segment, then the whole data area (and
+    /// header) of every later candidate segment.
+    fn probe_for_valid_frame(&self, segs: &[u64], seg_idx: u64, pos: u64) -> Option<u64> {
+        let seg_end = (seg_idx + 1) * self.cfg.seg_sectors;
+        for p in pos + 1..seg_end {
+            if let FrameRead::Valid { .. } = read_frame(&self.disk, &self.cfg, p, seg_end) {
+                return Some(p);
+            }
+        }
+        for &s in segs.iter().filter(|&&s| s > seg_idx) {
+            let base = s * self.cfg.seg_sectors;
+            let end = base + self.cfg.seg_sectors;
+            for p in base..end {
+                if let FrameRead::Valid { .. } = read_frame(&self.disk, &self.cfg, p, end) {
+                    return Some(p);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// A valid frame collected by the scan walk.
+enum ScannedFrame<A: Adt> {
+    Commit(CommitRecord<A>),
+    Checkpoint(CheckpointImage<A>),
+}
+
+impl<A> LogBackend<A> for WalBackend<A>
+where
+    A: Adt,
+    A::Invocation: Persist,
+    A::Response: Persist,
+    A::State: Persist,
+{
+    fn append_commit(&mut self, rec: &CommitRecord<A>) {
+        self.txn_floor = rec.floor;
+        if let Some(max) = rec.ops.iter().map(|(s, _, _)| s + 1).max() {
+            self.next_exec_seq = self.next_exec_seq.max(max);
+        }
+        self.append_frame(KIND_COMMIT, &encode_commit(rec));
+    }
+
+    fn write_checkpoint(&mut self, img: &CheckpointImage<A>) -> u64 {
+        self.txn_floor = img.txn_floor;
+        self.next_exec_seq = img.next_exec_seq;
+        self.append_frame(KIND_CHECKPOINT, &encode_checkpoint(img));
+        // The checkpoint is durable; whole segments before its segment are
+        // now redundant. Truncate them, then persist the flag that makes a
+        // future scan refuse if it cannot find a checkpoint.
+        let cut = self.seg * self.cfg.seg_sectors;
+        let doomed: Vec<u64> = self.disk.durable_sectors().take_while(|&s| s < cut).collect();
+        let mut truncated_segs: Vec<u64> = Vec::new();
+        for s in doomed {
+            self.disk.delete(s);
+            let seg = s / self.cfg.seg_sectors;
+            if truncated_segs.last() != Some(&seg) {
+                truncated_segs.push(seg);
+            }
+        }
+        if !truncated_segs.is_empty() {
+            self.requires_checkpoint = true;
+        }
+        self.stats.checkpoints += 1;
+        self.write_header();
+        truncated_segs.len() as u64
+    }
+
+    fn crash(&mut self) {
+        self.disk.crash();
+        // Process memory is gone: everything below must be re-learned from
+        // the log by `recover`. (The disk object itself *is* the stable
+        // medium, so it survives.)
+        self.epoch = 0;
+        self.seg = 0;
+        self.head = self.header_sectors();
+        self.requires_checkpoint = false;
+        self.txn_floor = 0;
+        self.next_exec_seq = 0;
+        self.stats = StoreStats::default();
+        self.detected = StoreStats::default();
+        self.tearable = false;
+    }
+
+    fn recover(&mut self, policy: TailPolicy) -> Result<RecoveredLog<A>, StoreFailure> {
+        let seg_sectors = self.cfg.seg_sectors;
+        let header_sectors = self.header_sectors();
+        let mut segs: Vec<u64> = self.disk.durable_sectors().map(|s| s / seg_sectors).collect();
+        segs.dedup();
+
+        let mut report = ScanReport {
+            segments: segs.len() as u64,
+            frames: 0,
+            sectors: self.disk.durable_sectors().count() as u64,
+            detections: Vec::new(),
+            damage: "clean",
+        };
+
+        if segs.is_empty() {
+            // Nothing durable at all: cold start on a fresh medium.
+            self.detected.recoveries += 1;
+            self.stats = self.detected;
+            self.detected = StoreStats::default();
+            self.write_header();
+            return Ok(RecoveredLog {
+                checkpoint: None,
+                records: Vec::new(),
+                txn_floor: 0,
+                next_exec_seq: 0,
+                stats: self.stats,
+                scan: report,
+            });
+        }
+
+        let mut governing = SegHeader::default();
+        let mut frames: Vec<ScannedFrame<A>> = Vec::new();
+        // Damage site: (absolute sector, detection, strict failure kind).
+        let mut damage: Option<(u64, Detection, StoreFailureKind)> = None;
+        let mut end = (segs[0], header_sectors);
+
+        'walk: for (i, &seg_idx) in segs.iter().enumerate() {
+            let base = seg_idx * seg_sectors;
+            let seg_end = base + seg_sectors;
+            let last_seg = i + 1 == segs.len();
+
+            match read_frame(&self.disk, &self.cfg, base, seg_end) {
+                FrameRead::Valid { kind: KIND_SEG_HEADER, payload, sectors: _ } => {
+                    match SegHeader::decode(&payload) {
+                        Some(h) => governing = h,
+                        None => {
+                            self.detected.bitflips_detected += 1;
+                            report.detections.push(Detection::CrcMismatch { sector: base });
+                            report.damage = "corrupt-header";
+                            return Err(StoreFailure {
+                                report,
+                                kind: StoreFailureKind::Corrupt { sector: base },
+                            });
+                        }
+                    }
+                    report.frames += 1;
+                }
+                // A segment whose header is damaged is unrecoverable under
+                // any policy: headers are fsynced in place, so a legitimate
+                // crash cannot tear them — only corruption explains this.
+                _ => {
+                    self.detected.bitflips_detected += 1;
+                    report.detections.push(Detection::CrcMismatch { sector: base });
+                    report.damage = "corrupt-header";
+                    return Err(StoreFailure {
+                        report,
+                        kind: StoreFailureKind::Corrupt { sector: base },
+                    });
+                }
+            }
+
+            let mut pos = base + header_sectors;
+            while pos < seg_end {
+                match read_frame(&self.disk, &self.cfg, pos, seg_end) {
+                    FrameRead::Absent => {
+                        // Candidate end of log. A clean tail / clean roll
+                        // leaves nothing after it in this segment; data
+                        // after a hole means the flush persisted out of
+                        // order.
+                        if (pos + 1..seg_end).any(|q| self.disk.read(q).is_some()) {
+                            self.detected.reordered_flushes += 1;
+                            report.detections.push(Detection::MissingData { sector: pos });
+                            damage = Some((
+                                pos,
+                                Detection::MissingData { sector: pos },
+                                StoreFailureKind::Torn {
+                                    record: frames.len(),
+                                    expected: 1,
+                                    found: 0,
+                                },
+                            ));
+                            end = (seg_idx, pos - base);
+                            break 'walk;
+                        }
+                        end = (seg_idx, pos - base);
+                        if last_seg {
+                            break 'walk;
+                        }
+                        // Clean roll: frames continue in the next segment.
+                        break;
+                    }
+                    FrameRead::Valid { kind, payload, sectors } => {
+                        let decoded = match kind {
+                            KIND_COMMIT => decode_commit::<A>(&payload).map(ScannedFrame::Commit),
+                            KIND_CHECKPOINT => {
+                                decode_checkpoint::<A>(&payload).map(ScannedFrame::Checkpoint)
+                            }
+                            // A header frame in the data area: structurally
+                            // valid bytes in the wrong place (misdirected
+                            // write). Treat as corruption.
+                            _ => None,
+                        };
+                        match decoded {
+                            Some(f) => {
+                                frames.push(f);
+                                report.frames += 1;
+                                pos += sectors;
+                                end = (seg_idx, pos - base);
+                            }
+                            None => {
+                                self.detected.bitflips_detected += 1;
+                                report.detections.push(Detection::CrcMismatch { sector: pos });
+                                damage = Some((
+                                    pos,
+                                    Detection::CrcMismatch { sector: pos },
+                                    StoreFailureKind::Corrupt { sector: pos },
+                                ));
+                                end = (seg_idx, pos - base);
+                                break 'walk;
+                            }
+                        }
+                    }
+                    FrameRead::Torn { expected, found } => {
+                        self.detected.sector_tears += 1;
+                        report.detections.push(Detection::TornFrame { sector: pos });
+                        damage = Some((
+                            pos,
+                            Detection::TornFrame { sector: pos },
+                            StoreFailureKind::Torn { record: frames.len(), expected, found },
+                        ));
+                        end = (seg_idx, pos - base);
+                        break 'walk;
+                    }
+                    FrameRead::Corrupt => {
+                        self.detected.bitflips_detected += 1;
+                        report.detections.push(Detection::CrcMismatch { sector: pos });
+                        damage = Some((
+                            pos,
+                            Detection::CrcMismatch { sector: pos },
+                            StoreFailureKind::Corrupt { sector: pos },
+                        ));
+                        end = (seg_idx, pos - base);
+                        break 'walk;
+                    }
+                }
+            }
+        }
+
+        if let Some((at, _, strict_kind)) = damage {
+            let seg_idx = at / seg_sectors;
+            if let Some(p) = self.probe_for_valid_frame(&segs, seg_idx, at) {
+                // Valid data beyond the damage: interior corruption. Tail
+                // discard would lose committed, fsynced records — refuse
+                // under every policy.
+                report.detections.push(Detection::InteriorFrame { sector: p });
+                report.damage = "interior";
+                return Err(StoreFailure {
+                    report,
+                    kind: StoreFailureKind::Corrupt { sector: at },
+                });
+            }
+            report.damage = "torn-tail";
+            match policy {
+                TailPolicy::Strict => {
+                    return Err(StoreFailure { report, kind: strict_kind });
+                }
+                TailPolicy::DiscardTail => {
+                    let doomed: Vec<u64> =
+                        self.disk.durable_sectors().filter(|&s| s >= at).collect();
+                    for s in doomed {
+                        self.disk.delete(s);
+                    }
+                }
+            }
+        }
+
+        // Replay base: the newest valid checkpoint wins; commit frames after
+        // it are the live log suffix.
+        let mut checkpoint: Option<CheckpointImage<A>> = None;
+        let mut records: Vec<CommitRecord<A>> = Vec::new();
+        for f in frames {
+            match f {
+                ScannedFrame::Checkpoint(img) => {
+                    checkpoint = Some(img);
+                    records.clear();
+                }
+                ScannedFrame::Commit(rec) => records.push(rec),
+            }
+        }
+        if governing.requires_checkpoint && checkpoint.is_none() {
+            // Truncation deleted segments that only a checkpoint can stand
+            // in for; without one the log prefix is gone. Starting cold here
+            // would silently drop committed state.
+            report.damage = "missing-checkpoint";
+            let at = end.0 * seg_sectors;
+            return Err(StoreFailure { report, kind: StoreFailureKind::Corrupt { sector: at } });
+        }
+
+        let txn_floor = records
+            .last()
+            .map(|r| r.floor)
+            .or_else(|| checkpoint.as_ref().map(|c| c.txn_floor))
+            .unwrap_or(governing.txn_floor);
+        let next_exec_seq = records
+            .iter()
+            .flat_map(|r| r.ops.iter())
+            .map(|(s, _, _)| s + 1)
+            .max()
+            .or_else(|| checkpoint.as_ref().map(|c| c.next_exec_seq))
+            .unwrap_or(governing.next_exec_seq);
+
+        // Adopt the durable counters from the log, fold in what this
+        // process's scans detected, and persist the updated header with a
+        // bumped epoch — the durable record that a recovery happened.
+        self.epoch = governing.epoch + 1;
+        self.requires_checkpoint = governing.requires_checkpoint;
+        self.txn_floor = txn_floor;
+        self.next_exec_seq = next_exec_seq;
+        self.stats = governing.stats;
+        self.stats.add(&self.detected);
+        self.stats.recoveries += 1;
+        self.detected = StoreStats::default();
+        self.seg = end.0;
+        self.head = end.1;
+        self.write_header();
+
+        Ok(RecoveredLog {
+            checkpoint,
+            records,
+            txn_floor,
+            next_exec_seq,
+            stats: self.stats,
+            scan: report,
+        })
+    }
+
+    fn tear_last_flush(&mut self, n: usize) -> bool {
+        if !self.tearable || n == 0 {
+            return false;
+        }
+        // A torn write still persists some prefix; tearing the whole flush
+        // away is indistinguishable from a plain crash before the write,
+        // which the caller models separately.
+        let len = self.disk.last_flush_len();
+        if n >= len {
+            return false;
+        }
+        let torn = self.disk.tear_last_flush(len - n);
+        if torn {
+            self.tearable = false;
+        }
+        torn
+    }
+
+    fn reorder_last_flush(&mut self) -> bool {
+        if !self.tearable {
+            return false;
+        }
+        if self.disk.reorder_last_flush() {
+            self.tearable = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn flip_bit(&mut self, bit: u64) -> bool {
+        self.disk.flip_bit(bit)
+    }
+
+    fn repair_flips(&mut self) -> usize {
+        self.disk.unflip_all()
+    }
+
+    fn stats(&self) -> StoreStats {
+        let mut s = self.stats;
+        s.add(&self.detected);
+        s
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.disk.durable_bits()
+    }
+
+    fn name(&self) -> &'static str {
+        "disk"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccr_adt::bank::{BankAccount, BankInv, BankResp};
+    use ccr_core::adt::Op;
+    use ccr_core::ids::ObjectId;
+
+    type Wal = WalBackend<BankAccount>;
+
+    fn dep(amount: u64) -> Op<BankAccount> {
+        Op::new(BankInv::Deposit(amount), BankResp::Ok)
+    }
+
+    fn rec(floor: u32, seq0: u64, amounts: &[u64]) -> CommitRecord<BankAccount> {
+        CommitRecord {
+            floor,
+            ops: amounts
+                .iter()
+                .enumerate()
+                .map(|(i, &a)| (seq0 + i as u64, ObjectId(0), dep(a)))
+                .collect(),
+        }
+    }
+
+    fn wal() -> Wal {
+        Wal::new(WalConfig::default())
+    }
+
+    #[test]
+    fn append_crash_recover_round_trips() {
+        let mut w = wal();
+        w.append_commit(&rec(1, 0, &[5]));
+        w.append_commit(&rec(2, 1, &[3, 4]));
+        w.crash();
+        let out = w.recover(TailPolicy::Strict).unwrap();
+        assert_eq!(out.records, vec![rec(1, 0, &[5]), rec(2, 1, &[3, 4])]);
+        assert!(out.checkpoint.is_none());
+        assert_eq!(out.txn_floor, 2);
+        assert_eq!(out.next_exec_seq, 3);
+        assert_eq!(out.stats.recoveries, 1);
+        assert_eq!(out.scan.damage, "clean");
+        assert!(out.scan.detections.is_empty());
+        // A second crash+recover sees the same records and the epoch advance.
+        w.crash();
+        let again = w.recover(TailPolicy::Strict).unwrap();
+        assert_eq!(again.records.len(), 2);
+        assert_eq!(again.stats.recoveries, 2);
+    }
+
+    #[test]
+    fn log_rolls_across_segments() {
+        let mut w = wal();
+        for i in 0..40u32 {
+            w.append_commit(&rec(i + 1, i as u64, &[1]));
+        }
+        assert!(w.seg > 0, "40 two-sector commits must roll a 64-sector segment");
+        w.crash();
+        let out = w.recover(TailPolicy::Strict).unwrap();
+        assert_eq!(out.records.len(), 40);
+        assert_eq!(out.txn_floor, 40);
+        assert!(out.scan.segments > 1);
+    }
+
+    #[test]
+    fn torn_tail_is_refused_by_strict_and_discarded_by_discard_tail() {
+        let mut w = wal();
+        w.append_commit(&rec(1, 0, &[5]));
+        w.append_commit(&rec(2, 1, &[3]));
+        assert!(w.tear_last_flush(1), "a two-sector commit can lose one sector");
+        w.crash();
+        let err = w.recover(TailPolicy::Strict).unwrap_err();
+        assert!(matches!(err.kind, StoreFailureKind::Torn { record: 1, expected: 2, found: 1 }));
+        assert_eq!(err.report.damage, "torn-tail");
+        w.crash();
+        let out = w.recover(TailPolicy::DiscardTail).unwrap();
+        assert_eq!(out.records, vec![rec(1, 0, &[5])]);
+        assert_eq!(out.txn_floor, 1);
+        assert!(out.stats.sector_tears >= 1);
+        // The discarded image is clean now.
+        w.crash();
+        assert_eq!(w.recover(TailPolicy::Strict).unwrap().records.len(), 1);
+    }
+
+    #[test]
+    fn reordered_flush_is_a_discardable_hole() {
+        let mut w = wal();
+        w.append_commit(&rec(1, 0, &[5]));
+        w.append_commit(&rec(2, 1, &[3]));
+        assert!(w.reorder_last_flush(), "a two-sector commit flush can reorder");
+        w.crash();
+        let err = w.recover(TailPolicy::Strict).unwrap_err();
+        assert_eq!(err.report.damage, "torn-tail");
+        assert!(matches!(err.report.detections[0], Detection::MissingData { .. }));
+        let out = w.recover(TailPolicy::DiscardTail).unwrap();
+        assert_eq!(out.records, vec![rec(1, 0, &[5])]);
+        assert_eq!(out.stats.reordered_flushes, 2); // one detection per scan
+    }
+
+    #[test]
+    fn headers_and_checkpoints_are_not_tearable() {
+        let mut w = wal();
+        w.append_commit(&rec(1, 0, &[5]));
+        let truncated = w.write_checkpoint(&CheckpointImage {
+            base_records: 1,
+            txn_floor: 1,
+            next_exec_seq: 1,
+            states: vec![(ObjectId(0), 5u64)],
+        });
+        assert_eq!(truncated, 0, "checkpoint in segment 0 truncates nothing");
+        // Last flush is the header rewrite — not a commit, so storage
+        // tear/reorder faults must degrade.
+        assert!(!w.tear_last_flush(1));
+        assert!(!w.reorder_last_flush());
+    }
+
+    #[test]
+    fn checkpoint_truncates_and_recovery_replays_from_it() {
+        let mut w = wal();
+        for i in 0..40u32 {
+            w.append_commit(&rec(i + 1, i as u64, &[1]));
+        }
+        let seg_before = w.seg;
+        assert!(seg_before > 0);
+        let truncated = w.write_checkpoint(&CheckpointImage {
+            base_records: 40,
+            txn_floor: 40,
+            next_exec_seq: 40,
+            states: vec![(ObjectId(0), 40u64)],
+        });
+        assert!(truncated >= 1, "earlier segments must be reclaimed");
+        w.append_commit(&rec(41, 40, &[2]));
+        w.crash();
+        let out = w.recover(TailPolicy::Strict).unwrap();
+        let cp = out.checkpoint.expect("checkpoint survives");
+        assert_eq!(cp.states, vec![(ObjectId(0), 40u64)]);
+        assert_eq!(cp.base_records, 40);
+        assert_eq!(out.records, vec![rec(41, 40, &[2])]);
+        assert_eq!(out.txn_floor, 41);
+        assert_eq!(out.next_exec_seq, 41);
+        assert_eq!(out.stats.checkpoints, 1);
+    }
+
+    #[test]
+    fn discarding_a_needed_checkpoint_fails_loudly() {
+        let mut w = wal();
+        for i in 0..40u32 {
+            w.append_commit(&rec(i + 1, i as u64, &[1]));
+        }
+        assert!(
+            w.write_checkpoint(&CheckpointImage {
+                base_records: 40,
+                txn_floor: 40,
+                next_exec_seq: 40,
+                states: vec![(ObjectId(0), 40u64)],
+            }) >= 1
+        );
+        // Simulate losing the checkpoint frame itself: delete every data
+        // sector of the current segment, leaving only its header (which
+        // carries requires_checkpoint). DiscardTail must refuse to start
+        // cold — the truncated prefix is unrecoverable without the
+        // checkpoint.
+        let base = w.seg * w.cfg.seg_sectors + w.header_sectors();
+        let doomed: Vec<u64> = w.disk.durable_sectors().filter(|&s| s >= base).collect();
+        for s in doomed {
+            w.disk.delete(s);
+        }
+        w.crash();
+        let err = w.recover(TailPolicy::DiscardTail).unwrap_err();
+        assert!(matches!(err.kind, StoreFailureKind::Corrupt { .. }));
+        assert_eq!(err.report.damage, "missing-checkpoint");
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected_under_strict() {
+        let mut w = wal();
+        w.append_commit(&rec(1, 0, &[5]));
+        w.append_commit(&rec(2, 1, &[3, 4]));
+        w.write_checkpoint(&CheckpointImage {
+            base_records: 2,
+            txn_floor: 2,
+            next_exec_seq: 3,
+            states: vec![(ObjectId(0), 12u64)],
+        });
+        w.append_commit(&rec(3, 3, &[7]));
+        w.crash();
+        let clean = w.recover(TailPolicy::Strict).unwrap();
+        let bits = w.storage_bits();
+        assert!(bits > 0);
+        let mut healed = clean.clone();
+        for bit in 0..bits {
+            assert!(w.flip_bit(bit));
+            w.crash();
+            let res = w.recover(TailPolicy::Strict);
+            assert!(res.is_err(), "bit {bit}: flip recovered silently");
+            assert_eq!(w.repair_flips(), 1);
+            // Re-scan after the medium repair: detection + recovery, and the
+            // detection counter is persisted by the successful scan.
+            healed = w.recover(TailPolicy::Strict).unwrap();
+            assert_eq!(healed.records, clean.records, "bit {bit}");
+        }
+        assert_eq!(healed.checkpoint, clean.checkpoint);
+        // Most flips are CRC mismatches; a flip in a length field can
+        // masquerade as a torn or reordered write instead. Every one of them
+        // must have been detected as *something*.
+        let detections = healed.stats.bitflips_detected
+            + healed.stats.sector_tears
+            + healed.stats.reordered_flushes;
+        assert!(detections >= bits, "{detections} detections for {bits} flips");
+        assert!(healed.stats.bitflips_detected > 0);
+    }
+
+    #[test]
+    fn misdirected_commit_is_interior_corruption() {
+        let mut w = wal();
+        w.append_commit(&rec(1, 0, &[5]));
+        w.disk_mut().arm_misdirect(4);
+        w.append_commit(&rec(2, 1, &[3]));
+        w.crash();
+        // The frame landed 4 sectors late: a hole where it should start,
+        // with a valid frame beyond it — unrecoverable under any policy.
+        for policy in [TailPolicy::Strict, TailPolicy::DiscardTail] {
+            w.crash();
+            let err = w.recover(policy).unwrap_err();
+            assert!(matches!(err.kind, StoreFailureKind::Corrupt { .. }), "{policy:?}");
+            assert_eq!(err.report.damage, "interior");
+        }
+    }
+
+    #[test]
+    fn same_operations_produce_identical_images_and_reports() {
+        let run = || {
+            let mut w = wal();
+            for i in 0..10u32 {
+                w.append_commit(&rec(i + 1, i as u64, &[1, 2]));
+            }
+            w.tear_last_flush(1);
+            w.crash();
+            let out = w.recover(TailPolicy::DiscardTail).unwrap();
+            let image: Vec<(u64, Vec<u8>)> = {
+                let d = &w.disk;
+                d.durable_sectors().map(|s| (s, d.read(s).unwrap().to_vec())).collect()
+            };
+            (out.records, out.scan, image)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+        assert_eq!(a.2, b.2);
+    }
+}

@@ -6,6 +6,7 @@
 //!
 //! # Deterministic fault-injection simulation (see DESIGN.md):
 //! ccr-experiments sim --combo uip-nrbc --seed 7 --faults 12:crash,30:torn2
+//! ccr-experiments sim --combo uip-nrbc --seed 7 --faults 16:sect2,25:flip4093
 //! ccr-experiments sim --combo uip-sym-nfc --sweep 64        # hunt + shrink
 //!
 //! # Deterministic tracing (see DESIGN.md §8): Chrome trace_event JSON,
@@ -20,7 +21,7 @@ use ccr_runtime::fault::FaultPlan;
 use ccr_workload::experiments;
 use ccr_workload::harness::json_string;
 use ccr_workload::sim::{
-    parse_policy, run_scenario, run_scenario_traced, shrink, sweep, Combo, SimScenario,
+    parse_policy, run_scenario, run_scenario_traced, shrink, sweep, Backend, Combo, SimScenario,
 };
 
 fn main() -> ExitCode {
@@ -39,8 +40,10 @@ fn main() -> ExitCode {
                 eprintln!(
                     "           [--objects N] [--skip i,j,...] [--faults SPEC|none] [--json]"
                 );
+                eprintln!("           [--backend disk|mem] [--ckpt N]");
                 eprintln!("       ccr-experiments sim --combo C --sweep SEEDS [--horizon N] [--fault-count N]");
                 eprintln!("fault SPEC: e.g. 12:crash,30:torn2,45:abort,60:delay5,80:wound");
+                eprintln!("  storage faults (disk backend): 16:sect2,20:reorder,25:flip4093");
                 ExitCode::from(2)
             }
         };
@@ -57,6 +60,7 @@ fn main() -> ExitCode {
                     "           [--policy block|wound|nowait] [--seed N] [--txns N] [--ops N]"
                 );
                 eprintln!("           [--objects N] [--skip i,j,...] [--faults SPEC|none]");
+                eprintln!("           [--backend disk|mem] [--ckpt N]");
                 eprintln!(
                     "           [--out trace.json] [--flame flame.txt] [--metrics metrics.json]"
                 );
@@ -117,6 +121,8 @@ fn sim_main(args: &[String]) -> Result<ExitCode, String> {
             "--faults" => {
                 scenario.plan = value()?.parse().map_err(|e| format!("{e}"))?;
             }
+            "--backend" => scenario.backend = value()?.parse::<Backend>()?,
+            "--ckpt" => scenario.checkpoint_every = Some(parse_num(flag, value()?)?),
             "--sweep" => sweep_seeds = Some(parse_num(flag, value()?)?),
             "--horizon" => horizon = parse_num(flag, value()?)?,
             "--fault-count" => fault_count = parse_num(flag, value()?)?,
@@ -175,6 +181,13 @@ fn sim_main(args: &[String]) -> Result<ExitCode, String> {
                 report.stats.forced_aborts,
                 report.stats.delayed_commits,
                 report.stats.wound_storms,
+            );
+            println!(
+                "storage: sector-tears {}  reordered-flushes {}  bitflips-detected {}  checkpoints {}",
+                report.stats.sector_tears,
+                report.stats.reordered_flushes,
+                report.stats.bitflips_detected,
+                report.stats.checkpoints,
             );
             println!("history fingerprint {:#018x}", report.history_fingerprint);
             ExitCode::SUCCESS
@@ -243,7 +256,9 @@ fn sim_json(
                     "\"committed\":{},\"gave_up\":{},\"retries\":{},\"rounds\":{},",
                     "\"events\":{},\"oracle_checks\":{},\"faults_injected\":{},",
                     "\"fault_counters\":{{\"crashes\":{},\"torn_crashes\":{},",
-                    "\"forced_aborts\":{},\"delayed_commits\":{},\"wound_storms\":{}}},",
+                    "\"forced_aborts\":{},\"delayed_commits\":{},\"wound_storms\":{},",
+                    "\"sector_tears\":{},\"reordered_flushes\":{},",
+                    "\"bitflips_detected\":{}}},\"checkpoints\":{},",
                     "\"history_fingerprint\":{}}}"
                 ),
                 json_string(&scenario.reproducer()),
@@ -259,6 +274,10 @@ fn sim_json(
                 s.forced_aborts,
                 s.delayed_commits,
                 s.wound_storms,
+                s.sector_tears,
+                s.reordered_flushes,
+                s.bitflips_detected,
+                s.checkpoints,
                 json_string(&format!("{:#018x}", report.history_fingerprint)),
             );
             ExitCode::SUCCESS
@@ -316,6 +335,8 @@ fn trace_main(args: &[String]) -> Result<ExitCode, String> {
             "--faults" => {
                 scenario.plan = value()?.parse().map_err(|e| format!("{e}"))?;
             }
+            "--backend" => scenario.backend = value()?.parse::<Backend>()?,
+            "--ckpt" => scenario.checkpoint_every = Some(parse_num(flag, value()?)?),
             "--out" => out = Some(value()?.to_string()),
             "--flame" => flame = Some(value()?.to_string()),
             "--metrics" => metrics = Some(value()?.to_string()),

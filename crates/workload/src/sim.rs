@@ -26,6 +26,7 @@ use ccr_runtime::fault::FaultPlan;
 use ccr_runtime::script::Script;
 use ccr_runtime::sim::{run_sim, SimCfg, SimFailure, SimReport, StateInvariant};
 use ccr_runtime::system::ConflictPolicy;
+use ccr_store::{LogBackend, MemBackend, Persist, WalBackend, WalConfig};
 
 use crate::gen::{banking, escrow_mix, WorkloadCfg};
 
@@ -98,6 +99,39 @@ impl FromStr for Combo {
     }
 }
 
+/// Which storage backend a scenario journals through.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// `ccr-store`'s segmented WAL on the simulated sector device — the
+    /// default, and the only backend that can express sector-level storage
+    /// faults (`sect`/`reorder`/`flip`).
+    #[default]
+    Disk,
+    /// The fast in-memory backend; storage faults degrade to plain crashes.
+    Mem,
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Backend::Disk => write!(f, "disk"),
+            Backend::Mem => write!(f, "mem"),
+        }
+    }
+}
+
+impl FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "disk" => Ok(Backend::Disk),
+            "mem" => Ok(Backend::Mem),
+            other => Err(format!("unknown backend {other:?}")),
+        }
+    }
+}
+
 /// Parse a conflict policy name (`block` / `wound` / `nowait`).
 pub fn parse_policy(s: &str) -> Result<ConflictPolicy, String> {
     match s {
@@ -135,6 +169,10 @@ pub struct SimScenario {
     pub skip: Vec<usize>,
     /// The fault plan.
     pub plan: FaultPlan,
+    /// Storage backend the journal lives on.
+    pub backend: Backend,
+    /// Checkpoint cadence (every N commits), if any.
+    pub checkpoint_every: Option<u64>,
 }
 
 impl SimScenario {
@@ -149,6 +187,8 @@ impl SimScenario {
             objects: 1,
             skip: Vec::new(),
             plan,
+            backend: Backend::Disk,
+            checkpoint_every: None,
         }
     }
 
@@ -171,6 +211,12 @@ impl SimScenario {
         if !self.skip.is_empty() {
             let list: Vec<String> = self.skip.iter().map(|i| i.to_string()).collect();
             s.push_str(&format!(" --skip {}", list.join(",")));
+        }
+        if self.backend != Backend::default() {
+            s.push_str(&format!(" --backend {}", self.backend));
+        }
+        if let Some(every) = self.checkpoint_every {
+            s.push_str(&format!(" --ckpt {every}"));
         }
         s.push_str(&format!(" --faults {}", self.plan));
         s
@@ -200,11 +246,52 @@ fn run_combo<A, E, C>(
 ) -> (Result<SimReport, SimFailure>, Option<TraceArtifacts>)
 where
     A: Adt,
+    A::State: Persist,
+    A::Invocation: Persist,
+    A::Response: Persist,
     E: RecoveryEngine<A>,
     C: Conflict<A> + Clone,
 {
-    let mut sys: DurableSystem<A, E, C> =
-        DurableSystem::new(adt.clone(), scenario.objects, conflict);
+    match scenario.backend {
+        Backend::Disk => run_combo_on::<A, E, C, _>(
+            scenario,
+            adt,
+            conflict,
+            WalBackend::new(WalConfig::default()),
+            scripts,
+            invariant,
+            traced,
+        ),
+        Backend::Mem => run_combo_on::<A, E, C, _>(
+            scenario,
+            adt,
+            conflict,
+            MemBackend::new(),
+            scripts,
+            invariant,
+            traced,
+        ),
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // internal plumbing of one dispatcher
+fn run_combo_on<A, E, C, B>(
+    scenario: &SimScenario,
+    adt: A,
+    conflict: C,
+    backend: B,
+    scripts: Vec<Box<dyn Script<A>>>,
+    invariant: Option<&StateInvariant<A>>,
+    traced: bool,
+) -> (Result<SimReport, SimFailure>, Option<TraceArtifacts>)
+where
+    A: Adt,
+    E: RecoveryEngine<A>,
+    C: Conflict<A> + Clone,
+    B: LogBackend<A>,
+{
+    let mut sys: DurableSystem<A, E, C, B> =
+        DurableSystem::with_backend(adt.clone(), scenario.objects, conflict, backend);
     sys.system_mut().set_policy(scenario.policy);
     if traced {
         let obs = sys.system_mut().obs_mut();
@@ -218,7 +305,11 @@ where
         sys.system_mut().obs_mut().set_record_events(false);
     }
     let spec = SystemSpec::uniform(adt, scenario.objects);
-    let cfg = SimCfg { seed: scenario.seed, ..Default::default() };
+    let cfg = SimCfg {
+        seed: scenario.seed,
+        checkpoint_every: scenario.checkpoint_every,
+        ..Default::default()
+    };
     let result = run_sim(&mut sys, scripts, &scenario.plan, &cfg, &spec, invariant);
     let artifacts = traced.then(|| {
         let obs = sys.system().obs();

@@ -70,3 +70,63 @@ fn baseline_report_schema_matches_fresh_outcomes() {
          in the same commit that changes the schema"
     );
 }
+
+/// Pin the fault-counter schema of [`SystemStats::to_json`] and the
+/// histogram roster of `MetricsReport::to_json`: downstream tooling scripts
+/// against `sim --json` / `trace --metrics` output, and the storage-fault
+/// counters (`sector_tears`, `reordered_flushes`, `bitflips_detected`,
+/// `checkpoints`) plus the recovery-scan histogram (`scan_len`) are part of
+/// that contract.
+#[test]
+fn sim_metrics_schema_pins_the_storage_fault_counters() {
+    use ccr_runtime::fault::FaultPlan;
+    use ccr_workload::sim::{run_scenario_traced, Combo, SimScenario};
+
+    let scenario = SimScenario::new(Combo::UipNrbc, 7, FaultPlan::none());
+    let (result, artifacts) = run_scenario_traced(&scenario);
+    assert!(result.is_ok(), "fault-free run must pass the oracle");
+
+    let stats_keys: BTreeSet<String> = [
+        "begun",
+        "committed",
+        "aborted",
+        "validation_aborts",
+        "ops",
+        "blocks",
+        "wounds",
+        "conflict_aborts",
+        "replay_failures",
+        "crashes",
+        "torn_crashes",
+        "forced_aborts",
+        "delayed_commits",
+        "wound_storms",
+        "sector_tears",
+        "reordered_flushes",
+        "bitflips_detected",
+        "checkpoints",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    assert_eq!(
+        json_keys(&artifacts.metrics.stats.to_json()),
+        stats_keys,
+        "SystemStats::to_json keys drifted — update this pin, `sim --json` \
+         consumers and DESIGN.md together"
+    );
+
+    let metrics_keys = json_keys(&artifacts.metrics.to_json());
+    for key in [
+        "labels",
+        "events",
+        "stats",
+        "op_latency",
+        "lock_wait",
+        "time_to_commit",
+        "replay_len",
+        "scan_len",
+    ] {
+        assert!(metrics_keys.contains(key), "MetricsReport::to_json must expose {key:?}");
+    }
+}

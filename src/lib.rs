@@ -19,6 +19,11 @@
 //!   conflict-relation locking, update-in-place and deferred-update
 //!   recovery engines, deadlock handling, optimistic validation and an
 //!   escrow extension;
+//! * [`store`] (`ccr-store`) — the durable storage engine: a simulated
+//!   sector device with deterministic fault injection (torn writes, flush
+//!   reordering, bit flips), a segmented checksummed write-ahead log with
+//!   checkpoint truncation and the physical recovery scan the runtime's
+//!   `DurableSystem` replays from (see `DESIGN.md` §9);
 //! * [`obs`] (`ccr-obs`) — the deterministic tracing and metrics layer
 //!   every runtime path reports through: structured events on a logical
 //!   clock, latency histograms, the `SystemStats` projection and the
@@ -60,6 +65,7 @@ pub use ccr_adt as adt;
 pub use ccr_core as core;
 pub use ccr_obs as obs;
 pub use ccr_runtime as runtime;
+pub use ccr_store as store;
 pub use ccr_workload as workload;
 
 /// Common imports for applications.

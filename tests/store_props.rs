@@ -1,0 +1,196 @@
+//! Property tests for the durable storage engine (`ccr-store`) as driven by
+//! the runtime's `DurableSystem`:
+//!
+//! * **Checkpoint equivalence** — checkpointing (which folds the log prefix
+//!   into a checkpoint image and truncates whole segments) must be invisible
+//!   to recovery: for any workload, crash schedule and tail policy, a run
+//!   that checkpoints recovers to exactly the state of the run that never
+//!   does, under both the UIP and DU engine/conflict pairings.
+//! * **Corruption exhaustion** — flipping *every single stable bit* of a
+//!   small committed log image either leaves recovery unaffected (the bit
+//!   was slack) or fails loudly with a CRC/torn-tail error. Silent
+//!   divergence of the recovered state is the one outcome that must never
+//!   happen.
+
+use ccr::adt::bank::{bank_nfc, bank_nrbc, BankAccount, BankInv};
+use ccr::core::conflict::FnConflict;
+use ccr::core::ids::{ObjectId, TxnId};
+use ccr::runtime::crash::{DurableSystem, RedoError, TornPolicy};
+use ccr::runtime::engine::{DuEngine, RecoveryEngine, UipEngine};
+use ccr::store::{LogBackend, WalBackend, WalConfig};
+use proptest::prelude::*;
+
+type Durable<E> = DurableSystem<BankAccount, E, FnConflict<BankAccount>, WalBackend<BankAccount>>;
+
+const OBJECTS: u32 = 2;
+
+#[derive(Clone, Debug)]
+enum Ev {
+    Begin(u8),
+    Op(u8, u32, BankInv),
+    Commit(u8),
+    Abort(u8),
+    Checkpoint,
+    Crash,
+}
+
+fn events() -> impl Strategy<Value = Vec<Ev>> {
+    let inv = prop_oneof![
+        (1u64..=3).prop_map(BankInv::Deposit),
+        (1u64..=3).prop_map(BankInv::Withdraw),
+        Just(BankInv::Balance),
+    ];
+    let ev = prop_oneof![
+        4 => (0u8..3).prop_map(Ev::Begin),
+        8 => ((0u8..3), (0u32..OBJECTS), inv).prop_map(|(t, o, i)| Ev::Op(t, o, i)),
+        4 => (0u8..3).prop_map(Ev::Commit),
+        2 => (0u8..3).prop_map(Ev::Abort),
+        2 => Just(Ev::Checkpoint),
+        1 => Just(Ev::Crash),
+    ];
+    prop::collection::vec(ev, 1..48)
+}
+
+/// Drive `evs` through a fresh disk-backed system. `Checkpoint` events fire
+/// only when `checkpoints` is set — the event stream is otherwise identical,
+/// and since `checkpoint()` never touches transactional state the two runs
+/// make the same commit decisions. Every crash (in-stream and the final one)
+/// recovers under `policy`. Returns the recovered per-object state plus the
+/// number of checkpoints actually written.
+fn run<E: RecoveryEngine<BankAccount>>(
+    conflict: FnConflict<BankAccount>,
+    evs: &[Ev],
+    checkpoints: bool,
+    policy: TornPolicy,
+) -> (Vec<u64>, u64) {
+    let mut sys: Durable<E> = DurableSystem::with_backend(
+        BankAccount::default(),
+        OBJECTS,
+        conflict,
+        WalBackend::new(WalConfig::default()),
+    );
+    let mut slots: [Option<TxnId>; 3] = [None; 3];
+    for ev in evs {
+        match ev {
+            Ev::Begin(s) => {
+                if slots[*s as usize].is_none() {
+                    slots[*s as usize] = Some(sys.begin());
+                }
+            }
+            Ev::Op(s, o, inv) => {
+                if let Some(t) = slots[*s as usize] {
+                    // Refusals and conflict blocks are legal outcomes; the
+                    // equivalence holds because both runs see the same ones.
+                    let _ = sys.invoke(t, ObjectId(*o), inv.clone());
+                }
+            }
+            Ev::Commit(s) => {
+                if let Some(t) = slots[*s as usize].take() {
+                    let _ = sys.commit(t);
+                }
+            }
+            Ev::Abort(s) => {
+                if let Some(t) = slots[*s as usize].take() {
+                    let _ = sys.abort(t);
+                }
+            }
+            Ev::Checkpoint => {
+                if checkpoints {
+                    sys.checkpoint();
+                }
+            }
+            Ev::Crash => {
+                sys.crash_and_recover_with(policy).expect("clean crash must recover");
+                slots = [None; 3];
+            }
+        }
+    }
+    sys.crash_and_recover_with(policy).expect("final clean crash must recover");
+    let states = (0..OBJECTS).map(|o| sys.committed_state(ObjectId(o))).collect();
+    (states, sys.store_stats().checkpoints)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// (checkpoint + truncate + crash + recover) ≡ (no checkpoint + crash +
+    /// recover), for both engine/conflict pairings and every tail policy.
+    #[test]
+    fn checkpointing_never_changes_the_recovered_state(evs in events()) {
+        let wants_checkpoint = evs.iter().any(|e| matches!(e, Ev::Checkpoint));
+        for policy in [TornPolicy::Strict, TornPolicy::DiscardTail] {
+            let (uip_ck, ck_count) =
+                run::<UipEngine<BankAccount>>(bank_nrbc(), &evs, true, policy);
+            let (uip_no, no_count) =
+                run::<UipEngine<BankAccount>>(bank_nrbc(), &evs, false, policy);
+            prop_assert_eq!(&uip_ck, &uip_no, "UIP diverged under {:?}", policy);
+            prop_assert_eq!(no_count, 0);
+            // A checkpoint event after at least one commit really truncates.
+            if wants_checkpoint {
+                prop_assert!(ck_count >= u64::from(!uip_ck.iter().all(|&s| s == 0)));
+            }
+
+            let (du_ck, _) = run::<DuEngine<BankAccount>>(bank_nfc(), &evs, true, policy);
+            let (du_no, _) = run::<DuEngine<BankAccount>>(bank_nfc(), &evs, false, policy);
+            prop_assert_eq!(&du_ck, &du_no, "DU diverged under {:?}", policy);
+        }
+    }
+}
+
+/// Build a small deterministic committed image: three transactions over two
+/// objects, mixing deposits and (sometimes refused) withdrawals.
+fn committed_image() -> Durable<UipEngine<BankAccount>> {
+    let mut sys: Durable<UipEngine<BankAccount>> = DurableSystem::with_backend(
+        BankAccount::default(),
+        OBJECTS,
+        bank_nrbc(),
+        WalBackend::new(WalConfig::default()),
+    );
+    for i in 0..3u32 {
+        let t = sys.begin();
+        sys.invoke(t, ObjectId(i % 2), BankInv::Deposit(5 + u64::from(i))).unwrap();
+        sys.invoke(t, ObjectId((i + 1) % 2), BankInv::Withdraw(1)).unwrap();
+        sys.commit(t).unwrap();
+    }
+    sys
+}
+
+/// Satellite of the honesty model: flip every single stable bit of the
+/// committed image. Recovery must either succeed with the untouched state
+/// (the flip hit slack bytes) or refuse loudly with `CorruptRecord` /
+/// `TornRecord`; after repairing the medium, a plain re-scan must recover
+/// the original state. A recovered-but-different state is silent corruption
+/// and fails the test.
+#[test]
+fn exhaustive_bit_flip_sweep_never_diverges_silently() {
+    let mut clean = committed_image();
+    clean.crash_and_recover().expect("clean image recovers");
+    let expect: Vec<u64> = (0..OBJECTS).map(|o| clean.committed_state(ObjectId(o))).collect();
+    let bits = clean.backend().storage_bits();
+    assert!(bits > 0, "image must occupy stable storage");
+    assert!(bits < 64_000, "keep the exhaustive sweep small (got {bits} bits)");
+
+    let mut detected = 0u64;
+    for bit in 0..bits {
+        let mut sys = committed_image();
+        assert!(sys.flip_bit(bit), "bit {bit} must be flippable");
+        match sys.crash_and_recover() {
+            Ok(()) => {
+                let got: Vec<u64> =
+                    (0..OBJECTS).map(|o| sys.committed_state(ObjectId(o))).collect();
+                assert_eq!(got, expect, "silent divergence after flipping bit {bit}");
+            }
+            Err(RedoError::CorruptRecord { .. }) | Err(RedoError::TornRecord { .. }) => {
+                detected += 1;
+                assert_eq!(sys.repair_flips(), 1, "exactly the injected flip is repaired");
+                sys.recover_with(TornPolicy::Strict)
+                    .unwrap_or_else(|e| panic!("bit {bit}: repaired medium must recover: {e:?}"));
+                let got: Vec<u64> =
+                    (0..OBJECTS).map(|o| sys.committed_state(ObjectId(o))).collect();
+                assert_eq!(got, expect, "bit {bit}: repaired recovery must match");
+            }
+            Err(e) => panic!("bit {bit}: unexpected redo error {e:?}"),
+        }
+    }
+    assert!(detected > 0, "the CRC layer must detect at least the payload flips");
+}
