@@ -180,6 +180,15 @@ pub enum EventKind {
         /// Whole log segments deleted by the truncation.
         truncated_segments: u64,
     },
+    /// A group-commit flush made a batch of commit records durable with one
+    /// fsync. Counter-neutral: the batch's transactions are counted by their
+    /// own [`EventKind::Commit`] events.
+    GroupFlush {
+        /// Commit records in the flushed batch.
+        batch: u64,
+        /// Flush latency in wall microseconds (0 in logical-time runs).
+        micros: u64,
+    },
 }
 
 /// One structured trace event.
@@ -216,6 +225,7 @@ impl ObsEvent {
             EventKind::SegmentScan { .. } => "segment_scan",
             EventKind::CorruptionDetected { .. } => "corruption",
             EventKind::Checkpoint { .. } => "checkpoint",
+            EventKind::GroupFlush { .. } => "group_flush",
         }
     }
 }

@@ -198,6 +198,11 @@ pub fn chrome_trace(tracer: &Tracer) -> String {
                 args.push(("truncated".into(), truncated_segments.to_string()));
                 records.push(chrome_record('i', "checkpoint", "storage", tid, ts, None, &args));
             }
+            EventKind::GroupFlush { batch, micros } => {
+                args.push(("batch".into(), batch.to_string()));
+                args.push(("micros".into(), micros.to_string()));
+                records.push(chrome_record('i', "group_flush", "storage", tid, ts, None, &args));
+            }
         }
     }
     format!(
@@ -234,6 +239,9 @@ pub fn flame_summary(tracer: &Tracer) -> String {
                 (format!("storage;corruption;{}", kind.label()), 1)
             }
             EventKind::Checkpoint { .. } => ("storage;checkpoint".to_string(), 1),
+            EventKind::GroupFlush { batch, .. } => {
+                ("storage;group_flush".to_string(), (*batch).max(1))
+            }
         };
         *weights.entry(stack).or_insert(0) += weight;
     }
@@ -263,6 +271,10 @@ pub struct MetricsReport {
     pub replay_len: HistogramSummary,
     /// Sectors read per recovery segment scan.
     pub scan_len: HistogramSummary,
+    /// Commit records per group-commit flush.
+    pub batch_size: HistogramSummary,
+    /// Group-flush latency (wall microseconds; empty in logical-time runs).
+    pub flush_latency: HistogramSummary,
 }
 
 impl MetricsReport {
@@ -277,6 +289,8 @@ impl MetricsReport {
             time_to_commit: tracer.time_to_commit().summary(),
             replay_len: tracer.replay_len().summary(),
             scan_len: tracer.scan_len().summary(),
+            batch_size: tracer.batch_size().summary(),
+            flush_latency: tracer.flush_latency().summary(),
         }
     }
 
@@ -286,7 +300,8 @@ impl MetricsReport {
             concat!(
                 "{{\"labels\":{},\"events\":{},\"stats\":{},",
                 "\"op_latency\":{},\"lock_wait\":{},",
-                "\"time_to_commit\":{},\"replay_len\":{},\"scan_len\":{}}}"
+                "\"time_to_commit\":{},\"replay_len\":{},\"scan_len\":{},",
+                "\"batch_size\":{},\"flush_latency\":{}}}"
             ),
             json_labels(&self.labels),
             self.events,
@@ -296,6 +311,8 @@ impl MetricsReport {
             self.time_to_commit.to_json(),
             self.replay_len.to_json(),
             self.scan_len.to_json(),
+            self.batch_size.to_json(),
+            self.flush_latency.to_json(),
         )
     }
 }

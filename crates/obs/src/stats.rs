@@ -90,6 +90,9 @@ impl SystemStats {
                 }
             }
             EventKind::Checkpoint { .. } => self.checkpoints += 1,
+            // Counter-neutral: the batch's commits are counted by their own
+            // Commit events; the flush itself feeds histograms only.
+            EventKind::GroupFlush { .. } => {}
         }
     }
 

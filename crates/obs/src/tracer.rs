@@ -41,6 +41,8 @@ pub struct Tracer {
     time_to_commit: LogHistogram,
     replay_len: LogHistogram,
     scan_len: LogHistogram,
+    batch_size: LogHistogram,
+    flush_latency: LogHistogram,
     /// Logical begin stamp of each live transaction.
     begin_seq: BTreeMap<TxnId, u64>,
     /// First blocked-attempt stamp of each currently blocked transaction.
@@ -61,6 +63,8 @@ impl Default for Tracer {
             time_to_commit: LogHistogram::new(),
             replay_len: LogHistogram::new(),
             scan_len: LogHistogram::new(),
+            batch_size: LogHistogram::new(),
+            flush_latency: LogHistogram::new(),
             begin_seq: BTreeMap::new(),
             block_start: BTreeMap::new(),
         }
@@ -157,6 +161,17 @@ impl Tracer {
         &self.scan_len
     }
 
+    /// Group-commit batch-size histogram: commit records per group flush.
+    pub fn batch_size(&self) -> &LogHistogram {
+        &self.batch_size
+    }
+
+    /// Group-commit flush-latency histogram (wall microseconds; 0 samples in
+    /// logical-time runs).
+    pub fn flush_latency(&self) -> &LogHistogram {
+        &self.flush_latency
+    }
+
     /// Merge another tracer's histograms into this one (order-independent —
     /// see [`LogHistogram::merge`]). For combining per-worker metrics.
     pub fn merge_histograms(&mut self, other: &Tracer) {
@@ -165,6 +180,8 @@ impl Tracer {
         self.time_to_commit.merge(&other.time_to_commit);
         self.replay_len.merge(&other.replay_len);
         self.scan_len.merge(&other.scan_len);
+        self.batch_size.merge(&other.batch_size);
+        self.flush_latency.merge(&other.flush_latency);
     }
 
     fn emit(&mut self, txn: Option<TxnId>, obj: Option<ObjectId>, kind: EventKind) -> u64 {
@@ -294,6 +311,14 @@ impl Tracer {
     /// deleting `truncated_segments` whole log segments.
     pub fn on_checkpoint(&mut self, records: u64, truncated_segments: u64) {
         self.emit(None, None, EventKind::Checkpoint { records, truncated_segments });
+    }
+
+    /// A group-commit flush made `batch` commit records durable with one
+    /// fsync, taking `micros` wall microseconds (0 in logical-time runs).
+    pub fn on_group_flush(&mut self, batch: u64, micros: u64) {
+        self.emit(None, None, EventKind::GroupFlush { batch, micros });
+        self.batch_size.record(batch);
+        self.flush_latency.record(micros);
     }
 }
 

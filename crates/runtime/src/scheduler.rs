@@ -44,6 +44,28 @@ impl Default for SchedulerCfg {
 }
 
 /// Result of a scheduled run.
+///
+/// **Shared field semantics.** This report is produced by both executors —
+/// the seeded scheduler here and `threaded.rs`'s worker pool — and the
+/// experiment projections compare them, so every field means the same thing
+/// under both (asserted by `tests/obs_projection.rs`):
+///
+/// - `committed` / `voluntary_aborts` / `gave_up` partition the scripts;
+///   `retries` counts script restarts after a system abort (a script's final
+///   failed attempt counts as a retry *and* a give-up).
+/// - `blocked_ops` counts operations whose **first** attempt hit a conflict;
+///   re-attempts of the same blocked operation are waiting, not new blocks,
+///   and land in `wait_rounds` instead.
+/// - `rounds` is the executor's unit of forward progress: scheduler rounds
+///   (a logical makespan) for the seeded scheduler, transaction attempts for
+///   the threaded executor (which has no global round clock) — where every
+///   attempt ends in a commit, a voluntary abort, or a retry, so
+///   `rounds == committed + voluntary_aborts + retries` holds exactly.
+/// - `wait_rounds` is the executor's unit of lost concurrency: driver-rounds
+///   spent blocked or sleeping (scheduler), condvar wait slices elapsed
+///   while blocked (threaded).
+/// - `admission_rounds` counts driver-rounds queued by admission control;
+///   the threaded executor has no admission control and always reports 0.
 #[derive(Clone, Debug, Default)]
 pub struct RunReport {
     /// Scripts that ultimately committed.
@@ -59,16 +81,19 @@ pub struct RunReport {
     /// Total retries across scripts.
     pub retries: u64,
     /// Driver-rounds spent queued by admission control (distinct from
-    /// `wait_rounds`, which counts lock waits).
+    /// `wait_rounds`, which counts lock waits). Always 0 for the threaded
+    /// executor (no admission control).
     pub admission_rounds: u64,
     /// Operations that hit a conflict on their first attempt (the raw
     /// `stats.blocks` additionally counts every retried attempt).
     pub blocked_ops: u64,
     /// Scheduler rounds until all scripts finished (a makespan in logical
-    /// time: more blocking ⇒ more rounds).
+    /// time: more blocking ⇒ more rounds); transaction attempts for the
+    /// threaded executor.
     pub rounds: u64,
     /// Driver-rounds spent waiting (blocked or sleeping after an abort) —
-    /// the cross-configuration "lost concurrency" measure.
+    /// the cross-configuration "lost concurrency" measure. Condvar wait
+    /// slices for the threaded executor.
     pub wait_rounds: u64,
     /// Final system counters.
     pub stats: SystemStats,

@@ -67,6 +67,14 @@ pub struct SimCfg {
     /// and letting the backend truncate) every this many commits. `None`
     /// disables checkpointing.
     pub checkpoint_every: Option<u64>,
+    /// Group commit: drivers reaching their commit step stage it instead of
+    /// flushing immediately; at the end of every scheduler round the staged
+    /// batch is committed and made durable with **one** flush
+    /// ([`DurableSystem::commit_group`]), and only then are the drivers
+    /// acknowledged. Storage faults that tear the batch flush exercise the
+    /// torn-batch recovery rules: strict recovery must refuse the tail,
+    /// discard recovery must keep exactly a prefix of the batch.
+    pub group_commit: bool,
 }
 
 impl Default for SimCfg {
@@ -78,6 +86,7 @@ impl Default for SimCfg {
             exhaustive_limit: 6,
             oracle_samples: 64,
             checkpoint_every: None,
+            group_commit: false,
         }
     }
 }
@@ -249,6 +258,9 @@ struct Driver<A: Adt> {
     sleep_until_commit: Option<u64>,
     /// Turns left to sleep before attempting a commit (delayed-commit fault).
     delay_turns: u32,
+    /// Commit staged for the round-end group flush (group-commit mode); the
+    /// driver is acknowledged only once its record's batch is durable.
+    awaiting_flush: bool,
     retries: usize,
     done: bool,
     committed: bool,
@@ -266,6 +278,7 @@ impl<A: Adt> Driver<A> {
             blocked_epoch: None,
             sleep_until_commit: None,
             delay_turns: 0,
+            awaiting_flush: false,
             retries: 0,
             done: false,
             committed: false,
@@ -282,6 +295,7 @@ impl<A: Adt> Driver<A> {
         self.blocked_epoch = None;
         self.sleep_until_commit = backoff_until;
         self.delay_turns = 0;
+        self.awaiting_flush = false;
         self.retries += 1;
         *retries += 1;
         self.script.reset();
@@ -380,6 +394,9 @@ where
             if step_driver(sys, &mut drivers[i], cfg, &mut report, &mut delay_next_commit) {
                 progressed = true;
             }
+        }
+        if cfg.group_commit {
+            flush_group(sys, &mut drivers, cfg, &mut report);
         }
         if !progressed {
             // Every live driver is blocked or sleeping: break a deadlock or
@@ -830,6 +847,55 @@ where
     Ok(())
 }
 
+/// Commit every staged driver's transaction as one durable batch (group-
+/// commit mode, end of a scheduler round). Drivers whose transaction
+/// evaporated mid-round (a fault restarted them) simply drop out of the
+/// batch; the rest are acknowledged or restarted from the per-transaction
+/// results of [`DurableSystem::commit_group`].
+fn flush_group<A, E, C, B>(
+    sys: &mut DurableSystem<A, E, C, B>,
+    drivers: &mut [Driver<A>],
+    cfg: &SimCfg,
+    report: &mut SimReport,
+) where
+    A: Adt,
+    E: RecoveryEngine<A>,
+    C: Conflict<A> + Clone,
+    B: LogBackend<A>,
+{
+    let batch: Vec<TxnId> =
+        drivers.iter().filter(|d| !d.done && d.awaiting_flush).filter_map(|d| d.txn).collect();
+    if batch.is_empty() {
+        return;
+    }
+    let pre = sys.stats().committed;
+    let results = sys.commit_group(&batch);
+    for (t, res) in batch.iter().zip(results) {
+        let d = drivers.iter_mut().find(|d| d.txn == Some(*t)).expect("staged driver");
+        d.awaiting_flush = false;
+        match res {
+            Ok(()) => {
+                d.done = true;
+                d.committed = true;
+            }
+            Err(TxnError::Aborted(_)) => {
+                let commits = sys.stats().committed;
+                d.restart(cfg.max_retries, Some(commits), &mut report.retries);
+            }
+            Err(_) => {
+                d.done = true;
+            }
+        }
+    }
+    if let Some(every) = cfg.checkpoint_every {
+        // A batch can cross the cadence boundary anywhere inside itself;
+        // checkpoint whenever it did.
+        if every > 0 && sys.stats().committed / every > pre / every {
+            sys.checkpoint();
+        }
+    }
+}
+
 /// Advance one driver by one step. Returns whether it made progress.
 fn step_driver<A, E, C, B>(
     sys: &mut DurableSystem<A, E, C, B>,
@@ -889,6 +955,12 @@ where
             if let Some(rounds) = delay_next_commit.take() {
                 d.pending = Some(Step::Commit);
                 d.delay_turns = rounds;
+                return true;
+            }
+            if cfg.group_commit {
+                // Stage the commit for the round-end group flush; the driver
+                // is acknowledged (or restarted) only after the batch flush.
+                d.awaiting_flush = true;
                 return true;
             }
             match sys.commit(txn) {
@@ -1188,6 +1260,121 @@ mod tests {
         assert_eq!(report.stats.crashes, 2, "both faults degrade to crashes: {:?}", report.stats);
         assert_eq!(report.stats.bitflips_detected, 0);
         assert_eq!(report.stats.reordered_flushes, 0);
+    }
+
+    #[test]
+    fn group_commit_batches_a_round_of_commits() {
+        // Six disjoint drivers all reach their commit step in the same
+        // scheduler round: group commit must stage them and flush the whole
+        // batch with one group flush of size six.
+        let mut sys: DiskUip = DurableSystem::with_backend(
+            BankAccount::default(),
+            6,
+            bank_nrbc(),
+            WalBackend::new(WalConfig::default()),
+        );
+        let cfg = SimCfg { group_commit: true, ..Default::default() };
+        let report =
+            run_sim(&mut sys, disjoint_scripts(), &FaultPlan::none(), &cfg, &spec_n(6), None)
+                .unwrap();
+        assert_eq!(report.committed, 6);
+        let batches: Vec<u64> = sys
+            .system()
+            .obs()
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                ccr_obs::EventKind::GroupFlush { batch, .. } => Some(batch),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(batches, vec![6], "one flush for the whole round's commits");
+    }
+
+    #[test]
+    fn group_commit_agrees_with_per_commit_on_final_state() {
+        // Same contended workload, same seed, both commit disciplines: the
+        // batching must change only durability mechanics, never outcomes.
+        let run = |group_commit: bool| {
+            let mut sys: DiskUip = DurableSystem::with_backend(
+                BankAccount::default(),
+                1,
+                bank_nrbc(),
+                WalBackend::new(WalConfig::default()),
+            );
+            let cfg = SimCfg { seed: 9, group_commit, ..Default::default() };
+            let report =
+                run_sim(&mut sys, transfer_scripts(6), &FaultPlan::none(), &cfg, &spec(), None)
+                    .unwrap();
+            (report.committed, sys.committed_state(X))
+        };
+        assert_eq!(run(false), run(true), "group commit must not change outcomes");
+        assert_eq!(run(true), (6, 6));
+    }
+
+    /// Three short and three long disjoint scripts: the short wave's commits
+    /// form a three-record batch flushed at the end of round 3, and round 4
+    /// still ticks events, so a storage fault there always finds that
+    /// multi-record batch as the most recent flush.
+    fn staggered_scripts() -> Vec<Box<dyn Script<BankAccount>>> {
+        (0..6)
+            .map(|i| {
+                let ops = if i < 3 {
+                    vec![BankInv::Deposit(2), BankInv::Withdraw(1)]
+                } else {
+                    vec![BankInv::Deposit(2), BankInv::Deposit(2), BankInv::Withdraw(1)]
+                };
+                Box::new(OpsScript::on(ObjectId(i), ops)) as Box<dyn Script<BankAccount>>
+            })
+            .collect()
+    }
+
+    #[test]
+    fn torn_group_flush_passes_the_oracle_with_group_commit() {
+        // Tear the tail off a durable three-record batch flush: strict
+        // recovery must refuse the torn batch, DiscardTail must keep exactly
+        // a prefix, and the oracle (shadow fold, UIP-vs-DU agreement) must
+        // hold over the surviving journal — the torn-batch leg of the tear
+        // oracle.
+        let plan = FaultPlan::new(vec![FaultSpec {
+            at_event: 20,
+            kind: FaultKind::SectorTorn { sectors: 1 },
+        }]);
+        let mut sys: DiskUip = DurableSystem::with_backend(
+            BankAccount::default(),
+            6,
+            bank_nrbc(),
+            WalBackend::new(WalConfig::default()),
+        );
+        let cfg = SimCfg { group_commit: true, ..Default::default() };
+        let report = run_sim(&mut sys, staggered_scripts(), &plan, &cfg, &spec_n(6), None).unwrap();
+        assert_eq!(report.faults_injected, 1);
+        assert_eq!(report.stats.sector_tears, 1, "the tear must not degrade: {:?}", report.stats);
+        assert_eq!(report.committed, 6, "every script recommits after the fault");
+        // One batch member was legitimately discarded with the torn tail.
+        assert!((sys.journal().len() as u64) < report.stats.committed);
+    }
+
+    #[test]
+    fn group_commit_disk_runs_are_deterministic_under_faults() {
+        let plan = FaultPlan::from_seed(23, 60, 5);
+        let run_once = || {
+            let mut sys: DiskUip = DurableSystem::with_backend(
+                BankAccount::default(),
+                1,
+                bank_nrbc(),
+                WalBackend::new(WalConfig::default()),
+            );
+            let cfg = SimCfg {
+                seed: 7,
+                checkpoint_every: Some(2),
+                group_commit: true,
+                ..Default::default()
+            };
+            run_sim(&mut sys, transfer_scripts(6), &plan, &cfg, &spec(), None).unwrap()
+        };
+        let (a, b) = (run_once(), run_once());
+        assert_eq!(a, b, "SimReport must be byte-identical across runs");
     }
 
     #[test]

@@ -10,15 +10,24 @@
 //! The manager lock serialises bookkeeping, not transactions: waiting
 //! transactions release the lock, so the admitted interleavings are those of
 //! the conflict relation, which is what the experiments measure.
+//!
+//! [`run_threaded_durable`] adds write-ahead journaling through a
+//! [`LogBackend`] with **group commit**: committers stage their record in a
+//! shared batch buffer and wait on a commit barrier; one of them becomes the
+//! flush leader, drains the whole batch, and makes it durable with a single
+//! fsync while the followers hold no lock on the system — the next batch
+//! forms behind the in-flight flush. See DESIGN.md §10.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
-use ccr_core::adt::Adt;
+use ccr_core::adt::{Adt, Op};
 use ccr_core::conflict::Conflict;
+use ccr_core::ids::{ObjectId, TxnId};
+use ccr_store::{CommitRecord, LogBackend};
 
 use crate::engine::RecoveryEngine;
 use crate::error::{AbortReason, TxnError};
@@ -67,6 +76,12 @@ struct Tallies {
     deadlock_aborts: u64,
     retries: u64,
     blocked_ops: u64,
+    /// Transaction attempts (each `begin` of a script attempt) — the
+    /// threaded meaning of [`RunReport::rounds`].
+    rounds: u64,
+    /// Condvar wait slices elapsed while blocked — the threaded meaning of
+    /// [`RunReport::wait_rounds`].
+    wait_rounds: u64,
 }
 
 /// Run `scripts` over `sys` with `cfg.workers` threads; returns the report
@@ -102,7 +117,22 @@ where
     let shared = Arc::try_unwrap(shared).unwrap_or_else(|_| unreachable!("workers joined"));
     let sys = shared.sys.into_inner();
     let t = shared.tallies.into_inner();
-    let report = RunReport {
+    let report = report_from(&t, &sys);
+    (report, sys)
+}
+
+/// Assemble a [`RunReport`] from worker tallies under the shared field
+/// semantics documented on [`RunReport`]: `rounds` counts transaction
+/// attempts, `wait_rounds` counts elapsed wait slices, and
+/// `admission_rounds` is zero by definition (the threaded executor has no
+/// admission control).
+fn report_from<A, E, C>(t: &Tallies, sys: &TxnSystem<A, E, C>) -> RunReport
+where
+    A: Adt,
+    E: RecoveryEngine<A>,
+    C: Conflict<A>,
+{
+    RunReport {
         committed: t.committed,
         voluntary_aborts: t.voluntary_aborts,
         gave_up: t.gave_up,
@@ -111,11 +141,10 @@ where
         retries: t.retries,
         admission_rounds: 0,
         blocked_ops: t.blocked_ops,
-        rounds: 0,
-        wait_rounds: 0,
+        rounds: t.rounds,
+        wait_rounds: t.wait_rounds,
         stats: sys.stats().clone(),
-    };
-    (report, sys)
+    }
 }
 
 fn worker<A, E, C>(shared: &Shared<A, E, C>, cfg: &ThreadedCfg)
@@ -144,6 +173,7 @@ where
 {
     let mut retries = 0usize;
     'attempt: loop {
+        shared.tallies.lock().rounds += 1;
         script.reset();
         let mut last: Option<A::Response> = None;
         let txn = shared.sys.lock().begin();
@@ -182,9 +212,13 @@ where
                                         }
                                         continue 'attempt;
                                     }
-                                    // Another worker owns the victim; fall
-                                    // through and wait for it to notice.
+                                    // Another worker owns the victim: wake
+                                    // every waiter so the victim re-checks
+                                    // the cycle *now* instead of sleeping
+                                    // out its full wait slice.
+                                    shared.completed.notify_all();
                                 }
+                                shared.tallies.lock().wait_rounds += 1;
                                 shared.completed.wait_for(&mut sys, cfg.wait_slice);
                             }
                             Err(TxnError::Aborted(_)) => {
@@ -236,6 +270,400 @@ where
     }
 }
 
+/// Durability discipline for [`run_threaded_durable`].
+#[derive(Clone, Copy, Debug)]
+pub struct GroupCommitCfg {
+    /// Batch commit records and flush each batch with **one** fsync via a
+    /// leader thread; `false` is the per-commit-fsync baseline the bench
+    /// compares against.
+    pub group_commit: bool,
+    /// Simulated device flush time, charged while the backend lock is held.
+    /// A nonzero delay is what makes batches form under load: committers
+    /// arriving during the in-flight flush stage behind it and share the
+    /// next fsync.
+    pub flush_delay: Duration,
+}
+
+impl Default for GroupCommitCfg {
+    fn default() -> Self {
+        GroupCommitCfg { group_commit: true, flush_delay: Duration::ZERO }
+    }
+}
+
+/// Result of a durable threaded run: the report, the system (trace/state
+/// inspection), the backend (its durable image can be recovered from), and
+/// the measured durability figures.
+pub struct DurableRun<A, E, C, B>
+where
+    A: Adt,
+    E: RecoveryEngine<A>,
+    C: Conflict<A>,
+    B: LogBackend<A>,
+{
+    /// Scheduler-shaped run report (see [`RunReport`] field semantics).
+    pub report: RunReport,
+    /// The volatile system, with one `group_flush` trace event replayed per
+    /// fsync (batch size and flush latency feed the tracer's histograms).
+    pub sys: TxnSystem<A, E, C>,
+    /// The log backend holding every acknowledged commit record durably.
+    pub backend: B,
+    /// Fsyncs issued (group mode: one per batch; baseline: one per commit).
+    pub fsyncs: u64,
+    /// Per-commit latency in wall microseconds from commit entry to
+    /// durability acknowledgement, sorted ascending.
+    pub commit_latencies_us: Vec<u64>,
+}
+
+/// The volatile half of the durable executor, guarded by one mutex: the
+/// transaction system plus the write-ahead buffer that commit journals
+/// (mirrors `DurableSystem`'s bookkeeping).
+struct Volatile<A: Adt, E: RecoveryEngine<A>, C: Conflict<A>> {
+    sys: TxnSystem<A, E, C>,
+    /// Global execution-sequence allocator (stamps every executed op).
+    op_seq: u64,
+    /// Executed-but-uncommitted operations per live transaction.
+    pending: BTreeMap<TxnId, Vec<(u64, ObjectId, Op<A>)>>,
+}
+
+/// Commit-barrier state: staged records, the durable watermark the barrier
+/// waits on, and the measured flush figures.
+struct Stage<A: Adt> {
+    /// Records staged for the next group flush, in commit order.
+    staged: Vec<CommitRecord<A>>,
+    /// Total records ever staged; a committer's record is durable once
+    /// `durable` reaches the value this held when it staged.
+    seq: u64,
+    /// Total records flushed durably.
+    durable: u64,
+    /// A leader is currently flushing (at most one at a time, so batches
+    /// reach the log in staging order).
+    leader: bool,
+    /// `(batch_len, micros)` per fsync, replayed into the tracer post-join.
+    flushes: Vec<(u64, u64)>,
+    /// Commit-entry→durability latency per acknowledged commit (unsorted;
+    /// workers push on acknowledgement).
+    latencies_us: Vec<u64>,
+}
+
+struct DurableShared<A, E, C, B>
+where
+    A: Adt,
+    E: RecoveryEngine<A>,
+    C: Conflict<A>,
+    B: LogBackend<A>,
+{
+    vol: Mutex<Volatile<A, E, C>>,
+    queue: Mutex<VecDeque<Box<dyn Script<A>>>>,
+    completed: Condvar,
+    tallies: Mutex<Tallies>,
+    stage: Mutex<Stage<A>>,
+    /// Signalled by the flush leader when a batch becomes durable.
+    durable: Condvar,
+    /// The log device. Held across `append`+`flush_delay` so fsyncs
+    /// serialise; never acquired while holding `vol` or `stage` — that is
+    /// what lets followers (and fresh committers) run while a flush is in
+    /// flight.
+    backend: Mutex<B>,
+    gc: GroupCommitCfg,
+}
+
+/// Run `scripts` over `sys` with durable commits journaled to `backend`.
+/// With `gc.group_commit` the commit path is: apply the commit in the
+/// volatile system, stage the redo record, release the system mutex, and
+/// wait on the commit barrier until a flush leader has made the record's
+/// batch durable with one fsync. Without it, every committer appends and
+/// fsyncs its own record (the baseline).
+pub fn run_threaded_durable<A, E, C, B>(
+    mut sys: TxnSystem<A, E, C>,
+    backend: B,
+    scripts: Vec<Box<dyn Script<A>>>,
+    cfg: &ThreadedCfg,
+    gc: &GroupCommitCfg,
+) -> DurableRun<A, E, C, B>
+where
+    A: Adt,
+    E: RecoveryEngine<A>,
+    C: Conflict<A> + Send + Sync,
+    B: LogBackend<A> + Send,
+{
+    if cfg.wall_clock {
+        sys.obs_mut().enable_wall_clock();
+    }
+    sys.obs_mut().set_label("backend", backend.name());
+    let shared = Arc::new(DurableShared {
+        vol: Mutex::new(Volatile { sys, op_seq: 0, pending: BTreeMap::new() }),
+        queue: Mutex::new(scripts.into_iter().collect::<VecDeque<_>>()),
+        completed: Condvar::new(),
+        tallies: Mutex::new(Tallies::default()),
+        stage: Mutex::new(Stage {
+            staged: Vec::new(),
+            seq: 0,
+            durable: 0,
+            leader: false,
+            flushes: Vec::new(),
+            latencies_us: Vec::new(),
+        }),
+        durable: Condvar::new(),
+        backend: Mutex::new(backend),
+        gc: *gc,
+    });
+
+    std::thread::scope(|scope| {
+        for _ in 0..cfg.workers.max(1) {
+            let shared = Arc::clone(&shared);
+            let cfg = *cfg;
+            scope.spawn(move || durable_worker(&shared, &cfg));
+        }
+    });
+
+    let shared = Arc::try_unwrap(shared).unwrap_or_else(|_| unreachable!("workers joined"));
+    let mut vol = shared.vol.into_inner();
+    let t = shared.tallies.into_inner();
+    let stage = shared.stage.into_inner();
+    // Replay the flush log into the tracer: one group_flush event per fsync
+    // feeds the batch-size and flush-latency histograms.
+    for &(batch, micros) in &stage.flushes {
+        vol.sys.obs_mut().on_group_flush(batch, micros);
+    }
+    let report = report_from(&t, &vol.sys);
+    let mut latencies = stage.latencies_us;
+    latencies.sort_unstable();
+    DurableRun {
+        report,
+        sys: vol.sys,
+        backend: shared.backend.into_inner(),
+        fsyncs: stage.flushes.len() as u64,
+        commit_latencies_us: latencies,
+    }
+}
+
+fn durable_worker<A, E, C, B>(shared: &DurableShared<A, E, C, B>, cfg: &ThreadedCfg)
+where
+    A: Adt,
+    E: RecoveryEngine<A>,
+    C: Conflict<A> + Send + Sync,
+    B: LogBackend<A> + Send,
+{
+    loop {
+        let script = {
+            let mut q = shared.queue.lock();
+            match q.pop_front() {
+                Some(s) => s,
+                None => return,
+            }
+        };
+        drive_durable(shared, cfg, script);
+    }
+}
+
+/// Make one committed transaction's record durable. `rec` was built under
+/// the `vol` guard, which is handed in still held: the append (baseline) or
+/// staging (group) slot is claimed **before** the system mutex is released,
+/// so the log's record order always equals the volatile commit order — and
+/// only then is `vol` dropped, letting other workers run during the flush.
+fn make_durable<A, E, C, B>(
+    shared: &DurableShared<A, E, C, B>,
+    rec: CommitRecord<A>,
+    entered: Instant,
+    vol: parking_lot::MutexGuard<'_, Volatile<A, E, C>>,
+) where
+    A: Adt,
+    E: RecoveryEngine<A>,
+    C: Conflict<A>,
+    B: LogBackend<A>,
+{
+    // Stage the record, then hold the barrier until a flush leader has made
+    // it durable. Whoever finds work staged and no leader in flight becomes
+    // the leader; everyone else parks on the barrier holding no lock but the
+    // stage's. The leader drains the whole staged batch either way — with
+    // group commit it costs ONE fsync, without it one fsync per record (the
+    // per-commit baseline: same ordering discipline, no amortisation).
+    let mut stage = shared.stage.lock();
+    drop(vol);
+    shared.completed.notify_all();
+    stage.staged.push(rec);
+    stage.seq += 1;
+    let my_seq = stage.seq;
+    while stage.durable < my_seq {
+        if !stage.leader && !stage.staged.is_empty() {
+            stage.leader = true;
+            let batch = std::mem::take(&mut stage.staged);
+            drop(stage);
+            if shared.gc.group_commit {
+                let micros = {
+                    let mut backend = shared.backend.lock();
+                    let t0 = Instant::now();
+                    backend.append_commits(&batch);
+                    if !shared.gc.flush_delay.is_zero() {
+                        std::thread::sleep(shared.gc.flush_delay);
+                    }
+                    t0.elapsed().as_micros() as u64
+                };
+                stage = shared.stage.lock();
+                stage.durable += batch.len() as u64;
+                stage.flushes.push((batch.len() as u64, micros));
+            } else {
+                // Per-commit baseline: every record pays its own fsync, and
+                // each committer is released as soon as *its* record is
+                // durable.
+                for r in &batch {
+                    let micros = {
+                        let mut backend = shared.backend.lock();
+                        let t0 = Instant::now();
+                        backend.append_commit(r);
+                        if !shared.gc.flush_delay.is_zero() {
+                            std::thread::sleep(shared.gc.flush_delay);
+                        }
+                        t0.elapsed().as_micros() as u64
+                    };
+                    let mut s = shared.stage.lock();
+                    s.durable += 1;
+                    s.flushes.push((1, micros));
+                    shared.durable.notify_all();
+                }
+                stage = shared.stage.lock();
+            }
+            stage.leader = false;
+            shared.durable.notify_all();
+        } else {
+            shared.durable.wait(&mut stage);
+        }
+    }
+    let latency = entered.elapsed().as_micros() as u64;
+    stage.latencies_us.push(latency);
+}
+
+fn drive_durable<A, E, C, B>(
+    shared: &DurableShared<A, E, C, B>,
+    cfg: &ThreadedCfg,
+    mut script: Box<dyn Script<A>>,
+) where
+    A: Adt,
+    E: RecoveryEngine<A>,
+    C: Conflict<A> + Send + Sync,
+    B: LogBackend<A> + Send,
+{
+    let mut retries = 0usize;
+    'attempt: loop {
+        shared.tallies.lock().rounds += 1;
+        script.reset();
+        let mut last: Option<A::Response> = None;
+        let txn = shared.vol.lock().sys.begin();
+        loop {
+            let step = script.next(last.as_ref());
+            match step {
+                Step::Invoke(obj, inv) => {
+                    let mut vol = shared.vol.lock();
+                    let mut first_attempt = true;
+                    loop {
+                        match vol.sys.invoke(txn, obj, inv.clone()) {
+                            Ok(resp) => {
+                                let seq = vol.op_seq;
+                                vol.op_seq += 1;
+                                vol.pending.entry(txn).or_default().push((
+                                    seq,
+                                    obj,
+                                    Op::new(inv.clone(), resp.clone()),
+                                ));
+                                last = Some(resp);
+                                break;
+                            }
+                            Err(TxnError::Blocked { .. }) => {
+                                if first_attempt {
+                                    shared.tallies.lock().blocked_ops += 1;
+                                    first_attempt = false;
+                                }
+                                if let Some(cycle) = vol.sys.find_deadlock(txn) {
+                                    let victim =
+                                        cycle.iter().copied().max().expect("non-empty cycle");
+                                    if victim == txn {
+                                        vol.sys
+                                            .abort_with(txn, AbortReason::Deadlock)
+                                            .expect("active");
+                                        vol.pending.remove(&txn);
+                                        shared.tallies.lock().deadlock_aborts += 1;
+                                        shared.completed.notify_all();
+                                        drop(vol);
+                                        retries += 1;
+                                        shared.tallies.lock().retries += 1;
+                                        if retries > cfg.max_retries {
+                                            shared.tallies.lock().gave_up += 1;
+                                            return;
+                                        }
+                                        continue 'attempt;
+                                    }
+                                    // Another worker owns the victim: wake
+                                    // every waiter so it re-checks now.
+                                    shared.completed.notify_all();
+                                }
+                                shared.tallies.lock().wait_rounds += 1;
+                                shared.completed.wait_for(&mut vol, cfg.wait_slice);
+                            }
+                            Err(TxnError::Aborted(_)) => {
+                                vol.pending.remove(&txn);
+                                drop(vol);
+                                shared.completed.notify_all();
+                                retries += 1;
+                                shared.tallies.lock().retries += 1;
+                                if retries > cfg.max_retries {
+                                    shared.tallies.lock().gave_up += 1;
+                                    return;
+                                }
+                                continue 'attempt;
+                            }
+                            Err(e) => panic!("script error: {e}"),
+                        }
+                    }
+                }
+                Step::Commit => {
+                    let entered = Instant::now();
+                    let mut vol = shared.vol.lock();
+                    match vol.sys.commit(txn) {
+                        Ok(()) => {
+                            let ops = vol.pending.remove(&txn).unwrap_or_default();
+                            let rec = CommitRecord { floor: vol.sys.next_txn_id(), ops };
+                            // Prune buffers of transactions aborted behind
+                            // our back (wound-wait victims never reach the
+                            // abort arm here).
+                            let active: BTreeSet<TxnId> = vol.sys.active().collect();
+                            vol.pending.retain(|t, _| active.contains(t));
+                            // The system mutex is released inside
+                            // make_durable (after the log slot is claimed):
+                            // other workers invoke and commit while this
+                            // record rides the barrier.
+                            make_durable(shared, rec, entered, vol);
+                            shared.tallies.lock().committed += 1;
+                            return;
+                        }
+                        Err(TxnError::Aborted(_)) => {
+                            vol.pending.remove(&txn);
+                            drop(vol);
+                            shared.completed.notify_all();
+                            retries += 1;
+                            shared.tallies.lock().retries += 1;
+                            if retries > cfg.max_retries {
+                                shared.tallies.lock().gave_up += 1;
+                                return;
+                            }
+                            continue 'attempt;
+                        }
+                        Err(e) => panic!("commit error: {e}"),
+                    }
+                }
+                Step::Abort => {
+                    let mut vol = shared.vol.lock();
+                    vol.pending.remove(&txn);
+                    vol.sys.abort(txn).expect("active");
+                    drop(vol);
+                    shared.completed.notify_all();
+                    shared.tallies.lock().voluntary_aborts += 1;
+                    return;
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -277,6 +705,55 @@ mod tests {
     }
 
     #[test]
+    fn attempt_accounting_identity_holds() {
+        // Shared RunReport semantics: every transaction attempt ends in a
+        // commit, a voluntary abort, or a retry — so `rounds` (attempts)
+        // must equal their sum, and the threaded executor reports zero
+        // admission rounds by definition.
+        let sys: TxnSystem<BankAccount, UipEngine<BankAccount>, _> =
+            TxnSystem::new(BankAccount::default(), 1, bank_nrbc());
+        let (report, _) = run_threaded(sys, scripts(16), &ThreadedCfg::default());
+        assert_eq!(
+            report.rounds,
+            report.committed + report.voluntary_aborts + report.retries,
+            "attempt identity: {report:?}"
+        );
+        assert!(report.rounds >= 16, "at least one attempt per script");
+        assert_eq!(report.admission_rounds, 0);
+    }
+
+    #[test]
+    fn deadlock_victims_are_woken_not_slept_out() {
+        // Regression: when a worker detects a deadlock whose victim belongs
+        // to another worker, it must notify the condvar so the victim
+        // re-checks the cycle immediately. Before the fix the victim slept
+        // out its full wait slice — with a 5-second slice, any reliance on
+        // the timeout makes this run take multiple seconds.
+        let sys: TxnSystem<BankAccount, UipEngine<BankAccount>, _> =
+            TxnSystem::new(BankAccount::default(), 2, bank_nrbc());
+        let y = ObjectId(1);
+        let mut scripts: Vec<Box<dyn Script<BankAccount>>> = Vec::new();
+        for i in 0..16 {
+            let (first, second) = if i % 2 == 0 { (X, y) } else { (y, X) };
+            scripts.push(Box::new(OpsScript::new(vec![
+                (first, BankInv::Balance),
+                (second, BankInv::Deposit(1)),
+            ])));
+        }
+        let cfg =
+            ThreadedCfg { workers: 4, wait_slice: Duration::from_secs(5), ..Default::default() };
+        let t0 = Instant::now();
+        let (report, _sys) = run_threaded(sys, scripts, &cfg);
+        let elapsed = t0.elapsed();
+        assert_eq!(report.committed + report.gave_up, 16);
+        assert_eq!(report.gave_up, 0);
+        assert!(
+            elapsed < Duration::from_millis(2500),
+            "victims must be woken immediately, not after the wait slice: {elapsed:?}"
+        );
+    }
+
+    #[test]
     fn cross_object_deadlocks_resolve() {
         // Balance-then-deposit crosswise over two objects (the deadlock
         // pattern from the system tests), many times over.
@@ -298,5 +775,115 @@ mod tests {
         let spec = SystemSpec::uniform(BankAccount::default(), 2);
         assert!(check_dynamic_atomic(&spec, sys.trace()).is_ok());
         let _ = sys.committed_state(X);
+    }
+
+    use crate::crash::{DurableSystem, TornPolicy};
+    use ccr_obs::EventKind;
+    use ccr_store::{WalBackend, WalConfig};
+
+    fn spread_scripts(n: u32, objects: u32) -> Vec<Box<dyn Script<BankAccount>>> {
+        (0..n)
+            .map(|i| {
+                Box::new(OpsScript::on(ObjectId(i % objects), vec![BankInv::Deposit(1)]))
+                    as Box<dyn Script<BankAccount>>
+            })
+            .collect()
+    }
+
+    #[test]
+    fn durable_group_commit_amortises_fsyncs_and_recovers() {
+        let sys: TxnSystem<BankAccount, UipEngine<BankAccount>, _> =
+            TxnSystem::new(BankAccount::default(), 8, bank_nrbc());
+        let cfg = ThreadedCfg { workers: 4, ..Default::default() };
+        let gc = GroupCommitCfg { group_commit: true, flush_delay: Duration::from_micros(500) };
+        let run = run_threaded_durable(
+            sys,
+            WalBackend::new(WalConfig::default()),
+            spread_scripts(32, 8),
+            &cfg,
+            &gc,
+        );
+        assert_eq!(run.report.committed, 32);
+        assert_eq!(run.commit_latencies_us.len(), 32);
+        assert!(run.fsyncs < 32, "batches must amortise fsyncs: {} for 32 commits", run.fsyncs);
+        // The replayed group_flush events cover every commit exactly once.
+        let flushed: u64 = run
+            .sys
+            .obs()
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::GroupFlush { batch, .. } => Some(batch),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(flushed, 32);
+        // Every acknowledged commit is durable: a fresh system recovering
+        // from the backend's stable image replays all 32 records strictly.
+        let mut rec: DurableSystem<
+            BankAccount,
+            UipEngine<BankAccount>,
+            _,
+            WalBackend<BankAccount>,
+        > = DurableSystem::with_backend(BankAccount::default(), 8, bank_nrbc(), run.backend);
+        rec.crash_and_recover_with(TornPolicy::Strict).unwrap();
+        assert_eq!(rec.journal().len(), 32);
+        for i in 0..8 {
+            assert_eq!(rec.committed_state(ObjectId(i)), 4);
+        }
+    }
+
+    #[test]
+    fn durable_baseline_pays_one_fsync_per_commit() {
+        let sys: TxnSystem<BankAccount, UipEngine<BankAccount>, _> =
+            TxnSystem::new(BankAccount::default(), 8, bank_nrbc());
+        let cfg = ThreadedCfg { workers: 4, ..Default::default() };
+        let gc = GroupCommitCfg { group_commit: false, flush_delay: Duration::ZERO };
+        let run = run_threaded_durable(
+            sys,
+            WalBackend::new(WalConfig::default()),
+            spread_scripts(16, 8),
+            &cfg,
+            &gc,
+        );
+        assert_eq!(run.report.committed, 16);
+        assert_eq!(run.fsyncs, 16, "baseline: one fsync per commit");
+        assert_eq!(
+            run.report.rounds,
+            run.report.committed + run.report.voluntary_aborts + run.report.retries,
+            "attempt identity holds for the durable executor too"
+        );
+    }
+
+    #[test]
+    fn durable_group_commit_handles_contention_and_deadlocks() {
+        // The contended crosswise pattern under the durable executor with
+        // group commit: every script must still commit, and the journal must
+        // replay to the same state.
+        let sys: TxnSystem<BankAccount, UipEngine<BankAccount>, _> =
+            TxnSystem::new(BankAccount::default(), 2, bank_nrbc());
+        let y = ObjectId(1);
+        let mut scripts: Vec<Box<dyn Script<BankAccount>>> = Vec::new();
+        for i in 0..8 {
+            let (first, second) = if i % 2 == 0 { (X, y) } else { (y, X) };
+            scripts.push(Box::new(OpsScript::new(vec![
+                (first, BankInv::Balance),
+                (second, BankInv::Deposit(1)),
+            ])));
+        }
+        let cfg = ThreadedCfg { workers: 4, ..Default::default() };
+        let gc = GroupCommitCfg { group_commit: true, flush_delay: Duration::from_micros(200) };
+        let run =
+            run_threaded_durable(sys, WalBackend::new(WalConfig::default()), scripts, &cfg, &gc);
+        assert_eq!(run.report.committed, 8);
+        let mut rec: DurableSystem<
+            BankAccount,
+            UipEngine<BankAccount>,
+            _,
+            WalBackend<BankAccount>,
+        > = DurableSystem::with_backend(BankAccount::default(), 2, bank_nrbc(), run.backend);
+        rec.crash_and_recover_with(TornPolicy::Strict).unwrap();
+        assert_eq!(rec.journal().len(), 8);
+        assert_eq!(rec.committed_state(X) + rec.committed_state(y), 8);
     }
 }

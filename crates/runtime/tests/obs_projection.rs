@@ -16,6 +16,8 @@ use ccr_runtime::scheduler::{run, SchedulerCfg};
 use ccr_runtime::script::{OpsScript, Script};
 use ccr_runtime::sim::{run_sim, SimCfg};
 use ccr_runtime::system::{ConflictPolicy, TxnSystem};
+use ccr_runtime::threaded::{run_threaded, ThreadedCfg};
+use ccr_store::{WalBackend, WalConfig};
 
 const X: ObjectId = ObjectId::SOLE;
 
@@ -85,6 +87,63 @@ fn projection_matches_across_every_fault_kind_and_crash_recovery() {
     let r = run_sim(&mut du, scripts(6), &plan, &SimCfg::default(), &spec, None).unwrap();
     assert_eq!(r.faults_injected, 5);
     assert_projection_matches(du.system());
+}
+
+#[test]
+fn run_report_semantics_agree_across_executors() {
+    // The shared RunReport field semantics documented on the struct must
+    // hold under both executors: the outcome partition covers every script,
+    // blocked_ops never exceeds the raw block counter, admission_rounds is
+    // zero without admission control, and the threaded executor's attempt
+    // identity (rounds == committed + voluntary_aborts + retries) is exact.
+    let mut sys: TxnSystem<BankAccount, UipEngine<BankAccount>, _> =
+        TxnSystem::new(BankAccount::default(), 1, bank_nrbc());
+    let r = run(&mut sys, scripts(8), &SchedulerCfg { seed: 3, ..Default::default() });
+    assert_eq!(r.committed + r.voluntary_aborts + r.gave_up, 8);
+    assert_eq!(r.admission_rounds, 0, "no admission control configured");
+    assert!(r.blocked_ops <= r.stats.blocks);
+    assert_eq!(r.stats.committed, r.committed);
+    assert_projection_matches(&sys);
+
+    let tsys: TxnSystem<BankAccount, UipEngine<BankAccount>, _> =
+        TxnSystem::new(BankAccount::default(), 1, bank_nrbc());
+    let (tr, tsys) = run_threaded(tsys, scripts(8), &ThreadedCfg::default());
+    assert_eq!(tr.committed + tr.voluntary_aborts + tr.gave_up, 8);
+    assert_eq!(tr.admission_rounds, 0, "threaded executor has no admission control");
+    assert!(tr.blocked_ops <= tr.stats.blocks);
+    assert_eq!(tr.stats.committed, tr.committed);
+    assert_eq!(
+        tr.rounds,
+        tr.committed + tr.voluntary_aborts + tr.retries,
+        "threaded attempt identity: {tr:?}"
+    );
+    assert_projection_matches(&tsys);
+}
+
+#[test]
+fn projection_is_neutral_to_group_flush_events() {
+    // A disk-backed group-commit run emits GroupFlush events; they feed the
+    // histograms only, so the counter projection must still match.
+    let spec = SystemSpec::uniform(BankAccount::default(), 6);
+    let mut sys: DurableSystem<BankAccount, UipEngine<BankAccount>, _, WalBackend<BankAccount>> =
+        DurableSystem::with_backend(
+            BankAccount::default(),
+            6,
+            bank_nrbc(),
+            WalBackend::new(WalConfig::default()),
+        );
+    let scripts: Vec<Box<dyn Script<BankAccount>>> = (0..6)
+        .map(|i| {
+            Box::new(OpsScript::on(ObjectId(i), vec![BankInv::Deposit(2), BankInv::Withdraw(1)]))
+                as Box<dyn Script<BankAccount>>
+        })
+        .collect();
+    let cfg = SimCfg { group_commit: true, ..Default::default() };
+    run_sim(&mut sys, scripts, &FaultPlan::none(), &cfg, &spec, None).unwrap();
+    let flushes =
+        sys.system().obs().events().iter().filter(|e| e.kind_name() == "group_flush").count();
+    assert!(flushes >= 1, "the group-commit path must have flushed");
+    assert_projection_matches(sys.system());
 }
 
 #[test]

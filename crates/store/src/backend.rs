@@ -188,6 +188,18 @@ pub trait LogBackend<A: Adt>: Send {
     /// Durably append one commit record (write + fsync).
     fn append_commit(&mut self, rec: &CommitRecord<A>);
 
+    /// Durably append a *group* of commit records — the group-commit flush.
+    /// The contract is all-or-prefix: after a crash, recovery may keep any
+    /// prefix of `recs` in commit order, but once this call returns the whole
+    /// group is durable. The default flushes one record at a time (correct,
+    /// unamortised); [`crate::WalBackend`] overrides it with batch framing
+    /// and a single fsync for the whole group.
+    fn append_commits(&mut self, recs: &[CommitRecord<A>]) {
+        for rec in recs {
+            self.append_commit(rec);
+        }
+    }
+
     /// Durably write a checkpoint and truncate what it covers. Returns the
     /// number of whole segments truncated (always 0 for the mem backend).
     fn write_checkpoint(&mut self, img: &CheckpointImage<A>) -> u64;
@@ -274,6 +286,10 @@ pub struct MemBackend<A: Adt> {
     checkpoint: Option<CheckpointImage<A>>,
     records: Vec<StoredRecord<A>>,
     stats: StoreStats,
+    /// Whether the current torn tail has already been counted into `stats`.
+    /// Repeated scans (a Strict refusal, then a DiscardTail retry) re-detect
+    /// the same physical tear; one fault must count once.
+    tear_counted: bool,
 }
 
 #[derive(Debug)]
@@ -285,7 +301,12 @@ struct StoredRecord<A: Adt> {
 
 impl<A: Adt> MemBackend<A> {
     pub fn new() -> Self {
-        MemBackend { checkpoint: None, records: Vec::new(), stats: StoreStats::default() }
+        MemBackend {
+            checkpoint: None,
+            records: Vec::new(),
+            stats: StoreStats::default(),
+            tear_counted: false,
+        }
     }
 
     fn floors(&self) -> (u32, u64) {
@@ -316,6 +337,7 @@ impl<A: Adt> MemBackend<A> {
 impl<A: Adt> LogBackend<A> for MemBackend<A> {
     fn append_commit(&mut self, rec: &CommitRecord<A>) {
         self.records.push(StoredRecord { op_count: rec.ops.len(), rec: rec.clone() });
+        self.tear_counted = false;
     }
 
     fn write_checkpoint(&mut self, img: &CheckpointImage<A>) -> u64 {
@@ -343,7 +365,10 @@ impl<A: Adt> LogBackend<A> for MemBackend<A> {
                 let idx = self.records.len() - 1;
                 report.detections.push(Detection::TornFrame { sector: idx as u64 });
                 report.damage = "torn-tail";
-                self.stats.sector_tears += 1;
+                if !self.tear_counted {
+                    self.stats.sector_tears += 1;
+                    self.tear_counted = true;
+                }
                 match policy {
                     TailPolicy::Strict => {
                         return Err(StoreFailure {
@@ -358,6 +383,9 @@ impl<A: Adt> LogBackend<A> for MemBackend<A> {
                     TailPolicy::DiscardTail => {
                         self.records.pop();
                         report.frames -= 1;
+                        // The torn record is gone; a tear a later scan finds
+                        // is a new fault.
+                        self.tear_counted = false;
                     }
                 }
             }
@@ -448,7 +476,8 @@ mod tests {
         assert_eq!(err.report.damage, "torn-tail");
         let out = b.recover(TailPolicy::DiscardTail).unwrap();
         assert_eq!(out.records.len(), 1);
-        assert_eq!(out.stats.sector_tears, 2); // one detection per scan
+        // One physical tear, two scans: one count.
+        assert_eq!(out.stats.sector_tears, 1);
         assert_eq!(out.txn_floor, 1);
     }
 

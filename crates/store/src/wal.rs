@@ -9,12 +9,20 @@
 //!
 //! ```text
 //! magic  u32-le   b"CCRF"
-//! kind   u8       1 = segment header, 2 = commit, 3 = checkpoint
+//! kind   u8       1 = segment header, 2 = commit, 3 = checkpoint,
+//!                 4 = batched commit (group-commit flush member)
 //! len    u32-le   payload byte length
 //! crc    u32-le   CRC32 of the whole padded frame with this field zeroed
 //! payload[len]
 //! zero padding to a sector multiple
 //! ```
+//!
+//! A batched-commit frame (kind 4) prefixes the commit payload with a
+//! [`BatchMeta`] header — `batch_id`, `pos`, `len` — naming the group-commit
+//! flush it belongs to and its position within it. [`append_commits`]
+//! ([`LogBackend::append_commits`]) stages every frame of the batch in the
+//! device's write cache and makes the whole group durable with **one**
+//! tearable flush, which is what amortises the fsync cost across the batch.
 //!
 //! The CRC covers the padding, so *every durable bit* of the log belongs to
 //! exactly one frame's checked extent — any single-bit flip is detectable.
@@ -44,13 +52,32 @@
 //!   ([`Detection::CrcMismatch`]).
 //!
 //! On damage the scanner probes every later frame position; a valid frame
-//! *after* the damage point upgrades the classification to interior
+//! *after* the damage point usually upgrades the classification to interior
 //! corruption ([`Detection::InteriorFrame`]), which no policy may discard.
-//! Otherwise the damage is a torn tail: [`TailPolicy::Strict`] refuses and
+//! The exception is a **torn group flush**: when the damage is a tear or a
+//! hole (never a CRC mismatch — CRC damage behind intact frames stays
+//! interior, because those frames were acknowledged) and every valid frame
+//! beyond it is a batched-commit frame of one single batch, the damage is
+//! classified `torn-batch` — the whole extent belongs to one interrupted
+//! group flush that was never acknowledged, so
+//! [`TailPolicy::DiscardTail`] may delete it. Otherwise the damage is a
+//! torn tail: [`TailPolicy::Strict`] refuses and
 //! [`TailPolicy::DiscardTail`] deletes the damaged suffix and recovers the
-//! valid prefix. The newest valid checkpoint becomes the replay base;
-//! commit frames after it are returned in commit order.
+//! valid prefix.
+//!
+//! A crash can also land exactly on a frame boundary inside a group flush,
+//! leaving a *well-formed* log whose final batch run is incomplete
+//! (`pos` reaches only `k < len`). The scanner detects this from the batch
+//! headers alone: Strict refuses it like any torn tail, and DiscardTail
+//! keeps the `k` surviving records — a prefix of the batch in commit order,
+//! none of them acknowledged — and rewrites their headers in place with
+//! `len = k` (the header is fixed-width, so the rewrite keeps every frame's
+//! sector footprint) so the repaired log scans clean from then on.
+//!
+//! The newest valid checkpoint becomes the replay base; commit frames after
+//! it are returned in commit order.
 
+use std::collections::BTreeSet;
 use std::marker::PhantomData;
 
 use ccr_core::adt::Adt;
@@ -85,6 +112,7 @@ const MAGIC: u32 = u32::from_le_bytes(*b"CCRF");
 const KIND_SEG_HEADER: u8 = 1;
 const KIND_COMMIT: u8 = 2;
 const KIND_CHECKPOINT: u8 = 3;
+const KIND_BATCH: u8 = 4;
 /// magic(4) + kind(1) + len(4) + crc(4).
 const FRAME_OVERHEAD: usize = 13;
 /// epoch(8) + seg_index(8) + requires_checkpoint(1) + txn_floor(4) +
@@ -134,7 +162,7 @@ fn read_frame(disk: &SimDisk, cfg: &WalConfig, pos: u64, seg_end: u64) -> FrameR
         return FrameRead::Corrupt;
     }
     let kind = first[4];
-    if !(KIND_SEG_HEADER..=KIND_CHECKPOINT).contains(&kind) {
+    if !(KIND_SEG_HEADER..=KIND_BATCH).contains(&kind) {
         return FrameRead::Corrupt;
     }
     let len = u32::from_le_bytes(first[5..9].try_into().expect("4 bytes")) as usize;
@@ -233,6 +261,58 @@ where
     (pos == payload.len()).then_some(rec)
 }
 
+/// Per-frame batch header of a group-commit flush member: which flush the
+/// frame belongs to and where it sits in it. `id` is unique across adjacent
+/// batches (epoch-salted counter), so two flushes can never be mistaken for
+/// one; `pos`/`len` let the scanner judge whether the trailing batch run is
+/// a complete group or a crash-surviving prefix. Fixed width (16 bytes), so
+/// a repair rewrite that shrinks `len` never changes a frame's footprint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct BatchMeta {
+    id: u64,
+    pos: u32,
+    len: u32,
+}
+
+fn encode_batch<A>(meta: BatchMeta, rec: &CommitRecord<A>) -> Vec<u8>
+where
+    A: Adt,
+    A::Invocation: Persist,
+    A::Response: Persist,
+{
+    let mut out = Vec::new();
+    meta.id.encode(&mut out);
+    meta.pos.encode(&mut out);
+    meta.len.encode(&mut out);
+    rec.floor.encode(&mut out);
+    rec.ops.encode(&mut out);
+    out
+}
+
+fn decode_batch<A>(payload: &[u8]) -> Option<(BatchMeta, CommitRecord<A>)>
+where
+    A: Adt,
+    A::Invocation: Persist,
+    A::Response: Persist,
+{
+    let mut pos = 0;
+    let meta = BatchMeta {
+        id: u64::decode(payload, &mut pos)?,
+        pos: u32::decode(payload, &mut pos)?,
+        len: u32::decode(payload, &mut pos)?,
+    };
+    // `len == 1` is legal: a repair rewrite can shrink a torn batch to a
+    // single surviving record. `pos >= len` never is.
+    if meta.len == 0 || meta.pos >= meta.len {
+        return None;
+    }
+    let rec = CommitRecord {
+        floor: u32::decode(payload, &mut pos)?,
+        ops: Persist::decode(payload, &mut pos)?,
+    };
+    (pos == payload.len()).then_some((meta, rec))
+}
+
 fn encode_checkpoint<A>(img: &CheckpointImage<A>) -> Vec<u8>
 where
     A: Adt,
@@ -281,6 +361,15 @@ pub struct WalBackend<A: Adt> {
     /// Detections accumulated by scans since the last crash, folded into
     /// `stats` (and persisted) at the next successful recovery.
     detected: StoreStats,
+    /// Damage sites already counted into `detected` since the last crash.
+    /// Repeated scans of the same un-repaired damage (a Strict refusal
+    /// followed by a DiscardTail retry) re-detect the same physical fault;
+    /// this set keeps one fault from inflating the persisted counters.
+    seen_damage: BTreeSet<(u8, u64)>,
+    /// Group-commit batch counter for this process lifetime; the durable
+    /// batch id is salted with the recovery epoch, so ids stay distinct
+    /// across a crash even though the counter restarts.
+    next_batch_id: u64,
     /// Whether the most recent flush was a commit append. Header and
     /// checkpoint flushes are synchronous fsyncs the caller waited on, so
     /// tear / reorder faults (which model an interrupted flush) do not
@@ -313,6 +402,8 @@ where
             next_exec_seq: 0,
             stats: StoreStats::default(),
             detected: StoreStats::default(),
+            seen_damage: BTreeSet::new(),
+            next_batch_id: 0,
             tearable: false,
             _marker: PhantomData,
         };
@@ -374,33 +465,85 @@ where
         self.tearable = tearable;
     }
 
-    /// All sector-aligned frame positions after `pos` that could start a
-    /// frame: the rest of `pos`'s segment, then the whole data area (and
-    /// header) of every later candidate segment.
-    fn probe_for_valid_frame(&self, segs: &[u64], seg_idx: u64, pos: u64) -> Option<u64> {
+    /// Probe all sector-aligned frame positions after `pos` that could start
+    /// a frame — the rest of `pos`'s segment, then the whole area of every
+    /// later candidate segment — and classify what lies beyond the damage.
+    fn probe_beyond_damage(&self, segs: &[u64], seg_idx: u64, pos: u64) -> TailProbe {
+        let mut first_valid: Option<u64> = None;
+        let mut batch_ids: BTreeSet<u64> = BTreeSet::new();
+        let mut non_batch = false;
+        let mut visit = |p: u64, seg_end: u64| {
+            if let FrameRead::Valid { kind, payload, .. } =
+                read_frame(&self.disk, &self.cfg, p, seg_end)
+            {
+                first_valid.get_or_insert(p);
+                match (kind == KIND_BATCH).then(|| decode_batch::<A>(&payload)).flatten() {
+                    Some((meta, _)) => {
+                        batch_ids.insert(meta.id);
+                    }
+                    None => non_batch = true,
+                }
+            }
+        };
         let seg_end = (seg_idx + 1) * self.cfg.seg_sectors;
         for p in pos + 1..seg_end {
-            if let FrameRead::Valid { .. } = read_frame(&self.disk, &self.cfg, p, seg_end) {
-                return Some(p);
-            }
+            visit(p, seg_end);
         }
         for &s in segs.iter().filter(|&&s| s > seg_idx) {
             let base = s * self.cfg.seg_sectors;
             let end = base + self.cfg.seg_sectors;
             for p in base..end {
-                if let FrameRead::Valid { .. } = read_frame(&self.disk, &self.cfg, p, end) {
-                    return Some(p);
-                }
+                visit(p, end);
             }
         }
-        None
+        match first_valid {
+            None => TailProbe::Nothing,
+            Some(p) if !non_batch && batch_ids.len() == 1 => TailProbe::SameBatch(p),
+            Some(p) => TailProbe::Interior(p),
+        }
     }
 }
 
-/// A valid frame collected by the scan walk.
+/// Count a scan detection toward the per-process fault stats, at most once
+/// per damage site per crash: repeated scans of the same un-repaired damage
+/// re-detect the same physical fault and must not inflate the persisted
+/// counters. (A crash legitimately clears the memo — process memory is not
+/// stable storage — so each post-crash scan counts a site it finds afresh.)
+fn note_detection(detected: &mut StoreStats, seen: &mut BTreeSet<(u8, u64)>, d: &Detection) {
+    let key = match d {
+        Detection::TornFrame { sector } => (0u8, *sector),
+        Detection::MissingData { sector } => (1, *sector),
+        Detection::CrcMismatch { sector } => (2, *sector),
+        Detection::InteriorFrame { sector } => (3, *sector),
+    };
+    if !seen.insert(key) {
+        return;
+    }
+    match d {
+        Detection::TornFrame { .. } => detected.sector_tears += 1,
+        Detection::MissingData { .. } => detected.reordered_flushes += 1,
+        Detection::CrcMismatch { .. } => detected.bitflips_detected += 1,
+        Detection::InteriorFrame { .. } => {}
+    }
+}
+
+/// A valid frame collected by the scan walk. Batched commits carry their
+/// batch header and absolute start sector, so the trailing-batch fold can
+/// judge completeness and rewrite a surviving prefix in place.
 enum ScannedFrame<A: Adt> {
-    Commit(CommitRecord<A>),
+    Commit { rec: CommitRecord<A>, batch: Option<(BatchMeta, u64)> },
     Checkpoint(CheckpointImage<A>),
+}
+
+/// What lies beyond a damage site.
+enum TailProbe {
+    /// No valid frame after the damage: an ordinary torn tail.
+    Nothing,
+    /// Valid frames after the damage, all of them members of one single
+    /// batch: the damage is inside one interrupted group flush.
+    SameBatch(u64),
+    /// Any other valid frame after the damage: interior corruption.
+    Interior(u64),
 }
 
 impl<A> LogBackend<A> for WalBackend<A>
@@ -416,6 +559,54 @@ where
             self.next_exec_seq = self.next_exec_seq.max(max);
         }
         self.append_frame(KIND_COMMIT, &encode_commit(rec));
+    }
+
+    fn append_commits(&mut self, recs: &[CommitRecord<A>]) {
+        // A group of one gains nothing from batch framing: fall back to the
+        // plain commit frame so the default path stays byte-identical.
+        if recs.len() < 2 {
+            if let Some(rec) = recs.first() {
+                self.append_commit(rec);
+            }
+            return;
+        }
+        let id = (self.epoch << 32) ^ self.next_batch_id;
+        self.next_batch_id += 1;
+        let len = recs.len() as u32;
+        let mut staged = false;
+        for (i, rec) in recs.iter().enumerate() {
+            self.txn_floor = rec.floor;
+            if let Some(max) = rec.ops.iter().map(|(s, _, _)| s + 1).max() {
+                self.next_exec_seq = self.next_exec_seq.max(max);
+            }
+            let meta = BatchMeta { id, pos: i as u32, len };
+            let frame = build_frame(KIND_BATCH, &encode_batch(meta, rec), self.cfg.sector);
+            let sectors = (frame.len() / self.cfg.sector) as u64;
+            assert!(
+                sectors <= self.cfg.seg_sectors - self.header_sectors(),
+                "frame of {sectors} sectors exceeds segment capacity"
+            );
+            if self.head + sectors > self.cfg.seg_sectors {
+                // Roll mid-batch: make the staged prefix durable first (its
+                // sectors must not share a flush with the new segment's
+                // non-tearable header fsync), then open the next segment.
+                if staged {
+                    self.disk.flush();
+                    self.tearable = true;
+                }
+                self.seg += 1;
+                self.head = self.header_sectors();
+                self.write_header();
+            }
+            self.disk.write(self.seg * self.cfg.seg_sectors + self.head, &frame);
+            self.head += sectors;
+            staged = true;
+        }
+        if staged {
+            // The single fsync the whole batch was waiting on.
+            self.disk.flush();
+            self.tearable = true;
+        }
     }
 
     fn write_checkpoint(&mut self, img: &CheckpointImage<A>) -> u64 {
@@ -456,6 +647,8 @@ where
         self.next_exec_seq = 0;
         self.stats = StoreStats::default();
         self.detected = StoreStats::default();
+        self.seen_damage.clear();
+        self.next_batch_id = 0;
         self.tearable = false;
     }
 
@@ -478,6 +671,7 @@ where
             self.detected.recoveries += 1;
             self.stats = self.detected;
             self.detected = StoreStats::default();
+            self.seen_damage.clear();
             self.write_header();
             return Ok(RecoveredLog {
                 checkpoint: None,
@@ -505,8 +699,9 @@ where
                     match SegHeader::decode(&payload) {
                         Some(h) => governing = h,
                         None => {
-                            self.detected.bitflips_detected += 1;
-                            report.detections.push(Detection::CrcMismatch { sector: base });
+                            let d = Detection::CrcMismatch { sector: base };
+                            note_detection(&mut self.detected, &mut self.seen_damage, &d);
+                            report.detections.push(d);
                             report.damage = "corrupt-header";
                             return Err(StoreFailure {
                                 report,
@@ -520,8 +715,9 @@ where
                 // any policy: headers are fsynced in place, so a legitimate
                 // crash cannot tear them — only corruption explains this.
                 _ => {
-                    self.detected.bitflips_detected += 1;
-                    report.detections.push(Detection::CrcMismatch { sector: base });
+                    let d = Detection::CrcMismatch { sector: base };
+                    note_detection(&mut self.detected, &mut self.seen_damage, &d);
+                    report.detections.push(d);
                     report.damage = "corrupt-header";
                     return Err(StoreFailure {
                         report,
@@ -539,11 +735,12 @@ where
                         // after a hole means the flush persisted out of
                         // order.
                         if (pos + 1..seg_end).any(|q| self.disk.read(q).is_some()) {
-                            self.detected.reordered_flushes += 1;
-                            report.detections.push(Detection::MissingData { sector: pos });
+                            let d = Detection::MissingData { sector: pos };
+                            note_detection(&mut self.detected, &mut self.seen_damage, &d);
+                            report.detections.push(d);
                             damage = Some((
                                 pos,
-                                Detection::MissingData { sector: pos },
+                                d,
                                 StoreFailureKind::Torn {
                                     record: frames.len(),
                                     expected: 1,
@@ -562,7 +759,11 @@ where
                     }
                     FrameRead::Valid { kind, payload, sectors } => {
                         let decoded = match kind {
-                            KIND_COMMIT => decode_commit::<A>(&payload).map(ScannedFrame::Commit),
+                            KIND_COMMIT => decode_commit::<A>(&payload)
+                                .map(|rec| ScannedFrame::Commit { rec, batch: None }),
+                            KIND_BATCH => decode_batch::<A>(&payload).map(|(meta, rec)| {
+                                ScannedFrame::Commit { rec, batch: Some((meta, pos)) }
+                            }),
                             KIND_CHECKPOINT => {
                                 decode_checkpoint::<A>(&payload).map(ScannedFrame::Checkpoint)
                             }
@@ -579,37 +780,32 @@ where
                                 end = (seg_idx, pos - base);
                             }
                             None => {
-                                self.detected.bitflips_detected += 1;
-                                report.detections.push(Detection::CrcMismatch { sector: pos });
-                                damage = Some((
-                                    pos,
-                                    Detection::CrcMismatch { sector: pos },
-                                    StoreFailureKind::Corrupt { sector: pos },
-                                ));
+                                let d = Detection::CrcMismatch { sector: pos };
+                                note_detection(&mut self.detected, &mut self.seen_damage, &d);
+                                report.detections.push(d);
+                                damage = Some((pos, d, StoreFailureKind::Corrupt { sector: pos }));
                                 end = (seg_idx, pos - base);
                                 break 'walk;
                             }
                         }
                     }
                     FrameRead::Torn { expected, found } => {
-                        self.detected.sector_tears += 1;
-                        report.detections.push(Detection::TornFrame { sector: pos });
+                        let d = Detection::TornFrame { sector: pos };
+                        note_detection(&mut self.detected, &mut self.seen_damage, &d);
+                        report.detections.push(d);
                         damage = Some((
                             pos,
-                            Detection::TornFrame { sector: pos },
+                            d,
                             StoreFailureKind::Torn { record: frames.len(), expected, found },
                         ));
                         end = (seg_idx, pos - base);
                         break 'walk;
                     }
                     FrameRead::Corrupt => {
-                        self.detected.bitflips_detected += 1;
-                        report.detections.push(Detection::CrcMismatch { sector: pos });
-                        damage = Some((
-                            pos,
-                            Detection::CrcMismatch { sector: pos },
-                            StoreFailureKind::Corrupt { sector: pos },
-                        ));
+                        let d = Detection::CrcMismatch { sector: pos };
+                        note_detection(&mut self.detected, &mut self.seen_damage, &d);
+                        report.detections.push(d);
+                        damage = Some((pos, d, StoreFailureKind::Corrupt { sector: pos }));
                         end = (seg_idx, pos - base);
                         break 'walk;
                     }
@@ -617,29 +813,136 @@ where
             }
         }
 
+        // Whether DiscardTail truncated damage this scan: the trailing-batch
+        // fold below must then repair a surviving batch prefix *without*
+        // counting a second detection for the same physical fault.
+        let mut discarded = false;
         if let Some((at, _, strict_kind)) = damage {
             let seg_idx = at / seg_sectors;
-            if let Some(p) = self.probe_for_valid_frame(&segs, seg_idx, at) {
-                // Valid data beyond the damage: interior corruption. Tail
-                // discard would lose committed, fsynced records — refuse
-                // under every policy.
-                report.detections.push(Detection::InteriorFrame { sector: p });
+            let probe = self.probe_beyond_damage(&segs, seg_idx, at);
+            match probe {
+                // A tear or hole whose entire valid remainder belongs to one
+                // single batch: one interrupted group flush. Its records were
+                // never acknowledged (the batch's one fsync did not complete
+                // intact), so the damaged extent is legitimately discardable.
+                // A CRC mismatch never qualifies — intact frames behind bit
+                // rot were acknowledged, and discarding them loses commits.
+                TailProbe::SameBatch(_) if matches!(strict_kind, StoreFailureKind::Torn { .. }) => {
+                    report.damage = "torn-batch";
+                    match policy {
+                        TailPolicy::Strict => {
+                            return Err(StoreFailure { report, kind: strict_kind });
+                        }
+                        TailPolicy::DiscardTail => {
+                            let doomed: Vec<u64> =
+                                self.disk.durable_sectors().filter(|&s| s >= at).collect();
+                            for s in doomed {
+                                self.disk.delete(s);
+                            }
+                            discarded = true;
+                        }
+                    }
+                }
+                TailProbe::SameBatch(p) | TailProbe::Interior(p) => {
+                    // Valid data beyond the damage that no interrupted flush
+                    // explains: interior corruption. Tail discard would lose
+                    // committed, fsynced records — refuse under every policy.
+                    report.detections.push(Detection::InteriorFrame { sector: p });
+                    report.damage = "interior";
+                    return Err(StoreFailure {
+                        report,
+                        kind: StoreFailureKind::Corrupt { sector: at },
+                    });
+                }
+                TailProbe::Nothing => {
+                    report.damage = "torn-tail";
+                    match policy {
+                        TailPolicy::Strict => {
+                            return Err(StoreFailure { report, kind: strict_kind });
+                        }
+                        TailPolicy::DiscardTail => {
+                            let doomed: Vec<u64> =
+                                self.disk.durable_sectors().filter(|&s| s >= at).collect();
+                            for s in doomed {
+                                self.disk.delete(s);
+                            }
+                            discarded = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Judge the trailing batch run. A crash (or a tail discard above) can
+        // leave a *well-formed* log whose final run of batched commits stops
+        // at `pos = k` of a `len`-record group flush — a frame-aligned tear.
+        // Fold the frame list into the state of its trailing run: reset on
+        // every non-batch frame; extend while id/len match and `pos` stays
+        // contiguous.
+        let mut run: Option<(BatchMeta, bool, u32, Vec<u64>)> = None;
+        for f in &frames {
+            match f {
+                ScannedFrame::Commit { batch: Some((meta, start)), .. } => match &mut run {
+                    Some((m, _, next, starts))
+                        if meta.id == m.id && meta.len == m.len && meta.pos == *next =>
+                    {
+                        *next += 1;
+                        starts.push(*start);
+                    }
+                    _ => run = Some((*meta, meta.pos == 0, meta.pos + 1, vec![*start])),
+                },
+                _ => run = None,
+            }
+        }
+        if let Some((meta, aligned, next, starts)) = run {
+            if !aligned {
+                // A batch run that does not begin at `pos = 0` lost *leading*
+                // members, which no tear or discard produces — the scanner's
+                // hole rules catch the physical causes first, so this is
+                // defensive. Refuse under every policy.
                 report.damage = "interior";
                 return Err(StoreFailure {
                     report,
-                    kind: StoreFailureKind::Corrupt { sector: at },
+                    kind: StoreFailureKind::Corrupt { sector: starts[0] },
                 });
             }
-            report.damage = "torn-tail";
-            match policy {
-                TailPolicy::Strict => {
-                    return Err(StoreFailure { report, kind: strict_kind });
+            if next < meta.len {
+                let log_end = end.0 * seg_sectors + end.1;
+                if !discarded {
+                    // A frame-aligned tear the walk itself could not see: the
+                    // one physical fault is counted here, at the log end.
+                    let d = Detection::TornFrame { sector: log_end };
+                    note_detection(&mut self.detected, &mut self.seen_damage, &d);
+                    report.detections.push(d);
+                    report.damage = "torn-batch";
                 }
-                TailPolicy::DiscardTail => {
-                    let doomed: Vec<u64> =
-                        self.disk.durable_sectors().filter(|&s| s >= at).collect();
-                    for s in doomed {
-                        self.disk.delete(s);
+                match policy {
+                    TailPolicy::Strict => {
+                        return Err(StoreFailure {
+                            report,
+                            kind: StoreFailureKind::Torn {
+                                record: frames.len() - next as usize,
+                                expected: meta.len as usize,
+                                found: next as usize,
+                            },
+                        });
+                    }
+                    TailPolicy::DiscardTail => {
+                        // Keep the `k` survivors — a prefix of the batch in
+                        // commit order, none acknowledged — and rewrite their
+                        // headers in place with `len = k` so the repaired log
+                        // scans clean from now on. The batch header is fixed
+                        // width, so no frame changes its sector footprint;
+                        // the header fsync at the end of this recovery makes
+                        // the rewrites durable.
+                        let first = frames.len() - next as usize;
+                        for (i, f) in frames[first..].iter().enumerate() {
+                            let ScannedFrame::Commit { rec, .. } = f else { unreachable!() };
+                            let m = BatchMeta { id: meta.id, pos: i as u32, len: next };
+                            let frame =
+                                build_frame(KIND_BATCH, &encode_batch(m, rec), self.cfg.sector);
+                            self.disk.write(starts[i], &frame);
+                        }
                     }
                 }
             }
@@ -655,7 +958,7 @@ where
                     checkpoint = Some(img);
                     records.clear();
                 }
-                ScannedFrame::Commit(rec) => records.push(rec),
+                ScannedFrame::Commit { rec, .. } => records.push(rec),
             }
         }
         if governing.requires_checkpoint && checkpoint.is_none() {
@@ -691,6 +994,10 @@ where
         self.stats.add(&self.detected);
         self.stats.recoveries += 1;
         self.detected = StoreStats::default();
+        // The damage this process saw is now persisted (and repaired or
+        // discarded); damage a later scan finds at the same sector is a new
+        // fault.
+        self.seen_damage.clear();
         self.seg = end.0;
         self.head = end.1;
         self.write_header();
@@ -853,7 +1160,9 @@ mod tests {
         assert!(matches!(err.report.detections[0], Detection::MissingData { .. }));
         let out = w.recover(TailPolicy::DiscardTail).unwrap();
         assert_eq!(out.records, vec![rec(1, 0, &[5])]);
-        assert_eq!(out.stats.reordered_flushes, 2); // one detection per scan
+        // One physical fault, two scans (the Strict refusal re-detected the
+        // same hole): still one count.
+        assert_eq!(out.stats.reordered_flushes, 1);
     }
 
     #[test]
@@ -984,6 +1293,132 @@ mod tests {
             assert!(matches!(err.kind, StoreFailureKind::Corrupt { .. }), "{policy:?}");
             assert_eq!(err.report.damage, "interior");
         }
+    }
+
+    #[test]
+    fn group_flush_round_trips_in_commit_order() {
+        let mut w = wal();
+        let batch = vec![rec(1, 0, &[5]), rec(2, 1, &[3]), rec(3, 2, &[7])];
+        w.append_commits(&batch);
+        w.crash();
+        let out = w.recover(TailPolicy::Strict).unwrap();
+        assert_eq!(out.records, batch);
+        assert_eq!(out.txn_floor, 3);
+        assert_eq!(out.next_exec_seq, 3);
+        assert_eq!(out.scan.damage, "clean");
+        assert!(out.scan.detections.is_empty());
+    }
+
+    #[test]
+    fn a_group_of_one_is_byte_identical_to_a_plain_commit() {
+        let image = |grouped: bool| {
+            let mut w = wal();
+            if grouped {
+                w.append_commits(&[rec(1, 0, &[5])]);
+            } else {
+                w.append_commit(&rec(1, 0, &[5]));
+            }
+            let d = &w.disk;
+            d.durable_sectors().map(|s| (s, d.read(s).unwrap().to_vec())).collect::<Vec<_>>()
+        };
+        assert_eq!(image(true), image(false));
+    }
+
+    #[test]
+    fn torn_group_flush_keeps_an_acknowledged_free_prefix() {
+        let mut w = wal();
+        w.append_commit(&rec(1, 0, &[9]));
+        let batch = vec![rec(2, 1, &[5]), rec(3, 2, &[3]), rec(4, 3, &[7])];
+        w.append_commits(&batch);
+        // Each one-op member is exactly two sectors; losing one sector tears
+        // the last member mid-frame.
+        assert!(w.tear_last_flush(1));
+        w.crash();
+        let err = w.recover(TailPolicy::Strict).unwrap_err();
+        assert!(matches!(err.kind, StoreFailureKind::Torn { .. }));
+        let out = w.recover(TailPolicy::DiscardTail).unwrap();
+        assert_eq!(out.records, vec![rec(1, 0, &[9]), rec(2, 1, &[5]), rec(3, 2, &[3])]);
+        // The two scans re-detected the same tear: one count.
+        assert_eq!(out.stats.sector_tears, 1);
+        // The surviving batch prefix was rewritten in place with len = 2:
+        // a fresh Strict scan is clean.
+        w.crash();
+        let again = w.recover(TailPolicy::Strict).unwrap();
+        assert_eq!(again.records.len(), 3);
+        assert_eq!(again.scan.damage, "clean");
+    }
+
+    #[test]
+    fn frame_aligned_batch_tear_is_a_torn_batch() {
+        let mut w = wal();
+        let batch = vec![rec(1, 0, &[5]), rec(2, 1, &[3]), rec(3, 2, &[7])];
+        w.append_commits(&batch);
+        // Tear exactly the last member's two sectors: every surviving frame
+        // is well-formed, but the batch headers say one record is missing.
+        assert!(w.tear_last_flush(2));
+        w.crash();
+        let err = w.recover(TailPolicy::Strict).unwrap_err();
+        assert_eq!(err.report.damage, "torn-batch");
+        assert!(matches!(err.kind, StoreFailureKind::Torn { expected: 3, found: 2, .. }));
+        let out = w.recover(TailPolicy::DiscardTail).unwrap();
+        assert_eq!(out.records, vec![rec(1, 0, &[5]), rec(2, 1, &[3])]);
+        assert_eq!(out.stats.sector_tears, 1);
+        w.crash();
+        let again = w.recover(TailPolicy::Strict).unwrap();
+        assert_eq!(again.records.len(), 2);
+        assert_eq!(again.scan.damage, "clean");
+    }
+
+    #[test]
+    fn reordered_group_flush_is_a_discardable_torn_batch() {
+        let mut w = wal();
+        w.append_commit(&rec(1, 0, &[9]));
+        w.append_commits(&[rec(2, 1, &[5]), rec(3, 2, &[3])]);
+        // The flush's head sector never lands: a hole at the first member
+        // with intact same-batch frames beyond it.
+        assert!(w.reorder_last_flush());
+        w.crash();
+        let err = w.recover(TailPolicy::Strict).unwrap_err();
+        assert_eq!(err.report.damage, "torn-batch");
+        let out = w.recover(TailPolicy::DiscardTail).unwrap();
+        assert_eq!(out.records, vec![rec(1, 0, &[9])]);
+        assert_eq!(out.stats.reordered_flushes, 1);
+        w.crash();
+        assert_eq!(w.recover(TailPolicy::Strict).unwrap().scan.damage, "clean");
+    }
+
+    #[test]
+    fn crc_damage_behind_intact_batch_frames_stays_interior() {
+        let mut w = wal();
+        w.append_commits(&[rec(1, 0, &[5]), rec(2, 1, &[3]), rec(3, 2, &[7])]);
+        // Flip a payload bit of the *first* member (sector 3 of the image:
+        // three header sectors, then two sectors per member). The later
+        // members stay intact — they were fsync-acknowledged, so no policy
+        // may discard them to "repair" the batch.
+        assert!(w.flip_bit((3 * 32 + 20) * 8));
+        for policy in [TailPolicy::Strict, TailPolicy::DiscardTail] {
+            w.crash();
+            let err = w.recover(policy).unwrap_err();
+            assert!(matches!(err.kind, StoreFailureKind::Corrupt { .. }), "{policy:?}");
+            assert_eq!(err.report.damage, "interior", "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn group_flush_rolls_across_segments() {
+        let mut w = wal();
+        // Fill most of segment 0, then flush a batch too big for what's left.
+        for i in 0..25u32 {
+            w.append_commit(&rec(i + 1, i as u64, &[1]));
+        }
+        let batch: Vec<_> = (0..10u32).map(|i| rec(26 + i, 25 + i as u64, &[2])).collect();
+        w.append_commits(&batch);
+        assert!(w.seg > 0, "the batch must roll into a new segment");
+        w.crash();
+        let out = w.recover(TailPolicy::Strict).unwrap();
+        assert_eq!(out.records.len(), 35);
+        assert_eq!(out.records[25..], batch);
+        assert_eq!(out.scan.damage, "clean");
     }
 
     #[test]

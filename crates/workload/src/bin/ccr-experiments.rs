@@ -13,11 +13,15 @@
 //! # flamegraph summary and a metrics report from one simulated run.
 //! ccr-experiments trace --combo uip-nrbc --seed 7 --out trace.json
 //! ccr-experiments trace --combo uip-nrbc --seed 7 --flame flame.txt --metrics metrics.json
+//!
+//! # Group-commit durability benchmark (see DESIGN.md §10, EXPERIMENTS.md S4):
+//! ccr-experiments bench --out reports/BENCH_group_commit.json
 //! ```
 
 use std::process::ExitCode;
 
 use ccr_runtime::fault::FaultPlan;
+use ccr_workload::bench::{run_bench, BenchCfg};
 use ccr_workload::experiments;
 use ccr_workload::harness::json_string;
 use ccr_workload::sim::{
@@ -40,7 +44,7 @@ fn main() -> ExitCode {
                 eprintln!(
                     "           [--objects N] [--skip i,j,...] [--faults SPEC|none] [--json]"
                 );
-                eprintln!("           [--backend disk|mem] [--ckpt N]");
+                eprintln!("           [--backend disk|mem] [--ckpt N] [--group-commit]");
                 eprintln!("       ccr-experiments sim --combo C --sweep SEEDS [--horizon N] [--fault-count N]");
                 eprintln!("fault SPEC: e.g. 12:crash,30:torn2,45:abort,60:delay5,80:wound");
                 eprintln!("  storage faults (disk backend): 16:sect2,20:reorder,25:flip4093");
@@ -60,11 +64,23 @@ fn main() -> ExitCode {
                     "           [--policy block|wound|nowait] [--seed N] [--txns N] [--ops N]"
                 );
                 eprintln!("           [--objects N] [--skip i,j,...] [--faults SPEC|none]");
-                eprintln!("           [--backend disk|mem] [--ckpt N]");
+                eprintln!("           [--backend disk|mem] [--ckpt N] [--group-commit]");
                 eprintln!(
                     "           [--out trace.json] [--flame flame.txt] [--metrics metrics.json]"
                 );
                 eprintln!("without --out the Chrome trace JSON goes to stdout");
+                ExitCode::from(2)
+            }
+        };
+    }
+    if args.first().map(String::as_str) == Some("bench") {
+        return match bench_main(&args[1..]) {
+            Ok(code) => code,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!("usage: ccr-experiments bench [--txns N] [--ops N] [--objects N]");
+                eprintln!("           [--workers N] [--flush-delay-us N] [--seed N] [--out FILE]");
+                eprintln!("without --out the report JSON goes to stdout");
                 ExitCode::from(2)
             }
         };
@@ -123,6 +139,7 @@ fn sim_main(args: &[String]) -> Result<ExitCode, String> {
             }
             "--backend" => scenario.backend = value()?.parse::<Backend>()?,
             "--ckpt" => scenario.checkpoint_every = Some(parse_num(flag, value()?)?),
+            "--group-commit" => scenario.group_commit = true,
             "--sweep" => sweep_seeds = Some(parse_num(flag, value()?)?),
             "--horizon" => horizon = parse_num(flag, value()?)?,
             "--fault-count" => fault_count = parse_num(flag, value()?)?,
@@ -141,7 +158,7 @@ fn sim_main(args: &[String]) -> Result<ExitCode, String> {
         println!(
             "sweeping {seeds} seeds of {combo} (horizon {horizon}, {fault_count} faults per plan)"
         );
-        return Ok(match sweep(combo, seeds, horizon, fault_count) {
+        return Ok(match sweep(combo, seeds, horizon, fault_count, scenario.group_commit) {
             None => {
                 println!("oracle passed on every seed");
                 ExitCode::SUCCESS
@@ -218,7 +235,7 @@ fn sim_json(
     fault_count: usize,
 ) -> ExitCode {
     if let Some(seeds) = sweep_seeds {
-        return match sweep(scenario.combo, seeds, horizon, fault_count) {
+        return match sweep(scenario.combo, seeds, horizon, fault_count, scenario.group_commit) {
             None => {
                 println!(
                     "{{\"mode\":\"sweep\",\"combo\":{},\"seeds\":{seeds},\"verdict\":\"pass\"}}",
@@ -337,6 +354,7 @@ fn trace_main(args: &[String]) -> Result<ExitCode, String> {
             }
             "--backend" => scenario.backend = value()?.parse::<Backend>()?,
             "--ckpt" => scenario.checkpoint_every = Some(parse_num(flag, value()?)?),
+            "--group-commit" => scenario.group_commit = true,
             "--out" => out = Some(value()?.to_string()),
             "--flame" => flame = Some(value()?.to_string()),
             "--metrics" => metrics = Some(value()?.to_string()),
@@ -378,6 +396,67 @@ fn trace_main(args: &[String]) -> Result<ExitCode, String> {
             ExitCode::FAILURE
         }
     })
+}
+
+/// Parse and run the `bench` subcommand: the group-commit durability
+/// benchmark (per-commit-fsync baseline vs batched group flushes over the
+/// same workload). Writes the JSON report to `--out` or stdout and prints a
+/// human summary to stderr. Exit code 0 when group commit amortised fsyncs
+/// (commits-per-fsync > 1) with p99 commit latency within 2× the baseline —
+/// the tentpole's acceptance bound — and 1 otherwise.
+fn bench_main(args: &[String]) -> Result<ExitCode, String> {
+    let mut cfg = BenchCfg::default();
+    let mut out: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value =
+            || it.next().map(String::as_str).ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--txns" => cfg.txns = parse_num(flag, value()?)?,
+            "--ops" => cfg.ops_per_txn = parse_num(flag, value()?)?,
+            "--objects" => cfg.objects = parse_num(flag, value()?)?,
+            "--workers" => cfg.workers = parse_num(flag, value()?)?,
+            "--flush-delay-us" => cfg.flush_delay_us = parse_num(flag, value()?)?,
+            "--seed" => cfg.seed = parse_num(flag, value()?)?,
+            "--out" => out = Some(value()?.to_string()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+
+    let report = run_bench(&cfg);
+    let json = report.to_json();
+    match &out {
+        Some(path) => {
+            std::fs::write(path, format!("{json}\n")).map_err(|e| format!("write {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+    eprintln!(
+        "baseline: {} commits, {} fsyncs, p50/p90/p99 {}/{}/{} us",
+        report.baseline.committed,
+        report.baseline.fsyncs,
+        report.baseline.p50_us,
+        report.baseline.p90_us,
+        report.baseline.p99_us,
+    );
+    eprintln!(
+        "grouped:  {} commits, {} fsyncs ({:.2} commits/fsync), p50/p90/p99 {}/{}/{} us",
+        report.grouped.committed,
+        report.grouped.fsyncs,
+        report.grouped.commits_per_fsync,
+        report.grouped.p50_us,
+        report.grouped.p90_us,
+        report.grouped.p99_us,
+    );
+    let pass = report.grouped.commits_per_fsync > 1.0 && report.p99_ratio() <= 2.0;
+    eprintln!(
+        "p99 ratio grouped/baseline: {:.3} ({})",
+        report.p99_ratio(),
+        if pass { "ok" } else { "FAIL" }
+    );
+    Ok(if pass { ExitCode::SUCCESS } else { ExitCode::FAILURE })
 }
 
 fn parse_num<T: std::str::FromStr>(flag: &str, s: &str) -> Result<T, String> {

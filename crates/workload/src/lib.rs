@@ -1,6 +1,9 @@
 //! # ccr-workload — workload generators, measurement harness and the
 //! paper-experiment drivers
 //!
+//! * [`bench`] — the group-commit durability benchmark: the same workload
+//!   under per-commit fsyncs vs batched group flushes, producing
+//!   `reports/BENCH_group_commit.json`;
 //! * [`gen`] — seeded workload generators: hot-spot banking, counters,
 //!   escrow accounts, producer/consumer queues and semiqueues, sets;
 //! * [`harness`] — run a workload under a named (recovery engine, conflict
@@ -19,6 +22,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod bench;
 pub mod experiments;
 pub mod gen;
 pub mod harness;

@@ -173,6 +173,10 @@ pub struct SimScenario {
     pub backend: Backend,
     /// Checkpoint cadence (every N commits), if any.
     pub checkpoint_every: Option<u64>,
+    /// Group commit: a round's commits are staged and flushed as one batch
+    /// with a single fsync (see DESIGN.md §10). The torn-batch oracle leg
+    /// only exercises multi-record flushes when this is on.
+    pub group_commit: bool,
 }
 
 impl SimScenario {
@@ -189,6 +193,7 @@ impl SimScenario {
             plan,
             backend: Backend::Disk,
             checkpoint_every: None,
+            group_commit: false,
         }
     }
 
@@ -217,6 +222,9 @@ impl SimScenario {
         }
         if let Some(every) = self.checkpoint_every {
             s.push_str(&format!(" --ckpt {every}"));
+        }
+        if self.group_commit {
+            s.push_str(" --group-commit");
         }
         s.push_str(&format!(" --faults {}", self.plan));
         s
@@ -308,6 +316,7 @@ where
     let cfg = SimCfg {
         seed: scenario.seed,
         checkpoint_every: scenario.checkpoint_every,
+        group_commit: scenario.group_commit,
         ..Default::default()
     };
     let result = run_sim(&mut sys, scripts, &scenario.plan, &cfg, &spec, invariant);
@@ -446,12 +455,20 @@ pub struct SweepFailure {
 }
 
 /// Sweep `seeds` seeds of `combo`: seed `s` runs the seeded workload under
-/// `FaultPlan::from_seed(s, horizon, faults)`. Returns the first oracle
-/// failure, shrunk to a minimal reproducer — or `None` if every run passed.
-pub fn sweep(combo: Combo, seeds: u64, horizon: u64, faults: usize) -> Option<SweepFailure> {
+/// `FaultPlan::from_seed(s, horizon, faults)`, with group commit on or off.
+/// Returns the first oracle failure, shrunk to a minimal reproducer — or
+/// `None` if every run passed.
+pub fn sweep(
+    combo: Combo,
+    seeds: u64,
+    horizon: u64,
+    faults: usize,
+    group_commit: bool,
+) -> Option<SweepFailure> {
     for seed in 0..seeds {
         let plan = FaultPlan::from_seed(seed, horizon, faults);
-        let scenario = SimScenario::new(combo, seed, plan);
+        let mut scenario = SimScenario::new(combo, seed, plan);
+        scenario.group_commit = group_commit;
         if run_scenario(&scenario).is_err() {
             let (shrunk, failure, shrink_runs) = shrink(&scenario);
             return Some(SweepFailure { original: scenario, shrunk, failure, shrink_runs });
@@ -614,16 +631,37 @@ mod tests {
                 continue;
             }
             assert!(
-                sweep(combo, 6, 40, 3).is_none(),
+                sweep(combo, 6, 40, 3, false).is_none(),
                 "correct pairing {combo} failed a fault sweep"
             );
         }
     }
 
     #[test]
+    fn correct_pairings_survive_a_fault_sweep_with_group_commit() {
+        // Group commit turns every round's commits into one multi-record
+        // flush, so the same sweep now exercises torn *batch* tails.
+        for combo in [Combo::UipNrbc, Combo::DuNfc] {
+            assert!(
+                sweep(combo, 6, 40, 3, true).is_none(),
+                "correct pairing {combo} failed a group-commit fault sweep"
+            );
+        }
+    }
+
+    #[test]
+    fn group_commit_reproducer_round_trips() {
+        let plan = FaultPlan::from_seed(5, 40, 3);
+        let mut scenario = SimScenario::new(Combo::UipNrbc, 5, plan);
+        scenario.group_commit = true;
+        assert!(scenario.reproducer().contains(" --group-commit"));
+        assert!(run_scenario(&scenario).is_ok());
+    }
+
+    #[test]
     fn weakened_combo_is_caught_and_shrunk_small() {
-        let fail =
-            sweep(Combo::UipSymNfc, 64, 60, 4).expect("uip-sym-nfc must fail within the sweep");
+        let fail = sweep(Combo::UipSymNfc, 64, 60, 4, false)
+            .expect("uip-sym-nfc must fail within the sweep");
         // The shrunk reproducer involves at most 3 live transactions.
         assert!(
             fail.shrunk.live_txns() <= 3,

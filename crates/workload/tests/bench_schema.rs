@@ -126,7 +126,66 @@ fn sim_metrics_schema_pins_the_storage_fault_counters() {
         "time_to_commit",
         "replay_len",
         "scan_len",
+        "batch_size",
+        "flush_latency",
     ] {
         assert!(metrics_keys.contains(key), "MetricsReport::to_json must expose {key:?}");
     }
+}
+
+/// Schema pin for `reports/BENCH_group_commit.json`: the committed report
+/// and a freshly produced [`BenchReport`] must expose exactly the same JSON
+/// keys. Values drift with the machine; the key set (commits-per-fsync and
+/// the latency percentiles of both sides) is the contract the CI bench
+/// smoke step and EXPERIMENTS.md S4 script against.
+#[test]
+fn group_commit_bench_schema_matches_fresh_report() {
+    use ccr_workload::bench::{run_bench, BenchCfg};
+
+    let committed = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../reports/BENCH_group_commit.json"
+    ))
+    .expect(
+        "reports/BENCH_group_commit.json is committed; regenerate with \
+         `ccr-experiments bench --out reports/BENCH_group_commit.json`",
+    );
+    let committed_keys = json_keys(&committed);
+    assert!(!committed_keys.is_empty(), "committed report must contain JSON objects");
+
+    // A small shape keeps the smoke run fast; the schema is shape-independent.
+    let fresh = run_bench(&BenchCfg { txns: 16, flush_delay_us: 100, ..Default::default() });
+    assert_eq!(fresh.baseline.committed, 16);
+    assert_eq!(fresh.grouped.committed, 16);
+    assert_eq!(
+        committed_keys,
+        json_keys(&fresh.to_json()),
+        "BenchReport::to_json keys drifted from the committed report — \
+         regenerate reports/BENCH_group_commit.json with `ccr-experiments \
+         bench --out reports/BENCH_group_commit.json` in the same commit"
+    );
+}
+
+/// Pin the per-scan vs cumulative split of the recovery-scan detection
+/// counters: one injected storage fault must count once in `sim --json`
+/// output, no matter how many scans recovery needs (the strict scan that
+/// refuses plus the discard-tail scan that repairs used to double-count
+/// every hole).
+#[test]
+fn recovery_scan_counters_count_each_fault_once() {
+    use ccr_runtime::fault::FaultPlan;
+    use ccr_workload::sim::{run_scenario, Combo, SimScenario};
+
+    let plan: FaultPlan = "30:reorder,45:sect1".parse().expect("fault spec parses");
+    let mut scenario = SimScenario::new(Combo::UipNrbc, 3, plan);
+    // Group commit makes the flushes multi-record, so the tears land on
+    // batch tails — the case whose repair takes the most re-scanning.
+    scenario.group_commit = true;
+    let report = run_scenario(&scenario).expect("oracle must pass");
+    assert_eq!(report.faults_injected, 2, "both storage faults must fire");
+    assert_eq!(
+        report.stats.reordered_flushes, 1,
+        "one reorder fault counts once across recovery scans"
+    );
+    assert_eq!(report.stats.sector_tears, 1, "one sector tear counts once across recovery scans");
 }

@@ -49,7 +49,7 @@ fn traced_runs_report_the_legacy_counters() {
 /// still fails.
 #[test]
 fn weakened_relation_is_caught_and_shrunk() {
-    let f = sweep(Combo::UipSymNfc, 64, 60, 4).expect("weakened combo must be caught");
+    let f = sweep(Combo::UipSymNfc, 64, 60, 4, false).expect("weakened combo must be caught");
     assert!(f.shrunk.live_txns() <= 3, "reproducer too large: {}", f.shrunk.reproducer());
     assert!(
         run_scenario(&f.shrunk).is_err(),
