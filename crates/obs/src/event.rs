@@ -59,6 +59,10 @@ pub enum FaultCounter {
     SectorTear,
     /// A commit's multi-sector flush reached the platter out of order.
     ReorderedFlush,
+    /// The device was armed to fail checked ops with transient I/O errors.
+    TransientIo,
+    /// The device was put in the permanent out-of-space condition.
+    DiskFull,
 }
 
 /// What kind of physical log damage recovery's scanner classified.
@@ -189,6 +193,33 @@ pub enum EventKind {
         /// Flush latency in wall microseconds (0 in logical-time runs).
         micros: u64,
     },
+    /// A checked device operation was retried after transient I/O errors
+    /// (one event per retried op, drained from the storage backend).
+    IoRetry {
+        /// Attempts consumed, including the final one.
+        attempts: u32,
+        /// Total logical-clock backoff ticks waited across the retries.
+        backoff: u64,
+        /// Whether the op eventually succeeded within the retry budget.
+        ok: bool,
+    },
+    /// The durable system entered (or exited) read-only degraded mode.
+    Degraded {
+        /// `true` on entry (device failure), `false` on exit (healed device
+        /// proved writable again by a checkpoint or recovery).
+        entered: bool,
+        /// Why the mode changed (rendered lazily; empty when exiting).
+        reason: String,
+    },
+    /// The recovery-convergence oracle leg ran: recovery was re-executed
+    /// with a fresh crash injected at every device-op index and every
+    /// eventual outcome matched the baseline.
+    ConvergenceCheck {
+        /// Nested-crash trials executed (one per device-op index).
+        trials: u64,
+        /// Device ops the baseline recovery consumed.
+        device_ops: u64,
+    },
 }
 
 /// One structured trace event.
@@ -226,6 +257,9 @@ impl ObsEvent {
             EventKind::CorruptionDetected { .. } => "corruption",
             EventKind::Checkpoint { .. } => "checkpoint",
             EventKind::GroupFlush { .. } => "group_flush",
+            EventKind::IoRetry { .. } => "io_retry",
+            EventKind::Degraded { .. } => "degraded",
+            EventKind::ConvergenceCheck { .. } => "convergence_check",
         }
     }
 }
@@ -238,6 +272,8 @@ impl std::fmt::Display for FaultCounter {
             FaultCounter::DelayedCommit => "delayed_commit",
             FaultCounter::SectorTear => "sector_tear",
             FaultCounter::ReorderedFlush => "reordered_flush",
+            FaultCounter::TransientIo => "transient_io",
+            FaultCounter::DiskFull => "disk_full",
         };
         write!(f, "{s}")
     }

@@ -203,6 +203,22 @@ pub fn chrome_trace(tracer: &Tracer) -> String {
                 args.push(("micros".into(), micros.to_string()));
                 records.push(chrome_record('i', "group_flush", "storage", tid, ts, None, &args));
             }
+            EventKind::IoRetry { attempts, backoff, ok } => {
+                args.push(("attempts".into(), attempts.to_string()));
+                args.push(("backoff".into(), backoff.to_string()));
+                args.push(("ok".into(), ok.to_string()));
+                records.push(chrome_record('i', "io_retry", "storage", tid, ts, None, &args));
+            }
+            EventKind::Degraded { entered, reason } => {
+                args.push(("entered".into(), entered.to_string()));
+                args.push(("reason".into(), json_string(reason)));
+                records.push(chrome_record('i', "degraded", "storage", tid, ts, None, &args));
+            }
+            EventKind::ConvergenceCheck { trials, device_ops } => {
+                args.push(("trials".into(), trials.to_string()));
+                args.push(("device_ops".into(), device_ops.to_string()));
+                records.push(chrome_record('i', "convergence", "recovery", tid, ts, None, &args));
+            }
         }
     }
     format!(
@@ -242,6 +258,15 @@ pub fn flame_summary(tracer: &Tracer) -> String {
             EventKind::GroupFlush { batch, .. } => {
                 ("storage;group_flush".to_string(), (*batch).max(1))
             }
+            EventKind::IoRetry { attempts, .. } => {
+                ("storage;io_retry".to_string(), (*attempts as u64).max(1))
+            }
+            EventKind::Degraded { entered, .. } => {
+                (format!("storage;degraded;{}", if *entered { "enter" } else { "exit" }), 1)
+            }
+            EventKind::ConvergenceCheck { trials, .. } => {
+                ("recovery;convergence".to_string(), (*trials).max(1))
+            }
         };
         *weights.entry(stack).or_insert(0) += weight;
     }
@@ -275,6 +300,8 @@ pub struct MetricsReport {
     pub batch_size: HistogramSummary,
     /// Group-flush latency (wall microseconds; empty in logical-time runs).
     pub flush_latency: HistogramSummary,
+    /// Total logical backoff ticks per retried device op.
+    pub retry_backoff: HistogramSummary,
 }
 
 impl MetricsReport {
@@ -291,6 +318,7 @@ impl MetricsReport {
             scan_len: tracer.scan_len().summary(),
             batch_size: tracer.batch_size().summary(),
             flush_latency: tracer.flush_latency().summary(),
+            retry_backoff: tracer.retry_backoff().summary(),
         }
     }
 
@@ -301,7 +329,7 @@ impl MetricsReport {
                 "{{\"labels\":{},\"events\":{},\"stats\":{},",
                 "\"op_latency\":{},\"lock_wait\":{},",
                 "\"time_to_commit\":{},\"replay_len\":{},\"scan_len\":{},",
-                "\"batch_size\":{},\"flush_latency\":{}}}"
+                "\"batch_size\":{},\"flush_latency\":{},\"retry_backoff\":{}}}"
             ),
             json_labels(&self.labels),
             self.events,
@@ -313,6 +341,7 @@ impl MetricsReport {
             self.scan_len.to_json(),
             self.batch_size.to_json(),
             self.flush_latency.to_json(),
+            self.retry_backoff.to_json(),
         )
     }
 }

@@ -50,6 +50,21 @@ pub struct SystemStats {
     pub bitflips_detected: u64,
     /// Checkpoints written (log prefix truncations).
     pub checkpoints: u64,
+    /// Transient-I/O fault injections (a budget of checked device ops armed
+    /// to fail once; retries with backoff normally absorb them).
+    pub transient_io_faults: u64,
+    /// Disk-full fault injections (the permanent out-of-space condition).
+    pub disk_full_faults: u64,
+    /// Checked device ops that needed retries after transient I/O errors.
+    pub io_retries: u64,
+    /// Entries into read-only degraded mode (exhausted retries or a full
+    /// device).
+    pub degraded_entries: u64,
+    /// Exits from degraded mode (a healed device proved writable again).
+    pub degraded_exits: u64,
+    /// Recovery-convergence oracle passes (nested crash-during-recovery
+    /// sweeps that matched the baseline outcome).
+    pub convergence_checks: u64,
 }
 
 impl SystemStats {
@@ -93,6 +108,15 @@ impl SystemStats {
             // Counter-neutral: the batch's commits are counted by their own
             // Commit events; the flush itself feeds histograms only.
             EventKind::GroupFlush { .. } => {}
+            EventKind::IoRetry { .. } => self.io_retries += 1,
+            EventKind::Degraded { entered, .. } => {
+                if *entered {
+                    self.degraded_entries += 1;
+                } else {
+                    self.degraded_exits += 1;
+                }
+            }
+            EventKind::ConvergenceCheck { .. } => self.convergence_checks += 1,
         }
     }
 
@@ -106,6 +130,8 @@ impl SystemStats {
             FaultCounter::DelayedCommit => self.delayed_commits += 1,
             FaultCounter::SectorTear => self.sector_tears += 1,
             FaultCounter::ReorderedFlush => self.reordered_flushes += 1,
+            FaultCounter::TransientIo => self.transient_io_faults += 1,
+            FaultCounter::DiskFull => self.disk_full_faults += 1,
         }
     }
 
@@ -118,7 +144,9 @@ impl SystemStats {
                 "\"replay_failures\":{},\"crashes\":{},\"torn_crashes\":{},",
                 "\"forced_aborts\":{},\"delayed_commits\":{},\"wound_storms\":{},",
                 "\"sector_tears\":{},\"reordered_flushes\":{},\"bitflips_detected\":{},",
-                "\"checkpoints\":{}}}"
+                "\"checkpoints\":{},\"transient_io_faults\":{},\"disk_full_faults\":{},",
+                "\"io_retries\":{},\"degraded_entries\":{},\"degraded_exits\":{},",
+                "\"convergence_checks\":{}}}"
             ),
             self.begun,
             self.committed,
@@ -138,6 +166,12 @@ impl SystemStats {
             self.reordered_flushes,
             self.bitflips_detected,
             self.checkpoints,
+            self.transient_io_faults,
+            self.disk_full_faults,
+            self.io_retries,
+            self.degraded_entries,
+            self.degraded_exits,
+            self.convergence_checks,
         )
     }
 }

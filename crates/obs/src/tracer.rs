@@ -43,6 +43,7 @@ pub struct Tracer {
     scan_len: LogHistogram,
     batch_size: LogHistogram,
     flush_latency: LogHistogram,
+    retry_backoff: LogHistogram,
     /// Logical begin stamp of each live transaction.
     begin_seq: BTreeMap<TxnId, u64>,
     /// First blocked-attempt stamp of each currently blocked transaction.
@@ -65,6 +66,7 @@ impl Default for Tracer {
             scan_len: LogHistogram::new(),
             batch_size: LogHistogram::new(),
             flush_latency: LogHistogram::new(),
+            retry_backoff: LogHistogram::new(),
             begin_seq: BTreeMap::new(),
             block_start: BTreeMap::new(),
         }
@@ -172,6 +174,12 @@ impl Tracer {
         &self.flush_latency
     }
 
+    /// Retry-backoff histogram: total logical-clock backoff ticks per
+    /// retried device op (one sample per [`on_io_retry`](Self::on_io_retry)).
+    pub fn retry_backoff(&self) -> &LogHistogram {
+        &self.retry_backoff
+    }
+
     /// Merge another tracer's histograms into this one (order-independent —
     /// see [`LogHistogram::merge`]). For combining per-worker metrics.
     pub fn merge_histograms(&mut self, other: &Tracer) {
@@ -182,6 +190,7 @@ impl Tracer {
         self.scan_len.merge(&other.scan_len);
         self.batch_size.merge(&other.batch_size);
         self.flush_latency.merge(&other.flush_latency);
+        self.retry_backoff.merge(&other.retry_backoff);
     }
 
     fn emit(&mut self, txn: Option<TxnId>, obj: Option<ObjectId>, kind: EventKind) -> u64 {
@@ -320,6 +329,26 @@ impl Tracer {
         self.batch_size.record(batch);
         self.flush_latency.record(micros);
     }
+
+    /// A checked device op needed `attempts` tries, waiting `backoff` total
+    /// logical ticks; `ok` is whether it succeeded within the retry budget.
+    pub fn on_io_retry(&mut self, attempts: u32, backoff: u64, ok: bool) {
+        self.emit(None, None, EventKind::IoRetry { attempts, backoff, ok });
+        self.retry_backoff.record(backoff);
+    }
+
+    /// The durable system entered (`entered = true`) or exited read-only
+    /// degraded mode. `reason` renders the cause lazily (entry only).
+    pub fn on_degraded(&mut self, entered: bool, reason: impl FnOnce() -> String) {
+        let reason = if self.record_events { reason() } else { String::new() };
+        self.emit(None, None, EventKind::Degraded { entered, reason });
+    }
+
+    /// The recovery-convergence leg ran `trials` nested-crash trials over a
+    /// baseline recovery of `device_ops` checked device ops.
+    pub fn on_convergence_check(&mut self, trials: u64, device_ops: u64) {
+        self.emit(None, None, EventKind::ConvergenceCheck { trials, device_ops });
+    }
 }
 
 #[cfg(test)]
@@ -408,6 +437,23 @@ mod tests {
         assert_eq!(a.events(), b.events());
         assert!(a.events().iter().all(|e| e.wall_us.is_none()));
         assert_eq!(a.events().last().unwrap().seq, a.clock());
+    }
+
+    #[test]
+    fn retry_degraded_and_convergence_events_project() {
+        let mut t = Tracer::new();
+        t.on_io_retry(2, 6, true);
+        t.on_io_retry(4, 14, false);
+        t.on_degraded(true, || "device full".into());
+        t.on_degraded(false, String::new);
+        t.on_convergence_check(17, 17);
+        assert_eq!(t.project_stats(), *t.stats());
+        assert_eq!(t.stats().io_retries, 2);
+        assert_eq!(t.stats().degraded_entries, 1);
+        assert_eq!(t.stats().degraded_exits, 1);
+        assert_eq!(t.stats().convergence_checks, 1);
+        assert_eq!(t.retry_backoff().count(), 2);
+        assert_eq!(t.retry_backoff().max(), 14);
     }
 
     #[test]

@@ -38,8 +38,8 @@ use ccr_core::conflict::Conflict;
 use ccr_core::ids::{ObjectId, TxnId};
 use ccr_obs::{CorruptionKind, Tracer};
 use ccr_store::{
-    CheckpointImage, CommitRecord, Detection, LogBackend, MemBackend, ScanReport, StoreFailureKind,
-    StoreStats, TailPolicy,
+    CheckpointImage, CommitRecord, Detection, DiskError, LogBackend, MemBackend, RetryPolicy,
+    ScanReport, StoreFailureKind, StoreStats, TailPolicy,
 };
 
 use crate::engine::RecoveryEngine;
@@ -136,6 +136,30 @@ pub enum RedoError {
         /// First affected sector.
         sector: u64,
     },
+    /// The device itself failed during recovery: the transient-retry budget
+    /// was exhausted or the device is out of space. (A tripped crash-at-op
+    /// trigger — [`DiskError::Crashed`] — never surfaces here: recovery
+    /// acknowledges the power loss and recovers again internally.)
+    Device {
+        /// The underlying device error.
+        error: DiskError,
+    },
+}
+
+/// Whether the durable system accepts commits, or has fallen back to
+/// read-only after the device misbehaved.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SystemMode {
+    /// Commits journal through the backend as usual.
+    #[default]
+    Normal,
+    /// The device exhausted its transient-I/O retries or reported itself
+    /// full: commits are refused with [`TxnError::ReadOnly`] (the volatile
+    /// mirror was rolled back to stable truth, so reads keep serving exactly
+    /// the durable committed state). A successful [`DurableSystem::checkpoint`]
+    /// on a [healed](DurableSystem::heal_device) device — or a successful
+    /// recovery — returns to [`SystemMode::Normal`].
+    Degraded,
 }
 
 /// How recovery treats a damaged log tail.
@@ -181,6 +205,9 @@ where
     /// Executed-but-uncommitted operations per live transaction, with their
     /// execution stamps — the write-ahead buffer that `commit` journals.
     pending_ops: BTreeMap<TxnId, Vec<(u64, ObjectId, Op<A>)>>,
+    /// Normal, or read-only degraded after a device failure the backend's
+    /// retry budget could not hide.
+    mode: SystemMode,
 }
 
 impl<A, E, C> DurableSystem<A, E, C, MemBackend<A>>
@@ -218,6 +245,7 @@ where
             make,
             op_seq: 0,
             pending_ops: BTreeMap::new(),
+            mode: SystemMode::Normal,
         };
         sys.sys.obs_mut().set_label("backend", sys.backend.name());
         sys
@@ -245,13 +273,53 @@ where
 
     /// Commit: journal the transaction's operations (force to stable
     /// storage, in commit order), then commit in the volatile system.
+    ///
+    /// In [`SystemMode::Degraded`] the commit is refused with
+    /// [`TxnError::ReadOnly`] and the transaction aborted (its effects were
+    /// volatile). A device failure during the append either degrades the
+    /// system (retries exhausted, device full — the backend rolled the
+    /// append back, so nothing of the record is durable) or, for a tripped
+    /// crash-at-op trigger, power-cycles and recovers on the spot: the
+    /// transaction then surfaces as [`TxnError::NotActive`], exactly as if
+    /// the process had crashed before acknowledging.
     pub fn commit(&mut self, txn: TxnId) -> Result<(), TxnError> {
+        if self.mode == SystemMode::Degraded {
+            self.pending_ops.remove(&txn);
+            let _ = self.sys.abort(txn);
+            return Err(TxnError::ReadOnly);
+        }
         self.sys.commit(txn)?;
         let ops = self.pending_ops.remove(&txn).unwrap_or_default();
         // The floor is read back from the log on recovery: journal it.
         let rec = CommitRecord { floor: self.sys.next_txn_id(), ops };
-        self.backend.append_commit(&rec);
-        self.journal.records.push(rec);
+        let append = self.backend.append_commit(&rec);
+        self.drain_retry_events();
+        match append {
+            Ok(()) => self.journal.records.push(rec),
+            Err(fail) => {
+                return Err(match fail.kind {
+                    StoreFailureKind::Device(DiskError::Crashed) => {
+                        // The device lost power mid-append: durability of the
+                        // record is undecided. Acknowledge the power loss and
+                        // recover; the unacknowledged tail is discardable.
+                        self.backend.crash();
+                        match self.recover_with(TornPolicy::DiscardTail) {
+                            Ok(()) => TxnError::NotActive(txn),
+                            Err(e) => {
+                                self.enter_degraded(format!(
+                                    "device crashed mid-commit and recovery failed: {e:?}"
+                                ));
+                                TxnError::ReadOnly
+                            }
+                        }
+                    }
+                    kind => {
+                        self.enter_degraded(format!("commit append failed: {kind:?}"));
+                        TxnError::ReadOnly
+                    }
+                });
+            }
+        }
         // Transactions aborted behind our back (wound-wait victims, wound
         // storms) never reach `abort` here; prune their buffers lazily.
         let active: BTreeSet<TxnId> = self.sys.active().collect();
@@ -268,6 +336,16 @@ where
     /// is all-or-prefix: a crash during the flush may lose a suffix of the
     /// batch, but once this returns the whole group is durable.
     pub fn commit_group(&mut self, txns: &[TxnId]) -> Vec<Result<(), TxnError>> {
+        if self.mode == SystemMode::Degraded {
+            return txns
+                .iter()
+                .map(|&t| {
+                    self.pending_ops.remove(&t);
+                    let _ = self.sys.abort(t);
+                    Err(TxnError::ReadOnly)
+                })
+                .collect();
+        }
         let mut results = Vec::with_capacity(txns.len());
         let mut recs: Vec<CommitRecord<A>> = Vec::new();
         for &txn in txns {
@@ -281,9 +359,44 @@ where
             }
         }
         if !recs.is_empty() {
-            self.backend.append_commits(&recs);
-            self.sys.obs_mut().on_group_flush(recs.len() as u64, 0);
-            self.journal.records.extend(recs);
+            let append = self.backend.append_commits(&recs);
+            self.drain_retry_events();
+            match append {
+                Ok(()) => {
+                    self.sys.obs_mut().on_group_flush(recs.len() as u64, 0);
+                    self.journal.records.extend(recs);
+                }
+                Err(fail) => {
+                    // The whole batch's durability failed together; rewrite
+                    // every volatile acknowledgement. `None` marks the
+                    // power-cycle path, where each transaction evaporated
+                    // with the crash (NotActive per slot).
+                    let err = match fail.kind {
+                        StoreFailureKind::Device(DiskError::Crashed) => {
+                            self.backend.crash();
+                            match self.recover_with(TornPolicy::DiscardTail) {
+                                Ok(()) => None,
+                                Err(e) => {
+                                    self.enter_degraded(format!(
+                                        "device crashed mid-batch-flush and recovery failed: {e:?}"
+                                    ));
+                                    Some(TxnError::ReadOnly)
+                                }
+                            }
+                        }
+                        kind => {
+                            self.enter_degraded(format!("batch flush failed: {kind:?}"));
+                            Some(TxnError::ReadOnly)
+                        }
+                    };
+                    for (slot, &t) in results.iter_mut().zip(txns) {
+                        if slot.is_ok() {
+                            *slot = Err(err.clone().unwrap_or(TxnError::NotActive(t)));
+                        }
+                    }
+                    return results;
+                }
+            }
         }
         let active: BTreeSet<TxnId> = self.sys.active().collect();
         self.pending_ops.retain(|t, _| active.contains(t));
@@ -300,9 +413,15 @@ where
     /// durable image, after which the backend may truncate the covered log
     /// prefix. Returns the number of whole segments truncated. No-op
     /// returning 0 when nothing was committed since the last checkpoint.
+    ///
+    /// This is also the exit from [`SystemMode::Degraded`]: a checkpoint
+    /// that reaches stable storage is durable proof the
+    /// [healed](Self::heal_device) device accepts writes again, so the
+    /// system returns to [`SystemMode::Normal`]. A checkpoint the device
+    /// refuses (returning 0) enters — or stays in — degraded mode.
     pub fn checkpoint(&mut self) -> u64 {
         let records = self.journal.records.len() as u64;
-        if records == 0 && self.journal.base.is_some() {
+        if records == 0 && self.journal.base.is_some() && self.mode == SystemMode::Normal {
             return 0;
         }
         let states: Vec<(ObjectId, A::State)> = self
@@ -320,12 +439,43 @@ where
             next_exec_seq: self.op_seq,
             states: states.clone(),
         };
-        let truncated = self.backend.write_checkpoint(&img);
-        self.journal.base_records = img.base_records;
-        self.journal.base = Some(states);
-        self.journal.records.clear();
-        self.sys.obs_mut().on_checkpoint(records, truncated);
-        truncated
+        let write = self.backend.write_checkpoint(&img);
+        self.drain_retry_events();
+        match write {
+            Ok(truncated) => {
+                self.journal.base_records = img.base_records;
+                self.journal.base = Some(states);
+                self.journal.records.clear();
+                self.sys.obs_mut().on_checkpoint(records, truncated);
+                if self.mode == SystemMode::Degraded {
+                    self.mode = SystemMode::Normal;
+                    self.sys.obs_mut().on_degraded(false, String::new);
+                }
+                truncated
+            }
+            Err(fail) => {
+                match fail.kind {
+                    StoreFailureKind::Device(DiskError::Crashed) => {
+                        // Power loss mid-checkpoint: recover from whichever
+                        // image — old XOR new — reached stable storage
+                        // (both fold to the same committed state).
+                        self.backend.crash();
+                        if let Err(e) = self.recover_with(TornPolicy::DiscardTail) {
+                            self.enter_degraded(format!(
+                                "device crashed mid-checkpoint and recovery failed: {e:?}"
+                            ));
+                        }
+                    }
+                    kind => {
+                        // The journal mirror keeps the old base: whichever
+                        // image is durably complete wins at the next
+                        // recovery.
+                        self.enter_degraded(format!("checkpoint write failed: {kind:?}"));
+                    }
+                }
+                0
+            }
+        }
     }
 
     /// Simulate a crash: every piece of volatile state is lost — active
@@ -354,18 +504,45 @@ where
     /// fresh crash would wipe the backend's volatile detection counters, so
     /// the repair flow must not take one.
     pub fn recover_with(&mut self, policy: TornPolicy) -> Result<(), RedoError> {
-        let recovered = match self.backend.recover(policy.tail()) {
-            Ok(r) => r,
-            Err(fail) => {
-                // Surface the scan evidence on the surviving tracer even
-                // though the rebuild is refused.
-                emit_scan(self.sys.obs_mut(), &fail.report);
-                return Err(match fail.kind {
-                    StoreFailureKind::Torn { record, expected, found } => {
-                        RedoError::TornRecord { record, expected, found }
+        let recovered = loop {
+            let attempt = self.backend.recover(policy.tail());
+            self.drain_retry_events();
+            match attempt {
+                Ok(r) => break r,
+                Err(fail) => {
+                    match fail.kind {
+                        // A crash-at-op trigger tripped *during recovery*:
+                        // acknowledge the nested power loss and recover from
+                        // whatever the interrupted attempt left durable. The
+                        // trigger is one-shot (tripping consumes it), so
+                        // this converges.
+                        StoreFailureKind::Device(DiskError::Crashed) => {
+                            self.backend.crash();
+                            continue;
+                        }
+                        // A transient-error burst outlasted one op's retry
+                        // budget mid-scan. The burst is finite and every
+                        // failed attempt consumes part of it, so re-running
+                        // the scan converges — recovery is the one path that
+                        // must not give up on a retryable error, since
+                        // nothing downstream can serve until it completes.
+                        StoreFailureKind::Device(DiskError::Transient) => continue,
+                        kind => {
+                            // Surface the scan evidence on the surviving
+                            // tracer even though the rebuild is refused.
+                            emit_scan(self.sys.obs_mut(), &fail.report);
+                            return Err(match kind {
+                                StoreFailureKind::Torn { record, expected, found } => {
+                                    RedoError::TornRecord { record, expected, found }
+                                }
+                                StoreFailureKind::Corrupt { sector } => {
+                                    RedoError::CorruptRecord { sector }
+                                }
+                                StoreFailureKind::Device(error) => RedoError::Device { error },
+                            });
+                        }
                     }
-                    StoreFailureKind::Corrupt { sector } => RedoError::CorruptRecord { sector },
-                });
+                }
             }
         };
         // The tracer models durable monitoring state: carry it across the
@@ -409,6 +586,12 @@ where
             records: recovered.records,
         };
         self.sys = fresh;
+        // A successful recovery proved the device writable (the epoch bump
+        // reached stable storage): leave degraded mode.
+        if self.mode == SystemMode::Degraded {
+            self.mode = SystemMode::Normal;
+            self.sys.obs_mut().on_degraded(false, String::new);
+        }
         Ok(())
     }
 
@@ -451,6 +634,88 @@ where
     /// return to what was written). Returns the number of repairs.
     pub fn repair_flips(&mut self) -> usize {
         self.backend.repair_flips()
+    }
+
+    /// Forward the backend's retry telemetry to the tracer (one `IoRetry`
+    /// event per checked device op that needed retries).
+    fn drain_retry_events(&mut self) {
+        for r in self.backend.drain_retries() {
+            self.sys.obs_mut().on_io_retry(r.attempts, r.backoff, r.ok);
+        }
+    }
+
+    /// Enter read-only degraded mode: emit the event, then roll the volatile
+    /// mirror back to stable truth by replaying the journal into a fresh
+    /// system. Active transactions evaporate (their effects were volatile);
+    /// reads keep serving the durable committed state. Idempotent.
+    fn enter_degraded(&mut self, reason: String) {
+        if self.mode == SystemMode::Degraded {
+            return;
+        }
+        self.mode = SystemMode::Degraded;
+        self.sys.obs_mut().on_degraded(true, || reason);
+        // On the (theorem-impossible) replay failure the stale volatile
+        // system stays in place; the simulator's oracle surfaces the
+        // divergence.
+        let _ = self.rebuild_from_journal();
+    }
+
+    /// Rebuild the volatile system from the journal *mirror* (no device I/O
+    /// — the device just refused writes). Unlike a real recovery, the id
+    /// floor and execution sequence carry over from process memory: the
+    /// process did not crash, so monotonicity is preserved without re-reading
+    /// the log.
+    fn rebuild_from_journal(&mut self) -> Result<(), RedoError> {
+        let mut fresh = (self.make)();
+        fresh.set_record_trace(true);
+        fresh.obs_mut().set_record_events(false);
+        if let Some(base) = self.journal.base.as_deref() {
+            for (obj, state) in base {
+                fresh.restore_committed(*obj, state.clone());
+            }
+        }
+        for (ri, rec) in self.journal.records.iter().enumerate() {
+            let t = fresh.begin();
+            for (oi, (_seq, obj, op)) in rec.ops.iter().enumerate() {
+                match fresh.invoke(t, *obj, op.inv.clone()) {
+                    Ok(resp) if resp == op.resp => {}
+                    Ok(_) => return Err(RedoError::ResponseDiverged { record: ri, op: oi }),
+                    Err(_) => return Err(RedoError::ReplayRefused { record: ri }),
+                }
+            }
+            fresh.commit(t).map_err(|_| RedoError::ReplayRefused { record: ri })?;
+        }
+        let floor = self.sys.next_txn_id();
+        let obs = self.sys.take_obs();
+        fresh.set_obs(obs);
+        fresh.reserve_txn_ids(floor);
+        self.pending_ops.clear();
+        self.sys = fresh;
+        Ok(())
+    }
+
+    /// Current [`SystemMode`].
+    pub fn mode(&self) -> SystemMode {
+        self.mode
+    }
+
+    /// Whether the system is refusing commits ([`SystemMode::Degraded`]).
+    pub fn is_degraded(&self) -> bool {
+        self.mode == SystemMode::Degraded
+    }
+
+    /// Heal the device: clear the full condition and any un-consumed
+    /// transient-error budget (the operator freed space / replaced the
+    /// cable). Returns `false` for backends with no device. Healing alone
+    /// does not exit degraded mode — a successful [`checkpoint`]
+    /// (Self::checkpoint) or recovery must first prove the device writable.
+    pub fn heal_device(&mut self) -> bool {
+        self.backend.heal_device()
+    }
+
+    /// Replace the backend's transient-I/O retry policy.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.backend.set_retry_policy(policy);
     }
 
     /// The committed state of `obj`.
@@ -790,6 +1055,125 @@ mod tests {
         // The repaired log is clean from now on.
         sys.crash_and_recover().unwrap();
         assert_eq!(sys.committed_state(X), 111);
+    }
+
+    #[test]
+    fn disk_full_degrades_to_read_only_then_heals() {
+        let mut sys = disk_sys(1);
+        let t = sys.begin();
+        sys.invoke(t, X, BankInv::Deposit(10)).unwrap();
+        sys.commit(t).unwrap();
+
+        assert!(sys.backend_mut().set_device_full(true));
+        let u = sys.begin();
+        sys.invoke(u, X, BankInv::Deposit(5)).unwrap();
+        assert_eq!(sys.commit(u), Err(TxnError::ReadOnly));
+        assert!(sys.is_degraded());
+        assert_eq!(sys.mode(), SystemMode::Degraded);
+        // The failed commit's volatile effects were rolled back: reads serve
+        // exactly the durable committed state.
+        assert_eq!(sys.committed_state(X), 10);
+        let r = sys.begin();
+        assert_eq!(sys.invoke(r, X, BankInv::Balance).unwrap(), ccr_adt::bank::BankResp::Val(10));
+        // Further commits keep being refused while degraded...
+        assert_eq!(sys.commit(r), Err(TxnError::ReadOnly));
+        // ...and healing alone is not enough: the checkpoint must prove the
+        // device writable again.
+        assert!(sys.heal_device());
+        assert!(sys.is_degraded());
+        sys.checkpoint();
+        assert!(!sys.is_degraded());
+        let v = sys.begin();
+        sys.invoke(v, X, BankInv::Deposit(7)).unwrap();
+        sys.commit(v).unwrap();
+        assert_eq!(sys.committed_state(X), 17);
+        // The healed log round-trips through real recovery.
+        sys.crash_and_recover().unwrap();
+        assert_eq!(sys.committed_state(X), 17);
+        assert_eq!(sys.stats().degraded_entries, 1);
+        assert_eq!(sys.stats().degraded_exits, 1);
+    }
+
+    #[test]
+    fn transient_io_errors_are_absorbed_by_retries() {
+        let mut sys = disk_sys(1);
+        assert!(sys.backend_mut().arm_transient_io(2));
+        let t = sys.begin();
+        sys.invoke(t, X, BankInv::Deposit(3)).unwrap();
+        sys.commit(t).unwrap();
+        assert!(!sys.is_degraded(), "retries must hide a transient budget below the attempt cap");
+        assert!(sys.stats().io_retries >= 1, "the retries must be observable");
+        sys.crash_and_recover().unwrap();
+        assert_eq!(sys.committed_state(X), 3);
+    }
+
+    #[test]
+    fn exhausted_retries_degrade_and_recovery_restores_writes() {
+        let mut sys = disk_sys(1);
+        sys.set_retry_policy(RetryPolicy { attempts: 2, ..RetryPolicy::default() });
+        let t = sys.begin();
+        sys.invoke(t, X, BankInv::Deposit(4)).unwrap();
+        sys.commit(t).unwrap();
+        // A transient budget at the attempt cap exhausts the retries.
+        assert!(sys.backend_mut().arm_transient_io(64));
+        let u = sys.begin();
+        sys.invoke(u, X, BankInv::Deposit(1)).unwrap();
+        assert_eq!(sys.commit(u), Err(TxnError::ReadOnly));
+        assert!(sys.is_degraded());
+        assert_eq!(sys.committed_state(X), 4, "the rolled-back append left nothing durable");
+        // Recovery on the healed device is the other exit from degraded mode.
+        assert!(sys.heal_device());
+        sys.crash_and_recover().unwrap();
+        assert!(!sys.is_degraded());
+        let v = sys.begin();
+        sys.invoke(v, X, BankInv::Deposit(2)).unwrap();
+        sys.commit(v).unwrap();
+        assert_eq!(sys.committed_state(X), 6);
+    }
+
+    #[test]
+    fn crash_trigger_mid_commit_power_cycles_and_recovers() {
+        let mut sys = disk_sys(1);
+        let t = sys.begin();
+        sys.invoke(t, X, BankInv::Deposit(9)).unwrap();
+        sys.commit(t).unwrap();
+        // Arm the device to lose power on its very next checked op: the
+        // commit's append dies mid-flight and the system power-cycles.
+        sys.backend_mut().disk_mut().arm_crash_at_op(0);
+        let u = sys.begin();
+        sys.invoke(u, X, BankInv::Withdraw(2)).unwrap();
+        match sys.commit(u) {
+            Err(TxnError::NotActive(id)) => assert_eq!(id, u),
+            other => panic!("expected NotActive after a mid-commit power loss, got {other:?}"),
+        }
+        assert!(!sys.is_degraded(), "a power loss is survivable, not degrading");
+        assert_eq!(sys.committed_state(X), 9);
+        // The system is fully usable after the in-place recovery.
+        let v = sys.begin();
+        sys.invoke(v, X, BankInv::Withdraw(4)).unwrap();
+        sys.commit(v).unwrap();
+        assert_eq!(sys.committed_state(X), 5);
+    }
+
+    #[test]
+    fn degraded_group_commit_refuses_the_whole_batch() {
+        let mut sys = disk_sys(1);
+        let t = sys.begin();
+        sys.invoke(t, X, BankInv::Deposit(8)).unwrap();
+        sys.commit(t).unwrap();
+        assert!(sys.backend_mut().set_device_full(true));
+        let txns: Vec<TxnId> = (0..3)
+            .map(|i| {
+                let u = sys.begin();
+                sys.invoke(u, X, BankInv::Deposit(i + 1)).unwrap();
+                u
+            })
+            .collect();
+        let results = sys.commit_group(&txns);
+        assert!(results.iter().all(|r| r == &Err(TxnError::ReadOnly)));
+        assert!(sys.is_degraded());
+        assert_eq!(sys.committed_state(X), 8, "the scrubbed batch left nothing durable");
+        assert_eq!(sys.journal().len(), 1);
     }
 
     #[test]

@@ -52,6 +52,11 @@ pub enum TxnError {
     /// either the specification is partial here, or (with a too-weak
     /// conflict relation) recovery corrupted the view.
     NoLegalResponse,
+    /// The durable system is in read-only degraded mode (exhausted device
+    /// retries or a full device): the commit was refused and the
+    /// transaction's volatile effects rolled back. Reads keep serving;
+    /// healing the device and writing a checkpoint restores writes.
+    ReadOnly,
 }
 
 impl fmt::Display for TxnError {
@@ -62,6 +67,7 @@ impl fmt::Display for TxnError {
             TxnError::NotActive(t) => write!(f, "transaction {t} is not active"),
             TxnError::NoSuchObject(o) => write!(f, "no such object {o}"),
             TxnError::NoLegalResponse => write!(f, "no legal response in view"),
+            TxnError::ReadOnly => write!(f, "system is in read-only degraded mode"),
         }
     }
 }

@@ -56,6 +56,20 @@ pub enum FaultKind {
         /// The bit index to flip.
         bit: u64,
     },
+    /// Arm a budget of `errors` transient I/O failures: the device's next
+    /// `errors` checked ops each fail once before succeeding. The backend's
+    /// bounded retries with backoff normally absorb the whole budget
+    /// invisibly (except in the retry telemetry). Degrades to
+    /// [`FaultKind::Crash`] on backends without a device.
+    TransientIo {
+        /// Checked device ops that will fail once each.
+        errors: u32,
+    },
+    /// The device reports itself permanently out of space: every durable
+    /// append fails until healed, driving the system into read-only
+    /// degraded mode at the next commit. Degrades to [`FaultKind::Crash`]
+    /// on backends without a device.
+    DiskFull,
 }
 
 impl fmt::Display for FaultKind {
@@ -69,6 +83,8 @@ impl fmt::Display for FaultKind {
             FaultKind::SectorTorn { sectors } => write!(f, "sect{sectors}"),
             FaultKind::ReorderFlush => write!(f, "reorder"),
             FaultKind::BitFlip { bit } => write!(f, "flip{bit}"),
+            FaultKind::TransientIo { errors } => write!(f, "io{errors}"),
+            FaultKind::DiskFull => write!(f, "full"),
         }
     }
 }
@@ -115,7 +131,7 @@ impl FaultPlan {
         let faults = (0..count)
             .map(|_| {
                 let at_event = rng.gen_range(1..horizon);
-                let kind = match rng.gen_range(0u32..12) {
+                let kind = match rng.gen_range(0u32..14) {
                     0 | 1 => FaultKind::Crash,
                     2 => FaultKind::TornCrash { drop_ops: rng.gen_range(1usize..3) },
                     3 | 4 => FaultKind::ForceAbort,
@@ -123,7 +139,11 @@ impl FaultPlan {
                     6 => FaultKind::WoundStorm,
                     7 | 8 => FaultKind::SectorTorn { sectors: rng.gen_range(1usize..3) },
                     9 => FaultKind::ReorderFlush,
-                    _ => FaultKind::BitFlip { bit: rng.gen_range(0u64..1_000_000) },
+                    10 => FaultKind::BitFlip { bit: rng.gen_range(0u64..1_000_000) },
+                    // A budget below the default retry attempt cap: transient
+                    // errors are expected to be absorbed, not to degrade.
+                    11 | 12 => FaultKind::TransientIo { errors: rng.gen_range(1u32..4) },
+                    _ => FaultKind::DiskFull,
                 };
                 FaultSpec { at_event, kind }
             })
@@ -207,6 +227,10 @@ impl FromStr for FaultKind {
             Ok(FaultKind::TornCrash { drop_ops: n.parse().map_err(|_| err())? })
         } else if let Some(n) = s.strip_prefix("delay") {
             Ok(FaultKind::DelayCommit { rounds: n.parse().map_err(|_| err())? })
+        } else if s == "full" {
+            Ok(FaultKind::DiskFull)
+        } else if let Some(n) = s.strip_prefix("io") {
+            Ok(FaultKind::TransientIo { errors: n.parse().map_err(|_| err())? })
         } else {
             Err(err())
         }
@@ -254,9 +278,11 @@ mod tests {
             FaultSpec { at_event: 5, kind: FaultKind::SectorTorn { sectors: 2 } },
             FaultSpec { at_event: 9, kind: FaultKind::ReorderFlush },
             FaultSpec { at_event: 14, kind: FaultKind::BitFlip { bit: 4093 } },
+            FaultSpec { at_event: 17, kind: FaultKind::TransientIo { errors: 3 } },
+            FaultSpec { at_event: 21, kind: FaultKind::DiskFull },
         ]);
         let s = storage.to_string();
-        assert_eq!(s, "5:sect2,9:reorder,14:flip4093");
+        assert_eq!(s, "5:sect2,9:reorder,14:flip4093,17:io3,21:full");
         assert_eq!(s.parse::<FaultPlan>().unwrap(), storage);
         assert_eq!("none".parse::<FaultPlan>().unwrap(), FaultPlan::none());
         assert_eq!("".parse::<FaultPlan>().unwrap(), FaultPlan::none());

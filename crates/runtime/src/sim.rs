@@ -6,7 +6,10 @@
 //! reaches their indices: crashes (with optional torn final journal record),
 //! forced aborts, delayed commits, wound storms, and — through the
 //! `ccr-store` backend — sector-granularity storage faults: torn flushes,
-//! reordered flushes, bit flips. After every injected fault — and once more
+//! reordered flushes, bit flips, transient I/O budgets (absorbed by the
+//! backend's bounded retries) and a disk-full condition (driving the system
+//! into read-only degraded mode until the scheduler's deterministic heal
+//! flow checkpoints it back). After every injected fault — and once more
 //! at the end of the run — an **oracle** checks that
 //!
 //! 1. the recorded history is dynamic atomic (paper §3.4, via the
@@ -21,7 +24,10 @@
 //! 4. injected storage damage is always *detected*: strict recovery must
 //!    refuse a torn or corrupted log rather than replay it silently;
 //! 5. any caller-supplied state invariant holds (e.g. escrow capacity
-//!    bounds).
+//!    bounds);
+//! 6. (with [`SimCfg::fault_during_recovery`]) recovery *converges*: a
+//!    fresh crash injected at every device-op index of recovery itself
+//!    must, after power-cycling, recover to the baseline outcome.
 //!
 //! Everything is deterministic in `(seed, plan, scripts)`: the report —
 //! including a fingerprint folded over every crash epoch's history — is
@@ -40,7 +46,7 @@ use ccr_core::conflict::Conflict;
 use ccr_core::history::History;
 use ccr_core::ids::{ObjectId, TxnId};
 use ccr_obs::FaultCounter;
-use ccr_store::{replay_uip, LogBackend};
+use ccr_store::{replay_uip, LogBackend, TailPolicy};
 
 use crate::crash::{DurableSystem, RedoError, TornPolicy};
 use crate::engine::RecoveryEngine;
@@ -75,6 +81,12 @@ pub struct SimCfg {
     /// torn-batch recovery rules: strict recovery must refuse the tail,
     /// discard recovery must keep exactly a prefix of the batch.
     pub group_commit: bool,
+    /// Run the sixth oracle leg at the end of the run: crash the device at
+    /// *every* op index recovery itself consumes
+    /// ([`LogBackend::check_recovery_convergence`]) and demand every
+    /// eventual recovery reproduce the baseline outcome. No-op on backends
+    /// without a device.
+    pub fault_during_recovery: bool,
 }
 
 impl Default for SimCfg {
@@ -87,6 +99,7 @@ impl Default for SimCfg {
             oracle_samples: 64,
             checkpoint_every: None,
             group_commit: false,
+            fault_during_recovery: false,
         }
     }
 }
@@ -192,6 +205,14 @@ pub enum OracleFailure {
         /// The invariant's own description of the violation.
         detail: String,
     },
+    /// The sixth leg: a nested crash injected *during recovery* led — after
+    /// power-cycling and recovering again — to an outcome different from
+    /// the baseline recovery. Recovery is not convergent, so a crash at the
+    /// wrong moment of a restart could silently change committed state.
+    RecoveryDiverged {
+        /// The probe's description of the divergent trial.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for OracleFailure {
@@ -225,6 +246,9 @@ impl std::fmt::Display for OracleFailure {
             ),
             OracleFailure::InvariantViolated { detail } => {
                 write!(f, "state invariant violated: {detail}")
+            }
+            OracleFailure::RecoveryDiverged { detail } => {
+                write!(f, "recovery convergence violated: {detail}")
             }
         }
     }
@@ -391,12 +415,16 @@ where
                     continue;
                 }
             }
+            let pre_crashes = sys.stats().crashes;
             if step_driver(sys, &mut drivers[i], cfg, &mut report, &mut delay_next_commit) {
                 progressed = true;
             }
+            heal_device_failures(sys, &mut drivers, cfg, &mut report, pre_crashes);
         }
         if cfg.group_commit {
+            let pre_crashes = sys.stats().crashes;
             flush_group(sys, &mut drivers, cfg, &mut report);
+            heal_device_failures(sys, &mut drivers, cfg, &mut report, pre_crashes);
         }
         if !progressed {
             // Every live driver is blocked or sleeping: break a deadlock or
@@ -437,6 +465,28 @@ where
 
     // Final oracle pass over the last epoch.
     oracle(sys, spec, cfg, invariant, None, report.events, &mut report)?;
+
+    // Sixth leg: recovery convergence. Heal any armed-but-unexercised device
+    // fault first (the probe demands a healthy device at the start) and
+    // crash the device at every op index recovery itself consumes; every
+    // eventual recovery must reproduce the baseline outcome.
+    if cfg.fault_during_recovery {
+        sys.heal_device();
+        match sys.backend_mut().check_recovery_convergence(TailPolicy::DiscardTail) {
+            Ok(probe) => {
+                report.oracle_checks += 1;
+                if probe.device_ops > 0 {
+                    sys.system_mut().obs_mut().on_convergence_check(probe.trials, probe.device_ops);
+                }
+            }
+            Err(e) => {
+                return Err(SimFailure {
+                    at_event: report.events,
+                    failure: OracleFailure::RecoveryDiverged { detail: e.to_string() },
+                });
+            }
+        }
+    }
 
     report.rounds = rounds;
     for d in &drivers {
@@ -486,6 +536,10 @@ where
             // The oracle examines the pre-crash history *before* it is lost.
             let pre_trace = sys.system().trace().clone();
             check_history(spec, cfg, &pre_trace, at, report)?;
+            // Restarting after a power loss includes the operator freeing
+            // space: a still-full device would fail recovery's epoch seal
+            // on a correct pairing.
+            sys.backend_mut().set_device_full(false);
             sys.crash_and_recover().map_err(|e| fail(OracleFailure::Redo(e)))?;
             restart_all(drivers, cfg, report);
             oracle(sys, spec, cfg, invariant, Some(&pre_states), at, report)
@@ -571,6 +625,8 @@ where
             *fp_fold = fold_fp(*fp_fold, sys.system().trace());
             let pre_trace = sys.system().trace().clone();
             check_history(spec, cfg, &pre_trace, at, report)?;
+            // The restart model frees a full device (see FaultKind::Crash).
+            sys.backend_mut().set_device_full(false);
             let detected = match sys.crash_and_recover() {
                 // Recovery claims the log is intact despite the flip: the
                 // oracle below decides with the pre-crash states whether
@@ -649,6 +705,50 @@ where
                 .on_fault(Some(FaultCounter::DelayedCommit), || kind.to_string());
             Ok(())
         }
+        FaultKind::TransientIo { errors } => {
+            if !sys.backend_mut().arm_transient_io(errors) {
+                // No device to misbehave (mem backend): degrade.
+                return inject(
+                    FaultKind::Crash,
+                    sys,
+                    drivers,
+                    cfg,
+                    spec,
+                    invariant,
+                    report,
+                    fp_fold,
+                    delay_next_commit,
+                );
+            }
+            // Arming is not yet an observable failure: the next commits'
+            // bounded retries are expected to absorb the budget (visible
+            // only in the retry telemetry), so no oracle pass here.
+            sys.system_mut()
+                .obs_mut()
+                .on_fault(Some(FaultCounter::TransientIo), || kind.to_string());
+            Ok(())
+        }
+        FaultKind::DiskFull => {
+            if !sys.backend_mut().set_device_full(true) {
+                // No device to fill (mem backend): degrade.
+                return inject(
+                    FaultKind::Crash,
+                    sys,
+                    drivers,
+                    cfg,
+                    spec,
+                    invariant,
+                    report,
+                    fp_fold,
+                    delay_next_commit,
+                );
+            }
+            // The next durable append drives the system into read-only
+            // degraded mode; the scheduler's heal flow then restarts the
+            // killed drivers and exits it through a checkpoint.
+            sys.system_mut().obs_mut().on_fault(Some(FaultCounter::DiskFull), || kind.to_string());
+            Ok(())
+        }
     }
 }
 
@@ -681,6 +781,8 @@ where
     *fp_fold = fold_fp(*fp_fold, sys.system().trace());
     let pre_trace = sys.system().trace().clone();
     check_history(spec, cfg, &pre_trace, at, report)?;
+    // The restart model frees a full device (see FaultKind::Crash).
+    sys.backend_mut().set_device_full(false);
     match sys.crash_and_recover() {
         Ok(()) => {
             let record = sys.journal().len().saturating_sub(1);
@@ -693,6 +795,38 @@ where
         .map_err(|e| fail(OracleFailure::Redo(e)))?;
     restart_all(drivers, cfg, report);
     oracle(sys, spec, cfg, invariant, None, at, report)
+}
+
+/// The liveness half of the degradation model, run after every driver step
+/// and group flush. Two device failures can strand the run mid-round:
+///
+/// - a commit-time power loss (`crashes` grew): the system already
+///   power-cycled and recovered in place, but every *other* driver's
+///   transaction evaporated with it — restart them before they mistake
+///   their stale handles for refusals;
+/// - the system entered read-only degraded mode: deterministic operator
+///   intervention — restart the killed drivers, heal the device, and prove
+///   it writable again with a checkpoint (the degraded-exit path).
+fn heal_device_failures<A, E, C, B>(
+    sys: &mut DurableSystem<A, E, C, B>,
+    drivers: &mut [Driver<A>],
+    cfg: &SimCfg,
+    report: &mut SimReport,
+    pre_crashes: u64,
+) where
+    A: Adt,
+    E: RecoveryEngine<A>,
+    C: Conflict<A> + Clone,
+    B: LogBackend<A>,
+{
+    if sys.stats().crashes > pre_crashes {
+        restart_all(drivers, cfg, report);
+    }
+    if sys.is_degraded() {
+        restart_all(drivers, cfg, report);
+        sys.heal_device();
+        sys.checkpoint();
+    }
 }
 
 /// Restart every driver whose transaction evaporated in a crash. Crash
@@ -882,6 +1016,13 @@ fn flush_group<A, E, C, B>(
                 let commits = sys.stats().committed;
                 d.restart(cfg.max_retries, Some(commits), &mut report.retries);
             }
+            // The batch's durability failed as a whole: the flush either
+            // power-cycled (each transaction evaporated, NotActive) or
+            // degraded the system (ReadOnly). Crash-style restart, no
+            // backoff — the rebuilt system holds no locks.
+            Err(TxnError::ReadOnly) | Err(TxnError::NotActive(_)) => {
+                d.restart(cfg.max_retries, None, &mut report.retries);
+            }
             Err(_) => {
                 d.done = true;
             }
@@ -977,6 +1118,13 @@ where
                 Err(TxnError::Aborted(_)) => {
                     let commits = sys.stats().committed;
                     d.restart(cfg.max_retries, Some(commits), &mut report.retries);
+                    true
+                }
+                // A device failure at commit: the transaction evaporated in
+                // an in-place power-cycle (NotActive) or the system went
+                // read-only (ReadOnly). Crash-style restart, no backoff.
+                Err(TxnError::ReadOnly) | Err(TxnError::NotActive(_)) => {
+                    d.restart(cfg.max_retries, None, &mut report.retries);
                     true
                 }
                 Err(_) => {
@@ -1414,6 +1562,78 @@ mod tests {
             (report.committed, sys.committed_state(X))
         };
         assert_eq!(run(None), run(Some(1)), "checkpointing must not change outcomes");
+    }
+
+    #[test]
+    fn transient_io_faults_are_absorbed_by_retries_in_the_sim() {
+        let stats = one_storage_fault(FaultKind::TransientIo { errors: 3 });
+        assert_eq!(stats.transient_io_faults, 1, "the fault must not degrade: {stats:?}");
+        assert!(stats.io_retries >= 1, "the armed budget must be visibly retried: {stats:?}");
+        assert_eq!(stats.degraded_entries, 0, "absorbed retries never degrade: {stats:?}");
+    }
+
+    #[test]
+    fn disk_full_degrades_then_heals_and_every_script_commits() {
+        let stats = one_storage_fault(FaultKind::DiskFull);
+        assert_eq!(stats.disk_full_faults, 1, "the fault must not degrade to a crash: {stats:?}");
+        assert_eq!(stats.degraded_entries, 1, "the full device must degrade the system: {stats:?}");
+        assert_eq!(stats.degraded_exits, 1, "the heal flow must exit degraded mode: {stats:?}");
+    }
+
+    #[test]
+    fn device_faults_on_the_mem_backend_degrade_to_crashes() {
+        let plan = FaultPlan::new(vec![
+            FaultSpec { at_event: 16, kind: FaultKind::TransientIo { errors: 2 } },
+            FaultSpec { at_event: 24, kind: FaultKind::DiskFull },
+        ]);
+        let mut sys: UipDurable = DurableSystem::new(BankAccount::default(), 1, bank_nrbc());
+        let report =
+            run_sim(&mut sys, transfer_scripts(6), &plan, &SimCfg::default(), &spec(), None)
+                .unwrap();
+        assert_eq!(report.faults_injected, 2);
+        assert_eq!(report.stats.crashes, 2, "both faults degrade to crashes: {:?}", report.stats);
+        assert_eq!(report.stats.transient_io_faults, 0);
+        assert_eq!(report.stats.disk_full_faults, 0);
+    }
+
+    #[test]
+    fn recovery_convergence_leg_passes_on_the_disk_backend() {
+        let plan = FaultPlan::from_seed(31, 60, 4);
+        let mut sys: DiskUip = DurableSystem::with_backend(
+            BankAccount::default(),
+            6,
+            bank_nrbc(),
+            WalBackend::new(WalConfig::default()),
+        );
+        let cfg = SimCfg { seed: 5, fault_during_recovery: true, ..Default::default() };
+        let report = run_sim(&mut sys, disjoint_scripts(), &plan, &cfg, &spec_n(6), None).unwrap();
+        assert_eq!(
+            report.stats.convergence_checks, 1,
+            "the sixth leg must run and pass: {:?}",
+            report.stats
+        );
+    }
+
+    #[test]
+    fn convergence_runs_are_deterministic() {
+        let plan = FaultPlan::from_seed(31, 60, 4);
+        let run_once = || {
+            let mut sys: DiskUip = DurableSystem::with_backend(
+                BankAccount::default(),
+                1,
+                bank_nrbc(),
+                WalBackend::new(WalConfig::default()),
+            );
+            let cfg = SimCfg {
+                seed: 7,
+                checkpoint_every: Some(2),
+                fault_during_recovery: true,
+                ..Default::default()
+            };
+            run_sim(&mut sys, transfer_scripts(6), &plan, &cfg, &spec(), None).unwrap()
+        };
+        let (a, b) = (run_once(), run_once());
+        assert_eq!(a, b, "SimReport must be byte-identical across runs");
     }
 
     #[test]

@@ -493,7 +493,9 @@ fn make_durable<A, E, C, B>(
                 let micros = {
                     let mut backend = shared.backend.lock();
                     let t0 = Instant::now();
-                    backend.append_commits(&batch);
+                    backend
+                        .append_commits(&batch)
+                        .expect("threaded harness runs on a healthy device");
                     if !shared.gc.flush_delay.is_zero() {
                         std::thread::sleep(shared.gc.flush_delay);
                     }
@@ -510,7 +512,9 @@ fn make_durable<A, E, C, B>(
                     let micros = {
                         let mut backend = shared.backend.lock();
                         let t0 = Instant::now();
-                        backend.append_commit(r);
+                        backend
+                            .append_commit(r)
+                            .expect("threaded harness runs on a healthy device");
                         if !shared.gc.flush_delay.is_zero() {
                             std::thread::sleep(shared.gc.flush_delay);
                         }

@@ -24,6 +24,76 @@ use std::collections::BTreeMap;
 use ccr_core::adt::{Adt, Op};
 use ccr_core::ids::ObjectId;
 
+use crate::disk::DiskError;
+
+/// Bounded retry with deterministic logical-clock backoff for transient
+/// device errors. Attempt `i` (0-based) sleeps `backoff_base << i` logical
+/// ticks before retrying, capped at [`RetryPolicy::BACKOFF_CAP`]; after
+/// `attempts` failures the error surfaces to the caller (who degrades to
+/// read-only rather than panicking).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first failure (0 = fail immediately).
+    pub attempts: u32,
+    /// Base backoff in logical ticks; doubles per attempt.
+    pub backoff_base: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { attempts: 4, backoff_base: 2 }
+    }
+}
+
+impl RetryPolicy {
+    /// Cap on a single backoff sleep, in logical ticks.
+    pub const BACKOFF_CAP: u64 = 1 << 16;
+
+    /// Backoff before retry `attempt` (0-based), in logical ticks.
+    pub fn backoff(&self, attempt: u32) -> u64 {
+        self.backoff_base.checked_shl(attempt.min(17)).unwrap_or(u64::MAX).min(Self::BACKOFF_CAP)
+    }
+}
+
+/// One retried device operation, as recorded by the backend and drained by
+/// the runtime into observability events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryRecord {
+    /// Retries performed (at least 1 — unretried ops are not recorded).
+    pub attempts: u32,
+    /// Total logical backoff ticks spent.
+    pub backoff: u64,
+    /// Whether the op eventually succeeded.
+    pub ok: bool,
+}
+
+/// Result of a successful recovery-convergence probe: how many nested-crash
+/// trials ran and how many device ops the baseline recovery consumed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConvergenceReport {
+    /// Nested-crash trials executed (one per device-op index, plus retries).
+    pub trials: u64,
+    /// Device ops the baseline recovery consumed (= crash injection points).
+    pub device_ops: u64,
+}
+
+/// A recovery-convergence violation: some nested-crash trial eventually
+/// recovered to a state that differs from the baseline recovery.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConvergenceFailure {
+    /// Device-op index at which the nested crash was injected.
+    pub trial: u64,
+    /// What diverged (fingerprint, floors, stats) or why the trial could
+    /// not complete.
+    pub reason: String,
+}
+
+impl std::fmt::Display for ConvergenceFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "recovery diverged at nested crash op {}: {}", self.trial, self.reason)
+    }
+}
+
 /// One committed transaction as journaled: the transaction-id floor at
 /// commit time plus the committed operations, each stamped with its global
 /// execution sequence number (`exec_seq`) so UIP replay can restore
@@ -164,6 +234,23 @@ pub enum StoreFailureKind {
     /// Corruption that no tail policy may discard: interior damage, a CRC
     /// mismatch, or a missing checkpoint after truncation.
     Corrupt { sector: u64 },
+    /// The device itself failed mid-operation and the retry budget could
+    /// not mask it. `Crashed` means the crash-at-op trigger tripped — the
+    /// caller should acknowledge the power loss ([`LogBackend::crash`]) and
+    /// recover again; `Transient`/`Full` mean the retry budget is exhausted
+    /// or the device is out of space — the caller should degrade to
+    /// read-only.
+    Device(DiskError),
+}
+
+impl StoreFailure {
+    /// A pure device failure: no scan evidence, just the I/O error.
+    pub fn device(err: DiskError) -> Self {
+        StoreFailure {
+            report: ScanReport { damage: "device", ..ScanReport::default() },
+            kind: StoreFailureKind::Device(err),
+        }
+    }
 }
 
 /// What recovery may do with a damaged log tail. Mirrors the runtime's
@@ -185,24 +272,30 @@ pub enum TailPolicy {
 /// hostile device would, and return `false` when the image cannot express
 /// that fault (the simulator then degrades the fault to a plain crash).
 pub trait LogBackend<A: Adt>: Send {
-    /// Durably append one commit record (write + fsync).
-    fn append_commit(&mut self, rec: &CommitRecord<A>);
+    /// Durably append one commit record (write + fsync). On `Err` the
+    /// record is *not* durable and nothing earlier was lost — the caller
+    /// may retry after healing, or degrade to read-only.
+    fn append_commit(&mut self, rec: &CommitRecord<A>) -> Result<(), StoreFailure>;
 
     /// Durably append a *group* of commit records — the group-commit flush.
     /// The contract is all-or-prefix: after a crash, recovery may keep any
-    /// prefix of `recs` in commit order, but once this call returns the whole
-    /// group is durable. The default flushes one record at a time (correct,
-    /// unamortised); [`crate::WalBackend`] overrides it with batch framing
-    /// and a single fsync for the whole group.
-    fn append_commits(&mut self, recs: &[CommitRecord<A>]) {
+    /// prefix of `recs` in commit order, but once this call returns `Ok`
+    /// the whole group is durable; on `Err` none of the group is durable.
+    /// The default flushes one record at a time (correct, unamortised);
+    /// [`crate::WalBackend`] overrides it with batch framing and a single
+    /// fsync for the whole group.
+    fn append_commits(&mut self, recs: &[CommitRecord<A>]) -> Result<(), StoreFailure> {
         for rec in recs {
-            self.append_commit(rec);
+            self.append_commit(rec)?;
         }
+        Ok(())
     }
 
     /// Durably write a checkpoint and truncate what it covers. Returns the
     /// number of whole segments truncated (always 0 for the mem backend).
-    fn write_checkpoint(&mut self, img: &CheckpointImage<A>) -> u64;
+    /// On `Err` the old checkpoint and log remain the replay base — the
+    /// checkpoint write is all-or-nothing from the caller's view.
+    fn write_checkpoint(&mut self, img: &CheckpointImage<A>) -> Result<u64, StoreFailure>;
 
     /// Power loss: drop everything not yet durable. Idempotent.
     fn crash(&mut self);
@@ -226,6 +319,48 @@ pub trait LogBackend<A: Adt>: Send {
     /// Undo all injected bit flips (the medium is repaired; the log bytes
     /// return to what was written). Returns the number of repairs.
     fn repair_flips(&mut self) -> usize;
+
+    /// Install the transient-error retry policy. No-op for backends
+    /// without a device.
+    fn set_retry_policy(&mut self, _policy: RetryPolicy) {}
+
+    /// Arm the next `n` device ops to fail transiently. `false` if the
+    /// backend has no device to misbehave (the simulator then degrades the
+    /// fault to a plain crash).
+    fn arm_transient_io(&mut self, _n: u32) -> bool {
+        false
+    }
+
+    /// Set or clear the device-full condition. `false` if inexpressible.
+    fn set_device_full(&mut self, _on: bool) -> bool {
+        false
+    }
+
+    /// Heal the device: clear the full condition and any armed transient
+    /// budget (the operator swapped the disk / freed space). `false` if
+    /// there is no device.
+    fn heal_device(&mut self) -> bool {
+        false
+    }
+
+    /// Drain the retry records accumulated since the last drain, oldest
+    /// first. Backends without a device never retry.
+    fn drain_retries(&mut self) -> Vec<RetryRecord> {
+        Vec::new()
+    }
+
+    /// The sixth oracle leg: prove recovery *converges*. Re-run recovery
+    /// with a fresh crash injected at every device-op index of the baseline
+    /// recovery; every trial that eventually succeeds must reproduce the
+    /// identical recovered log (fingerprint, floors, stats). Leaves the
+    /// backend recovered to the baseline state. Backends without a device
+    /// trivially converge (zero trials).
+    fn check_recovery_convergence(
+        &mut self,
+        _policy: TailPolicy,
+    ) -> Result<ConvergenceReport, ConvergenceFailure> {
+        Ok(ConvergenceReport::default())
+    }
 
     /// Current durable-counter view (persisted + this process's detections).
     fn stats(&self) -> StoreStats;
@@ -335,16 +470,17 @@ impl<A: Adt> MemBackend<A> {
 }
 
 impl<A: Adt> LogBackend<A> for MemBackend<A> {
-    fn append_commit(&mut self, rec: &CommitRecord<A>) {
+    fn append_commit(&mut self, rec: &CommitRecord<A>) -> Result<(), StoreFailure> {
         self.records.push(StoredRecord { op_count: rec.ops.len(), rec: rec.clone() });
         self.tear_counted = false;
+        Ok(())
     }
 
-    fn write_checkpoint(&mut self, img: &CheckpointImage<A>) -> u64 {
+    fn write_checkpoint(&mut self, img: &CheckpointImage<A>) -> Result<u64, StoreFailure> {
         self.checkpoint = Some(img.clone());
         self.records.clear();
         self.stats.checkpoints += 1;
-        0
+        Ok(0)
     }
 
     fn crash(&mut self) {
@@ -453,8 +589,8 @@ mod tests {
     #[test]
     fn mem_round_trip_and_floor_from_log() {
         let mut b = MemBackend::<BankAccount>::new();
-        b.append_commit(&rec(1, vec![(0, ObjectId(0), dep(5))]));
-        b.append_commit(&rec(2, vec![(1, ObjectId(0), dep(3)), (2, ObjectId(0), dep(4))]));
+        b.append_commit(&rec(1, vec![(0, ObjectId(0), dep(5))])).unwrap();
+        b.append_commit(&rec(2, vec![(1, ObjectId(0), dep(3)), (2, ObjectId(0), dep(4))])).unwrap();
         b.crash();
         let out = b.recover(TailPolicy::Strict).unwrap();
         assert_eq!(out.records.len(), 2);
@@ -467,8 +603,8 @@ mod tests {
     #[test]
     fn mem_tear_matches_the_legacy_failure_shape() {
         let mut b = MemBackend::<BankAccount>::new();
-        b.append_commit(&rec(1, vec![(0, ObjectId(0), dep(5))]));
-        b.append_commit(&rec(2, vec![(1, ObjectId(0), dep(3)), (2, ObjectId(0), dep(4))]));
+        b.append_commit(&rec(1, vec![(0, ObjectId(0), dep(5))])).unwrap();
+        b.append_commit(&rec(2, vec![(1, ObjectId(0), dep(3)), (2, ObjectId(0), dep(4))])).unwrap();
         assert!(b.tear_last_flush(1));
         b.crash();
         let err = b.recover(TailPolicy::Strict).unwrap_err();
@@ -484,13 +620,14 @@ mod tests {
     #[test]
     fn checkpoint_clears_records_and_keeps_floors() {
         let mut b = MemBackend::<BankAccount>::new();
-        b.append_commit(&rec(3, vec![(0, ObjectId(0), dep(5))]));
+        b.append_commit(&rec(3, vec![(0, ObjectId(0), dep(5))])).unwrap();
         b.write_checkpoint(&CheckpointImage {
             base_records: 1,
             txn_floor: 3,
             next_exec_seq: 1,
             states: vec![(ObjectId(0), 5u64)],
-        });
+        })
+        .unwrap();
         let out = b.recover(TailPolicy::Strict).unwrap();
         assert!(out.records.is_empty());
         assert_eq!(out.checkpoint.as_ref().unwrap().states, vec![(ObjectId(0), 5)]);

@@ -28,8 +28,74 @@
 //! Everything is plain `BTreeMap` state iterated in key order, so the same
 //! call sequence always produces the same bytes — the determinism the
 //! simulator's byte-identical-replay acceptance criterion needs.
+//!
+//! Besides the raw (always-succeeding) operations above, the disk exposes a
+//! *checked* interface — [`SimDisk::try_read`], [`SimDisk::try_write`],
+//! [`SimDisk::try_flush`], [`SimDisk::try_delete`] — that ticks a device-op
+//! counter and consults three armed fault channels before touching the
+//! medium:
+//!
+//! - [`SimDisk::arm_transient_errors`]: the next `n` checked ops fail with
+//!   [`DiskError::Transient`]; a retry later may succeed (a flaky cable, a
+//!   recoverable controller error).
+//! - [`SimDisk::set_full`]: checked mutations fail with [`DiskError::Full`]
+//!   until the device is [healed](Self::heal) (ENOSPC; reads keep working).
+//! - [`SimDisk::arm_crash_at_op`]: the device *trips* after the next `n`
+//!   checked ops succeed — every later op fails with [`DiskError::Crashed`]
+//!   until [`crash`](Self::crash) acknowledges the power loss. This is the
+//!   trigger the recovery-convergence oracle uses to kill recovery at every
+//!   device-op index.
+//!
+//! The raw operations bypass the checked channels entirely: they are the
+//! omniscient view tests and repair tooling use to inspect or fix the
+//! medium, and they never tick the op counter.
 
-use std::collections::BTreeMap;
+use std::cell::Cell;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Why a checked device operation failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiskError {
+    /// An armed transient fault fired: the same op may succeed on retry.
+    Transient,
+    /// The device is out of space: mutations fail until [`SimDisk::heal`].
+    Full,
+    /// The armed crash-at-op trigger fired: every checked op fails until
+    /// [`SimDisk::crash`] acknowledges the power loss.
+    Crashed,
+}
+
+impl std::fmt::Display for DiskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiskError::Transient => write!(f, "transient I/O error"),
+            DiskError::Full => write!(f, "device full"),
+            DiskError::Crashed => write!(f, "device crashed mid-operation"),
+        }
+    }
+}
+
+/// What a classified read found at a sector address. Distinguishes a sector
+/// that *was* durable until a tear/reorder destroyed it from one that was
+/// never written (or was deliberately deleted) — the recovery scanner needs
+/// the difference to tell a torn tail from a clean log end.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SectorRead<'a> {
+    /// The sector holds durable bytes (never empty).
+    Data(&'a [u8]),
+    /// The sector was durable once but a tear or reorder destroyed it.
+    Torn,
+    /// No data was ever durable here (or it was deliberately deleted).
+    Absent,
+}
+
+/// A copy of the durable image, for snapshot/restore replay (the
+/// recovery-convergence probe re-runs recovery many times from one image).
+#[derive(Clone, Debug)]
+pub struct DiskImage {
+    durable: BTreeMap<u64, Vec<u8>>,
+    torn: BTreeSet<u64>,
+}
 
 /// Counters for the physical activity of one [`SimDisk`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -46,8 +112,15 @@ pub struct DiskStats {
     pub reordered_sectors: u64,
     /// Bits flipped by `flip_bit`.
     pub flipped_bits: u64,
+    /// Flipped bits repaired by `unflip_all`. `flipped_bits -
+    /// repaired_bits` is the flips that became unrepairable because their
+    /// sector was torn or truncated away — the reconciliation the
+    /// repair-then-rescan flow pins.
+    pub repaired_bits: u64,
     /// Writes redirected by an armed misdirect.
     pub misdirected_writes: u64,
+    /// Checked ops that failed with an armed transient error.
+    pub transient_errors: u64,
 }
 
 /// A deterministic simulated block device. See the module docs for the fault
@@ -65,8 +138,24 @@ pub struct SimDisk {
     /// Journal of applied bit flips `(sector, byte, mask)` so tests can
     /// repair the medium.
     flips: Vec<(u64, usize, u8)>,
+    /// Sectors that were durable until a tear/reorder destroyed them, and
+    /// have not been rewritten or deliberately deleted since.
+    torn: BTreeSet<u64>,
     /// Sector delta applied to the next write, then cleared.
     misdirect: Option<i64>,
+    /// Checked device ops performed (reads, writes, flushes, deletes).
+    /// `Cell` because classified reads take `&self`.
+    ops: Cell<u64>,
+    /// Checked ops left to fail with `Transient` (armed fault budget).
+    transient: Cell<u32>,
+    /// Checked ops that failed with an armed transient error.
+    transient_fired: Cell<u64>,
+    /// Whether checked mutations fail with `Full`.
+    full: Cell<bool>,
+    /// Trip the device once the op counter passes this value.
+    trip_at: Cell<Option<u64>>,
+    /// The crash-at-op trigger fired; all checked ops fail until `crash`.
+    tripped: Cell<bool>,
     stats: DiskStats,
 }
 
@@ -80,7 +169,14 @@ impl SimDisk {
             pending: Vec::new(),
             last_flush: Vec::new(),
             flips: Vec::new(),
+            torn: BTreeSet::new(),
             misdirect: None,
+            ops: Cell::new(0),
+            transient: Cell::new(0),
+            transient_fired: Cell::new(0),
+            full: Cell::new(false),
+            trip_at: Cell::new(None),
+            tripped: Cell::new(false),
             stats: DiskStats::default(),
         }
     }
@@ -90,8 +186,10 @@ impl SimDisk {
         self.sector
     }
 
-    pub fn stats(&self) -> &DiskStats {
-        &self.stats
+    pub fn stats(&self) -> DiskStats {
+        let mut stats = self.stats;
+        stats.transient_errors = self.transient_fired.get();
+        stats
     }
 
     /// Queue a write of `data` starting at `sector` (volatile until
@@ -126,6 +224,7 @@ impl SimDisk {
         let n = pending.len();
         for (idx, bytes) in pending {
             self.durable.insert(idx, bytes);
+            self.torn.remove(&idx);
             self.last_flush.push(idx);
         }
         self.stats.sectors_flushed += n as u64;
@@ -133,13 +232,17 @@ impl SimDisk {
         n
     }
 
-    /// Drop all un-flushed writes (power loss). Idempotent.
+    /// Drop all un-flushed writes (power loss). Idempotent. Acknowledging
+    /// the power loss also resets a tripped crash-at-op trigger — the
+    /// device comes back up serving ops.
     pub fn crash(&mut self) {
         if !self.pending.is_empty() {
             self.stats.lossy_crashes += 1;
         }
         self.pending.clear();
         self.misdirect = None;
+        self.trip_at.set(None);
+        self.tripped.set(false);
     }
 
     /// Read one sector; `None` if it was never written.
@@ -147,6 +250,27 @@ impl SimDisk {
     /// cache, and the recovery scanner runs strictly post-crash.
     pub fn read(&self, sector: u64) -> Option<&[u8]> {
         self.durable.get(&sector).map(Vec::as_slice)
+    }
+
+    /// Drop every staged-but-unflushed write without a power loss: the
+    /// process discards its write cache after a failed append so the staged
+    /// bytes can never leak out through a later unrelated flush. Durable
+    /// data is untouched.
+    pub fn discard_pending(&mut self) {
+        self.pending.clear();
+    }
+
+    /// Read one sector with explicit damage classification: durable bytes,
+    /// a sector *destroyed* by a tear/reorder, or one never written.
+    /// [`read`](Self::read) collapses the last two into `None`; the scanner
+    /// uses this form so a torn-away sector is never mistaken for a clean
+    /// log end. Never returns `Data(&[])` — writes cover whole sectors.
+    pub fn read_classified(&self, sector: u64) -> SectorRead<'_> {
+        match self.durable.get(&sector) {
+            Some(bytes) => SectorRead::Data(bytes.as_slice()),
+            None if self.torn.contains(&sector) => SectorRead::Torn,
+            None => SectorRead::Absent,
+        }
     }
 
     /// Sectors persisted by the most recent flush.
@@ -165,7 +289,10 @@ impl SimDisk {
     }
 
     /// Delete a durable sector (used by log truncation and tail discard).
+    /// A deliberate delete also clears any torn-sector tombstone — the
+    /// caller has classified the damage and disposed of the sector.
     pub fn delete(&mut self, sector: u64) -> bool {
+        self.torn.remove(&sector);
         self.durable.remove(&sector).is_some()
     }
 
@@ -178,7 +305,9 @@ impl SimDisk {
             return false;
         }
         for &idx in &self.last_flush[keep..] {
-            self.durable.remove(&idx);
+            if self.durable.remove(&idx).is_some() {
+                self.torn.insert(idx);
+            }
             self.stats.torn_sectors += 1;
         }
         self.last_flush.truncate(keep);
@@ -194,7 +323,9 @@ impl SimDisk {
             return false;
         }
         let first = self.last_flush.remove(0);
-        self.durable.remove(&first);
+        if self.durable.remove(&first).is_some() {
+            self.torn.insert(first);
+        }
         self.stats.reordered_sectors += 1;
         true
     }
@@ -225,7 +356,10 @@ impl SimDisk {
     }
 
     /// Undo every flip applied by [`flip_bit`](Self::flip_bit) whose sector
-    /// still exists. Returns the number of repairs.
+    /// still exists. Returns the number of repairs, and reconciles the
+    /// stats: `repaired_bits` grows by exactly that number, so
+    /// `flipped_bits - repaired_bits` is always the flips that became
+    /// unrepairable (their sector was torn or truncated away).
     pub fn unflip_all(&mut self) -> usize {
         let flips = std::mem::take(&mut self.flips);
         let mut repaired = 0;
@@ -237,12 +371,145 @@ impl SimDisk {
                 }
             }
         }
+        self.stats.repaired_bits += repaired as u64;
         repaired
     }
 
     /// Redirect the next write by `delta` sectors.
     pub fn arm_misdirect(&mut self, delta: i64) {
         self.misdirect = Some(delta);
+    }
+
+    // ------------------------------------------------------------------
+    // The checked device interface: every op ticks the device-op counter
+    // and consults the armed fault channels before touching the medium.
+    // ------------------------------------------------------------------
+
+    /// Checked device ops performed so far (reads, writes, flushes and
+    /// deletes through the `try_*` interface).
+    pub fn device_ops(&self) -> u64 {
+        self.ops.get()
+    }
+
+    /// Arm the next `n` checked ops to fail with [`DiskError::Transient`].
+    /// Cumulative with a previously armed budget.
+    pub fn arm_transient_errors(&mut self, n: u32) {
+        self.transient.set(self.transient.get().saturating_add(n));
+    }
+
+    /// Set or clear the device-full condition. While full, checked
+    /// mutations fail with [`DiskError::Full`]; reads keep working.
+    pub fn set_full(&mut self, full: bool) {
+        self.full.set(full);
+    }
+
+    /// Whether the device-full condition is set.
+    pub fn is_full(&self) -> bool {
+        self.full.get()
+    }
+
+    /// Arm the crash-at-op trigger: the next `n` checked ops succeed, then
+    /// the device trips — every later op fails with [`DiskError::Crashed`]
+    /// until [`crash`](Self::crash) acknowledges the power loss.
+    pub fn arm_crash_at_op(&mut self, n: u64) {
+        self.trip_at.set(Some(self.ops.get() + n));
+        self.tripped.set(false);
+    }
+
+    /// Whether the crash-at-op trigger has fired and the device is dead.
+    pub fn is_tripped(&self) -> bool {
+        self.tripped.get()
+    }
+
+    /// Heal the device: clear the full condition and any remaining
+    /// transient-error budget. A tripped device stays dead until
+    /// [`crash`](Self::crash) — power loss is not healable in place.
+    pub fn heal(&mut self) {
+        self.full.set(false);
+        self.transient.set(0);
+    }
+
+    /// Tick the op counter and consult the armed fault channels. `mutates`
+    /// selects whether the device-full condition applies.
+    fn tick(&self, mutates: bool) -> Result<(), DiskError> {
+        if self.tripped.get() {
+            return Err(DiskError::Crashed);
+        }
+        let n = self.ops.get() + 1;
+        self.ops.set(n);
+        if let Some(at) = self.trip_at.get() {
+            if n > at {
+                self.tripped.set(true);
+                return Err(DiskError::Crashed);
+            }
+        }
+        let budget = self.transient.get();
+        if budget > 0 {
+            self.transient.set(budget - 1);
+            self.transient_fired.set(self.transient_fired.get() + 1);
+            return Err(DiskError::Transient);
+        }
+        if mutates && self.full.get() {
+            return Err(DiskError::Full);
+        }
+        Ok(())
+    }
+
+    /// Checked classified read. See [`read_classified`](Self::read_classified).
+    pub fn try_read(&self, sector: u64) -> Result<SectorRead<'_>, DiskError> {
+        self.tick(false)?;
+        Ok(self.read_classified(sector))
+    }
+
+    /// Checked write. See [`write`](Self::write).
+    pub fn try_write(&mut self, sector: u64, data: &[u8]) -> Result<(), DiskError> {
+        self.tick(true)?;
+        self.write(sector, data);
+        Ok(())
+    }
+
+    /// Checked flush. See [`flush`](Self::flush). An empty flush on a live
+    /// device is a no-op and never fails — there is nothing for the device
+    /// to do; a tripped device fails every op, empty or not.
+    pub fn try_flush(&mut self) -> Result<usize, DiskError> {
+        if self.tripped.get() {
+            return Err(DiskError::Crashed);
+        }
+        if self.pending.is_empty() {
+            return Ok(0);
+        }
+        self.tick(true)?;
+        Ok(self.flush())
+    }
+
+    /// Checked delete. See [`delete`](Self::delete). Deletes free space, so
+    /// they succeed on a full device.
+    pub fn try_delete(&mut self, sector: u64) -> Result<bool, DiskError> {
+        self.tick(false)?;
+        Ok(self.delete(sector))
+    }
+
+    /// Snapshot the durable image (and torn-sector tombstones) for later
+    /// [`restore`](Self::restore).
+    pub fn snapshot(&self) -> DiskImage {
+        DiskImage { durable: self.durable.clone(), torn: self.torn.clone() }
+    }
+
+    /// Restore a snapshot: the durable image and tombstones come back
+    /// exactly; the pending buffer, flip journal, last-flush record and all
+    /// armed faults are cleared (the snapshot models re-imaging the
+    /// medium). The op counter and wear stats keep accumulating.
+    pub fn restore(&mut self, image: &DiskImage) {
+        self.durable = image.durable.clone();
+        self.torn = image.torn.clone();
+        self.pending.clear();
+        self.last_flush.clear();
+        self.flips.clear();
+        self.misdirect = None;
+        self.transient.set(0);
+        self.full.set(false);
+        self.trip_at.set(None);
+        self.tripped.set(false);
     }
 }
 
@@ -325,6 +592,117 @@ mod tests {
         assert_eq!(d.read(3), Some(sec(1, 8).as_slice()));
         assert_eq!(d.read(1), Some(sec(2, 8).as_slice()));
         assert_eq!(d.stats().misdirected_writes, 1);
+    }
+
+    /// Regression (satellite): a sector destroyed by a tear used to be
+    /// indistinguishable from one never written — both read back `None`.
+    /// The classified read keeps them apart, and a plain `read` never
+    /// returns an empty slice for a torn sector.
+    #[test]
+    fn torn_sector_is_classified_distinct_from_absent() {
+        let mut d = SimDisk::new(8);
+        d.write(0, &[sec(1, 8), sec(2, 8), sec(3, 8)].concat());
+        d.flush();
+        assert!(d.tear_last_flush(1));
+        assert_eq!(d.read(1), None, "a torn sector must not read as Some(&[])");
+        assert_eq!(d.read_classified(1), SectorRead::Torn);
+        assert_eq!(d.read_classified(2), SectorRead::Torn);
+        assert_eq!(d.read_classified(7), SectorRead::Absent, "never-written is Absent");
+        assert_eq!(d.read_classified(0), SectorRead::Data(sec(1, 8).as_slice()));
+        // A deliberate delete disposes of the tombstone...
+        assert!(!d.delete(1));
+        assert_eq!(d.read_classified(1), SectorRead::Absent);
+        // ...and a rewrite heals it.
+        d.write(2, &sec(9, 8));
+        d.flush();
+        assert_eq!(d.read_classified(2), SectorRead::Data(sec(9, 8).as_slice()));
+    }
+
+    /// Reconciliation (satellite): repairs are counted, so the stats always
+    /// satisfy `flipped_bits = repaired_bits + unrepairable flips`.
+    #[test]
+    fn unflip_reconciles_the_flip_counters() {
+        let mut d = SimDisk::new(4);
+        d.write(0, &[sec(0xAA, 4), sec(0xBB, 4)].concat());
+        d.flush();
+        assert!(d.flip_bit(2)); // sector 0
+        assert!(d.flip_bit(33)); // sector 1
+        assert!(d.tear_last_flush(1)); // sector 1 (and its flip) destroyed
+        assert_eq!(d.unflip_all(), 1, "only the surviving sector's flip repairs");
+        let s = d.stats();
+        assert_eq!(s.flipped_bits, 2);
+        assert_eq!(s.repaired_bits, 1);
+        assert_eq!(s.flipped_bits - s.repaired_bits, 1, "one flip died with its sector");
+        assert_eq!(d.read(0), Some(sec(0xAA, 4).as_slice()));
+    }
+
+    #[test]
+    fn transient_errors_fire_then_clear() {
+        let mut d = SimDisk::new(8);
+        d.write(0, &sec(1, 8));
+        d.flush();
+        d.arm_transient_errors(2);
+        assert_eq!(d.try_read(0), Err(DiskError::Transient));
+        assert_eq!(d.try_write(1, &sec(2, 8)), Err(DiskError::Transient));
+        assert_eq!(d.try_read(0), Ok(SectorRead::Data(sec(1, 8).as_slice())));
+        assert_eq!(d.stats().transient_errors, 2);
+        assert_eq!(d.device_ops(), 3);
+    }
+
+    #[test]
+    fn full_device_refuses_mutations_until_healed() {
+        let mut d = SimDisk::new(8);
+        d.write(0, &sec(1, 8));
+        d.flush();
+        d.set_full(true);
+        assert_eq!(d.try_write(1, &sec(2, 8)), Err(DiskError::Full));
+        assert_eq!(d.try_read(0), Ok(SectorRead::Data(sec(1, 8).as_slice())));
+        assert_eq!(d.try_delete(0), Ok(true), "deletes free space on a full device");
+        d.heal();
+        assert_eq!(d.try_write(1, &sec(2, 8)), Ok(()));
+        assert_eq!(d.try_flush(), Ok(1));
+    }
+
+    #[test]
+    fn crash_at_op_trips_the_device_until_power_cycle() {
+        let mut d = SimDisk::new(8);
+        d.write(0, &sec(1, 8));
+        d.flush();
+        d.arm_crash_at_op(2);
+        assert!(d.try_read(0).is_ok());
+        assert!(d.try_read(0).is_ok());
+        assert_eq!(d.try_read(0), Err(DiskError::Crashed));
+        assert!(d.is_tripped());
+        // Every op fails, mutating or not, and heal() cannot revive it.
+        assert_eq!(d.try_write(1, &sec(2, 8)), Err(DiskError::Crashed));
+        d.heal();
+        assert_eq!(d.try_flush().err(), Some(DiskError::Crashed));
+        // Only acknowledging the power loss brings the device back.
+        d.crash();
+        assert!(!d.is_tripped());
+        assert!(d.try_read(0).is_ok());
+        // Arming at 0 kills the very next op.
+        d.arm_crash_at_op(0);
+        assert_eq!(d.try_read(0), Err(DiskError::Crashed));
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_the_durable_image() {
+        let mut d = SimDisk::new(8);
+        d.write(0, &[sec(1, 8), sec(2, 8)].concat());
+        d.flush();
+        d.tear_last_flush(1);
+        let img = d.snapshot();
+        d.write(5, &sec(7, 8));
+        d.flush();
+        d.set_full(true);
+        d.arm_crash_at_op(0);
+        d.restore(&img);
+        assert_eq!(d.read(0), Some(sec(1, 8).as_slice()));
+        assert_eq!(d.read(5), None);
+        assert_eq!(d.read_classified(1), SectorRead::Torn, "tombstones restore too");
+        assert!(d.try_read(0).is_ok(), "restore clears armed faults");
+        assert!(!d.is_full());
     }
 
     #[test]

@@ -35,9 +35,10 @@ pub mod disk;
 pub mod wal;
 
 pub use backend::{
-    replay_du, replay_uip, CheckpointImage, CommitRecord, Detection, LogBackend, MemBackend,
-    RecoveredLog, ScanReport, StoreFailure, StoreFailureKind, StoreStats, TailPolicy,
+    replay_du, replay_uip, CheckpointImage, CommitRecord, ConvergenceFailure, ConvergenceReport,
+    Detection, LogBackend, MemBackend, RecoveredLog, RetryPolicy, RetryRecord, ScanReport,
+    StoreFailure, StoreFailureKind, StoreStats, TailPolicy,
 };
 pub use codec::{crc32, Persist};
-pub use disk::{DiskStats, SimDisk};
+pub use disk::{DiskError, DiskImage, DiskStats, SectorRead, SimDisk};
 pub use wal::{WalBackend, WalConfig};

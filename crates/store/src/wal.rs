@@ -83,11 +83,12 @@ use std::marker::PhantomData;
 use ccr_core::adt::Adt;
 
 use crate::backend::{
-    CheckpointImage, CommitRecord, Detection, LogBackend, RecoveredLog, ScanReport, StoreFailure,
-    StoreFailureKind, StoreStats, TailPolicy,
+    CheckpointImage, CommitRecord, ConvergenceFailure, ConvergenceReport, Detection, LogBackend,
+    RecoveredLog, RetryPolicy, RetryRecord, ScanReport, StoreFailure, StoreFailureKind, StoreStats,
+    TailPolicy,
 };
 use crate::codec::{crc32, Persist};
-use crate::disk::SimDisk;
+use crate::disk::{DiskError, SectorRead, SimDisk};
 
 /// Geometry of the simulated log device.
 ///
@@ -133,6 +134,75 @@ fn build_frame(kind: u8, payload: &[u8], sector: usize) -> Vec<u8> {
     buf
 }
 
+/// Run one checked device op under the retry policy: transient errors are
+/// retried with deterministic exponential backoff (logical ticks, no wall
+/// clock); permanent errors and budget exhaustion surface to the caller.
+/// Retried ops are recorded for the runtime to drain into obs events.
+fn with_retries<T>(
+    policy: RetryPolicy,
+    retries: &mut Vec<RetryRecord>,
+    mut op: impl FnMut() -> Result<T, DiskError>,
+) -> Result<T, DiskError> {
+    let mut attempts = 0u32;
+    let mut backoff = 0u64;
+    loop {
+        match op() {
+            Ok(v) => {
+                if attempts > 0 {
+                    retries.push(RetryRecord { attempts, backoff, ok: true });
+                }
+                return Ok(v);
+            }
+            Err(DiskError::Transient) if attempts < policy.attempts => {
+                backoff += policy.backoff(attempts);
+                attempts += 1;
+            }
+            Err(e) => {
+                if attempts > 0 {
+                    retries.push(RetryRecord { attempts, backoff, ok: false });
+                }
+                return Err(e);
+            }
+        }
+    }
+}
+
+fn read_retried<'d>(
+    disk: &'d SimDisk,
+    policy: RetryPolicy,
+    retries: &mut Vec<RetryRecord>,
+    sector: u64,
+) -> Result<SectorRead<'d>, DiskError> {
+    with_retries(policy, retries, || disk.try_read(sector))
+}
+
+fn write_retried(
+    disk: &mut SimDisk,
+    policy: RetryPolicy,
+    retries: &mut Vec<RetryRecord>,
+    sector: u64,
+    data: &[u8],
+) -> Result<(), DiskError> {
+    with_retries(policy, retries, || disk.try_write(sector, data))
+}
+
+fn flush_retried(
+    disk: &mut SimDisk,
+    policy: RetryPolicy,
+    retries: &mut Vec<RetryRecord>,
+) -> Result<usize, DiskError> {
+    with_retries(policy, retries, || disk.try_flush())
+}
+
+fn delete_retried(
+    disk: &mut SimDisk,
+    policy: RetryPolicy,
+    retries: &mut Vec<RetryRecord>,
+    sector: u64,
+) -> Result<bool, DiskError> {
+    with_retries(policy, retries, || disk.try_delete(sector))
+}
+
 /// What one frame position holds.
 enum FrameRead {
     /// No durable data at this position.
@@ -152,39 +222,60 @@ enum FrameRead {
     },
 }
 
-fn read_frame(disk: &SimDisk, cfg: &WalConfig, pos: u64, seg_end: u64) -> FrameRead {
-    let Some(first) = disk.read(pos) else { return FrameRead::Absent };
+/// Read the frame starting at `pos`. The probe of the frame's head sector is
+/// one *checked* device op (retried under `policy`), so a crash-at-op or
+/// exhausted transient budget can kill a recovery scan at any frame
+/// position; the frame's interior sectors ride the same physical request.
+/// A sector destroyed by a tear ([`SectorRead::Torn`]) holds no durable
+/// data, exactly like one never written — both read as `Absent` and the
+/// scan's hole rules classify the damage.
+fn read_frame(
+    disk: &SimDisk,
+    cfg: &WalConfig,
+    pos: u64,
+    seg_end: u64,
+    policy: RetryPolicy,
+    retries: &mut Vec<RetryRecord>,
+) -> Result<FrameRead, DiskError> {
+    let first = match read_retried(disk, policy, retries, pos)? {
+        SectorRead::Data(bytes) => bytes,
+        SectorRead::Torn | SectorRead::Absent => return Ok(FrameRead::Absent),
+    };
     if first.len() < FRAME_OVERHEAD {
-        return FrameRead::Corrupt;
+        return Ok(FrameRead::Corrupt);
     }
     let magic = u32::from_le_bytes(first[0..4].try_into().expect("4 bytes"));
     if magic != MAGIC {
-        return FrameRead::Corrupt;
+        return Ok(FrameRead::Corrupt);
     }
     let kind = first[4];
     if !(KIND_SEG_HEADER..=KIND_BATCH).contains(&kind) {
-        return FrameRead::Corrupt;
+        return Ok(FrameRead::Corrupt);
     }
     let len = u32::from_le_bytes(first[5..9].try_into().expect("4 bytes")) as usize;
-    let Some(total) = FRAME_OVERHEAD.checked_add(len) else { return FrameRead::Corrupt };
+    let Some(total) = FRAME_OVERHEAD.checked_add(len) else { return Ok(FrameRead::Corrupt) };
     let sectors = total.div_ceil(cfg.sector) as u64;
     if pos + sectors > seg_end {
         // The claimed length runs past the segment — a flipped length field.
-        return FrameRead::Corrupt;
+        return Ok(FrameRead::Corrupt);
     }
     let mut buf = Vec::with_capacity(sectors as usize * cfg.sector);
     for (i, s) in (pos..pos + sectors).enumerate() {
         match disk.read(s) {
             Some(bytes) => buf.extend_from_slice(bytes),
-            None => return FrameRead::Torn { expected: sectors as usize, found: i },
+            None => return Ok(FrameRead::Torn { expected: sectors as usize, found: i }),
         }
     }
     let stored = u32::from_le_bytes(buf[9..13].try_into().expect("4 bytes"));
     buf[9..13].fill(0);
     if crc32(&buf) != stored {
-        return FrameRead::Corrupt;
+        return Ok(FrameRead::Corrupt);
     }
-    FrameRead::Valid { kind, payload: buf[FRAME_OVERHEAD..FRAME_OVERHEAD + len].to_vec(), sectors }
+    Ok(FrameRead::Valid {
+        kind,
+        payload: buf[FRAME_OVERHEAD..FRAME_OVERHEAD + len].to_vec(),
+        sectors,
+    })
 }
 
 /// Decoded segment-header payload.
@@ -375,6 +466,15 @@ pub struct WalBackend<A: Adt> {
     /// tear / reorder faults (which model an interrupted flush) do not
     /// apply to them.
     tearable: bool,
+    /// Transient-error retry policy for every checked device op.
+    retry: RetryPolicy,
+    /// Retried ops since the last [`LogBackend::drain_retries`], oldest
+    /// first. Process memory — wiped by `crash`.
+    retries: Vec<RetryRecord>,
+    /// Test-only sabotage: skip the epoch bump at the end of recovery, so
+    /// the convergence probe's negative test can prove it notices a
+    /// recovery that makes no durable progress.
+    skip_epoch_bump: bool,
     _marker: PhantomData<fn() -> A>,
 }
 
@@ -405,9 +505,12 @@ where
             seen_damage: BTreeSet::new(),
             next_batch_id: 0,
             tearable: false,
+            retry: RetryPolicy::default(),
+            retries: Vec::new(),
+            skip_epoch_bump: false,
             _marker: PhantomData,
         };
-        wal.write_header();
+        wal.write_header().expect("a fresh device has no armed faults");
         wal
     }
 
@@ -436,17 +539,31 @@ where
         }
     }
 
+    /// Test-only sabotage hook for the convergence probe's negative test:
+    /// skip the durable epoch bump that seals every successful recovery.
+    pub fn set_skip_epoch_bump(&mut self, on: bool) {
+        self.skip_epoch_bump = on;
+    }
+
+    /// The current recovery epoch (bumped and persisted by every
+    /// successful recovery).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// (Re)write the current segment's header in place and fsync it.
-    fn write_header(&mut self) {
+    fn write_header(&mut self) -> Result<(), DiskError> {
         let frame = build_frame(KIND_SEG_HEADER, &self.header().encode(), self.cfg.sector);
-        self.disk.write(self.seg * self.cfg.seg_sectors, &frame);
-        self.disk.flush();
+        let at = self.seg * self.cfg.seg_sectors;
+        write_retried(&mut self.disk, self.retry, &mut self.retries, at, &frame)?;
+        flush_retried(&mut self.disk, self.retry, &mut self.retries)?;
         self.tearable = false;
+        Ok(())
     }
 
     /// Append one frame at the head (rolling to a new segment if it does
-    /// not fit), fsync it, and return whether the flush is tearable.
-    fn append_frame(&mut self, kind: u8, payload: &[u8]) {
+    /// not fit) and fsync it.
+    fn append_frame(&mut self, kind: u8, payload: &[u8]) -> Result<(), DiskError> {
         let frame = build_frame(kind, payload, self.cfg.sector);
         let sectors = (frame.len() / self.cfg.sector) as u64;
         assert!(
@@ -456,25 +573,57 @@ where
         if self.head + sectors > self.cfg.seg_sectors {
             self.seg += 1;
             self.head = self.header_sectors();
-            self.write_header();
+            self.write_header()?;
         }
         let tearable = kind == KIND_COMMIT;
-        self.disk.write(self.seg * self.cfg.seg_sectors + self.head, &frame);
-        self.disk.flush();
+        let at = self.seg * self.cfg.seg_sectors + self.head;
+        write_retried(&mut self.disk, self.retry, &mut self.retries, at, &frame)?;
+        flush_retried(&mut self.disk, self.retry, &mut self.retries)?;
         self.head += sectors;
         self.tearable = tearable;
+        Ok(())
+    }
+
+    /// Undo a failed append on a still-live device: scrub the staged bytes
+    /// from the write cache (so no later flush can leak them out), delete
+    /// any sectors the append already made durable (a mid-batch roll
+    /// flushes a prefix), and rewind the head and floors. After this the
+    /// log is exactly what it was before the append — the record the caller
+    /// reports as failed can never resurface at recovery. Not called for
+    /// [`DiskError::Crashed`]: a tripped device is about to power-cycle,
+    /// and whatever prefix it made durable follows ordinary crash
+    /// semantics.
+    fn rollback_append(&mut self, start: (u64, u64), floors: (u32, u64)) {
+        self.disk.discard_pending();
+        let abs = start.0 * self.cfg.seg_sectors + start.1;
+        let doomed: Vec<u64> = self.disk.durable_sectors().filter(|&s| s >= abs).collect();
+        for s in doomed {
+            self.disk.delete(s);
+        }
+        (self.seg, self.head) = start;
+        (self.txn_floor, self.next_exec_seq) = floors;
+        self.tearable = false;
     }
 
     /// Probe all sector-aligned frame positions after `pos` that could start
     /// a frame — the rest of `pos`'s segment, then the whole area of every
     /// later candidate segment — and classify what lies beyond the damage.
-    fn probe_beyond_damage(&self, segs: &[u64], seg_idx: u64, pos: u64) -> TailProbe {
+    fn probe_beyond_damage(
+        &mut self,
+        segs: &[u64],
+        seg_idx: u64,
+        pos: u64,
+    ) -> Result<TailProbe, DiskError> {
+        let disk = &self.disk;
+        let cfg = &self.cfg;
+        let policy = self.retry;
+        let retries = &mut self.retries;
         let mut first_valid: Option<u64> = None;
         let mut batch_ids: BTreeSet<u64> = BTreeSet::new();
         let mut non_batch = false;
-        let mut visit = |p: u64, seg_end: u64| {
+        let mut visit = |p: u64, seg_end: u64| -> Result<(), DiskError> {
             if let FrameRead::Valid { kind, payload, .. } =
-                read_frame(&self.disk, &self.cfg, p, seg_end)
+                read_frame(disk, cfg, p, seg_end, policy, retries)?
             {
                 first_valid.get_or_insert(p);
                 match (kind == KIND_BATCH).then(|| decode_batch::<A>(&payload)).flatten() {
@@ -484,22 +633,63 @@ where
                     None => non_batch = true,
                 }
             }
+            Ok(())
         };
-        let seg_end = (seg_idx + 1) * self.cfg.seg_sectors;
+        let seg_end = (seg_idx + 1) * cfg.seg_sectors;
         for p in pos + 1..seg_end {
-            visit(p, seg_end);
+            visit(p, seg_end)?;
         }
         for &s in segs.iter().filter(|&&s| s > seg_idx) {
-            let base = s * self.cfg.seg_sectors;
-            let end = base + self.cfg.seg_sectors;
+            let base = s * cfg.seg_sectors;
+            let end = base + cfg.seg_sectors;
             for p in base..end {
-                visit(p, end);
+                visit(p, end)?;
             }
         }
-        match first_valid {
+        Ok(match first_valid {
             None => TailProbe::Nothing,
             Some(p) if !non_batch && batch_ids.len() == 1 => TailProbe::SameBatch(p),
             Some(p) => TailProbe::Interior(p),
+        })
+    }
+
+    /// Fingerprint of everything a recovered log determines about the
+    /// resumed system: the replay base, the record suffix, both floors, the
+    /// checkpoint-required flag and the durable checkpoint counter. Two
+    /// recoveries with equal fingerprints replay to the identical `View`
+    /// under *any* replay function. Detection and recovery tallies are
+    /// deliberately excluded — a nested crash between a repair and the
+    /// header fsync can legitimately lose a detection count (the tally is
+    /// telemetry, not replay state); DESIGN.md §11 spells out the contract.
+    fn recovered_fingerprint(&self, out: &RecoveredLog<A>) -> String {
+        let mut buf = Vec::new();
+        for rec in &out.records {
+            buf.extend_from_slice(&encode_commit(rec));
+            buf.push(0xA5);
+        }
+        if let Some(cp) = &out.checkpoint {
+            buf.extend_from_slice(&encode_checkpoint(cp));
+        }
+        out.txn_floor.encode(&mut buf);
+        out.next_exec_seq.encode(&mut buf);
+        (self.requires_checkpoint as u8).encode(&mut buf);
+        out.stats.checkpoints.encode(&mut buf);
+        format!(
+            "view:{:08x} floor:{} seq:{} ckpts:{}",
+            crc32(&buf),
+            out.txn_floor,
+            out.next_exec_seq,
+            out.stats.checkpoints
+        )
+    }
+
+    /// One convergence outcome: a successful recovery's fingerprint, or the
+    /// classification of a refusal. Device errors never appear here — the
+    /// probe handles them separately.
+    fn outcome_key(&self, res: &Result<RecoveredLog<A>, StoreFailure>) -> String {
+        match res {
+            Ok(out) => self.recovered_fingerprint(out),
+            Err(f) => format!("refused:{}:{:?}", f.report.damage, f.kind),
         }
     }
 }
@@ -553,85 +743,134 @@ where
     A::Response: Persist,
     A::State: Persist,
 {
-    fn append_commit(&mut self, rec: &CommitRecord<A>) {
+    fn append_commit(&mut self, rec: &CommitRecord<A>) -> Result<(), StoreFailure> {
+        let start = (self.seg, self.head);
+        let floors = (self.txn_floor, self.next_exec_seq);
         self.txn_floor = rec.floor;
         if let Some(max) = rec.ops.iter().map(|(s, _, _)| s + 1).max() {
             self.next_exec_seq = self.next_exec_seq.max(max);
         }
-        self.append_frame(KIND_COMMIT, &encode_commit(rec));
+        match self.append_frame(KIND_COMMIT, &encode_commit(rec)) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                if e == DiskError::Crashed {
+                    (self.txn_floor, self.next_exec_seq) = floors;
+                } else {
+                    self.rollback_append(start, floors);
+                }
+                Err(StoreFailure::device(e))
+            }
+        }
     }
 
-    fn append_commits(&mut self, recs: &[CommitRecord<A>]) {
+    fn append_commits(&mut self, recs: &[CommitRecord<A>]) -> Result<(), StoreFailure> {
         // A group of one gains nothing from batch framing: fall back to the
         // plain commit frame so the default path stays byte-identical.
         if recs.len() < 2 {
             if let Some(rec) = recs.first() {
-                self.append_commit(rec);
+                self.append_commit(rec)?;
             }
-            return;
+            return Ok(());
         }
+        let start = (self.seg, self.head);
+        let floors = (self.txn_floor, self.next_exec_seq);
         let id = (self.epoch << 32) ^ self.next_batch_id;
         self.next_batch_id += 1;
         let len = recs.len() as u32;
-        let mut staged = false;
-        for (i, rec) in recs.iter().enumerate() {
-            self.txn_floor = rec.floor;
-            if let Some(max) = rec.ops.iter().map(|(s, _, _)| s + 1).max() {
-                self.next_exec_seq = self.next_exec_seq.max(max);
-            }
-            let meta = BatchMeta { id, pos: i as u32, len };
-            let frame = build_frame(KIND_BATCH, &encode_batch(meta, rec), self.cfg.sector);
-            let sectors = (frame.len() / self.cfg.sector) as u64;
-            assert!(
-                sectors <= self.cfg.seg_sectors - self.header_sectors(),
-                "frame of {sectors} sectors exceeds segment capacity"
-            );
-            if self.head + sectors > self.cfg.seg_sectors {
-                // Roll mid-batch: make the staged prefix durable first (its
-                // sectors must not share a flush with the new segment's
-                // non-tearable header fsync), then open the next segment.
-                if staged {
-                    self.disk.flush();
-                    self.tearable = true;
+        let mut stage = || -> Result<(), DiskError> {
+            let mut staged = false;
+            for (i, rec) in recs.iter().enumerate() {
+                self.txn_floor = rec.floor;
+                if let Some(max) = rec.ops.iter().map(|(s, _, _)| s + 1).max() {
+                    self.next_exec_seq = self.next_exec_seq.max(max);
                 }
-                self.seg += 1;
-                self.head = self.header_sectors();
-                self.write_header();
+                let meta = BatchMeta { id, pos: i as u32, len };
+                let frame = build_frame(KIND_BATCH, &encode_batch(meta, rec), self.cfg.sector);
+                let sectors = (frame.len() / self.cfg.sector) as u64;
+                assert!(
+                    sectors <= self.cfg.seg_sectors - self.header_sectors(),
+                    "frame of {sectors} sectors exceeds segment capacity"
+                );
+                if self.head + sectors > self.cfg.seg_sectors {
+                    // Roll mid-batch: make the staged prefix durable first
+                    // (its sectors must not share a flush with the new
+                    // segment's non-tearable header fsync), then open the
+                    // next segment.
+                    if staged {
+                        flush_retried(&mut self.disk, self.retry, &mut self.retries)?;
+                        self.tearable = true;
+                    }
+                    self.seg += 1;
+                    self.head = self.header_sectors();
+                    self.write_header()?;
+                }
+                let at = self.seg * self.cfg.seg_sectors + self.head;
+                write_retried(&mut self.disk, self.retry, &mut self.retries, at, &frame)?;
+                self.head += sectors;
+                staged = true;
             }
-            self.disk.write(self.seg * self.cfg.seg_sectors + self.head, &frame);
-            self.head += sectors;
-            staged = true;
-        }
-        if staged {
-            // The single fsync the whole batch was waiting on.
-            self.disk.flush();
-            self.tearable = true;
+            if staged {
+                // The single fsync the whole batch was waiting on.
+                flush_retried(&mut self.disk, self.retry, &mut self.retries)?;
+                self.tearable = true;
+            }
+            Ok(())
+        };
+        match stage() {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                if e == DiskError::Crashed {
+                    (self.txn_floor, self.next_exec_seq) = floors;
+                } else {
+                    // The device still works: the all-or-prefix contract
+                    // holds for crashes, but a *reported* failure promises
+                    // "none durable" — undo the flushed prefix too.
+                    self.rollback_append(start, floors);
+                }
+                Err(StoreFailure::device(e))
+            }
         }
     }
 
-    fn write_checkpoint(&mut self, img: &CheckpointImage<A>) -> u64 {
+    fn write_checkpoint(&mut self, img: &CheckpointImage<A>) -> Result<u64, StoreFailure> {
+        let start = (self.seg, self.head);
+        let floors = (self.txn_floor, self.next_exec_seq);
         self.txn_floor = img.txn_floor;
         self.next_exec_seq = img.next_exec_seq;
-        self.append_frame(KIND_CHECKPOINT, &encode_checkpoint(img));
-        // The checkpoint is durable; whole segments before its segment are
-        // now redundant. Truncate them, then persist the flag that makes a
-        // future scan refuse if it cannot find a checkpoint.
+        if let Err(e) = self.append_frame(KIND_CHECKPOINT, &encode_checkpoint(img)) {
+            if e == DiskError::Crashed {
+                (self.txn_floor, self.next_exec_seq) = floors;
+            } else {
+                self.rollback_append(start, floors);
+            }
+            return Err(StoreFailure::device(e));
+        }
+        // The checkpoint frame is durable: from here on the new image is
+        // the replay base and failure no longer rolls anything back. Whole
+        // segments before the checkpoint's segment are now redundant.
         let cut = self.seg * self.cfg.seg_sectors;
         let doomed: Vec<u64> = self.disk.durable_sectors().take_while(|&s| s < cut).collect();
         let mut truncated_segs: Vec<u64> = Vec::new();
-        for s in doomed {
-            self.disk.delete(s);
+        for &s in &doomed {
             let seg = s / self.cfg.seg_sectors;
             if truncated_segs.last() != Some(&seg) {
                 truncated_segs.push(seg);
             }
         }
+        self.stats.checkpoints += 1;
         if !truncated_segs.is_empty() {
+            // Persist the refuse-without-a-checkpoint flag *before* any
+            // sector is deleted: a crash mid-truncation must find the flag
+            // durable, or a later scan that also loses the checkpoint frame
+            // would silently start cold on the truncated log.
             self.requires_checkpoint = true;
         }
-        self.stats.checkpoints += 1;
-        self.write_header();
-        truncated_segs.len() as u64
+        self.write_header().map_err(StoreFailure::device)?;
+        for s in doomed {
+            delete_retried(&mut self.disk, self.retry, &mut self.retries, s)
+                .map_err(StoreFailure::device)?;
+        }
+        Ok(truncated_segs.len() as u64)
     }
 
     fn crash(&mut self) {
@@ -650,6 +889,7 @@ where
         self.seen_damage.clear();
         self.next_batch_id = 0;
         self.tearable = false;
+        self.retries.clear();
     }
 
     fn recover(&mut self, policy: TailPolicy) -> Result<RecoveredLog<A>, StoreFailure> {
@@ -672,7 +912,7 @@ where
             self.stats = self.detected;
             self.detected = StoreStats::default();
             self.seen_damage.clear();
-            self.write_header();
+            self.write_header().map_err(StoreFailure::device)?;
             return Ok(RecoveredLog {
                 checkpoint: None,
                 records: Vec::new(),
@@ -694,7 +934,9 @@ where
             let seg_end = base + seg_sectors;
             let last_seg = i + 1 == segs.len();
 
-            match read_frame(&self.disk, &self.cfg, base, seg_end) {
+            match read_frame(&self.disk, &self.cfg, base, seg_end, self.retry, &mut self.retries)
+                .map_err(StoreFailure::device)?
+            {
                 FrameRead::Valid { kind: KIND_SEG_HEADER, payload, sectors: _ } => {
                     match SegHeader::decode(&payload) {
                         Some(h) => governing = h,
@@ -728,7 +970,9 @@ where
 
             let mut pos = base + header_sectors;
             while pos < seg_end {
-                match read_frame(&self.disk, &self.cfg, pos, seg_end) {
+                match read_frame(&self.disk, &self.cfg, pos, seg_end, self.retry, &mut self.retries)
+                    .map_err(StoreFailure::device)?
+                {
                     FrameRead::Absent => {
                         // Candidate end of log. A clean tail / clean roll
                         // leaves nothing after it in this segment; data
@@ -819,7 +1063,8 @@ where
         let mut discarded = false;
         if let Some((at, _, strict_kind)) = damage {
             let seg_idx = at / seg_sectors;
-            let probe = self.probe_beyond_damage(&segs, seg_idx, at);
+            let probe =
+                self.probe_beyond_damage(&segs, seg_idx, at).map_err(StoreFailure::device)?;
             match probe {
                 // A tear or hole whose entire valid remainder belongs to one
                 // single batch: one interrupted group flush. Its records were
@@ -837,7 +1082,8 @@ where
                             let doomed: Vec<u64> =
                                 self.disk.durable_sectors().filter(|&s| s >= at).collect();
                             for s in doomed {
-                                self.disk.delete(s);
+                                delete_retried(&mut self.disk, self.retry, &mut self.retries, s)
+                                    .map_err(StoreFailure::device)?;
                             }
                             discarded = true;
                         }
@@ -864,7 +1110,8 @@ where
                             let doomed: Vec<u64> =
                                 self.disk.durable_sectors().filter(|&s| s >= at).collect();
                             for s in doomed {
-                                self.disk.delete(s);
+                                delete_retried(&mut self.disk, self.retry, &mut self.retries, s)
+                                    .map_err(StoreFailure::device)?;
                             }
                             discarded = true;
                         }
@@ -941,7 +1188,14 @@ where
                             let m = BatchMeta { id: meta.id, pos: i as u32, len: next };
                             let frame =
                                 build_frame(KIND_BATCH, &encode_batch(m, rec), self.cfg.sector);
-                            self.disk.write(starts[i], &frame);
+                            write_retried(
+                                &mut self.disk,
+                                self.retry,
+                                &mut self.retries,
+                                starts[i],
+                                &frame,
+                            )
+                            .map_err(StoreFailure::device)?;
                         }
                     }
                 }
@@ -985,8 +1239,12 @@ where
 
         // Adopt the durable counters from the log, fold in what this
         // process's scans detected, and persist the updated header with a
-        // bumped epoch — the durable record that a recovery happened.
-        self.epoch = governing.epoch + 1;
+        // bumped epoch — the durable record that a recovery happened. The
+        // header fsync is recovery's commit point: it also makes the batch
+        // repair rewrites durable, and until it lands a nested crash
+        // re-runs the whole scan from the (idempotently re-repairable)
+        // prior image.
+        self.epoch = if self.skip_epoch_bump { governing.epoch } else { governing.epoch + 1 };
         self.requires_checkpoint = governing.requires_checkpoint;
         self.txn_floor = txn_floor;
         self.next_exec_seq = next_exec_seq;
@@ -1000,7 +1258,7 @@ where
         self.seen_damage.clear();
         self.seg = end.0;
         self.head = end.1;
-        self.write_header();
+        self.write_header().map_err(StoreFailure::device)?;
 
         Ok(RecoveredLog {
             checkpoint,
@@ -1050,6 +1308,130 @@ where
         self.disk.unflip_all()
     }
 
+    fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    fn arm_transient_io(&mut self, n: u32) -> bool {
+        self.disk.arm_transient_errors(n);
+        true
+    }
+
+    fn set_device_full(&mut self, on: bool) -> bool {
+        self.disk.set_full(on);
+        true
+    }
+
+    fn heal_device(&mut self) -> bool {
+        self.disk.heal();
+        true
+    }
+
+    fn drain_retries(&mut self) -> Vec<RetryRecord> {
+        std::mem::take(&mut self.retries)
+    }
+
+    /// The sixth oracle leg. Baseline: crash + recover from a snapshot of
+    /// the current image, counting the device ops recovery consumes. Then
+    /// one trial per device-op index: restore the snapshot, arm the
+    /// crash-at-op trigger there, recover, and — when the trip kills the
+    /// recovery mid-flight — power-cycle and recover once more. Every
+    /// trial's eventual outcome (recovered fingerprint, or the exact
+    /// refusal) must equal the baseline's, and a successful recovery must
+    /// durably advance the epoch by exactly one (the negative test skips
+    /// the bump and must be caught here). Leaves the backend recovered
+    /// from the snapshot.
+    fn check_recovery_convergence(
+        &mut self,
+        policy: TailPolicy,
+    ) -> Result<ConvergenceReport, ConvergenceFailure> {
+        if self.disk.is_tripped() || self.disk.is_full() {
+            return Err(ConvergenceFailure {
+                trial: 0,
+                reason: "device unhealthy at probe start".to_string(),
+            });
+        }
+        let image = self.disk.snapshot();
+        let ops_before = self.disk.device_ops();
+        <Self as LogBackend<A>>::crash(self);
+        let baseline = <Self as LogBackend<A>>::recover(self, policy);
+        let device_ops = self.disk.device_ops() - ops_before;
+        if let Err(f) = &baseline {
+            if matches!(f.kind, StoreFailureKind::Device(_)) {
+                return Err(ConvergenceFailure {
+                    trial: 0,
+                    reason: format!("baseline recovery hit a device error: {:?}", f.kind),
+                });
+            }
+        }
+        let base_key = self.outcome_key(&baseline);
+
+        // Progress: re-recovering a just-recovered log must advance the
+        // durable epoch by exactly one — the bump is recovery's durable
+        // seal, and without it nested batches could reuse live batch ids.
+        if baseline.is_ok() {
+            let sealed = self.epoch;
+            <Self as LogBackend<A>>::crash(self);
+            match <Self as LogBackend<A>>::recover(self, policy) {
+                Ok(_) => {
+                    if self.epoch != sealed + 1 {
+                        return Err(ConvergenceFailure {
+                            trial: 0,
+                            reason: format!(
+                                "recovery did not durably advance the epoch \
+                                 (sealed {} then recovered to {})",
+                                sealed, self.epoch
+                            ),
+                        });
+                    }
+                }
+                Err(f) => {
+                    return Err(ConvergenceFailure {
+                        trial: 0,
+                        reason: format!("re-recovery of a recovered log failed: {:?}", f.kind),
+                    });
+                }
+            }
+        }
+
+        let mut trials = 0u64;
+        for i in 0..device_ops {
+            self.disk.restore(&image);
+            <Self as LogBackend<A>>::crash(self);
+            self.disk.arm_crash_at_op(i);
+            let mut out = <Self as LogBackend<A>>::recover(self, policy);
+            if matches!(&out, Err(f) if f.kind == StoreFailureKind::Device(DiskError::Crashed)) {
+                // The nested crash fired mid-recovery: power-cycle the
+                // device and recover from whatever the first attempt left.
+                <Self as LogBackend<A>>::crash(self);
+                out = <Self as LogBackend<A>>::recover(self, policy);
+            }
+            trials += 1;
+            if let Err(f) = &out {
+                if matches!(f.kind, StoreFailureKind::Device(_)) {
+                    return Err(ConvergenceFailure {
+                        trial: i,
+                        reason: format!("nested-crash trial could not complete: {:?}", f.kind),
+                    });
+                }
+            }
+            let key = self.outcome_key(&out);
+            if key != base_key {
+                return Err(ConvergenceFailure {
+                    trial: i,
+                    reason: format!("outcome diverged from baseline: {key} vs {base_key}"),
+                });
+            }
+        }
+
+        // Leave the backend exactly as a caller that just recovered from
+        // the snapshot would find it.
+        self.disk.restore(&image);
+        <Self as LogBackend<A>>::crash(self);
+        let _ = <Self as LogBackend<A>>::recover(self, policy);
+        Ok(ConvergenceReport { trials, device_ops })
+    }
+
     fn stats(&self) -> StoreStats {
         let mut s = self.stats;
         s.add(&self.detected);
@@ -1096,8 +1478,8 @@ mod tests {
     #[test]
     fn append_crash_recover_round_trips() {
         let mut w = wal();
-        w.append_commit(&rec(1, 0, &[5]));
-        w.append_commit(&rec(2, 1, &[3, 4]));
+        w.append_commit(&rec(1, 0, &[5])).unwrap();
+        w.append_commit(&rec(2, 1, &[3, 4])).unwrap();
         w.crash();
         let out = w.recover(TailPolicy::Strict).unwrap();
         assert_eq!(out.records, vec![rec(1, 0, &[5]), rec(2, 1, &[3, 4])]);
@@ -1118,7 +1500,7 @@ mod tests {
     fn log_rolls_across_segments() {
         let mut w = wal();
         for i in 0..40u32 {
-            w.append_commit(&rec(i + 1, i as u64, &[1]));
+            w.append_commit(&rec(i + 1, i as u64, &[1])).unwrap();
         }
         assert!(w.seg > 0, "40 two-sector commits must roll a 64-sector segment");
         w.crash();
@@ -1131,8 +1513,8 @@ mod tests {
     #[test]
     fn torn_tail_is_refused_by_strict_and_discarded_by_discard_tail() {
         let mut w = wal();
-        w.append_commit(&rec(1, 0, &[5]));
-        w.append_commit(&rec(2, 1, &[3]));
+        w.append_commit(&rec(1, 0, &[5])).unwrap();
+        w.append_commit(&rec(2, 1, &[3])).unwrap();
         assert!(w.tear_last_flush(1), "a two-sector commit can lose one sector");
         w.crash();
         let err = w.recover(TailPolicy::Strict).unwrap_err();
@@ -1151,8 +1533,8 @@ mod tests {
     #[test]
     fn reordered_flush_is_a_discardable_hole() {
         let mut w = wal();
-        w.append_commit(&rec(1, 0, &[5]));
-        w.append_commit(&rec(2, 1, &[3]));
+        w.append_commit(&rec(1, 0, &[5])).unwrap();
+        w.append_commit(&rec(2, 1, &[3])).unwrap();
         assert!(w.reorder_last_flush(), "a two-sector commit flush can reorder");
         w.crash();
         let err = w.recover(TailPolicy::Strict).unwrap_err();
@@ -1168,13 +1550,15 @@ mod tests {
     #[test]
     fn headers_and_checkpoints_are_not_tearable() {
         let mut w = wal();
-        w.append_commit(&rec(1, 0, &[5]));
-        let truncated = w.write_checkpoint(&CheckpointImage {
-            base_records: 1,
-            txn_floor: 1,
-            next_exec_seq: 1,
-            states: vec![(ObjectId(0), 5u64)],
-        });
+        w.append_commit(&rec(1, 0, &[5])).unwrap();
+        let truncated = w
+            .write_checkpoint(&CheckpointImage {
+                base_records: 1,
+                txn_floor: 1,
+                next_exec_seq: 1,
+                states: vec![(ObjectId(0), 5u64)],
+            })
+            .unwrap();
         assert_eq!(truncated, 0, "checkpoint in segment 0 truncates nothing");
         // Last flush is the header rewrite — not a commit, so storage
         // tear/reorder faults must degrade.
@@ -1186,18 +1570,20 @@ mod tests {
     fn checkpoint_truncates_and_recovery_replays_from_it() {
         let mut w = wal();
         for i in 0..40u32 {
-            w.append_commit(&rec(i + 1, i as u64, &[1]));
+            w.append_commit(&rec(i + 1, i as u64, &[1])).unwrap();
         }
         let seg_before = w.seg;
         assert!(seg_before > 0);
-        let truncated = w.write_checkpoint(&CheckpointImage {
-            base_records: 40,
-            txn_floor: 40,
-            next_exec_seq: 40,
-            states: vec![(ObjectId(0), 40u64)],
-        });
+        let truncated = w
+            .write_checkpoint(&CheckpointImage {
+                base_records: 40,
+                txn_floor: 40,
+                next_exec_seq: 40,
+                states: vec![(ObjectId(0), 40u64)],
+            })
+            .unwrap();
         assert!(truncated >= 1, "earlier segments must be reclaimed");
-        w.append_commit(&rec(41, 40, &[2]));
+        w.append_commit(&rec(41, 40, &[2])).unwrap();
         w.crash();
         let out = w.recover(TailPolicy::Strict).unwrap();
         let cp = out.checkpoint.expect("checkpoint survives");
@@ -1213,7 +1599,7 @@ mod tests {
     fn discarding_a_needed_checkpoint_fails_loudly() {
         let mut w = wal();
         for i in 0..40u32 {
-            w.append_commit(&rec(i + 1, i as u64, &[1]));
+            w.append_commit(&rec(i + 1, i as u64, &[1])).unwrap();
         }
         assert!(
             w.write_checkpoint(&CheckpointImage {
@@ -1221,7 +1607,9 @@ mod tests {
                 txn_floor: 40,
                 next_exec_seq: 40,
                 states: vec![(ObjectId(0), 40u64)],
-            }) >= 1
+            })
+            .unwrap()
+                >= 1
         );
         // Simulate losing the checkpoint frame itself: delete every data
         // sector of the current segment, leaving only its header (which
@@ -1242,15 +1630,16 @@ mod tests {
     #[test]
     fn every_single_bit_flip_is_detected_under_strict() {
         let mut w = wal();
-        w.append_commit(&rec(1, 0, &[5]));
-        w.append_commit(&rec(2, 1, &[3, 4]));
+        w.append_commit(&rec(1, 0, &[5])).unwrap();
+        w.append_commit(&rec(2, 1, &[3, 4])).unwrap();
         w.write_checkpoint(&CheckpointImage {
             base_records: 2,
             txn_floor: 2,
             next_exec_seq: 3,
             states: vec![(ObjectId(0), 12u64)],
-        });
-        w.append_commit(&rec(3, 3, &[7]));
+        })
+        .unwrap();
+        w.append_commit(&rec(3, 3, &[7])).unwrap();
         w.crash();
         let clean = w.recover(TailPolicy::Strict).unwrap();
         let bits = w.storage_bits();
@@ -1281,9 +1670,9 @@ mod tests {
     #[test]
     fn misdirected_commit_is_interior_corruption() {
         let mut w = wal();
-        w.append_commit(&rec(1, 0, &[5]));
+        w.append_commit(&rec(1, 0, &[5])).unwrap();
         w.disk_mut().arm_misdirect(4);
-        w.append_commit(&rec(2, 1, &[3]));
+        w.append_commit(&rec(2, 1, &[3])).unwrap();
         w.crash();
         // The frame landed 4 sectors late: a hole where it should start,
         // with a valid frame beyond it — unrecoverable under any policy.
@@ -1299,7 +1688,7 @@ mod tests {
     fn group_flush_round_trips_in_commit_order() {
         let mut w = wal();
         let batch = vec![rec(1, 0, &[5]), rec(2, 1, &[3]), rec(3, 2, &[7])];
-        w.append_commits(&batch);
+        w.append_commits(&batch).unwrap();
         w.crash();
         let out = w.recover(TailPolicy::Strict).unwrap();
         assert_eq!(out.records, batch);
@@ -1314,9 +1703,9 @@ mod tests {
         let image = |grouped: bool| {
             let mut w = wal();
             if grouped {
-                w.append_commits(&[rec(1, 0, &[5])]);
+                w.append_commits(&[rec(1, 0, &[5])]).unwrap();
             } else {
-                w.append_commit(&rec(1, 0, &[5]));
+                w.append_commit(&rec(1, 0, &[5])).unwrap();
             }
             let d = &w.disk;
             d.durable_sectors().map(|s| (s, d.read(s).unwrap().to_vec())).collect::<Vec<_>>()
@@ -1327,9 +1716,9 @@ mod tests {
     #[test]
     fn torn_group_flush_keeps_an_acknowledged_free_prefix() {
         let mut w = wal();
-        w.append_commit(&rec(1, 0, &[9]));
+        w.append_commit(&rec(1, 0, &[9])).unwrap();
         let batch = vec![rec(2, 1, &[5]), rec(3, 2, &[3]), rec(4, 3, &[7])];
-        w.append_commits(&batch);
+        w.append_commits(&batch).unwrap();
         // Each one-op member is exactly two sectors; losing one sector tears
         // the last member mid-frame.
         assert!(w.tear_last_flush(1));
@@ -1352,7 +1741,7 @@ mod tests {
     fn frame_aligned_batch_tear_is_a_torn_batch() {
         let mut w = wal();
         let batch = vec![rec(1, 0, &[5]), rec(2, 1, &[3]), rec(3, 2, &[7])];
-        w.append_commits(&batch);
+        w.append_commits(&batch).unwrap();
         // Tear exactly the last member's two sectors: every surviving frame
         // is well-formed, but the batch headers say one record is missing.
         assert!(w.tear_last_flush(2));
@@ -1372,8 +1761,8 @@ mod tests {
     #[test]
     fn reordered_group_flush_is_a_discardable_torn_batch() {
         let mut w = wal();
-        w.append_commit(&rec(1, 0, &[9]));
-        w.append_commits(&[rec(2, 1, &[5]), rec(3, 2, &[3])]);
+        w.append_commit(&rec(1, 0, &[9])).unwrap();
+        w.append_commits(&[rec(2, 1, &[5]), rec(3, 2, &[3])]).unwrap();
         // The flush's head sector never lands: a hole at the first member
         // with intact same-batch frames beyond it.
         assert!(w.reorder_last_flush());
@@ -1390,7 +1779,7 @@ mod tests {
     #[test]
     fn crc_damage_behind_intact_batch_frames_stays_interior() {
         let mut w = wal();
-        w.append_commits(&[rec(1, 0, &[5]), rec(2, 1, &[3]), rec(3, 2, &[7])]);
+        w.append_commits(&[rec(1, 0, &[5]), rec(2, 1, &[3]), rec(3, 2, &[7])]).unwrap();
         // Flip a payload bit of the *first* member (sector 3 of the image:
         // three header sectors, then two sectors per member). The later
         // members stay intact — they were fsync-acknowledged, so no policy
@@ -1409,10 +1798,10 @@ mod tests {
         let mut w = wal();
         // Fill most of segment 0, then flush a batch too big for what's left.
         for i in 0..25u32 {
-            w.append_commit(&rec(i + 1, i as u64, &[1]));
+            w.append_commit(&rec(i + 1, i as u64, &[1])).unwrap();
         }
         let batch: Vec<_> = (0..10u32).map(|i| rec(26 + i, 25 + i as u64, &[2])).collect();
-        w.append_commits(&batch);
+        w.append_commits(&batch).unwrap();
         assert!(w.seg > 0, "the batch must roll into a new segment");
         w.crash();
         let out = w.recover(TailPolicy::Strict).unwrap();
@@ -1426,7 +1815,7 @@ mod tests {
         let run = || {
             let mut w = wal();
             for i in 0..10u32 {
-                w.append_commit(&rec(i + 1, i as u64, &[1, 2]));
+                w.append_commit(&rec(i + 1, i as u64, &[1, 2])).unwrap();
             }
             w.tear_last_flush(1);
             w.crash();
@@ -1442,5 +1831,123 @@ mod tests {
         assert_eq!(a.0, b.0);
         assert_eq!(a.1, b.1);
         assert_eq!(a.2, b.2);
+    }
+
+    #[test]
+    fn transient_errors_are_retried_with_deterministic_backoff() {
+        let mut w = wal();
+        w.append_commit(&rec(1, 0, &[5])).unwrap();
+        assert!(w.arm_transient_io(2));
+        w.append_commit(&rec(2, 1, &[3])).unwrap();
+        // Both armed errors hit the first checked op; the default policy
+        // (base 2, doubling) absorbed them for 2 + 4 logical ticks.
+        let retries = w.drain_retries();
+        assert_eq!(retries, vec![RetryRecord { attempts: 2, backoff: 6, ok: true }]);
+        assert!(w.drain_retries().is_empty(), "drain empties the buffer");
+        w.crash();
+        let out = w.recover(TailPolicy::Strict).unwrap();
+        assert_eq!(out.records, vec![rec(1, 0, &[5]), rec(2, 1, &[3])]);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_and_roll_back_the_append() {
+        let mut w = wal();
+        w.append_commit(&rec(1, 0, &[5])).unwrap();
+        assert!(w.arm_transient_io(64));
+        let err = w.append_commit(&rec(2, 1, &[3])).unwrap_err();
+        assert_eq!(err.kind, StoreFailureKind::Device(DiskError::Transient));
+        assert_eq!(err.report.damage, "device");
+        let retries = w.drain_retries();
+        assert_eq!(retries, vec![RetryRecord { attempts: 4, backoff: 30, ok: false }]);
+        // The reported failure promised "nothing durable": after healing,
+        // recovery sees only the first record, and appends work again.
+        assert!(w.heal_device());
+        w.crash();
+        let out = w.recover(TailPolicy::Strict).unwrap();
+        assert_eq!(out.records, vec![rec(1, 0, &[5])]);
+        w.append_commit(&rec(2, 1, &[3])).unwrap();
+    }
+
+    #[test]
+    fn full_device_refuses_appends_until_healed() {
+        let mut w = wal();
+        w.append_commit(&rec(1, 0, &[5])).unwrap();
+        assert!(w.set_device_full(true));
+        let err = w.append_commit(&rec(2, 1, &[3])).unwrap_err();
+        assert_eq!(err.kind, StoreFailureKind::Device(DiskError::Full));
+        // A full device fails fast — no retry can help, so none is spent.
+        assert!(w.drain_retries().is_empty());
+        // Recovery also refuses: its epoch-bump seal is a write. Healing
+        // the device lets both recovery and appends through again.
+        w.crash();
+        let err = w.recover(TailPolicy::Strict).unwrap_err();
+        assert_eq!(err.kind, StoreFailureKind::Device(DiskError::Full));
+        assert!(w.heal_device());
+        w.crash();
+        assert_eq!(w.recover(TailPolicy::Strict).unwrap().records.len(), 1);
+        w.append_commit(&rec(2, 1, &[3])).unwrap();
+        w.crash();
+        assert_eq!(w.recover(TailPolicy::Strict).unwrap().records.len(), 2);
+    }
+
+    #[test]
+    fn convergence_probe_passes_on_clean_and_damaged_images() {
+        let mut w = wal();
+        for i in 0..6u32 {
+            w.append_commit(&rec(i + 1, i as u64, &[1, 2])).unwrap();
+        }
+        let report = w.check_recovery_convergence(TailPolicy::Strict).unwrap();
+        assert!(report.device_ops > 0, "recovery must consume device ops");
+        assert_eq!(report.trials, report.device_ops);
+        // A torn tail converges under DiscardTail: a nested crash at any
+        // device op still ends at the same repaired image.
+        w.append_commit(&rec(7, 12, &[9])).unwrap();
+        assert!(w.tear_last_flush(1));
+        w.crash();
+        let report = w.check_recovery_convergence(TailPolicy::DiscardTail).unwrap();
+        assert!(report.trials > 0);
+        // The probe leaves the backend recovered and usable.
+        w.append_commit(&rec(8, 13, &[1])).unwrap();
+        w.crash();
+        let out = w.recover(TailPolicy::Strict).unwrap();
+        assert_eq!(out.records.last(), Some(&rec(8, 13, &[1])));
+    }
+
+    #[test]
+    fn convergence_probe_spans_checkpoint_truncation() {
+        let mut w = wal();
+        for i in 0..30u32 {
+            w.append_commit(&rec(i + 1, i as u64, &[1])).unwrap();
+        }
+        let truncated = w
+            .write_checkpoint(&CheckpointImage {
+                base_records: 30,
+                txn_floor: 30,
+                next_exec_seq: 30,
+                states: vec![(ObjectId(0), 30u64)],
+            })
+            .unwrap();
+        assert!(truncated >= 1, "30 commits must span a segment boundary");
+        w.append_commit(&rec(31, 30, &[2])).unwrap();
+        let report = w.check_recovery_convergence(TailPolicy::Strict).unwrap();
+        assert!(report.trials > 0);
+    }
+
+    #[test]
+    fn skipping_the_epoch_bump_is_caught_by_the_probe() {
+        let mut w = wal();
+        w.append_commit(&rec(1, 0, &[5])).unwrap();
+        w.set_skip_epoch_bump(true);
+        let err = w.check_recovery_convergence(TailPolicy::Strict).unwrap_err();
+        assert!(err.reason.contains("epoch"), "unexpected reason: {}", err.reason);
+    }
+
+    #[test]
+    fn probe_refuses_an_unhealthy_device() {
+        let mut w = wal();
+        w.append_commit(&rec(1, 0, &[5])).unwrap();
+        w.set_device_full(true);
+        let err = w.check_recovery_convergence(TailPolicy::Strict).unwrap_err();
+        assert!(err.reason.contains("unhealthy"), "unexpected reason: {}", err.reason);
     }
 }

@@ -7,7 +7,9 @@
 //! # Deterministic fault-injection simulation (see DESIGN.md):
 //! ccr-experiments sim --combo uip-nrbc --seed 7 --faults 12:crash,30:torn2
 //! ccr-experiments sim --combo uip-nrbc --seed 7 --faults 16:sect2,25:flip4093
+//! ccr-experiments sim --combo uip-nrbc --seed 7 --faults 20:io3,40:full
 //! ccr-experiments sim --combo uip-sym-nfc --sweep 64        # hunt + shrink
+//! ccr-experiments sim --combo uip-nrbc --sweep 32 --fault-during-recovery
 //!
 //! # Deterministic tracing (see DESIGN.md §8): Chrome trace_event JSON,
 //! # flamegraph summary and a metrics report from one simulated run.
@@ -45,9 +47,13 @@ fn main() -> ExitCode {
                     "           [--objects N] [--skip i,j,...] [--faults SPEC|none] [--json]"
                 );
                 eprintln!("           [--backend disk|mem] [--ckpt N] [--group-commit]");
+                eprintln!("           [--fault-during-recovery]");
                 eprintln!("       ccr-experiments sim --combo C --sweep SEEDS [--horizon N] [--fault-count N]");
                 eprintln!("fault SPEC: e.g. 12:crash,30:torn2,45:abort,60:delay5,80:wound");
                 eprintln!("  storage faults (disk backend): 16:sect2,20:reorder,25:flip4093");
+                eprintln!(
+                    "  device faults (disk backend): 20:io3 (transient I/O), 40:full (disk full)"
+                );
                 ExitCode::from(2)
             }
         };
@@ -65,6 +71,7 @@ fn main() -> ExitCode {
                 );
                 eprintln!("           [--objects N] [--skip i,j,...] [--faults SPEC|none]");
                 eprintln!("           [--backend disk|mem] [--ckpt N] [--group-commit]");
+                eprintln!("           [--fault-during-recovery]");
                 eprintln!(
                     "           [--out trace.json] [--flame flame.txt] [--metrics metrics.json]"
                 );
@@ -140,6 +147,7 @@ fn sim_main(args: &[String]) -> Result<ExitCode, String> {
             "--backend" => scenario.backend = value()?.parse::<Backend>()?,
             "--ckpt" => scenario.checkpoint_every = Some(parse_num(flag, value()?)?),
             "--group-commit" => scenario.group_commit = true,
+            "--fault-during-recovery" => scenario.fault_during_recovery = true,
             "--sweep" => sweep_seeds = Some(parse_num(flag, value()?)?),
             "--horizon" => horizon = parse_num(flag, value()?)?,
             "--fault-count" => fault_count = parse_num(flag, value()?)?,
@@ -158,24 +166,33 @@ fn sim_main(args: &[String]) -> Result<ExitCode, String> {
         println!(
             "sweeping {seeds} seeds of {combo} (horizon {horizon}, {fault_count} faults per plan)"
         );
-        return Ok(match sweep(combo, seeds, horizon, fault_count, scenario.group_commit) {
-            None => {
-                println!("oracle passed on every seed");
-                ExitCode::SUCCESS
-            }
-            Some(f) => {
-                println!("\noracle FAILED: {}", f.failure);
-                println!("original: {}", f.original.reproducer());
-                println!(
-                    "shrunk to {} txns, {} faults in {} runs:",
-                    f.shrunk.live_txns(),
-                    f.shrunk.plan.len(),
-                    f.shrink_runs
-                );
-                println!("  {}", f.shrunk.reproducer());
-                ExitCode::FAILURE
-            }
-        });
+        return Ok(
+            match sweep(
+                combo,
+                seeds,
+                horizon,
+                fault_count,
+                scenario.group_commit,
+                scenario.fault_during_recovery,
+            ) {
+                None => {
+                    println!("oracle passed on every seed");
+                    ExitCode::SUCCESS
+                }
+                Some(f) => {
+                    println!("\noracle FAILED: {}", f.failure);
+                    println!("original: {}", f.original.reproducer());
+                    println!(
+                        "shrunk to {} txns, {} faults in {} runs:",
+                        f.shrunk.live_txns(),
+                        f.shrunk.plan.len(),
+                        f.shrink_runs
+                    );
+                    println!("  {}", f.shrunk.reproducer());
+                    ExitCode::FAILURE
+                }
+            },
+        );
     }
 
     Ok(match run_scenario(&scenario) {
@@ -206,6 +223,15 @@ fn sim_main(args: &[String]) -> Result<ExitCode, String> {
                 report.stats.bitflips_detected,
                 report.stats.checkpoints,
             );
+            println!(
+                "device: transient-io {}  disk-full {}  io-retries {}  degraded-entries {}  degraded-exits {}  convergence-checks {}",
+                report.stats.transient_io_faults,
+                report.stats.disk_full_faults,
+                report.stats.io_retries,
+                report.stats.degraded_entries,
+                report.stats.degraded_exits,
+                report.stats.convergence_checks,
+            );
             println!("history fingerprint {:#018x}", report.history_fingerprint);
             ExitCode::SUCCESS
         }
@@ -235,7 +261,14 @@ fn sim_json(
     fault_count: usize,
 ) -> ExitCode {
     if let Some(seeds) = sweep_seeds {
-        return match sweep(scenario.combo, seeds, horizon, fault_count, scenario.group_commit) {
+        return match sweep(
+            scenario.combo,
+            seeds,
+            horizon,
+            fault_count,
+            scenario.group_commit,
+            scenario.fault_during_recovery,
+        ) {
             None => {
                 println!(
                     "{{\"mode\":\"sweep\",\"combo\":{},\"seeds\":{seeds},\"verdict\":\"pass\"}}",
@@ -275,7 +308,9 @@ fn sim_json(
                     "\"fault_counters\":{{\"crashes\":{},\"torn_crashes\":{},",
                     "\"forced_aborts\":{},\"delayed_commits\":{},\"wound_storms\":{},",
                     "\"sector_tears\":{},\"reordered_flushes\":{},",
-                    "\"bitflips_detected\":{}}},\"checkpoints\":{},",
+                    "\"bitflips_detected\":{},\"transient_io\":{},\"disk_full\":{}}},",
+                    "\"checkpoints\":{},\"io_retries\":{},\"degraded_entries\":{},",
+                    "\"degraded_exits\":{},\"convergence_checks\":{},",
                     "\"history_fingerprint\":{}}}"
                 ),
                 json_string(&scenario.reproducer()),
@@ -294,7 +329,13 @@ fn sim_json(
                 s.sector_tears,
                 s.reordered_flushes,
                 s.bitflips_detected,
+                s.transient_io_faults,
+                s.disk_full_faults,
                 s.checkpoints,
+                s.io_retries,
+                s.degraded_entries,
+                s.degraded_exits,
+                s.convergence_checks,
                 json_string(&format!("{:#018x}", report.history_fingerprint)),
             );
             ExitCode::SUCCESS
@@ -355,6 +396,7 @@ fn trace_main(args: &[String]) -> Result<ExitCode, String> {
             "--backend" => scenario.backend = value()?.parse::<Backend>()?,
             "--ckpt" => scenario.checkpoint_every = Some(parse_num(flag, value()?)?),
             "--group-commit" => scenario.group_commit = true,
+            "--fault-during-recovery" => scenario.fault_during_recovery = true,
             "--out" => out = Some(value()?.to_string()),
             "--flame" => flame = Some(value()?.to_string()),
             "--metrics" => metrics = Some(value()?.to_string()),

@@ -177,6 +177,11 @@ pub struct SimScenario {
     /// with a single fsync (see DESIGN.md §10). The torn-batch oracle leg
     /// only exercises multi-record flushes when this is on.
     pub group_commit: bool,
+    /// Run the sixth oracle leg at the end of the run: inject a fresh crash
+    /// at every device-op index of recovery itself and demand every eventual
+    /// recovery reproduce the baseline outcome (see DESIGN.md §11). No-op on
+    /// the mem backend.
+    pub fault_during_recovery: bool,
 }
 
 impl SimScenario {
@@ -194,6 +199,7 @@ impl SimScenario {
             backend: Backend::Disk,
             checkpoint_every: None,
             group_commit: false,
+            fault_during_recovery: false,
         }
     }
 
@@ -225,6 +231,9 @@ impl SimScenario {
         }
         if self.group_commit {
             s.push_str(" --group-commit");
+        }
+        if self.fault_during_recovery {
+            s.push_str(" --fault-during-recovery");
         }
         s.push_str(&format!(" --faults {}", self.plan));
         s
@@ -317,6 +326,7 @@ where
         seed: scenario.seed,
         checkpoint_every: scenario.checkpoint_every,
         group_commit: scenario.group_commit,
+        fault_during_recovery: scenario.fault_during_recovery,
         ..Default::default()
     };
     let result = run_sim(&mut sys, scripts, &scenario.plan, &cfg, &spec, invariant);
@@ -455,20 +465,23 @@ pub struct SweepFailure {
 }
 
 /// Sweep `seeds` seeds of `combo`: seed `s` runs the seeded workload under
-/// `FaultPlan::from_seed(s, horizon, faults)`, with group commit on or off.
-/// Returns the first oracle failure, shrunk to a minimal reproducer — or
-/// `None` if every run passed.
+/// `FaultPlan::from_seed(s, horizon, faults)`, with group commit on or off
+/// and optionally the crash-during-recovery convergence leg. Returns the
+/// first oracle failure, shrunk to a minimal reproducer — or `None` if
+/// every run passed.
 pub fn sweep(
     combo: Combo,
     seeds: u64,
     horizon: u64,
     faults: usize,
     group_commit: bool,
+    fault_during_recovery: bool,
 ) -> Option<SweepFailure> {
     for seed in 0..seeds {
         let plan = FaultPlan::from_seed(seed, horizon, faults);
         let mut scenario = SimScenario::new(combo, seed, plan);
         scenario.group_commit = group_commit;
+        scenario.fault_during_recovery = fault_during_recovery;
         if run_scenario(&scenario).is_err() {
             let (shrunk, failure, shrink_runs) = shrink(&scenario);
             return Some(SweepFailure { original: scenario, shrunk, failure, shrink_runs });
@@ -631,7 +644,7 @@ mod tests {
                 continue;
             }
             assert!(
-                sweep(combo, 6, 40, 3, false).is_none(),
+                sweep(combo, 6, 40, 3, false, false).is_none(),
                 "correct pairing {combo} failed a fault sweep"
             );
         }
@@ -643,7 +656,7 @@ mod tests {
         // flush, so the same sweep now exercises torn *batch* tails.
         for combo in [Combo::UipNrbc, Combo::DuNfc] {
             assert!(
-                sweep(combo, 6, 40, 3, true).is_none(),
+                sweep(combo, 6, 40, 3, true, false).is_none(),
                 "correct pairing {combo} failed a group-commit fault sweep"
             );
         }
@@ -660,7 +673,7 @@ mod tests {
 
     #[test]
     fn weakened_combo_is_caught_and_shrunk_small() {
-        let fail = sweep(Combo::UipSymNfc, 64, 60, 4, false)
+        let fail = sweep(Combo::UipSymNfc, 64, 60, 4, false, false)
             .expect("uip-sym-nfc must fail within the sweep");
         // The shrunk reproducer involves at most 3 live transactions.
         assert!(

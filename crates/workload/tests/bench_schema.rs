@@ -105,6 +105,12 @@ fn sim_metrics_schema_pins_the_storage_fault_counters() {
         "reordered_flushes",
         "bitflips_detected",
         "checkpoints",
+        "transient_io_faults",
+        "disk_full_faults",
+        "io_retries",
+        "degraded_entries",
+        "degraded_exits",
+        "convergence_checks",
     ]
     .iter()
     .map(|s| s.to_string())
@@ -128,6 +134,7 @@ fn sim_metrics_schema_pins_the_storage_fault_counters() {
         "scan_len",
         "batch_size",
         "flush_latency",
+        "retry_backoff",
     ] {
         assert!(metrics_keys.contains(key), "MetricsReport::to_json must expose {key:?}");
     }
@@ -164,6 +171,69 @@ fn group_commit_bench_schema_matches_fresh_report() {
          regenerate reports/BENCH_group_commit.json with `ccr-experiments \
          bench --out reports/BENCH_group_commit.json` in the same commit"
     );
+}
+
+/// Pin the repair-then-rescan reconciliation of the flip counters: after a
+/// detected bit flip is repaired and the log rescanned, the disk-level
+/// tally must satisfy `flipped_bits == repaired_bits` (nothing tore the
+/// flipped sector away) and the header-persisted detection counter must
+/// count the damage site exactly once.
+#[test]
+fn unflip_repair_reconciles_disk_and_header_stats() {
+    use ccr_adt::bank::{bank_nrbc, BankAccount, BankInv};
+    use ccr_core::conflict::FnConflict;
+    use ccr_core::ids::ObjectId;
+    use ccr_runtime::crash::{DurableSystem, RedoError, TornPolicy};
+    use ccr_runtime::engine::UipEngine;
+    use ccr_store::{LogBackend, WalBackend, WalConfig};
+
+    let mut sys: DurableSystem<
+        BankAccount,
+        UipEngine<BankAccount>,
+        FnConflict<BankAccount>,
+        WalBackend<BankAccount>,
+    > = DurableSystem::with_backend(
+        BankAccount::default(),
+        2,
+        bank_nrbc(),
+        WalBackend::new(WalConfig::default()),
+    );
+    let t = sys.begin();
+    sys.invoke(t, ObjectId(0), BankInv::Deposit(7)).unwrap();
+    sys.commit(t).unwrap();
+
+    // Hunt for a payload bit whose flip the CRC layer detects (slack bits
+    // recover silently and repair nothing).
+    let bits = sys.backend().storage_bits();
+    let mut reconciled = false;
+    for bit in 0..bits {
+        assert!(sys.flip_bit(bit), "bit {bit} must be flippable");
+        match sys.crash_and_recover() {
+            Ok(()) => {
+                // Slack bit: undo it so later flips stay single-site.
+                assert_eq!(sys.repair_flips(), 1);
+            }
+            Err(RedoError::CorruptRecord { .. }) | Err(RedoError::TornRecord { .. }) => {
+                assert_eq!(sys.repair_flips(), 1, "exactly the injected flip repairs");
+                sys.recover_with(TornPolicy::Strict)
+                    .unwrap_or_else(|e| panic!("bit {bit}: repaired medium must recover: {e:?}"));
+                let disk = sys.backend_mut().disk_mut().stats();
+                assert_eq!(
+                    disk.flipped_bits, disk.repaired_bits,
+                    "bit {bit}: every flip was repaired, so the counters reconcile"
+                );
+                assert_eq!(
+                    sys.store_stats().bitflips_detected,
+                    1,
+                    "bit {bit}: the repair-then-rescan path counts the site once"
+                );
+                reconciled = true;
+                break;
+            }
+            Err(e) => panic!("bit {bit}: unexpected redo error {e:?}"),
+        }
+    }
+    assert!(reconciled, "some payload bit must be CRC-protected");
 }
 
 /// Pin the per-scan vs cumulative split of the recovery-scan detection

@@ -49,11 +49,71 @@ fn traced_runs_report_the_legacy_counters() {
 /// still fails.
 #[test]
 fn weakened_relation_is_caught_and_shrunk() {
-    let f = sweep(Combo::UipSymNfc, 64, 60, 4, false).expect("weakened combo must be caught");
+    let f =
+        sweep(Combo::UipSymNfc, 64, 60, 4, false, false).expect("weakened combo must be caught");
     assert!(f.shrunk.live_txns() <= 3, "reproducer too large: {}", f.shrunk.reproducer());
     assert!(
         run_scenario(&f.shrunk).is_err(),
         "shrunk reproducer must still fail: {}",
         f.shrunk.reproducer()
     );
+}
+
+/// Acceptance sweep for the sixth oracle leg (recovery convergence): 32
+/// seeds per configuration on the disk backend, with and without group
+/// commit, each run ending with crashes injected at every device-op index
+/// of recovery itself. Every eventual recovery must reproduce the baseline
+/// outcome, under both the update-in-place and deferred-update pairings.
+#[test]
+fn recovery_convergence_survives_a_32_seed_sweep() {
+    for combo in [Combo::UipNrbc, Combo::DuNfc] {
+        for group_commit in [false, true] {
+            assert!(
+                sweep(combo, 32, 60, 4, group_commit, true).is_none(),
+                "recovery convergence failed for {combo} (group_commit: {group_commit})"
+            );
+        }
+    }
+}
+
+/// Negative control for the convergence leg, end to end through the
+/// runtime: a recovery that forgets the epoch bump reuses batch ids across
+/// the crash boundary, and the probe must refuse it rather than converge.
+#[test]
+fn skipped_epoch_bump_divergence_is_caught_by_the_convergence_leg() {
+    use ccr::adt::bank::{bank_nrbc, BankAccount, BankInv};
+    use ccr::core::conflict::FnConflict;
+    use ccr::core::ids::ObjectId;
+    use ccr::runtime::crash::DurableSystem;
+    use ccr::runtime::engine::UipEngine;
+    use ccr::store::{LogBackend, TailPolicy, WalBackend, WalConfig};
+
+    let mut sys: DurableSystem<
+        BankAccount,
+        UipEngine<BankAccount>,
+        FnConflict<BankAccount>,
+        WalBackend<BankAccount>,
+    > = DurableSystem::with_backend(
+        BankAccount::default(),
+        2,
+        bank_nrbc(),
+        WalBackend::new(WalConfig::default()),
+    );
+    for i in 0..3u32 {
+        let t = sys.begin();
+        sys.invoke(t, ObjectId(i % 2), BankInv::Deposit(u64::from(i) + 1)).unwrap();
+        sys.commit(t).unwrap();
+    }
+    let ok = sys
+        .backend_mut()
+        .check_recovery_convergence(TailPolicy::DiscardTail)
+        .expect("a faithful recovery must converge");
+    assert!(ok.trials > 0, "the probe must exercise at least one nested crash");
+
+    sys.backend_mut().set_skip_epoch_bump(true);
+    let err = sys
+        .backend_mut()
+        .check_recovery_convergence(TailPolicy::DiscardTail)
+        .expect_err("skipping the epoch bump must be caught");
+    assert!(err.reason.contains("epoch"), "unexpected divergence reason: {}", err.reason);
 }

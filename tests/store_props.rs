@@ -224,6 +224,79 @@ fn torn_group_flush_recovers_a_prefix_under_both_replayers() {
     sweep::<DuEngine<BankAccount>>(bank_nfc(), "du");
 }
 
+/// Exhaustive crash-at-every-device-op sweep during `write_checkpoint`: a
+/// checkpoint is a multi-op sequence (image frames, header rewrite, segment
+/// truncation) and a crash at any point must leave the replay base either
+/// the *old* checkpoint (the journal suffix replays the post-checkpoint
+/// commits) or the *new* one (nothing left to replay) — never a hybrid.
+/// Either way the recovered state is the full committed state.
+#[test]
+fn checkpoint_crash_sweep_recovers_old_or_new_base_never_hybrid() {
+    /// Three committed txns, a first checkpoint (the "old" base), then two
+    /// more committed txns that only the log suffix carries.
+    fn ckpt_image() -> Durable<UipEngine<BankAccount>> {
+        let mut sys = committed_image();
+        sys.checkpoint();
+        for i in 0..2u32 {
+            let t = sys.begin();
+            sys.invoke(t, ObjectId(i % 2), BankInv::Deposit(100 + u64::from(i))).unwrap();
+            sys.commit(t).unwrap();
+        }
+        sys
+    }
+
+    // Probe run: how many device ops does a clean second checkpoint take,
+    // and what state must every trial recover to?
+    let mut probe = ckpt_image();
+    assert_eq!(probe.store_stats().checkpoints, 1, "the old base is durable");
+    let ops_before = probe.backend_mut().disk_mut().device_ops();
+    probe.checkpoint();
+    let ckpt_ops = probe.backend_mut().disk_mut().device_ops() - ops_before;
+    assert!(ckpt_ops > 0, "a checkpoint must touch the device");
+    assert_eq!(probe.store_stats().checkpoints, 2);
+    probe.crash_and_recover().expect("clean image recovers");
+    let expect: Vec<u64> = (0..OBJECTS).map(|o| probe.committed_state(ObjectId(o))).collect();
+
+    // One trial per device-op index: kill the checkpoint there, power-cycle,
+    // and demand an old-XOR-new replay base with the full committed state.
+    let mut base_counts = std::collections::BTreeSet::new();
+    for i in 0..ckpt_ops {
+        let mut sys = ckpt_image();
+        sys.backend_mut().disk_mut().arm_crash_at_op(i);
+        sys.checkpoint();
+        assert!(
+            !sys.backend_mut().disk_mut().is_tripped(),
+            "op {i}: the runtime must power-cycle a tripped device"
+        );
+        assert!(!sys.is_degraded(), "op {i}: a crash is not a degradation");
+        let got: Vec<u64> = (0..OBJECTS).map(|o| sys.committed_state(ObjectId(o))).collect();
+        assert_eq!(got, expect, "op {i}: recovered state must be the full committed state");
+        // `base_records` counts the commits folded into the replay base: 3
+        // under the old checkpoint (the two later commits replay from the
+        // log suffix), 5 under the new one (nothing left to replay).
+        let base = sys.journal().base_records();
+        assert!(
+            base == 3 || base == 5,
+            "op {i}: replay base must be the old checkpoint (3 folded records) \
+             or the new one (5), got a hybrid of {base}"
+        );
+        base_counts.insert(base);
+        // The survivor keeps working: one more commit and a clean recovery.
+        let t = sys.begin();
+        sys.invoke(t, ObjectId(0), BankInv::Deposit(1)).unwrap();
+        sys.commit(t).unwrap();
+        sys.crash_and_recover().unwrap_or_else(|e| panic!("op {i}: final recovery: {e:?}"));
+    }
+    assert!(
+        base_counts.contains(&3),
+        "early crashes must leave the old base (folded-record counts seen: {base_counts:?})"
+    );
+    assert!(
+        base_counts.contains(&5),
+        "late crashes must keep the new base (folded-record counts seen: {base_counts:?})"
+    );
+}
+
 /// Satellite of the honesty model: flip every single stable bit of the
 /// committed image. Recovery must either succeed with the untouched state
 /// (the flip hit slack bytes) or refuse loudly with `CorruptRecord` /
