@@ -1,0 +1,163 @@
+//! The explorer's action alphabet and replayable traces.
+//!
+//! A trace is a whitespace-separated list of action tokens — compact enough
+//! to paste into a `ccr-experiments mc --replay "..."` reproducer line, and
+//! round-trippable ([`std::fmt::Display`] / [`std::str::FromStr`]) so the
+//! shrinker, the CLI and the negative-control tests all speak the same
+//! format.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// One transition of the model: what the explorer does to the real
+/// `DurableSystem` at a decision point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum McAction {
+    /// `b{i}` — begin logical transaction `i` and execute its single
+    /// deposit of `1 << i` on object `i mod objects` (volatile until
+    /// commit).
+    Begin(usize),
+    /// `c{i}` — commit transaction `i`: a direct journaled commit, or (in
+    /// group-commit mode) stage it for the next [`McAction::Flush`].
+    Commit(usize),
+    /// `a{i}` — abort transaction `i` (nothing reaches the journal).
+    Abort(usize),
+    /// `f` — group-commit flush: commit every staged transaction with one
+    /// batch append.
+    Flush,
+    /// `k` — write a checkpoint (folds the journal into a durable image and
+    /// lets the backend truncate).
+    Checkpoint,
+    /// `x` — clean crash: lose all volatile state, then recover
+    /// (`TornPolicy::DiscardTail`).
+    CrashClean,
+    /// `t{n}` — tear the last `n` physical units (sectors / operations) off
+    /// the most recent commit flush, then crash and recover. The flush's
+    /// transactions become *undecided*: survivors must form a prefix of the
+    /// batch in commit order.
+    CrashTorn(usize),
+    /// `r` — lose the *first* sector of the most recent multi-sector flush
+    /// (device reordered persistence across the un-fsynced write), then
+    /// crash and recover.
+    CrashReorder,
+    /// `d{n}` — crash, then arm the device to lose power again after `n`
+    /// checked device operations *of the recovery itself*, then recover
+    /// (the nested power loss is absorbed internally; the trigger is
+    /// one-shot).
+    CrashInRecovery(u64),
+}
+
+impl fmt::Display for McAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            McAction::Begin(i) => write!(f, "b{i}"),
+            McAction::Commit(i) => write!(f, "c{i}"),
+            McAction::Abort(i) => write!(f, "a{i}"),
+            McAction::Flush => write!(f, "f"),
+            McAction::Checkpoint => write!(f, "k"),
+            McAction::CrashClean => write!(f, "x"),
+            McAction::CrashTorn(n) => write!(f, "t{n}"),
+            McAction::CrashReorder => write!(f, "r"),
+            McAction::CrashInRecovery(n) => write!(f, "d{n}"),
+        }
+    }
+}
+
+/// A malformed trace token (the token is echoed back).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseTraceError(pub String);
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unrecognised trace token `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+impl FromStr for McAction {
+    type Err = ParseTraceError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bad = || ParseTraceError(s.to_string());
+        let num = |rest: &str| rest.parse::<usize>().map_err(|_| bad());
+        match s {
+            "f" => return Ok(McAction::Flush),
+            "k" => return Ok(McAction::Checkpoint),
+            "x" => return Ok(McAction::CrashClean),
+            "r" => return Ok(McAction::CrashReorder),
+            _ => {}
+        }
+        let (head, rest) = s.split_at(1);
+        match head {
+            "b" => Ok(McAction::Begin(num(rest)?)),
+            "c" => Ok(McAction::Commit(num(rest)?)),
+            "a" => Ok(McAction::Abort(num(rest)?)),
+            "t" => Ok(McAction::CrashTorn(num(rest)?)),
+            "d" => Ok(McAction::CrashInRecovery(num(rest)? as u64)),
+            _ => Err(bad()),
+        }
+    }
+}
+
+/// A replayable action sequence.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct McTrace(pub Vec<McAction>);
+
+impl fmt::Display for McTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, a) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for McTrace {
+    type Err = ParseTraceError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        s.split_whitespace().map(McAction::from_str).collect::<Result<Vec<_>, _>>().map(McTrace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_action_round_trips_through_its_token() {
+        let all = vec![
+            McAction::Begin(0),
+            McAction::Commit(2),
+            McAction::Abort(1),
+            McAction::Flush,
+            McAction::Checkpoint,
+            McAction::CrashClean,
+            McAction::CrashTorn(3),
+            McAction::CrashReorder,
+            McAction::CrashInRecovery(17),
+        ];
+        let trace = McTrace(all.clone());
+        let parsed: McTrace = trace.to_string().parse().unwrap();
+        assert_eq!(parsed.0, all);
+    }
+
+    #[test]
+    fn junk_tokens_are_rejected() {
+        assert!("q7".parse::<McAction>().is_err());
+        assert!("b".parse::<McAction>().is_err());
+        assert!("bx".parse::<McAction>().is_err());
+        assert!("b0 zz".parse::<McTrace>().is_err());
+    }
+
+    #[test]
+    fn empty_trace_parses_and_prints_empty() {
+        let t: McTrace = "".parse().unwrap();
+        assert!(t.0.is_empty());
+        assert_eq!(t.to_string(), "");
+    }
+}

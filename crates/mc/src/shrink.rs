@@ -1,0 +1,64 @@
+//! Trace minimization and reproducer lines.
+//!
+//! The explorer's raw counterexample carries every action DFS happened to
+//! take before the violating one; most are irrelevant. [`shrink`] is a
+//! greedy delta-debugging pass — repeatedly delete any single action whose
+//! removal preserves a violation of the *same kind* — which converges to a
+//! 1-minimal trace (tiny traces, so quadratic replay cost is fine).
+//!
+//! [`reproducer`] renders the full `ccr-experiments mc` command line,
+//! **always** spelling out backend, budgets, group-commit and mutation so
+//! the replay runs under the exact failing configuration rather than
+//! whatever the defaults happen to be.
+
+use crate::action::McTrace;
+use crate::explorer::run_trace;
+use crate::harness::McConfig;
+
+/// Greedily minimize `trace` while [`run_trace`] still reports a violation
+/// of `kind`. Returns the (possibly unchanged) minimal trace.
+pub fn shrink(cfg: McConfig, trace: &McTrace, kind: &str) -> McTrace {
+    let still_fails = |actions: &[crate::action::McAction]| -> bool {
+        run_trace(cfg, &McTrace(actions.to_vec())).map(|v| v.kind() == kind).unwrap_or(false)
+    };
+    let mut cur = trace.0.clone();
+    // If the raw trace doesn't replay (it should), refuse to "minimize"
+    // into something unrelated.
+    if !still_fails(&cur) {
+        return trace.clone();
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        let mut i = 0;
+        while i < cur.len() {
+            let mut candidate = cur.clone();
+            candidate.remove(i);
+            if still_fails(&candidate) {
+                cur = candidate;
+                changed = true;
+            } else {
+                i += 1;
+            }
+        }
+    }
+    McTrace(cur)
+}
+
+/// The `ccr-experiments mc` invocation that replays `trace` under exactly
+/// `cfg` — every configuration flag explicit, no reliance on defaults.
+pub fn reproducer(cfg: &McConfig, trace: &McTrace) -> String {
+    let mut out = format!(
+        "ccr-experiments mc --txns {} --objects {} --crash-budget {} --ckpt-budget {} \
+         --max-tears {} --backend {}",
+        cfg.txns, cfg.objects, cfg.crash_budget, cfg.ckpt_budget, cfg.max_tears, cfg.backend
+    );
+    if cfg.group_commit {
+        out.push_str(" --group-commit");
+    }
+    if let Some(m) = cfg.mutation {
+        out.push_str(&format!(" --mutate {m}"));
+    }
+    out.push_str(&format!(" --replay \"{trace}\""));
+    out
+}

@@ -50,6 +50,7 @@ use crate::system::TxnSystem;
 /// backend would reconstruct right now. The simulator's shadow-fold oracle
 /// reads this (it needs the *intended* contents to compare against), while
 /// the backend holds the possibly-damaged physical truth.
+#[derive(Clone)]
 pub struct Journal<A: Adt> {
     /// Commit records folded into the checkpoint base (monotone; never reset
     /// by truncation).
@@ -718,6 +719,13 @@ where
         self.backend.set_retry_policy(policy);
     }
 
+    /// The global execution-sequence counter (the next stamp to allocate).
+    /// Part of the model checker's canonical state: two states that differ
+    /// only here still journal different records from now on.
+    pub fn exec_seq(&self) -> u64 {
+        self.op_seq
+    }
+
     /// The committed state of `obj`.
     pub fn committed_state(&mut self, obj: ObjectId) -> A::State {
         self.sys.committed_state(obj)
@@ -760,6 +768,129 @@ where
     /// Execution counters (carried across crashes).
     pub fn stats(&self) -> &crate::system::SystemStats {
         self.sys.stats()
+    }
+}
+
+/// A full snapshot of a [`DurableSystem`] at one instant: the volatile
+/// system (lock table, engines, tracer), the stable backend (durable image
+/// plus write cache and armed faults), the journal mirror and the counters.
+/// The model checker's DFS explorer forks execution by taking a snapshot at
+/// each decision point, trying one action, and [`DurableSystem::restore`]-ing
+/// before trying the next.
+///
+/// The one piece *not* captured is the `make` closure — it is immutable
+/// configuration (ADT, object count, conflict relation), so restoring into
+/// the same `DurableSystem` is exact.
+pub struct SystemSnapshot<A, E, C, B>
+where
+    A: Adt,
+    E: RecoveryEngine<A>,
+    C: Conflict<A>,
+    B: LogBackend<A>,
+{
+    sys: TxnSystem<A, E, C>,
+    backend: B,
+    journal: Journal<A>,
+    op_seq: u64,
+    pending_ops: BTreeMap<TxnId, Vec<(u64, ObjectId, Op<A>)>>,
+    mode: SystemMode,
+}
+
+impl<A, E, C, B> Clone for SystemSnapshot<A, E, C, B>
+where
+    A: Adt,
+    E: RecoveryEngine<A> + Clone,
+    C: Conflict<A> + Clone,
+    B: LogBackend<A>,
+{
+    fn clone(&self) -> Self {
+        SystemSnapshot {
+            sys: self.sys.clone(),
+            backend: self.backend.clone(),
+            journal: self.journal.clone(),
+            op_seq: self.op_seq,
+            pending_ops: self.pending_ops.clone(),
+            mode: self.mode,
+        }
+    }
+}
+
+impl<A, E, C, B> DurableSystem<A, E, C, B>
+where
+    A: Adt,
+    E: RecoveryEngine<A> + Clone,
+    C: Conflict<A> + Clone,
+    B: LogBackend<A>,
+{
+    /// Capture the complete state — volatile and stable — for later
+    /// [`restore`](Self::restore). See [`SystemSnapshot`].
+    pub fn snapshot(&self) -> SystemSnapshot<A, E, C, B> {
+        SystemSnapshot {
+            sys: self.sys.clone(),
+            backend: self.backend.clone(),
+            journal: self.journal.clone(),
+            op_seq: self.op_seq,
+            pending_ops: self.pending_ops.clone(),
+            mode: self.mode,
+        }
+    }
+
+    /// Rewind to a snapshot taken from this (or an identically configured)
+    /// system. Non-consuming: the explorer restores the same snapshot once
+    /// per branch of the decision point.
+    pub fn restore(&mut self, snap: &SystemSnapshot<A, E, C, B>) {
+        self.sys = snap.sys.clone();
+        self.backend = snap.backend.clone();
+        self.journal = snap.journal.clone();
+        self.op_seq = snap.op_seq;
+        self.pending_ops = snap.pending_ops.clone();
+        self.mode = snap.mode;
+    }
+
+    /// Checked device operations performed so far (0 for backends with no
+    /// device). Monotone except across [`restore`](Self::restore).
+    pub fn device_op_count(&self) -> u64 {
+        self.backend.device_op_count()
+    }
+
+    /// Count the checked device operations a clean crash-recovery would
+    /// perform from the current state, without perturbing it: snapshot,
+    /// crash + recover, measure, restore. Returns `None` when the backend
+    /// has no checked-op notion (mem) or the probe recovery fails — in
+    /// either case there are no crash points to enumerate.
+    pub fn probe_recovery_ops(&mut self, policy: TornPolicy) -> Option<u64> {
+        if self.backend.device_op_count() == 0 && self.backend.name() == "mem" {
+            return None;
+        }
+        let snap = self.snapshot();
+        self.backend.crash();
+        let start = self.backend.device_op_count();
+        let ok = self.recover_with(policy).is_ok();
+        let ops = self.backend.device_op_count().saturating_sub(start);
+        self.restore(&snap);
+        if ok && ops > 0 {
+            Some(ops)
+        } else {
+            None
+        }
+    }
+
+    /// Crash, then arm the device to lose power again after `at_op` checked
+    /// operations *of the recovery itself*, then recover. The nested power
+    /// loss is absorbed by [`recover_with`](Self::recover_with)'s internal
+    /// loop (the trigger is one-shot), so on `Ok` the system has fully
+    /// recovered — possibly through an interrupted first attempt. Returns
+    /// whether the backend could arm the trigger at all.
+    pub fn crash_recover_interrupted(
+        &mut self,
+        policy: TornPolicy,
+        at_op: u64,
+    ) -> Result<bool, RedoError> {
+        self.backend.crash();
+        // Arm *after* the crash: crashing clears armed triggers (power-on
+        // resets the device), so the order matters.
+        let armed = self.backend.arm_crash_at_op(at_op);
+        self.recover_with(policy).map(|()| armed)
     }
 }
 

@@ -81,6 +81,10 @@ pub enum UndoStrategy {
 }
 
 /// Update-in-place engine. See module docs.
+///
+/// `Clone` snapshots the full volatile engine state (base fold, in-flight
+/// log, commit set) — the model checker's explorer clones whole systems.
+#[derive(Clone)]
 pub struct UipEngine<A: Adt> {
     adt: A,
     obj: ObjectId,
@@ -252,6 +256,7 @@ impl<A: InvertibleAdt> UipEngine<A> {
 }
 
 /// A convenience engine type: update-in-place with inverse-based undo.
+#[derive(Clone)]
 pub struct UipInverseEngine<A: InvertibleAdt>(UipEngine<A>);
 
 impl<A: InvertibleAdt> RecoveryEngine<A> for UipInverseEngine<A> {
@@ -293,6 +298,9 @@ impl<A: InvertibleAdt> RecoveryEngine<A> for UipInverseEngine<A> {
 }
 
 /// Deferred-update engine. See module docs.
+///
+/// `Clone` snapshots committed base plus every private workspace.
+#[derive(Clone)]
 pub struct DuEngine<A: Adt> {
     adt: A,
     obj: ObjectId,
@@ -304,6 +312,7 @@ pub struct DuEngine<A: Adt> {
     workspaces: BTreeMap<TxnId, Workspace<A>>,
 }
 
+#[derive(Clone)]
 struct Workspace<A: Adt> {
     intentions: Vec<Op<A>>,
     cached: A::State,

@@ -61,6 +61,7 @@ pub mod sim;
 pub mod system;
 pub mod threaded;
 
+pub use crash::{DurableSystem, Journal, RedoError, SystemMode, SystemSnapshot, TornPolicy};
 pub use engine::{DuEngine, RecoveryEngine, UipEngine, UipInverseEngine};
 pub use error::{AbortReason, RecoveryError, TxnError};
 pub use system::{ConflictPolicy, SystemStats, TxnSystem};

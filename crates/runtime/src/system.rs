@@ -105,6 +105,35 @@ struct ObjectRt<A: Adt, E> {
     adt: A,
 }
 
+impl<A: Adt, E: Clone> Clone for ObjectRt<A, E> {
+    fn clone(&self) -> Self {
+        ObjectRt { engine: self.engine.clone(), held: self.held.clone(), adt: self.adt.clone() }
+    }
+}
+
+// Snapshot hook for the model checker: cloning a `TxnSystem` duplicates
+// every object's engine, the lock table, the wait graph and the tracer, so
+// an explorer can fork execution at any decision point. A manual impl
+// (rather than `derive`) keeps the bounds honest: `derive` would demand
+// `A: Clone` on the *derived* impl twice over and, more importantly, hide
+// that `E` and `C` must themselves be snapshot-able.
+impl<A: Adt, E: RecoveryEngine<A> + Clone, C: Conflict<A> + Clone> Clone for TxnSystem<A, E, C> {
+    fn clone(&self) -> Self {
+        TxnSystem {
+            conflict: self.conflict.clone(),
+            objects: self.objects.clone(),
+            active: self.active.clone(),
+            next_txn: self.next_txn,
+            waits: self.waits.clone(),
+            wounded: self.wounded.clone(),
+            policy: self.policy,
+            trace: self.trace.clone(),
+            obs: self.obs.clone(),
+            record_trace: self.record_trace,
+        }
+    }
+}
+
 impl<A: Adt, E: RecoveryEngine<A>, C: Conflict<A>> TxnSystem<A, E, C> {
     /// Create a system with objects `0..n`, all with specification `adt`.
     pub fn new(adt: A, n_objects: u32, conflict: C) -> Self {

@@ -271,7 +271,13 @@ pub enum TailPolicy {
 /// / `reorder_last_flush` / `flip_bit` damage the stable image the way a
 /// hostile device would, and return `false` when the image cannot express
 /// that fault (the simulator then degrades the fault to a plain crash).
-pub trait LogBackend<A: Adt>: Send {
+///
+/// `Clone` is the snapshot hook: a clone duplicates the complete backend —
+/// stable image, write cache, armed faults, counters — so the model
+/// checker's explorer can fork a state, drive one branch, and restore the
+/// other byte-for-byte. Both implementations are plain data, so cloning is
+/// exact by construction.
+pub trait LogBackend<A: Adt>: Send + Clone {
     /// Durably append one commit record (write + fsync). On `Err` the
     /// record is *not* durable and nothing earlier was lost — the caller
     /// may retry after healing, or degrade to read-only.
@@ -362,6 +368,28 @@ pub trait LogBackend<A: Adt>: Send {
         Ok(ConvergenceReport::default())
     }
 
+    /// Checked device ops performed so far (0 for backends without a
+    /// device). The delta across a probed recovery is the enumeration
+    /// domain for crash-at-every-op exploration.
+    fn device_op_count(&self) -> u64 {
+        0
+    }
+
+    /// Arm a one-shot power loss at the `n`-th checked device op from now
+    /// (see `SimDisk::arm_crash_at_op`). `false` if there is no device to
+    /// trip — the explorer then skips crash-during-recovery branches.
+    fn arm_crash_at_op(&mut self, _n: u64) -> bool {
+        false
+    }
+
+    /// A deterministic fingerprint of the *stable* image plus the cursor
+    /// state that steers future appends (epoch, segment, head for the WAL;
+    /// record shapes for the mem backend). Two backends with equal
+    /// fingerprints behave identically under any subsequent operation
+    /// sequence — the canonicalisation hook the explorer's dedup table
+    /// folds in.
+    fn image_fingerprint(&self) -> u64;
+
     /// Current durable-counter view (persisted + this process's detections).
     fn stats(&self) -> StoreStats;
 
@@ -416,7 +444,7 @@ pub fn replay_du<A: Adt>(
 /// Torn writes keep the record's original `op_count` while dropping trailing
 /// operations, reproducing the op-granularity `TornRecord { record,
 /// expected, found }` failure shape of the original in-memory journal.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct MemBackend<A: Adt> {
     checkpoint: Option<CheckpointImage<A>>,
     records: Vec<StoredRecord<A>>,
@@ -427,7 +455,7 @@ pub struct MemBackend<A: Adt> {
     tear_counted: bool,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct StoredRecord<A: Adt> {
     /// Operation count at append time; survives a tear of the ops list.
     op_count: usize,
@@ -558,6 +586,31 @@ impl<A: Adt> LogBackend<A> for MemBackend<A> {
 
     fn repair_flips(&mut self) -> usize {
         0
+    }
+
+    fn image_fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        if let Some(cp) = &self.checkpoint {
+            cp.base_records.hash(&mut h);
+            cp.txn_floor.hash(&mut h);
+            cp.next_exec_seq.hash(&mut h);
+            for (obj, state) in &cp.states {
+                obj.hash(&mut h);
+                state.hash(&mut h);
+            }
+        }
+        for r in &self.records {
+            r.op_count.hash(&mut h);
+            r.rec.floor.hash(&mut h);
+            for (seq, obj, op) in &r.rec.ops {
+                seq.hash(&mut h);
+                obj.hash(&mut h);
+                op.inv.hash(&mut h);
+                op.resp.hash(&mut h);
+            }
+        }
+        h.finish()
     }
 
     fn stats(&self) -> StoreStats {

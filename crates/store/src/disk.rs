@@ -97,6 +97,19 @@ pub struct DiskImage {
     torn: BTreeSet<u64>,
 }
 
+impl DiskImage {
+    /// The durable sectors, in index order — the enumeration hook the
+    /// explorer's canonical-state fingerprint folds over.
+    pub fn sectors(&self) -> impl Iterator<Item = (u64, &[u8])> {
+        self.durable.iter().map(|(s, b)| (*s, b.as_slice()))
+    }
+
+    /// Sectors destroyed by a tear/reorder and not rewritten since.
+    pub fn torn_sectors(&self) -> impl Iterator<Item = u64> + '_ {
+        self.torn.iter().copied()
+    }
+}
+
 /// Counters for the physical activity of one [`SimDisk`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DiskStats {
@@ -125,7 +138,12 @@ pub struct DiskStats {
 
 /// A deterministic simulated block device. See the module docs for the fault
 /// model.
-#[derive(Debug)]
+///
+/// `Clone` duplicates the *entire* device — durable sectors, write cache,
+/// armed faults and counters — which is what the model checker's
+/// state-space explorer snapshots and restores; [`SimDisk::snapshot`] /
+/// [`SimDisk::restore`] remain the narrower durable-image hooks.
+#[derive(Clone, Debug)]
 pub struct SimDisk {
     sector: usize,
     /// Durable sectors, by sector index. Absent means never written (reads

@@ -41,4 +41,7 @@ pub use backend::{
 };
 pub use codec::{crc32, Persist};
 pub use disk::{DiskError, DiskImage, DiskStats, SectorRead, SimDisk};
-pub use wal::{WalBackend, WalConfig};
+pub use wal::{
+    build_frame, check_frame, decode_batch, encode_batch, BatchMeta, SegHeader, WalBackend,
+    WalConfig,
+};

@@ -120,7 +120,10 @@ const FRAME_OVERHEAD: usize = 13;
 /// next_exec_seq(8) + five `StoreStats` counters (40).
 const HEADER_PAYLOAD: usize = 69;
 
-fn build_frame(kind: u8, payload: &[u8], sector: usize) -> Vec<u8> {
+/// Build a sector-aligned CRC'd frame around `payload`. Public (with
+/// [`check_frame`]) as the wire-format test surface: the corruption property
+/// tests build frames and damage them byte-by-byte without a device.
+pub fn build_frame(kind: u8, payload: &[u8], sector: usize) -> Vec<u8> {
     let total = (FRAME_OVERHEAD + payload.len()).div_ceil(sector) * sector;
     let mut buf = Vec::with_capacity(total);
     buf.extend_from_slice(&MAGIC.to_le_bytes());
@@ -132,6 +135,36 @@ fn build_frame(kind: u8, payload: &[u8], sector: usize) -> Vec<u8> {
     let crc = crc32(&buf);
     buf[9..13].copy_from_slice(&crc.to_le_bytes());
     buf
+}
+
+/// Validate a frame image exactly the way the recovery scanner does —
+/// magic, kind range, sane length, CRC over the whole sector-aligned extent
+/// — and return `(kind, payload)` if it is intact. `None` classifies the
+/// frame as corrupt; a torn frame (short buffer) is also `None`.
+pub fn check_frame(buf: &[u8]) -> Option<(u8, Vec<u8>)> {
+    if buf.len() < FRAME_OVERHEAD {
+        return None;
+    }
+    let magic = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes"));
+    if magic != MAGIC {
+        return None;
+    }
+    let kind = buf[4];
+    if !(KIND_SEG_HEADER..=KIND_BATCH).contains(&kind) {
+        return None;
+    }
+    let len = u32::from_le_bytes(buf[5..9].try_into().expect("4 bytes")) as usize;
+    let total = FRAME_OVERHEAD.checked_add(len)?;
+    if total > buf.len() {
+        return None;
+    }
+    let stored = u32::from_le_bytes(buf[9..13].try_into().expect("4 bytes"));
+    let mut scratch = buf.to_vec();
+    scratch[9..13].fill(0);
+    if crc32(&scratch) != stored {
+        return None;
+    }
+    Some((kind, buf[FRAME_OVERHEAD..total].to_vec()))
 }
 
 /// Run one checked device op under the retry policy: transient errors are
@@ -278,19 +311,29 @@ fn read_frame(
     })
 }
 
-/// Decoded segment-header payload.
-#[derive(Clone, Copy, Debug, Default)]
-struct SegHeader {
-    epoch: u64,
-    seg_index: u64,
-    requires_checkpoint: bool,
-    txn_floor: u32,
-    next_exec_seq: u64,
-    stats: StoreStats,
+/// Decoded segment-header payload. Public (with the batch codec below) as
+/// the wire-format test surface: the epoch-header round-trip and
+/// byte-corruption property tests drive `encode`/`decode` directly, without
+/// a device.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SegHeader {
+    /// Recovery epoch (bumped by every successful recovery).
+    pub epoch: u64,
+    /// Index of the segment this header opens.
+    pub seg_index: u64,
+    /// Whether truncation made the checkpoint in this segment load-bearing.
+    pub requires_checkpoint: bool,
+    /// Transaction-id floor at header-write time.
+    pub txn_floor: u32,
+    /// Global execution-sequence floor at header-write time.
+    pub next_exec_seq: u64,
+    /// Durable counters as persisted with this header.
+    pub stats: StoreStats,
 }
 
 impl SegHeader {
-    fn encode(&self) -> Vec<u8> {
+    /// Serialize to the fixed-width header payload (`HEADER_PAYLOAD` bytes).
+    pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(HEADER_PAYLOAD);
         self.epoch.encode(&mut out);
         self.seg_index.encode(&mut out);
@@ -306,7 +349,9 @@ impl SegHeader {
         out
     }
 
-    fn decode(payload: &[u8]) -> Option<SegHeader> {
+    /// Parse a header payload; `None` on any structural damage (wrong
+    /// length, truncated field).
+    pub fn decode(payload: &[u8]) -> Option<SegHeader> {
         let mut pos = 0;
         let h = SegHeader {
             epoch: u64::decode(payload, &mut pos)?,
@@ -359,13 +404,18 @@ where
 /// a complete group or a crash-surviving prefix. Fixed width (16 bytes), so
 /// a repair rewrite that shrinks `len` never changes a frame's footprint.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-struct BatchMeta {
-    id: u64,
-    pos: u32,
-    len: u32,
+pub struct BatchMeta {
+    /// Epoch-salted flush id, unique across adjacent batches.
+    pub id: u64,
+    /// This frame's position within its flush.
+    pub pos: u32,
+    /// Total frames in the flush (after any repair rewrite).
+    pub len: u32,
 }
 
-fn encode_batch<A>(meta: BatchMeta, rec: &CommitRecord<A>) -> Vec<u8>
+/// Serialize one group-flush member: the fixed-width [`BatchMeta`] followed
+/// by the commit record. Public as the batch-frame test surface.
+pub fn encode_batch<A>(meta: BatchMeta, rec: &CommitRecord<A>) -> Vec<u8>
 where
     A: Adt,
     A::Invocation: Persist,
@@ -380,7 +430,9 @@ where
     out
 }
 
-fn decode_batch<A>(payload: &[u8]) -> Option<(BatchMeta, CommitRecord<A>)>
+/// Parse one group-flush member; `None` on structural damage or an
+/// impossible meta (`len == 0` or `pos >= len`).
+pub fn decode_batch<A>(payload: &[u8]) -> Option<(BatchMeta, CommitRecord<A>)>
 where
     A: Adt,
     A::Invocation: Persist,
@@ -433,7 +485,11 @@ where
 }
 
 /// The durable WAL backend: a segmented CRC'd log on a [`SimDisk`].
-#[derive(Debug)]
+///
+/// `Clone` duplicates the whole backend — device, cursors, counters, armed
+/// sabotage — the snapshot primitive the model checker's explorer forks
+/// states with.
+#[derive(Clone, Debug)]
 pub struct WalBackend<A: Adt> {
     disk: SimDisk,
     cfg: WalConfig,
@@ -1430,6 +1486,38 @@ where
         <Self as LogBackend<A>>::crash(self);
         let _ = <Self as LogBackend<A>>::recover(self, policy);
         Ok(ConvergenceReport { trials, device_ops })
+    }
+
+    fn device_op_count(&self) -> u64 {
+        self.disk.device_ops()
+    }
+
+    fn arm_crash_at_op(&mut self, n: u64) -> bool {
+        self.disk.arm_crash_at_op(n);
+        true
+    }
+
+    fn image_fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        // Cursor state first: two WALs with the same durable bytes but
+        // different epochs or head positions append (and tear) differently.
+        self.epoch.hash(&mut h);
+        self.seg.hash(&mut h);
+        self.head.hash(&mut h);
+        self.requires_checkpoint.hash(&mut h);
+        self.txn_floor.hash(&mut h);
+        self.next_exec_seq.hash(&mut h);
+        self.next_batch_id.hash(&mut h);
+        let img = self.disk.snapshot();
+        for (sector, bytes) in img.sectors() {
+            sector.hash(&mut h);
+            bytes.hash(&mut h);
+        }
+        for sector in img.torn_sectors() {
+            sector.hash(&mut h);
+        }
+        h.finish()
     }
 
     fn stats(&self) -> StoreStats {

@@ -22,6 +22,7 @@
 
 use std::process::ExitCode;
 
+use ccr_mc::{McBackendKind, McConfig, McTrace};
 use ccr_runtime::fault::FaultPlan;
 use ccr_workload::bench::{run_bench, BenchCfg};
 use ccr_workload::experiments;
@@ -92,6 +93,23 @@ fn main() -> ExitCode {
             }
         };
     }
+    if args.first().map(String::as_str) == Some("mc") {
+        return match mc_main(&args[1..]) {
+            Ok(code) => code,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!("usage: ccr-experiments mc [--txns N] [--objects N] [--crash-budget N]");
+                eprintln!("           [--ckpt-budget N] [--max-tears N] [--group-commit]");
+                eprintln!("           [--backend disk|mem] [--mutate M] [--json]");
+                eprintln!("           [--min-states N] [--replay \"b0 c0 x\"] [--tla FILE|-]");
+                eprintln!("mutations M: drop-acked-commit|reorder-last-batch|resurrect-aborted|skip-epoch-bump");
+                eprintln!(
+                    "exit codes: 0 all invariants hold; 1 violation (or --min-states bound missed)"
+                );
+                ExitCode::from(2)
+            }
+        };
+    }
     if args.iter().any(|a| a == "--json") {
         // Structured outcomes of the measurement experiments (the figure /
         // theorem sections are exact reproductions with no free parameters,
@@ -112,6 +130,116 @@ fn main() -> ExitCode {
     println!("Reproduction of Weihl, *The Impact of Recovery on Concurrency Control* (1989).\n");
     print!("{}", experiments::run_all());
     ExitCode::SUCCESS
+}
+
+/// Parse and run the `mc` subcommand: the bounded exhaustive model checker
+/// (see DESIGN.md §12). Exit code 0: every invariant held over the whole
+/// state space (and any `--min-states` bound was met); 1: a violation was
+/// found (minimized trace + reproducer printed) or the state count fell
+/// short of `--min-states`; 2: bad args.
+fn mc_main(args: &[String]) -> Result<ExitCode, String> {
+    let mut cfg = McConfig::default();
+    let mut json = false;
+    let mut min_states: Option<u64> = None;
+    let mut replay: Option<McTrace> = None;
+    let mut tla: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value =
+            || it.next().map(String::as_str).ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--txns" => cfg.txns = parse_num(flag, value()?)?,
+            "--objects" => cfg.objects = parse_num(flag, value()?)?,
+            "--crash-budget" => cfg.crash_budget = parse_num(flag, value()?)?,
+            "--ckpt-budget" => cfg.ckpt_budget = parse_num(flag, value()?)?,
+            "--max-tears" => cfg.max_tears = parse_num(flag, value()?)?,
+            "--group-commit" => cfg.group_commit = true,
+            "--backend" => cfg.backend = value()?.parse()?,
+            "--mutate" => cfg.mutation = Some(value()?.parse()?),
+            "--json" => json = true,
+            "--min-states" => min_states = Some(parse_num(flag, value()?)?),
+            "--replay" => replay = Some(value()?.parse().map_err(|e| format!("--replay: {e}"))?),
+            "--tla" => tla = Some(value()?.to_string()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if cfg.txns == 0 || cfg.txns > 6 {
+        return Err("--txns must be in 1..=6 (amounts are distinct powers of two)".to_string());
+    }
+    if cfg.objects == 0 {
+        return Err("--objects must be at least 1".to_string());
+    }
+    if cfg.mutation == Some(ccr_mc::Mutation::SkipEpochBump) && cfg.backend != McBackendKind::Disk {
+        return Err(
+            "--mutate skip-epoch-bump requires --backend disk (epochs live in the WAL)".to_string()
+        );
+    }
+    if cfg.mutation == Some(ccr_mc::Mutation::ReorderLastBatch) && !cfg.group_commit {
+        return Err("--mutate reorder-last-batch requires --group-commit (it targets the batch \
+                    flush)"
+            .to_string());
+    }
+
+    if let Some(path) = tla {
+        let module = ccr_mc::generate_module(&cfg);
+        ccr_mc::lint_tla(&module).map_err(|e| format!("generated module fails lint: {e}"))?;
+        if path == "-" {
+            print!("{module}");
+        } else {
+            std::fs::write(&path, &module).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote {path} (module {})", ccr_mc::tla::module_name(&cfg));
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    if let Some(trace) = replay {
+        return Ok(match ccr_mc::explorer::run_trace(cfg, &trace) {
+            Some(v) => {
+                println!("violation [{}]: {v}", v.kind());
+                println!("trace: {trace}");
+                ExitCode::from(1)
+            }
+            None => {
+                println!("trace replayed clean ({} actions)", trace.0.len());
+                ExitCode::SUCCESS
+            }
+        });
+    }
+
+    let verdict = ccr_mc::explore(cfg);
+    if json {
+        print!("{}", verdict.to_json());
+    } else {
+        let s = &verdict.stats;
+        println!(
+            "mc {} txns={} objects={} crash-budget={} ckpt-budget={} group-commit={}",
+            cfg.backend, cfg.txns, cfg.objects, cfg.crash_budget, cfg.ckpt_budget, cfg.group_commit
+        );
+        println!(
+            "explored {} states, {} transitions ({} skipped), {} terminals, depth {}",
+            s.states, s.transitions, s.skipped, s.terminals, s.max_depth
+        );
+        match &verdict.violation {
+            None => println!("all invariants hold"),
+            Some((v, trace)) => {
+                println!("VIOLATION [{}]: {v}", v.kind());
+                println!("minimized trace: {trace}");
+                println!("reproduce: {}", ccr_mc::reproducer(&cfg, trace));
+            }
+        }
+    }
+    let mut failed = !verdict.passed();
+    if let Some(min) = min_states {
+        if verdict.stats.states < min {
+            eprintln!(
+                "state count {} below the --min-states bound {min} (enumeration regressed?)",
+                verdict.stats.states
+            );
+            failed = true;
+        }
+    }
+    Ok(if failed { ExitCode::from(1) } else { ExitCode::SUCCESS })
 }
 
 /// Parse and run the `sim` subcommand. Exit code 0: oracle passed; 1: an
@@ -172,6 +300,7 @@ fn sim_main(args: &[String]) -> Result<ExitCode, String> {
                 seeds,
                 horizon,
                 fault_count,
+                scenario.backend,
                 scenario.group_commit,
                 scenario.fault_during_recovery,
             ) {
@@ -266,6 +395,7 @@ fn sim_json(
             seeds,
             horizon,
             fault_count,
+            scenario.backend,
             scenario.group_commit,
             scenario.fault_during_recovery,
         ) {

@@ -223,9 +223,9 @@ impl SimScenario {
             let list: Vec<String> = self.skip.iter().map(|i| i.to_string()).collect();
             s.push_str(&format!(" --skip {}", list.join(",")));
         }
-        if self.backend != Backend::default() {
-            s.push_str(&format!(" --backend {}", self.backend));
-        }
+        // Always explicit: a reproducer that leans on the default backend
+        // silently replays the wrong configuration if the default changes.
+        s.push_str(&format!(" --backend {}", self.backend));
         if let Some(every) = self.checkpoint_every {
             s.push_str(&format!(" --ckpt {every}"));
         }
@@ -465,21 +465,23 @@ pub struct SweepFailure {
 }
 
 /// Sweep `seeds` seeds of `combo`: seed `s` runs the seeded workload under
-/// `FaultPlan::from_seed(s, horizon, faults)`, with group commit on or off
-/// and optionally the crash-during-recovery convergence leg. Returns the
-/// first oracle failure, shrunk to a minimal reproducer — or `None` if
-/// every run passed.
+/// `FaultPlan::from_seed(s, horizon, faults)` on `backend`, with group
+/// commit on or off and optionally the crash-during-recovery convergence
+/// leg. Returns the first oracle failure, shrunk to a minimal reproducer —
+/// or `None` if every run passed.
 pub fn sweep(
     combo: Combo,
     seeds: u64,
     horizon: u64,
     faults: usize,
+    backend: Backend,
     group_commit: bool,
     fault_during_recovery: bool,
 ) -> Option<SweepFailure> {
     for seed in 0..seeds {
         let plan = FaultPlan::from_seed(seed, horizon, faults);
         let mut scenario = SimScenario::new(combo, seed, plan);
+        scenario.backend = backend;
         scenario.group_commit = group_commit;
         scenario.fault_during_recovery = fault_during_recovery;
         if run_scenario(&scenario).is_err() {

@@ -63,6 +63,7 @@
 
 pub use ccr_adt as adt;
 pub use ccr_core as core;
+pub use ccr_mc as mc;
 pub use ccr_obs as obs;
 pub use ccr_runtime as runtime;
 pub use ccr_store as store;

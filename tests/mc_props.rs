@@ -1,0 +1,162 @@
+//! Acceptance tests for the `ccr-mc` bounded exhaustive model checker
+//! (DESIGN.md §12), driven through the public facade exactly as the
+//! `ccr-experiments mc` CLI drives it: the pinned instance matrix is
+//! violation-free with deterministic byte-identical JSON verdicts, and
+//! every mutation-style negative control is caught with a minimized,
+//! replayable trace. These are the model-checker counterparts of the
+//! per-leg oracle controls in `tests/sim_oracle.rs`.
+
+use ccr::mc::explorer::run_trace;
+use ccr::mc::{
+    explore, generate_module, lint_tla, reproducer, McBackendKind, McConfig, McTrace, Mutation,
+};
+
+fn base(backend: McBackendKind, group_commit: bool) -> McConfig {
+    McConfig { backend, group_commit, ..Default::default() }
+}
+
+/// The acceptance-criteria instance matrix: 2 txns × 2 objects, crash
+/// budget 2, mem + disk × group-commit on/off. Every interleaving the
+/// explorer enumerates must satisfy the full invariant battery, and the
+/// state space must be non-trivially large (the CI job pins tighter
+/// `--min-states` floors per cell).
+#[test]
+fn pinned_instance_matrix_is_violation_free() {
+    for backend in [McBackendKind::Mem, McBackendKind::Disk] {
+        for group_commit in [false, true] {
+            let v = explore(base(backend, group_commit));
+            assert!(
+                v.passed(),
+                "violation on {backend} (group_commit: {group_commit}): {:?}",
+                v.violation
+            );
+            assert!(
+                v.stats.states >= 100,
+                "suspiciously small state space on {backend}: {:?}",
+                v.stats
+            );
+            assert!(v.stats.terminals > 0, "no terminal states explored: {:?}", v.stats);
+        }
+    }
+}
+
+/// Same instance ⇒ byte-identical JSON verdict, the determinism half of
+/// the acceptance criteria. DFS order, canonicalization, and the verdict
+/// rendering must all be free of incidental nondeterminism.
+#[test]
+fn same_instance_runs_produce_byte_identical_json() {
+    let cfg = base(McBackendKind::Disk, true);
+    let (a, b) = (explore(cfg), explore(cfg));
+    assert_eq!(a.to_json(), b.to_json(), "verdict JSON must be byte-identical");
+}
+
+/// Negative control for the durability invariant (sim-oracle leg 3):
+/// dropping an acknowledged commit from the last flush must be caught.
+/// On the mem backend the loss is visible directly as a missing committed
+/// txn; on the disk backend the tear corrupts the live log and strict
+/// recovery refuses it — either way the seeded bug cannot pass silently.
+#[test]
+fn dropped_acked_commit_is_caught() {
+    for (backend, kinds) in [
+        (McBackendKind::Mem, &["durability-lost"][..]),
+        (McBackendKind::Disk, &["durability-lost", "recovery-refused"][..]),
+    ] {
+        let cfg = McConfig { mutation: Some(Mutation::DropAckedCommit), ..base(backend, false) };
+        let v = explore(cfg);
+        let (violation, trace) = v.violation.expect("the dropped commit must be caught");
+        assert!(
+            kinds.contains(&violation.kind()),
+            "wrong invariant fired on {backend}: {violation}"
+        );
+        assert_minimized_and_replayable(cfg, &trace, violation.kind());
+    }
+}
+
+/// Negative control for the torn-batch prefix rule: reordering the
+/// records of the last group flush breaks the "surviving batch members
+/// are a prefix" guarantee the WAL's framing enforces.
+#[test]
+fn reordered_group_flush_is_caught() {
+    let cfg =
+        McConfig { mutation: Some(Mutation::ReorderLastBatch), ..base(McBackendKind::Disk, true) };
+    let v = explore(cfg);
+    let (violation, trace) = v.violation.expect("the reordered batch must be caught");
+    assert!(
+        ["not-prefix", "recovery-refused"].contains(&violation.kind()),
+        "wrong invariant fired: {violation}"
+    );
+    assert_minimized_and_replayable(cfg, &trace, violation.kind());
+}
+
+/// Negative control for the no-resurrection invariant (sim-oracle legs
+/// 2/3): a forged commit record for an aborted transaction must be
+/// flagged after recovery, on both backends.
+#[test]
+fn resurrected_aborted_txn_is_caught() {
+    for backend in [McBackendKind::Mem, McBackendKind::Disk] {
+        let cfg = McConfig { mutation: Some(Mutation::ResurrectAborted), ..base(backend, false) };
+        let v = explore(cfg);
+        let (violation, trace) = v.violation.expect("the resurrected txn must be caught");
+        assert_eq!(violation.kind(), "resurrection", "wrong invariant fired: {violation}");
+        assert_minimized_and_replayable(cfg, &trace, violation.kind());
+    }
+}
+
+/// Negative control for the convergence/idempotence invariant (sim-oracle
+/// leg 6): a recovery that skips the epoch bump is refused by the checked
+/// convergence probe the explorer runs after every recovery.
+#[test]
+fn skipped_epoch_bump_is_caught() {
+    let cfg =
+        McConfig { mutation: Some(Mutation::SkipEpochBump), ..base(McBackendKind::Disk, false) };
+    let v = explore(cfg);
+    let (violation, trace) = v.violation.expect("the skipped epoch bump must be caught");
+    assert_eq!(violation.kind(), "not-idempotent", "wrong invariant fired: {violation}");
+    assert_minimized_and_replayable(cfg, &trace, violation.kind());
+}
+
+/// A caught counterexample must (a) replay to the same violation kind via
+/// `run_trace` (the `--replay` path), (b) be 1-minimal (no single action
+/// can be dropped), and (c) round-trip through its textual form, with the
+/// reproducer line pinning every configuration flag.
+fn assert_minimized_and_replayable(cfg: McConfig, trace: &McTrace, kind: &str) {
+    let replayed = run_trace(cfg, trace).expect("minimized trace must still fail");
+    assert_eq!(replayed.kind(), kind, "replay found a different violation");
+    for i in 0..trace.0.len() {
+        let mut shorter = trace.0.clone();
+        shorter.remove(i);
+        let still = run_trace(cfg, &McTrace(shorter)).map(|v| v.kind() == kind);
+        assert_ne!(still, Some(true), "trace not 1-minimal: {trace} (drop index {i})");
+    }
+    let reparsed: McTrace = trace.to_string().parse().expect("trace must round-trip");
+    assert_eq!(reparsed.to_string(), trace.to_string());
+    let line = reproducer(&cfg, trace);
+    for flag in ["--txns", "--objects", "--crash-budget", "--backend", "--replay"] {
+        assert!(line.contains(flag), "reproducer missing {flag}: {line}");
+    }
+    assert!(line.contains("--mutate"), "reproducer must pin the mutation: {line}");
+}
+
+/// Action traces round-trip through parse/display, and junk is rejected.
+#[test]
+fn traces_round_trip_and_reject_junk() {
+    let t: McTrace = "b0 c0 b1 a1 f k t1 r x d3".parse().expect("valid trace");
+    assert_eq!(t.to_string(), "b0 c0 b1 a1 f k t1 r x d3");
+    assert!("b0 q7".parse::<McTrace>().is_err(), "junk token must be rejected");
+}
+
+/// The generated TLA+ module for each matrix cell passes the structural
+/// lint (the CI `model-check` job runs the same check via `--tla`), and
+/// the lint actually rejects a damaged module.
+#[test]
+fn generated_tla_modules_pass_the_lint() {
+    for group_commit in [false, true] {
+        let cfg = base(McBackendKind::Disk, group_commit);
+        let module = generate_module(&cfg);
+        lint_tla(&module).unwrap_or_else(|e| {
+            panic!("generated module failed lint (group_commit: {group_commit}): {e}")
+        });
+        let broken = module.replace("VARIABLES", "VARIABLE$");
+        assert!(lint_tla(&broken).is_err(), "lint must reject a damaged module");
+    }
+}

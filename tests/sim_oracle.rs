@@ -5,7 +5,7 @@
 //! surfacing as `RedoError`s rather than silent state divergence.
 
 use ccr::runtime::fault::FaultPlan;
-use ccr::workload::sim::{run_scenario, run_scenario_traced, sweep, Combo, SimScenario};
+use ccr::workload::sim::{run_scenario, run_scenario_traced, sweep, Backend, Combo, SimScenario};
 
 /// Same `(seed, FaultPlan)` ⇒ identical run reports (which embed the
 /// history fingerprint and every per-fault-kind counter), run twice through
@@ -49,8 +49,8 @@ fn traced_runs_report_the_legacy_counters() {
 /// still fails.
 #[test]
 fn weakened_relation_is_caught_and_shrunk() {
-    let f =
-        sweep(Combo::UipSymNfc, 64, 60, 4, false, false).expect("weakened combo must be caught");
+    let f = sweep(Combo::UipSymNfc, 64, 60, 4, Backend::Disk, false, false)
+        .expect("weakened combo must be caught");
     assert!(f.shrunk.live_txns() <= 3, "reproducer too large: {}", f.shrunk.reproducer());
     assert!(
         run_scenario(&f.shrunk).is_err(),
@@ -69,7 +69,7 @@ fn recovery_convergence_survives_a_32_seed_sweep() {
     for combo in [Combo::UipNrbc, Combo::DuNfc] {
         for group_commit in [false, true] {
             assert!(
-                sweep(combo, 32, 60, 4, group_commit, true).is_none(),
+                sweep(combo, 32, 60, 4, Backend::Disk, group_commit, true).is_none(),
                 "recovery convergence failed for {combo} (group_commit: {group_commit})"
             );
         }
@@ -116,4 +116,230 @@ fn skipped_epoch_bump_divergence_is_caught_by_the_convergence_leg() {
         .check_recovery_convergence(TailPolicy::DiscardTail)
         .expect_err("skipping the epoch bump must be caught");
     assert!(err.reason.contains("epoch"), "unexpected divergence reason: {}", err.reason);
+}
+
+// ---------------------------------------------------------------------------
+// Mutation-style negative controls: one seeded bug per oracle leg, each
+// asserting that *this* leg — not a test-side recomputation — flags it.
+// `tests/mc_props.rs` holds the model-checker counterparts: the `ccr-mc`
+// explorer catches the same bug classes (drop-acked-commit, reorder,
+// resurrection, skipped epoch bump) with minimized replayable traces.
+// Leg 1 (dynamic atomicity) is controlled by
+// `weakened_relation_is_caught_and_shrunk` above: the deliberately
+// symmetric conflict relation is exactly the §6.3 seeded bug, and the
+// sweep's first failure is `NotDynamicAtomic`.
+// ---------------------------------------------------------------------------
+
+mod leg_controls {
+    use std::collections::BTreeMap;
+
+    use ccr::adt::bank::{bank_nfc, bank_nrbc, BankAccount, BankInv, BankResp};
+    use ccr::core::adt::Op;
+    use ccr::core::atomicity::SystemSpec;
+    use ccr::core::conflict::FnConflict;
+    use ccr::core::ids::ObjectId;
+    use ccr::runtime::fault::{FaultKind, FaultPlan, FaultSpec};
+    use ccr::runtime::script::{OpsScript, Script};
+    use ccr::runtime::sim::{run_sim, OracleFailure, SimCfg};
+    use ccr::runtime::{DuEngine, DurableSystem, RedoError, UipEngine};
+    use ccr::store::{CommitRecord, LogBackend, WalBackend, WalConfig};
+
+    type DiskUip = DurableSystem<
+        BankAccount,
+        UipEngine<BankAccount>,
+        FnConflict<BankAccount>,
+        WalBackend<BankAccount>,
+    >;
+    type DiskDu = DurableSystem<
+        BankAccount,
+        DuEngine<BankAccount>,
+        FnConflict<BankAccount>,
+        WalBackend<BankAccount>,
+    >;
+
+    const X: ObjectId = ObjectId(0);
+    /// Larger than any balance the scripts can reach, so a forged
+    /// `withdraw(HUGE)` refuses wherever the replay puts it.
+    const HUGE: u64 = 1 << 40;
+
+    fn fresh_uip() -> DiskUip {
+        DurableSystem::with_backend(
+            BankAccount::default(),
+            1,
+            bank_nrbc(),
+            WalBackend::new(WalConfig::default()),
+        )
+    }
+
+    fn scripts(n: usize) -> Vec<Box<dyn Script<BankAccount>>> {
+        (0..n)
+            .map(|_| {
+                Box::new(OpsScript::on(X, vec![BankInv::Deposit(2), BankInv::Withdraw(1)]))
+                    as Box<dyn Script<BankAccount>>
+            })
+            .collect()
+    }
+
+    fn spec() -> SystemSpec<BankAccount> {
+        SystemSpec::single(BankAccount::default())
+    }
+
+    fn one_crash() -> FaultPlan {
+        FaultPlan::new(vec![FaultSpec { at_event: 10, kind: FaultKind::Crash }])
+    }
+
+    /// Leg 2 (journal equieffectivity): a WAL record whose recorded
+    /// response is serially impossible — `withdraw(HUGE) → Ok` on an empty
+    /// account — must be refused by the replay's response check when a
+    /// crash forces the journal to be rebuilt from the log. The mc
+    /// counterpart is `Mutation::ResurrectAborted` (a forged record the
+    /// decode/presence invariant rejects).
+    #[test]
+    fn forged_impossible_response_is_refused_by_replay() {
+        let mut sys = fresh_uip();
+        let forged = CommitRecord {
+            floor: 50,
+            ops: vec![(500, X, Op::new(BankInv::Withdraw(HUGE), BankResp::Ok))],
+        };
+        sys.backend_mut().append_commit(&forged).unwrap();
+        let err = run_sim(&mut sys, scripts(4), &one_crash(), &SimCfg::default(), &spec(), None)
+            .expect_err("a serially impossible journal record must not replay");
+        assert!(
+            matches!(
+                err.failure,
+                OracleFailure::Redo(RedoError::ResponseDiverged { .. })
+                    | OracleFailure::Redo(RedoError::ReplayRefused { .. })
+                    | OracleFailure::ShadowRefused { .. }
+            ),
+            "wrong leg fired: {}",
+            err.failure
+        );
+    }
+
+    /// Leg 3 (committed-prefix durability): a committed effect appearing
+    /// from nowhere — a forged but serially *legal* deposit record — makes
+    /// post-recovery state differ from the pre-crash snapshot, and the
+    /// crash-state leg must say so. The mc counterpart is
+    /// `Mutation::DropAckedCommit` (the same leg, in the losing direction).
+    #[test]
+    fn forged_committed_effect_is_caught_by_the_crash_state_leg() {
+        let mut sys = fresh_uip();
+        let forged = CommitRecord {
+            floor: 50,
+            ops: vec![(500, X, Op::new(BankInv::Deposit(7), BankResp::Ok))],
+        };
+        sys.backend_mut().append_commit(&forged).unwrap();
+        let err = run_sim(&mut sys, scripts(4), &one_crash(), &SimCfg::default(), &spec(), None)
+            .expect_err("recovery must not invent committed state");
+        assert!(
+            matches!(err.failure, OracleFailure::CrashStateMismatch { .. }),
+            "wrong leg fired: {}",
+            err.failure
+        );
+    }
+
+    /// Leg 4 (caller-supplied state invariant): a workload that leaks units
+    /// against a conservation invariant must be reported as
+    /// `InvariantViolated` with the invariant's own detail string.
+    #[test]
+    fn conservation_invariant_violations_are_reported() {
+        let mut sys = fresh_uip();
+        let inv = |states: &BTreeMap<ObjectId, u64>| -> Result<(), String> {
+            let total: u64 = states.values().sum();
+            if total == 0 {
+                Ok(())
+            } else {
+                Err(format!("leaked {total} units"))
+            }
+        };
+        let err = run_sim(
+            &mut sys,
+            scripts(4),
+            &FaultPlan::none(),
+            &SimCfg::default(),
+            &spec(),
+            Some(&inv),
+        )
+        .expect_err("the leaking workload must violate the conservation invariant");
+        match err.failure {
+            OracleFailure::InvariantViolated { detail } => {
+                assert!(detail.contains("leaked"), "wrong detail: {detail}")
+            }
+            other => panic!("wrong leg fired: {other}"),
+        }
+    }
+
+    /// Leg 5 (recovery-view agreement): two forged records whose commit
+    /// order is `deposit(HUGE); withdraw(HUGE)` (a legal, state-neutral DU
+    /// fold) but whose execution sequence numbers put the withdrawal
+    /// *first* (refused in the UIP view). Since the net effect is zero the
+    /// durability leg stays quiet, and the view-agreement leg must be the
+    /// one to flag the divergence. The mc explorer runs this same
+    /// UIP-vs-DU comparison after every recovery (`ViewDivergence`).
+    #[test]
+    fn inverted_exec_order_is_caught_by_the_view_agreement_leg() {
+        let mut sys: DiskDu = DurableSystem::with_backend(
+            BankAccount::default(),
+            1,
+            bank_nfc(),
+            WalBackend::new(WalConfig::default()),
+        );
+        let dep = CommitRecord {
+            floor: 50,
+            ops: vec![(999, X, Op::new(BankInv::Deposit(HUGE), BankResp::Ok))],
+        };
+        let wd = CommitRecord {
+            floor: 51,
+            ops: vec![(998, X, Op::new(BankInv::Withdraw(HUGE), BankResp::Ok))],
+        };
+        sys.backend_mut().append_commit(&dep).unwrap();
+        sys.backend_mut().append_commit(&wd).unwrap();
+        let err = run_sim(&mut sys, scripts(4), &one_crash(), &SimCfg::default(), &spec(), None)
+            .expect_err("the UIP and DU views must be seen to disagree");
+        match err.failure {
+            OracleFailure::RecoveryViewDiverged { uip, .. } => {
+                assert_eq!(uip, "refused", "the UIP view must refuse the inverted order")
+            }
+            other => panic!("wrong leg fired: {other}"),
+        }
+    }
+
+    /// Leg 6 (recovery convergence): skipping the epoch bump — the seeded
+    /// bug of DESIGN.md §11 — must surface through the full `run_sim`
+    /// pipeline as `RecoveryDiverged`, not only through the direct probe
+    /// (tested above). The mc counterpart is `Mutation::SkipEpochBump`,
+    /// caught by the explorer's convergence invariant.
+    #[test]
+    fn skipped_epoch_bump_is_caught_end_to_end_by_the_convergence_leg() {
+        let mut sys = fresh_uip();
+        sys.backend_mut().set_skip_epoch_bump(true);
+        let cfg = SimCfg { fault_during_recovery: true, ..Default::default() };
+        let err = run_sim(&mut sys, scripts(4), &one_crash(), &cfg, &spec(), None)
+            .expect_err("a recovery that forgets the epoch bump must not converge");
+        match err.failure {
+            OracleFailure::RecoveryDiverged { detail } => {
+                assert!(detail.contains("epoch"), "wrong divergence detail: {detail}")
+            }
+            other => panic!("wrong leg fired: {other}"),
+        }
+    }
+}
+
+/// Satellite fix: reproducer lines must pin the *complete* configuration —
+/// backend even when it is the default, group commit, and the
+/// fault-during-recovery leg — so an emitted command never silently
+/// replays under different settings than the failing run.
+#[test]
+fn reproducer_lines_pin_the_full_configuration() {
+    let plan: FaultPlan = "5:crash".parse().unwrap();
+    let mut scenario = SimScenario::new(Combo::UipNrbc, 3, plan);
+    let line = scenario.reproducer();
+    assert!(line.contains("--backend disk"), "default backend must be explicit: {line}");
+    scenario.backend = Backend::Mem;
+    scenario.group_commit = true;
+    scenario.fault_during_recovery = true;
+    let line = scenario.reproducer();
+    assert!(line.contains("--backend mem"), "missing backend: {line}");
+    assert!(line.contains("--group-commit"), "missing group commit: {line}");
+    assert!(line.contains("--fault-during-recovery"), "missing recovery leg: {line}");
 }

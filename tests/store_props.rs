@@ -336,3 +336,164 @@ fn exhaustive_bit_flip_sweep_never_diverges_silently() {
     }
     assert!(detected > 0, "the CRC layer must detect at least the payload flips");
 }
+
+// ---------------------------------------------------------------------------
+// Wire-format properties (DESIGN.md §9/§10): epoch-header and group-commit
+// batch frames round-trip exactly, impossible batch metas are refused, and
+// every single-byte corruption of a sector-aligned frame is detected by the
+// same `check_frame` validation the recovery scanner runs.
+// ---------------------------------------------------------------------------
+
+mod wire_format {
+    use ccr::adt::bank::{BankAccount, BankInv, BankResp};
+    use ccr::core::adt::Op;
+    use ccr::core::ids::ObjectId;
+    use ccr::store::{
+        build_frame, check_frame, decode_batch, encode_batch, BatchMeta, CommitRecord, SegHeader,
+        StoreStats,
+    };
+    use proptest::prelude::*;
+
+    fn stats() -> impl Strategy<Value = StoreStats> {
+        (0u64..=u64::MAX, 0u64..=u64::MAX, 0u64..=u64::MAX, 0u64..=u64::MAX, 0u64..=u64::MAX)
+            .prop_map(|(checkpoints, recoveries, sector_tears, reordered_flushes, bitflips)| {
+                StoreStats {
+                    checkpoints,
+                    recoveries,
+                    sector_tears,
+                    reordered_flushes,
+                    bitflips_detected: bitflips,
+                }
+            })
+    }
+
+    fn headers() -> impl Strategy<Value = SegHeader> {
+        (0u64..=u64::MAX, 0u64..=u64::MAX, 0u8..=1, 0u32..=u32::MAX, 0u64..=u64::MAX, stats())
+            .prop_map(|(epoch, seg_index, rc, txn_floor, next_exec_seq, stats)| SegHeader {
+                epoch,
+                seg_index,
+                requires_checkpoint: rc != 0,
+                txn_floor,
+                next_exec_seq,
+                stats,
+            })
+    }
+
+    fn records() -> impl Strategy<Value = CommitRecord<BankAccount>> {
+        let inv_resp = prop_oneof![
+            (1u64..=9).prop_map(|i| (BankInv::Deposit(i), BankResp::Ok)),
+            (1u64..=9).prop_map(|i| (BankInv::Withdraw(i), BankResp::Ok)),
+            (1u64..=9).prop_map(|i| (BankInv::Withdraw(i), BankResp::No)),
+            (0u64..=9).prop_map(|v| (BankInv::Balance, BankResp::Val(v))),
+        ];
+        let op = (0u64..=u64::MAX, 0u32..4, inv_resp)
+            .prop_map(|(seq, obj, (inv, resp))| (seq, ObjectId(obj), Op::new(inv, resp)));
+        (0u32..=u32::MAX, prop::collection::vec(op, 0..5))
+            .prop_map(|(floor, ops)| CommitRecord { floor, ops })
+    }
+
+    /// Valid metas: `len >= 1`, `pos < len` — exactly what the scanner may
+    /// legally encounter, including the `len == 1` repair-rewrite case.
+    fn metas() -> impl Strategy<Value = BatchMeta> {
+        (0u64..=u64::MAX, 1u32..6, 0u32..6).prop_map(|(id, len, raw)| BatchMeta {
+            id,
+            pos: raw % len,
+            len,
+        })
+    }
+
+    proptest! {
+        /// Any epoch header decodes back to an equal value.
+        #[test]
+        fn seg_header_round_trips(h in headers()) {
+            prop_assert_eq!(SegHeader::decode(&h.encode()), Some(h));
+        }
+
+        /// A header payload with any byte appended or removed is refused:
+        /// the fixed width is load-bearing.
+        #[test]
+        fn seg_header_rejects_wrong_width(h in headers(), junk in 0u8..=u8::MAX) {
+            let enc = h.encode();
+            let mut longer = enc.clone();
+            longer.push(junk);
+            prop_assert_eq!(SegHeader::decode(&longer), None);
+            prop_assert_eq!(SegHeader::decode(&enc[..enc.len() - 1]), None);
+        }
+
+        /// Any group-flush member (meta + commit record) round-trips.
+        #[test]
+        fn batch_frames_round_trip(meta in metas(), rec in records()) {
+            let enc = encode_batch(meta, &rec);
+            prop_assert_eq!(decode_batch::<BankAccount>(&enc), Some((meta, rec)));
+        }
+
+        /// Impossible metas (`len == 0` or `pos >= len`) are classified as
+        /// damage, whatever the record says.
+        #[test]
+        fn impossible_batch_metas_are_refused(
+            id in 0u64..=u64::MAX,
+            len in 0u32..6,
+            beyond in 0u32..4,
+            rec in records(),
+        ) {
+            let meta = BatchMeta { id, pos: len + beyond, len };
+            let enc = encode_batch(meta, &rec);
+            prop_assert_eq!(decode_batch::<BankAccount>(&enc), None);
+        }
+
+        /// A truncated batch payload never decodes.
+        #[test]
+        fn truncated_batch_frames_are_refused(meta in metas(), rec in records()) {
+            let enc = encode_batch(meta, &rec);
+            for cut in 0..enc.len() {
+                prop_assert_eq!(decode_batch::<BankAccount>(&enc[..cut]), None, "cut {}", cut);
+            }
+        }
+
+        /// Exhaustive single-byte corruption of a framed header: for every
+        /// byte position and every wrong value class, the recovery
+        /// scanner's validation (`check_frame`) must classify the frame as
+        /// corrupt — there is no byte whose damage goes unnoticed, because
+        /// the CRC covers the whole sector-aligned extent including the
+        /// padding.
+        #[test]
+        fn every_single_byte_corruption_of_a_header_frame_is_detected(
+            h in headers(),
+            delta in 1u8..=255,
+        ) {
+            let frame = build_frame(1, &h.encode(), 32);
+            prop_assert!(check_frame(&frame).is_some(), "pristine frame must verify");
+            for i in 0..frame.len() {
+                let mut bad = frame.clone();
+                bad[i] = bad[i].wrapping_add(delta);
+                prop_assert_eq!(check_frame(&bad), None, "byte {} undetected", i);
+            }
+        }
+
+        /// The same exhaustive corruption sweep over a framed group-commit
+        /// batch member, which also exercises variable-length payloads.
+        #[test]
+        fn every_single_byte_corruption_of_a_batch_frame_is_detected(
+            meta in metas(),
+            rec in records(),
+            delta in 1u8..=255,
+        ) {
+            let frame = build_frame(4, &encode_batch(meta, &rec), 32);
+            prop_assert!(check_frame(&frame).is_some(), "pristine frame must verify");
+            for i in 0..frame.len() {
+                let mut bad = frame.clone();
+                bad[i] = bad[i].wrapping_add(delta);
+                prop_assert_eq!(check_frame(&bad), None, "byte {} undetected", i);
+            }
+        }
+
+        /// What `check_frame` accepts it returns exactly: kind and payload
+        /// of an intact frame come back unmodified for every frame kind.
+        #[test]
+        fn intact_frames_return_kind_and_payload(kind in 1u8..=4, rec in records()) {
+            let payload = encode_batch(BatchMeta { id: 7, pos: 0, len: 1 }, &rec);
+            let frame = build_frame(kind, &payload, 32);
+            prop_assert_eq!(check_frame(&frame), Some((kind, payload)));
+        }
+    }
+}
