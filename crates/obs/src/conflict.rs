@@ -1,0 +1,171 @@
+//! Observed-conflict attribution.
+//!
+//! The paper answers "how much concurrency may a scheduler admit?"
+//! statically, by comparing conflict relations; this module measures which
+//! op pairs a run *actually exercised*. Every time an invocation finds a
+//! legal response in conflict with a held operation, the runtime records a
+//! hit in a [`ConflictMatrix`] keyed by ADT × op pair × conflict relation,
+//! and later credits the blocked time (logical ticks) and any wound-wait
+//! wounds back to the same cells. Exported next to the static FC/RBC tables
+//! this yields the paper's "admitted vs. exercised" comparison: a pair the
+//! relation admits but the workload never exercises is free concurrency on
+//! paper only, and a pair with heavy blocked-time is where a finer relation
+//! (UIP→DU or vice versa, per the incomparability result) would pay.
+//!
+//! Like the event payloads, keys are rendered lazily: the matrix is only
+//! populated when the tracer records events, so the shrinker's
+//! counters-only runs never allocate here.
+
+use std::collections::BTreeMap;
+
+use crate::export::json_string;
+
+/// One cell address: which ADT, which conflict relation was in force, and
+/// the (requested, held) operation pair that conflicted. Operations are
+/// named by their rendered kind (invocation constructor plus response
+/// constructor, e.g. `Withdraw->Ok`), matching the granularity of the
+/// paper's per-op-kind conflict tables.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ConflictKey {
+    /// ADT label (`bank`, `escrow`, …).
+    pub adt: String,
+    /// Conflict relation in force (`nrbc`, `nfc`, `sym-nfc`, …).
+    pub relation: String,
+    /// The requesting operation's kind.
+    pub requested: String,
+    /// The held operation's kind it conflicted with.
+    pub held: String,
+}
+
+/// What one cell has accumulated.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConflictCell {
+    /// Conflicting (requested, held) encounters observed.
+    pub hits: u64,
+    /// Wound-wait wounds this pair caused (the holder died for it).
+    pub wounds: u64,
+    /// Logical ticks requesters spent blocked, attributed to this pair.
+    pub blocked_ticks: u64,
+}
+
+/// The observed-conflict matrix: cells keyed by [`ConflictKey`], rendered
+/// deterministically in key order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ConflictMatrix {
+    cells: BTreeMap<ConflictKey, ConflictCell>,
+}
+
+impl ConflictMatrix {
+    /// A fresh, empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one conflicting encounter.
+    pub fn record_hit(&mut self, key: ConflictKey) {
+        self.cells.entry(key).or_default().hits += 1;
+    }
+
+    /// Record a wound-wait wound attributed to `key`.
+    pub fn record_wound(&mut self, key: ConflictKey) {
+        self.cells.entry(key).or_default().wounds += 1;
+    }
+
+    /// Credit `ticks` of blocked time to `key`.
+    pub fn credit_blocked(&mut self, key: ConflictKey, ticks: u64) {
+        self.cells.entry(key).or_default().blocked_ticks += ticks;
+    }
+
+    /// Whether any cell has been touched.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Number of distinct cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Iterate cells in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&ConflictKey, &ConflictCell)> {
+        self.cells.iter()
+    }
+
+    /// Merge another matrix in (cell-wise addition; order-independent).
+    pub fn merge(&mut self, other: &ConflictMatrix) {
+        for (k, v) in &other.cells {
+            let cell = self.cells.entry(k.clone()).or_default();
+            cell.hits += v.hits;
+            cell.wounds += v.wounds;
+            cell.blocked_ticks += v.blocked_ticks;
+        }
+    }
+
+    /// Render as a JSON array of row objects, in key order (deterministic).
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self
+            .cells
+            .iter()
+            .map(|(k, c)| {
+                format!(
+                    concat!(
+                        "{{\"adt\":{},\"relation\":{},\"requested\":{},\"held\":{},",
+                        "\"hits\":{},\"wounds\":{},\"blocked_ticks\":{}}}"
+                    ),
+                    json_string(&k.adt),
+                    json_string(&k.relation),
+                    json_string(&k.requested),
+                    json_string(&k.held),
+                    c.hits,
+                    c.wounds,
+                    c.blocked_ticks,
+                )
+            })
+            .collect();
+        format!("[{}]", rows.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(req: &str, held: &str) -> ConflictKey {
+        ConflictKey {
+            adt: "bank".into(),
+            relation: "nrbc".into(),
+            requested: req.into(),
+            held: held.into(),
+        }
+    }
+
+    #[test]
+    fn hits_wounds_and_blocked_time_accumulate_per_cell() {
+        let mut m = ConflictMatrix::new();
+        m.record_hit(key("Withdraw->Ok", "Deposit->Ok"));
+        m.record_hit(key("Withdraw->Ok", "Deposit->Ok"));
+        m.record_wound(key("Withdraw->Ok", "Deposit->Ok"));
+        m.credit_blocked(key("Withdraw->Ok", "Deposit->Ok"), 5);
+        m.record_hit(key("Balance->Val", "Withdraw->Ok"));
+        assert_eq!(m.len(), 2);
+        let cell = m.iter().find(|(k, _)| k.held == "Deposit->Ok").unwrap().1;
+        assert_eq!((cell.hits, cell.wounds, cell.blocked_ticks), (2, 1, 5));
+    }
+
+    #[test]
+    fn merge_is_cellwise_and_json_is_key_ordered() {
+        let mut a = ConflictMatrix::new();
+        a.record_hit(key("W", "D"));
+        let mut b = ConflictMatrix::new();
+        b.record_hit(key("W", "D"));
+        b.credit_blocked(key("A", "B"), 3);
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        let js = a.to_json();
+        assert!(js.starts_with("[{\"adt\":\"bank\""));
+        let a_pos = js.find("\"requested\":\"A\"").unwrap();
+        let w_pos = js.find("\"requested\":\"W\"").unwrap();
+        assert!(a_pos < w_pos, "rows sorted by key: {js}");
+        assert!(js.contains("\"hits\":2"));
+    }
+}

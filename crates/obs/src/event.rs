@@ -10,6 +10,8 @@
 
 use ccr_core::ids::{ObjectId, TxnId};
 
+use crate::span::Phase;
+
 /// Why a transaction was aborted, as observed by the tracer. Richer than the
 /// runtime's public `AbortReason`: it separates the abort paths that the
 /// legacy counters distinguished (wound-wait victims vs no-wait requesters
@@ -220,6 +222,22 @@ pub enum EventKind {
         /// Device ops the baseline recovery consumed.
         device_ops: u64,
     },
+    /// A profiled pipeline phase opened (see `ccr_obs::span`).
+    /// Counter-neutral: phases measure time, they don't change outcomes.
+    PhaseBegin {
+        /// Which phase.
+        phase: Phase,
+    },
+    /// A profiled pipeline phase closed. Counter-neutral.
+    PhaseEnd {
+        /// Which phase.
+        phase: Phase,
+        /// Logical-tick duration (or deterministic phase units — device ops,
+        /// records — for externally measured recovery stages).
+        ticks: u64,
+        /// Wall nanoseconds; 0 unless the tracer's wall clock is enabled.
+        wall_ns: u64,
+    },
 }
 
 /// One structured trace event.
@@ -260,6 +278,8 @@ impl ObsEvent {
             EventKind::IoRetry { .. } => "io_retry",
             EventKind::Degraded { .. } => "degraded",
             EventKind::ConvergenceCheck { .. } => "convergence_check",
+            EventKind::PhaseBegin { .. } => "phase_begin",
+            EventKind::PhaseEnd { .. } => "phase_end",
         }
     }
 }

@@ -219,6 +219,22 @@ pub fn chrome_trace(tracer: &Tracer) -> String {
                 args.push(("device_ops".into(), device_ops.to_string()));
                 records.push(chrome_record('i', "convergence", "recovery", tid, ts, None, &args));
             }
+            // The matching PhaseEnd renders the whole span; the begin event
+            // exists for the logical clock and stream readers only.
+            EventKind::PhaseBegin { .. } => {}
+            EventKind::PhaseEnd { phase, ticks, wall_ns } => {
+                args.push(("ticks".into(), ticks.to_string()));
+                args.push(("wall_ns".into(), wall_ns.to_string()));
+                records.push(chrome_record(
+                    'X',
+                    phase.label(),
+                    phase.path(),
+                    tid,
+                    ts.saturating_sub(*ticks),
+                    Some((*ticks).max(1)),
+                    &args,
+                ));
+            }
         }
     }
     format!(
@@ -266,6 +282,15 @@ pub fn flame_summary(tracer: &Tracer) -> String {
             }
             EventKind::ConvergenceCheck { trials, .. } => {
                 ("recovery;convergence".to_string(), (*trials).max(1))
+            }
+            EventKind::PhaseBegin { .. } => continue,
+            EventKind::PhaseEnd { phase, ticks, .. } => {
+                // Totals are tiled by their children; weighting both would
+                // double-count, so totals are excluded from the flame.
+                if phase.is_total() {
+                    continue;
+                }
+                (format!("phase;{};{}", phase.path(), phase.label()), (*ticks).max(1))
             }
         };
         *weights.entry(stack).or_insert(0) += weight;

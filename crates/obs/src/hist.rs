@@ -50,9 +50,20 @@ impl LogHistogram {
 
     /// Record one sample.
     pub fn record(&mut self, v: u64) {
-        self.counts[bucket(v)] += 1;
-        self.total += 1;
-        self.sum = self.sum.saturating_add(v);
+        self.record_many(v, 1);
+    }
+
+    /// Record `n` identical samples in O(1) (bulk loads, merge-shaped
+    /// ingestion, and the extreme-count edge-case tests). All arithmetic
+    /// saturates, so counts near `u64::MAX` stay well-defined.
+    pub fn record_many(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let b = bucket(v);
+        self.counts[b] = self.counts[b].saturating_add(n);
+        self.total = self.total.saturating_add(n);
+        self.sum = self.sum.saturating_add(v.saturating_mul(n));
         self.max = self.max.max(v);
     }
 
@@ -87,10 +98,12 @@ impl LogHistogram {
         if self.total == 0 {
             return 0;
         }
-        let rank = (self.total * p).div_ceil(100).max(1);
-        let mut seen = 0u64;
+        // u128 arithmetic: `total * p` overflows u64 once `total` exceeds
+        // `u64::MAX / 100`, which record_many-scale histograms can reach.
+        let rank = (self.total as u128 * p as u128).div_ceil(100).max(1);
+        let mut seen = 0u128;
         for (i, c) in self.counts.iter().enumerate() {
-            seen += c;
+            seen += *c as u128;
             if seen >= rank {
                 // Tighten the top bucket to the true maximum.
                 return bucket_upper(i).min(self.max);
@@ -99,12 +112,13 @@ impl LogHistogram {
         self.max
     }
 
-    /// Merge `other` into `self` (element-wise; associative and commutative).
+    /// Merge `other` into `self` (element-wise; associative and commutative;
+    /// saturating, like recording).
     pub fn merge(&mut self, other: &LogHistogram) {
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
-        self.total += other.total;
+        self.total = self.total.saturating_add(other.total);
         self.sum = self.sum.saturating_add(other.sum);
         self.max = self.max.max(other.max);
     }
@@ -211,6 +225,73 @@ mod tests {
         // Merging equals recording the concatenation.
         let all: Vec<u64> = samples.iter().flat_map(|s| s.iter().copied()).collect();
         assert_eq!(left, mk(&all));
+    }
+
+    #[test]
+    fn boundary_values_zero_one_and_max_land_in_distinct_buckets() {
+        // 0 and 1 are the two single-value buckets; u64::MAX tops bucket 64.
+        let mut h = LogHistogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.sum(), u64::MAX, "sum saturates at u64::MAX");
+        // Cumulative ranks: p≤33 → bucket 0, p≤66 → bucket 1, else top.
+        assert_eq!(h.percentile(33), 0);
+        assert_eq!(h.percentile(50), 1);
+        assert_eq!(h.percentile(99), u64::MAX);
+        // Bucket boundaries around powers of two: 2^k-1 and 2^k differ.
+        for k in 1..64usize {
+            assert_eq!(bucket((1u64 << k) - 1), k, "2^{k}-1");
+            assert_eq!(bucket(1u64 << k), k + 1, "2^{k}");
+            assert_eq!(bucket_upper(k), (1u64 << k) - 1);
+        }
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(64), u64::MAX);
+        assert_eq!(bucket_upper(65), u64::MAX, "out-of-range clamps");
+    }
+
+    #[test]
+    fn percentile_rank_does_not_overflow_at_extreme_counts() {
+        // total > u64::MAX / 100: the old `total * p` rank computation
+        // wrapped and returned bucket 0 for every percentile.
+        let mut h = LogHistogram::new();
+        h.record_many(1, u64::MAX / 2);
+        h.record_many(1000, u64::MAX / 2);
+        assert_eq!(h.count(), u64::MAX - 1);
+        assert_eq!(h.percentile(50), 1);
+        assert_eq!(h.percentile(90), 1000);
+        assert_eq!(h.percentile(100), 1000);
+
+        // Saturation keeps a fully loaded histogram well-defined.
+        let mut full = LogHistogram::new();
+        full.record_many(u64::MAX, u64::MAX);
+        full.record_many(u64::MAX, u64::MAX);
+        assert_eq!(full.count(), u64::MAX);
+        assert_eq!(full.percentile(1), u64::MAX);
+
+        // Merging two extreme histograms saturates instead of wrapping.
+        let mut m = h.clone();
+        m.merge(&h);
+        assert_eq!(m.count(), u64::MAX);
+        assert_eq!(m.percentile(50), 1);
+        assert_eq!(m.percentile(100), 1000);
+    }
+
+    #[test]
+    fn record_many_matches_repeated_record() {
+        let mut bulk = LogHistogram::new();
+        bulk.record_many(7, 5);
+        bulk.record_many(0, 2);
+        bulk.record_many(9, 0); // no-op
+        let mut one = LogHistogram::new();
+        for _ in 0..5 {
+            one.record(7);
+        }
+        one.record(0);
+        one.record(0);
+        assert_eq!(bulk, one);
     }
 
     #[test]

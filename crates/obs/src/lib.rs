@@ -23,14 +23,18 @@
 
 #![warn(missing_docs)]
 
+pub mod conflict;
 pub mod event;
 pub mod export;
 pub mod hist;
+pub mod span;
 pub mod stats;
 pub mod tracer;
 
+pub use conflict::{ConflictCell, ConflictKey, ConflictMatrix};
 pub use event::{AbortCause, CorruptionKind, EventKind, FaultCounter, ObsEvent, WaitGraph};
 pub use export::{chrome_trace, flame_summary, json_string, MetricsReport};
 pub use hist::{HistogramSummary, LogHistogram};
+pub use span::{Phase, PhaseProfile, PhaseProfiles, SpanToken};
 pub use stats::{project, SystemStats};
 pub use tracer::Tracer;

@@ -117,6 +117,9 @@ impl SystemStats {
                 }
             }
             EventKind::ConvergenceCheck { .. } => self.convergence_checks += 1,
+            // Counter-neutral: spans measure where time goes, the phases'
+            // outcomes are counted by their own commit/recovery events.
+            EventKind::PhaseBegin { .. } | EventKind::PhaseEnd { .. } => {}
         }
     }
 

@@ -22,8 +22,10 @@ use std::time::Instant;
 
 use ccr_core::ids::{ObjectId, TxnId};
 
+use crate::conflict::{ConflictKey, ConflictMatrix};
 use crate::event::{AbortCause, CorruptionKind, EventKind, FaultCounter, ObsEvent, WaitGraph};
 use crate::hist::LogHistogram;
+use crate::span::{Phase, PhaseProfiles, SpanToken};
 use crate::stats::{self, SystemStats};
 
 /// Structured event tracer + metrics recorder. See the module docs.
@@ -48,6 +50,13 @@ pub struct Tracer {
     begin_seq: BTreeMap<TxnId, u64>,
     /// First blocked-attempt stamp of each currently blocked transaction.
     block_start: BTreeMap<TxnId, u64>,
+    /// Per-phase duration histograms (commit + recovery pipelines).
+    phases: PhaseProfiles,
+    /// Observed-conflict matrix (populated only while events are recorded).
+    conflicts: ConflictMatrix,
+    /// Conflict keys of each blocked transaction's latest blocked attempt,
+    /// credited with the blocked ticks on unblock.
+    pending_conflicts: BTreeMap<TxnId, Vec<ConflictKey>>,
 }
 
 impl Default for Tracer {
@@ -69,6 +78,9 @@ impl Default for Tracer {
             retry_backoff: LogHistogram::new(),
             begin_seq: BTreeMap::new(),
             block_start: BTreeMap::new(),
+            phases: PhaseProfiles::new(),
+            conflicts: ConflictMatrix::new(),
+            pending_conflicts: BTreeMap::new(),
         }
     }
 }
@@ -180,6 +192,16 @@ impl Tracer {
         &self.retry_backoff
     }
 
+    /// Per-phase duration profiles for the commit and recovery pipelines.
+    pub fn phase_profiles(&self) -> &PhaseProfiles {
+        &self.phases
+    }
+
+    /// The observed-conflict matrix (empty unless events were recorded).
+    pub fn conflict_matrix(&self) -> &ConflictMatrix {
+        &self.conflicts
+    }
+
     /// Merge another tracer's histograms into this one (order-independent —
     /// see [`LogHistogram::merge`]). For combining per-worker metrics.
     pub fn merge_histograms(&mut self, other: &Tracer) {
@@ -191,6 +213,8 @@ impl Tracer {
         self.batch_size.merge(&other.batch_size);
         self.flush_latency.merge(&other.flush_latency);
         self.retry_backoff.merge(&other.retry_backoff);
+        self.phases.merge(&other.phases);
+        self.conflicts.merge(&other.conflicts);
     }
 
     fn emit(&mut self, txn: Option<TxnId>, obj: Option<ObjectId>, kind: EventKind) -> u64 {
@@ -218,6 +242,11 @@ impl Tracer {
             Some(start) => {
                 let waited = self.clock.saturating_sub(start);
                 self.lock_wait.record(waited);
+                if let Some(keys) = self.pending_conflicts.remove(&txn) {
+                    for key in keys {
+                        self.conflicts.credit_blocked(key, waited);
+                    }
+                }
                 self.emit(Some(txn), Some(obj), EventKind::Unblock { waited });
                 waited
             }
@@ -259,6 +288,7 @@ impl Tracer {
             self.time_to_commit.record(seq.saturating_sub(begin));
         }
         self.block_start.remove(&txn);
+        self.pending_conflicts.remove(&txn);
     }
 
     /// The transaction aborted.
@@ -266,6 +296,7 @@ impl Tracer {
         self.emit(Some(txn), None, EventKind::Abort { cause });
         self.begin_seq.remove(&txn);
         self.block_start.remove(&txn);
+        self.pending_conflicts.remove(&txn);
     }
 
     /// Undo-replay failed while aborting `txn` at `obj`.
@@ -286,6 +317,7 @@ impl Tracer {
         self.replay_len.record(replayed as u64);
         self.begin_seq.clear();
         self.block_start.clear();
+        self.pending_conflicts.clear();
     }
 
     /// A fault-plan entry fired. `counter` names the injection counter to
@@ -348,6 +380,82 @@ impl Tracer {
     /// baseline recovery of `device_ops` checked device ops.
     pub fn on_convergence_check(&mut self, trials: u64, device_ops: u64) {
         self.emit(None, None, EventKind::ConvergenceCheck { trials, device_ops });
+    }
+
+    /// Open a phase span. The returned token carries the logical mark (and a
+    /// wall start when the wall clock is enabled); close it with
+    /// [`span_end`](Self::span_end). Spans of the same pipeline must nest
+    /// properly for the tiling invariant to hold, but the tracer does not
+    /// enforce nesting — a dropped token simply never records.
+    pub fn span_begin(&mut self, phase: Phase) -> SpanToken {
+        let start = self.wall_epoch.map(|_| Instant::now());
+        let mark = self.emit(None, None, EventKind::PhaseBegin { phase });
+        SpanToken { phase, mark, start }
+    }
+
+    /// Close a phase span: emits `PhaseEnd` carrying the span's logical-tick
+    /// and wall-ns durations and records them in the per-phase histograms.
+    ///
+    /// Tick accounting (see the `span` module docs): a child phase is
+    /// charged the events between its begin and end *plus its own two
+    /// bookkeeping events*; a total phase is charged only the events in
+    /// between. Back-to-back children therefore tile their total exactly.
+    pub fn span_end(&mut self, token: SpanToken) {
+        let elapsed = self.clock.saturating_sub(token.mark);
+        let ticks = if token.phase.is_total() { elapsed } else { elapsed + 2 };
+        let wall_ns = token.start.map(|s| s.elapsed().as_nanos() as u64).unwrap_or(0);
+        self.emit(None, None, EventKind::PhaseEnd { phase: token.phase, ticks, wall_ns });
+        self.phases.record(token.phase, ticks, wall_ns);
+    }
+
+    /// Record an externally measured phase (the recovery stages, whose
+    /// durations come from the storage layer as deterministic device-op or
+    /// record counts). Emits a single `PhaseEnd` with `ticks = units`;
+    /// `wall_ns` is kept only when the wall clock is enabled, so
+    /// deterministic runs record 0 regardless of what the caller measured.
+    pub fn on_phase(&mut self, phase: Phase, units: u64, wall_ns: u64) {
+        let wall_ns = if self.wall_epoch.is_some() { wall_ns } else { 0 };
+        self.emit(None, None, EventKind::PhaseEnd { phase, ticks: units, wall_ns });
+        self.phases.record(phase, units, wall_ns);
+    }
+
+    /// An invocation found conflicting holders. `pairs` renders the
+    /// `(requested, held)` op-kind pairs (one per held op in conflict) and
+    /// runs only when events are recorded — the counters-only mode must not
+    /// allocate. The ADT and relation halves of each key come from the
+    /// tracer's `adt` / `conflict` labels. Each key gets a hit; if the
+    /// requester then blocks, the same keys are credited with the blocked
+    /// ticks on unblock (latest blocked attempt wins).
+    pub fn on_conflict(&mut self, txn: TxnId, pairs: impl FnOnce() -> Vec<(String, String)>) {
+        if !self.record_events {
+            return;
+        }
+        let label = |k: &str| self.labels.get(k).cloned().unwrap_or_else(|| "?".into());
+        let (adt, relation) = (label("adt"), label("conflict"));
+        let keys: Vec<ConflictKey> = pairs()
+            .into_iter()
+            .map(|(requested, held)| ConflictKey {
+                adt: adt.clone(),
+                relation: relation.clone(),
+                requested,
+                held,
+            })
+            .collect();
+        for key in &keys {
+            self.conflicts.record_hit(key.clone());
+        }
+        self.pending_conflicts.insert(txn, keys);
+    }
+
+    /// A wound-wait wound resolved a conflict: credit the wound to the
+    /// requester's pending conflict cells (recorded by the preceding
+    /// [`on_conflict`](Self::on_conflict)).
+    pub fn on_conflict_wound(&mut self, requester: TxnId) {
+        if let Some(keys) = self.pending_conflicts.get(&requester).cloned() {
+            for key in keys {
+                self.conflicts.record_wound(key);
+            }
+        }
     }
 }
 
@@ -454,6 +562,55 @@ mod tests {
         assert_eq!(t.stats().convergence_checks, 1);
         assert_eq!(t.retry_backoff().count(), 2);
         assert_eq!(t.retry_backoff().max(), 14);
+    }
+
+    #[test]
+    fn child_spans_tile_their_total_exactly() {
+        let mut t = Tracer::new();
+        let total = t.span_begin(Phase::CommitTotal);
+        let a = t.span_begin(Phase::Validate);
+        t.on_begin(T0); // one interior event inside the child
+        t.span_end(a); // ticks = 1 + 2 (own bookkeeping charged to child)
+        let b = t.span_begin(Phase::JournalAppend);
+        t.span_end(b); // empty child: ticks = 2
+        t.span_end(total); // total: interior events only
+        let prof = t.phase_profiles();
+        assert_eq!(prof.get(Phase::Validate).ticks().sum(), 3);
+        assert_eq!(prof.get(Phase::JournalAppend).ticks().sum(), 2);
+        assert_eq!(prof.get(Phase::CommitTotal).ticks().sum(), 5);
+        assert_eq!(prof.coverage(Phase::CommitTotal), Some(1.0));
+        // Phase events are counter-neutral and wall-free by default.
+        assert_eq!(t.project_stats(), *t.stats());
+        assert_eq!(prof.get(Phase::CommitTotal).wall_ns().max(), 0);
+    }
+
+    #[test]
+    fn conflicts_attribute_hits_blocked_time_and_wounds() {
+        let key = || vec![("Withdraw->Ok".to_string(), "Deposit->Ok".to_string())];
+        let mut t = Tracer::new();
+        t.set_label("adt", "bank");
+        t.set_label("conflict", "nrbc");
+        t.on_begin(T0);
+        t.on_begin(T1);
+        op(&mut t, T0);
+        t.on_conflict(T1, key);
+        t.on_block(T1, X, || ("W".into(), vec![T0], vec![(T1, vec![T0])]));
+        t.on_commit(T0);
+        op(&mut t, T1); // unblocks: blocked ticks credited to the key
+        assert_eq!(t.conflict_matrix().len(), 1);
+        let cell = *t.conflict_matrix().iter().next().unwrap().1;
+        assert_eq!(cell.hits, 1);
+        assert_eq!(cell.blocked_ticks, 1, "block at seq 4, commit at 5: waited 1");
+        t.on_conflict(T1, key);
+        t.on_conflict_wound(T1);
+        let cell = *t.conflict_matrix().iter().next().unwrap().1;
+        assert_eq!((cell.hits, cell.wounds), (2, 1));
+
+        // Counters-only mode never touches the matrix (no allocation).
+        let mut quiet = Tracer::new();
+        quiet.set_record_events(false);
+        quiet.on_conflict(T0, || panic!("must not render in counters-only mode"));
+        assert!(quiet.conflict_matrix().is_empty());
     }
 
     #[test]

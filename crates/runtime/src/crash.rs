@@ -36,7 +36,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use ccr_core::adt::{Adt, Op};
 use ccr_core::conflict::Conflict;
 use ccr_core::ids::{ObjectId, TxnId};
-use ccr_obs::{CorruptionKind, Tracer};
+use ccr_obs::{CorruptionKind, Phase, Tracer};
 use ccr_store::{
     CheckpointImage, CommitRecord, Detection, DiskError, LogBackend, MemBackend, RetryPolicy,
     ScanReport, StoreFailureKind, StoreStats, TailPolicy,
@@ -289,12 +289,23 @@ where
             let _ = self.sys.abort(txn);
             return Err(TxnError::ReadOnly);
         }
-        self.sys.commit(txn)?;
+        // Span accounting: the volatile commit (lock release + validate +
+        // apply) runs inside the total, as does the journal append with its
+        // retry events; both spans close before the append result is judged
+        // so a crash-path recovery's events are not charged to this commit.
+        let total = self.sys.obs_mut().span_begin(Phase::CommitTotal);
+        if let Err(e) = self.sys.commit(txn) {
+            self.sys.obs_mut().span_end(total);
+            return Err(e);
+        }
         let ops = self.pending_ops.remove(&txn).unwrap_or_default();
         // The floor is read back from the log on recovery: journal it.
         let rec = CommitRecord { floor: self.sys.next_txn_id(), ops };
+        let journal_span = self.sys.obs_mut().span_begin(Phase::JournalAppend);
         let append = self.backend.append_commit(&rec);
         self.drain_retry_events();
+        self.sys.obs_mut().span_end(journal_span);
+        self.sys.obs_mut().span_end(total);
         match append {
             Ok(()) => self.journal.records.push(rec),
             Err(fail) => {
@@ -347,6 +358,10 @@ where
                 })
                 .collect();
         }
+        // One CommitTotal span covers the whole group: every member's
+        // volatile commit (with its own Validate span) plus the single
+        // batched journal append.
+        let total = self.sys.obs_mut().span_begin(Phase::CommitTotal);
         let mut results = Vec::with_capacity(txns.len());
         let mut recs: Vec<CommitRecord<A>> = Vec::new();
         for &txn in txns {
@@ -359,9 +374,14 @@ where
                 Err(e) => results.push(Err(e)),
             }
         }
-        if !recs.is_empty() {
+        if recs.is_empty() {
+            self.sys.obs_mut().span_end(total);
+        } else {
+            let journal_span = self.sys.obs_mut().span_begin(Phase::JournalAppend);
             let append = self.backend.append_commits(&recs);
             self.drain_retry_events();
+            self.sys.obs_mut().span_end(journal_span);
+            self.sys.obs_mut().span_end(total);
             match append {
                 Ok(()) => {
                     self.sys.obs_mut().on_group_flush(recs.len() as u64, 0);
@@ -505,9 +525,17 @@ where
     /// fresh crash would wipe the backend's volatile detection counters, so
     /// the repair flow must not take one.
     pub fn recover_with(&mut self, policy: TornPolicy) -> Result<(), RedoError> {
+        // Phase accounting: the scan/classify/repair stage splits come from
+        // the backend's ScanReport (their op counts tile the successful
+        // attempt's device-op delta exactly); rebuild and replay are timed
+        // here. Units for the recovery total are the attempt's device ops.
+        let wall = std::time::Instant::now();
+        let mut attempt_ops;
         let recovered = loop {
+            let ops0 = self.backend.device_op_count();
             let attempt = self.backend.recover(policy.tail());
             self.drain_retry_events();
+            attempt_ops = self.backend.device_op_count() - ops0;
             match attempt {
                 Ok(r) => break r,
                 Err(fail) => {
@@ -532,6 +560,11 @@ where
                             // Surface the scan evidence on the surviving
                             // tracer even though the rebuild is refused.
                             emit_scan(self.sys.obs_mut(), &fail.report);
+                            self.sys.obs_mut().on_phase(
+                                Phase::RecoveryTotal,
+                                attempt_ops,
+                                wall.elapsed().as_nanos() as u64,
+                            );
                             return Err(match kind {
                                 StoreFailureKind::Torn { record, expected, found } => {
                                     RedoError::TornRecord { record, expected, found }
@@ -550,14 +583,19 @@ where
         // rebuild so counters/histograms survive. The replay below runs
         // against the fresh system's own throwaway tracer (recovery must not
         // double-count the replayed commits), which is discarded on success.
+        let rebuild_clock = std::time::Instant::now();
         let mut fresh = (self.make)();
         fresh.set_record_trace(true);
         fresh.obs_mut().set_record_events(false);
+        let mut restored = 0u64;
         if let Some(cp) = &recovered.checkpoint {
             for (obj, state) in &cp.states {
                 fresh.restore_committed(*obj, state.clone());
+                restored += 1;
             }
         }
+        let rebuild_ns = rebuild_clock.elapsed().as_nanos() as u64;
+        let replay_clock = std::time::Instant::now();
         let replayed = recovered.records.len();
         for (ri, rec) in recovered.records.iter().enumerate() {
             let t = fresh.begin();
@@ -573,9 +611,13 @@ where
         // Replay succeeded: move the surviving tracer over, record the scan
         // evidence and the recovery on it (on `Err` above the pre-crash
         // system is left in place, preserving all-or-nothing recovery).
+        let replay_ns = replay_clock.elapsed().as_nanos() as u64;
         let mut obs = self.sys.take_obs();
         emit_scan(&mut obs, &recovered.scan);
+        obs.on_phase(Phase::Rebuild, restored, rebuild_ns);
+        obs.on_phase(Phase::Replay, replayed as u64, replay_ns);
         obs.on_recovery(replayed);
+        obs.on_phase(Phase::RecoveryTotal, attempt_ops, wall.elapsed().as_nanos() as u64);
         fresh.set_obs(obs);
         // Floors come from the log, not from pre-crash process memory.
         fresh.reserve_txn_ids(recovered.txn_floor);
@@ -906,6 +948,12 @@ fn emit_scan(obs: &mut Tracer, scan: &ScanReport) {
         };
         obs.on_corruption(kind, d.sector());
     }
+    // The per-stage splits from the scan: units are checked device ops
+    // (zero for the mem backend, which has no device), wall time rides
+    // along when the wall clock is enabled.
+    obs.on_phase(Phase::Scan, scan.scan_ops, scan.scan_ns);
+    obs.on_phase(Phase::Classify, scan.classify_ops, scan.classify_ns);
+    obs.on_phase(Phase::Repair, scan.repair_ops, scan.repair_ns);
     obs.on_segment_scan(scan.segments, scan.frames, scan.sectors, || scan.damage.to_string());
 }
 

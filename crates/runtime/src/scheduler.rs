@@ -15,6 +15,7 @@ use rand::SeedableRng;
 use ccr_core::adt::Adt;
 use ccr_core::conflict::Conflict;
 use ccr_core::ids::TxnId;
+use ccr_obs::Phase;
 
 use crate::engine::RecoveryEngine;
 use crate::error::{AbortReason, TxnError};
@@ -298,18 +299,25 @@ where
             }
             Err(e) => panic!("script error: {e}"),
         },
-        Step::Commit => match sys.commit(txn) {
-            Ok(()) => {
-                d.done = true;
-                d.committed = true;
-                true
+        Step::Commit => {
+            // Volatile runs still get a commit-total phase window: here it
+            // covers exactly the validate+apply work (no journal below us).
+            let total = sys.obs_mut().span_begin(Phase::CommitTotal);
+            let outcome = sys.commit(txn);
+            sys.obs_mut().span_end(total);
+            match outcome {
+                Ok(()) => {
+                    d.done = true;
+                    d.committed = true;
+                    true
+                }
+                Err(TxnError::Aborted(_)) => {
+                    restart(d, cfg, report, sys.stats().committed);
+                    true
+                }
+                Err(e) => panic!("commit error: {e}"),
             }
-            Err(TxnError::Aborted(_)) => {
-                restart(d, cfg, report, sys.stats().committed);
-                true
-            }
-            Err(e) => panic!("commit error: {e}"),
-        },
+        }
         Step::Abort => {
             sys.abort(txn).expect("active transaction");
             d.done = true;

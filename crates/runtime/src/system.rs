@@ -24,7 +24,7 @@ use ccr_core::adt::{Adt, Op};
 use ccr_core::conflict::Conflict;
 use ccr_core::history::{Event, History};
 use ccr_core::ids::{ObjectId, TxnId};
-use ccr_obs::{AbortCause, Tracer, WaitGraph};
+use ccr_obs::{AbortCause, Phase, Tracer, WaitGraph};
 
 use crate::engine::RecoveryEngine;
 use crate::error::{AbortReason, RecoveryError, TxnError};
@@ -58,6 +58,19 @@ impl ConflictPolicy {
             ConflictPolicy::NoWait => "no-wait",
         }
     }
+}
+
+/// Render an operation's kind for the observed-conflict matrix: invocation
+/// constructor `->` response constructor — the granularity of the paper's
+/// per-kind conflict tables (e.g. `Withdraw->Ok` and `Withdraw->No` are
+/// distinct operations, distinguished by their response).
+fn op_kind_label<A: Adt>(op: &Op<A>) -> String {
+    fn ctor(s: &str) -> &str {
+        s.split(['(', ' ', '{']).next().unwrap_or(s)
+    }
+    let inv = format!("{:?}", op.inv);
+    let resp = format!("{:?}", op.resp);
+    format!("{}->{}", ctor(&inv), ctor(&resp))
 }
 
 /// A transactional system over objects of a single ADT type `A`, one engine
@@ -253,7 +266,16 @@ impl<A: Adt, E: RecoveryEngine<A>, C: Conflict<A>> TxnSystem<A, E, C> {
         if candidates.is_empty() {
             return Err(TxnError::NoLegalResponse);
         }
+        // The whole conflict check + execute is the lock-acquire phase: an
+        // operation's implicit lock is granted exactly when a response
+        // executes conflict-free (blocked attempts are failed acquisitions).
+        let recording = self.obs.record_events();
+        let lock_span = self.obs.span_begin(Phase::LockAcquire);
         let mut blockers: BTreeSet<TxnId> = BTreeSet::new();
+        // (requested, held) op-kind pairs in conflict, rendered only while
+        // events are recorded, attributed to the conflict matrix when every
+        // candidate response conflicts.
+        let mut pairs: Vec<(String, String)> = Vec::new();
         for (resp, post) in candidates {
             let op = Op::new(inv.clone(), resp.clone());
             let mut conflicting = Vec::new();
@@ -261,7 +283,17 @@ impl<A: Adt, E: RecoveryEngine<A>, C: Conflict<A>> TxnSystem<A, E, C> {
                 if holder == txn {
                     continue;
                 }
-                if ops.iter().any(|held| conflict.conflicts(&op, held)) {
+                let mut hit = false;
+                for held in ops {
+                    if conflict.conflicts(&op, held) {
+                        hit = true;
+                        if !recording {
+                            break;
+                        }
+                        pairs.push((op_kind_label::<A>(&op), op_kind_label::<A>(held)));
+                    }
+                }
+                if hit {
                     conflicting.push(holder);
                 }
             }
@@ -274,6 +306,7 @@ impl<A: Adt, E: RecoveryEngine<A>, C: Conflict<A>> TxnSystem<A, E, C> {
                 o.engine.record(txn, op.clone(), post);
                 o.held.entry(txn).or_default().push(op.clone());
                 self.waits.remove(&txn);
+                self.obs.span_end(lock_span);
                 self.obs.on_op(txn, obj, || rendered.expect("rendered when recording"));
                 if self.record_trace {
                     self.trace
@@ -287,6 +320,11 @@ impl<A: Adt, E: RecoveryEngine<A>, C: Conflict<A>> TxnSystem<A, E, C> {
             }
             blockers.extend(conflicting);
         }
+        // Every legal response conflicted: attribute the exercised pairs
+        // before the policy decides who pays for them.
+        let rendered_pairs = recording.then_some(pairs);
+        self.obs.on_conflict(txn, || rendered_pairs.expect("rendered when recording"));
+        self.obs.span_end(lock_span);
         if self.policy == ConflictPolicy::NoWait {
             self.abort_inner(txn, AbortCause::NoWaitConflict);
             return Err(TxnError::Aborted(AbortReason::ConflictAbort));
@@ -294,6 +332,7 @@ impl<A: Adt, E: RecoveryEngine<A>, C: Conflict<A>> TxnSystem<A, E, C> {
         if self.policy == ConflictPolicy::WoundWait && blockers.iter().all(|b| *b > txn) {
             // Older requester: wound every younger conflicting holder, then
             // retry the invocation against the cleaned lock table.
+            self.obs.on_conflict_wound(txn);
             let victims: Vec<TxnId> = blockers.into_iter().collect();
             for v in victims {
                 let graph = self.obs.record_events().then(|| self.graph_snapshot());
@@ -339,14 +378,18 @@ impl<A: Adt, E: RecoveryEngine<A>, C: Conflict<A>> TxnSystem<A, E, C> {
             .map(|(&obj, _)| obj)
             .collect();
         // Phase 1: validate.
+        let validate_span = self.obs.span_begin(Phase::Validate);
         for &obj in &touched {
             let o = self.objects.get_mut(&obj).expect("touched object exists");
             if o.engine.prepare_commit(txn).is_err() {
+                self.obs.span_end(validate_span);
                 self.abort_inner(txn, AbortCause::Validation);
                 return Err(TxnError::Aborted(AbortReason::Validation));
             }
         }
-        // Phase 2: apply.
+        // Phase 2: apply. The span closes after the commit event so the
+        // validate+apply window and the journal window tile the commit
+        // total exactly (the profiler's tick-coverage check leans on this).
         for &obj in &touched {
             let o = self.objects.get_mut(&obj).expect("touched object exists");
             o.engine.commit(txn);
@@ -358,6 +401,7 @@ impl<A: Adt, E: RecoveryEngine<A>, C: Conflict<A>> TxnSystem<A, E, C> {
         self.active.remove(&txn);
         self.waits.remove(&txn);
         self.obs.on_commit(txn);
+        self.obs.span_end(validate_span);
         Ok(())
     }
 

@@ -27,6 +27,7 @@ use parking_lot::{Condvar, Mutex};
 use ccr_core::adt::{Adt, Op};
 use ccr_core::conflict::Conflict;
 use ccr_core::ids::{ObjectId, TxnId};
+use ccr_obs::Phase;
 use ccr_store::{CommitRecord, LogBackend};
 
 use crate::engine::RecoveryEngine;
@@ -343,6 +344,10 @@ struct Stage<A: Adt> {
     /// Commit-entry→durability latency per acknowledged commit (unsorted;
     /// workers push on acknowledgement).
     latencies_us: Vec<u64>,
+    /// Wall nanoseconds each follower spent parked on the commit barrier
+    /// (one sample per committer that had to wait), replayed into the
+    /// tracer's `BarrierWait` phase post-join.
+    barrier_ns: Vec<u64>,
 }
 
 struct DurableShared<A, E, C, B>
@@ -402,6 +407,7 @@ where
             leader: false,
             flushes: Vec::new(),
             latencies_us: Vec::new(),
+            barrier_ns: Vec::new(),
         }),
         durable: Condvar::new(),
         backend: Mutex::new(backend),
@@ -421,9 +427,20 @@ where
     let t = shared.tallies.into_inner();
     let stage = shared.stage.into_inner();
     // Replay the flush log into the tracer: one group_flush event per fsync
-    // feeds the batch-size and flush-latency histograms.
+    // feeds the batch-size and flush-latency histograms, and one `Fsync`
+    // phase sample per fsync feeds the per-phase profile. Barrier-park and
+    // commit-entry→durable latencies become `BarrierWait` / `CommitTotal`
+    // samples (wall stamps survive only when `cfg.wall_clock` armed the
+    // tracer's wall epoch, so deterministic runs stay byte-identical).
     for &(batch, micros) in &stage.flushes {
         vol.sys.obs_mut().on_group_flush(batch, micros);
+        vol.sys.obs_mut().on_phase(Phase::Fsync, batch, micros * 1_000);
+    }
+    for &ns in &stage.barrier_ns {
+        vol.sys.obs_mut().on_phase(Phase::BarrierWait, 1, ns);
+    }
+    for &us in &stage.latencies_us {
+        vol.sys.obs_mut().on_phase(Phase::CommitTotal, 1, us * 1_000);
     }
     let report = report_from(&t, &vol.sys);
     let mut latencies = stage.latencies_us;
@@ -484,6 +501,7 @@ fn make_durable<A, E, C, B>(
     stage.staged.push(rec);
     stage.seq += 1;
     let my_seq = stage.seq;
+    let mut waited_ns = 0u64;
     while stage.durable < my_seq {
         if !stage.leader && !stage.staged.is_empty() {
             stage.leader = true;
@@ -530,8 +548,13 @@ fn make_durable<A, E, C, B>(
             stage.leader = false;
             shared.durable.notify_all();
         } else {
+            let parked = Instant::now();
             shared.durable.wait(&mut stage);
+            waited_ns += parked.elapsed().as_nanos() as u64;
         }
+    }
+    if waited_ns > 0 {
+        stage.barrier_ns.push(waited_ns);
     }
     let latency = entered.elapsed().as_micros() as u64;
     stage.latencies_us.push(latency);

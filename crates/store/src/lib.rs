@@ -32,6 +32,7 @@
 pub mod backend;
 pub mod codec;
 pub mod disk;
+pub mod inspect;
 pub mod wal;
 
 pub use backend::{
@@ -41,6 +42,7 @@ pub use backend::{
 };
 pub use codec::{crc32, Persist};
 pub use disk::{DiskError, DiskImage, DiskStats, SectorRead, SimDisk};
+pub use inspect::{inspect_wal, BatchRun, FrameInfo, SegmentInfo, WalInspection};
 pub use wal::{
     build_frame, check_frame, decode_batch, encode_batch, BatchMeta, SegHeader, WalBackend,
     WalConfig,

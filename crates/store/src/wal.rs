@@ -109,16 +109,16 @@ impl Default for WalConfig {
     }
 }
 
-const MAGIC: u32 = u32::from_le_bytes(*b"CCRF");
-const KIND_SEG_HEADER: u8 = 1;
-const KIND_COMMIT: u8 = 2;
-const KIND_CHECKPOINT: u8 = 3;
-const KIND_BATCH: u8 = 4;
+pub(crate) const MAGIC: u32 = u32::from_le_bytes(*b"CCRF");
+pub(crate) const KIND_SEG_HEADER: u8 = 1;
+pub(crate) const KIND_COMMIT: u8 = 2;
+pub(crate) const KIND_CHECKPOINT: u8 = 3;
+pub(crate) const KIND_BATCH: u8 = 4;
 /// magic(4) + kind(1) + len(4) + crc(4).
-const FRAME_OVERHEAD: usize = 13;
+pub(crate) const FRAME_OVERHEAD: usize = 13;
 /// epoch(8) + seg_index(8) + requires_checkpoint(1) + txn_floor(4) +
 /// next_exec_seq(8) + five `StoreStats` counters (40).
-const HEADER_PAYLOAD: usize = 69;
+pub(crate) const HEADER_PAYLOAD: usize = 69;
 
 /// Build a sector-aligned CRC'd frame around `payload`. Public (with
 /// [`check_frame`]) as the wire-format test surface: the corruption property
@@ -383,7 +383,7 @@ where
     out
 }
 
-fn decode_commit<A>(payload: &[u8]) -> Option<CommitRecord<A>>
+pub(crate) fn decode_commit<A>(payload: &[u8]) -> Option<CommitRecord<A>>
 where
     A: Adt,
     A::Invocation: Persist,
@@ -469,7 +469,7 @@ where
     out
 }
 
-fn decode_checkpoint<A>(payload: &[u8]) -> Option<CheckpointImage<A>>
+pub(crate) fn decode_checkpoint<A>(payload: &[u8]) -> Option<CheckpointImage<A>>
 where
     A: Adt,
     A::State: Persist,
@@ -574,6 +574,13 @@ where
     /// that target the disk itself (e.g. misdirected writes).
     pub fn disk_mut(&mut self) -> &mut SimDisk {
         &mut self.disk
+    }
+
+    /// Read-only access to the underlying device — the offline forensic
+    /// inspector ([`crate::inspect`]) walks the durable image through this
+    /// without ticking a single checked device op.
+    pub fn disk(&self) -> &SimDisk {
+        &self.disk
     }
 
     pub fn config(&self) -> WalConfig {
@@ -949,6 +956,13 @@ where
     }
 
     fn recover(&mut self, policy: TailPolicy) -> Result<RecoveredLog<A>, StoreFailure> {
+        // Stage accounting: every checked device op of this attempt lands in
+        // exactly one of the scan / classify / repair windows, so the three
+        // `*_ops` fields tile the attempt's device-op delta (the profiler's
+        // recovery-coverage check relies on that). Wall time rides along but
+        // is excluded from report equality.
+        let scan_clock = std::time::Instant::now();
+        let scan_ops0 = self.disk.device_ops();
         let seg_sectors = self.cfg.seg_sectors;
         let header_sectors = self.header_sectors();
         let mut segs: Vec<u64> = self.disk.durable_sectors().map(|s| s / seg_sectors).collect();
@@ -956,19 +970,24 @@ where
 
         let mut report = ScanReport {
             segments: segs.len() as u64,
-            frames: 0,
             sectors: self.disk.durable_sectors().count() as u64,
-            detections: Vec::new(),
             damage: "clean",
+            ..ScanReport::default()
         };
 
         if segs.is_empty() {
             // Nothing durable at all: cold start on a fresh medium.
+            report.scan_ops = self.disk.device_ops() - scan_ops0;
+            report.scan_ns = scan_clock.elapsed().as_nanos() as u64;
             self.detected.recoveries += 1;
             self.stats = self.detected;
             self.detected = StoreStats::default();
             self.seen_damage.clear();
+            let repair_clock = std::time::Instant::now();
+            let repair_ops0 = self.disk.device_ops();
             self.write_header().map_err(StoreFailure::device)?;
+            report.repair_ops = self.disk.device_ops() - repair_ops0;
+            report.repair_ns = repair_clock.elapsed().as_nanos() as u64;
             return Ok(RecoveredLog {
                 checkpoint: None,
                 records: Vec::new(),
@@ -1001,6 +1020,8 @@ where
                             note_detection(&mut self.detected, &mut self.seen_damage, &d);
                             report.detections.push(d);
                             report.damage = "corrupt-header";
+                            report.scan_ops = self.disk.device_ops() - scan_ops0;
+                            report.scan_ns = scan_clock.elapsed().as_nanos() as u64;
                             return Err(StoreFailure {
                                 report,
                                 kind: StoreFailureKind::Corrupt { sector: base },
@@ -1017,6 +1038,8 @@ where
                     note_detection(&mut self.detected, &mut self.seen_damage, &d);
                     report.detections.push(d);
                     report.damage = "corrupt-header";
+                    report.scan_ops = self.disk.device_ops() - scan_ops0;
+                    report.scan_ns = scan_clock.elapsed().as_nanos() as u64;
                     return Err(StoreFailure {
                         report,
                         kind: StoreFailureKind::Corrupt { sector: base },
@@ -1113,14 +1136,21 @@ where
             }
         }
 
+        report.scan_ops = self.disk.device_ops() - scan_ops0;
+        report.scan_ns = scan_clock.elapsed().as_nanos() as u64;
+
         // Whether DiscardTail truncated damage this scan: the trailing-batch
         // fold below must then repair a surviving batch prefix *without*
         // counting a second detection for the same physical fault.
         let mut discarded = false;
         if let Some((at, _, strict_kind)) = damage {
             let seg_idx = at / seg_sectors;
+            let classify_clock = std::time::Instant::now();
+            let classify_ops0 = self.disk.device_ops();
             let probe =
                 self.probe_beyond_damage(&segs, seg_idx, at).map_err(StoreFailure::device)?;
+            report.classify_ops = self.disk.device_ops() - classify_ops0;
+            report.classify_ns = classify_clock.elapsed().as_nanos() as u64;
             match probe {
                 // A tear or hole whose entire valid remainder belongs to one
                 // single batch: one interrupted group flush. Its records were
@@ -1135,12 +1165,16 @@ where
                             return Err(StoreFailure { report, kind: strict_kind });
                         }
                         TailPolicy::DiscardTail => {
+                            let repair_clock = std::time::Instant::now();
+                            let repair_ops0 = self.disk.device_ops();
                             let doomed: Vec<u64> =
                                 self.disk.durable_sectors().filter(|&s| s >= at).collect();
                             for s in doomed {
                                 delete_retried(&mut self.disk, self.retry, &mut self.retries, s)
                                     .map_err(StoreFailure::device)?;
                             }
+                            report.repair_ops += self.disk.device_ops() - repair_ops0;
+                            report.repair_ns += repair_clock.elapsed().as_nanos() as u64;
                             discarded = true;
                         }
                     }
@@ -1163,12 +1197,16 @@ where
                             return Err(StoreFailure { report, kind: strict_kind });
                         }
                         TailPolicy::DiscardTail => {
+                            let repair_clock = std::time::Instant::now();
+                            let repair_ops0 = self.disk.device_ops();
                             let doomed: Vec<u64> =
                                 self.disk.durable_sectors().filter(|&s| s >= at).collect();
                             for s in doomed {
                                 delete_retried(&mut self.disk, self.retry, &mut self.retries, s)
                                     .map_err(StoreFailure::device)?;
                             }
+                            report.repair_ops += self.disk.device_ops() - repair_ops0;
+                            report.repair_ns += repair_clock.elapsed().as_nanos() as u64;
                             discarded = true;
                         }
                     }
@@ -1238,6 +1276,8 @@ where
                         // width, so no frame changes its sector footprint;
                         // the header fsync at the end of this recovery makes
                         // the rewrites durable.
+                        let repair_clock = std::time::Instant::now();
+                        let repair_ops0 = self.disk.device_ops();
                         let first = frames.len() - next as usize;
                         for (i, f) in frames[first..].iter().enumerate() {
                             let ScannedFrame::Commit { rec, .. } = f else { unreachable!() };
@@ -1253,6 +1293,8 @@ where
                             )
                             .map_err(StoreFailure::device)?;
                         }
+                        report.repair_ops += self.disk.device_ops() - repair_ops0;
+                        report.repair_ns += repair_clock.elapsed().as_nanos() as u64;
                     }
                 }
             }
@@ -1314,7 +1356,11 @@ where
         self.seen_damage.clear();
         self.seg = end.0;
         self.head = end.1;
+        let repair_clock = std::time::Instant::now();
+        let repair_ops0 = self.disk.device_ops();
         self.write_header().map_err(StoreFailure::device)?;
+        report.repair_ops += self.disk.device_ops() - repair_ops0;
+        report.repair_ns += repair_clock.elapsed().as_nanos() as u64;
 
         Ok(RecoveredLog {
             checkpoint,
@@ -1532,6 +1578,52 @@ where
 
     fn name(&self) -> &'static str {
         "disk"
+    }
+
+    fn wal_inspection(&self) -> Option<String> {
+        Some(crate::inspect::inspect_wal::<A>(&self.disk, &self.cfg).to_json())
+    }
+
+    fn inspection_agrees_with_recovery(&self, policy: TailPolicy) -> Option<Result<(), String>> {
+        let ins = crate::inspect::inspect_wal::<A>(&self.disk, &self.cfg);
+        let mut probe = self.clone();
+        probe.crash();
+        let check = match probe.recover(policy) {
+            Ok(out) => [
+                (ins.damage != out.scan.damage)
+                    .then(|| format!("damage: {} vs {}", ins.damage, out.scan.damage)),
+                (ins.frames != out.scan.frames)
+                    .then(|| format!("frames: {} vs {}", ins.frames, out.scan.frames)),
+                (ins.sectors != out.scan.sectors)
+                    .then(|| format!("sectors: {} vs {}", ins.sectors, out.scan.sectors)),
+                (ins.detections != out.scan.detections).then(|| "detections differ".to_string()),
+                (ins.txn_floor != out.txn_floor)
+                    .then(|| format!("txn_floor: {} vs {}", ins.txn_floor, out.txn_floor)),
+                (ins.next_exec_seq != out.next_exec_seq).then(|| {
+                    format!("next_exec_seq: {} vs {}", ins.next_exec_seq, out.next_exec_seq)
+                }),
+                (ins.replay_records != out.records.len() as u64).then(|| {
+                    format!("replay_records: {} vs {}", ins.replay_records, out.records.len())
+                }),
+            ]
+            .into_iter()
+            .flatten()
+            .next(),
+            Err(fail) => [
+                (ins.damage != fail.report.damage).then(|| {
+                    format!("damage on refusal: {} vs {}", ins.damage, fail.report.damage)
+                }),
+                (ins.detections != fail.report.detections)
+                    .then(|| "detections differ on refusal".to_string()),
+            ]
+            .into_iter()
+            .flatten()
+            .next(),
+        };
+        Some(match check {
+            Some(msg) => Err(msg),
+            None => Ok(()),
+        })
     }
 }
 

@@ -128,6 +128,82 @@ impl BenchReport {
     }
 }
 
+/// Extract the flat object following `"key":{` (the bench sides have no
+/// nested braces, so the first `}` closes it).
+fn side_object<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\":{{");
+    let start = json.find(&tag)? + tag.len();
+    let end = json[start..].find('}')? + start;
+    Some(&json[start..end])
+}
+
+/// Extract a numeric field from a flat JSON object fragment.
+fn num_field(obj: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\":");
+    let start = obj.find(&tag)? + tag.len();
+    let rest = &obj[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// The perf-regression guard: check a fresh benchmark run against the
+/// committed baseline JSON (`reports/BENCH_profile.json`). The bounds are
+/// deliberately loose — absolute latencies drift with the machine, the CI
+/// runner included — and pin only what a regression would break:
+///
+/// * the workload completes (committed counts equal the baseline's);
+/// * group commit still amortises fsyncs (`commits_per_fsync ≥ 1` and at
+///   least half the committed figure);
+/// * grouped p99 commit latency stays within 2× the *same run's* baseline
+///   side (the tentpole acceptance bound, machine-relative by design).
+///
+/// Returns the list of violated bounds (empty = pass). `Err` means the
+/// baseline file no longer parses against the pinned schema — schema drift
+/// fails the guard outright rather than vacuously passing.
+pub fn guard_violations(current: &BenchReport, baseline_json: &str) -> Result<Vec<String>, String> {
+    let base = side_object(baseline_json, "baseline")
+        .ok_or("baseline JSON lacks a \"baseline\" object (schema drift?)")?;
+    let grouped = side_object(baseline_json, "grouped")
+        .ok_or("baseline JSON lacks a \"grouped\" object (schema drift?)")?;
+    let want = |obj: &str, key: &str| {
+        num_field(obj, key).ok_or_else(|| format!("baseline JSON lacks numeric {key:?}"))
+    };
+    let base_committed = want(base, "committed")?;
+    let grouped_committed = want(grouped, "committed")?;
+    let grouped_cpf = want(grouped, "commits_per_fsync")?;
+
+    let mut violations = Vec::new();
+    if current.baseline.committed as f64 != base_committed {
+        violations.push(format!(
+            "baseline committed {} != recorded {}",
+            current.baseline.committed, base_committed
+        ));
+    }
+    if current.grouped.committed as f64 != grouped_committed {
+        violations.push(format!(
+            "grouped committed {} != recorded {}",
+            current.grouped.committed, grouped_committed
+        ));
+    }
+    if current.grouped.commits_per_fsync < 1.0 {
+        violations.push(format!(
+            "group commit no longer amortises: {:.3} commits/fsync",
+            current.grouped.commits_per_fsync
+        ));
+    }
+    if current.grouped.commits_per_fsync < grouped_cpf / 2.0 {
+        violations.push(format!(
+            "commits/fsync regressed: {:.3} < half of recorded {:.3}",
+            current.grouped.commits_per_fsync, grouped_cpf
+        ));
+    }
+    let p99_ratio = current.p99_ratio();
+    if p99_ratio.is_nan() || p99_ratio > 2.0 {
+        violations.push(format!("grouped/baseline p99 ratio {p99_ratio:.3} > 2.0"));
+    }
+    Ok(violations)
+}
+
 fn percentile(sorted_us: &[u64], q: f64) -> u64 {
     if sorted_us.is_empty() {
         return 0;
@@ -197,6 +273,26 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"commits_per_fsync\""));
         assert!(json.contains("\"p99_ratio\""));
+    }
+
+    #[test]
+    fn guard_passes_its_own_report_and_flags_regressions() {
+        let cfg = BenchCfg { txns: 32, flush_delay_us: 300, ..Default::default() };
+        let report = run_bench(&cfg);
+        let json = report.to_json();
+        assert_eq!(guard_violations(&report, &json), Ok(Vec::new()));
+
+        // A run that stopped amortising or lost commits must trip bounds.
+        let mut broken = report.clone();
+        broken.grouped.commits_per_fsync = 0.9;
+        broken.grouped.committed -= 1;
+        let violations = guard_violations(&broken, &json).unwrap();
+        assert!(violations.iter().any(|v| v.contains("no longer amortises")), "{violations:?}");
+        assert!(violations.iter().any(|v| v.contains("grouped committed")), "{violations:?}");
+
+        // Schema drift in the committed baseline fails, not vacuously passes.
+        assert!(guard_violations(&report, "{}").is_err());
+        assert!(guard_violations(&report, &json.replace("commits_per_fsync", "cpf")).is_err());
     }
 
     #[test]

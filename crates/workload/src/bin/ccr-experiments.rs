@@ -18,13 +18,29 @@
 //!
 //! # Group-commit durability benchmark (see DESIGN.md §10, EXPERIMENTS.md S4):
 //! ccr-experiments bench --out reports/BENCH_group_commit.json
+//!
+//! # Contention & recovery profiler (see DESIGN.md §13, EXPERIMENTS.md S7):
+//! # schema-pinned, seed-deterministic profile JSON + flamegraph summary.
+//! ccr-experiments profile --combo uip-nrbc --seed 7 --out profile.json
+//! ccr-experiments profile --combo escrow-du-nfc --seed 3 --flame flame.txt
+//!
+//! # WAL forensics: offline segment/frame/damage dump of the run's final
+//! # device image, cross-checked against recovery's own classification.
+//! ccr-experiments inspect --combo uip-nrbc --seed 7 --group-commit
+//! ccr-experiments inspect --combo uip-nrbc --seed 7 --check --out wal.json
+//!
+//! # Regenerate the checked-in markdown report:
+//! ccr-experiments report --out reports/experiment_report.md
+//!
+//! # Perf-regression guard (CI): fresh bench run vs committed bounds.
+//! ccr-experiments bench --guard reports/BENCH_profile.json
 //! ```
 
 use std::process::ExitCode;
 
 use ccr_mc::{McBackendKind, McConfig, McTrace};
 use ccr_runtime::fault::FaultPlan;
-use ccr_workload::bench::{run_bench, BenchCfg};
+use ccr_workload::bench::{guard_violations, run_bench, BenchCfg};
 use ccr_workload::experiments;
 use ccr_workload::harness::json_string;
 use ccr_workload::sim::{
@@ -81,6 +97,58 @@ fn main() -> ExitCode {
             }
         };
     }
+    if args.first().map(String::as_str) == Some("profile") {
+        return match profile_main(&args[1..]) {
+            Ok(code) => code,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!(
+                    "usage: ccr-experiments profile --combo <uip-nrbc|du-nfc|uip-sym-nfc|escrow-uip-nrbc|escrow-du-nfc>"
+                );
+                eprintln!(
+                    "           [--policy block|wound|nowait] [--seed N] [--txns N] [--ops N]"
+                );
+                eprintln!("           [--objects N] [--skip i,j,...] [--faults SPEC|none]");
+                eprintln!("           [--backend disk|mem] [--ckpt N] [--group-commit]");
+                eprintln!("           [--fault-during-recovery]");
+                eprintln!("           [--out profile.json] [--flame flame.txt]");
+                eprintln!("without --out the profile JSON goes to stdout");
+                ExitCode::from(2)
+            }
+        };
+    }
+    if args.first().map(String::as_str) == Some("inspect") {
+        return match inspect_main(&args[1..]) {
+            Ok(code) => code,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!(
+                    "usage: ccr-experiments inspect --combo <uip-nrbc|du-nfc|uip-sym-nfc|escrow-uip-nrbc|escrow-du-nfc>"
+                );
+                eprintln!(
+                    "           [--policy block|wound|nowait] [--seed N] [--txns N] [--ops N]"
+                );
+                eprintln!("           [--objects N] [--skip i,j,...] [--faults SPEC|none]");
+                eprintln!("           [--ckpt N] [--group-commit] [--fault-during-recovery]");
+                eprintln!("           [--out wal.json] [--check]");
+                eprintln!("without --out the WAL inspection JSON goes to stdout;");
+                eprintln!(
+                    "--check cross-checks the inspector against recovery (exit 1 on disagreement)"
+                );
+                ExitCode::from(2)
+            }
+        };
+    }
+    if args.first().map(String::as_str) == Some("report") {
+        return match report_main(&args[1..]) {
+            Ok(code) => code,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!("usage: ccr-experiments report [--out reports/experiment_report.md]");
+                ExitCode::from(2)
+            }
+        };
+    }
     if args.first().map(String::as_str) == Some("bench") {
         return match bench_main(&args[1..]) {
             Ok(code) => code,
@@ -88,7 +156,11 @@ fn main() -> ExitCode {
                 eprintln!("error: {msg}");
                 eprintln!("usage: ccr-experiments bench [--txns N] [--ops N] [--objects N]");
                 eprintln!("           [--workers N] [--flush-delay-us N] [--seed N] [--out FILE]");
-                eprintln!("without --out the report JSON goes to stdout");
+                eprintln!("           [--guard BASELINE.json]");
+                eprintln!("without --out the report JSON goes to stdout;");
+                eprintln!(
+                    "--guard checks the run against the committed bounds (exit 1 on regression)"
+                );
                 ExitCode::from(2)
             }
         };
@@ -256,26 +328,10 @@ fn sim_main(args: &[String]) -> Result<ExitCode, String> {
     while let Some(flag) = it.next() {
         let mut value =
             || it.next().map(String::as_str).ok_or_else(|| format!("{flag} needs a value"));
+        if scenario_flag(flag, &mut value, &mut scenario, &mut combo)? {
+            continue;
+        }
         match flag.as_str() {
-            "--combo" => combo = Some(value()?.parse()?),
-            "--policy" => scenario.policy = parse_policy(value()?)?,
-            "--seed" => scenario.seed = parse_num(flag, value()?)?,
-            "--txns" => scenario.txns = parse_num(flag, value()?)?,
-            "--ops" => scenario.ops_per_txn = parse_num(flag, value()?)?,
-            "--objects" => scenario.objects = parse_num(flag, value()?)?,
-            "--skip" => {
-                scenario.skip = value()?
-                    .split(',')
-                    .map(|s| parse_num("--skip", s.trim()))
-                    .collect::<Result<_, _>>()?;
-            }
-            "--faults" => {
-                scenario.plan = value()?.parse().map_err(|e| format!("{e}"))?;
-            }
-            "--backend" => scenario.backend = value()?.parse::<Backend>()?,
-            "--ckpt" => scenario.checkpoint_every = Some(parse_num(flag, value()?)?),
-            "--group-commit" => scenario.group_commit = true,
-            "--fault-during-recovery" => scenario.fault_during_recovery = true,
             "--sweep" => sweep_seeds = Some(parse_num(flag, value()?)?),
             "--horizon" => horizon = parse_num(flag, value()?)?,
             "--fault-count" => fault_count = parse_num(flag, value()?)?,
@@ -507,26 +563,10 @@ fn trace_main(args: &[String]) -> Result<ExitCode, String> {
     while let Some(flag) = it.next() {
         let mut value =
             || it.next().map(String::as_str).ok_or_else(|| format!("{flag} needs a value"));
+        if scenario_flag(flag, &mut value, &mut scenario, &mut combo)? {
+            continue;
+        }
         match flag.as_str() {
-            "--combo" => combo = Some(value()?.parse()?),
-            "--policy" => scenario.policy = parse_policy(value()?)?,
-            "--seed" => scenario.seed = parse_num(flag, value()?)?,
-            "--txns" => scenario.txns = parse_num(flag, value()?)?,
-            "--ops" => scenario.ops_per_txn = parse_num(flag, value()?)?,
-            "--objects" => scenario.objects = parse_num(flag, value()?)?,
-            "--skip" => {
-                scenario.skip = value()?
-                    .split(',')
-                    .map(|s| parse_num("--skip", s.trim()))
-                    .collect::<Result<_, _>>()?;
-            }
-            "--faults" => {
-                scenario.plan = value()?.parse().map_err(|e| format!("{e}"))?;
-            }
-            "--backend" => scenario.backend = value()?.parse::<Backend>()?,
-            "--ckpt" => scenario.checkpoint_every = Some(parse_num(flag, value()?)?),
-            "--group-commit" => scenario.group_commit = true,
-            "--fault-during-recovery" => scenario.fault_during_recovery = true,
             "--out" => out = Some(value()?.to_string()),
             "--flame" => flame = Some(value()?.to_string()),
             "--metrics" => metrics = Some(value()?.to_string()),
@@ -570,6 +610,152 @@ fn trace_main(args: &[String]) -> Result<ExitCode, String> {
     })
 }
 
+/// Parse and run the `profile` subcommand: run one scenario with full event
+/// recording and emit the schema-pinned profile JSON — per-phase
+/// commit/recovery histograms with coverage fractions, the observed-conflict
+/// matrix, and the ADT's static admitted-concurrency tables (see DESIGN.md
+/// §13, EXPERIMENTS.md S7). The document is byte-identical across runs of
+/// the same scenario. Exit code 0 when the oracle passed, 1 when it failed —
+/// the profile is written either way, and carries the verdict.
+fn profile_main(args: &[String]) -> Result<ExitCode, String> {
+    let mut combo: Option<Combo> = None;
+    let mut scenario = SimScenario::new(Combo::UipNrbc, 0, FaultPlan::none());
+    let mut out: Option<String> = None;
+    let mut flame: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value =
+            || it.next().map(String::as_str).ok_or_else(|| format!("{flag} needs a value"));
+        if scenario_flag(flag, &mut value, &mut scenario, &mut combo)? {
+            continue;
+        }
+        match flag.as_str() {
+            "--out" => out = Some(value()?.to_string()),
+            "--flame" => flame = Some(value()?.to_string()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    scenario.combo = combo.ok_or("missing --combo")?;
+
+    let (result, artifacts) = run_scenario_traced(&scenario);
+    match &out {
+        Some(path) => {
+            std::fs::write(path, format!("{}\n", artifacts.profile))
+                .map_err(|e| format!("write {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        None => println!("{}", artifacts.profile),
+    }
+    if let Some(path) = &flame {
+        std::fs::write(path, &artifacts.flame).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(match result {
+        Ok(report) => {
+            eprintln!(
+                "oracle passed: {} (committed {}, events {}, faults {})",
+                scenario.reproducer(),
+                report.committed,
+                report.events,
+                report.faults_injected,
+            );
+            ExitCode::SUCCESS
+        }
+        Err(failure) => {
+            eprintln!("oracle FAILED: {failure}");
+            ExitCode::FAILURE
+        }
+    })
+}
+
+/// Parse and run the `inspect` subcommand: run one scenario and dump the
+/// offline WAL inspection of its final device image — segment map, frame
+/// listing, damage classification (see DESIGN.md §13). With `--check` the
+/// inspector's verdict is cross-checked against what recovery itself
+/// concludes on the same image (and on a copy with its last flush re-torn);
+/// disagreement exits 1. The oracle verdict goes to stderr but does not set
+/// the exit code — a failing run's WAL is exactly the one worth inspecting.
+fn inspect_main(args: &[String]) -> Result<ExitCode, String> {
+    let mut combo: Option<Combo> = None;
+    let mut scenario = SimScenario::new(Combo::UipNrbc, 0, FaultPlan::none());
+    let mut out: Option<String> = None;
+    let mut check = false;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value =
+            || it.next().map(String::as_str).ok_or_else(|| format!("{flag} needs a value"));
+        if scenario_flag(flag, &mut value, &mut scenario, &mut combo)? {
+            continue;
+        }
+        match flag.as_str() {
+            "--out" => out = Some(value()?.to_string()),
+            "--check" => check = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    scenario.combo = combo.ok_or("missing --combo")?;
+
+    let (result, artifacts) = run_scenario_traced(&scenario);
+    let inspection = artifacts
+        .inspection
+        .ok_or("no WAL image to inspect (the mem backend keeps no log; use --backend disk)")?;
+    match &out {
+        Some(path) => {
+            std::fs::write(path, format!("{inspection}\n"))
+                .map_err(|e| format!("write {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        None => println!("{inspection}"),
+    }
+    if let Err(failure) = &result {
+        eprintln!("note: oracle FAILED on this run: {failure}");
+    }
+    if check {
+        return Ok(match artifacts.inspect_agreement {
+            Some(Ok(())) => {
+                eprintln!("inspector agrees with recovery (final image and re-torn tail)");
+                ExitCode::SUCCESS
+            }
+            Some(Err(msg)) => {
+                eprintln!("inspector DISAGREES with recovery: {msg}");
+                ExitCode::FAILURE
+            }
+            None => {
+                eprintln!("--check needs a disk-backed run");
+                ExitCode::FAILURE
+            }
+        });
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Parse and run the `report` subcommand: regenerate the full markdown
+/// experiment report, byte-for-byte as committed at
+/// `reports/experiment_report.md`.
+fn report_main(args: &[String]) -> Result<ExitCode, String> {
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value =
+            || it.next().map(String::as_str).ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--out" => out = Some(value()?.to_string()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    let md = experiments::report_markdown();
+    match &out {
+        Some(path) => {
+            std::fs::write(path, &md).map_err(|e| format!("write {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        None => print!("{md}"),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 /// Parse and run the `bench` subcommand: the group-commit durability
 /// benchmark (per-commit-fsync baseline vs batched group flushes over the
 /// same workload). Writes the JSON report to `--out` or stdout and prints a
@@ -579,6 +765,7 @@ fn trace_main(args: &[String]) -> Result<ExitCode, String> {
 fn bench_main(args: &[String]) -> Result<ExitCode, String> {
     let mut cfg = BenchCfg::default();
     let mut out: Option<String> = None;
+    let mut guard: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -592,10 +779,18 @@ fn bench_main(args: &[String]) -> Result<ExitCode, String> {
             "--flush-delay-us" => cfg.flush_delay_us = parse_num(flag, value()?)?,
             "--seed" => cfg.seed = parse_num(flag, value()?)?,
             "--out" => out = Some(value()?.to_string()),
+            "--guard" => guard = Some(value()?.to_string()),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
 
+    // Read the guard baseline before writing --out: pointing both at the
+    // same file must judge the run against the *committed* bounds, not the
+    // fresh figures about to replace them.
+    let guard_baseline = match &guard {
+        Some(path) => Some(std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?),
+        None => None,
+    };
     let report = run_bench(&cfg);
     let json = report.to_json();
     match &out {
@@ -622,13 +817,62 @@ fn bench_main(args: &[String]) -> Result<ExitCode, String> {
         report.grouped.p90_us,
         report.grouped.p99_us,
     );
-    let pass = report.grouped.commits_per_fsync > 1.0 && report.p99_ratio() <= 2.0;
+    let mut pass = report.grouped.commits_per_fsync > 1.0 && report.p99_ratio() <= 2.0;
     eprintln!(
         "p99 ratio grouped/baseline: {:.3} ({})",
         report.p99_ratio(),
         if pass { "ok" } else { "FAIL" }
     );
+    if let (Some(path), Some(baseline)) = (&guard, &guard_baseline) {
+        match guard_violations(&report, baseline) {
+            Ok(violations) if violations.is_empty() => {
+                eprintln!("guard: within the bounds recorded in {path}");
+            }
+            Ok(violations) => {
+                for v in &violations {
+                    eprintln!("guard violation: {v}");
+                }
+                pass = false;
+            }
+            Err(e) => {
+                eprintln!("guard: baseline {path} unusable (schema drift?): {e}");
+                pass = false;
+            }
+        }
+    }
     Ok(if pass { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+}
+
+/// Parse one shared scenario-shape flag — the `sim`, `trace`, `profile` and
+/// `inspect` subcommands all accept the same run shape. Returns `Ok(false)`
+/// when the flag is not a scenario flag, so the caller can try its own.
+fn scenario_flag<'a>(
+    flag: &str,
+    value: &mut dyn FnMut() -> Result<&'a str, String>,
+    scenario: &mut SimScenario,
+    combo: &mut Option<Combo>,
+) -> Result<bool, String> {
+    match flag {
+        "--combo" => *combo = Some(value()?.parse()?),
+        "--policy" => scenario.policy = parse_policy(value()?)?,
+        "--seed" => scenario.seed = parse_num(flag, value()?)?,
+        "--txns" => scenario.txns = parse_num(flag, value()?)?,
+        "--ops" => scenario.ops_per_txn = parse_num(flag, value()?)?,
+        "--objects" => scenario.objects = parse_num(flag, value()?)?,
+        "--skip" => {
+            scenario.skip = value()?
+                .split(',')
+                .map(|s| parse_num("--skip", s.trim()))
+                .collect::<Result<_, _>>()?;
+        }
+        "--faults" => scenario.plan = value()?.parse().map_err(|e| format!("{e}"))?,
+        "--backend" => scenario.backend = value()?.parse::<Backend>()?,
+        "--ckpt" => scenario.checkpoint_every = Some(parse_num(flag, value()?)?),
+        "--group-commit" => scenario.group_commit = true,
+        "--fault-during-recovery" => scenario.fault_during_recovery = true,
+        _ => return Ok(false),
+    }
+    Ok(true)
 }
 
 fn parse_num<T: std::str::FromStr>(flag: &str, s: &str) -> Result<T, String> {

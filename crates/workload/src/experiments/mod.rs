@@ -13,6 +13,21 @@ pub mod queues;
 pub mod theorems;
 pub mod worked_examples;
 
+/// The full markdown report, byte-for-byte as committed at
+/// `reports/experiment_report.md`: title, regeneration hint, attribution,
+/// then every section from [`run_all`]. The `report` subcommand of
+/// `ccr-experiments` writes exactly this string, so the committed artifact
+/// is regenerable (and CI-diffable) with one command.
+pub fn report_markdown() -> String {
+    format!(
+        "# ccr experiment report\n\n\
+         > Regenerate with `cargo run --release -p ccr-workload --bin ccr-experiments -- \
+         report --out reports/experiment_report.md`.\n\n\
+         Reproduction of Weihl, *The Impact of Recovery on Concurrency Control* (1989).\n\n{}",
+        run_all()
+    )
+}
+
 /// Run every experiment and concatenate the markdown sections.
 pub fn run_all() -> String {
     let mut out = String::new();

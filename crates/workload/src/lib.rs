@@ -14,6 +14,9 @@
 //!   Theorems 9/10, the §6.4/§8 incomparability, the worked examples of
 //!   §3.3/§5) plus the concurrency comparisons; each renders a markdown
 //!   section consumed by `EXPERIMENTS.md` and the `ccr-experiments` binary;
+//! * [`profile`] — the contention & recovery profiler's report assembly:
+//!   per-phase span histograms, observed-conflict attribution, and the
+//!   static admitted-concurrency tables, as one schema-pinned JSON document;
 //! * [`sim`] — fault-injection scenarios over the `ccr-runtime` simulator:
 //!   engine × relation combos (including a deliberately weakened one),
 //!   seed sweeps, and a delta-debugging shrinker that reduces an oracle
@@ -26,4 +29,5 @@ pub mod bench;
 pub mod experiments;
 pub mod gen;
 pub mod harness;
+pub mod profile;
 pub mod sim;

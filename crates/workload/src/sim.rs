@@ -26,7 +26,7 @@ use ccr_runtime::fault::FaultPlan;
 use ccr_runtime::script::Script;
 use ccr_runtime::sim::{run_sim, SimCfg, SimFailure, SimReport, StateInvariant};
 use ccr_runtime::system::ConflictPolicy;
-use ccr_store::{LogBackend, MemBackend, Persist, WalBackend, WalConfig};
+use ccr_store::{LogBackend, MemBackend, Persist, TailPolicy, WalBackend, WalConfig};
 
 use crate::gen::{banking, escrow_mix, WorkloadCfg};
 
@@ -241,8 +241,9 @@ impl SimScenario {
 }
 
 /// Rendered observability artifacts of one traced scenario run: the Chrome
-/// `trace_event` JSON, the folded-stack flame summary, and the metrics
-/// report. All three are byte-deterministic in the scenario.
+/// `trace_event` JSON, the folded-stack flame summary, the metrics report,
+/// the profiler document, and the WAL forensics. All byte-deterministic in
+/// the scenario.
 #[derive(Clone, Debug)]
 pub struct TraceArtifacts {
     /// Chrome `trace_event` JSON (load in `chrome://tracing` / Perfetto).
@@ -251,6 +252,15 @@ pub struct TraceArtifacts {
     pub flame: String,
     /// Labels + counters + histogram percentiles.
     pub metrics: MetricsReport,
+    /// The schema-pinned profile document (see [`crate::profile`]).
+    pub profile: String,
+    /// Offline WAL inspection of the final device image (`None` on the mem
+    /// backend, which has no byte image).
+    pub inspection: Option<String>,
+    /// Whether the offline inspector's classification of the final image —
+    /// and of a deliberately re-torn copy of it — agrees with a real
+    /// `DiscardTail` recovery scan (`None` on the mem backend).
+    pub inspect_agreement: Option<Result<(), String>>,
 }
 
 fn run_combo<A, E, C>(
@@ -331,11 +341,31 @@ where
     };
     let result = run_sim(&mut sys, scripts, &scenario.plan, &cfg, &spec, invariant);
     let artifacts = traced.then(|| {
+        // The forensic leg: the inspector must agree with recovery on the
+        // final image, and on a copy with its last flush re-torn (so every
+        // traced run exercises the damaged-image path too, not just clean).
+        let inspect_agreement =
+            sys.backend().inspection_agrees_with_recovery(TailPolicy::DiscardTail).map(|clean| {
+                clean.and_then(|()| {
+                    let mut torn = sys.backend().clone();
+                    if torn.tear_last_flush(1) {
+                        torn.inspection_agrees_with_recovery(TailPolicy::DiscardTail)
+                            .expect("a tearable backend has an image")
+                            .map_err(|e| format!("after tear: {e}"))
+                    } else {
+                        Ok(())
+                    }
+                })
+            });
+        let inspection = sys.backend().wal_inspection();
         let obs = sys.system().obs();
         TraceArtifacts {
             chrome: chrome_trace(obs),
             flame: flame_summary(obs),
             metrics: obs.metrics_report(),
+            profile: crate::profile::profile_json(scenario, &result, obs),
+            inspection,
+            inspect_agreement,
         }
     });
     (result, artifacts)
@@ -646,7 +676,7 @@ mod tests {
                 continue;
             }
             assert!(
-                sweep(combo, 6, 40, 3, false, false).is_none(),
+                sweep(combo, 6, 40, 3, Backend::Disk, false, false).is_none(),
                 "correct pairing {combo} failed a fault sweep"
             );
         }
@@ -658,7 +688,7 @@ mod tests {
         // flush, so the same sweep now exercises torn *batch* tails.
         for combo in [Combo::UipNrbc, Combo::DuNfc] {
             assert!(
-                sweep(combo, 6, 40, 3, true, false).is_none(),
+                sweep(combo, 6, 40, 3, Backend::Disk, true, false).is_none(),
                 "correct pairing {combo} failed a group-commit fault sweep"
             );
         }
@@ -675,7 +705,7 @@ mod tests {
 
     #[test]
     fn weakened_combo_is_caught_and_shrunk_small() {
-        let fail = sweep(Combo::UipSymNfc, 64, 60, 4, false, false)
+        let fail = sweep(Combo::UipSymNfc, 64, 60, 4, Backend::Disk, false, false)
             .expect("uip-sym-nfc must fail within the sweep");
         // The shrunk reproducer involves at most 3 live transactions.
         assert!(
