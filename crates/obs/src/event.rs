@@ -30,6 +30,8 @@ pub enum AbortCause {
     NoWaitConflict,
     /// Aborted from outside the lock manager (fault injection, drivers).
     External,
+    /// The transaction exceeded its logical-time deadline.
+    Deadline,
 }
 
 impl AbortCause {
@@ -42,6 +44,7 @@ impl AbortCause {
             AbortCause::Wounded => "wounded",
             AbortCause::NoWaitConflict => "nowait",
             AbortCause::External => "external",
+            AbortCause::Deadline => "deadline",
         }
     }
 }
@@ -65,6 +68,10 @@ pub enum FaultCounter {
     TransientIo,
     /// The device was put in the permanent out-of-space condition.
     DiskFull,
+    /// The device was armed to serve checked ops slowly (gray failure).
+    SlowDevice,
+    /// The device was armed to stall fsyncs (gray failure).
+    FsyncStall,
 }
 
 /// What kind of physical log damage recovery's scanner classified.
@@ -213,6 +220,17 @@ pub enum EventKind {
         /// Why the mode changed (rendered lazily; empty when exiting).
         reason: String,
     },
+    /// The admission gate shed a commit: the in-flight journal backlog
+    /// exceeded its bound, so the transaction was cleanly aborted before
+    /// the journal saw it and told to back off.
+    Shed,
+    /// The durable path observed device stall time — the latency surplus
+    /// the gray channels charged since the previous observation (one event
+    /// per commit attempt that paid a stall).
+    Stall {
+        /// Extra logical ticks the device charged beyond healthy service.
+        ticks: u64,
+    },
     /// The recovery-convergence oracle leg ran: recovery was re-executed
     /// with a fresh crash injected at every device-op index and every
     /// eventual outcome matched the baseline.
@@ -277,6 +295,8 @@ impl ObsEvent {
             EventKind::GroupFlush { .. } => "group_flush",
             EventKind::IoRetry { .. } => "io_retry",
             EventKind::Degraded { .. } => "degraded",
+            EventKind::Shed => "shed",
+            EventKind::Stall { .. } => "stall",
             EventKind::ConvergenceCheck { .. } => "convergence_check",
             EventKind::PhaseBegin { .. } => "phase_begin",
             EventKind::PhaseEnd { .. } => "phase_end",
@@ -294,6 +314,8 @@ impl std::fmt::Display for FaultCounter {
             FaultCounter::ReorderedFlush => "reordered_flush",
             FaultCounter::TransientIo => "transient_io",
             FaultCounter::DiskFull => "disk_full",
+            FaultCounter::SlowDevice => "slow_device",
+            FaultCounter::FsyncStall => "fsync_stall",
         };
         write!(f, "{s}")
     }

@@ -214,6 +214,13 @@ pub fn chrome_trace(tracer: &Tracer) -> String {
                 args.push(("reason".into(), json_string(reason)));
                 records.push(chrome_record('i', "degraded", "storage", tid, ts, None, &args));
             }
+            EventKind::Shed => {
+                records.push(chrome_record('i', "shed", "storage", tid, ts, None, &args));
+            }
+            EventKind::Stall { ticks } => {
+                args.push(("ticks".into(), ticks.to_string()));
+                records.push(chrome_record('i', "stall", "storage", tid, ts, None, &args));
+            }
             EventKind::ConvergenceCheck { trials, device_ops } => {
                 args.push(("trials".into(), trials.to_string()));
                 args.push(("device_ops".into(), device_ops.to_string()));
@@ -280,6 +287,8 @@ pub fn flame_summary(tracer: &Tracer) -> String {
             EventKind::Degraded { entered, .. } => {
                 (format!("storage;degraded;{}", if *entered { "enter" } else { "exit" }), 1)
             }
+            EventKind::Shed => ("storage;shed".to_string(), 1),
+            EventKind::Stall { ticks } => ("storage;stall".to_string(), (*ticks).max(1)),
             EventKind::ConvergenceCheck { trials, .. } => {
                 ("recovery;convergence".to_string(), (*trials).max(1))
             }
@@ -327,6 +336,10 @@ pub struct MetricsReport {
     pub flush_latency: HistogramSummary,
     /// Total logical backoff ticks per retried device op.
     pub retry_backoff: HistogramSummary,
+    /// Seeded jitter ticks per transaction-restart backoff.
+    pub retry_jitter: HistogramSummary,
+    /// Device stall ticks observed per commit attempt that paid them.
+    pub stall_latency: HistogramSummary,
 }
 
 impl MetricsReport {
@@ -344,6 +357,8 @@ impl MetricsReport {
             batch_size: tracer.batch_size().summary(),
             flush_latency: tracer.flush_latency().summary(),
             retry_backoff: tracer.retry_backoff().summary(),
+            retry_jitter: tracer.retry_jitter().summary(),
+            stall_latency: tracer.stall_latency().summary(),
         }
     }
 
@@ -354,7 +369,8 @@ impl MetricsReport {
                 "{{\"labels\":{},\"events\":{},\"stats\":{},",
                 "\"op_latency\":{},\"lock_wait\":{},",
                 "\"time_to_commit\":{},\"replay_len\":{},\"scan_len\":{},",
-                "\"batch_size\":{},\"flush_latency\":{},\"retry_backoff\":{}}}"
+                "\"batch_size\":{},\"flush_latency\":{},\"retry_backoff\":{},",
+                "\"retry_jitter\":{},\"stall_latency\":{}}}"
             ),
             json_labels(&self.labels),
             self.events,
@@ -367,6 +383,8 @@ impl MetricsReport {
             self.batch_size.to_json(),
             self.flush_latency.to_json(),
             self.retry_backoff.to_json(),
+            self.retry_jitter.to_json(),
+            self.stall_latency.to_json(),
         )
     }
 }

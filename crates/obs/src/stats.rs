@@ -65,6 +65,20 @@ pub struct SystemStats {
     /// Recovery-convergence oracle passes (nested crash-during-recovery
     /// sweeps that matched the baseline outcome).
     pub convergence_checks: u64,
+    /// Commits shed by the admission gate (journal backlog over bound).
+    pub sheds: u64,
+    /// Transactions aborted for exceeding their logical-time deadline.
+    pub deadline_aborts: u64,
+    /// Device stall ticks observed by the durable path — the latency
+    /// surplus the gray channels charged (sum over Stall events).
+    pub stall_ticks: u64,
+    /// Mode flips: every entry *or* exit of degraded mode (the hysteresis
+    /// detector's activity figure; `degraded_entries + degraded_exits`).
+    pub mode_flips: u64,
+    /// Slow-device fault injections (checked ops armed to serve slowly).
+    pub slow_device_faults: u64,
+    /// Fsync-stall fault injections (flushes armed to hang).
+    pub fsync_stall_faults: u64,
 }
 
 impl SystemStats {
@@ -85,6 +99,7 @@ impl SystemStats {
                     AbortCause::Validation => self.validation_aborts += 1,
                     AbortCause::Wounded => self.wounds += 1,
                     AbortCause::NoWaitConflict => self.conflict_aborts += 1,
+                    AbortCause::Deadline => self.deadline_aborts += 1,
                     AbortCause::Requested | AbortCause::Deadlock | AbortCause::External => {}
                 }
             }
@@ -110,12 +125,15 @@ impl SystemStats {
             EventKind::GroupFlush { .. } => {}
             EventKind::IoRetry { .. } => self.io_retries += 1,
             EventKind::Degraded { entered, .. } => {
+                self.mode_flips += 1;
                 if *entered {
                     self.degraded_entries += 1;
                 } else {
                     self.degraded_exits += 1;
                 }
             }
+            EventKind::Shed => self.sheds += 1,
+            EventKind::Stall { ticks } => self.stall_ticks += ticks,
             EventKind::ConvergenceCheck { .. } => self.convergence_checks += 1,
             // Counter-neutral: spans measure where time goes, the phases'
             // outcomes are counted by their own commit/recovery events.
@@ -135,6 +153,8 @@ impl SystemStats {
             FaultCounter::ReorderedFlush => self.reordered_flushes += 1,
             FaultCounter::TransientIo => self.transient_io_faults += 1,
             FaultCounter::DiskFull => self.disk_full_faults += 1,
+            FaultCounter::SlowDevice => self.slow_device_faults += 1,
+            FaultCounter::FsyncStall => self.fsync_stall_faults += 1,
         }
     }
 
@@ -149,7 +169,9 @@ impl SystemStats {
                 "\"sector_tears\":{},\"reordered_flushes\":{},\"bitflips_detected\":{},",
                 "\"checkpoints\":{},\"transient_io_faults\":{},\"disk_full_faults\":{},",
                 "\"io_retries\":{},\"degraded_entries\":{},\"degraded_exits\":{},",
-                "\"convergence_checks\":{}}}"
+                "\"convergence_checks\":{},\"sheds\":{},\"deadline_aborts\":{},",
+                "\"stall_ticks\":{},\"mode_flips\":{},\"slow_device_faults\":{},",
+                "\"fsync_stall_faults\":{}}}"
             ),
             self.begun,
             self.committed,
@@ -175,6 +197,12 @@ impl SystemStats {
             self.degraded_entries,
             self.degraded_exits,
             self.convergence_checks,
+            self.sheds,
+            self.deadline_aborts,
+            self.stall_ticks,
+            self.mode_flips,
+            self.slow_device_faults,
+            self.fsync_stall_faults,
         )
     }
 }

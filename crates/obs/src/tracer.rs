@@ -46,6 +46,8 @@ pub struct Tracer {
     batch_size: LogHistogram,
     flush_latency: LogHistogram,
     retry_backoff: LogHistogram,
+    retry_jitter: LogHistogram,
+    stall_latency: LogHistogram,
     /// Logical begin stamp of each live transaction.
     begin_seq: BTreeMap<TxnId, u64>,
     /// First blocked-attempt stamp of each currently blocked transaction.
@@ -76,6 +78,8 @@ impl Default for Tracer {
             batch_size: LogHistogram::new(),
             flush_latency: LogHistogram::new(),
             retry_backoff: LogHistogram::new(),
+            retry_jitter: LogHistogram::new(),
+            stall_latency: LogHistogram::new(),
             begin_seq: BTreeMap::new(),
             block_start: BTreeMap::new(),
             phases: PhaseProfiles::new(),
@@ -192,6 +196,19 @@ impl Tracer {
         &self.retry_backoff
     }
 
+    /// Retry-jitter histogram: seeded jitter ticks added to each
+    /// transaction-restart backoff (one sample per
+    /// [`on_retry_jitter`](Self::on_retry_jitter)).
+    pub fn retry_jitter(&self) -> &LogHistogram {
+        &self.retry_jitter
+    }
+
+    /// Device-stall histogram: stall ticks observed per commit attempt that
+    /// paid gray-channel latency (one sample per [`on_stall`](Self::on_stall)).
+    pub fn stall_latency(&self) -> &LogHistogram {
+        &self.stall_latency
+    }
+
     /// Per-phase duration profiles for the commit and recovery pipelines.
     pub fn phase_profiles(&self) -> &PhaseProfiles {
         &self.phases
@@ -213,6 +230,8 @@ impl Tracer {
         self.batch_size.merge(&other.batch_size);
         self.flush_latency.merge(&other.flush_latency);
         self.retry_backoff.merge(&other.retry_backoff);
+        self.retry_jitter.merge(&other.retry_jitter);
+        self.stall_latency.merge(&other.stall_latency);
         self.phases.merge(&other.phases);
         self.conflicts.merge(&other.conflicts);
     }
@@ -374,6 +393,25 @@ impl Tracer {
     pub fn on_degraded(&mut self, entered: bool, reason: impl FnOnce() -> String) {
         let reason = if self.record_events { reason() } else { String::new() };
         self.emit(None, None, EventKind::Degraded { entered, reason });
+    }
+
+    /// The admission gate shed `txn`'s commit (journal backlog over bound).
+    pub fn on_shed(&mut self, txn: TxnId) {
+        self.emit(Some(txn), None, EventKind::Shed);
+    }
+
+    /// The durable path observed `ticks` of device stall time since its
+    /// previous observation. Feeds the stall-latency histogram.
+    pub fn on_stall(&mut self, ticks: u64) {
+        self.emit(None, None, EventKind::Stall { ticks });
+        self.stall_latency.record(ticks);
+    }
+
+    /// A transaction restart added `jitter` seeded ticks on top of its
+    /// exponential backoff. Histogram-only: jitter shapes the schedule, the
+    /// restart's outcome is counted by its own commit/abort events.
+    pub fn on_retry_jitter(&mut self, jitter: u64) {
+        self.retry_jitter.record(jitter);
     }
 
     /// The recovery-convergence leg ran `trials` nested-crash trials over a

@@ -209,6 +209,21 @@ where
     /// Normal, or read-only degraded after a device failure the backend's
     /// retry budget could not hide.
     mode: SystemMode,
+    /// Group-commit admission bound: batch members beyond this many staged
+    /// records are shed before the volatile commit. 0 = unbounded.
+    max_staged: usize,
+    /// Stall-detector threshold: a commit attempt whose device-stall delta
+    /// reaches this many ticks counts as one strike. 0 = detector off.
+    stall_threshold: u64,
+    /// Strikes (consecutive over-threshold samples) before the detector
+    /// degrades the system. The hysteresis: one slow flush never flips the
+    /// mode; sustained latency does.
+    stall_strikes: u32,
+    /// Consecutive over-threshold samples seen so far.
+    stall_streak: u32,
+    /// The backend's cumulative stall-tick figure at the last sample, so
+    /// each observation charges only the delta.
+    seen_stall_ticks: u64,
 }
 
 impl<A, E, C> DurableSystem<A, E, C, MemBackend<A>>
@@ -247,6 +262,11 @@ where
             op_seq: 0,
             pending_ops: BTreeMap::new(),
             mode: SystemMode::Normal,
+            max_staged: 0,
+            stall_threshold: 0,
+            stall_strikes: 2,
+            stall_streak: 0,
+            seen_stall_ticks: 0,
         };
         sys.sys.obs_mut().set_label("backend", sys.backend.name());
         sys
@@ -307,7 +327,10 @@ where
         self.sys.obs_mut().span_end(journal_span);
         self.sys.obs_mut().span_end(total);
         match append {
-            Ok(()) => self.journal.records.push(rec),
+            Ok(()) => {
+                self.journal.records.push(rec);
+                self.observe_stalls();
+            }
             Err(fail) => {
                 return Err(match fail.kind {
                     StoreFailureKind::Device(DiskError::Crashed) => {
@@ -365,6 +388,18 @@ where
         let mut results = Vec::with_capacity(txns.len());
         let mut recs: Vec<CommitRecord<A>> = Vec::new();
         for &txn in txns {
+            // Admission gate: once the staged batch reaches the bound, the
+            // remaining members are shed *before* their volatile commit —
+            // the journal never sees any of their operations, so the shed is
+            // atomicity-preserving by construction (equivalent to a clean
+            // abort). Callers retry shed transactions with backoff.
+            if self.max_staged > 0 && recs.len() >= self.max_staged {
+                self.pending_ops.remove(&txn);
+                self.sys.obs_mut().on_shed(txn);
+                let _ = self.sys.abort(txn);
+                results.push(Err(TxnError::Shed));
+                continue;
+            }
             match self.sys.commit(txn) {
                 Ok(()) => {
                     let ops = self.pending_ops.remove(&txn).unwrap_or_default();
@@ -386,6 +421,7 @@ where
                 Ok(()) => {
                     self.sys.obs_mut().on_group_flush(recs.len() as u64, 0);
                     self.journal.records.extend(recs);
+                    self.observe_stalls();
                 }
                 Err(fail) => {
                     // The whole batch's durability failed together; rewrite
@@ -630,7 +666,11 @@ where
         };
         self.sys = fresh;
         // A successful recovery proved the device writable (the epoch bump
-        // reached stable storage): leave degraded mode.
+        // reached stable storage): leave degraded mode. The stall sampler
+        // re-anchors on the recovered device — recovery's own ticks are not
+        // charged to the next commit.
+        self.seen_stall_ticks = self.backend.stall_ticks();
+        self.stall_streak = 0;
         if self.mode == SystemMode::Degraded {
             self.mode = SystemMode::Normal;
             self.sys.obs_mut().on_degraded(false, String::new);
@@ -684,6 +724,58 @@ where
     fn drain_retry_events(&mut self) {
         for r in self.backend.drain_retries() {
             self.sys.obs_mut().on_io_retry(r.attempts, r.backoff, r.ok);
+        }
+    }
+
+    /// Bound the group-commit admission queue: [`commit_group`]
+    /// (Self::commit_group) sheds batch members beyond `max_staged` staged
+    /// records with [`TxnError::Shed`], before their volatile commit. 0
+    /// (the default) admits everything.
+    pub fn set_admission_bound(&mut self, max_staged: usize) {
+        self.max_staged = max_staged;
+    }
+
+    /// The current group-commit admission bound (0 = unbounded).
+    pub fn admission_bound(&self) -> usize {
+        self.max_staged
+    }
+
+    /// Arm the gray-failure health detector: a commit attempt whose
+    /// device-stall delta reaches `threshold` ticks counts as one strike;
+    /// `strikes` *consecutive* over-threshold attempts degrade the system
+    /// (read-only until the device is [healed](Self::heal_device) and a
+    /// checkpoint or recovery proves it writable). `threshold == 0`
+    /// disables the detector; stall deltas are still observed and counted.
+    pub fn set_stall_detector(&mut self, threshold: u64, strikes: u32) {
+        self.stall_threshold = threshold;
+        self.stall_strikes = strikes.max(1);
+    }
+
+    /// Sample the backend's cumulative stall-tick counter, emit the delta as
+    /// a `Stall` event (feeding the stall-latency histogram), and run the
+    /// hysteresis detector. Called after every durable append that
+    /// succeeded; a zero delta is a healthy sample and resets the streak.
+    fn observe_stalls(&mut self) {
+        let now = self.backend.stall_ticks();
+        let delta = now.saturating_sub(self.seen_stall_ticks);
+        self.seen_stall_ticks = now;
+        if delta > 0 {
+            self.sys.obs_mut().on_stall(delta);
+        }
+        if self.stall_threshold == 0 {
+            return;
+        }
+        if delta >= self.stall_threshold {
+            self.stall_streak += 1;
+            if self.stall_streak >= self.stall_strikes && self.mode == SystemMode::Normal {
+                self.stall_streak = 0;
+                self.enter_degraded(format!(
+                    "sustained device latency: {delta} stall ticks on the last of {} strikes",
+                    self.stall_strikes
+                ));
+            }
+        } else {
+            self.stall_streak = 0;
         }
     }
 
@@ -887,6 +979,11 @@ where
         self.op_seq = snap.op_seq;
         self.pending_ops = snap.pending_ops.clone();
         self.mode = snap.mode;
+        // Re-anchor the stall sampler on the restored backend so the next
+        // observation charges only post-restore deltas; the strike streak
+        // does not survive a rewind.
+        self.seen_stall_ticks = self.backend.stall_ticks();
+        self.stall_streak = 0;
     }
 
     /// Checked device operations performed so far (0 for backends with no
@@ -1353,6 +1450,76 @@ mod tests {
         assert!(sys.is_degraded());
         assert_eq!(sys.committed_state(X), 8, "the scrubbed batch left nothing durable");
         assert_eq!(sys.journal().len(), 1);
+    }
+
+    #[test]
+    fn admission_bound_sheds_the_batch_tail_atomically() {
+        let mut sys = disk_sys(1);
+        sys.set_admission_bound(2);
+        let txns: Vec<TxnId> = (0..4)
+            .map(|i| {
+                let t = sys.begin();
+                sys.invoke(t, X, BankInv::Deposit(i + 1)).unwrap();
+                t
+            })
+            .collect();
+        let results = sys.commit_group(&txns);
+        assert_eq!(results[0], Ok(()));
+        assert_eq!(results[1], Ok(()));
+        assert_eq!(results[2], Err(TxnError::Shed));
+        assert_eq!(results[3], Err(TxnError::Shed));
+        // The shed transactions left nothing anywhere: neither in the
+        // committed state nor in the journal.
+        assert_eq!(sys.committed_state(X), 1 + 2);
+        assert_eq!(sys.journal().len(), 2);
+        assert_eq!(sys.stats().sheds, 2);
+        assert_eq!(sys.stats().committed, 2);
+        // A shed is equieffective with a clean abort: recovery reconstructs
+        // exactly the admitted prefix.
+        sys.crash_and_recover().unwrap();
+        assert_eq!(sys.committed_state(X), 3);
+        assert_eq!(sys.journal().len(), 2);
+    }
+
+    #[test]
+    fn sustained_stalls_degrade_then_heal_via_checkpoint() {
+        let mut sys = disk_sys(1);
+        sys.set_stall_detector(1, 2);
+        let t = sys.begin();
+        sys.invoke(t, X, BankInv::Deposit(5)).unwrap();
+        sys.commit(t).unwrap();
+        assert!(!sys.is_degraded(), "a healthy commit must not strike");
+        // A gray device: every flush from now on stalls. The first stalled
+        // commit is one strike (still acknowledged and durable); the second
+        // consecutive strike trips the detector *after* acknowledging.
+        assert!(sys.backend_mut().arm_fsync_stall(100, 8));
+        let u = sys.begin();
+        sys.invoke(u, X, BankInv::Deposit(1)).unwrap();
+        sys.commit(u).unwrap();
+        assert!(!sys.is_degraded(), "hysteresis: one slow flush never flips the mode");
+        let v = sys.begin();
+        sys.invoke(v, X, BankInv::Deposit(2)).unwrap();
+        sys.commit(v).unwrap();
+        assert!(sys.is_degraded(), "two consecutive strikes must degrade");
+        // Both stalled commits were acknowledged before the flip: they are
+        // durable and visible.
+        assert_eq!(sys.committed_state(X), 8);
+        let w = sys.begin();
+        assert_eq!(sys.commit(w), Err(TxnError::ReadOnly));
+        // Healing clears the armed stall channel; the checkpoint proves the
+        // device writable again and exits degraded mode.
+        assert!(sys.heal_device());
+        sys.checkpoint();
+        assert!(!sys.is_degraded());
+        let x2 = sys.begin();
+        sys.invoke(x2, X, BankInv::Deposit(4)).unwrap();
+        sys.commit(x2).unwrap();
+        assert_eq!(sys.committed_state(X), 12);
+        assert!(sys.stats().stall_ticks > 0, "the stall deltas must be observed");
+        assert_eq!(sys.stats().mode_flips, 2);
+        // The whole episode round-trips through real recovery.
+        sys.crash_and_recover().unwrap();
+        assert_eq!(sys.committed_state(X), 12);
     }
 
     #[test]

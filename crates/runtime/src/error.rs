@@ -19,6 +19,10 @@ pub enum AbortReason {
     /// Aborted because the conflict policy aborts requesters instead of
     /// blocking them (optimistic-flavoured configurations).
     ConflictAbort,
+    /// The transaction exceeded its logical-time deadline. Deadline aborts
+    /// go through the ordinary abort path, so they are atomicity-preserving
+    /// by construction — the journal never sees the transaction.
+    Deadline,
 }
 
 impl fmt::Display for AbortReason {
@@ -28,6 +32,7 @@ impl fmt::Display for AbortReason {
             AbortReason::Validation => write!(f, "deferred-update validation failed"),
             AbortReason::Requested => write!(f, "requested"),
             AbortReason::ConflictAbort => write!(f, "conflict (abort policy)"),
+            AbortReason::Deadline => write!(f, "deadline exceeded"),
         }
     }
 }
@@ -57,6 +62,11 @@ pub enum TxnError {
     /// transaction's volatile effects rolled back. Reads keep serving;
     /// healing the device and writing a checkpoint restores writes.
     ReadOnly,
+    /// The admission gate shed this commit: the in-flight journal backlog
+    /// exceeded its bound, so the transaction was cleanly aborted before
+    /// the journal saw it. The caller should back off and retry — shedding
+    /// is overload protection, not failure.
+    Shed,
 }
 
 impl fmt::Display for TxnError {
@@ -68,6 +78,7 @@ impl fmt::Display for TxnError {
             TxnError::NoSuchObject(o) => write!(f, "no such object {o}"),
             TxnError::NoLegalResponse => write!(f, "no legal response in view"),
             TxnError::ReadOnly => write!(f, "system is in read-only degraded mode"),
+            TxnError::Shed => write!(f, "shed by the admission gate (journal backlog)"),
         }
     }
 }

@@ -70,6 +70,22 @@ pub enum FaultKind {
     /// degraded mode at the next commit. Degrades to [`FaultKind::Crash`]
     /// on backends without a device.
     DiskFull,
+    /// Gray failure: the device's next `ops` checked operations each serve
+    /// *slowly* (extra latency ticks charged, no error reported) — the
+    /// stalling-not-failing hardware that health checks miss. Degrades to
+    /// [`FaultKind::Crash`] on backends without a device.
+    SlowDisk {
+        /// Checked device ops that will serve slowly.
+        ops: u32,
+    },
+    /// Gray failure: the device's next `stalls` non-empty flushes each hang
+    /// for extra latency ticks before completing (fsync stalls — the
+    /// classic gray symptom under a filling write cache). Degrades to
+    /// [`FaultKind::Crash`] on backends without a device.
+    FsyncStall {
+        /// Non-empty flushes that will stall.
+        stalls: u32,
+    },
 }
 
 impl fmt::Display for FaultKind {
@@ -85,6 +101,8 @@ impl fmt::Display for FaultKind {
             FaultKind::BitFlip { bit } => write!(f, "flip{bit}"),
             FaultKind::TransientIo { errors } => write!(f, "io{errors}"),
             FaultKind::DiskFull => write!(f, "full"),
+            FaultKind::SlowDisk { ops } => write!(f, "slow{ops}"),
+            FaultKind::FsyncStall { stalls } => write!(f, "stall{stalls}"),
         }
     }
 }
@@ -144,6 +162,37 @@ impl FaultPlan {
                     // errors are expected to be absorbed, not to degrade.
                     11 | 12 => FaultKind::TransientIo { errors: rng.gen_range(1u32..4) },
                     _ => FaultKind::DiskFull,
+                };
+                FaultSpec { at_event, kind }
+            })
+            .collect();
+        FaultPlan::new(faults)
+    }
+
+    /// Derive `count` faults over event indices `1..horizon` from `seed`,
+    /// with the gray-failure arms (`slow{n}`, `stall{n}`) in the kind
+    /// table. A *separate* generator — not a flag on
+    /// [`from_seed`](Self::from_seed) — so existing replay command lines
+    /// keep producing byte-identical plans.
+    pub fn from_seed_gray(seed: u64, horizon: u64, count: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6BA7_6BA7_6BA7_6BA7);
+        let horizon = horizon.max(2);
+        let faults = (0..count)
+            .map(|_| {
+                let at_event = rng.gen_range(1..horizon);
+                let kind = match rng.gen_range(0u32..18) {
+                    0 | 1 => FaultKind::Crash,
+                    2 => FaultKind::TornCrash { drop_ops: rng.gen_range(1usize..3) },
+                    3 | 4 => FaultKind::ForceAbort,
+                    5 => FaultKind::DelayCommit { rounds: rng.gen_range(1u32..6) },
+                    6 => FaultKind::WoundStorm,
+                    7 | 8 => FaultKind::SectorTorn { sectors: rng.gen_range(1usize..3) },
+                    9 => FaultKind::ReorderFlush,
+                    10 => FaultKind::BitFlip { bit: rng.gen_range(0u64..1_000_000) },
+                    11 | 12 => FaultKind::TransientIo { errors: rng.gen_range(1u32..4) },
+                    13 => FaultKind::DiskFull,
+                    14 | 15 => FaultKind::SlowDisk { ops: rng.gen_range(2u32..8) },
+                    _ => FaultKind::FsyncStall { stalls: rng.gen_range(1u32..4) },
                 };
                 FaultSpec { at_event, kind }
             })
@@ -231,6 +280,10 @@ impl FromStr for FaultKind {
             Ok(FaultKind::DiskFull)
         } else if let Some(n) = s.strip_prefix("io") {
             Ok(FaultKind::TransientIo { errors: n.parse().map_err(|_| err())? })
+        } else if let Some(n) = s.strip_prefix("slow") {
+            Ok(FaultKind::SlowDisk { ops: n.parse().map_err(|_| err())? })
+        } else if let Some(n) = s.strip_prefix("stall") {
+            Ok(FaultKind::FsyncStall { stalls: n.parse().map_err(|_| err())? })
         } else {
             Err(err())
         }
@@ -284,6 +337,13 @@ mod tests {
         let s = storage.to_string();
         assert_eq!(s, "5:sect2,9:reorder,14:flip4093,17:io3,21:full");
         assert_eq!(s.parse::<FaultPlan>().unwrap(), storage);
+        let gray = FaultPlan::new(vec![
+            FaultSpec { at_event: 3, kind: FaultKind::SlowDisk { ops: 4 } },
+            FaultSpec { at_event: 8, kind: FaultKind::FsyncStall { stalls: 2 } },
+        ]);
+        let s = gray.to_string();
+        assert_eq!(s, "3:slow4,8:stall2");
+        assert_eq!(s.parse::<FaultPlan>().unwrap(), gray);
         assert_eq!("none".parse::<FaultPlan>().unwrap(), FaultPlan::none());
         assert_eq!("".parse::<FaultPlan>().unwrap(), FaultPlan::none());
         assert!("7:meteor".parse::<FaultPlan>().is_err());
@@ -299,6 +359,23 @@ mod tests {
         assert!(a.faults().windows(2).all(|w| w[0].at_event <= w[1].at_event));
         assert!(a.faults().iter().all(|f| (1..100).contains(&f.at_event)));
         assert_ne!(a, FaultPlan::from_seed(10, 100, 6));
+    }
+
+    #[test]
+    fn gray_generator_is_deterministic_and_distinct() {
+        let a = FaultPlan::from_seed_gray(9, 100, 8);
+        assert_eq!(a, FaultPlan::from_seed_gray(9, 100, 8));
+        assert_eq!(a.len(), 8);
+        assert!(a.faults().windows(2).all(|w| w[0].at_event <= w[1].at_event));
+        // The plain generator's byte stream is untouched: same seed, both
+        // tables, different plans.
+        assert_ne!(a, FaultPlan::from_seed(9, 100, 8));
+        // Over enough draws the gray arms actually appear.
+        let many = FaultPlan::from_seed_gray(7, 1000, 64);
+        assert!(many
+            .faults()
+            .iter()
+            .any(|f| matches!(f.kind, FaultKind::SlowDisk { .. } | FaultKind::FsyncStall { .. })));
     }
 
     #[test]

@@ -36,11 +36,31 @@ pub struct SchedulerCfg {
     /// Throttling the multiprogramming level is the classical remedy for
     /// lock thrashing on conflict-dense workloads.
     pub mpl: usize,
+    /// Per-transaction deadline in scheduler rounds (0 = none): a
+    /// transaction still in flight this many rounds after it began is
+    /// aborted with [`AbortReason::Deadline`] and its script restarted
+    /// against the retry budget. Bounds the time any admitted transaction
+    /// can hold locks on a stalling system.
+    pub deadline: u64,
+    /// Exponential post-restart backoff with seeded jitter: a restarted
+    /// script sleeps `2^min(retries,5) + jitter` rounds before its next
+    /// attempt, decorrelating the wakeups of a conflict clique. Off by
+    /// default — it lengthens logical makespans, so the comparative
+    /// experiments keep the bare restart-on-commit discipline unless a run
+    /// opts in (the fault simulator's overload path does).
+    pub backoff: bool,
 }
 
 impl Default for SchedulerCfg {
     fn default() -> Self {
-        SchedulerCfg { seed: 0, max_retries: 64, max_rounds: 1_000_000, mpl: 0 }
+        SchedulerCfg {
+            seed: 0,
+            max_retries: 64,
+            max_rounds: 1_000_000,
+            mpl: 0,
+            deadline: 0,
+            backoff: false,
+        }
     }
 }
 
@@ -65,8 +85,9 @@ impl Default for SchedulerCfg {
 /// - `wait_rounds` is the executor's unit of lost concurrency: driver-rounds
 ///   spent blocked or sleeping (scheduler), condvar wait slices elapsed
 ///   while blocked (threaded).
-/// - `admission_rounds` counts driver-rounds queued by admission control;
-///   the threaded executor has no admission control and always reports 0.
+/// - `admission_rounds` counts time queued by admission control under an
+///   MPL bound: driver-rounds held back (scheduler), admission wait slices
+///   elapsed while parked (threaded). Zero when `mpl` is unlimited.
 #[derive(Clone, Debug, Default)]
 pub struct RunReport {
     /// Scripts that ultimately committed.
@@ -81,9 +102,9 @@ pub struct RunReport {
     pub validation_aborts: u64,
     /// Total retries across scripts.
     pub retries: u64,
-    /// Driver-rounds spent queued by admission control (distinct from
-    /// `wait_rounds`, which counts lock waits). Always 0 for the threaded
-    /// executor (no admission control).
+    /// Time spent queued by admission control under an MPL bound, in the
+    /// executor's wait unit (distinct from `wait_rounds`, which counts lock
+    /// waits). Zero when `mpl` is unlimited.
     pub admission_rounds: u64,
     /// Operations that hit a conflict on their first attempt (the raw
     /// `stats.blocks` additionally counts every retried attempt).
@@ -112,6 +133,12 @@ struct Driver<A: Adt> {
     /// abort — it stays asleep until someone commits (backoff that lets a
     /// conflict clique drain one committer at a time).
     sleep_until_commit: Option<u64>,
+    /// Exponential-backoff rounds (with seeded jitter) left to sleep after
+    /// a restart, ticked down once per scheduler visit.
+    backoff_rounds: u64,
+    /// Scheduler round at which the current transaction began (deadline
+    /// accounting; meaningless while `txn` is `None`).
+    began_round: u64,
     retries: usize,
     done: bool,
     committed: bool,
@@ -147,6 +174,8 @@ where
                 pending: None,
                 blocked_epoch: None,
                 sleep_until_commit: None,
+                backoff_rounds: 0,
+                began_round: 0,
                 retries: 0,
                 done: false,
                 committed: false,
@@ -169,6 +198,29 @@ where
         let mut progressed = false;
         for i in order {
             if drivers[i].done {
+                continue;
+            }
+            // Deadline: a transaction in flight past its budget is aborted
+            // with a typed reason and its script restarted (against the
+            // retry budget) — bounded outcome on a stalling system.
+            if cfg.deadline > 0 {
+                if let Some(t) = drivers[i].txn {
+                    if rounds.saturating_sub(drivers[i].began_round) > cfg.deadline {
+                        sys.abort_with(t, AbortReason::Deadline).expect("txn is active");
+                        let commits = sys.stats().committed;
+                        let jitter = restart_jitter(sys, cfg, t, drivers[i].retries);
+                        restart(&mut drivers[i], cfg, &mut report, commits, jitter);
+                        progressed = true;
+                        continue;
+                    }
+                }
+            }
+            // Exponential backoff after a restart: the tick-down is forward
+            // progress (the sleep is finite), not a stall.
+            if drivers[i].backoff_rounds > 0 {
+                drivers[i].backoff_rounds -= 1;
+                report.wait_rounds += 1;
+                progressed = true;
                 continue;
             }
             // A blocked driver is only retried once some transaction has
@@ -196,7 +248,7 @@ where
                     continue;
                 }
             }
-            if step_driver(sys, &mut drivers[i], cfg, &mut report) {
+            if step_driver(sys, &mut drivers[i], cfg, &mut report, rounds) {
                 progressed = true;
             } else {
                 report.wait_rounds += 1;
@@ -228,6 +280,7 @@ where
                         Some(d) => {
                             d.blocked_epoch = None;
                             d.sleep_until_commit = None;
+                            d.backoff_rounds = 0;
                             continue;
                         }
                         None => break,
@@ -260,6 +313,7 @@ fn step_driver<A, E, C>(
     d: &mut Driver<A>,
     cfg: &SchedulerCfg,
     report: &mut RunReport,
+    round: u64,
 ) -> bool
 where
     A: Adt,
@@ -271,6 +325,7 @@ where
         None => {
             let t = sys.begin();
             d.txn = Some(t);
+            d.began_round = round;
             t
         }
     };
@@ -294,7 +349,8 @@ where
                 false
             }
             Err(TxnError::Aborted(_)) => {
-                restart(d, cfg, report, sys.stats().committed);
+                let jitter = restart_jitter(sys, cfg, txn, d.retries);
+                restart(d, cfg, report, sys.stats().committed, jitter);
                 true
             }
             Err(e) => panic!("script error: {e}"),
@@ -312,7 +368,8 @@ where
                     true
                 }
                 Err(TxnError::Aborted(_)) => {
-                    restart(d, cfg, report, sys.stats().committed);
+                    let jitter = restart_jitter(sys, cfg, txn, d.retries);
+                    restart(d, cfg, report, sys.stats().committed, jitter);
                     true
                 }
                 Err(e) => panic!("commit error: {e}"),
@@ -327,21 +384,66 @@ where
     }
 }
 
+/// With backoff enabled, compute this restart's seeded jitter and record it
+/// in the retry-jitter histogram; with backoff off the restart is immediate
+/// and nothing is sampled.
+fn restart_jitter<A, E, C>(
+    sys: &mut TxnSystem<A, E, C>,
+    cfg: &SchedulerCfg,
+    txn: TxnId,
+    retries: usize,
+) -> u64
+where
+    A: Adt,
+    E: RecoveryEngine<A>,
+    C: Conflict<A>,
+{
+    if !cfg.backoff {
+        return 0;
+    }
+    let jitter = seeded_jitter(cfg.seed, txn.0 as u64, retries);
+    sys.obs_mut().on_retry_jitter(jitter);
+    jitter
+}
+
+/// Deterministic restart jitter: a seeded hash of the restarting
+/// transaction and its retry count, bounded by the exponential base for
+/// that retry. Jitter decorrelates the restart schedule of a conflict
+/// clique (all victims of one storm would otherwise wake in lockstep and
+/// collide again) while keeping the run a pure function of the seed.
+pub(crate) fn seeded_jitter(seed: u64, salt: u64, retries: usize) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    (seed, salt, retries as u64).hash(&mut h);
+    h.finish() % (backoff_base(retries) + 1)
+}
+
+/// Exponential backoff base for the `retries`-th restart, in scheduler
+/// rounds: 1, 2, 4, … capped at 32 so an exhausted retry budget cannot
+/// stretch a run past `max_rounds`.
+pub(crate) fn backoff_base(retries: usize) -> u64 {
+    1u64 << retries.min(5)
+}
+
 /// Reset a driver after a system abort. The driver sleeps (via
 /// `blocked_epoch`) until the next completion event so that a restarted
 /// deadlock victim does not immediately re-acquire its locks and get chosen
 /// as the victim again — without this, clique-shaped conflicts livelock.
+/// On top of that it backs off exponentially with the caller's seeded
+/// jitter, so repeat offenders retreat further each time.
 fn restart<A: Adt>(
     d: &mut Driver<A>,
     cfg: &SchedulerCfg,
     report: &mut RunReport,
     commits_now: u64,
+    jitter: u64,
 ) {
     d.txn = None;
     d.last = None;
     d.pending = None;
     d.blocked_epoch = None;
     d.sleep_until_commit = Some(commits_now);
+    d.backoff_rounds = if cfg.backoff { backoff_base(d.retries) + jitter } else { 0 };
     d.retries += 1;
     report.retries += 1;
     d.script.reset();
@@ -364,7 +466,8 @@ fn abort_and_restart<A, E, C>(
     sys.abort_with(victim, AbortReason::Deadlock).expect("victim is active");
     let commits = sys.stats().committed;
     if let Some(d) = drivers.iter_mut().find(|d| d.txn == Some(victim)) {
-        restart(d, cfg, report, commits);
+        let jitter = restart_jitter(sys, cfg, victim, d.retries);
+        restart(d, cfg, report, commits, jitter);
     }
 }
 
@@ -426,6 +529,37 @@ mod tests {
         assert_eq!(report.deadlock_aborts, 0);
         assert!(report.admission_rounds > 0);
         assert_eq!(sys.committed_state(X), 8);
+    }
+
+    #[test]
+    fn deadlines_type_the_abort_and_everything_still_commits() {
+        // Blocking DU hotspot under a tight deadline: transactions stuck
+        // behind the lock queue exceed their round budget, are aborted with
+        // the typed Deadline reason, back off with seeded jitter, and every
+        // script still commits within the retry budget.
+        let mut sys: TxnSystem<BankAccount, DuEngine<BankAccount>, _> =
+            TxnSystem::new(BankAccount::default(), 1, bank_nfc());
+        let cfg = SchedulerCfg { deadline: 6, backoff: true, ..Default::default() };
+        let report = run(&mut sys, transfer_scripts(8), &cfg);
+        assert_eq!(report.committed, 8);
+        assert_eq!(report.gave_up, 0);
+        assert_eq!(sys.committed_state(X), 8);
+        assert!(report.stats.deadline_aborts > 0, "the tight deadline must fire");
+        assert!(report.retries > 0, "deadline aborts restart the script");
+        let spec = SystemSpec::single(BankAccount::default());
+        assert!(check_dynamic_atomic(&spec, sys.trace()).is_ok());
+    }
+
+    #[test]
+    fn deadline_runs_are_deterministic() {
+        let run_once = || {
+            let mut sys: TxnSystem<BankAccount, DuEngine<BankAccount>, _> =
+                TxnSystem::new(BankAccount::default(), 1, bank_nfc());
+            let cfg = SchedulerCfg { seed: 11, deadline: 6, backoff: true, ..Default::default() };
+            let r = run(&mut sys, transfer_scripts(8), &cfg);
+            (r.rounds, r.retries, r.stats.deadline_aborts, sys.trace().clone())
+        };
+        assert_eq!(run_once(), run_once());
     }
 
     #[test]

@@ -87,6 +87,33 @@ pub struct SimCfg {
     /// eventual recovery reproduce the baseline outcome. No-op on backends
     /// without a device.
     pub fault_during_recovery: bool,
+    /// Multiprogramming level: drivers wanting to *begin* a transaction
+    /// wait while this many are already in flight. 0 = unlimited.
+    pub mpl: usize,
+    /// Per-transaction deadline in scheduler rounds: a transaction older
+    /// than this is aborted with `AbortReason::Deadline` and its driver
+    /// restarted under jittered backoff. 0 = no deadlines.
+    pub deadline: u64,
+    /// Group-commit admission bound ([`DurableSystem::set_admission_bound`]):
+    /// batch members beyond this many staged records are shed with
+    /// [`TxnError::Shed`] and their drivers restarted under backpressure.
+    /// 0 = unbounded.
+    pub max_staged: usize,
+    /// Gray-failure health detector threshold
+    /// ([`DurableSystem::set_stall_detector`], two strikes): a commit whose
+    /// device-stall delta reaches this many ticks counts toward degrading
+    /// the system. 0 = detector off.
+    pub stall_threshold: u64,
+    /// Seventh-leg liveness budget: a live transaction older than this many
+    /// rounds fails the bounded-outcome oracle. 0 disables the in-run age
+    /// check (the end-of-run accounting still runs).
+    pub outcome_budget: u64,
+    /// Negative control for the seventh leg: swallow the admission gate's
+    /// shed acknowledgement (the driver is silently marked done instead of
+    /// restarted). The bounded-outcome oracle must catch the resulting
+    /// unaccounted driver — a run with this flag that *passes* means the
+    /// leg has gone blind.
+    pub mutate_swallow_shed: bool,
 }
 
 impl Default for SimCfg {
@@ -100,6 +127,12 @@ impl Default for SimCfg {
             checkpoint_every: None,
             group_commit: false,
             fault_during_recovery: false,
+            mpl: 0,
+            deadline: 0,
+            max_staged: 0,
+            stall_threshold: 0,
+            outcome_budget: 10_000,
+            mutate_swallow_shed: false,
         }
     }
 }
@@ -131,6 +164,11 @@ pub struct SimReport {
     /// Fingerprint folded over every crash epoch's recorded history — the
     /// determinism witness.
     pub history_fingerprint: u64,
+    /// Per-committed-script latency in scheduler rounds (last begin to
+    /// commit acknowledgement), sorted ascending. Logical time, so the
+    /// vector is deterministic in `(seed, plan, scripts)` — the overload
+    /// bench's p99 source.
+    pub commit_latency_rounds: Vec<u64>,
     /// Final system counters (crash/fault counters included).
     pub stats: SystemStats,
 }
@@ -213,6 +251,16 @@ pub enum OracleFailure {
         /// The probe's description of the divergent trial.
         detail: String,
     },
+    /// The seventh leg: a driver's outcome was unbounded or unaccounted —
+    /// its transaction outlived the liveness budget, or it ended the run
+    /// neither committed, nor voluntarily aborted, nor with a *typed*
+    /// give-up (retry budget exhausted, refused invocation). Every admitted
+    /// transaction must commit or abort for a stated reason within a
+    /// bounded number of rounds; anything else is a liveness hole.
+    UnboundedOutcome {
+        /// Which driver and how its accounting failed.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for OracleFailure {
@@ -250,6 +298,9 @@ impl std::fmt::Display for OracleFailure {
             OracleFailure::RecoveryDiverged { detail } => {
                 write!(f, "recovery convergence violated: {detail}")
             }
+            OracleFailure::UnboundedOutcome { detail } => {
+                write!(f, "bounded-outcome liveness violated: {detail}")
+            }
         }
     }
 }
@@ -285,10 +336,18 @@ struct Driver<A: Adt> {
     /// Commit staged for the round-end group flush (group-commit mode); the
     /// driver is acknowledged only once its record's batch is durable.
     awaiting_flush: bool,
+    /// The round the current transaction began — the deadline and liveness
+    /// clocks both measure from here.
+    began_round: u64,
     retries: usize,
     done: bool,
     committed: bool,
     voluntary_abort: bool,
+    /// Typed give-up marker: an invocation or commit was *refused* (not
+    /// aborted) and the script stopped. The bounded-outcome leg accepts
+    /// this — and an exhausted retry budget — as the only legitimate ways
+    /// to give up.
+    refused: bool,
 }
 
 impl<A: Adt> Driver<A> {
@@ -303,10 +362,12 @@ impl<A: Adt> Driver<A> {
             sleep_until_commit: None,
             delay_turns: 0,
             awaiting_flush: false,
+            began_round: 0,
             retries: 0,
             done: false,
             committed: false,
             voluntary_abort: false,
+            refused: false,
         }
     }
 
@@ -353,6 +414,12 @@ where
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut drivers: Vec<Driver<A>> = scripts.into_iter().map(Driver::new).collect();
     let mut report = SimReport::default();
+    // Overload-protection knobs live on the durable system; the sim config
+    // is their single source of truth so reproducer command lines pin them.
+    sys.set_admission_bound(cfg.max_staged);
+    if cfg.stall_threshold > 0 {
+        sys.set_stall_detector(cfg.stall_threshold, 2);
+    }
     let mut fault_idx = 0usize;
     // Fingerprint fold across crash epochs: each crash seals the epoch's
     // history into the fold before the trace is lost.
@@ -399,6 +466,48 @@ where
             if drivers[i].done {
                 continue; // a fault may have exhausted this driver's retries
             }
+            // Seventh-leg in-run check: no live transaction may outlive the
+            // liveness budget — an admitted transaction that neither commits
+            // nor aborts within it is a bounded-outcome violation.
+            if cfg.outcome_budget > 0 && drivers[i].txn.is_some() {
+                let age = rounds.saturating_sub(drivers[i].began_round);
+                if age > cfg.outcome_budget {
+                    return Err(SimFailure {
+                        at_event: report.events,
+                        failure: OracleFailure::UnboundedOutcome {
+                            detail: format!(
+                                "driver {i} transaction alive for {age} rounds \
+                                 (budget {})",
+                                cfg.outcome_budget
+                            ),
+                        },
+                    });
+                }
+            }
+            // Transaction deadline: abort over-age transactions with a typed
+            // reason and restart the driver under jittered backoff.
+            if cfg.deadline > 0 {
+                if let Some(t) = drivers[i].txn {
+                    if !drivers[i].awaiting_flush
+                        && rounds.saturating_sub(drivers[i].began_round) > cfg.deadline
+                    {
+                        sys.system_mut()
+                            .abort_with(t, AbortReason::Deadline)
+                            .expect("deadline victim is active");
+                        let jitter = crate::scheduler::seeded_jitter(
+                            cfg.seed,
+                            u64::from(t.0),
+                            drivers[i].retries,
+                        );
+                        sys.system_mut().obs_mut().on_retry_jitter(jitter);
+                        let commits = sys.stats().committed;
+                        drivers[i].restart(cfg.max_retries, Some(commits), &mut report.retries);
+                        drivers[i].delay_turns = jitter as u32;
+                        progressed = true;
+                        continue;
+                    }
+                }
+            }
             if drivers[i].delay_turns > 0 {
                 drivers[i].delay_turns -= 1;
                 progressed = true; // the delay itself is ticking down
@@ -415,15 +524,24 @@ where
                     continue;
                 }
             }
+            // Admission by multiprogramming level: a driver wanting to begin
+            // waits (without progress — the deadlock breaker must still see
+            // a stuck round) while `mpl` transactions are in flight.
+            if cfg.mpl > 0 && drivers[i].txn.is_none() {
+                let in_flight = drivers.iter().filter(|d| !d.done && d.txn.is_some()).count();
+                if in_flight >= cfg.mpl {
+                    continue;
+                }
+            }
             let pre_crashes = sys.stats().crashes;
-            if step_driver(sys, &mut drivers[i], cfg, &mut report, &mut delay_next_commit) {
+            if step_driver(sys, &mut drivers[i], cfg, &mut report, &mut delay_next_commit, rounds) {
                 progressed = true;
             }
             heal_device_failures(sys, &mut drivers, cfg, &mut report, pre_crashes);
         }
         if cfg.group_commit {
             let pre_crashes = sys.stats().crashes;
-            flush_group(sys, &mut drivers, cfg, &mut report);
+            flush_group(sys, &mut drivers, cfg, &mut report, rounds);
             heal_device_failures(sys, &mut drivers, cfg, &mut report, pre_crashes);
         }
         if !progressed {
@@ -488,7 +606,35 @@ where
         }
     }
 
+    // Seventh leg: bounded outcomes. Every driver must end accounted —
+    // committed, voluntarily aborted, or given up for a *typed* reason
+    // (retry budget exhausted, refused invocation). A driver that is
+    // neither is a liveness hole: its transaction was admitted and then
+    // silently went nowhere (the swallow-shed mutation manufactures
+    // exactly this). An acknowledged commit is terminal by construction
+    // (committed drivers are done and never restarted); durability of the
+    // ack is covered by the shadow-fold and crash-state legs above.
+    report.oracle_checks += 1;
+    for (i, d) in drivers.iter().enumerate() {
+        if d.committed || d.voluntary_abort {
+            continue;
+        }
+        let budget_exhausted = d.retries > cfg.max_retries;
+        if !d.done || !(budget_exhausted || d.refused) {
+            return Err(SimFailure {
+                at_event: report.events,
+                failure: OracleFailure::UnboundedOutcome {
+                    detail: format!(
+                        "driver {i} ended unaccounted: done={}, retries={}/{}, refused={}",
+                        d.done, d.retries, cfg.max_retries, d.refused
+                    ),
+                },
+            });
+        }
+    }
+
     report.rounds = rounds;
+    report.commit_latency_rounds.sort_unstable();
     for d in &drivers {
         if d.committed {
             report.committed += 1;
@@ -749,6 +895,54 @@ where
             sys.system_mut().obs_mut().on_fault(Some(FaultCounter::DiskFull), || kind.to_string());
             Ok(())
         }
+        FaultKind::SlowDisk { ops } => {
+            // Fixed per-op surcharge keeps the run a pure function of the
+            // plan: the device serves, just slowly — no error surfaces, so
+            // no oracle pass here. The stall-latency telemetry (and, when
+            // armed, the hysteresis detector) is how the fault becomes
+            // visible.
+            if !sys.backend_mut().arm_slow_ops(ops, 4) {
+                // No device to slow down (mem backend): degrade.
+                return inject(
+                    FaultKind::Crash,
+                    sys,
+                    drivers,
+                    cfg,
+                    spec,
+                    invariant,
+                    report,
+                    fp_fold,
+                    delay_next_commit,
+                );
+            }
+            sys.system_mut()
+                .obs_mut()
+                .on_fault(Some(FaultCounter::SlowDevice), || kind.to_string());
+            Ok(())
+        }
+        FaultKind::FsyncStall { stalls } => {
+            // The classic gray symptom: flushes hang (32 extra ticks each)
+            // but complete. Like SlowDisk, arming is not an observable
+            // failure in itself.
+            if !sys.backend_mut().arm_fsync_stall(stalls, 32) {
+                // No device to stall (mem backend): degrade.
+                return inject(
+                    FaultKind::Crash,
+                    sys,
+                    drivers,
+                    cfg,
+                    spec,
+                    invariant,
+                    report,
+                    fp_fold,
+                    delay_next_commit,
+                );
+            }
+            sys.system_mut()
+                .obs_mut()
+                .on_fault(Some(FaultCounter::FsyncStall), || kind.to_string());
+            Ok(())
+        }
     }
 }
 
@@ -991,6 +1185,7 @@ fn flush_group<A, E, C, B>(
     drivers: &mut [Driver<A>],
     cfg: &SimCfg,
     report: &mut SimReport,
+    round: u64,
 ) where
     A: Adt,
     E: RecoveryEngine<A>,
@@ -1011,10 +1206,28 @@ fn flush_group<A, E, C, B>(
             Ok(()) => {
                 d.done = true;
                 d.committed = true;
+                report.commit_latency_rounds.push(round.saturating_sub(d.began_round) + 1);
             }
             Err(TxnError::Aborted(_)) => {
                 let commits = sys.stats().committed;
                 d.restart(cfg.max_retries, Some(commits), &mut report.retries);
+            }
+            // The admission gate shed this member: it was cleanly aborted
+            // before the journal saw it. Restart under backpressure — the
+            // shed ack plus jittered backoff is the WAL-lag flow-control
+            // loop. The negative control swallows the ack instead, leaving
+            // the driver unaccounted for the bounded-outcome leg to catch.
+            Err(TxnError::Shed) => {
+                if cfg.mutate_swallow_shed {
+                    d.done = true;
+                } else {
+                    let jitter =
+                        crate::scheduler::seeded_jitter(cfg.seed, u64::from(t.0), d.retries);
+                    sys.system_mut().obs_mut().on_retry_jitter(jitter);
+                    let commits = sys.stats().committed;
+                    d.restart(cfg.max_retries, Some(commits), &mut report.retries);
+                    d.delay_turns = jitter as u32;
+                }
             }
             // The batch's durability failed as a whole: the flush either
             // power-cycled (each transaction evaporated, NotActive) or
@@ -1025,6 +1238,7 @@ fn flush_group<A, E, C, B>(
             }
             Err(_) => {
                 d.done = true;
+                d.refused = true;
             }
         }
     }
@@ -1044,6 +1258,7 @@ fn step_driver<A, E, C, B>(
     cfg: &SimCfg,
     report: &mut SimReport,
     delay_next_commit: &mut Option<u32>,
+    round: u64,
 ) -> bool
 where
     A: Adt,
@@ -1056,6 +1271,7 @@ where
         None => {
             let t = sys.begin();
             d.txn = Some(t);
+            d.began_round = round;
             t
         }
     };
@@ -1089,6 +1305,7 @@ where
                     let _ = sys.abort(t);
                 }
                 d.done = true;
+                d.refused = true;
                 true
             }
         },
@@ -1113,6 +1330,7 @@ where
                     }
                     d.done = true;
                     d.committed = true;
+                    report.commit_latency_rounds.push(round.saturating_sub(d.began_round) + 1);
                     true
                 }
                 Err(TxnError::Aborted(_)) => {
@@ -1129,6 +1347,7 @@ where
                 }
                 Err(_) => {
                     d.done = true;
+                    d.refused = true;
                     true
                 }
             }
@@ -1634,6 +1853,137 @@ mod tests {
         };
         let (a, b) = (run_once(), run_once());
         assert_eq!(a, b, "SimReport must be byte-identical across runs");
+    }
+
+    #[test]
+    fn gray_faults_pass_the_oracle_on_the_disk_backend() {
+        let stats = one_storage_fault(FaultKind::SlowDisk { ops: 4 });
+        assert_eq!(stats.slow_device_faults, 1, "the fault must not degrade: {stats:?}");
+        assert!(stats.stall_ticks > 0, "slow ops must surface as stall ticks: {stats:?}");
+        let stats = one_storage_fault(FaultKind::FsyncStall { stalls: 2 });
+        assert_eq!(stats.fsync_stall_faults, 1, "the fault must not degrade: {stats:?}");
+        assert!(stats.stall_ticks > 0, "stalled flushes must surface as stall ticks: {stats:?}");
+    }
+
+    #[test]
+    fn gray_faults_on_the_mem_backend_degrade_to_crashes() {
+        let plan = FaultPlan::new(vec![
+            FaultSpec { at_event: 16, kind: FaultKind::SlowDisk { ops: 4 } },
+            FaultSpec { at_event: 24, kind: FaultKind::FsyncStall { stalls: 2 } },
+        ]);
+        let mut sys: UipDurable = DurableSystem::new(BankAccount::default(), 1, bank_nrbc());
+        let report =
+            run_sim(&mut sys, transfer_scripts(6), &plan, &SimCfg::default(), &spec(), None)
+                .unwrap();
+        assert_eq!(report.faults_injected, 2);
+        assert_eq!(report.stats.crashes, 2, "both faults degrade to crashes: {:?}", report.stats);
+        assert_eq!(report.stats.slow_device_faults, 0);
+        assert_eq!(report.stats.fsync_stall_faults, 0);
+    }
+
+    #[test]
+    fn sustained_gray_faults_trip_the_detector_and_the_run_survives() {
+        // Many stalled flushes with the detector armed: the system must
+        // degrade on sustained latency, the heal flow must bring it back,
+        // and every script must still commit under the oracle.
+        let plan = FaultPlan::new(vec![FaultSpec {
+            at_event: 4,
+            kind: FaultKind::FsyncStall { stalls: 8 },
+        }]);
+        let mut sys: DiskUip = DurableSystem::with_backend(
+            BankAccount::default(),
+            6,
+            bank_nrbc(),
+            WalBackend::new(WalConfig::default()),
+        );
+        let cfg = SimCfg { stall_threshold: 16, ..Default::default() };
+        let report = run_sim(&mut sys, disjoint_scripts(), &plan, &cfg, &spec_n(6), None).unwrap();
+        assert_eq!(report.committed, 6, "every script recommits after the gray episode");
+        assert!(
+            report.stats.mode_flips >= 2,
+            "degrade and heal must both happen: {:?}",
+            report.stats
+        );
+        assert!(report.stats.stall_ticks > 0);
+    }
+
+    #[test]
+    fn admission_bound_sheds_under_group_commit_and_everyone_commits() {
+        let mut sys: DiskUip = DurableSystem::with_backend(
+            BankAccount::default(),
+            6,
+            bank_nrbc(),
+            WalBackend::new(WalConfig::default()),
+        );
+        let cfg = SimCfg { group_commit: true, max_staged: 2, ..Default::default() };
+        let report =
+            run_sim(&mut sys, disjoint_scripts(), &FaultPlan::none(), &cfg, &spec_n(6), None)
+                .unwrap();
+        assert_eq!(report.committed, 6, "shed transactions retry and commit");
+        assert!(report.stats.sheds > 0, "six same-round commits over a bound of 2 must shed");
+        assert!(report.retries >= report.stats.sheds, "every shed is a restart");
+    }
+
+    #[test]
+    fn deadlines_and_mpl_type_aborts_and_everything_still_commits() {
+        let mut sys: UipDurable = DurableSystem::new(BankAccount::default(), 1, bank_nrbc());
+        let cfg = SimCfg { seed: 3, deadline: 4, mpl: 2, ..Default::default() };
+        let report =
+            run_sim(&mut sys, transfer_scripts(8), &FaultPlan::none(), &cfg, &spec(), None)
+                .unwrap();
+        assert_eq!(report.committed, 8);
+        assert_eq!(sys.committed_state(X), 8);
+    }
+
+    #[test]
+    fn overload_protected_runs_are_deterministic() {
+        let plan = FaultPlan::from_seed_gray(23, 60, 5);
+        let run_once = || {
+            let mut sys: DiskUip = DurableSystem::with_backend(
+                BankAccount::default(),
+                1,
+                bank_nrbc(),
+                WalBackend::new(WalConfig::default()),
+            );
+            let cfg = SimCfg {
+                seed: 7,
+                group_commit: true,
+                max_staged: 2,
+                deadline: 20,
+                mpl: 3,
+                stall_threshold: 16,
+                ..Default::default()
+            };
+            run_sim(&mut sys, transfer_scripts(6), &plan, &cfg, &spec(), None).unwrap()
+        };
+        let (a, b) = (run_once(), run_once());
+        assert_eq!(a, b, "SimReport must be byte-identical across runs");
+    }
+
+    #[test]
+    fn swallowed_shed_ack_is_caught_by_the_bounded_outcome_leg() {
+        // The negative control: the admission gate sheds, but the mutated
+        // flush path drops the acknowledgement on the floor instead of
+        // restarting the driver. The seventh leg must flag the unaccounted
+        // driver — if this test fails, the liveness oracle has gone blind.
+        let mut sys: DiskUip = DurableSystem::with_backend(
+            BankAccount::default(),
+            6,
+            bank_nrbc(),
+            WalBackend::new(WalConfig::default()),
+        );
+        let cfg = SimCfg {
+            group_commit: true,
+            max_staged: 2,
+            mutate_swallow_shed: true,
+            ..Default::default()
+        };
+        let err = run_sim(&mut sys, disjoint_scripts(), &FaultPlan::none(), &cfg, &spec_n(6), None)
+            .unwrap_err();
+        assert!(
+            matches!(err.failure, OracleFailure::UnboundedOutcome { .. }),
+            "expected the bounded-outcome leg to fire, got: {err}"
+        );
     }
 
     #[test]

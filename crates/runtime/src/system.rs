@@ -432,6 +432,7 @@ impl<A: Adt, E: RecoveryEngine<A>, C: Conflict<A>> TxnSystem<A, E, C> {
             AbortReason::Validation => AbortCause::Validation,
             AbortReason::Requested => AbortCause::Requested,
             AbortReason::ConflictAbort => AbortCause::External,
+            AbortReason::Deadline => AbortCause::Deadline,
         };
         self.abort_inner(txn, cause);
         Ok(())

@@ -49,6 +49,29 @@ pub struct ThreadedCfg {
     /// logical clock. Off by default: wall stamps are nondeterministic by
     /// nature and exist only for human-read threaded profiles.
     pub wall_clock: bool,
+    /// Admission control: maximum transactions in flight (0 = unlimited),
+    /// the same gate [`SchedulerCfg::mpl`] applies in the round-robin
+    /// scheduler. Workers park on an admission condvar before `begin`;
+    /// each elapsed wait slice counts into [`RunReport::admission_rounds`].
+    ///
+    /// [`SchedulerCfg::mpl`]: crate::scheduler::SchedulerCfg::mpl
+    pub mpl: usize,
+    /// Per-transaction wall-clock deadline (`ZERO` = none): a transaction
+    /// still blocked past this budget self-aborts with
+    /// [`AbortReason::Deadline`] and its script retries against the retry
+    /// budget — the threaded analogue of [`SchedulerCfg::deadline`]'s round
+    /// budget. Checked on every wakeup from a blocked wait, which is the
+    /// only place a threaded transaction can stall.
+    ///
+    /// [`SchedulerCfg::deadline`]: crate::scheduler::SchedulerCfg::deadline
+    pub deadline: Duration,
+    /// Exponential post-restart backoff with seeded jitter, the threaded
+    /// analogue of [`SchedulerCfg::backoff`]: a restarted script sleeps
+    /// `2^min(retries,5) + jitter` tenths of a wait slice before its next
+    /// attempt, decorrelating the wakeups of a conflict clique.
+    ///
+    /// [`SchedulerCfg::backoff`]: crate::scheduler::SchedulerCfg::backoff
+    pub backoff: bool,
 }
 
 impl Default for ThreadedCfg {
@@ -58,6 +81,9 @@ impl Default for ThreadedCfg {
             max_retries: 64,
             wait_slice: Duration::from_millis(5),
             wall_clock: false,
+            mpl: 0,
+            deadline: Duration::ZERO,
+            backoff: false,
         }
     }
 }
@@ -67,6 +93,8 @@ struct Shared<A: Adt, E: RecoveryEngine<A>, C: Conflict<A>> {
     queue: Mutex<VecDeque<Box<dyn Script<A>>>>,
     completed: Condvar,
     tallies: Mutex<Tallies>,
+    /// Signalled when an admission slot frees up (paired with `tallies`).
+    admitted: Condvar,
 }
 
 #[derive(Default)]
@@ -83,6 +111,47 @@ struct Tallies {
     /// Condvar wait slices elapsed while blocked — the threaded meaning of
     /// [`RunReport::wait_rounds`].
     wait_rounds: u64,
+    /// Admission wait slices elapsed while parked for an MPL slot — the
+    /// threaded meaning of [`RunReport::admission_rounds`].
+    admission_rounds: u64,
+    /// Transactions currently holding an admission slot (live, or — on the
+    /// durable executor — committed but still riding the commit barrier, so
+    /// WAL lag exerts backpressure on admission).
+    in_flight: u64,
+}
+
+/// Claim an admission slot: with `cfg.mpl > 0`, park until fewer than `mpl`
+/// transactions are in flight, tallying each elapsed wait slice into
+/// `admission_rounds`. With `mpl == 0` admission is unbounded and this only
+/// tracks the in-flight count.
+fn admit(tallies: &Mutex<Tallies>, admitted: &Condvar, cfg: &ThreadedCfg) {
+    let mut t = tallies.lock();
+    while cfg.mpl > 0 && t.in_flight as usize >= cfg.mpl {
+        t.admission_rounds += 1;
+        admitted.wait_for(&mut t, cfg.wait_slice);
+    }
+    t.in_flight += 1;
+}
+
+/// Release an admission slot (the transaction committed or aborted) and
+/// wake one parked admitter.
+fn release(tallies: &Mutex<Tallies>, admitted: &Condvar) {
+    tallies.lock().in_flight -= 1;
+    admitted.notify_one();
+}
+
+/// With backoff enabled, sleep out this restart's exponential backoff
+/// (same schedule as the scheduler's, scaled to tenths of a wait slice so
+/// even a budget-capped backoff stays in the low milliseconds) after
+/// reporting the drawn jitter to `observe` for the retry-jitter histogram.
+fn pause_for_backoff(cfg: &ThreadedCfg, txn: TxnId, retries: usize, observe: impl FnOnce(u64)) {
+    if !cfg.backoff {
+        return;
+    }
+    let jitter = crate::scheduler::seeded_jitter(0, txn.0 as u64, retries);
+    observe(jitter);
+    let units = crate::scheduler::backoff_base(retries) + jitter;
+    std::thread::sleep(cfg.wait_slice / 10 * units as u32);
 }
 
 /// Run `scripts` over `sys` with `cfg.workers` threads; returns the report
@@ -105,6 +174,7 @@ where
         queue: Mutex::new(scripts.into_iter().collect::<VecDeque<_>>()),
         completed: Condvar::new(),
         tallies: Mutex::new(Tallies::default()),
+        admitted: Condvar::new(),
     });
 
     std::thread::scope(|scope| {
@@ -124,9 +194,9 @@ where
 
 /// Assemble a [`RunReport`] from worker tallies under the shared field
 /// semantics documented on [`RunReport`]: `rounds` counts transaction
-/// attempts, `wait_rounds` counts elapsed wait slices, and
-/// `admission_rounds` is zero by definition (the threaded executor has no
-/// admission control).
+/// attempts, `wait_rounds` counts elapsed lock-wait slices, and
+/// `admission_rounds` counts elapsed admission-wait slices (zero when
+/// [`ThreadedCfg::mpl`] is unlimited).
 fn report_from<A, E, C>(t: &Tallies, sys: &TxnSystem<A, E, C>) -> RunReport
 where
     A: Adt,
@@ -140,7 +210,7 @@ where
         deadlock_aborts: t.deadlock_aborts,
         validation_aborts: sys.stats().validation_aborts,
         retries: t.retries,
-        admission_rounds: 0,
+        admission_rounds: t.admission_rounds,
         blocked_ops: t.blocked_ops,
         rounds: t.rounds,
         wait_rounds: t.wait_rounds,
@@ -174,7 +244,9 @@ where
 {
     let mut retries = 0usize;
     'attempt: loop {
+        admit(&shared.tallies, &shared.admitted, cfg);
         shared.tallies.lock().rounds += 1;
+        let began = Instant::now();
         script.reset();
         let mut last: Option<A::Response> = None;
         let txn = shared.sys.lock().begin();
@@ -205,12 +277,16 @@ where
                                         shared.tallies.lock().deadlock_aborts += 1;
                                         shared.completed.notify_all();
                                         drop(sys);
+                                        release(&shared.tallies, &shared.admitted);
                                         retries += 1;
                                         shared.tallies.lock().retries += 1;
                                         if retries > cfg.max_retries {
                                             shared.tallies.lock().gave_up += 1;
                                             return;
                                         }
+                                        pause_for_backoff(cfg, txn, retries, |j| {
+                                            shared.sys.lock().obs_mut().on_retry_jitter(j)
+                                        });
                                         continue 'attempt;
                                     }
                                     // Another worker owns the victim: wake
@@ -221,16 +297,40 @@ where
                                 }
                                 shared.tallies.lock().wait_rounds += 1;
                                 shared.completed.wait_for(&mut sys, cfg.wait_slice);
+                                // Deadline: a transaction still blocked past
+                                // its wall budget self-aborts with a typed
+                                // reason and retries — bounded time on any
+                                // lock it cannot get.
+                                if !cfg.deadline.is_zero() && began.elapsed() > cfg.deadline {
+                                    sys.abort_with(txn, AbortReason::Deadline).expect("active");
+                                    shared.completed.notify_all();
+                                    drop(sys);
+                                    release(&shared.tallies, &shared.admitted);
+                                    retries += 1;
+                                    shared.tallies.lock().retries += 1;
+                                    if retries > cfg.max_retries {
+                                        shared.tallies.lock().gave_up += 1;
+                                        return;
+                                    }
+                                    pause_for_backoff(cfg, txn, retries, |j| {
+                                        shared.sys.lock().obs_mut().on_retry_jitter(j)
+                                    });
+                                    continue 'attempt;
+                                }
                             }
                             Err(TxnError::Aborted(_)) => {
                                 drop(sys);
                                 shared.completed.notify_all();
+                                release(&shared.tallies, &shared.admitted);
                                 retries += 1;
                                 shared.tallies.lock().retries += 1;
                                 if retries > cfg.max_retries {
                                     shared.tallies.lock().gave_up += 1;
                                     return;
                                 }
+                                pause_for_backoff(cfg, txn, retries, |j| {
+                                    shared.sys.lock().obs_mut().on_retry_jitter(j)
+                                });
                                 continue 'attempt;
                             }
                             Err(e) => panic!("script error: {e}"),
@@ -243,18 +343,23 @@ where
                         Ok(()) => {
                             drop(sys);
                             shared.completed.notify_all();
+                            release(&shared.tallies, &shared.admitted);
                             shared.tallies.lock().committed += 1;
                             return;
                         }
                         Err(TxnError::Aborted(_)) => {
                             drop(sys);
                             shared.completed.notify_all();
+                            release(&shared.tallies, &shared.admitted);
                             retries += 1;
                             shared.tallies.lock().retries += 1;
                             if retries > cfg.max_retries {
                                 shared.tallies.lock().gave_up += 1;
                                 return;
                             }
+                            pause_for_backoff(cfg, txn, retries, |j| {
+                                shared.sys.lock().obs_mut().on_retry_jitter(j)
+                            });
                             continue 'attempt;
                         }
                         Err(e) => panic!("commit error: {e}"),
@@ -263,6 +368,7 @@ where
                 Step::Abort => {
                     shared.sys.lock().abort(txn).expect("active");
                     shared.completed.notify_all();
+                    release(&shared.tallies, &shared.admitted);
                     shared.tallies.lock().voluntary_aborts += 1;
                     return;
                 }
@@ -361,6 +467,10 @@ where
     queue: Mutex<VecDeque<Box<dyn Script<A>>>>,
     completed: Condvar,
     tallies: Mutex<Tallies>,
+    /// Signalled when an admission slot frees up (paired with `tallies`).
+    /// A committer holds its slot until its record is durable, so a lagging
+    /// WAL throttles admission.
+    admitted: Condvar,
     stage: Mutex<Stage<A>>,
     /// Signalled by the flush leader when a batch becomes durable.
     durable: Condvar,
@@ -400,6 +510,7 @@ where
         queue: Mutex::new(scripts.into_iter().collect::<VecDeque<_>>()),
         completed: Condvar::new(),
         tallies: Mutex::new(Tallies::default()),
+        admitted: Condvar::new(),
         stage: Mutex::new(Stage {
             staged: Vec::new(),
             seq: 0,
@@ -572,7 +683,9 @@ fn drive_durable<A, E, C, B>(
 {
     let mut retries = 0usize;
     'attempt: loop {
+        admit(&shared.tallies, &shared.admitted, cfg);
         shared.tallies.lock().rounds += 1;
+        let began = Instant::now();
         script.reset();
         let mut last: Option<A::Response> = None;
         let txn = shared.vol.lock().sys.begin();
@@ -611,12 +724,16 @@ fn drive_durable<A, E, C, B>(
                                         shared.tallies.lock().deadlock_aborts += 1;
                                         shared.completed.notify_all();
                                         drop(vol);
+                                        release(&shared.tallies, &shared.admitted);
                                         retries += 1;
                                         shared.tallies.lock().retries += 1;
                                         if retries > cfg.max_retries {
                                             shared.tallies.lock().gave_up += 1;
                                             return;
                                         }
+                                        pause_for_backoff(cfg, txn, retries, |j| {
+                                            shared.vol.lock().sys.obs_mut().on_retry_jitter(j)
+                                        });
                                         continue 'attempt;
                                     }
                                     // Another worker owns the victim: wake
@@ -625,17 +742,41 @@ fn drive_durable<A, E, C, B>(
                                 }
                                 shared.tallies.lock().wait_rounds += 1;
                                 shared.completed.wait_for(&mut vol, cfg.wait_slice);
+                                // Deadline: still blocked past the wall
+                                // budget — self-abort with a typed reason
+                                // and retry.
+                                if !cfg.deadline.is_zero() && began.elapsed() > cfg.deadline {
+                                    vol.sys.abort_with(txn, AbortReason::Deadline).expect("active");
+                                    vol.pending.remove(&txn);
+                                    shared.completed.notify_all();
+                                    drop(vol);
+                                    release(&shared.tallies, &shared.admitted);
+                                    retries += 1;
+                                    shared.tallies.lock().retries += 1;
+                                    if retries > cfg.max_retries {
+                                        shared.tallies.lock().gave_up += 1;
+                                        return;
+                                    }
+                                    pause_for_backoff(cfg, txn, retries, |j| {
+                                        shared.vol.lock().sys.obs_mut().on_retry_jitter(j)
+                                    });
+                                    continue 'attempt;
+                                }
                             }
                             Err(TxnError::Aborted(_)) => {
                                 vol.pending.remove(&txn);
                                 drop(vol);
                                 shared.completed.notify_all();
+                                release(&shared.tallies, &shared.admitted);
                                 retries += 1;
                                 shared.tallies.lock().retries += 1;
                                 if retries > cfg.max_retries {
                                     shared.tallies.lock().gave_up += 1;
                                     return;
                                 }
+                                pause_for_backoff(cfg, txn, retries, |j| {
+                                    shared.vol.lock().sys.obs_mut().on_retry_jitter(j)
+                                });
                                 continue 'attempt;
                             }
                             Err(e) => panic!("script error: {e}"),
@@ -658,7 +799,11 @@ fn drive_durable<A, E, C, B>(
                             // make_durable (after the log slot is claimed):
                             // other workers invoke and commit while this
                             // record rides the barrier.
+                            // The admission slot is held until the record is
+                            // durable: commit-barrier lag (a stalling WAL
+                            // device) backpressures admission under MPL.
                             make_durable(shared, rec, entered, vol);
+                            release(&shared.tallies, &shared.admitted);
                             shared.tallies.lock().committed += 1;
                             return;
                         }
@@ -666,12 +811,16 @@ fn drive_durable<A, E, C, B>(
                             vol.pending.remove(&txn);
                             drop(vol);
                             shared.completed.notify_all();
+                            release(&shared.tallies, &shared.admitted);
                             retries += 1;
                             shared.tallies.lock().retries += 1;
                             if retries > cfg.max_retries {
                                 shared.tallies.lock().gave_up += 1;
                                 return;
                             }
+                            pause_for_backoff(cfg, txn, retries, |j| {
+                                shared.vol.lock().sys.obs_mut().on_retry_jitter(j)
+                            });
                             continue 'attempt;
                         }
                         Err(e) => panic!("commit error: {e}"),
@@ -683,6 +832,7 @@ fn drive_durable<A, E, C, B>(
                     vol.sys.abort(txn).expect("active");
                     drop(vol);
                     shared.completed.notify_all();
+                    release(&shared.tallies, &shared.admitted);
                     shared.tallies.lock().voluntary_aborts += 1;
                     return;
                 }
@@ -735,8 +885,8 @@ mod tests {
     fn attempt_accounting_identity_holds() {
         // Shared RunReport semantics: every transaction attempt ends in a
         // commit, a voluntary abort, or a retry — so `rounds` (attempts)
-        // must equal their sum, and the threaded executor reports zero
-        // admission rounds by definition.
+        // must equal their sum. With no MPL configured, admission never
+        // parks anyone.
         let sys: TxnSystem<BankAccount, UipEngine<BankAccount>, _> =
             TxnSystem::new(BankAccount::default(), 1, bank_nrbc());
         let (report, _) = run_threaded(sys, scripts(16), &ThreadedCfg::default());
@@ -747,6 +897,71 @@ mod tests {
         );
         assert!(report.rounds >= 16, "at least one attempt per script");
         assert_eq!(report.admission_rounds, 0);
+    }
+
+    #[test]
+    fn mpl_serialises_the_crosswise_clique_without_deadlocks() {
+        // The same admission gate the scheduler has: with MPL 1 the
+        // crosswise deadlock clique serialises — no blocks, no deadlock
+        // aborts — and the parked workers' wait slices show up in
+        // `admission_rounds` instead of a hardcoded zero.
+        let sys: TxnSystem<BankAccount, UipEngine<BankAccount>, _> =
+            TxnSystem::new(BankAccount::default(), 2, bank_nrbc());
+        let y = ObjectId(1);
+        // 256 scripts so the run comfortably outlasts worker-thread startup
+        // and someone is always parked at the single admission slot.
+        let mut scripts: Vec<Box<dyn Script<BankAccount>>> = Vec::new();
+        for i in 0..256 {
+            let (first, second) = if i % 2 == 0 { (X, y) } else { (y, X) };
+            scripts.push(Box::new(OpsScript::new(vec![
+                (first, BankInv::Balance),
+                (second, BankInv::Deposit(1)),
+            ])));
+        }
+        let cfg = ThreadedCfg { workers: 4, mpl: 1, ..Default::default() };
+        let (report, mut sys) = run_threaded(sys, scripts, &cfg);
+        assert_eq!(report.committed, 256);
+        assert_eq!(report.blocked_ops, 0);
+        assert_eq!(report.deadlock_aborts, 0);
+        assert!(report.admission_rounds > 0, "parked workers must be tallied: {report:?}");
+        assert_eq!(sys.committed_state(X) + sys.committed_state(y), 256);
+    }
+
+    #[test]
+    fn deadlines_type_the_abort_and_the_clique_still_drains() {
+        // A deadline of one nanosecond turns every blocked wait into a
+        // typed Deadline self-abort on wakeup; jittered backoff decorrelates
+        // the retries, and the crosswise clique still fully commits without
+        // a single hung transaction. 256 scripts so the run comfortably
+        // outlasts worker-thread startup and waits actually happen.
+        let sys: TxnSystem<BankAccount, UipEngine<BankAccount>, _> =
+            TxnSystem::new(BankAccount::default(), 2, bank_nrbc());
+        let y = ObjectId(1);
+        let mut scripts: Vec<Box<dyn Script<BankAccount>>> = Vec::new();
+        let n = 256;
+        for i in 0..n {
+            let (first, second) = if i % 2 == 0 { (X, y) } else { (y, X) };
+            scripts.push(Box::new(OpsScript::new(vec![
+                (first, BankInv::Balance),
+                (second, BankInv::Deposit(1)),
+            ])));
+        }
+        let cfg = ThreadedCfg {
+            workers: 4,
+            max_retries: 10_000,
+            wait_slice: Duration::from_micros(200),
+            deadline: Duration::from_nanos(1),
+            backoff: true,
+            ..Default::default()
+        };
+        let (report, mut sys) = run_threaded(sys, scripts, &cfg);
+        assert_eq!(report.committed, n as u64);
+        assert_eq!(report.gave_up, 0);
+        assert!(
+            report.stats.deadline_aborts > 0,
+            "blocked waits must become typed deadline aborts: {report:?}"
+        );
+        assert_eq!(sys.committed_state(X) + sys.committed_state(y), n as u64);
     }
 
     #[test]
@@ -880,6 +1095,34 @@ mod tests {
             run.report.committed + run.report.voluntary_aborts + run.report.retries,
             "attempt identity holds for the durable executor too"
         );
+    }
+
+    #[test]
+    fn durable_mpl_holds_slots_through_the_commit_barrier() {
+        // MPL on the durable executor: a committer keeps its admission slot
+        // until its record is durable, so a slow flush device throttles
+        // admission instead of letting transactions pile up behind the WAL.
+        let sys: TxnSystem<BankAccount, UipEngine<BankAccount>, _> =
+            TxnSystem::new(BankAccount::default(), 8, bank_nrbc());
+        let cfg = ThreadedCfg { workers: 4, mpl: 1, ..Default::default() };
+        let gc = GroupCommitCfg { group_commit: true, flush_delay: Duration::from_micros(500) };
+        let run = run_threaded_durable(
+            sys,
+            WalBackend::new(WalConfig::default()),
+            spread_scripts(16, 8),
+            &cfg,
+            &gc,
+        );
+        assert_eq!(run.report.committed, 16);
+        assert!(run.report.admission_rounds > 0, "slow flushes must park admitters");
+        let mut rec: DurableSystem<
+            BankAccount,
+            UipEngine<BankAccount>,
+            _,
+            WalBackend<BankAccount>,
+        > = DurableSystem::with_backend(BankAccount::default(), 8, bank_nrbc(), run.backend);
+        rec.crash_and_recover_with(TornPolicy::Strict).unwrap();
+        assert_eq!(rec.journal().len(), 16);
     }
 
     #[test]

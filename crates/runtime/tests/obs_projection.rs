@@ -94,8 +94,10 @@ fn run_report_semantics_agree_across_executors() {
     // The shared RunReport field semantics documented on the struct must
     // hold under both executors: the outcome partition covers every script,
     // blocked_ops never exceeds the raw block counter, admission_rounds is
-    // zero without admission control, and the threaded executor's attempt
-    // identity (rounds == committed + voluntary_aborts + retries) is exact.
+    // zero when MPL is unlimited and positive when an MPL bound parks work
+    // (on BOTH executors — the threaded one routes begins through the same
+    // gate), and the threaded attempt identity
+    // (rounds == committed + voluntary_aborts + retries) is exact.
     let mut sys: TxnSystem<BankAccount, UipEngine<BankAccount>, _> =
         TxnSystem::new(BankAccount::default(), 1, bank_nrbc());
     let r = run(&mut sys, scripts(8), &SchedulerCfg { seed: 3, ..Default::default() });
@@ -109,13 +111,38 @@ fn run_report_semantics_agree_across_executors() {
         TxnSystem::new(BankAccount::default(), 1, bank_nrbc());
     let (tr, tsys) = run_threaded(tsys, scripts(8), &ThreadedCfg::default());
     assert_eq!(tr.committed + tr.voluntary_aborts + tr.gave_up, 8);
-    assert_eq!(tr.admission_rounds, 0, "threaded executor has no admission control");
+    assert_eq!(tr.admission_rounds, 0, "no MPL bound configured");
     assert!(tr.blocked_ops <= tr.stats.blocks);
     assert_eq!(tr.stats.committed, tr.committed);
     assert_eq!(
         tr.rounds,
         tr.committed + tr.voluntary_aborts + tr.retries,
         "threaded attempt identity: {tr:?}"
+    );
+    assert_projection_matches(&tsys);
+
+    // Bounded MPL: the hot-spot workload must park someone on each executor,
+    // and every shared-semantics assertion still holds.
+    let mut sys: TxnSystem<BankAccount, UipEngine<BankAccount>, _> =
+        TxnSystem::new(BankAccount::default(), 1, bank_nrbc());
+    let r = run(&mut sys, scripts(8), &SchedulerCfg { seed: 3, mpl: 1, ..Default::default() });
+    assert_eq!(r.committed, 8);
+    assert!(r.admission_rounds > 0, "MPL 1 must queue scheduler drivers");
+    assert_projection_matches(&sys);
+
+    // 256 scripts so the run comfortably outlasts worker-thread startup:
+    // some worker is always parked at admission while another holds the
+    // single slot.
+    let tsys: TxnSystem<BankAccount, UipEngine<BankAccount>, _> =
+        TxnSystem::new(BankAccount::default(), 1, bank_nrbc());
+    let (tr, tsys) =
+        run_threaded(tsys, scripts(256), &ThreadedCfg { mpl: 1, ..Default::default() });
+    assert_eq!(tr.committed, 256);
+    assert!(tr.admission_rounds > 0, "MPL 1 must park threaded workers");
+    assert_eq!(
+        tr.rounds,
+        tr.committed + tr.voluntary_aborts + tr.retries,
+        "attempt identity under MPL: {tr:?}"
     );
     assert_projection_matches(&tsys);
 }

@@ -400,6 +400,34 @@ pub trait LogBackend<A: Adt>: Send + Clone {
         Vec::new()
     }
 
+    /// Arm the next `n` checked device ops to each cost `cost` extra
+    /// logical ticks (a degraded medium — the gray-failure analogue of
+    /// [`arm_transient_io`](Self::arm_transient_io)). `false` if the
+    /// backend has no device to slow down (the simulator then degrades the
+    /// fault to a plain crash).
+    fn arm_slow_ops(&mut self, _n: u32, _cost: u64) -> bool {
+        false
+    }
+
+    /// Arm the next `n` non-empty device flushes to each stall for `cost`
+    /// extra logical ticks (an fsync that hangs). `false` if inexpressible.
+    fn arm_fsync_stall(&mut self, _n: u32, _cost: u64) -> bool {
+        false
+    }
+
+    /// Elapsed logical device time (0 for backends without a device). One
+    /// tick per checked op plus whatever the armed latency channels charged.
+    fn device_ticks(&self) -> u64 {
+        0
+    }
+
+    /// Accumulated latency surplus charged by the gray channels (0 for
+    /// backends without a device). Health detectors watch the delta of this
+    /// figure across commits to tell a busy device from a lying one.
+    fn stall_ticks(&self) -> u64 {
+        0
+    }
+
     /// The sixth oracle leg: prove recovery *converges*. Re-run recovery
     /// with a fresh crash injected at every device-op index of the baseline
     /// recovery; every trial that eventually succeeds must reproduce the
@@ -534,26 +562,27 @@ impl<A: Adt> MemBackend<A> {
     }
 
     fn floors(&self) -> (u32, u64) {
-        // The newest surviving record wins; fall back to the checkpoint,
-        // then to a cold start.
+        // Transaction-id floors ride commit order, so the newest surviving
+        // record wins. Exec-seq floors do NOT: a late-committing
+        // transaction can hold *earlier* execution seqs than a record
+        // journaled before it, so the floor is the max over every surviving
+        // record (and the checkpoint) — restoring anything lower would let
+        // post-recovery operations reuse seqs and sort *between* journaled
+        // ops, breaking the UIP (execution-order) replay view.
+        let cp_seq = self.checkpoint.as_ref().map_or(0, |c| c.next_exec_seq);
+        let seq = self
+            .records
+            .iter()
+            .flat_map(|r| r.rec.ops.iter().map(|(s, _, _)| s + 1))
+            .max()
+            .unwrap_or(0)
+            .max(cp_seq);
         if let Some(last) = self.records.last() {
-            let floor = last.rec.floor;
-            let seq = last.rec.ops.iter().map(|(s, _, _)| s + 1).max();
-            // A fully torn record still advances nothing; walk back through
-            // earlier records for the exec-seq floor.
-            let seq = seq
-                .or_else(|| {
-                    self.records
-                        .iter()
-                        .rev()
-                        .find_map(|r| r.rec.ops.iter().map(|(s, _, _)| s + 1).max())
-                })
-                .unwrap_or_else(|| self.checkpoint.as_ref().map_or(0, |c| c.next_exec_seq));
-            (floor, seq)
+            (last.rec.floor, seq)
         } else if let Some(cp) = &self.checkpoint {
-            (cp.txn_floor, cp.next_exec_seq)
+            (cp.txn_floor, seq)
         } else {
-            (0, 0)
+            (0, seq)
         }
     }
 }
@@ -712,6 +741,23 @@ mod tests {
         assert_eq!(out.next_exec_seq, 3);
         assert_eq!(out.stats.recoveries, 1);
         assert_eq!(out.scan.damage, "clean");
+    }
+
+    #[test]
+    fn exec_seq_floor_survives_commit_order_inversion() {
+        let mut b = MemBackend::<BankAccount>::new();
+        // The transaction that commits FIRST executed the *later* ops
+        // (seqs 2,3); the late committer holds the earlier seqs (0,1).
+        // The recovered exec-seq floor must clear both records — resuming
+        // from the last record's max (2) would hand post-recovery ops the
+        // seqs 2 and 3 again, and the UIP (execution-order) replay view
+        // would sort the fresh ops *between* journaled ones.
+        b.append_commit(&rec(1, vec![(2, ObjectId(0), dep(5)), (3, ObjectId(0), dep(4))])).unwrap();
+        b.append_commit(&rec(2, vec![(0, ObjectId(0), dep(3)), (1, ObjectId(0), dep(2))])).unwrap();
+        b.crash();
+        let out = b.recover(TailPolicy::Strict).unwrap();
+        assert_eq!(out.txn_floor, 2);
+        assert_eq!(out.next_exec_seq, 4);
     }
 
     #[test]

@@ -46,6 +46,18 @@
 //!   trigger the recovery-convergence oracle uses to kill recovery at every
 //!   device-op index.
 //!
+//! Besides the fail-stop channels, the checked interface carries a
+//! deterministic **tick-cost model** for gray failures — devices that are
+//! slow rather than broken. Every checked op costs one logical tick;
+//! [`SimDisk::arm_slow_ops`] makes the next `n` checked ops each cost extra
+//! ticks (a degraded medium), and [`SimDisk::arm_fsync_stall`] makes the
+//! next `n` non-empty flushes stall for extra ticks (an fsync that hangs).
+//! The accumulated [`device_ticks`](Self::device_ticks) are the device's
+//! elapsed logical time, and the stall surplus is reported separately via
+//! [`stall_ticks`](Self::stall_ticks) so health detectors can tell a busy
+//! device from a lying one. [`heal`](Self::heal) clears the armed latency
+//! channels along with the error budgets.
+//!
 //! The raw operations bypass the checked channels entirely: they are the
 //! omniscient view tests and repair tooling use to inspect or fix the
 //! medium, and they never tick the op counter.
@@ -134,6 +146,9 @@ pub struct DiskStats {
     pub misdirected_writes: u64,
     /// Checked ops that failed with an armed transient error.
     pub transient_errors: u64,
+    /// Extra logical ticks charged by the armed slow-op and fsync-stall
+    /// channels — the latency surplus a healthy device would not have paid.
+    pub stall_ticks: u64,
 }
 
 /// A deterministic simulated block device. See the module docs for the fault
@@ -174,6 +189,19 @@ pub struct SimDisk {
     trip_at: Cell<Option<u64>>,
     /// The crash-at-op trigger fired; all checked ops fail until `crash`.
     tripped: Cell<bool>,
+    /// Elapsed logical device time: one tick per checked op, plus whatever
+    /// the armed latency channels charge on top.
+    ticks: Cell<u64>,
+    /// Checked ops left to run slow (armed gray-failure budget).
+    slow_ops: Cell<u32>,
+    /// Extra ticks each slow op costs.
+    slow_cost: Cell<u64>,
+    /// Non-empty flushes left to stall (armed gray-failure budget).
+    stall_flushes: Cell<u32>,
+    /// Extra ticks each stalled flush costs.
+    stall_cost: Cell<u64>,
+    /// Accumulated latency surplus from both gray channels.
+    stalled: Cell<u64>,
     stats: DiskStats,
 }
 
@@ -195,6 +223,12 @@ impl SimDisk {
             full: Cell::new(false),
             trip_at: Cell::new(None),
             tripped: Cell::new(false),
+            ticks: Cell::new(0),
+            slow_ops: Cell::new(0),
+            slow_cost: Cell::new(0),
+            stall_flushes: Cell::new(0),
+            stall_cost: Cell::new(0),
+            stalled: Cell::new(0),
             stats: DiskStats::default(),
         }
     }
@@ -207,6 +241,7 @@ impl SimDisk {
     pub fn stats(&self) -> DiskStats {
         let mut stats = self.stats;
         stats.transient_errors = self.transient_fired.get();
+        stats.stall_ticks = self.stalled.get();
         stats
     }
 
@@ -439,22 +474,68 @@ impl SimDisk {
         self.tripped.get()
     }
 
-    /// Heal the device: clear the full condition and any remaining
-    /// transient-error budget. A tripped device stays dead until
-    /// [`crash`](Self::crash) — power loss is not healable in place.
+    /// Elapsed logical device time: one tick per checked op, plus the
+    /// surplus the armed latency channels charged. Ticks accumulate for the
+    /// life of the device, like the op counter.
+    pub fn device_ticks(&self) -> u64 {
+        self.ticks.get()
+    }
+
+    /// Accumulated latency surplus from the gray channels — the slice of
+    /// [`device_ticks`](Self::device_ticks) a healthy device would not have
+    /// paid. Health detectors watch the delta of this figure to tell a busy
+    /// device from a lying one.
+    pub fn stall_ticks(&self) -> u64 {
+        self.stalled.get()
+    }
+
+    /// Arm the next `n` checked ops to each cost `cost` extra ticks — a
+    /// degraded medium serving every request slowly. Cumulative budget; the
+    /// cost replaces any previously armed cost.
+    pub fn arm_slow_ops(&mut self, n: u32, cost: u64) {
+        self.slow_ops.set(self.slow_ops.get().saturating_add(n));
+        self.slow_cost.set(cost);
+    }
+
+    /// Arm the next `n` non-empty checked flushes to each stall for `cost`
+    /// extra ticks — an fsync that hangs before acknowledging. Cumulative
+    /// budget; the cost replaces any previously armed cost.
+    pub fn arm_fsync_stall(&mut self, n: u32, cost: u64) {
+        self.stall_flushes.set(self.stall_flushes.get().saturating_add(n));
+        self.stall_cost.set(cost);
+    }
+
+    /// Heal the device: clear the full condition, any remaining
+    /// transient-error budget, and the armed slow-op / fsync-stall latency
+    /// budgets (the operator replaced the gray hardware). A tripped device
+    /// stays dead until [`crash`](Self::crash) — power loss is not healable
+    /// in place. Accumulated ticks and stall surplus persist, like the op
+    /// counter.
     pub fn heal(&mut self) {
         self.full.set(false);
         self.transient.set(0);
+        self.slow_ops.set(0);
+        self.stall_flushes.set(0);
     }
 
-    /// Tick the op counter and consult the armed fault channels. `mutates`
-    /// selects whether the device-full condition applies.
+    /// Tick the op counter, charge the logical time the op costs, and
+    /// consult the armed fault channels. `mutates` selects whether the
+    /// device-full condition applies. Time is charged even when the op then
+    /// fails — a transient error on a slow device still wastes the wait.
     fn tick(&self, mutates: bool) -> Result<(), DiskError> {
         if self.tripped.get() {
             return Err(DiskError::Crashed);
         }
         let n = self.ops.get() + 1;
         self.ops.set(n);
+        let mut cost = 1u64;
+        let slow = self.slow_ops.get();
+        if slow > 0 {
+            self.slow_ops.set(slow - 1);
+            cost += self.slow_cost.get();
+            self.stalled.set(self.stalled.get().saturating_add(self.slow_cost.get()));
+        }
+        self.ticks.set(self.ticks.get().saturating_add(cost));
         if let Some(at) = self.trip_at.get() {
             if n > at {
                 self.tripped.set(true);
@@ -488,13 +569,23 @@ impl SimDisk {
 
     /// Checked flush. See [`flush`](Self::flush). An empty flush on a live
     /// device is a no-op and never fails — there is nothing for the device
-    /// to do; a tripped device fails every op, empty or not.
+    /// to do; a tripped device fails every op, empty or not. A non-empty
+    /// flush consumes one armed fsync-stall (if any) and pays its extra
+    /// ticks before the data lands — the stall delays the fsync, it does
+    /// not lose it.
     pub fn try_flush(&mut self) -> Result<usize, DiskError> {
         if self.tripped.get() {
             return Err(DiskError::Crashed);
         }
         if self.pending.is_empty() {
             return Ok(0);
+        }
+        let stalls = self.stall_flushes.get();
+        if stalls > 0 {
+            self.stall_flushes.set(stalls - 1);
+            let cost = self.stall_cost.get();
+            self.ticks.set(self.ticks.get().saturating_add(cost));
+            self.stalled.set(self.stalled.get().saturating_add(cost));
         }
         self.tick(true)?;
         Ok(self.flush())
@@ -528,6 +619,8 @@ impl SimDisk {
         self.full.set(false);
         self.trip_at.set(None);
         self.tripped.set(false);
+        self.slow_ops.set(0);
+        self.stall_flushes.set(0);
     }
 }
 
@@ -702,6 +795,88 @@ mod tests {
         // Arming at 0 kills the very next op.
         d.arm_crash_at_op(0);
         assert_eq!(d.try_read(0), Err(DiskError::Crashed));
+    }
+
+    #[test]
+    fn slow_ops_charge_extra_ticks_then_clear() {
+        let mut d = SimDisk::new(8);
+        d.write(0, &sec(1, 8));
+        d.flush();
+        assert_eq!(d.device_ticks(), 0, "raw ops never tick the clock");
+        assert!(d.try_read(0).is_ok());
+        assert_eq!(d.device_ticks(), 1);
+        d.arm_slow_ops(2, 4);
+        assert!(d.try_read(0).is_ok());
+        assert!(d.try_read(0).is_ok());
+        assert!(d.try_read(0).is_ok());
+        // Two slow ops at 1+4 ticks, one healthy op at 1 tick.
+        assert_eq!(d.device_ticks(), 1 + 5 + 5 + 1);
+        assert_eq!(d.stall_ticks(), 8);
+        assert_eq!(d.stats().stall_ticks, 8);
+        assert_eq!(d.device_ops(), 4, "slow ops still count as one op each");
+    }
+
+    #[test]
+    fn fsync_stalls_charge_non_empty_flushes_only() {
+        let mut d = SimDisk::new(8);
+        d.arm_fsync_stall(2, 32);
+        assert_eq!(d.try_flush(), Ok(0), "empty flush is a no-op — no stall consumed");
+        assert_eq!(d.device_ticks(), 0);
+        d.write(0, &sec(1, 8));
+        d.try_write(1, &sec(2, 8)).unwrap();
+        assert_eq!(d.try_flush(), Ok(2), "the stall delays the fsync, it does not lose it");
+        // One checked write (1 tick) + one stalled flush (1 + 32 ticks).
+        assert_eq!(d.device_ticks(), 1 + 33);
+        assert_eq!(d.stall_ticks(), 32);
+        d.write(2, &sec(3, 8));
+        assert_eq!(d.try_flush(), Ok(1));
+        d.write(3, &sec(4, 8));
+        assert_eq!(d.try_flush(), Ok(1), "budget exhausted — healthy flush");
+        assert_eq!(d.stall_ticks(), 64);
+        assert_eq!(d.read(0), Some(sec(1, 8).as_slice()));
+    }
+
+    #[test]
+    fn slow_op_time_is_charged_even_when_the_op_fails() {
+        let mut d = SimDisk::new(8);
+        d.write(0, &sec(1, 8));
+        d.flush();
+        d.arm_slow_ops(1, 7);
+        d.arm_transient_errors(1);
+        assert_eq!(d.try_read(0), Err(DiskError::Transient));
+        assert_eq!(d.device_ticks(), 8, "a transient error on a slow device still wastes the wait");
+        assert_eq!(d.stall_ticks(), 7);
+    }
+
+    #[test]
+    fn heal_clears_armed_latency_but_keeps_elapsed_time() {
+        let mut d = SimDisk::new(8);
+        d.write(0, &sec(1, 8));
+        d.flush();
+        d.arm_slow_ops(10, 4);
+        d.arm_fsync_stall(10, 32);
+        assert!(d.try_read(0).is_ok());
+        let before = d.device_ticks();
+        assert_eq!(d.stall_ticks(), 4);
+        d.heal();
+        assert!(d.try_read(0).is_ok());
+        d.write(1, &sec(2, 8));
+        assert_eq!(d.try_flush(), Ok(1));
+        assert_eq!(d.device_ticks(), before + 2, "healed device serves at one tick per op");
+        assert_eq!(d.stall_ticks(), 4, "the surplus already paid persists");
+    }
+
+    #[test]
+    fn restore_clears_armed_latency_channels() {
+        let mut d = SimDisk::new(8);
+        d.write(0, &sec(1, 8));
+        d.flush();
+        let img = d.snapshot();
+        d.arm_slow_ops(5, 9);
+        d.arm_fsync_stall(5, 9);
+        d.restore(&img);
+        assert!(d.try_read(0).is_ok());
+        assert_eq!(d.stall_ticks(), 0, "restore re-images onto healthy hardware");
     }
 
     #[test]

@@ -1433,6 +1433,24 @@ where
         std::mem::take(&mut self.retries)
     }
 
+    fn arm_slow_ops(&mut self, n: u32, cost: u64) -> bool {
+        self.disk.arm_slow_ops(n, cost);
+        true
+    }
+
+    fn arm_fsync_stall(&mut self, n: u32, cost: u64) -> bool {
+        self.disk.arm_fsync_stall(n, cost);
+        true
+    }
+
+    fn device_ticks(&self) -> u64 {
+        self.disk.device_ticks()
+    }
+
+    fn stall_ticks(&self) -> u64 {
+        self.disk.stall_ticks()
+    }
+
     /// The sixth oracle leg. Baseline: crash + recover from a snapshot of
     /// the current image, counting the device ops recovery consumes. Then
     /// one trial per device-op index: restore the snapshot, arm the

@@ -43,8 +43,10 @@ use ccr_runtime::fault::FaultPlan;
 use ccr_workload::bench::{guard_violations, run_bench, BenchCfg};
 use ccr_workload::experiments;
 use ccr_workload::harness::json_string;
+use ccr_workload::overload::{run_overload, OverloadCfg};
 use ccr_workload::sim::{
     parse_policy, run_scenario, run_scenario_traced, shrink, sweep, Backend, Combo, SimScenario,
+    SweepCfg,
 };
 
 fn main() -> ExitCode {
@@ -65,11 +67,15 @@ fn main() -> ExitCode {
                 );
                 eprintln!("           [--backend disk|mem] [--ckpt N] [--group-commit]");
                 eprintln!("           [--fault-during-recovery]");
-                eprintln!("       ccr-experiments sim --combo C --sweep SEEDS [--horizon N] [--fault-count N]");
+                eprintln!("           [--mpl N] [--deadline ROUNDS] [--max-staged N] [--stall-threshold TICKS]");
+                eprintln!("       ccr-experiments sim --combo C --sweep SEEDS [--horizon N] [--fault-count N] [--gray]");
                 eprintln!("fault SPEC: e.g. 12:crash,30:torn2,45:abort,60:delay5,80:wound");
                 eprintln!("  storage faults (disk backend): 16:sect2,20:reorder,25:flip4093");
                 eprintln!(
                     "  device faults (disk backend): 20:io3 (transient I/O), 40:full (disk full)"
+                );
+                eprintln!(
+                    "  gray faults (disk backend): 20:slow4 (slow sectors), 40:stall2 (fsync stalls)"
                 );
                 ExitCode::from(2)
             }
@@ -160,6 +166,22 @@ fn main() -> ExitCode {
                 eprintln!("without --out the report JSON goes to stdout;");
                 eprintln!(
                     "--guard checks the run against the committed bounds (exit 1 on regression)"
+                );
+                ExitCode::from(2)
+            }
+        };
+    }
+    if args.first().map(String::as_str) == Some("overload") {
+        return match overload_main(&args[1..]) {
+            Ok(code) => code,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!("usage: ccr-experiments overload [--seed N] [--txns N] [--objects N]");
+                eprintln!("           [--mpl N] [--deadline ROUNDS] [--max-staged N]");
+                eprintln!("           [--stall-threshold TICKS] [--out FILE]");
+                eprintln!("without --out the report JSON goes to stdout;");
+                eprintln!(
+                    "exit 1 unless the protected run beats the unprotected baseline on the SLOs"
                 );
                 ExitCode::from(2)
             }
@@ -322,6 +344,7 @@ fn sim_main(args: &[String]) -> Result<ExitCode, String> {
     let mut sweep_seeds: Option<u64> = None;
     let mut horizon = 60u64;
     let mut fault_count = 4usize;
+    let mut gray = false;
     let mut json = false;
 
     let mut it = args.iter();
@@ -335,49 +358,56 @@ fn sim_main(args: &[String]) -> Result<ExitCode, String> {
             "--sweep" => sweep_seeds = Some(parse_num(flag, value()?)?),
             "--horizon" => horizon = parse_num(flag, value()?)?,
             "--fault-count" => fault_count = parse_num(flag, value()?)?,
+            "--gray" => gray = true,
             "--json" => json = true,
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
     let combo = combo.ok_or("missing --combo")?;
     scenario.combo = combo;
+    let sweep_cfg = sweep_seeds.map(|seeds| SweepCfg {
+        seeds,
+        horizon,
+        faults: fault_count,
+        backend: scenario.backend,
+        group_commit: scenario.group_commit,
+        fault_during_recovery: scenario.fault_during_recovery,
+        gray,
+        mpl: scenario.mpl,
+        deadline: scenario.deadline,
+        max_staged: scenario.max_staged,
+        stall_threshold: scenario.stall_threshold,
+        ..SweepCfg::new(combo, seeds)
+    });
 
     if json {
-        return Ok(sim_json(&scenario, sweep_seeds, horizon, fault_count));
+        return Ok(sim_json(&scenario, sweep_cfg.as_ref()));
     }
 
-    if let Some(seeds) = sweep_seeds {
+    if let Some(cfg) = &sweep_cfg {
         println!(
-            "sweeping {seeds} seeds of {combo} (horizon {horizon}, {fault_count} faults per plan)"
+            "sweeping {} seeds of {combo} (horizon {horizon}, {fault_count} faults per plan{})",
+            cfg.seeds,
+            if gray { ", gray generator" } else { "" },
         );
-        return Ok(
-            match sweep(
-                combo,
-                seeds,
-                horizon,
-                fault_count,
-                scenario.backend,
-                scenario.group_commit,
-                scenario.fault_during_recovery,
-            ) {
-                None => {
-                    println!("oracle passed on every seed");
-                    ExitCode::SUCCESS
-                }
-                Some(f) => {
-                    println!("\noracle FAILED: {}", f.failure);
-                    println!("original: {}", f.original.reproducer());
-                    println!(
-                        "shrunk to {} txns, {} faults in {} runs:",
-                        f.shrunk.live_txns(),
-                        f.shrunk.plan.len(),
-                        f.shrink_runs
-                    );
-                    println!("  {}", f.shrunk.reproducer());
-                    ExitCode::FAILURE
-                }
-            },
-        );
+        return Ok(match sweep(cfg) {
+            None => {
+                println!("oracle passed on every seed");
+                ExitCode::SUCCESS
+            }
+            Some(f) => {
+                println!("\noracle FAILED: {}", f.failure);
+                println!("original: {}", f.original.reproducer());
+                println!(
+                    "shrunk to {} txns, {} faults in {} runs:",
+                    f.shrunk.live_txns(),
+                    f.shrunk.plan.len(),
+                    f.shrink_runs
+                );
+                println!("  {}", f.shrunk.reproducer());
+                ExitCode::FAILURE
+            }
+        });
     }
 
     Ok(match run_scenario(&scenario) {
@@ -417,6 +447,15 @@ fn sim_main(args: &[String]) -> Result<ExitCode, String> {
                 report.stats.degraded_exits,
                 report.stats.convergence_checks,
             );
+            println!(
+                "overload: slow-device {}  fsync-stalls {}  stall-ticks {}  sheds {}  deadline-aborts {}  mode-flips {}",
+                report.stats.slow_device_faults,
+                report.stats.fsync_stall_faults,
+                report.stats.stall_ticks,
+                report.stats.sheds,
+                report.stats.deadline_aborts,
+                report.stats.mode_flips,
+            );
             println!("history fingerprint {:#018x}", report.history_fingerprint);
             ExitCode::SUCCESS
         }
@@ -439,22 +478,10 @@ fn sim_main(args: &[String]) -> Result<ExitCode, String> {
 /// The `sim --json` structured run report: one JSON object on stdout with an
 /// oracle verdict, the run counters, per-fault-kind counters and (on
 /// failure) the shrink result. Exit codes match the text mode.
-fn sim_json(
-    scenario: &SimScenario,
-    sweep_seeds: Option<u64>,
-    horizon: u64,
-    fault_count: usize,
-) -> ExitCode {
-    if let Some(seeds) = sweep_seeds {
-        return match sweep(
-            scenario.combo,
-            seeds,
-            horizon,
-            fault_count,
-            scenario.backend,
-            scenario.group_commit,
-            scenario.fault_during_recovery,
-        ) {
+fn sim_json(scenario: &SimScenario, sweep_cfg: Option<&SweepCfg>) -> ExitCode {
+    if let Some(cfg) = sweep_cfg {
+        let seeds = cfg.seeds;
+        return match sweep(cfg) {
             None => {
                 println!(
                     "{{\"mode\":\"sweep\",\"combo\":{},\"seeds\":{seeds},\"verdict\":\"pass\"}}",
@@ -494,9 +521,12 @@ fn sim_json(
                     "\"fault_counters\":{{\"crashes\":{},\"torn_crashes\":{},",
                     "\"forced_aborts\":{},\"delayed_commits\":{},\"wound_storms\":{},",
                     "\"sector_tears\":{},\"reordered_flushes\":{},",
-                    "\"bitflips_detected\":{},\"transient_io\":{},\"disk_full\":{}}},",
+                    "\"bitflips_detected\":{},\"transient_io\":{},\"disk_full\":{},",
+                    "\"slow_device\":{},\"fsync_stall\":{}}},",
                     "\"checkpoints\":{},\"io_retries\":{},\"degraded_entries\":{},",
                     "\"degraded_exits\":{},\"convergence_checks\":{},",
+                    "\"sheds\":{},\"deadline_aborts\":{},\"stall_ticks\":{},",
+                    "\"mode_flips\":{},",
                     "\"history_fingerprint\":{}}}"
                 ),
                 json_string(&scenario.reproducer()),
@@ -517,11 +547,17 @@ fn sim_json(
                 s.bitflips_detected,
                 s.transient_io_faults,
                 s.disk_full_faults,
+                s.slow_device_faults,
+                s.fsync_stall_faults,
                 s.checkpoints,
                 s.io_retries,
                 s.degraded_entries,
                 s.degraded_exits,
                 s.convergence_checks,
+                s.sheds,
+                s.deadline_aborts,
+                s.stall_ticks,
+                s.mode_flips,
                 json_string(&format!("{:#018x}", report.history_fingerprint)),
             );
             ExitCode::SUCCESS
@@ -843,6 +879,73 @@ fn bench_main(args: &[String]) -> Result<ExitCode, String> {
     Ok(if pass { ExitCode::SUCCESS } else { ExitCode::FAILURE })
 }
 
+/// Parse and run the `overload` subcommand: the gray-failure survival
+/// benchmark (unprotected run vs the same seeded workload under deadlines,
+/// MPL, WAL-lag shedding and the stall detector, both against a stalling
+/// device). Writes the JSON report to `--out` or stdout, prints a human
+/// summary to stderr, and exits 0 only when both SLO verdicts hold:
+/// protected goodput strictly higher, protected p99 latency bounded.
+fn overload_main(args: &[String]) -> Result<ExitCode, String> {
+    let mut cfg = OverloadCfg::default();
+    let mut out: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value =
+            || it.next().map(String::as_str).ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--seed" => cfg.seed = parse_num(flag, value()?)?,
+            "--txns" => cfg.txns = parse_num(flag, value()?)?,
+            "--objects" => cfg.objects = parse_num(flag, value()?)?,
+            "--mpl" => cfg.mpl = parse_num(flag, value()?)?,
+            "--deadline" => cfg.deadline = parse_num(flag, value()?)?,
+            "--max-staged" => cfg.max_staged = parse_num(flag, value()?)?,
+            "--stall-threshold" => cfg.stall_threshold = parse_num(flag, value()?)?,
+            "--out" => out = Some(value()?.to_string()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+
+    let report = run_overload(&cfg);
+    let json = report.to_json();
+    match &out {
+        Some(path) => {
+            std::fs::write(path, format!("{json}\n")).map_err(|e| format!("write {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+    eprintln!(
+        "unprotected: committed {} / gave-up {} in {} rounds (goodput {}m/round), p99 {} rounds, stall-ticks {}",
+        report.unprotected.committed,
+        report.unprotected.gave_up,
+        report.unprotected.rounds,
+        report.unprotected.goodput_milli,
+        report.unprotected.p99_latency_rounds,
+        report.unprotected.stall_ticks,
+    );
+    eprintln!(
+        "protected:   committed {} / gave-up {} in {} rounds (goodput {}m/round), p99 {} rounds, sheds {}, deadline-aborts {}, mode-flips {}",
+        report.protected.committed,
+        report.protected.gave_up,
+        report.protected.rounds,
+        report.protected.goodput_milli,
+        report.protected.p99_latency_rounds,
+        report.protected.sheds,
+        report.protected.deadline_aborts,
+        report.protected.mode_flips,
+    );
+    eprintln!(
+        "verdicts: goodput_improved={} p99_bounded={}",
+        report.goodput_improved, report.p99_bounded
+    );
+    Ok(if report.goodput_improved && report.p99_bounded {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
 /// Parse one shared scenario-shape flag — the `sim`, `trace`, `profile` and
 /// `inspect` subcommands all accept the same run shape. Returns `Ok(false)`
 /// when the flag is not a scenario flag, so the caller can try its own.
@@ -870,6 +973,10 @@ fn scenario_flag<'a>(
         "--ckpt" => scenario.checkpoint_every = Some(parse_num(flag, value()?)?),
         "--group-commit" => scenario.group_commit = true,
         "--fault-during-recovery" => scenario.fault_during_recovery = true,
+        "--mpl" => scenario.mpl = parse_num(flag, value()?)?,
+        "--deadline" => scenario.deadline = parse_num(flag, value()?)?,
+        "--max-staged" => scenario.max_staged = parse_num(flag, value()?)?,
+        "--stall-threshold" => scenario.stall_threshold = parse_num(flag, value()?)?,
         _ => return Ok(false),
     }
     Ok(true)

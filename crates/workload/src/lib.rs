@@ -14,6 +14,10 @@
 //!   Theorems 9/10, the §6.4/§8 incomparability, the worked examples of
 //!   §3.3/§5) plus the concurrency comparisons; each renders a markdown
 //!   section consumed by `EXPERIMENTS.md` and the `ccr-experiments` binary;
+//! * [`overload`] — the gray-failure survival benchmark: the same stalling
+//!   device with and without the protection knobs (deadlines, MPL, WAL-lag
+//!   shedding, stall detector), producing `reports/BENCH_overload.json`
+//!   with SLO verdicts CI enforces by exit code;
 //! * [`profile`] — the contention & recovery profiler's report assembly:
 //!   per-phase span histograms, observed-conflict attribution, and the
 //!   static admitted-concurrency tables, as one schema-pinned JSON document;
@@ -29,5 +33,6 @@ pub mod bench;
 pub mod experiments;
 pub mod gen;
 pub mod harness;
+pub mod overload;
 pub mod profile;
 pub mod sim;

@@ -1,0 +1,245 @@
+//! Gray-failure survival benchmark.
+//!
+//! Runs the same seeded hot-contention workload twice through the
+//! deterministic fault simulator against a stalling device (armed slow
+//! sectors and fsync stalls from the gray fault generator): once
+//! **unprotected** — unlimited admission, no deadlines, no WAL-lag shedding,
+//! no stall detector — and once **protected**, with every gray-survival knob
+//! on. Both runs are in logical scheduler rounds, so every figure in the
+//! report is an integer and the JSON checked in at
+//! `reports/BENCH_overload.json` is byte-identical across machines
+//! (schema-pinned by `bench_schema.rs`; CI regenerates and `cmp`s it).
+//!
+//! The two SLO verdicts the robustness tentpole is judged on:
+//!
+//! * `goodput_improved` — the protected side commits strictly more per
+//!   round (milli-commits/round, integer arithmetic) than the unprotected
+//!   baseline. Throttled admission plus shedding is the classical remedy
+//!   for lock thrashing; it must actually pay under gray faults.
+//! * `p99_bounded` — the protected side's p99 commit latency (rounds from
+//!   last begin to acknowledgement) does not exceed the unprotected
+//!   baseline's. Deadlines exist to bound tail latency; a protected run
+//!   with a worse tail than no protection at all is a misconfiguration.
+
+use ccr_runtime::fault::{FaultKind, FaultPlan, FaultSpec};
+
+use crate::harness::json_string;
+use crate::sim::{run_scenario, Backend, Combo, SimScenario};
+
+/// Benchmark shape and protection knobs (the protected side's settings; the
+/// unprotected side always runs with every knob off).
+#[derive(Clone, Copy, Debug)]
+pub struct OverloadCfg {
+    /// Workload and interleaving seed.
+    pub seed: u64,
+    /// Transactions per side.
+    pub txns: usize,
+    /// Objects (bank accounts) — few, so the workload is conflict-dense.
+    pub objects: u32,
+    /// Protected side: admission bound (transactions in flight).
+    pub mpl: usize,
+    /// Protected side: per-transaction deadline in rounds.
+    pub deadline: u64,
+    /// Protected side: WAL-lag shed bound (records per group flush).
+    pub max_staged: usize,
+    /// Protected side: stall-detector strike threshold in ticks.
+    pub stall_threshold: u64,
+}
+
+impl Default for OverloadCfg {
+    fn default() -> Self {
+        OverloadCfg {
+            seed: 0,
+            txns: 48,
+            objects: 1,
+            mpl: 2,
+            deadline: 40,
+            max_staged: 2,
+            stall_threshold: 64,
+        }
+    }
+}
+
+/// Measured figures of one side. All integers in logical units — the report
+/// must be byte-identical across machines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OverloadSide {
+    /// Transactions committed (and durably acknowledged).
+    pub committed: u64,
+    /// Transactions that exhausted their retry budget.
+    pub gave_up: u64,
+    /// Script restarts.
+    pub retries: u64,
+    /// Scheduler rounds until all scripts finished (the makespan).
+    pub rounds: u64,
+    /// Milli-commits per round: `committed * 1000 / rounds`.
+    pub goodput_milli: u64,
+    /// Median commit latency in rounds (last begin to acknowledgement).
+    pub p50_latency_rounds: u64,
+    /// 99th-percentile commit latency in rounds.
+    pub p99_latency_rounds: u64,
+    /// Transactions shed by the WAL-lag admission gate.
+    pub sheds: u64,
+    /// Deadline aborts.
+    pub deadline_aborts: u64,
+    /// Device stall ticks absorbed over the run.
+    pub stall_ticks: u64,
+    /// Normal↔Degraded mode transitions.
+    pub mode_flips: u64,
+}
+
+impl OverloadSide {
+    fn to_json(self) -> String {
+        format!(
+            concat!(
+                "{{\"committed\":{},\"gave_up\":{},\"retries\":{},\"rounds\":{},",
+                "\"goodput_milli\":{},\"p50_latency_rounds\":{},",
+                "\"p99_latency_rounds\":{},\"sheds\":{},\"deadline_aborts\":{},",
+                "\"stall_ticks\":{},\"mode_flips\":{}}}"
+            ),
+            self.committed,
+            self.gave_up,
+            self.retries,
+            self.rounds,
+            self.goodput_milli,
+            self.p50_latency_rounds,
+            self.p99_latency_rounds,
+            self.sheds,
+            self.deadline_aborts,
+            self.stall_ticks,
+            self.mode_flips,
+        )
+    }
+}
+
+/// The full benchmark report: the configuration, both sides, and the SLO
+/// verdicts CI enforces by exit code.
+#[derive(Clone, Debug)]
+pub struct OverloadReport {
+    /// The shape and protection knobs the benchmark ran with.
+    pub cfg: OverloadCfg,
+    /// Every protection knob off.
+    pub unprotected: OverloadSide,
+    /// Deadlines + MPL + shedding + stall detector on.
+    pub protected: OverloadSide,
+    /// Protected goodput strictly beats the unprotected baseline.
+    pub goodput_improved: bool,
+    /// Protected p99 latency does not exceed the unprotected baseline's.
+    pub p99_bounded: bool,
+}
+
+impl OverloadReport {
+    /// Render as a JSON object (hand-rolled: the build has no serde).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"name\":{},\"seed\":{},\"txns\":{},\"objects\":{},",
+                "\"mpl\":{},\"deadline\":{},\"max_staged\":{},",
+                "\"stall_threshold\":{},\"unprotected\":{},\"protected\":{},",
+                "\"goodput_improved\":{},\"p99_bounded\":{}}}"
+            ),
+            json_string("overload"),
+            self.cfg.seed,
+            self.cfg.txns,
+            self.cfg.objects,
+            self.cfg.mpl,
+            self.cfg.deadline,
+            self.cfg.max_staged,
+            self.cfg.stall_threshold,
+            self.unprotected.to_json(),
+            self.protected.to_json(),
+            self.goodput_improved,
+            self.p99_bounded,
+        )
+    }
+}
+
+/// The gray fault plan both sides run against: recurring fsync stalls and
+/// slow-sector episodes spread across the run, so the device is degraded for
+/// most of it. Fixed (not seeded): the *workload* varies with the seed, the
+/// injury stays the same — that is what makes two sides comparable.
+fn gray_plan() -> FaultPlan {
+    FaultPlan::new(vec![
+        FaultSpec { at_event: 4, kind: FaultKind::FsyncStall { stalls: 4 } },
+        FaultSpec { at_event: 10, kind: FaultKind::SlowDisk { ops: 6 } },
+        FaultSpec { at_event: 18, kind: FaultKind::FsyncStall { stalls: 4 } },
+        FaultSpec { at_event: 28, kind: FaultKind::SlowDisk { ops: 6 } },
+        FaultSpec { at_event: 40, kind: FaultKind::FsyncStall { stalls: 4 } },
+    ])
+}
+
+fn side(cfg: &OverloadCfg, protected: bool) -> OverloadSide {
+    let mut scenario = SimScenario::new(Combo::UipNrbc, cfg.seed, gray_plan());
+    scenario.txns = cfg.txns;
+    // Three ops per transaction on a tiny object set: the bidirectional
+    // deposit/balance mix from the B5 admission experiment, where unlimited
+    // admission demonstrably thrashes into deadlock churn.
+    scenario.ops_per_txn = 3;
+    scenario.objects = cfg.objects;
+    scenario.backend = Backend::Disk;
+    scenario.group_commit = true;
+    if protected {
+        scenario.mpl = cfg.mpl;
+        scenario.deadline = cfg.deadline;
+        scenario.max_staged = cfg.max_staged;
+        scenario.stall_threshold = cfg.stall_threshold;
+    }
+    let report = run_scenario(&scenario)
+        .unwrap_or_else(|f| panic!("overload bench scenario must pass its oracle: {f}"));
+    let lat = &report.commit_latency_rounds;
+    let pct = |q: f64| -> u64 {
+        if lat.is_empty() {
+            0
+        } else {
+            lat[((lat.len() - 1) as f64 * q).round() as usize]
+        }
+    };
+    OverloadSide {
+        committed: report.committed,
+        gave_up: report.gave_up,
+        retries: report.retries,
+        rounds: report.rounds,
+        goodput_milli: (report.committed * 1000).checked_div(report.rounds).unwrap_or(0),
+        p50_latency_rounds: pct(0.50),
+        p99_latency_rounds: pct(0.99),
+        sheds: report.stats.sheds,
+        deadline_aborts: report.stats.deadline_aborts,
+        stall_ticks: report.stats.stall_ticks,
+        mode_flips: report.stats.mode_flips,
+    }
+}
+
+/// Run both sides of the benchmark under `cfg` and judge the SLO verdicts.
+pub fn run_overload(cfg: &OverloadCfg) -> OverloadReport {
+    let unprotected = side(cfg, false);
+    let protected = side(cfg, true);
+    let goodput_improved = protected.goodput_milli > unprotected.goodput_milli;
+    let p99_bounded = protected.p99_latency_rounds <= unprotected.p99_latency_rounds;
+    OverloadReport { cfg: *cfg, unprotected, protected, goodput_improved, p99_bounded }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protection_beats_the_unprotected_baseline() {
+        let report = run_overload(&OverloadCfg::default());
+        assert_eq!(
+            report.unprotected.committed + report.unprotected.gave_up,
+            report.cfg.txns as u64,
+            "every script must end accounted: {:?}",
+            report.unprotected
+        );
+        assert!(report.goodput_improved, "protected goodput must win: {report:?}");
+        assert!(report.p99_bounded, "protected p99 must stay bounded: {report:?}");
+        assert!(report.protected.stall_ticks > 0, "the gray plan must actually stall the device");
+    }
+
+    #[test]
+    fn overload_reports_are_byte_deterministic() {
+        let a = run_overload(&OverloadCfg::default()).to_json();
+        let b = run_overload(&OverloadCfg::default()).to_json();
+        assert_eq!(a, b);
+    }
+}

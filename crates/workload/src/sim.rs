@@ -182,6 +182,17 @@ pub struct SimScenario {
     /// recovery reproduce the baseline outcome (see DESIGN.md §11). No-op on
     /// the mem backend.
     pub fault_during_recovery: bool,
+    /// Admission control: maximum transactions in flight (0 = unlimited).
+    pub mpl: usize,
+    /// Per-transaction deadline in scheduler rounds (0 = none).
+    pub deadline: u64,
+    /// WAL-lag admission bound: maximum records staged per group-commit
+    /// flush; the tail beyond it is shed with `TxnError::Shed`
+    /// (0 = unbounded).
+    pub max_staged: usize,
+    /// Gray-failure detector: stall ticks per commit that count as a strike
+    /// (two consecutive strikes flip the system into `Degraded`); 0 = off.
+    pub stall_threshold: u64,
 }
 
 impl SimScenario {
@@ -200,6 +211,10 @@ impl SimScenario {
             checkpoint_every: None,
             group_commit: false,
             fault_during_recovery: false,
+            mpl: 0,
+            deadline: 0,
+            max_staged: 0,
+            stall_threshold: 0,
         }
     }
 
@@ -223,9 +238,16 @@ impl SimScenario {
             let list: Vec<String> = self.skip.iter().map(|i| i.to_string()).collect();
             s.push_str(&format!(" --skip {}", list.join(",")));
         }
-        // Always explicit: a reproducer that leans on the default backend
-        // silently replays the wrong configuration if the default changes.
+        // Always explicit: a reproducer that leans on the default backend —
+        // or on default overload knobs — silently replays the wrong
+        // configuration if a default changes. The gray-survival knobs (MPL,
+        // deadline, shed bound, stall detector) all change scheduling, so
+        // they are pinned even at their defaults.
         s.push_str(&format!(" --backend {}", self.backend));
+        s.push_str(&format!(" --mpl {}", self.mpl));
+        s.push_str(&format!(" --deadline {}", self.deadline));
+        s.push_str(&format!(" --max-staged {}", self.max_staged));
+        s.push_str(&format!(" --stall-threshold {}", self.stall_threshold));
         if let Some(every) = self.checkpoint_every {
             s.push_str(&format!(" --ckpt {every}"));
         }
@@ -337,6 +359,10 @@ where
         checkpoint_every: scenario.checkpoint_every,
         group_commit: scenario.group_commit,
         fault_during_recovery: scenario.fault_during_recovery,
+        mpl: scenario.mpl,
+        deadline: scenario.deadline,
+        max_staged: scenario.max_staged,
+        stall_threshold: scenario.stall_threshold,
         ..Default::default()
     };
     let result = run_sim(&mut sys, scripts, &scenario.plan, &cfg, &spec, invariant);
@@ -494,26 +520,81 @@ pub struct SweepFailure {
     pub shrink_runs: u64,
 }
 
-/// Sweep `seeds` seeds of `combo`: seed `s` runs the seeded workload under
-/// `FaultPlan::from_seed(s, horizon, faults)` on `backend`, with group
-/// commit on or off and optionally the crash-during-recovery convergence
-/// leg. Returns the first oracle failure, shrunk to a minimal reproducer —
-/// or `None` if every run passed.
-pub fn sweep(
-    combo: Combo,
-    seeds: u64,
-    horizon: u64,
-    faults: usize,
-    backend: Backend,
-    group_commit: bool,
-    fault_during_recovery: bool,
-) -> Option<SweepFailure> {
-    for seed in 0..seeds {
-        let plan = FaultPlan::from_seed(seed, horizon, faults);
-        let mut scenario = SimScenario::new(combo, seed, plan);
-        scenario.backend = backend;
-        scenario.group_commit = group_commit;
-        scenario.fault_during_recovery = fault_during_recovery;
+/// Configuration of one [`sweep`]: which combo, how many seeds, how fault
+/// plans are drawn, and which runtime knobs every swept scenario carries.
+/// (The old positional signature grew a parameter per PR; a struct keeps
+/// call sites readable and additions non-breaking.)
+#[derive(Clone, Copy, Debug)]
+pub struct SweepCfg {
+    /// Engine × conflict-relation pairing to sweep.
+    pub combo: Combo,
+    /// Seeds `0..seeds` to run.
+    pub seeds: u64,
+    /// Fault-plan event horizon.
+    pub horizon: u64,
+    /// Faults per plan.
+    pub faults: usize,
+    /// Storage backend.
+    pub backend: Backend,
+    /// Group commit on every scenario.
+    pub group_commit: bool,
+    /// Run the crash-during-recovery convergence leg.
+    pub fault_during_recovery: bool,
+    /// Draw plans from [`FaultPlan::from_seed_gray`] instead of
+    /// [`FaultPlan::from_seed`]: the gray generator adds stalling-device
+    /// kinds (`slow{n}` / `stall{n}`) to the fault mix.
+    pub gray: bool,
+    /// Admission control for every scenario (0 = unlimited).
+    pub mpl: usize,
+    /// Per-transaction deadline in rounds (0 = none).
+    pub deadline: u64,
+    /// WAL-lag shed bound per group-commit flush (0 = unbounded).
+    pub max_staged: usize,
+    /// Stall-detector strike threshold in ticks (0 = off).
+    pub stall_threshold: u64,
+}
+
+impl SweepCfg {
+    /// A sweep over `seeds` seeds of `combo` with the default fault shape
+    /// (horizon 40, 3 faults, disk backend) and no overload knobs.
+    pub fn new(combo: Combo, seeds: u64) -> Self {
+        SweepCfg {
+            combo,
+            seeds,
+            horizon: 40,
+            faults: 3,
+            backend: Backend::Disk,
+            group_commit: false,
+            fault_during_recovery: false,
+            gray: false,
+            mpl: 0,
+            deadline: 0,
+            max_staged: 0,
+            stall_threshold: 0,
+        }
+    }
+}
+
+/// Sweep `cfg.seeds` seeds of `cfg.combo`: seed `s` runs the seeded
+/// workload under a seed-`s` fault plan (the gray generator when
+/// `cfg.gray`) on `cfg.backend`, carrying the sweep's overload knobs.
+/// Returns the first oracle failure, shrunk to a minimal reproducer — or
+/// `None` if every run passed.
+pub fn sweep(cfg: &SweepCfg) -> Option<SweepFailure> {
+    for seed in 0..cfg.seeds {
+        let plan = if cfg.gray {
+            FaultPlan::from_seed_gray(seed, cfg.horizon, cfg.faults)
+        } else {
+            FaultPlan::from_seed(seed, cfg.horizon, cfg.faults)
+        };
+        let mut scenario = SimScenario::new(cfg.combo, seed, plan);
+        scenario.backend = cfg.backend;
+        scenario.group_commit = cfg.group_commit;
+        scenario.fault_during_recovery = cfg.fault_during_recovery;
+        scenario.mpl = cfg.mpl;
+        scenario.deadline = cfg.deadline;
+        scenario.max_staged = cfg.max_staged;
+        scenario.stall_threshold = cfg.stall_threshold;
         if run_scenario(&scenario).is_err() {
             let (shrunk, failure, shrink_runs) = shrink(&scenario);
             return Some(SweepFailure { original: scenario, shrunk, failure, shrink_runs });
@@ -676,7 +757,7 @@ mod tests {
                 continue;
             }
             assert!(
-                sweep(combo, 6, 40, 3, Backend::Disk, false, false).is_none(),
+                sweep(&SweepCfg::new(combo, 6)).is_none(),
                 "correct pairing {combo} failed a fault sweep"
             );
         }
@@ -687,11 +768,69 @@ mod tests {
         // Group commit turns every round's commits into one multi-record
         // flush, so the same sweep now exercises torn *batch* tails.
         for combo in [Combo::UipNrbc, Combo::DuNfc] {
+            let cfg = SweepCfg { group_commit: true, ..SweepCfg::new(combo, 6) };
             assert!(
-                sweep(combo, 6, 40, 3, Backend::Disk, true, false).is_none(),
+                sweep(&cfg).is_none(),
                 "correct pairing {combo} failed a group-commit fault sweep"
             );
         }
+    }
+
+    #[test]
+    fn correct_pairings_survive_a_gray_sweep_with_overload_knobs() {
+        // The gray generator mixes stalling-device faults into the plan;
+        // deadlines, MPL, a shed bound, and the stall detector are all on.
+        // Every admitted transaction must still reach a bounded outcome
+        // (the seventh oracle leg runs inside every scenario).
+        for combo in [Combo::UipNrbc, Combo::DuNfc] {
+            let cfg = SweepCfg {
+                gray: true,
+                group_commit: true,
+                mpl: 4,
+                deadline: 50,
+                max_staged: 2,
+                stall_threshold: 64,
+                ..SweepCfg::new(combo, 6)
+            };
+            assert!(sweep(&cfg).is_none(), "correct pairing {combo} failed a gray sweep");
+        }
+    }
+
+    #[test]
+    fn gray_sweep_degrades_cleanly_on_the_mem_backend() {
+        // Device-latency faults degrade to crashes on the mem backend; the
+        // sweep must still pass end to end.
+        let cfg =
+            SweepCfg { gray: true, backend: Backend::Mem, ..SweepCfg::new(Combo::UipNrbc, 6) };
+        assert!(sweep(&cfg).is_none(), "gray sweep must degrade cleanly on mem");
+    }
+
+    #[test]
+    fn reproducer_pins_the_overload_knobs_explicitly() {
+        // A reproducer that leaned on default knobs would silently replay
+        // the wrong configuration if a default changed: every gray-survival
+        // knob is rendered even at its default, like --backend.
+        let plan = FaultPlan::from_seed_gray(7, 40, 3);
+        let mut scenario = SimScenario::new(Combo::UipNrbc, 7, plan);
+        let line = scenario.reproducer();
+        assert!(line.contains(" --mpl 0"), "default mpl must be pinned: {line}");
+        assert!(line.contains(" --deadline 0"), "default deadline must be pinned: {line}");
+        assert!(line.contains(" --max-staged 0"), "default shed bound must be pinned: {line}");
+        assert!(line.contains(" --stall-threshold 0"), "default detector must be pinned: {line}");
+
+        scenario.mpl = 2;
+        scenario.deadline = 40;
+        scenario.max_staged = 2;
+        scenario.stall_threshold = 16;
+        let line = scenario.reproducer();
+        assert!(line.contains(" --mpl 2"));
+        assert!(line.contains(" --deadline 40"));
+        assert!(line.contains(" --max-staged 2"));
+        assert!(line.contains(" --stall-threshold 16"));
+        // Gray fault kinds survive the plan's text round trip.
+        let rendered = scenario.plan.to_string();
+        assert_eq!(rendered.parse::<FaultPlan>().unwrap(), scenario.plan);
+        assert!(run_scenario(&scenario).is_ok());
     }
 
     #[test]
@@ -705,8 +844,8 @@ mod tests {
 
     #[test]
     fn weakened_combo_is_caught_and_shrunk_small() {
-        let fail = sweep(Combo::UipSymNfc, 64, 60, 4, Backend::Disk, false, false)
-            .expect("uip-sym-nfc must fail within the sweep");
+        let cfg = SweepCfg { horizon: 60, faults: 4, ..SweepCfg::new(Combo::UipSymNfc, 64) };
+        let fail = sweep(&cfg).expect("uip-sym-nfc must fail within the sweep");
         // The shrunk reproducer involves at most 3 live transactions.
         assert!(
             fail.shrunk.live_txns() <= 3,

@@ -111,6 +111,12 @@ fn sim_metrics_schema_pins_the_storage_fault_counters() {
         "degraded_entries",
         "degraded_exits",
         "convergence_checks",
+        "sheds",
+        "deadline_aborts",
+        "stall_ticks",
+        "mode_flips",
+        "slow_device_faults",
+        "fsync_stall_faults",
     ]
     .iter()
     .map(|s| s.to_string())
@@ -135,6 +141,8 @@ fn sim_metrics_schema_pins_the_storage_fault_counters() {
         "batch_size",
         "flush_latency",
         "retry_backoff",
+        "retry_jitter",
+        "stall_latency",
     ] {
         assert!(metrics_keys.contains(key), "MetricsReport::to_json must expose {key:?}");
     }
@@ -170,6 +178,38 @@ fn group_commit_bench_schema_matches_fresh_report() {
         "BenchReport::to_json keys drifted from the committed report — \
          regenerate reports/BENCH_group_commit.json with `ccr-experiments \
          bench --out reports/BENCH_group_commit.json` in the same commit"
+    );
+}
+
+/// Schema pin for `reports/BENCH_overload.json`: the committed gray-failure
+/// survival report and a freshly produced [`OverloadReport`] must expose
+/// exactly the same JSON keys. Values are deterministic integers in logical
+/// rounds, but the key set (both sides' goodput/latency/shedding figures and
+/// the two SLO verdicts) is the contract the CI chaos-overload job and
+/// EXPERIMENTS.md S8 script against.
+#[test]
+fn overload_bench_schema_matches_fresh_report() {
+    use ccr_workload::overload::{run_overload, OverloadCfg};
+
+    let committed = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../reports/BENCH_overload.json"
+    ))
+    .expect(
+        "reports/BENCH_overload.json is committed; regenerate with \
+         `ccr-experiments overload --out reports/BENCH_overload.json`",
+    );
+    let committed_keys = json_keys(&committed);
+    assert!(!committed_keys.is_empty(), "committed report must contain JSON objects");
+
+    let fresh = run_overload(&OverloadCfg::default());
+    assert!(fresh.goodput_improved && fresh.p99_bounded, "default shape passes its own SLOs");
+    assert_eq!(
+        committed_keys,
+        json_keys(&fresh.to_json()),
+        "OverloadReport::to_json keys drifted from the committed report — \
+         regenerate reports/BENCH_overload.json with `ccr-experiments \
+         overload --out reports/BENCH_overload.json` in the same commit"
     );
 }
 

@@ -5,7 +5,9 @@
 //! surfacing as `RedoError`s rather than silent state divergence.
 
 use ccr::runtime::fault::FaultPlan;
-use ccr::workload::sim::{run_scenario, run_scenario_traced, sweep, Backend, Combo, SimScenario};
+use ccr::workload::sim::{
+    run_scenario, run_scenario_traced, sweep, Backend, Combo, SimScenario, SweepCfg,
+};
 
 /// Same `(seed, FaultPlan)` ⇒ identical run reports (which embed the
 /// history fingerprint and every per-fault-kind counter), run twice through
@@ -49,8 +51,8 @@ fn traced_runs_report_the_legacy_counters() {
 /// still fails.
 #[test]
 fn weakened_relation_is_caught_and_shrunk() {
-    let f = sweep(Combo::UipSymNfc, 64, 60, 4, Backend::Disk, false, false)
-        .expect("weakened combo must be caught");
+    let cfg = SweepCfg { horizon: 60, faults: 4, ..SweepCfg::new(Combo::UipSymNfc, 64) };
+    let f = sweep(&cfg).expect("weakened combo must be caught");
     assert!(f.shrunk.live_txns() <= 3, "reproducer too large: {}", f.shrunk.reproducer());
     assert!(
         run_scenario(&f.shrunk).is_err(),
@@ -68,8 +70,15 @@ fn weakened_relation_is_caught_and_shrunk() {
 fn recovery_convergence_survives_a_32_seed_sweep() {
     for combo in [Combo::UipNrbc, Combo::DuNfc] {
         for group_commit in [false, true] {
+            let cfg = SweepCfg {
+                horizon: 60,
+                faults: 4,
+                group_commit,
+                fault_during_recovery: true,
+                ..SweepCfg::new(combo, 32)
+            };
             assert!(
-                sweep(combo, 32, 60, 4, Backend::Disk, group_commit, true).is_none(),
+                sweep(&cfg).is_none(),
                 "recovery convergence failed for {combo} (group_commit: {group_commit})"
             );
         }
