@@ -45,6 +45,23 @@ pub enum McAction {
     /// (the nested power loss is absorbed internally; the trigger is
     /// one-shot).
     CrashInRecovery(u64),
+    /// `p{i}` — 2PC phase one (sharded instances only): collect a durable
+    /// PREPARE from every participant of global transaction `i`. Any
+    /// no-vote aborts it globally.
+    Prepare(usize),
+    /// `q{i}` — 2PC decision + phase two (sharded instances only): durably
+    /// record commit for the fully prepared global transaction `i`, then
+    /// journal and apply the decision on every participant.
+    DecideCommit(usize),
+    /// `s{n}` — crash the shard subset with bitmask `n` (sharded instances
+    /// only): each named shard loses power and recovers under
+    /// `TornPolicy::DiscardTail`; in-doubt transactions are then settled
+    /// from the coordinator's durable commit set (presumed abort).
+    CrashShards(u32),
+    /// `z` — crash the coordinator (sharded instances only): its volatile
+    /// transaction table dies, unprepared halves abort locally, prepared
+    /// halves stay in doubt and are settled by presumed abort.
+    CrashCoordinator,
 }
 
 impl fmt::Display for McAction {
@@ -59,6 +76,10 @@ impl fmt::Display for McAction {
             McAction::CrashTorn(n) => write!(f, "t{n}"),
             McAction::CrashReorder => write!(f, "r"),
             McAction::CrashInRecovery(n) => write!(f, "d{n}"),
+            McAction::Prepare(i) => write!(f, "p{i}"),
+            McAction::DecideCommit(i) => write!(f, "q{i}"),
+            McAction::CrashShards(n) => write!(f, "s{n}"),
+            McAction::CrashCoordinator => write!(f, "z"),
         }
     }
 }
@@ -86,6 +107,7 @@ impl FromStr for McAction {
             "k" => return Ok(McAction::Checkpoint),
             "x" => return Ok(McAction::CrashClean),
             "r" => return Ok(McAction::CrashReorder),
+            "z" => return Ok(McAction::CrashCoordinator),
             _ => {}
         }
         let (head, rest) = s.split_at(1);
@@ -95,6 +117,9 @@ impl FromStr for McAction {
             "a" => Ok(McAction::Abort(num(rest)?)),
             "t" => Ok(McAction::CrashTorn(num(rest)?)),
             "d" => Ok(McAction::CrashInRecovery(num(rest)? as u64)),
+            "p" => Ok(McAction::Prepare(num(rest)?)),
+            "q" => Ok(McAction::DecideCommit(num(rest)?)),
+            "s" => Ok(McAction::CrashShards(num(rest)? as u32)),
             _ => Err(bad()),
         }
     }
@@ -140,6 +165,10 @@ mod tests {
             McAction::CrashTorn(3),
             McAction::CrashReorder,
             McAction::CrashInRecovery(17),
+            McAction::Prepare(1),
+            McAction::DecideCommit(0),
+            McAction::CrashShards(3),
+            McAction::CrashCoordinator,
         ];
         let trace = McTrace(all.clone());
         let parsed: McTrace = trace.to_string().parse().unwrap();
@@ -148,9 +177,10 @@ mod tests {
 
     #[test]
     fn junk_tokens_are_rejected() {
-        assert!("q7".parse::<McAction>().is_err());
+        assert!("y7".parse::<McAction>().is_err());
         assert!("b".parse::<McAction>().is_err());
         assert!("bx".parse::<McAction>().is_err());
+        assert!("p".parse::<McAction>().is_err());
         assert!("b0 zz".parse::<McTrace>().is_err());
     }
 

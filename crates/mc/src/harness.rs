@@ -79,6 +79,12 @@ pub enum Mutation {
     /// Skip the WAL epoch bump (disk only): stale pre-truncation frames can
     /// be replayed as if current. Violates idempotence / view agreement.
     SkipEpochBump,
+    /// Sharded instances only: the coordinator's first commit-decision
+    /// record silently evaporates after one participant was already told to
+    /// commit, and the coordinator dies mid-phase-two — settlement presumes
+    /// abort on the stragglers. Violates global uniform outcome (the
+    /// eighth oracle leg).
+    LoseDecision,
 }
 
 impl fmt::Display for Mutation {
@@ -88,6 +94,7 @@ impl fmt::Display for Mutation {
             Mutation::ReorderLastBatch => "reorder-last-batch",
             Mutation::ResurrectAborted => "resurrect-aborted",
             Mutation::SkipEpochBump => "skip-epoch-bump",
+            Mutation::LoseDecision => "lose-decision",
         };
         write!(f, "{s}")
     }
@@ -102,9 +109,10 @@ impl FromStr for Mutation {
             "reorder-last-batch" => Ok(Mutation::ReorderLastBatch),
             "resurrect-aborted" => Ok(Mutation::ResurrectAborted),
             "skip-epoch-bump" => Ok(Mutation::SkipEpochBump),
+            "lose-decision" => Ok(Mutation::LoseDecision),
             other => Err(format!(
                 "unknown mutation `{other}` (expected drop-acked-commit|reorder-last-batch|\
-                 resurrect-aborted|skip-epoch-bump)"
+                 resurrect-aborted|skip-epoch-bump|lose-decision)"
             )),
         }
     }
@@ -129,6 +137,12 @@ pub struct McConfig {
     pub mutation: Option<Mutation>,
     /// Cap on enumerated torn-tail sizes (`t1..=t<max_tears>`).
     pub max_tears: usize,
+    /// Recovery domains. `1` is the classic single-system instance; `>= 2`
+    /// switches to the sharded presumed-abort 2PC instance (one object per
+    /// shard, every transaction cross-shard, `p`/`q`/`s`/`z` alphabet —
+    /// see `shard_harness`), where `objects`, `group_commit`, `ckpt_budget`
+    /// and `max_tears` are ignored.
+    pub shards: usize,
 }
 
 impl Default for McConfig {
@@ -142,6 +156,7 @@ impl Default for McConfig {
             backend: McBackendKind::Disk,
             mutation: None,
             max_tears: 2,
+            shards: 1,
         }
     }
 }
@@ -195,6 +210,17 @@ pub enum McViolation {
         /// The underlying redo error.
         detail: String,
     },
+    /// Sharded instances: a global transaction's outcome is not uniform
+    /// across its participants — committed on some shards, aborted on
+    /// others (the eighth oracle leg, global dynamic atomicity).
+    GlobalSplit {
+        /// The logical transaction with the mixed outcome.
+        txn: usize,
+        /// Shards where its deposit is visible.
+        committed_on: Vec<usize>,
+        /// Shards where it is not.
+        aborted_on: Vec<usize>,
+    },
     /// The harness itself hit an impossible transition (a commit or invoke
     /// the volatile system refused on a conflict-free schedule).
     Internal {
@@ -214,6 +240,7 @@ impl McViolation {
             McViolation::ViewDivergence { .. } => "view-divergence",
             McViolation::NotIdempotent { .. } => "not-idempotent",
             McViolation::RecoveryRefused { .. } => "recovery-refused",
+            McViolation::GlobalSplit { .. } => "global-split",
             McViolation::Internal { .. } => "internal",
         }
     }
@@ -239,6 +266,10 @@ impl fmt::Display for McViolation {
                 write!(f, "recovery not idempotent: {detail}")
             }
             McViolation::RecoveryRefused { detail } => write!(f, "recovery refused: {detail}"),
+            McViolation::GlobalSplit { txn, committed_on, aborted_on } => write!(
+                f,
+                "global txn {txn} split: committed on {committed_on:?}, aborted on {aborted_on:?}"
+            ),
             McViolation::Internal { detail } => write!(f, "harness internal error: {detail}"),
         }
     }
@@ -501,6 +532,14 @@ impl<B: McBackend> Harness<B> {
             McAction::CrashTorn(n) => self.do_crash(CrashShape::Torn(n)),
             McAction::CrashReorder => self.do_crash(CrashShape::Reorder),
             McAction::CrashInRecovery(d) => self.do_crash(CrashShape::InRecovery(d)),
+            // 2PC actions exist only in the sharded instance
+            // (`shard_harness`); here they are dead branches, not errors —
+            // a shrunk sharded trace replayed against `--shards 1` must
+            // not panic.
+            McAction::Prepare(_)
+            | McAction::DecideCommit(_)
+            | McAction::CrashShards(_)
+            | McAction::CrashCoordinator => Applied::Skip,
         }
     }
 

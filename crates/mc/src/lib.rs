@@ -39,15 +39,25 @@
 //! transaction `i` deposits `1 << i` into object `i mod objects`, so every
 //! committed state is a bit-set of exactly which transactions' effects are
 //! present — durability and resurrection checks are exact, not statistical.
+//!
+//! With `shards >= 2` ([`McConfig::shards`]) the checker switches to the
+//! **sharded** instance ([`shard_harness::ShardHarness`]): a fleet of real
+//! `DurableSystem` shards under presumed-abort 2PC, explored with the
+//! extended `p{i}` (prepare) / `q{i}` (decide commit) / `s{mask}`
+//! (crash shard subset) / `z` (crash coordinator) alphabet, checking the
+//! eighth oracle leg — **global uniform outcome** across every crash
+//! subset — with the lose-decision mutation as its negative control.
 
 pub mod action;
 pub mod explorer;
 pub mod harness;
+pub mod shard_harness;
 pub mod shrink;
 pub mod tla;
 
 pub use action::{McAction, McTrace, ParseTraceError};
 pub use explorer::{explore, ExploreStats, McVerdict};
 pub use harness::{Harness, McBackend, McBackendKind, McConfig, McViolation, Mutation};
+pub use shard_harness::ShardHarness;
 pub use shrink::{reproducer, shrink};
 pub use tla::{generate_module, lint_tla};

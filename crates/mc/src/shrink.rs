@@ -50,8 +50,14 @@ pub fn shrink(cfg: McConfig, trace: &McTrace, kind: &str) -> McTrace {
 pub fn reproducer(cfg: &McConfig, trace: &McTrace) -> String {
     let mut out = format!(
         "ccr-experiments mc --txns {} --objects {} --crash-budget {} --ckpt-budget {} \
-         --max-tears {} --backend {}",
-        cfg.txns, cfg.objects, cfg.crash_budget, cfg.ckpt_budget, cfg.max_tears, cfg.backend
+         --max-tears {} --backend {} --shards {}",
+        cfg.txns,
+        cfg.objects,
+        cfg.crash_budget,
+        cfg.ckpt_budget,
+        cfg.max_tears,
+        cfg.backend,
+        cfg.shards
     );
     if cfg.group_commit {
         out.push_str(" --group-commit");

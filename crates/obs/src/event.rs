@@ -240,6 +240,34 @@ pub enum EventKind {
         /// Device ops the baseline recovery consumed.
         device_ops: u64,
     },
+    /// A participant durably journaled a 2PC PREPARE and voted yes: the
+    /// transaction is in doubt on that shard until the decision lands.
+    Prepare {
+        /// Global (cross-shard) transaction id.
+        gtid: u64,
+    },
+    /// The coordinator's decision for a prepared global transaction was
+    /// durably journaled on a participant.
+    Decide {
+        /// Global transaction id.
+        gtid: u64,
+        /// `true` = commit, `false` = abort.
+        commit: bool,
+    },
+    /// A recovery scan surfaced in-doubt transactions (prepares with no
+    /// durable decision) awaiting resolution.
+    InDoubt {
+        /// In-doubt transactions found by the scan.
+        count: u64,
+    },
+    /// An in-doubt transaction was resolved after recovery — by the
+    /// coordinator's durable decision, or by presuming abort.
+    Resolved {
+        /// Global transaction id.
+        gtid: u64,
+        /// The resolved outcome (`false` includes presumed abort).
+        commit: bool,
+    },
     /// A profiled pipeline phase opened (see `ccr_obs::span`).
     /// Counter-neutral: phases measure time, they don't change outcomes.
     PhaseBegin {
@@ -298,6 +326,10 @@ impl ObsEvent {
             EventKind::Shed => "shed",
             EventKind::Stall { .. } => "stall",
             EventKind::ConvergenceCheck { .. } => "convergence_check",
+            EventKind::Prepare { .. } => "prepare",
+            EventKind::Decide { .. } => "decide",
+            EventKind::InDoubt { .. } => "in_doubt",
+            EventKind::Resolved { .. } => "resolved",
             EventKind::PhaseBegin { .. } => "phase_begin",
             EventKind::PhaseEnd { .. } => "phase_end",
         }

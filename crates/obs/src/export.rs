@@ -226,6 +226,24 @@ pub fn chrome_trace(tracer: &Tracer) -> String {
                 args.push(("device_ops".into(), device_ops.to_string()));
                 records.push(chrome_record('i', "convergence", "recovery", tid, ts, None, &args));
             }
+            EventKind::Prepare { gtid } => {
+                args.push(("gtid".into(), gtid.to_string()));
+                records.push(chrome_record('i', "prepare", "2pc", tid, ts, None, &args));
+            }
+            EventKind::Decide { gtid, commit } => {
+                args.push(("gtid".into(), gtid.to_string()));
+                args.push(("commit".into(), commit.to_string()));
+                records.push(chrome_record('i', "decide", "2pc", tid, ts, None, &args));
+            }
+            EventKind::InDoubt { count } => {
+                args.push(("count".into(), count.to_string()));
+                records.push(chrome_record('i', "in_doubt", "2pc", tid, ts, None, &args));
+            }
+            EventKind::Resolved { gtid, commit } => {
+                args.push(("gtid".into(), gtid.to_string()));
+                args.push(("commit".into(), commit.to_string()));
+                records.push(chrome_record('i', "resolved", "2pc", tid, ts, None, &args));
+            }
             // The matching PhaseEnd renders the whole span; the begin event
             // exists for the logical clock and stream readers only.
             EventKind::PhaseBegin { .. } => {}
@@ -292,6 +310,14 @@ pub fn flame_summary(tracer: &Tracer) -> String {
             EventKind::ConvergenceCheck { trials, .. } => {
                 ("recovery;convergence".to_string(), (*trials).max(1))
             }
+            EventKind::Prepare { .. } => ("2pc;prepare".to_string(), 1),
+            EventKind::Decide { commit, .. } => {
+                (format!("2pc;decide;{}", if *commit { "commit" } else { "abort" }), 1)
+            }
+            EventKind::InDoubt { count } => ("2pc;in_doubt".to_string(), (*count).max(1)),
+            EventKind::Resolved { commit, .. } => {
+                (format!("2pc;resolved;{}", if *commit { "commit" } else { "abort" }), 1)
+            }
             EventKind::PhaseBegin { .. } => continue,
             EventKind::PhaseEnd { phase, ticks, .. } => {
                 // Totals are tiled by their children; weighting both would
@@ -340,6 +366,8 @@ pub struct MetricsReport {
     pub retry_jitter: HistogramSummary,
     /// Device stall ticks observed per commit attempt that paid them.
     pub stall_latency: HistogramSummary,
+    /// Logical ticks a 2PC participant spent in doubt (prepare → decide).
+    pub prepare_to_decide: HistogramSummary,
 }
 
 impl MetricsReport {
@@ -359,6 +387,7 @@ impl MetricsReport {
             retry_backoff: tracer.retry_backoff().summary(),
             retry_jitter: tracer.retry_jitter().summary(),
             stall_latency: tracer.stall_latency().summary(),
+            prepare_to_decide: tracer.prepare_to_decide().summary(),
         }
     }
 
@@ -370,7 +399,7 @@ impl MetricsReport {
                 "\"op_latency\":{},\"lock_wait\":{},",
                 "\"time_to_commit\":{},\"replay_len\":{},\"scan_len\":{},",
                 "\"batch_size\":{},\"flush_latency\":{},\"retry_backoff\":{},",
-                "\"retry_jitter\":{},\"stall_latency\":{}}}"
+                "\"retry_jitter\":{},\"stall_latency\":{},\"prepare_to_decide\":{}}}"
             ),
             json_labels(&self.labels),
             self.events,
@@ -385,6 +414,7 @@ impl MetricsReport {
             self.retry_backoff.to_json(),
             self.retry_jitter.to_json(),
             self.stall_latency.to_json(),
+            self.prepare_to_decide.to_json(),
         )
     }
 }

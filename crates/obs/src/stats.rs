@@ -79,6 +79,15 @@ pub struct SystemStats {
     pub slow_device_faults: u64,
     /// Fsync-stall fault injections (flushes armed to hang).
     pub fsync_stall_faults: u64,
+    /// 2PC PREPARE records durably journaled (yes-votes).
+    pub prepares: u64,
+    /// 2PC decisions durably journaled on participants (commit or abort).
+    pub decides: u64,
+    /// In-doubt transactions surfaced by recovery scans (sum over scans).
+    pub in_doubt: u64,
+    /// In-doubt transactions resolved after recovery — by the coordinator's
+    /// durable decision or by presumed abort.
+    pub resolved: u64,
 }
 
 impl SystemStats {
@@ -135,6 +144,10 @@ impl SystemStats {
             EventKind::Shed => self.sheds += 1,
             EventKind::Stall { ticks } => self.stall_ticks += ticks,
             EventKind::ConvergenceCheck { .. } => self.convergence_checks += 1,
+            EventKind::Prepare { .. } => self.prepares += 1,
+            EventKind::Decide { .. } => self.decides += 1,
+            EventKind::InDoubt { count } => self.in_doubt += count,
+            EventKind::Resolved { .. } => self.resolved += 1,
             // Counter-neutral: spans measure where time goes, the phases'
             // outcomes are counted by their own commit/recovery events.
             EventKind::PhaseBegin { .. } | EventKind::PhaseEnd { .. } => {}
@@ -171,7 +184,8 @@ impl SystemStats {
                 "\"io_retries\":{},\"degraded_entries\":{},\"degraded_exits\":{},",
                 "\"convergence_checks\":{},\"sheds\":{},\"deadline_aborts\":{},",
                 "\"stall_ticks\":{},\"mode_flips\":{},\"slow_device_faults\":{},",
-                "\"fsync_stall_faults\":{}}}"
+                "\"fsync_stall_faults\":{},\"prepares\":{},\"decides\":{},",
+                "\"in_doubt\":{},\"resolved\":{}}}"
             ),
             self.begun,
             self.committed,
@@ -203,6 +217,10 @@ impl SystemStats {
             self.mode_flips,
             self.slow_device_faults,
             self.fsync_stall_faults,
+            self.prepares,
+            self.decides,
+            self.in_doubt,
+            self.resolved,
         )
     }
 }

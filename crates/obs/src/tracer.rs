@@ -48,8 +48,12 @@ pub struct Tracer {
     retry_backoff: LogHistogram,
     retry_jitter: LogHistogram,
     stall_latency: LogHistogram,
+    prepare_to_decide: LogHistogram,
     /// Logical begin stamp of each live transaction.
     begin_seq: BTreeMap<TxnId, u64>,
+    /// Logical prepare stamp of each in-flight 2PC participant vote, by
+    /// gtid — consumed by the decide that closes the doubt window.
+    prepare_seq: BTreeMap<u64, u64>,
     /// First blocked-attempt stamp of each currently blocked transaction.
     block_start: BTreeMap<TxnId, u64>,
     /// Per-phase duration histograms (commit + recovery pipelines).
@@ -80,7 +84,9 @@ impl Default for Tracer {
             retry_backoff: LogHistogram::new(),
             retry_jitter: LogHistogram::new(),
             stall_latency: LogHistogram::new(),
+            prepare_to_decide: LogHistogram::new(),
             begin_seq: BTreeMap::new(),
+            prepare_seq: BTreeMap::new(),
             block_start: BTreeMap::new(),
             phases: PhaseProfiles::new(),
             conflicts: ConflictMatrix::new(),
@@ -209,6 +215,13 @@ impl Tracer {
         &self.stall_latency
     }
 
+    /// Prepare-to-decide latency histogram: logical ticks a 2PC participant
+    /// spent in doubt — from its durable PREPARE to the durable decision
+    /// (one sample per decide whose prepare this tracer observed).
+    pub fn prepare_to_decide(&self) -> &LogHistogram {
+        &self.prepare_to_decide
+    }
+
     /// Per-phase duration profiles for the commit and recovery pipelines.
     pub fn phase_profiles(&self) -> &PhaseProfiles {
         &self.phases
@@ -232,6 +245,7 @@ impl Tracer {
         self.retry_backoff.merge(&other.retry_backoff);
         self.retry_jitter.merge(&other.retry_jitter);
         self.stall_latency.merge(&other.stall_latency);
+        self.prepare_to_decide.merge(&other.prepare_to_decide);
         self.phases.merge(&other.phases);
         self.conflicts.merge(&other.conflicts);
     }
@@ -337,6 +351,9 @@ impl Tracer {
         self.begin_seq.clear();
         self.block_start.clear();
         self.pending_conflicts.clear();
+        // Doubt windows that span a power cycle yield no latency sample —
+        // the logical clock of the dead process doesn't extend across it.
+        self.prepare_seq.clear();
     }
 
     /// A fault-plan entry fired. `counter` names the injection counter to
@@ -418,6 +435,38 @@ impl Tracer {
     /// baseline recovery of `device_ops` checked device ops.
     pub fn on_convergence_check(&mut self, trials: u64, device_ops: u64) {
         self.emit(None, None, EventKind::ConvergenceCheck { trials, device_ops });
+    }
+
+    /// A participant durably journaled its 2PC PREPARE for `gtid` (the yes
+    /// vote). Starts the doubt-window clock for the latency histogram.
+    pub fn on_prepare(&mut self, txn: TxnId, gtid: u64) {
+        let seq = self.emit(Some(txn), None, EventKind::Prepare { gtid });
+        self.prepare_seq.insert(gtid, seq);
+    }
+
+    /// The decision for prepared `gtid` became durable on a participant.
+    /// Closes the doubt window: the prepare-to-decide histogram gets the
+    /// logical ticks between the two journal appends.
+    pub fn on_decide(&mut self, gtid: u64, commit: bool) {
+        let seq = self.emit(None, None, EventKind::Decide { gtid, commit });
+        if let Some(start) = self.prepare_seq.remove(&gtid) {
+            self.prepare_to_decide.record(seq.saturating_sub(start));
+        }
+    }
+
+    /// A recovery scan surfaced `count` in-doubt transactions (emitted even
+    /// for recoveries that find none only when callers choose to; the
+    /// convention is to emit only for `count > 0`).
+    pub fn on_in_doubt(&mut self, count: u64) {
+        self.emit(None, None, EventKind::InDoubt { count });
+    }
+
+    /// An in-doubt `gtid` was resolved post-recovery (`commit = false`
+    /// covers presumed abort). The doubt window survived a crash, so no
+    /// latency sample — process-local clocks don't span power cycles.
+    pub fn on_resolved(&mut self, gtid: u64, commit: bool) {
+        self.emit(None, None, EventKind::Resolved { gtid, commit });
+        self.prepare_seq.remove(&gtid);
     }
 
     /// Open a phase span. The returned token carries the logical mark (and a
@@ -649,6 +698,25 @@ mod tests {
         quiet.set_record_events(false);
         quiet.on_conflict(T0, || panic!("must not render in counters-only mode"));
         assert!(quiet.conflict_matrix().is_empty());
+    }
+
+    #[test]
+    fn two_pc_events_project_and_feed_the_doubt_histogram() {
+        let mut t = Tracer::new();
+        t.on_begin(T0);
+        t.on_prepare(T0, 5); // seq 2
+        op(&mut t, T0); // another participant's work ticks the clock
+        t.on_decide(5, true); // seq 4: doubt window = 2 ticks
+        t.on_prepare(T1, 6);
+        t.on_in_doubt(1);
+        t.on_resolved(6, false); // presumed abort: no latency sample
+        assert_eq!(t.project_stats(), *t.stats());
+        assert_eq!(t.stats().prepares, 2);
+        assert_eq!(t.stats().decides, 1);
+        assert_eq!(t.stats().in_doubt, 1);
+        assert_eq!(t.stats().resolved, 1);
+        assert_eq!(t.prepare_to_decide().count(), 1);
+        assert_eq!(t.prepare_to_decide().max(), 2);
     }
 
     #[test]

@@ -206,6 +206,13 @@ where
     /// Executed-but-uncommitted operations per live transaction, with their
     /// execution stamps — the write-ahead buffer that `commit` journals.
     pending_ops: BTreeMap<TxnId, Vec<(u64, ObjectId, Op<A>)>>,
+    /// In-doubt 2PC participants by global transaction id: durably PREPAREd
+    /// (the yes-vote reached stable storage) but with no durable decision
+    /// yet. The transaction stays *active* in the volatile system — holding
+    /// every lock — until [`resolve`](Self::resolve) journals the decision.
+    /// Rebuilt from the recovery scan's `in_doubt` set after a crash, with
+    /// fresh ghost transactions re-holding the locks.
+    prepared: BTreeMap<u64, (TxnId, CommitRecord<A>)>,
     /// Normal, or read-only degraded after a device failure the backend's
     /// retry budget could not hide.
     mode: SystemMode,
@@ -261,6 +268,7 @@ where
             make,
             op_seq: 0,
             pending_ops: BTreeMap::new(),
+            prepared: BTreeMap::new(),
             mode: SystemMode::Normal,
             max_staged: 0,
             stall_threshold: 0,
@@ -466,6 +474,161 @@ where
         self.sys.abort(txn)
     }
 
+    /// 2PC phase one, participant side: durably journal a PREPARE record for
+    /// `txn` under the coordinator's global id `gtid` — the yes-vote. The
+    /// transaction does **not** commit: it stays active in the volatile
+    /// system, holding every lock, until [`resolve`](Self::resolve) journals
+    /// the coordinator's decision. `Ok` means the vote is durable: this
+    /// participant will commit or abort on command, across any number of
+    /// crashes (recovery restores the in-doubt transaction as a ghost).
+    ///
+    /// Any error is a no-vote — per presumed abort the coordinator needs no
+    /// durable record to conclude abort. A tripped crash-at-op trigger
+    /// power-cycles and recovers on the spot ([`TxnError::NotActive`]); the
+    /// prepare may still have reached stable storage, in which case the gtid
+    /// resurfaces [in doubt](Self::in_doubt) and the coordinator's abort
+    /// decision (or presumption) resolves it.
+    pub fn prepare(&mut self, txn: TxnId, gtid: u64) -> Result<(), TxnError> {
+        if self.mode == SystemMode::Degraded {
+            self.pending_ops.remove(&txn);
+            let _ = self.sys.abort(txn);
+            return Err(TxnError::ReadOnly);
+        }
+        if !self.sys.active().any(|t| t == txn) {
+            return Err(TxnError::NotActive(txn));
+        }
+        assert!(
+            !self.prepared.contains_key(&gtid),
+            "coordinator bug: gtid {gtid} prepared twice on one participant"
+        );
+        let ops = self.pending_ops.remove(&txn).unwrap_or_default();
+        let rec = CommitRecord { floor: self.sys.next_txn_id(), ops };
+        let journal_span = self.sys.obs_mut().span_begin(Phase::JournalAppend);
+        let append = self.backend.append_prepare(gtid, &rec);
+        self.drain_retry_events();
+        self.sys.obs_mut().span_end(journal_span);
+        match append {
+            Ok(()) => {
+                self.sys.obs_mut().on_prepare(txn, gtid);
+                self.prepared.insert(gtid, (txn, rec));
+                self.observe_stalls();
+                Ok(())
+            }
+            Err(fail) => Err(match fail.kind {
+                StoreFailureKind::Device(DiskError::Crashed) => {
+                    self.backend.crash();
+                    match self.recover_with(TornPolicy::DiscardTail) {
+                        Ok(()) => TxnError::NotActive(txn),
+                        Err(e) => {
+                            self.enter_degraded(format!(
+                                "device crashed mid-prepare and recovery failed: {e:?}"
+                            ));
+                            TxnError::ReadOnly
+                        }
+                    }
+                }
+                kind => {
+                    self.enter_degraded(format!("prepare append failed: {kind:?}"));
+                    TxnError::ReadOnly
+                }
+            }),
+        }
+    }
+
+    /// 2PC phase two, participant side: durably journal the coordinator's
+    /// decision for an in-doubt `gtid`, then apply it — commit the held
+    /// transaction (its record enters the journal mirror at decision order)
+    /// or abort it, releasing the locks either way. Idempotent: a gtid this
+    /// participant no longer holds in doubt (already resolved, or the
+    /// prepare never survived) acknowledges with `Ok` and journals nothing,
+    /// so coordinators may retransmit decisions freely.
+    ///
+    /// A tripped crash-at-op trigger power-cycles and recovers
+    /// ([`TxnError::NotActive`]): the decision may or may not have reached
+    /// stable storage — the caller re-checks [`in_doubt`](Self::in_doubt)
+    /// and retransmits if the gtid still surfaces.
+    pub fn resolve(&mut self, gtid: u64, commit: bool) -> Result<(), TxnError> {
+        if self.mode == SystemMode::Degraded {
+            return Err(TxnError::ReadOnly);
+        }
+        let Some(txn) = self.prepared.get(&gtid).map(|(t, _)| *t) else {
+            return Ok(());
+        };
+        let journal_span = self.sys.obs_mut().span_begin(Phase::JournalAppend);
+        let append = self.backend.append_decision(gtid, commit);
+        self.drain_retry_events();
+        self.sys.obs_mut().span_end(journal_span);
+        match append {
+            Ok(()) => {
+                let (txn, rec) = self.prepared.remove(&gtid).expect("checked above");
+                self.sys.obs_mut().on_decide(gtid, commit);
+                self.observe_stalls();
+                if commit {
+                    match self.sys.commit(txn) {
+                        Ok(()) => self.journal.records.push(rec),
+                        Err(_) => {
+                            // The durable decision is the commit point; the
+                            // volatile refusal (a theorem-impossible wound of
+                            // a lock-holding preparee) cannot unwind it.
+                            // Record durable truth and re-sync the mirror.
+                            self.journal.records.push(rec);
+                            let _ = self.rebuild_from_journal();
+                        }
+                    }
+                } else {
+                    self.pending_ops.remove(&txn);
+                    let _ = self.sys.abort(txn);
+                }
+                let active: BTreeSet<TxnId> = self.sys.active().collect();
+                self.pending_ops.retain(|t, _| active.contains(t));
+                Ok(())
+            }
+            Err(fail) => Err(match fail.kind {
+                StoreFailureKind::Device(DiskError::Crashed) => {
+                    self.backend.crash();
+                    match self.recover_with(TornPolicy::DiscardTail) {
+                        Ok(()) => TxnError::NotActive(txn),
+                        Err(e) => {
+                            self.enter_degraded(format!(
+                                "device crashed mid-decide and recovery failed: {e:?}"
+                            ));
+                            TxnError::ReadOnly
+                        }
+                    }
+                }
+                kind => {
+                    self.enter_degraded(format!("decision append failed: {kind:?}"));
+                    TxnError::ReadOnly
+                }
+            }),
+        }
+    }
+
+    /// [`resolve`](Self::resolve) for a decision reached *after* recovery —
+    /// by querying the coordinator's durable log or by presuming abort.
+    /// Additionally emits the `Resolved` observability event (the in-doubt
+    /// window spanned a power cycle, so no prepare-to-decide latency sample
+    /// is recorded).
+    pub fn resolve_in_doubt(&mut self, gtid: u64, commit: bool) -> Result<(), TxnError> {
+        let known = self.prepared.contains_key(&gtid);
+        self.resolve(gtid, commit)?;
+        if known {
+            self.sys.obs_mut().on_resolved(gtid, commit);
+        }
+        Ok(())
+    }
+
+    /// Global ids of in-doubt transactions: durably prepared, no durable
+    /// decision. Ascending order.
+    pub fn in_doubt(&self) -> Vec<u64> {
+        self.prepared.keys().copied().collect()
+    }
+
+    /// The durably prepared record held in doubt under `gtid`, if any.
+    pub fn in_doubt_record(&self, gtid: u64) -> Option<&CommitRecord<A>> {
+        self.prepared.get(&gtid).map(|(_, r)| r)
+    }
+
     /// Write a checkpoint: fold every object's committed state into a
     /// durable image, after which the backend may truncate the covered log
     /// prefix. Returns the number of whole segments truncated. No-op
@@ -477,6 +640,12 @@ where
     /// system returns to [`SystemMode::Normal`]. A checkpoint the device
     /// refuses (returning 0) enters — or stays in — degraded mode.
     pub fn checkpoint(&mut self) -> u64 {
+        // A checkpoint image captures only *committed* state; truncating the
+        // log while prepares are in doubt would orphan their PREPARE frames.
+        // Refuse until every 2PC decision lands.
+        if !self.prepared.is_empty() {
+            return 0;
+        }
         let records = self.journal.records.len() as u64;
         if records == 0 && self.journal.base.is_some() && self.mode == SystemMode::Normal {
             return 0;
@@ -644,6 +813,32 @@ where
             }
             fresh.commit(t).map_err(|_| RedoError::ReplayRefused { record: ri })?;
         }
+        // Floors come from the log, not from pre-crash process memory — and
+        // they already cover the in-doubt prepares, so the ghosts begun
+        // below get fresh post-crash ids.
+        fresh.reserve_txn_ids(recovered.txn_floor);
+        // Restore each in-doubt prepare as a *ghost*: a fresh active
+        // transaction that re-executes the prepared operations (responses
+        // verified — two-phase locking kept conflicting committed work out,
+        // so replaying committed-then-in-doubt must reproduce them) and is
+        // left uncommitted, re-holding every lock until the coordinator's
+        // decision resolves it. The original record (original execution
+        // stamps) stays in the in-doubt map; the ghost's re-execution is
+        // reconstruction, not new workload.
+        let mut prepared: BTreeMap<u64, (TxnId, CommitRecord<A>)> = BTreeMap::new();
+        for (gi, (gtid, rec)) in recovered.in_doubt.iter().enumerate() {
+            let t = fresh.begin();
+            for (oi, (_seq, obj, op)) in rec.ops.iter().enumerate() {
+                match fresh.invoke(t, *obj, op.inv.clone()) {
+                    Ok(resp) if resp == op.resp => {}
+                    Ok(_) => {
+                        return Err(RedoError::ResponseDiverged { record: replayed + gi, op: oi })
+                    }
+                    Err(_) => return Err(RedoError::ReplayRefused { record: replayed + gi }),
+                }
+            }
+            prepared.insert(*gtid, (t, rec.clone()));
+        }
         // Replay succeeded: move the surviving tracer over, record the scan
         // evidence and the recovery on it (on `Err` above the pre-crash
         // system is left in place, preserving all-or-nothing recovery).
@@ -653,12 +848,14 @@ where
         obs.on_phase(Phase::Rebuild, restored, rebuild_ns);
         obs.on_phase(Phase::Replay, replayed as u64, replay_ns);
         obs.on_recovery(replayed);
+        if !prepared.is_empty() {
+            obs.on_in_doubt(prepared.len() as u64);
+        }
         obs.on_phase(Phase::RecoveryTotal, attempt_ops, wall.elapsed().as_nanos() as u64);
         fresh.set_obs(obs);
-        // Floors come from the log, not from pre-crash process memory.
-        fresh.reserve_txn_ids(recovered.txn_floor);
         self.op_seq = recovered.next_exec_seq;
         self.pending_ops.clear();
+        self.prepared = prepared;
         self.journal = Journal {
             base_records: recovered.checkpoint.as_ref().map_or(0, |c| c.base_records),
             base: recovered.checkpoint.map(|c| c.states),
@@ -821,10 +1018,28 @@ where
             fresh.commit(t).map_err(|_| RedoError::ReplayRefused { record: ri })?;
         }
         let floor = self.sys.next_txn_id();
+        fresh.reserve_txn_ids(floor);
+        // Re-install the in-doubt ghosts: the process did not crash, but the
+        // volatile mirror is being rebuilt, so each durably prepared
+        // transaction gets a fresh ghost re-holding its locks (responses
+        // verified, original records kept).
+        let base = self.journal.records.len();
+        let mut ghosts: BTreeMap<u64, (TxnId, CommitRecord<A>)> = BTreeMap::new();
+        for (gi, (gtid, (_old, rec))) in self.prepared.iter().enumerate() {
+            let t = fresh.begin();
+            for (oi, (_seq, obj, op)) in rec.ops.iter().enumerate() {
+                match fresh.invoke(t, *obj, op.inv.clone()) {
+                    Ok(resp) if resp == op.resp => {}
+                    Ok(_) => return Err(RedoError::ResponseDiverged { record: base + gi, op: oi }),
+                    Err(_) => return Err(RedoError::ReplayRefused { record: base + gi }),
+                }
+            }
+            ghosts.insert(*gtid, (t, rec.clone()));
+        }
         let obs = self.sys.take_obs();
         fresh.set_obs(obs);
-        fresh.reserve_txn_ids(floor);
         self.pending_ops.clear();
+        self.prepared = ghosts;
         self.sys = fresh;
         Ok(())
     }
@@ -927,6 +1142,7 @@ where
     journal: Journal<A>,
     op_seq: u64,
     pending_ops: BTreeMap<TxnId, Vec<(u64, ObjectId, Op<A>)>>,
+    prepared: BTreeMap<u64, (TxnId, CommitRecord<A>)>,
     mode: SystemMode,
 }
 
@@ -944,6 +1160,7 @@ where
             journal: self.journal.clone(),
             op_seq: self.op_seq,
             pending_ops: self.pending_ops.clone(),
+            prepared: self.prepared.clone(),
             mode: self.mode,
         }
     }
@@ -965,6 +1182,7 @@ where
             journal: self.journal.clone(),
             op_seq: self.op_seq,
             pending_ops: self.pending_ops.clone(),
+            prepared: self.prepared.clone(),
             mode: self.mode,
         }
     }
@@ -978,6 +1196,7 @@ where
         self.journal = snap.journal.clone();
         self.op_seq = snap.op_seq;
         self.pending_ops = snap.pending_ops.clone();
+        self.prepared = snap.prepared.clone();
         self.mode = snap.mode;
         // Re-anchor the stall sampler on the restored backend so the next
         // observation charges only post-restore deltas; the strike streak
@@ -1537,5 +1756,142 @@ mod tests {
         sys.crash_and_recover_with(TornPolicy::DiscardTail).unwrap();
         assert_eq!(sys.committed_state(X), 5);
         assert_eq!(sys.journal().len(), 1);
+    }
+
+    #[test]
+    fn prepare_holds_locks_and_resolve_commits() {
+        let mut sys: Durable = DurableSystem::new(BankAccount::default(), 1, bank_nrbc());
+        let t = sys.begin();
+        sys.invoke(t, X, BankInv::Deposit(10)).unwrap();
+        sys.prepare(t, 7).unwrap();
+        assert_eq!(sys.in_doubt(), vec![7]);
+        // The preparee is still active and still holds its locks: a
+        // conflicting withdrawal blocks on it.
+        let u = sys.begin();
+        assert!(matches!(sys.invoke(u, X, BankInv::Withdraw(1)), Err(TxnError::Blocked { .. })));
+        sys.abort(u).unwrap();
+        // Checkpoints refuse while a prepare is in doubt.
+        assert_eq!(sys.checkpoint(), 0);
+        sys.resolve(7, true).unwrap();
+        assert!(sys.in_doubt().is_empty());
+        assert_eq!(sys.committed_state(X), 10);
+        assert_eq!(sys.journal().len(), 1);
+        assert_eq!(sys.stats().prepares, 1);
+        assert_eq!(sys.stats().decides, 1);
+        // Resolving an unknown gtid is an idempotent ack.
+        sys.resolve(7, true).unwrap();
+        assert_eq!(sys.journal().len(), 1);
+    }
+
+    #[test]
+    fn resolve_abort_releases_locks_and_journals_nothing_visible() {
+        let mut sys: Durable = DurableSystem::new(BankAccount::default(), 1, bank_nrbc());
+        let t = sys.begin();
+        sys.invoke(t, X, BankInv::Deposit(10)).unwrap();
+        sys.prepare(t, 3).unwrap();
+        sys.resolve(3, false).unwrap();
+        assert!(sys.in_doubt().is_empty());
+        assert_eq!(sys.committed_state(X), 0);
+        assert_eq!(sys.journal().len(), 0, "aborted prepare never becomes a commit record");
+        // The system moves on: a fresh transaction takes the lock and
+        // commits normally.
+        let u = sys.begin();
+        sys.invoke(u, X, BankInv::Deposit(4)).unwrap();
+        sys.commit(u).unwrap();
+        assert_eq!(sys.committed_state(X), 4);
+    }
+
+    #[test]
+    fn in_doubt_prepare_survives_crash_as_a_lock_holding_ghost() {
+        let mut sys = disk_sys(2);
+        let y = ObjectId(1);
+        let a = sys.begin();
+        sys.invoke(a, y, BankInv::Deposit(100)).unwrap();
+        sys.commit(a).unwrap();
+        let t = sys.begin();
+        sys.invoke(t, X, BankInv::Deposit(10)).unwrap();
+        sys.prepare(t, 42).unwrap();
+        // Crash: the prepare is durable, the decision never was.
+        sys.crash_and_recover().unwrap();
+        assert_eq!(sys.in_doubt(), vec![42], "prepare must survive the crash in doubt");
+        assert_eq!(sys.in_doubt_record(42).unwrap().ops.len(), 1);
+        // The ghost re-holds the lock; the prepared deposit is not visible.
+        assert_eq!(sys.committed_state(X), 0);
+        let u = sys.begin();
+        assert!(matches!(sys.invoke(u, X, BankInv::Withdraw(1)), Err(TxnError::Blocked { .. })));
+        sys.abort(u).unwrap();
+        assert_eq!(sys.stats().in_doubt, 1);
+        // A second crash keeps it in doubt — doubt is stable.
+        sys.crash_and_recover().unwrap();
+        assert_eq!(sys.in_doubt(), vec![42]);
+        // The coordinator's durable decision arrives: commit.
+        sys.resolve_in_doubt(42, true).unwrap();
+        assert_eq!(sys.committed_state(X), 10);
+        assert_eq!(sys.committed_state(y), 100);
+        assert_eq!(sys.stats().resolved, 1);
+        // And the outcome is itself durable.
+        sys.crash_and_recover().unwrap();
+        assert_eq!(sys.committed_state(X), 10);
+        assert!(sys.in_doubt().is_empty());
+    }
+
+    #[test]
+    fn in_doubt_presumed_abort_after_crash() {
+        let mut sys = disk_sys(1);
+        let t = sys.begin();
+        sys.invoke(t, X, BankInv::Deposit(10)).unwrap();
+        sys.prepare(t, 9).unwrap();
+        sys.crash_and_recover().unwrap();
+        assert_eq!(sys.in_doubt(), vec![9]);
+        // No durable coordinator decision → presume abort.
+        sys.resolve_in_doubt(9, false).unwrap();
+        assert_eq!(sys.committed_state(X), 0);
+        assert!(sys.in_doubt().is_empty());
+        sys.crash_and_recover().unwrap();
+        assert_eq!(sys.committed_state(X), 0, "the abort outcome is durable");
+        // The log stays live for ordinary work afterwards.
+        let u = sys.begin();
+        sys.invoke(u, X, BankInv::Deposit(6)).unwrap();
+        sys.commit(u).unwrap();
+        sys.crash_and_recover().unwrap();
+        assert_eq!(sys.committed_state(X), 6);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_in_doubt_state() {
+        let mut sys: Durable = DurableSystem::new(BankAccount::default(), 1, bank_nrbc());
+        let t = sys.begin();
+        sys.invoke(t, X, BankInv::Deposit(5)).unwrap();
+        sys.prepare(t, 1).unwrap();
+        let snap = sys.snapshot();
+        sys.resolve(1, true).unwrap();
+        assert_eq!(sys.committed_state(X), 5);
+        sys.restore(&snap);
+        assert_eq!(sys.in_doubt(), vec![1], "restore rewinds to the in-doubt window");
+        assert_eq!(sys.committed_state(X), 0);
+        sys.resolve(1, false).unwrap();
+        assert_eq!(sys.committed_state(X), 0);
+    }
+
+    #[test]
+    fn crash_trigger_mid_prepare_is_a_no_vote() {
+        let mut sys = disk_sys(1);
+        let a = sys.begin();
+        sys.invoke(a, X, BankInv::Deposit(3)).unwrap();
+        sys.commit(a).unwrap();
+        let t = sys.begin();
+        sys.invoke(t, X, BankInv::Deposit(10)).unwrap();
+        assert!(sys.backend_mut().arm_crash_at_op(0));
+        // The device loses power on the prepare's first checked op: the
+        // participant recovers on the spot and reports no-vote.
+        assert!(matches!(sys.prepare(t, 5), Err(TxnError::NotActive(_))));
+        assert_eq!(sys.committed_state(X), 3);
+        // Whether or not the prepare reached stable storage, a coordinator
+        // abort (presumed or explicit) leaves the participant clean.
+        for g in sys.in_doubt() {
+            sys.resolve_in_doubt(g, false).unwrap();
+        }
+        assert!(sys.in_doubt().is_empty());
+        assert_eq!(sys.committed_state(X), 3);
     }
 }

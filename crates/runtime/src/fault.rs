@@ -86,6 +86,26 @@ pub enum FaultKind {
         /// Non-empty flushes that will stall.
         stalls: u32,
     },
+    /// Sharded runs only: crash the shard subset named by `mask` (bit `i`
+    /// set ⇒ shard `i` loses power and recovers; bits beyond the shard
+    /// count are reduced modulo the fleet). Single-system runs degrade this
+    /// to [`FaultKind::Crash`].
+    CrashShards {
+        /// Bitmask of shards to crash together.
+        mask: u32,
+    },
+    /// Sharded runs only: arm a crash at 2PC step `step` of the *next*
+    /// cross-shard commit. Steps cycle through the protocol's decision
+    /// points — 0: coordinator dies after the prepares (participants left
+    /// in doubt), 1: the first participant dies in doubt, 2: coordinator
+    /// *and* first participant die after the decision reached only part of
+    /// the fleet, 3: a participant dies again while recovering (nested
+    /// crash during participant recovery). Single-system runs degrade to
+    /// [`FaultKind::Crash`].
+    TwoPcCrash {
+        /// Protocol decision point (reduced modulo the step table).
+        step: u32,
+    },
 }
 
 impl fmt::Display for FaultKind {
@@ -103,6 +123,8 @@ impl fmt::Display for FaultKind {
             FaultKind::DiskFull => write!(f, "full"),
             FaultKind::SlowDisk { ops } => write!(f, "slow{ops}"),
             FaultKind::FsyncStall { stalls } => write!(f, "stall{stalls}"),
+            FaultKind::CrashShards { mask } => write!(f, "shards{mask}"),
+            FaultKind::TwoPcCrash { step } => write!(f, "twopc{step}"),
         }
     }
 }
@@ -200,6 +222,41 @@ impl FaultPlan {
         FaultPlan::new(faults)
     }
 
+    /// Derive `count` faults over event indices `1..horizon` from `seed`,
+    /// with the sharded arms (`shards{mask}`, `twopc{step}`) in the kind
+    /// table — crash-of-any-shard-subset and crash-at-every-2PC-step.
+    /// `nshards` bounds the subset masks to the actual fleet (every
+    /// non-empty subset is reachable). A *separate* generator — not a flag
+    /// on [`from_seed`](Self::from_seed) or
+    /// [`from_seed_gray`](Self::from_seed_gray) — so existing replay
+    /// command lines keep producing byte-identical plans.
+    pub fn from_seed_sharded(seed: u64, horizon: u64, count: usize, nshards: u32) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5AAD_5AAD_5AAD_5AAD);
+        let horizon = horizon.max(2);
+        let subsets = (1u32 << nshards.clamp(1, 5)) - 1;
+        let faults = (0..count)
+            .map(|_| {
+                let at_event = rng.gen_range(1..horizon);
+                let kind = match rng.gen_range(0u32..16) {
+                    0 => FaultKind::Crash,
+                    1 => FaultKind::TornCrash { drop_ops: rng.gen_range(1usize..3) },
+                    2 | 3 => FaultKind::ForceAbort,
+                    4 => FaultKind::DelayCommit { rounds: rng.gen_range(1u32..6) },
+                    5 => FaultKind::WoundStorm,
+                    6 => FaultKind::SectorTorn { sectors: rng.gen_range(1usize..3) },
+                    7 => FaultKind::ReorderFlush,
+                    8 => FaultKind::TransientIo { errors: rng.gen_range(1u32..4) },
+                    // The sharded arms get the remaining weight: any
+                    // non-empty shard subset, and every 2PC decision point.
+                    9..=12 => FaultKind::CrashShards { mask: rng.gen_range(1..=subsets) },
+                    _ => FaultKind::TwoPcCrash { step: rng.gen_range(0u32..4) },
+                };
+                FaultSpec { at_event, kind }
+            })
+            .collect();
+        FaultPlan::new(faults)
+    }
+
     /// The scheduled faults, sorted by event index.
     pub fn faults(&self) -> &[FaultSpec] {
         &self.faults
@@ -284,6 +341,10 @@ impl FromStr for FaultKind {
             Ok(FaultKind::SlowDisk { ops: n.parse().map_err(|_| err())? })
         } else if let Some(n) = s.strip_prefix("stall") {
             Ok(FaultKind::FsyncStall { stalls: n.parse().map_err(|_| err())? })
+        } else if let Some(n) = s.strip_prefix("shards") {
+            Ok(FaultKind::CrashShards { mask: n.parse().map_err(|_| err())? })
+        } else if let Some(n) = s.strip_prefix("twopc") {
+            Ok(FaultKind::TwoPcCrash { step: n.parse().map_err(|_| err())? })
         } else {
             Err(err())
         }
@@ -376,6 +437,34 @@ mod tests {
             .faults()
             .iter()
             .any(|f| matches!(f.kind, FaultKind::SlowDisk { .. } | FaultKind::FsyncStall { .. })));
+    }
+
+    #[test]
+    fn sharded_generator_round_trips_and_keeps_old_plans_identical() {
+        let a = FaultPlan::from_seed_sharded(9, 100, 8, 2);
+        assert_eq!(a, FaultPlan::from_seed_sharded(9, 100, 8, 2));
+        assert!(a.faults().windows(2).all(|w| w[0].at_event <= w[1].at_event));
+        // Display/parse round trip for the new arms.
+        let plan = FaultPlan::new(vec![
+            FaultSpec { at_event: 4, kind: FaultKind::CrashShards { mask: 3 } },
+            FaultSpec { at_event: 8, kind: FaultKind::TwoPcCrash { step: 2 } },
+        ]);
+        let s = plan.to_string();
+        assert_eq!(s, "4:shards3,8:twopc2");
+        assert_eq!(s.parse::<FaultPlan>().unwrap(), plan);
+        // The older generators' byte streams are untouched.
+        assert_ne!(a, FaultPlan::from_seed(9, 100, 8));
+        assert_ne!(a, FaultPlan::from_seed_gray(9, 100, 8));
+        // Masks stay within the 2-shard fleet and both arms appear over
+        // enough draws.
+        let many = FaultPlan::from_seed_sharded(7, 1000, 64, 2);
+        for f in many.faults() {
+            if let FaultKind::CrashShards { mask } = f.kind {
+                assert!((1..=3).contains(&mask));
+            }
+        }
+        assert!(many.faults().iter().any(|f| matches!(f.kind, FaultKind::CrashShards { .. })));
+        assert!(many.faults().iter().any(|f| matches!(f.kind, FaultKind::TwoPcCrash { .. })));
     }
 
     #[test]

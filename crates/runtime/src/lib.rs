@@ -57,6 +57,7 @@ pub mod fault;
 pub mod optimistic;
 pub mod scheduler;
 pub mod script;
+pub mod shard;
 pub mod sim;
 pub mod system;
 pub mod threaded;
@@ -64,4 +65,8 @@ pub mod threaded;
 pub use crash::{DurableSystem, Journal, RedoError, SystemMode, SystemSnapshot, TornPolicy};
 pub use engine::{DuEngine, RecoveryEngine, UipEngine, UipInverseEngine};
 pub use error::{AbortReason, RecoveryError, TxnError};
+pub use shard::{
+    check_uniform_outcome, CoordinatorLog, GlobalAtomicityViolation, ShardedSnapshot,
+    ShardedSystem, TwoPcStep,
+};
 pub use system::{ConflictPolicy, SystemStats, TxnSystem};

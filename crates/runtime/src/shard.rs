@@ -1,0 +1,793 @@
+//! Sharded durable runtime: presumed-abort two-phase commit across
+//! independently crashing [`DurableSystem`] shards.
+//!
+//! The paper's model (and every layer below this one) is a single recovery
+//! domain: one log, one crash, one recovery scan. This module partitions
+//! the object space across `n` full durable systems — each with its own
+//! WAL, checkpoint lifecycle, [`SystemMode`] and fault channels — and
+//! coordinates cross-shard transactions with **presumed-abort 2PC**
+//! journaled through the very same frame/recovery machinery:
+//!
+//! * phase one: every participant durably appends a PREPARE frame (the
+//!   full commit record under the coordinator's global id) — the yes-vote
+//!   — and keeps the transaction *active*, holding its locks;
+//! * the coordinator durably records only **commit** decisions
+//!   ([`CoordinatorLog`]); the absence of a record *is* the abort decision
+//!   (presumed abort — no durable write on the abort path, none on
+//!   read-only votes);
+//! * phase two: each participant durably appends the DECIDE frame, then
+//!   applies it (volatile commit or abort, locks released either way).
+//!
+//! Crash of any shard subset is survivable at any point: a participant
+//! that lost power between its PREPARE and DECIDE frames recovers the
+//! transaction *in doubt* — a ghost re-holding the locks — and
+//! [`ShardedSystem::resolve_in_doubt`] settles it deterministically by
+//! querying the coordinator's durable commit set, else presuming abort. A
+//! torn PREPARE classifies as a torn tail and is discarded by recovery:
+//! exactly the no-vote the coordinator presumed. A degraded shard refuses
+//! its own prepares ([`TxnError::ReadOnly`] — a no-vote) but is never
+//! consulted for transactions that do not touch it.
+//!
+//! The global dynamic-atomicity oracle leg ([`check_uniform_outcome`])
+//! demands the outcome of every global transaction be *uniform* across its
+//! participants — no subset crash, coordinator crash, or crash at any 2PC
+//! step may commit a transaction on one shard and abort it on another. The
+//! [`CoordinatorLog::arm_lose_decision`] sabotage (the decision record
+//! evaporates after participants were told to commit) is the negative
+//! control: it manufactures exactly the mixed outcome the leg must catch.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ccr_core::adt::Adt;
+use ccr_core::conflict::Conflict;
+use ccr_core::ids::{ObjectId, TxnId};
+use ccr_store::LogBackend;
+
+use crate::crash::{DurableSystem, RedoError, SystemSnapshot, TornPolicy};
+use crate::engine::RecoveryEngine;
+use crate::error::TxnError;
+
+/// The coordinator's stable storage: the set of global transaction ids
+/// durably decided **commit**. Presumed abort needs nothing else — an id
+/// absent from this set, with no live coordinator memory, is abort.
+#[derive(Clone, Debug, Default)]
+pub struct CoordinatorLog {
+    durable: BTreeSet<u64>,
+    lose_next: bool,
+    lost: u64,
+}
+
+impl CoordinatorLog {
+    /// Durably record a commit decision. Returns whether the record
+    /// actually reached stable storage — `false` only under the armed
+    /// [sabotage](Self::arm_lose_decision) (the negative control).
+    pub fn log_commit(&mut self, gtid: u64) -> bool {
+        if self.lose_next {
+            self.lose_next = false;
+            self.lost += 1;
+            return false;
+        }
+        self.durable.insert(gtid);
+        true
+    }
+
+    /// The durable decision for `gtid`: `true` iff a commit record exists
+    /// (presumed abort otherwise).
+    pub fn decision(&self, gtid: u64) -> bool {
+        self.durable.contains(&gtid)
+    }
+
+    /// Every durably committed global id, ascending.
+    pub fn committed(&self) -> impl Iterator<Item = u64> + '_ {
+        self.durable.iter().copied()
+    }
+
+    /// Sabotage (negative control): the *next* commit decision is silently
+    /// lost — participants proceed on the coordinator's volatile word, the
+    /// durable record never lands, and a crash before every participant
+    /// resolved manufactures a mixed outcome for the oracle to catch.
+    pub fn arm_lose_decision(&mut self) {
+        self.lose_next = true;
+    }
+
+    /// Decision records lost to the sabotage so far.
+    pub fn lost_decisions(&self) -> u64 {
+        self.lost
+    }
+}
+
+/// A live cross-shard transaction: one local transaction per participant
+/// shard, plus which of those participants hold a durable PREPARE.
+#[derive(Clone, Debug, Default)]
+struct GlobalTxn {
+    parts: BTreeMap<usize, TxnId>,
+    prepared: BTreeSet<usize>,
+}
+
+/// A global transaction whose outcome differs across its participants —
+/// the global dynamic-atomicity violation [`check_uniform_outcome`] hunts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GlobalAtomicityViolation {
+    /// The split transaction's global id.
+    pub gtid: u64,
+    /// Participant shards where its effects are visible.
+    pub committed_on: Vec<usize>,
+    /// Participant shards where they are not.
+    pub aborted_on: Vec<usize>,
+}
+
+/// The eighth oracle leg: every global transaction's outcome must be
+/// uniform across its participants. `gtids` lists each global transaction
+/// with its participant shards; `visible` reports whether its effects
+/// survived on one shard. Single-participant transactions are trivially
+/// uniform; the first split found is returned.
+pub fn check_uniform_outcome(
+    gtids: &[(u64, Vec<usize>)],
+    mut visible: impl FnMut(u64, usize) -> bool,
+) -> Result<(), GlobalAtomicityViolation> {
+    for (gtid, parts) in gtids {
+        let (committed_on, aborted_on): (Vec<usize>, Vec<usize>) =
+            parts.iter().partition(|&&s| visible(*gtid, s));
+        if !committed_on.is_empty() && !aborted_on.is_empty() {
+            return Err(GlobalAtomicityViolation { gtid: *gtid, committed_on, aborted_on });
+        }
+    }
+    Ok(())
+}
+
+/// The canonical crash points of one cross-shard commit, for the fault
+/// planner's crash-at-every-2PC-step arm
+/// ([`FaultKind::TwoPcCrash`](crate::fault::FaultKind::TwoPcCrash)).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TwoPcStep {
+    /// The coordinator dies after the prepares, before any decision:
+    /// every participant is left in doubt; presumed abort resolves them.
+    CoordinatorAfterPrepare,
+    /// The first participant dies in doubt (prepare durable, no decision);
+    /// the coordinator still holds every durable yes-vote and commits.
+    ParticipantInDoubt,
+    /// Coordinator *and* first participant die after the commit decision
+    /// reached stable storage and part of the fleet: the survivor of the
+    /// doubt window finds the durable decision and commits.
+    BothAfterDecide,
+    /// A participant dies in doubt and then dies *again* during its own
+    /// recovery (nested crash inside the recovery scan).
+    CrashDuringRecovery,
+}
+
+impl TwoPcStep {
+    /// Map the fault plan's numeric step (any u32) onto the table.
+    pub fn from_index(step: u32) -> Self {
+        match step % 4 {
+            0 => TwoPcStep::CoordinatorAfterPrepare,
+            1 => TwoPcStep::ParticipantInDoubt,
+            2 => TwoPcStep::BothAfterDecide,
+            _ => TwoPcStep::CrashDuringRecovery,
+        }
+    }
+}
+
+/// `n` full durable systems, each the recovery domain for the objects it
+/// owns (`ObjectId % n`), coordinated by presumed-abort 2PC. See the
+/// module docs for the protocol.
+pub struct ShardedSystem<A, E, C, B>
+where
+    A: Adt,
+    E: RecoveryEngine<A>,
+    C: Conflict<A>,
+    B: LogBackend<A>,
+{
+    shards: Vec<DurableSystem<A, E, C, B>>,
+    coord: CoordinatorLog,
+    next_gtid: u64,
+    live: BTreeMap<u64, GlobalTxn>,
+}
+
+impl<A, E, C, B> ShardedSystem<A, E, C, B>
+where
+    A: Adt,
+    E: RecoveryEngine<A> + Clone,
+    C: Conflict<A> + Clone,
+    B: LogBackend<A>,
+{
+    /// Build a fleet from per-shard constructors (`make(i)` builds shard
+    /// `i`; each shard must cover the full object space — routing, not the
+    /// shard, decides ownership).
+    pub fn new_with(nshards: usize, make: impl FnMut(usize) -> DurableSystem<A, E, C, B>) -> Self {
+        assert!(nshards >= 1, "a fleet needs at least one shard");
+        ShardedSystem {
+            shards: (0..nshards).map(make).collect(),
+            coord: CoordinatorLog::default(),
+            next_gtid: 1,
+            live: BTreeMap::new(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn nshards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning `obj`.
+    pub fn shard_of(&self, obj: ObjectId) -> usize {
+        obj.0 as usize % self.shards.len()
+    }
+
+    /// Shared access to shard `i`.
+    pub fn shard(&self, i: usize) -> &DurableSystem<A, E, C, B> {
+        &self.shards[i]
+    }
+
+    /// Mutable access to shard `i` (fault injection, state reads).
+    pub fn shard_mut(&mut self, i: usize) -> &mut DurableSystem<A, E, C, B> {
+        &mut self.shards[i]
+    }
+
+    /// The coordinator's durable commit set.
+    pub fn coordinator(&self) -> &CoordinatorLog {
+        &self.coord
+    }
+
+    /// Mutable coordinator access (the sabotage arm).
+    pub fn coordinator_mut(&mut self) -> &mut CoordinatorLog {
+        &mut self.coord
+    }
+
+    /// The next global id the allocator will hand out (model checker's
+    /// canonical state key).
+    pub fn next_gtid(&self) -> u64 {
+        self.next_gtid
+    }
+
+    /// Begin a global transaction. Local transactions are begun lazily on
+    /// the first operation routed to each shard.
+    pub fn begin_global(&mut self) -> u64 {
+        let gtid = self.next_gtid;
+        self.next_gtid += 1;
+        self.live.insert(gtid, GlobalTxn::default());
+        gtid
+    }
+
+    /// Execute one operation of global transaction `gtid` on the shard
+    /// owning `obj`.
+    pub fn invoke_global(
+        &mut self,
+        gtid: u64,
+        obj: ObjectId,
+        inv: A::Invocation,
+    ) -> Result<A::Response, TxnError> {
+        let s = self.shard_of(obj);
+        let Some(gt) = self.live.get_mut(&gtid) else {
+            return Err(TxnError::NotActive(TxnId(gtid as u32)));
+        };
+        let txn = match gt.parts.get(&s) {
+            Some(&t) => t,
+            None => {
+                let t = self.shards[s].begin();
+                gt.parts.insert(s, t);
+                t
+            }
+        };
+        self.shards[s].invoke(txn, obj, inv)
+    }
+
+    /// The participant shards of a live global transaction, ascending.
+    pub fn participants(&self, gtid: u64) -> Vec<usize> {
+        self.live.get(&gtid).map(|g| g.parts.keys().copied().collect()).unwrap_or_default()
+    }
+
+    /// Abort a global transaction everywhere: local aborts on unprepared
+    /// participants, durable abort decisions on prepared ones. Per
+    /// presumed abort the coordinator records nothing.
+    pub fn abort_global(&mut self, gtid: u64) {
+        let Some(gt) = self.live.remove(&gtid) else { return };
+        for (&s, &txn) in &gt.parts {
+            if gt.prepared.contains(&s) {
+                let _ = self.shards[s].resolve(gtid, false);
+            } else {
+                let _ = self.shards[s].abort(txn);
+            }
+        }
+    }
+
+    /// 2PC phase one: collect a durable yes-vote from every participant,
+    /// in shard order. Any no-vote (degraded shard, crashed device, dead
+    /// transaction) aborts the transaction globally — prepared
+    /// participants get a durable abort decision, unprepared ones a local
+    /// abort — and surfaces the vote's error. On `Ok` every participant
+    /// holds a durable PREPARE and awaits the decision.
+    pub fn prepare_all(&mut self, gtid: u64) -> Result<(), TxnError> {
+        let Some(gt) = self.live.get(&gtid) else {
+            return Err(TxnError::NotActive(TxnId(gtid as u32)));
+        };
+        let parts: Vec<(usize, TxnId)> = gt.parts.iter().map(|(&s, &t)| (s, t)).collect();
+        for (s, txn) in parts {
+            match self.shards[s].prepare(txn, gtid) {
+                Ok(()) => {
+                    self.live.get_mut(&gtid).expect("checked live above").prepared.insert(s);
+                }
+                Err(e) => {
+                    self.abort_global(gtid);
+                    return Err(e);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// 2PC decision: durably record commit for a fully prepared
+    /// transaction. Returns whether the record reached stable storage
+    /// (`false` only under the armed lose-decision sabotage). Panics if a
+    /// participant has not durably voted — deciding commit without every
+    /// yes-vote is a coordinator bug, not a runtime condition.
+    pub fn decide_commit(&mut self, gtid: u64) -> bool {
+        let gt = self.live.get(&gtid).expect("decide for a live transaction");
+        assert!(
+            gt.prepared.len() == gt.parts.len(),
+            "coordinator bug: commit decided for gtid {gtid} without every yes-vote"
+        );
+        self.coord.log_commit(gtid)
+    }
+
+    /// 2PC phase two for one participant: durably journal and apply the
+    /// decision on shard `s`.
+    pub fn resolve_participant(
+        &mut self,
+        gtid: u64,
+        s: usize,
+        commit: bool,
+    ) -> Result<(), TxnError> {
+        let r = self.shards[s].resolve(gtid, commit);
+        if r.is_ok() {
+            if let Some(gt) = self.live.get_mut(&gtid) {
+                gt.parts.remove(&s);
+                gt.prepared.remove(&s);
+                if gt.parts.is_empty() {
+                    self.live.remove(&gtid);
+                }
+            }
+        }
+        r
+    }
+
+    /// Commit a global transaction. Single-participant transactions take
+    /// the fast path — a plain local commit, no PREPARE/DECIDE frames, no
+    /// coordinator record (the shard's own log is the whole recovery
+    /// domain). Cross-shard transactions run full presumed-abort 2PC.
+    pub fn commit_global(&mut self, gtid: u64) -> Result<(), TxnError> {
+        let Some(gt) = self.live.get(&gtid) else {
+            return Err(TxnError::NotActive(TxnId(gtid as u32)));
+        };
+        match gt.parts.len() {
+            0 => {
+                self.live.remove(&gtid);
+                Ok(())
+            }
+            1 => {
+                let (&s, &txn) = gt.parts.iter().next().expect("one participant");
+                let r = self.shards[s].commit(txn);
+                self.live.remove(&gtid);
+                r
+            }
+            _ => {
+                self.prepare_all(gtid)?;
+                self.decide_commit(gtid);
+                for s in self.participants(gtid) {
+                    self.resolve_participant(gtid, s, true)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Crash the shard subset named by `mask` (bit `i` ⇒ shard `i`), each
+    /// recovering under [`TornPolicy::DiscardTail`] — a torn tail is a
+    /// commit (or prepare) that never finished, which presumed abort
+    /// already accounts for. A live global transaction that lost an
+    /// *unprepared* half (its volatile operations evaporated with the
+    /// shard) can never collect that yes-vote: it is aborted globally —
+    /// prepared halves anywhere get a durable abort decision (a ghost
+    /// resolves by gtid just like a live preparee), unprepared halves on
+    /// surviving shards a local abort. A transaction whose crashed halves
+    /// were all *prepared* stays live: its doubt is durable, and the
+    /// still-running coordinator may yet decide either way.
+    pub fn crash_subset(&mut self, mask: u32) -> Result<(), RedoError> {
+        let mask = mask & ((1u32 << self.shards.len().min(31)) - 1);
+        if mask == 0 {
+            return Ok(());
+        }
+        for s in 0..self.shards.len() {
+            if mask & (1 << s) != 0 {
+                self.shards[s].crash_and_recover_with(TornPolicy::DiscardTail)?;
+            }
+        }
+        let doomed: Vec<u64> = self
+            .live
+            .iter()
+            .filter(|(_, gt)| {
+                gt.parts.keys().any(|&s| mask & (1 << s) != 0 && !gt.prepared.contains(&s))
+            })
+            .map(|(&g, _)| g)
+            .collect();
+        for gtid in doomed {
+            let gt = self.live.remove(&gtid).expect("collected from live");
+            debug_assert!(!self.coord.decision(gtid), "commit decided without every yes-vote");
+            for (&s, &txn) in &gt.parts {
+                if gt.prepared.contains(&s) {
+                    let _ = self.shards[s].resolve(gtid, false);
+                } else if mask & (1 << s) == 0 {
+                    let _ = self.shards[s].abort(txn);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Crash the coordinator: its volatile memory (live transaction table,
+    /// id allocator) is lost; only [`CoordinatorLog`]'s durable commit set
+    /// survives. Participants keep running — unprepared halves of orphaned
+    /// transactions are aborted locally, prepared halves stay in doubt
+    /// until [`resolve_in_doubt`](Self::resolve_in_doubt). The global-id
+    /// allocator restarts above every id with a durable trace (a decision
+    /// record or an in-doubt prepare), so no live id is ever reissued.
+    pub fn crash_coordinator(&mut self) {
+        let live = std::mem::take(&mut self.live);
+        for (gtid, gt) in live {
+            for (&s, &txn) in &gt.parts {
+                if !gt.prepared.contains(&s) {
+                    let _ = self.shards[s].abort(txn);
+                } else {
+                    let _ = gtid; // stays in doubt on shard `s`
+                }
+            }
+        }
+        let mut floor = 0u64;
+        for g in self.coord.committed() {
+            floor = floor.max(g);
+        }
+        for shard in &self.shards {
+            for g in shard.in_doubt() {
+                floor = floor.max(g);
+            }
+        }
+        self.next_gtid = floor + 1;
+    }
+
+    /// Settle every in-doubt transaction on every shard from durable
+    /// truth: the coordinator's commit record if one exists, presumed
+    /// abort otherwise. Returns the number resolved. Idempotent —
+    /// resolution is itself durable, so a crash mid-settlement just leaves
+    /// fewer entries for the retry.
+    pub fn resolve_in_doubt(&mut self) -> usize {
+        let mut resolved = 0;
+        for s in 0..self.shards.len() {
+            for gtid in self.shards[s].in_doubt() {
+                let commit = self.coord.decision(gtid);
+                if self.shards[s].resolve_in_doubt(gtid, commit).is_ok() {
+                    resolved += 1;
+                    // Scrub the settled half from the live table (the
+                    // ghost's pre-crash TxnId is long dead).
+                    if let Some(gt) = self.live.get_mut(&gtid) {
+                        gt.parts.remove(&s);
+                        gt.prepared.remove(&s);
+                        if gt.parts.is_empty() {
+                            self.live.remove(&gtid);
+                        }
+                    }
+                }
+            }
+        }
+        resolved
+    }
+
+    /// Global ids in doubt anywhere in the fleet, ascending, deduplicated.
+    pub fn in_doubt(&self) -> Vec<u64> {
+        let mut all = BTreeSet::new();
+        for shard in &self.shards {
+            all.extend(shard.in_doubt());
+        }
+        all.into_iter().collect()
+    }
+
+    /// Capture the complete fleet state — every shard's volatile + stable
+    /// snapshot, the coordinator log, the id allocator and the live
+    /// transaction table — for later [`restore`](Self::restore). The
+    /// sharded model checker's DFS fork point.
+    pub fn snapshot(&self) -> ShardedSnapshot<A, E, C, B> {
+        ShardedSnapshot {
+            shards: self.shards.iter().map(|s| s.snapshot()).collect(),
+            coord: self.coord.clone(),
+            next_gtid: self.next_gtid,
+            live: self.live.clone(),
+        }
+    }
+
+    /// Rewind to a snapshot taken from this (or an identically configured)
+    /// fleet. Non-consuming.
+    pub fn restore(&mut self, snap: &ShardedSnapshot<A, E, C, B>) {
+        assert_eq!(self.shards.len(), snap.shards.len(), "snapshot from a different fleet");
+        for (shard, s) in self.shards.iter_mut().zip(&snap.shards) {
+            shard.restore(s);
+        }
+        self.coord = snap.coord.clone();
+        self.next_gtid = snap.next_gtid;
+        self.live = snap.live.clone();
+    }
+
+    /// Run one cross-shard commit *through* a crash at the given 2PC step
+    /// (the fault planner's crash-at-every-step arm), then settle the
+    /// fleet. Returns whether the transaction ultimately committed —
+    /// deterministic per step: presumed abort at
+    /// [`TwoPcStep::CoordinatorAfterPrepare`] and
+    /// [`TwoPcStep::CrashDuringRecovery`] (no decision record exists),
+    /// commit at the other two (every yes-vote, or the decision itself,
+    /// is already durable). The transaction must be live with at least
+    /// two participants.
+    pub fn commit_global_with_crash(
+        &mut self,
+        gtid: u64,
+        step: TwoPcStep,
+    ) -> Result<bool, RedoError> {
+        let parts = self.participants(gtid);
+        assert!(parts.len() >= 2, "2PC crash steps need a cross-shard transaction");
+        let first = parts[0];
+        if self.prepare_all(gtid).is_err() {
+            // A no-vote aborted the transaction before the crash point was
+            // reached; the step becomes a plain settled abort.
+            self.resolve_in_doubt();
+            return Ok(false);
+        }
+        match step {
+            TwoPcStep::CoordinatorAfterPrepare => {
+                self.crash_coordinator();
+                self.resolve_in_doubt();
+                Ok(false)
+            }
+            TwoPcStep::ParticipantInDoubt => {
+                self.crash_subset(1 << first)?;
+                // Every yes-vote is durable, so the transaction stayed
+                // live across the crash: the coordinator commits, resolves
+                // the surviving participants directly, and the crashed
+                // one settles from doubt against the decision record.
+                self.coord.log_commit(gtid);
+                for s in self.participants(gtid) {
+                    if s != first {
+                        let _ = self.resolve_participant(gtid, s, true);
+                    }
+                }
+                self.live.remove(&gtid);
+                self.resolve_in_doubt();
+                Ok(true)
+            }
+            TwoPcStep::BothAfterDecide => {
+                self.decide_commit(gtid);
+                let _ = self.resolve_participant(gtid, first, true);
+                let rest: u32 = self.participants(gtid).iter().fold(0, |m, &s| m | (1 << s));
+                self.crash_coordinator();
+                self.crash_subset(rest)?;
+                self.resolve_in_doubt();
+                Ok(true)
+            }
+            TwoPcStep::CrashDuringRecovery => {
+                // The participant dies in doubt, then its recovery is
+                // itself interrupted by a nested power loss (absorbed
+                // internally; doubt must still be stable across it).
+                self.shards[first].crash_recover_interrupted(TornPolicy::DiscardTail, 2)?;
+                self.crash_coordinator();
+                self.resolve_in_doubt();
+                Ok(false)
+            }
+        }
+    }
+}
+
+/// A restorable snapshot of a whole [`ShardedSystem`]: one
+/// [`SystemSnapshot`] per shard plus the coordinator log, the global-id
+/// allocator and the live cross-shard transaction table.
+pub struct ShardedSnapshot<A, E, C, B>
+where
+    A: Adt,
+    E: RecoveryEngine<A>,
+    C: Conflict<A>,
+    B: LogBackend<A>,
+{
+    shards: Vec<SystemSnapshot<A, E, C, B>>,
+    coord: CoordinatorLog,
+    next_gtid: u64,
+    live: BTreeMap<u64, GlobalTxn>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crash::SystemMode;
+    use crate::engine::UipEngine;
+    use ccr_adt::bank::{bank_nrbc, BankAccount, BankInv};
+    use ccr_store::{WalBackend, WalConfig};
+
+    type Sharded = ShardedSystem<
+        BankAccount,
+        UipEngine<BankAccount>,
+        ccr_core::conflict::FnConflict<BankAccount>,
+        WalBackend<BankAccount>,
+    >;
+
+    /// Two disk-backed shards over four objects: 0/2 live on shard 0,
+    /// 1/3 on shard 1.
+    fn fleet(nshards: usize) -> Sharded {
+        ShardedSystem::new_with(nshards, |_| {
+            DurableSystem::with_backend(
+                BankAccount::default(),
+                4,
+                bank_nrbc(),
+                WalBackend::new(WalConfig::default()),
+            )
+        })
+    }
+
+    const S0: ObjectId = ObjectId(0);
+    const S1: ObjectId = ObjectId(1);
+
+    #[test]
+    fn cross_shard_commit_is_durable_on_every_shard() {
+        let mut sys = fleet(2);
+        let g = sys.begin_global();
+        sys.invoke_global(g, S0, BankInv::Deposit(10)).unwrap();
+        sys.invoke_global(g, S1, BankInv::Deposit(20)).unwrap();
+        assert_eq!(sys.participants(g), vec![0, 1]);
+        sys.commit_global(g).unwrap();
+        sys.crash_subset(0b11).unwrap();
+        assert!(sys.in_doubt().is_empty());
+        assert_eq!(sys.shard_mut(0).committed_state(S0), 10);
+        assert_eq!(sys.shard_mut(1).committed_state(S1), 20);
+        // The decision was journaled per participant: each shard's own log
+        // replays it without the coordinator.
+        assert!(sys.coordinator().decision(g));
+    }
+
+    #[test]
+    fn single_participant_commit_skips_two_phase() {
+        let mut sys = fleet(2);
+        let g = sys.begin_global();
+        sys.invoke_global(g, S0, BankInv::Deposit(7)).unwrap();
+        sys.commit_global(g).unwrap();
+        // Fast path: no coordinator record, no prepare/decide frames.
+        assert!(!sys.coordinator().decision(g));
+        assert_eq!(sys.shard(0).stats().prepares, 0);
+        sys.crash_subset(0b01).unwrap();
+        assert_eq!(sys.shard_mut(0).committed_state(S0), 7);
+    }
+
+    #[test]
+    fn coordinator_death_after_prepare_presumes_abort() {
+        let mut sys = fleet(2);
+        let g = sys.begin_global();
+        sys.invoke_global(g, S0, BankInv::Deposit(10)).unwrap();
+        sys.invoke_global(g, S1, BankInv::Deposit(20)).unwrap();
+        let committed =
+            sys.commit_global_with_crash(g, TwoPcStep::CoordinatorAfterPrepare).unwrap();
+        assert!(!committed);
+        assert!(sys.in_doubt().is_empty());
+        assert_eq!(sys.shard_mut(0).committed_state(S0), 0);
+        assert_eq!(sys.shard_mut(1).committed_state(S1), 0);
+        // Uniform outcome either way.
+        let mut sys2 = sys;
+        check_uniform_outcome(&[(g, vec![0, 1])], |_, s| {
+            sys2.shard_mut(s).committed_state(ObjectId(s as u32)) != 0
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn participant_death_in_doubt_commits_from_the_decision_record() {
+        let mut sys = fleet(2);
+        let g = sys.begin_global();
+        sys.invoke_global(g, S0, BankInv::Deposit(10)).unwrap();
+        sys.invoke_global(g, S1, BankInv::Deposit(20)).unwrap();
+        let committed = sys.commit_global_with_crash(g, TwoPcStep::ParticipantInDoubt).unwrap();
+        assert!(committed);
+        assert_eq!(sys.shard_mut(0).committed_state(S0), 10);
+        assert_eq!(sys.shard_mut(1).committed_state(S1), 20);
+        assert_eq!(sys.shard(0).stats().resolved, 1, "shard 0 settled from doubt");
+    }
+
+    #[test]
+    fn both_dying_after_a_durable_decision_still_commits_everywhere() {
+        let mut sys = fleet(2);
+        let g = sys.begin_global();
+        sys.invoke_global(g, S0, BankInv::Deposit(10)).unwrap();
+        sys.invoke_global(g, S1, BankInv::Deposit(20)).unwrap();
+        let committed = sys.commit_global_with_crash(g, TwoPcStep::BothAfterDecide).unwrap();
+        assert!(committed);
+        assert_eq!(sys.shard_mut(0).committed_state(S0), 10);
+        assert_eq!(sys.shard_mut(1).committed_state(S1), 20);
+        // And survives yet another full-fleet crash.
+        sys.crash_subset(0b11).unwrap();
+        assert_eq!(sys.shard_mut(0).committed_state(S0), 10);
+        assert_eq!(sys.shard_mut(1).committed_state(S1), 20);
+    }
+
+    #[test]
+    fn nested_crash_during_participant_recovery_keeps_doubt_stable() {
+        let mut sys = fleet(2);
+        let g = sys.begin_global();
+        sys.invoke_global(g, S0, BankInv::Deposit(10)).unwrap();
+        sys.invoke_global(g, S1, BankInv::Deposit(20)).unwrap();
+        let committed = sys.commit_global_with_crash(g, TwoPcStep::CrashDuringRecovery).unwrap();
+        assert!(!committed);
+        assert!(sys.in_doubt().is_empty());
+        assert_eq!(sys.shard_mut(0).committed_state(S0), 0);
+        assert_eq!(sys.shard_mut(1).committed_state(S1), 0);
+    }
+
+    #[test]
+    fn lost_decision_record_is_caught_by_the_uniformity_leg() {
+        let mut sys = fleet(2);
+        let g = sys.begin_global();
+        sys.invoke_global(g, S0, BankInv::Deposit(10)).unwrap();
+        sys.invoke_global(g, S1, BankInv::Deposit(20)).unwrap();
+        sys.prepare_all(g).unwrap();
+        // Sabotage: the commit decision evaporates...
+        sys.coordinator_mut().arm_lose_decision();
+        assert!(!sys.decide_commit(g), "the armed decision record must be lost");
+        // ...but shard 0 is told to commit before anyone notices...
+        sys.resolve_participant(g, 0, true).unwrap();
+        // ...and shard 1 dies in doubt. Settlement presumes abort there.
+        sys.crash_subset(0b10).unwrap();
+        assert_eq!(sys.resolve_in_doubt(), 1);
+        assert_eq!(sys.coordinator().lost_decisions(), 1);
+        // Mixed outcome: exactly what the eighth leg exists to catch.
+        let err = check_uniform_outcome(&[(g, vec![0, 1])], |_, s| {
+            sys.shard_mut(s).committed_state(ObjectId(s as u32)) != 0
+        })
+        .unwrap_err();
+        assert_eq!(
+            err,
+            GlobalAtomicityViolation { gtid: g, committed_on: vec![0], aborted_on: vec![1] }
+        );
+    }
+
+    #[test]
+    fn degraded_shard_never_blocks_commits_that_avoid_it() {
+        let mut sys = fleet(2);
+        // Shard 1's device fills up and its next commit degrades it.
+        sys.shard_mut(1).backend_mut().set_device_full(true);
+        let g = sys.begin_global();
+        sys.invoke_global(g, S1, BankInv::Deposit(1)).unwrap();
+        assert!(sys.commit_global(g).is_err());
+        assert_eq!(sys.shard(1).mode(), SystemMode::Degraded);
+        // A transaction touching only shard 0 commits unimpeded.
+        let h = sys.begin_global();
+        sys.invoke_global(h, S0, BankInv::Deposit(5)).unwrap();
+        sys.commit_global(h).unwrap();
+        assert_eq!(sys.shard_mut(0).committed_state(S0), 5);
+        // A cross-shard transaction gets shard 1's no-vote and aborts
+        // uniformly — shard 0's half must not commit.
+        let k = sys.begin_global();
+        sys.invoke_global(k, S0, BankInv::Deposit(100)).unwrap();
+        sys.invoke_global(k, S1, BankInv::Deposit(100)).unwrap();
+        assert!(matches!(sys.commit_global(k), Err(TxnError::ReadOnly)));
+        assert_eq!(sys.shard_mut(0).committed_state(S0), 5);
+        assert_eq!(sys.shard_mut(1).committed_state(S1), 0);
+        assert!(sys.in_doubt().is_empty());
+    }
+
+    #[test]
+    fn coordinator_restart_reissues_no_traced_gtid() {
+        let mut sys = fleet(2);
+        let g = sys.begin_global();
+        sys.invoke_global(g, S0, BankInv::Deposit(1)).unwrap();
+        sys.invoke_global(g, S1, BankInv::Deposit(1)).unwrap();
+        sys.commit_global(g).unwrap();
+        let h = sys.begin_global();
+        sys.invoke_global(h, S0, BankInv::Deposit(2)).unwrap();
+        sys.invoke_global(h, S1, BankInv::Deposit(2)).unwrap();
+        sys.prepare_all(h).unwrap();
+        sys.crash_coordinator();
+        // Both the decided gtid and the in-doubt one stay retired.
+        let next = sys.begin_global();
+        assert!(next > g && next > h);
+        sys.resolve_in_doubt();
+        assert_eq!(sys.shard_mut(0).committed_state(S0), 1);
+    }
+}

@@ -943,6 +943,23 @@ where
                 .on_fault(Some(FaultCounter::FsyncStall), || kind.to_string());
             Ok(())
         }
+        FaultKind::CrashShards { .. } | FaultKind::TwoPcCrash { .. } => {
+            // Sharded arms in a single-system run: there is exactly one
+            // "shard", so any subset crash (and any 2PC step crash — no
+            // cross-shard commit exists) degrades to a plain crash. The
+            // sharded simulator in `crate::shard` handles them natively.
+            inject(
+                FaultKind::Crash,
+                sys,
+                drivers,
+                cfg,
+                spec,
+                invariant,
+                report,
+                fp_fold,
+                delay_next_commit,
+            )
+        }
     }
 }
 

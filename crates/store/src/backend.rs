@@ -243,8 +243,19 @@ impl Eq for ScanReport {}
 pub struct RecoveredLog<A: Adt> {
     /// The newest valid checkpoint, if any survived.
     pub checkpoint: Option<CheckpointImage<A>>,
-    /// Commit records after the checkpoint, in commit order.
+    /// Commit records after the checkpoint, in commit order. A 2PC prepare
+    /// whose commit decision is durable folds into this list *at the decide
+    /// position* — replay order is decision order.
     pub records: Vec<CommitRecord<A>>,
+    /// Prepared transactions with no durable decision, by global txn id:
+    /// in doubt. The caller resolves each against the coordinator's log, or
+    /// presumes abort when the coordinator has no commit record. Sorted by
+    /// gtid.
+    pub in_doubt: Vec<(u64, CommitRecord<A>)>,
+    /// Every durable 2PC decision in append order (`true` = commit). This
+    /// log is what a *coordinator* reads back after its own crash to answer
+    /// participants' in-doubt queries.
+    pub decisions: Vec<(u64, bool)>,
     /// Transaction-id floor to resume from.
     pub txn_floor: u32,
     /// Execution-sequence floor to resume from.
@@ -341,6 +352,21 @@ pub trait LogBackend<A: Adt>: Send + Clone {
         }
         Ok(())
     }
+
+    /// Durably journal a 2PC PREPARE for global transaction `gtid`: the
+    /// participant's full commit record, written *before* the vote. On `Ok`
+    /// the transaction is in doubt — recovery surfaces it in
+    /// [`RecoveredLog::in_doubt`] until a decision lands. On `Err` nothing
+    /// is durable and the participant must vote no (which presumed abort
+    /// turns into a global abort for free).
+    fn append_prepare(&mut self, gtid: u64, rec: &CommitRecord<A>) -> Result<(), StoreFailure>;
+
+    /// Durably journal the decision for a previously prepared `gtid`
+    /// (`true` = commit). Per presumed abort the abort decision is
+    /// optional — a prepare with no decision resolves to abort — but
+    /// journaling it lets recovery release the in-doubt transaction without
+    /// asking the coordinator.
+    fn append_decision(&mut self, gtid: u64, commit: bool) -> Result<(), StoreFailure>;
 
     /// Durably write a checkpoint and truncate what it covers. Returns the
     /// number of whole segments truncated (always 0 for the mem backend).
@@ -537,6 +563,10 @@ pub fn replay_du<A: Adt>(
 pub struct MemBackend<A: Adt> {
     checkpoint: Option<CheckpointImage<A>>,
     records: Vec<StoredRecord<A>>,
+    /// Prepared-but-undecided 2PC transactions, by gtid (the in-doubt set).
+    prepared: BTreeMap<u64, CommitRecord<A>>,
+    /// Durable 2PC decisions in append order (`true` = commit).
+    decided: Vec<(u64, bool)>,
     stats: StoreStats,
     /// Whether the current torn tail has already been counted into `stats`.
     /// Repeated scans (a Strict refusal, then a DiscardTail retry) re-detect
@@ -556,6 +586,8 @@ impl<A: Adt> MemBackend<A> {
         MemBackend {
             checkpoint: None,
             records: Vec::new(),
+            prepared: BTreeMap::new(),
+            decided: Vec::new(),
             stats: StoreStats::default(),
             tear_counted: false,
         }
@@ -573,12 +605,23 @@ impl<A: Adt> MemBackend<A> {
         let seq = self
             .records
             .iter()
-            .flat_map(|r| r.rec.ops.iter().map(|(s, _, _)| s + 1))
+            .map(|r| &r.rec)
+            .chain(self.prepared.values())
+            .flat_map(|r| r.ops.iter().map(|(s, _, _)| s + 1))
             .max()
             .unwrap_or(0)
             .max(cp_seq);
-        if let Some(last) = self.records.last() {
-            (last.rec.floor, seq)
+        // In-doubt prepares hold floors too: a decided commit re-enters the
+        // record list at its decide position with the older prepare-time
+        // floor, so the floor is the max over both sets, not "last record".
+        let floor = self
+            .records
+            .iter()
+            .map(|r| r.rec.floor)
+            .chain(self.prepared.values().map(|r| r.floor))
+            .max();
+        if let Some(floor) = floor {
+            (floor, seq)
         } else if let Some(cp) = &self.checkpoint {
             (cp.txn_floor, seq)
         } else {
@@ -594,9 +637,33 @@ impl<A: Adt> LogBackend<A> for MemBackend<A> {
         Ok(())
     }
 
+    fn append_prepare(&mut self, gtid: u64, rec: &CommitRecord<A>) -> Result<(), StoreFailure> {
+        self.prepared.insert(gtid, rec.clone());
+        self.tear_counted = false;
+        Ok(())
+    }
+
+    fn append_decision(&mut self, gtid: u64, commit: bool) -> Result<(), StoreFailure> {
+        self.decided.push((gtid, commit));
+        if let Some(rec) = self.prepared.remove(&gtid) {
+            if commit {
+                // Replay order is decision order: the record enters the
+                // commit list where the decision landed.
+                self.records.push(StoredRecord { op_count: rec.ops.len(), rec });
+            }
+        }
+        self.tear_counted = false;
+        Ok(())
+    }
+
     fn write_checkpoint(&mut self, img: &CheckpointImage<A>) -> Result<u64, StoreFailure> {
         self.checkpoint = Some(img.clone());
         self.records.clear();
+        // The checkpoint folds every decided transaction; the decision log
+        // before it is as redundant as the records it covers. (Callers
+        // refuse to checkpoint while prepares are pending, so `prepared`
+        // stays untouched here.)
+        self.decided.clear();
         self.stats.checkpoints += 1;
         Ok(0)
     }
@@ -649,6 +716,8 @@ impl<A: Adt> LogBackend<A> for MemBackend<A> {
         Ok(RecoveredLog {
             checkpoint: self.checkpoint.clone(),
             records: self.records.iter().map(|r| r.rec.clone()).collect(),
+            in_doubt: self.prepared.iter().map(|(g, r)| (*g, r.clone())).collect(),
+            decisions: self.decided.clone(),
             txn_floor,
             next_exec_seq,
             stats: self.stats,
@@ -700,6 +769,17 @@ impl<A: Adt> LogBackend<A> for MemBackend<A> {
                 op.resp.hash(&mut h);
             }
         }
+        for (gtid, rec) in &self.prepared {
+            gtid.hash(&mut h);
+            rec.floor.hash(&mut h);
+            for (seq, obj, op) in &rec.ops {
+                seq.hash(&mut h);
+                obj.hash(&mut h);
+                op.inv.hash(&mut h);
+                op.resp.hash(&mut h);
+            }
+        }
+        self.decided.hash(&mut h);
         h.finish()
     }
 

@@ -16,7 +16,7 @@
 //! that forensic tail is exactly what the scanner's probe uses to tell a
 //! torn group flush from interior corruption.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use ccr_core::adt::Adt;
 
@@ -24,8 +24,9 @@ use crate::backend::Detection;
 use crate::codec::{crc32, Persist};
 use crate::disk::{SectorRead, SimDisk};
 use crate::wal::{
-    decode_batch, decode_checkpoint, decode_commit, SegHeader, WalConfig, FRAME_OVERHEAD,
-    HEADER_PAYLOAD, KIND_BATCH, KIND_CHECKPOINT, KIND_COMMIT, KIND_SEG_HEADER, MAGIC,
+    decode_batch, decode_checkpoint, decode_commit, decode_decide, decode_prepare, SegHeader,
+    WalConfig, FRAME_OVERHEAD, HEADER_PAYLOAD, KIND_BATCH, KIND_CHECKPOINT, KIND_COMMIT,
+    KIND_DECIDE, KIND_PREPARE, KIND_SEG_HEADER, MAGIC,
 };
 
 /// One frame (or damaged frame position) in the listing.
@@ -35,8 +36,8 @@ pub struct FrameInfo {
     pub sector: u64,
     /// Sector footprint (0 when the frame is too damaged to size).
     pub sectors: u64,
-    /// `"seg-header"`, `"commit"`, `"batch"`, `"checkpoint"`, or
-    /// `"unknown"` when the kind byte itself is unreadable.
+    /// `"seg-header"`, `"commit"`, `"batch"`, `"checkpoint"`, `"prepare"`,
+    /// `"decide"`, or `"unknown"` when the kind byte itself is unreadable.
     pub kind: &'static str,
     /// `"valid"`, `"torn"`, or `"corrupt"` — status per the scanner's rules.
     pub status: &'static str,
@@ -101,6 +102,13 @@ pub struct WalInspection {
     /// Group-commit batch runs in the replayable prefix, in first-seen
     /// order.
     pub batches: Vec<BatchRun>,
+    /// Gtids of prepared 2PC transactions with no durable decision in the
+    /// replayable prefix — in doubt, sorted (matches the gtids of
+    /// `RecoveredLog::in_doubt`).
+    pub in_doubt: Vec<u64>,
+    /// Durable 2PC decisions in append order, `true` = commit (matches
+    /// `RecoveredLog::decisions`).
+    pub decisions: Vec<(u64, bool)>,
 }
 
 /// Raw, unchecked view of one frame position (mirror of the scanner's
@@ -118,6 +126,8 @@ fn kind_name(kind: u8) -> &'static str {
         KIND_COMMIT => "commit",
         KIND_CHECKPOINT => "checkpoint",
         KIND_BATCH => "batch",
+        KIND_PREPARE => "prepare",
+        KIND_DECIDE => "decide",
         _ => "unknown",
     }
 }
@@ -137,7 +147,7 @@ fn read_frame_raw(disk: &SimDisk, cfg: &WalConfig, pos: u64, seg_end: u64) -> Ra
         return RawFrame::Corrupt { kind: "unknown" };
     }
     let kind = first[4];
-    if !(KIND_SEG_HEADER..=KIND_BATCH).contains(&kind) {
+    if !(KIND_SEG_HEADER..=KIND_DECIDE).contains(&kind) {
         return RawFrame::Corrupt { kind: "unknown" };
     }
     let len = u32::from_le_bytes(first[5..9].try_into().expect("4 bytes")) as usize;
@@ -167,6 +177,8 @@ fn read_frame_raw(disk: &SimDisk, cfg: &WalConfig, pos: u64, seg_end: u64) -> Ra
 enum Decoded {
     Commit { floor: u32, max_seq: Option<u64>, batch: Option<(u64, u32, u32)> },
     Checkpoint { txn_floor: u32, next_exec_seq: u64 },
+    Prepare { gtid: u64, floor: u32, max_seq: Option<u64> },
+    Decide { gtid: u64, commit: bool },
 }
 
 /// Walk a WAL device image and derive the full forensic report. Read-only:
@@ -196,6 +208,8 @@ where
         txn_floor: 0,
         next_exec_seq: 0,
         batches: Vec::new(),
+        in_doubt: Vec::new(),
+        decisions: Vec::new(),
     };
     if segs.is_empty() {
         return out;
@@ -424,6 +438,26 @@ where
                             }
                             None => (None, String::new()),
                         },
+                        KIND_PREPARE => match decode_prepare::<A>(&payload) {
+                            Some((gtid, rec)) => {
+                                let max_seq = rec.ops.iter().map(|(s, _, _)| s + 1).max();
+                                let detail = format!(
+                                    "gtid={} floor={} ops={}",
+                                    gtid,
+                                    rec.floor,
+                                    rec.ops.len()
+                                );
+                                (Some(Decoded::Prepare { gtid, floor: rec.floor, max_seq }), detail)
+                            }
+                            None => (None, String::new()),
+                        },
+                        KIND_DECIDE => match decode_decide(&payload) {
+                            Some((gtid, commit)) => {
+                                let detail = format!("gtid={gtid} commit={commit}");
+                                (Some(Decoded::Decide { gtid, commit }), detail)
+                            }
+                            None => (None, String::new()),
+                        },
                         // A header frame in the data area: a misdirected
                         // write. The scanner classifies it as corruption.
                         _ => (None, String::new()),
@@ -532,6 +566,11 @@ fn finish(mut out: WalInspection, governing: SegHeader, decoded: Vec<Decoded>) -
     let mut checkpoint: Option<(u32, u64)> = None;
     let mut records: Vec<(u32, Option<u64>)> = Vec::new();
     let mut batches: Vec<BatchRun> = Vec::new();
+    // 2PC fold, mirroring the scanner: a prepare is pending until its decide
+    // frame; decide-commit enters the replay suffix at the decide position;
+    // leftovers are in doubt.
+    let mut pending: BTreeMap<u64, (u32, Option<u64>)> = BTreeMap::new();
+    let mut decisions: Vec<(u64, bool)> = Vec::new();
     for d in &decoded {
         match d {
             Decoded::Checkpoint { txn_floor, next_exec_seq } => {
@@ -544,6 +583,17 @@ fn finish(mut out: WalInspection, governing: SegHeader, decoded: Vec<Decoded>) -
                     match batches.iter_mut().find(|b| b.id == *id) {
                         Some(b) => b.seen += 1,
                         None => batches.push(BatchRun { id: *id, seen: 1, len: *len }),
+                    }
+                }
+            }
+            Decoded::Prepare { gtid, floor, max_seq } => {
+                pending.insert(*gtid, (*floor, *max_seq));
+            }
+            Decoded::Decide { gtid, commit } => {
+                decisions.push((*gtid, *commit));
+                if let Some(entry) = pending.remove(gtid) {
+                    if *commit {
+                        records.push(entry);
                     }
                 }
             }
@@ -560,18 +610,25 @@ fn finish(mut out: WalInspection, governing: SegHeader, decoded: Vec<Decoded>) -
     }
     out.checkpoint = checkpoint.is_some();
     out.replay_records = records.len() as u64;
+    // Floors mirror the scanner: max over the replay suffix *and* the
+    // in-doubt set (a decide-commit carries its older prepare-time floor).
     out.txn_floor = records
-        .last()
+        .iter()
         .map(|(f, _)| *f)
+        .chain(pending.values().map(|(f, _)| *f))
+        .max()
         .or(checkpoint.map(|(f, _)| f))
         .unwrap_or(governing.txn_floor);
     out.next_exec_seq = records
         .iter()
+        .chain(pending.values())
         .filter_map(|(_, s)| *s)
         .max()
         .or(checkpoint.map(|(_, s)| s))
         .unwrap_or(governing.next_exec_seq);
     out.batches = batches;
+    out.in_doubt = pending.into_keys().collect();
+    out.decisions = decisions;
     out
 }
 
@@ -625,10 +682,17 @@ impl WalInspection {
             .iter()
             .map(|b| format!("{{\"id\":{},\"seen\":{},\"len\":{}}}", b.id, b.seen, b.len))
             .collect();
+        let in_doubt: Vec<String> = self.in_doubt.iter().map(|g| g.to_string()).collect();
+        let decisions: Vec<String> = self
+            .decisions
+            .iter()
+            .map(|(g, c)| format!("{{\"gtid\":{g},\"commit\":{c}}}"))
+            .collect();
         format!(
             "{{\"sector_size\":{},\"seg_sectors\":{},\"sectors\":{},\"frames\":{},\
              \"damage\":\"{}\",\"checkpoint\":{},\"replay_records\":{},\"txn_floor\":{},\
-             \"next_exec_seq\":{},\"detections\":[{}],\"batches\":[{}],\"segments\":[{}]}}",
+             \"next_exec_seq\":{},\"in_doubt\":[{}],\"decisions\":[{}],\"detections\":[{}],\
+             \"batches\":[{}],\"segments\":[{}]}}",
             self.sector_size,
             self.seg_sectors,
             self.sectors,
@@ -638,6 +702,8 @@ impl WalInspection {
             self.replay_records,
             self.txn_floor,
             self.next_exec_seq,
+            in_doubt.join(","),
+            decisions.join(","),
             detections.join(","),
             batches.join(","),
             segs.join(",")
@@ -691,6 +757,9 @@ mod tests {
                 assert_eq!(ins.txn_floor, out.txn_floor, "floors must agree");
                 assert_eq!(ins.next_exec_seq, out.next_exec_seq);
                 assert_eq!(ins.replay_records, out.records.len() as u64);
+                let gtids: Vec<u64> = out.in_doubt.iter().map(|(g, _)| *g).collect();
+                assert_eq!(ins.in_doubt, gtids, "in-doubt sets must agree");
+                assert_eq!(ins.decisions, out.decisions, "decision logs must agree");
             }
             Err(fail) => {
                 assert_eq!(ins.damage, fail.report.damage, "damage must agree on refusal");
@@ -780,6 +849,41 @@ mod tests {
         let ins = inspect(&w);
         assert_eq!(ins.damage, "torn-batch");
         assert_agrees(&w, TailPolicy::DiscardTail);
+    }
+
+    #[test]
+    fn prepare_and_decide_frames_list_and_agree_with_recovery() {
+        let mut w = Wal::new(WalConfig::default());
+        w.append_commit(&rec(1, 0, &[5])).unwrap();
+        w.append_prepare(7, &rec(2, 1, &[3])).unwrap();
+        let ins = inspect(&w);
+        assert_eq!(ins.damage, "clean");
+        assert_eq!(ins.in_doubt, vec![7]);
+        assert_eq!(ins.replay_records, 1, "an undecided prepare must not replay");
+        let kinds: Vec<&str> = ins.segments[0].frames.iter().map(|f| f.kind).collect();
+        assert_eq!(kinds, vec!["seg-header", "commit", "prepare"]);
+        assert_agrees(&w, TailPolicy::Strict);
+
+        // The commit decision folds the prepared record into the replay
+        // suffix at the decide position and clears the doubt.
+        w.append_decision(7, true).unwrap();
+        let ins = inspect(&w);
+        assert!(ins.in_doubt.is_empty());
+        assert_eq!(ins.decisions, vec![(7, true)]);
+        assert_eq!(ins.replay_records, 2);
+        assert_eq!(ins.txn_floor, 2);
+        assert_eq!(ins.next_exec_seq, 2);
+        assert_agrees(&w, TailPolicy::Strict);
+
+        // An abort decision drops the prepared record entirely.
+        let mut w = Wal::new(WalConfig::default());
+        w.append_prepare(9, &rec(1, 0, &[4])).unwrap();
+        w.append_decision(9, false).unwrap();
+        let ins = inspect(&w);
+        assert!(ins.in_doubt.is_empty());
+        assert_eq!(ins.decisions, vec![(9, false)]);
+        assert_eq!(ins.replay_records, 0);
+        assert_agrees(&w, TailPolicy::Strict);
     }
 
     #[test]

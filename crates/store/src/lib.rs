@@ -44,6 +44,6 @@ pub use codec::{crc32, Persist};
 pub use disk::{DiskError, DiskImage, DiskStats, SectorRead, SimDisk};
 pub use inspect::{inspect_wal, BatchRun, FrameInfo, SegmentInfo, WalInspection};
 pub use wal::{
-    build_frame, check_frame, decode_batch, encode_batch, BatchMeta, SegHeader, WalBackend,
-    WalConfig,
+    build_frame, check_frame, decode_batch, decode_decide, decode_prepare, encode_batch,
+    encode_decide, encode_prepare, BatchMeta, SegHeader, WalBackend, WalConfig,
 };

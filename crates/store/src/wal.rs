@@ -77,7 +77,7 @@
 //! The newest valid checkpoint becomes the replay base; commit frames after
 //! it are returned in commit order.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::marker::PhantomData;
 
 use ccr_core::adt::Adt;
@@ -114,6 +114,14 @@ pub(crate) const KIND_SEG_HEADER: u8 = 1;
 pub(crate) const KIND_COMMIT: u8 = 2;
 pub(crate) const KIND_CHECKPOINT: u8 = 3;
 pub(crate) const KIND_BATCH: u8 = 4;
+/// A two-phase-commit PREPARE: the participant's full commit record,
+/// journaled *before* the vote — the transaction is in doubt until a
+/// decide frame (or the coordinator's verdict) resolves it.
+pub(crate) const KIND_PREPARE: u8 = 5;
+/// A two-phase-commit decision for a previously prepared transaction:
+/// gtid plus a commit/abort flag. Per presumed abort, a prepare whose
+/// decide frame is torn away resolves to abort.
+pub(crate) const KIND_DECIDE: u8 = 6;
 /// magic(4) + kind(1) + len(4) + crc(4).
 pub(crate) const FRAME_OVERHEAD: usize = 13;
 /// epoch(8) + seg_index(8) + requires_checkpoint(1) + txn_floor(4) +
@@ -150,7 +158,7 @@ pub fn check_frame(buf: &[u8]) -> Option<(u8, Vec<u8>)> {
         return None;
     }
     let kind = buf[4];
-    if !(KIND_SEG_HEADER..=KIND_BATCH).contains(&kind) {
+    if !(KIND_SEG_HEADER..=KIND_DECIDE).contains(&kind) {
         return None;
     }
     let len = u32::from_le_bytes(buf[5..9].try_into().expect("4 bytes")) as usize;
@@ -282,7 +290,7 @@ fn read_frame(
         return Ok(FrameRead::Corrupt);
     }
     let kind = first[4];
-    if !(KIND_SEG_HEADER..=KIND_BATCH).contains(&kind) {
+    if !(KIND_SEG_HEADER..=KIND_DECIDE).contains(&kind) {
         return Ok(FrameRead::Corrupt);
     }
     let len = u32::from_le_bytes(first[5..9].try_into().expect("4 bytes")) as usize;
@@ -395,6 +403,59 @@ where
         ops: Persist::decode(payload, &mut pos)?,
     };
     (pos == payload.len()).then_some(rec)
+}
+
+/// Serialize a 2PC prepare frame: the global transaction id followed by the
+/// participant's full commit record. Public (with [`decode_prepare`]) as the
+/// wire-format test surface for the presumed-abort property tests.
+pub fn encode_prepare<A>(gtid: u64, rec: &CommitRecord<A>) -> Vec<u8>
+where
+    A: Adt,
+    A::Invocation: Persist,
+    A::Response: Persist,
+{
+    let mut out = Vec::new();
+    gtid.encode(&mut out);
+    rec.floor.encode(&mut out);
+    rec.ops.encode(&mut out);
+    out
+}
+
+/// Parse a prepare payload; `None` on structural damage.
+pub fn decode_prepare<A>(payload: &[u8]) -> Option<(u64, CommitRecord<A>)>
+where
+    A: Adt,
+    A::Invocation: Persist,
+    A::Response: Persist,
+{
+    let mut pos = 0;
+    let gtid = u64::decode(payload, &mut pos)?;
+    let rec = CommitRecord {
+        floor: u32::decode(payload, &mut pos)?,
+        ops: Persist::decode(payload, &mut pos)?,
+    };
+    (pos == payload.len()).then_some((gtid, rec))
+}
+
+/// Serialize a 2PC decide frame: gtid plus commit flag (1 = commit,
+/// 0 = abort). Public as the wire-format test surface.
+pub fn encode_decide(gtid: u64, commit: bool) -> Vec<u8> {
+    let mut out = Vec::new();
+    gtid.encode(&mut out);
+    (commit as u8).encode(&mut out);
+    out
+}
+
+/// Parse a decide payload; `None` on structural damage (a flag byte other
+/// than 0/1 counts as damage — nothing legitimate writes one).
+pub fn decode_decide(payload: &[u8]) -> Option<(u64, bool)> {
+    let mut pos = 0;
+    let gtid = u64::decode(payload, &mut pos)?;
+    let flag = u8::decode(payload, &mut pos)?;
+    if flag > 1 {
+        return None;
+    }
+    (pos == payload.len()).then_some((gtid, flag == 1))
 }
 
 /// Per-frame batch header of a group-commit flush member: which flush the
@@ -638,7 +699,7 @@ where
             self.head = self.header_sectors();
             self.write_header()?;
         }
-        let tearable = kind == KIND_COMMIT;
+        let tearable = matches!(kind, KIND_COMMIT | KIND_PREPARE | KIND_DECIDE);
         let at = self.seg * self.cfg.seg_sectors + self.head;
         write_retried(&mut self.disk, self.retry, &mut self.retries, at, &frame)?;
         flush_retried(&mut self.disk, self.retry, &mut self.retries)?;
@@ -733,6 +794,14 @@ where
         if let Some(cp) = &out.checkpoint {
             buf.extend_from_slice(&encode_checkpoint(cp));
         }
+        for (gtid, rec) in &out.in_doubt {
+            buf.extend_from_slice(&encode_prepare(*gtid, rec));
+            buf.push(0x2C);
+        }
+        for (gtid, commit) in &out.decisions {
+            buf.extend_from_slice(&encode_decide(*gtid, *commit));
+            buf.push(0xD0);
+        }
         out.txn_floor.encode(&mut buf);
         out.next_exec_seq.encode(&mut buf);
         (self.requires_checkpoint as u8).encode(&mut buf);
@@ -786,6 +855,8 @@ fn note_detection(detected: &mut StoreStats, seen: &mut BTreeSet<(u8, u64)>, d: 
 enum ScannedFrame<A: Adt> {
     Commit { rec: CommitRecord<A>, batch: Option<(BatchMeta, u64)> },
     Checkpoint(CheckpointImage<A>),
+    Prepare { gtid: u64, rec: CommitRecord<A> },
+    Decide { gtid: u64, commit: bool },
 }
 
 /// What lies beyond a damage site.
@@ -895,6 +966,46 @@ where
         }
     }
 
+    fn append_prepare(&mut self, gtid: u64, rec: &CommitRecord<A>) -> Result<(), StoreFailure> {
+        let start = (self.seg, self.head);
+        let floors = (self.txn_floor, self.next_exec_seq);
+        // A prepare advances the floors exactly as its commit would: the
+        // record's ops are durable from here even though the outcome is
+        // still open, and a recovery must not hand out ids or exec stamps
+        // that collide with the in-doubt transaction's.
+        self.txn_floor = rec.floor;
+        if let Some(max) = rec.ops.iter().map(|(s, _, _)| s + 1).max() {
+            self.next_exec_seq = self.next_exec_seq.max(max);
+        }
+        match self.append_frame(KIND_PREPARE, &encode_prepare(gtid, rec)) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                if e == DiskError::Crashed {
+                    (self.txn_floor, self.next_exec_seq) = floors;
+                } else {
+                    self.rollback_append(start, floors);
+                }
+                Err(StoreFailure::device(e))
+            }
+        }
+    }
+
+    fn append_decision(&mut self, gtid: u64, commit: bool) -> Result<(), StoreFailure> {
+        let start = (self.seg, self.head);
+        let floors = (self.txn_floor, self.next_exec_seq);
+        match self.append_frame(KIND_DECIDE, &encode_decide(gtid, commit)) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                if e == DiskError::Crashed {
+                    (self.txn_floor, self.next_exec_seq) = floors;
+                } else {
+                    self.rollback_append(start, floors);
+                }
+                Err(StoreFailure::device(e))
+            }
+        }
+    }
+
     fn write_checkpoint(&mut self, img: &CheckpointImage<A>) -> Result<u64, StoreFailure> {
         let start = (self.seg, self.head);
         let floors = (self.txn_floor, self.next_exec_seq);
@@ -991,6 +1102,8 @@ where
             return Ok(RecoveredLog {
                 checkpoint: None,
                 records: Vec::new(),
+                in_doubt: Vec::new(),
+                decisions: Vec::new(),
                 txn_floor: 0,
                 next_exec_seq: 0,
                 stats: self.stats,
@@ -1090,6 +1203,10 @@ where
                             KIND_CHECKPOINT => {
                                 decode_checkpoint::<A>(&payload).map(ScannedFrame::Checkpoint)
                             }
+                            KIND_PREPARE => decode_prepare::<A>(&payload)
+                                .map(|(gtid, rec)| ScannedFrame::Prepare { gtid, rec }),
+                            KIND_DECIDE => decode_decide(&payload)
+                                .map(|(gtid, commit)| ScannedFrame::Decide { gtid, commit }),
                             // A header frame in the data area: structurally
                             // valid bytes in the wrong place (misdirected
                             // write). Treat as corruption.
@@ -1301,18 +1418,41 @@ where
         }
 
         // Replay base: the newest valid checkpoint wins; commit frames after
-        // it are the live log suffix.
+        // it are the live log suffix. 2PC frames fold by presumed abort: a
+        // prepare is pending until its decide frame arrives; decide-commit
+        // moves the prepared record into the replay suffix *at the decide
+        // position* (replay order is decision order); decide-abort drops it.
+        // A prepare with no durable decide survives the fold as in-doubt —
+        // the caller resolves it against the coordinator or presumes abort.
         let mut checkpoint: Option<CheckpointImage<A>> = None;
         let mut records: Vec<CommitRecord<A>> = Vec::new();
+        let mut pending: BTreeMap<u64, CommitRecord<A>> = BTreeMap::new();
+        let mut decisions: Vec<(u64, bool)> = Vec::new();
         for f in frames {
             match f {
                 ScannedFrame::Checkpoint(img) => {
+                    // Checkpoints refuse to run while prepares are pending,
+                    // so `pending` is empty here on any log we wrote; keep
+                    // whatever is there anyway rather than silently losing
+                    // an in-doubt transaction on a hand-damaged log.
                     checkpoint = Some(img);
                     records.clear();
                 }
                 ScannedFrame::Commit { rec, .. } => records.push(rec),
+                ScannedFrame::Prepare { gtid, rec } => {
+                    pending.insert(gtid, rec);
+                }
+                ScannedFrame::Decide { gtid, commit } => {
+                    decisions.push((gtid, commit));
+                    if let Some(rec) = pending.remove(&gtid) {
+                        if commit {
+                            records.push(rec);
+                        }
+                    }
+                }
             }
         }
+        let in_doubt: Vec<(u64, CommitRecord<A>)> = pending.into_iter().collect();
         if governing.requires_checkpoint && checkpoint.is_none() {
             // Truncation deleted segments that only a checkpoint can stand
             // in for; without one the log prefix is gone. Starting cold here
@@ -1322,13 +1462,22 @@ where
             return Err(StoreFailure { report, kind: StoreFailureKind::Corrupt { sector: at } });
         }
 
+        // Floors take the max over the replay suffix *and* the in-doubt set:
+        // a decide-commit lands its record at the decide position carrying
+        // its older prepare-time floor, so "last record" is no longer
+        // necessarily the newest (floors are monotone in append order, not
+        // decision order). On a log with no 2PC frames the max equals the
+        // last record's floor — byte-identical behavior.
         let txn_floor = records
-            .last()
+            .iter()
             .map(|r| r.floor)
+            .chain(in_doubt.iter().map(|(_, r)| r.floor))
+            .max()
             .or_else(|| checkpoint.as_ref().map(|c| c.txn_floor))
             .unwrap_or(governing.txn_floor);
         let next_exec_seq = records
             .iter()
+            .chain(in_doubt.iter().map(|(_, r)| r))
             .flat_map(|r| r.ops.iter())
             .map(|(s, _, _)| s + 1)
             .max()
@@ -1365,6 +1514,8 @@ where
         Ok(RecoveredLog {
             checkpoint,
             records,
+            in_doubt,
+            decisions,
             txn_floor,
             next_exec_seq,
             stats: self.stats,
@@ -1671,6 +1822,61 @@ mod tests {
 
     fn wal() -> Wal {
         Wal::new(WalConfig::default())
+    }
+
+    #[test]
+    fn prepare_survives_crash_as_in_doubt_until_decided() {
+        let mut w = wal();
+        w.append_commit(&rec(1, 0, &[5])).unwrap();
+        w.append_prepare(11, &rec(2, 1, &[3])).unwrap();
+        w.crash();
+        let out = w.recover(TailPolicy::Strict).unwrap();
+        assert_eq!(out.records, vec![rec(1, 0, &[5])]);
+        assert_eq!(out.in_doubt, vec![(11, rec(2, 1, &[3]))]);
+        assert!(out.decisions.is_empty());
+        // The in-doubt record's floors bind: ids and exec seqs it holds must
+        // not be reissued while the outcome is open.
+        assert_eq!(out.txn_floor, 2);
+        assert_eq!(out.next_exec_seq, 2);
+
+        // Decide commit: the record enters the replay suffix at the decide
+        // position and the doubt clears.
+        w.append_decision(11, true).unwrap();
+        w.crash();
+        let out = w.recover(TailPolicy::Strict).unwrap();
+        assert_eq!(out.records, vec![rec(1, 0, &[5]), rec(2, 1, &[3])]);
+        assert!(out.in_doubt.is_empty());
+        assert_eq!(out.decisions, vec![(11, true)]);
+    }
+
+    #[test]
+    fn decide_abort_drops_the_prepared_record() {
+        let mut w = wal();
+        w.append_prepare(3, &rec(1, 0, &[7])).unwrap();
+        w.append_decision(3, false).unwrap();
+        w.crash();
+        let out = w.recover(TailPolicy::Strict).unwrap();
+        assert!(out.records.is_empty());
+        assert!(out.in_doubt.is_empty());
+        assert_eq!(out.decisions, vec![(3, false)]);
+    }
+
+    #[test]
+    fn torn_prepare_discards_to_presumed_abort() {
+        let mut w = wal();
+        w.append_commit(&rec(1, 0, &[5])).unwrap();
+        // A prepare fat enough to span sectors, so a sector tear can cut it.
+        w.append_prepare(11, &rec(2, 1, &[3, 4, 6, 8])).unwrap();
+        assert!(w.tear_last_flush(1));
+        w.crash();
+        let err = w.recover(TailPolicy::Strict).unwrap_err();
+        assert_eq!(err.report.damage, "torn-tail");
+        let out = w.recover(TailPolicy::DiscardTail).unwrap();
+        // The torn prepare is gone entirely: no doubt, no replay — exactly
+        // the abort presumed-abort promises for an unacknowledged vote.
+        assert_eq!(out.records, vec![rec(1, 0, &[5])]);
+        assert!(out.in_doubt.is_empty());
+        assert_eq!(out.txn_floor, 1);
     }
 
     #[test]

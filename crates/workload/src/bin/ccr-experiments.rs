@@ -11,6 +11,14 @@
 //! ccr-experiments sim --combo uip-sym-nfc --sweep 64        # hunt + shrink
 //! ccr-experiments sim --combo uip-nrbc --sweep 32 --fault-during-recovery
 //!
+//! # Sharded durable runtime under presumed-abort 2PC (DESIGN.md §15):
+//! # crash-any-shard-subset / crash-at-every-2PC-step sweeps with the
+//! # eighth oracle leg (global uniform outcome), and its negative control.
+//! ccr-experiments sim --combo uip-nrbc --shards 3 --2pc-crash --sweep 32
+//! ccr-experiments sim --combo uip-nrbc --shards 2 --seed 7 --faults 3:shards1,9:twopc2
+//! ccr-experiments sim --combo uip-nrbc --shards 2 --lose-decision   # must exit 1
+//! ccr-experiments bench-shard --out reports/BENCH_shard.json
+//!
 //! # Deterministic tracing (see DESIGN.md §8): Chrome trace_event JSON,
 //! # flamegraph summary and a metrics report from one simulated run.
 //! ccr-experiments trace --combo uip-nrbc --seed 7 --out trace.json
@@ -44,6 +52,9 @@ use ccr_workload::bench::{guard_violations, run_bench, BenchCfg};
 use ccr_workload::experiments;
 use ccr_workload::harness::json_string;
 use ccr_workload::overload::{run_overload, OverloadCfg};
+use ccr_workload::shard_sim::{
+    run_shard_bench, run_shard_scenario, shrink_shard, sweep_shard, ShardBenchCfg,
+};
 use ccr_workload::sim::{
     parse_policy, run_scenario, run_scenario_traced, shrink, sweep, Backend, Combo, SimScenario,
     SweepCfg,
@@ -68,8 +79,10 @@ fn main() -> ExitCode {
                 eprintln!("           [--backend disk|mem] [--ckpt N] [--group-commit]");
                 eprintln!("           [--fault-during-recovery]");
                 eprintln!("           [--mpl N] [--deadline ROUNDS] [--max-staged N] [--stall-threshold TICKS]");
+                eprintln!("           [--shards N] [--2pc-crash] [--lose-decision]");
                 eprintln!("       ccr-experiments sim --combo C --sweep SEEDS [--horizon N] [--fault-count N] [--gray]");
                 eprintln!("fault SPEC: e.g. 12:crash,30:torn2,45:abort,60:delay5,80:wound");
+                eprintln!("  sharded faults (--shards >= 2): 10:shards3 (crash subset mask), 20:twopc1 (2PC-step crash)");
                 eprintln!("  storage faults (disk backend): 16:sect2,20:reorder,25:flip4093");
                 eprintln!(
                     "  device faults (disk backend): 20:io3 (transient I/O), 40:full (disk full)"
@@ -171,6 +184,23 @@ fn main() -> ExitCode {
             }
         };
     }
+    if args.first().map(String::as_str) == Some("bench-shard") {
+        return match bench_shard_main(&args[1..]) {
+            Ok(code) => code,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!(
+                    "usage: ccr-experiments bench-shard [--txns N] [--shards N] [--out FILE]"
+                );
+                eprintln!("without --out the report JSON goes to stdout;");
+                eprintln!(
+                    "exit 1 unless the 2PC frame ledger holds exactly (cross-shard commit = one \
+                     prepare + one decide frame per participant; fast path = one commit frame)"
+                );
+                ExitCode::from(2)
+            }
+        };
+    }
     if args.first().map(String::as_str) == Some("overload") {
         return match overload_main(&args[1..]) {
             Ok(code) => code,
@@ -194,9 +224,10 @@ fn main() -> ExitCode {
                 eprintln!("error: {msg}");
                 eprintln!("usage: ccr-experiments mc [--txns N] [--objects N] [--crash-budget N]");
                 eprintln!("           [--ckpt-budget N] [--max-tears N] [--group-commit]");
-                eprintln!("           [--backend disk|mem] [--mutate M] [--json]");
+                eprintln!("           [--backend disk|mem] [--shards N] [--mutate M] [--json]");
                 eprintln!("           [--min-states N] [--replay \"b0 c0 x\"] [--tla FILE|-]");
                 eprintln!("mutations M: drop-acked-commit|reorder-last-batch|resurrect-aborted|skip-epoch-bump");
+                eprintln!("  sharded (--shards >= 2, alphabet b/p/q/s/z): lose-decision");
                 eprintln!(
                     "exit codes: 0 all invariants hold; 1 violation (or --min-states bound missed)"
                 );
@@ -249,6 +280,7 @@ fn mc_main(args: &[String]) -> Result<ExitCode, String> {
             "--ckpt-budget" => cfg.ckpt_budget = parse_num(flag, value()?)?,
             "--max-tears" => cfg.max_tears = parse_num(flag, value()?)?,
             "--group-commit" => cfg.group_commit = true,
+            "--shards" => cfg.shards = parse_num(flag, value()?)?,
             "--backend" => cfg.backend = value()?.parse()?,
             "--mutate" => cfg.mutation = Some(value()?.parse()?),
             "--json" => json = true,
@@ -272,6 +304,28 @@ fn mc_main(args: &[String]) -> Result<ExitCode, String> {
     if cfg.mutation == Some(ccr_mc::Mutation::ReorderLastBatch) && !cfg.group_commit {
         return Err("--mutate reorder-last-batch requires --group-commit (it targets the batch \
                     flush)"
+            .to_string());
+    }
+    if cfg.shards > 8 {
+        return Err(
+            "--shards must be in 1..=8 (keep the crash-subset alphabet enumerable)".to_string()
+        );
+    }
+    if cfg.mutation == Some(ccr_mc::Mutation::LoseDecision) && cfg.shards < 2 {
+        return Err("--mutate lose-decision requires --shards >= 2 (it sabotages the 2PC \
+                    coordinator)"
+            .to_string());
+    }
+    if cfg.shards >= 2 && !matches!(cfg.mutation, None | Some(ccr_mc::Mutation::LoseDecision)) {
+        return Err(format!(
+            "--mutate {} targets the single-system harness; the sharded instance only \
+             supports lose-decision",
+            cfg.mutation.expect("checked Some above")
+        ));
+    }
+    if cfg.shards >= 2 && cfg.group_commit {
+        return Err("--group-commit is single-system; the sharded instance's alphabet has no \
+                    batch action"
             .to_string());
     }
 
@@ -377,8 +431,39 @@ fn sim_main(args: &[String]) -> Result<ExitCode, String> {
         deadline: scenario.deadline,
         max_staged: scenario.max_staged,
         stall_threshold: scenario.stall_threshold,
+        shards: scenario.shards,
+        twopc_crash: scenario.twopc_crash,
         ..SweepCfg::new(combo, seeds)
     });
+
+    if scenario.shards > 8 {
+        return Err(format!(
+            "--shards takes 2..=8 (got {}); larger fleets explode the crash-subset space",
+            scenario.shards
+        ));
+    }
+    if scenario.shards >= 2 {
+        // The sharded 2PC driver: its own runner, sweep and shrinker.
+        if gray {
+            return Err("--gray is single-domain; sharded sweeps draw from the sharded \
+                        fault generator (crash subsets + 2PC steps) already"
+                .to_string());
+        }
+        if scenario.fault_during_recovery {
+            return Err("--fault-during-recovery is single-domain; the sharded driver's \
+                        twopc step 3 crashes a participant inside its own recovery"
+                .to_string());
+        }
+        return Ok(shard_sim_run(&scenario, sweep_cfg.as_ref(), json));
+    }
+    if scenario.lose_decision {
+        return Err(
+            "--lose-decision needs --shards >= 2 (it sabotages the 2PC coordinator)".to_string()
+        );
+    }
+    if scenario.twopc_crash {
+        return Err("--2pc-crash needs --shards >= 2 (there is no 2PC on one shard)".to_string());
+    }
 
     if json {
         return Ok(sim_json(&scenario, sweep_cfg.as_ref()));
@@ -583,6 +668,117 @@ fn sim_json(scenario: &SimScenario, sweep_cfg: Option<&SweepCfg>) -> ExitCode {
     }
 }
 
+/// Run a sharded (`--shards >= 2`) scenario or sweep: the presumed-abort
+/// 2PC fleet driver with the eighth oracle leg (global uniform outcome
+/// across every crash subset). Text and `--json` forms mirror the
+/// single-domain ones; exit codes match (0 pass, 1 failure with a shrunk
+/// reproducer).
+fn shard_sim_run(scenario: &SimScenario, sweep_cfg: Option<&SweepCfg>, json: bool) -> ExitCode {
+    if let Some(cfg) = sweep_cfg {
+        return match sweep_shard(cfg) {
+            None => {
+                if json {
+                    println!(
+                        "{{\"mode\":\"shard-sweep\",\"shards\":{},\"seeds\":{},\"twopc_crash\":{},\"verdict\":\"pass\"}}",
+                        cfg.shards, cfg.seeds, cfg.twopc_crash,
+                    );
+                } else {
+                    println!(
+                        "swept {} seeds over {} shards (sharded fault planner): oracle passed on every seed",
+                        cfg.seeds, cfg.shards,
+                    );
+                }
+                ExitCode::SUCCESS
+            }
+            Some(f) => {
+                if json {
+                    println!(
+                        concat!(
+                            "{{\"mode\":\"shard-sweep\",\"shards\":{},\"seeds\":{},\"verdict\":\"fail\",",
+                            "\"failure\":{},\"failure_kind\":{},\"original\":{},\"shrunk\":{},",
+                            "\"shrunk_txns\":{},\"shrunk_faults\":{},\"shrink_runs\":{}}}"
+                        ),
+                        cfg.shards,
+                        cfg.seeds,
+                        json_string(&f.failure.to_string()),
+                        json_string(f.failure.kind()),
+                        json_string(&f.original.reproducer()),
+                        json_string(&f.shrunk.reproducer()),
+                        f.shrunk.live_txns(),
+                        f.shrunk.plan.len(),
+                        f.shrink_runs,
+                    );
+                } else {
+                    println!("oracle FAILED [{}]: {}", f.failure.kind(), f.failure);
+                    println!("original: {}", f.original.reproducer());
+                    println!(
+                        "shrunk to {} txns, {} faults in {} runs:",
+                        f.shrunk.live_txns(),
+                        f.shrunk.plan.len(),
+                        f.shrink_runs
+                    );
+                    println!("  {}", f.shrunk.reproducer());
+                }
+                ExitCode::FAILURE
+            }
+        };
+    }
+    match run_shard_scenario(scenario) {
+        Ok(report) => {
+            if json {
+                print!("{}", report.to_json(scenario));
+            } else {
+                println!("oracle passed: {}", scenario.reproducer());
+                println!(
+                    "committed {} (cross-shard {})  aborted {}  oracle-checks {}",
+                    report.committed, report.cross_committed, report.aborted, report.oracle_checks,
+                );
+                println!(
+                    "crashes {}  crash-subsets {}  2pc-crashes {}  forced-aborts {}  resolved-in-doubt {}  skipped-faults {}",
+                    report.crashes,
+                    report.crash_subsets,
+                    report.twopc_crashes,
+                    report.forced_aborts,
+                    report.resolved_in_doubt,
+                    report.skipped_faults,
+                );
+                println!("fleet fingerprint {:#018x}", report.fingerprint);
+            }
+            ExitCode::SUCCESS
+        }
+        Err(failure) => {
+            let (shrunk, shrunk_failure, runs) = shrink_shard(scenario);
+            if json {
+                println!(
+                    concat!(
+                        "{{\"mode\":\"shard-run\",\"verdict\":\"fail\",\"failure\":{},",
+                        "\"failure_kind\":{},\"original\":{},\"shrunk\":{},\"shrunk_txns\":{},",
+                        "\"shrunk_faults\":{},\"shrink_runs\":{}}}"
+                    ),
+                    json_string(&shrunk_failure.to_string()),
+                    json_string(shrunk_failure.kind()),
+                    json_string(&scenario.reproducer()),
+                    json_string(&shrunk.reproducer()),
+                    shrunk.live_txns(),
+                    shrunk.plan.len(),
+                    runs,
+                );
+            } else {
+                println!("oracle FAILED [{}]: {failure}", failure.kind());
+                println!(
+                    "shrunk to {} txns, {} faults in {} runs ({}):",
+                    shrunk.live_txns(),
+                    shrunk.plan.len(),
+                    runs,
+                    shrunk_failure,
+                );
+                println!("  {}", shrunk.reproducer());
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// Parse and run the `trace` subcommand: run one scenario with full event
 /// recording and write the Chrome `trace_event` JSON (stdout, or `--out`),
 /// plus an optional flamegraph summary and metrics report. Exit code 0 when
@@ -610,6 +806,11 @@ fn trace_main(args: &[String]) -> Result<ExitCode, String> {
         }
     }
     scenario.combo = combo.ok_or("missing --combo")?;
+    if scenario.shards >= 2 {
+        return Err("sharded scenarios are sim-only: trace/profile/inspect drive one durable \
+                    domain (drop --shards, or use `sim --shards N`)"
+            .to_string());
+    }
 
     let (result, artifacts) = run_scenario_traced(&scenario);
     match &out {
@@ -673,6 +874,11 @@ fn profile_main(args: &[String]) -> Result<ExitCode, String> {
         }
     }
     scenario.combo = combo.ok_or("missing --combo")?;
+    if scenario.shards >= 2 {
+        return Err("sharded scenarios are sim-only: trace/profile/inspect drive one durable \
+                    domain (drop --shards, or use `sim --shards N`)"
+            .to_string());
+    }
 
     let (result, artifacts) = run_scenario_traced(&scenario);
     match &out {
@@ -732,6 +938,11 @@ fn inspect_main(args: &[String]) -> Result<ExitCode, String> {
         }
     }
     scenario.combo = combo.ok_or("missing --combo")?;
+    if scenario.shards >= 2 {
+        return Err("sharded scenarios are sim-only: trace/profile/inspect drive one durable \
+                    domain (drop --shards, or use `sim --shards N`)"
+            .to_string());
+    }
 
     let (result, artifacts) = run_scenario_traced(&scenario);
     let inspection = artifacts
@@ -879,6 +1090,70 @@ fn bench_main(args: &[String]) -> Result<ExitCode, String> {
     Ok(if pass { ExitCode::SUCCESS } else { ExitCode::FAILURE })
 }
 
+/// Parse and run the `bench-shard` subcommand: the deterministic 2PC
+/// frame-cost bench (all-single-shard fast path vs all-cross-shard 2PC on
+/// identical disk fleets, costed in WAL frames). Writes the JSON report to
+/// `--out` or stdout, prints a summary to stderr, and exits 0 only when
+/// the exact frame ledger holds (see `ShardBenchReport::guard_violations`).
+fn bench_shard_main(args: &[String]) -> Result<ExitCode, String> {
+    let mut cfg = ShardBenchCfg::default();
+    let mut out: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value =
+            || it.next().map(String::as_str).ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--txns" => cfg.txns = parse_num(flag, value()?)?,
+            "--shards" => cfg.shards = parse_num(flag, value()?)?,
+            "--out" => out = Some(value()?.to_string()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if !(2..=8).contains(&cfg.shards) {
+        return Err("--shards must be in 2..=8".to_string());
+    }
+    if cfg.txns == 0 || cfg.txns > 60 {
+        return Err("--txns must be in 1..=60".to_string());
+    }
+
+    let report = run_shard_bench(&cfg);
+    let json = report.to_json();
+    match &out {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+    eprintln!(
+        "single: {} commits, frames c/p/d {}/{}/{} ({}m frames per commit)",
+        report.single.committed,
+        report.single.commit_frames,
+        report.single.prepare_frames,
+        report.single.decide_frames,
+        report.single.frames_per_commit_milli,
+    );
+    eprintln!(
+        "cross:  {} commits, frames c/p/d {}/{}/{} ({}m frames per commit)",
+        report.cross.committed,
+        report.cross.commit_frames,
+        report.cross.prepare_frames,
+        report.cross.decide_frames,
+        report.cross.frames_per_commit_milli,
+    );
+    let violations = report.guard_violations();
+    eprintln!(
+        "cross-shard frame overhead {}m over the single-shard baseline ({})",
+        report.frame_overhead_milli,
+        if violations.is_empty() { "ok" } else { "FAIL" }
+    );
+    for v in &violations {
+        eprintln!("bound violated: {v}");
+    }
+    Ok(if violations.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+}
+
 /// Parse and run the `overload` subcommand: the gray-failure survival
 /// benchmark (unprotected run vs the same seeded workload under deadlines,
 /// MPL, WAL-lag shedding and the stall detector, both against a stalling
@@ -977,6 +1252,9 @@ fn scenario_flag<'a>(
         "--deadline" => scenario.deadline = parse_num(flag, value()?)?,
         "--max-staged" => scenario.max_staged = parse_num(flag, value()?)?,
         "--stall-threshold" => scenario.stall_threshold = parse_num(flag, value()?)?,
+        "--shards" => scenario.shards = parse_num(flag, value()?)?,
+        "--2pc-crash" => scenario.twopc_crash = true,
+        "--lose-decision" => scenario.lose_decision = true,
         _ => return Ok(false),
     }
     Ok(true)

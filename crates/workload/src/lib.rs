@@ -35,4 +35,5 @@ pub mod gen;
 pub mod harness;
 pub mod overload;
 pub mod profile;
+pub mod shard_sim;
 pub mod sim;

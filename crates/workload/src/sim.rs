@@ -193,6 +193,21 @@ pub struct SimScenario {
     /// Gray-failure detector: stall ticks per commit that count as a strike
     /// (two consecutive strikes flip the system into `Degraded`); 0 = off.
     pub stall_threshold: u64,
+    /// Durable shard count. `1` (the default) is the classic single-domain
+    /// run; `>= 2` routes the scenario to the sharded presumed-abort 2PC
+    /// driver ([`crate::shard_sim::run_shard_scenario`]), where `combo`,
+    /// `policy`, `ops_per_txn` and `objects` are ignored (the sharded
+    /// instance is one object per shard under the bank ADT).
+    pub shards: usize,
+    /// Crash-at-every-2PC-step arm: drive every cross-shard commit through
+    /// `commit_global_with_crash` at a step cycling through the four
+    /// canonical decision points. Sharded runs only.
+    pub twopc_crash: bool,
+    /// Negative control for the eighth oracle leg: lose the coordinator's
+    /// first commit-decision record while still acking the client and
+    /// resolving one participant — the planted bug the global
+    /// uniform-outcome check must catch. Sharded runs only.
+    pub lose_decision: bool,
 }
 
 impl SimScenario {
@@ -215,6 +230,9 @@ impl SimScenario {
             deadline: 0,
             max_staged: 0,
             stall_threshold: 0,
+            shards: 1,
+            twopc_crash: false,
+            lose_decision: false,
         }
     }
 
@@ -248,6 +266,17 @@ impl SimScenario {
         s.push_str(&format!(" --deadline {}", self.deadline));
         s.push_str(&format!(" --max-staged {}", self.max_staged));
         s.push_str(&format!(" --stall-threshold {}", self.stall_threshold));
+        // The shard count routes the replay to a different driver entirely,
+        // so it is pinned even at its default of 1 (the same bug class as an
+        // unpinned --backend or --gray: a default change silently replays
+        // the wrong run).
+        s.push_str(&format!(" --shards {}", self.shards));
+        if self.twopc_crash {
+            s.push_str(" --2pc-crash");
+        }
+        if self.lose_decision {
+            s.push_str(" --lose-decision");
+        }
         if let Some(every) = self.checkpoint_every {
             s.push_str(&format!(" --ckpt {every}"));
         }
@@ -426,6 +455,10 @@ fn run_scenario_inner(
     scenario: &SimScenario,
     traced: bool,
 ) -> (Result<SimReport, SimFailure>, Option<TraceArtifacts>) {
+    assert!(
+        scenario.shards <= 1,
+        "sharded scenarios (--shards >= 2) run under shard_sim::run_shard_scenario"
+    );
     let wcfg = WorkloadCfg {
         txns: scenario.txns,
         ops_per_txn: scenario.ops_per_txn,
@@ -552,6 +585,11 @@ pub struct SweepCfg {
     pub max_staged: usize,
     /// Stall-detector strike threshold in ticks (0 = off).
     pub stall_threshold: u64,
+    /// Durable shard count; `>= 2` makes [`crate::shard_sim::sweep_shard`]
+    /// the right driver (this crate's [`sweep`] is single-domain only).
+    pub shards: usize,
+    /// Drive every cross-shard commit through a crash at a cycling 2PC step.
+    pub twopc_crash: bool,
 }
 
 impl SweepCfg {
@@ -571,6 +609,8 @@ impl SweepCfg {
             deadline: 0,
             max_staged: 0,
             stall_threshold: 0,
+            shards: 1,
+            twopc_crash: false,
         }
     }
 }
@@ -831,6 +871,30 @@ mod tests {
         let rendered = scenario.plan.to_string();
         assert_eq!(rendered.parse::<FaultPlan>().unwrap(), scenario.plan);
         assert!(run_scenario(&scenario).is_ok());
+    }
+
+    #[test]
+    fn reproducer_pins_the_shard_knobs_explicitly() {
+        // Same bug class as the once-unpinned --backend (PR 6) and --gray
+        // (PR 8): the shard count routes the replay to a different driver,
+        // so it is rendered even at its default of 1.
+        let plan = FaultPlan::from_seed_sharded(3, 40, 3, 2);
+        let mut scenario = SimScenario::new(Combo::UipNrbc, 3, plan);
+        let line = scenario.reproducer();
+        assert!(line.contains(" --shards 1"), "default shard count must be pinned: {line}");
+        assert!(!line.contains("--2pc-crash") && !line.contains("--lose-decision"));
+
+        scenario.shards = 3;
+        scenario.twopc_crash = true;
+        scenario.lose_decision = true;
+        let line = scenario.reproducer();
+        assert!(line.contains(" --shards 3"));
+        assert!(line.contains(" --2pc-crash"));
+        assert!(line.contains(" --lose-decision"));
+        // Sharded fault kinds (shards{mask} / twopc{step}) survive the
+        // plan's text round trip, so the pinned --faults list replays.
+        let rendered = scenario.plan.to_string();
+        assert_eq!(rendered.parse::<FaultPlan>().unwrap(), scenario.plan);
     }
 
     #[test]

@@ -117,6 +117,10 @@ fn sim_metrics_schema_pins_the_storage_fault_counters() {
         "mode_flips",
         "slow_device_faults",
         "fsync_stall_faults",
+        "prepares",
+        "decides",
+        "in_doubt",
+        "resolved",
     ]
     .iter()
     .map(|s| s.to_string())
@@ -143,6 +147,7 @@ fn sim_metrics_schema_pins_the_storage_fault_counters() {
         "retry_backoff",
         "retry_jitter",
         "stall_latency",
+        "prepare_to_decide",
     ] {
         assert!(metrics_keys.contains(key), "MetricsReport::to_json must expose {key:?}");
     }
@@ -210,6 +215,38 @@ fn overload_bench_schema_matches_fresh_report() {
         "OverloadReport::to_json keys drifted from the committed report — \
          regenerate reports/BENCH_overload.json with `ccr-experiments \
          overload --out reports/BENCH_overload.json` in the same commit"
+    );
+}
+
+/// Schema pin for `reports/BENCH_shard.json`: the committed cross-shard
+/// commit-overhead report and a freshly produced [`ShardBenchReport`] must
+/// expose exactly the same JSON keys. The report is integer-deterministic
+/// (WAL frame counts, not wall time), so the CI `shard-fuzz` job also
+/// byte-compares a regenerated copy; this pin catches schema drift at
+/// `cargo test` time with a smaller shape.
+#[test]
+fn shard_bench_schema_matches_fresh_report() {
+    use ccr_workload::shard_sim::{run_shard_bench, ShardBenchCfg};
+
+    let committed = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../reports/BENCH_shard.json"
+    ))
+    .expect(
+        "reports/BENCH_shard.json is committed; regenerate with \
+         `ccr-experiments bench-shard --out reports/BENCH_shard.json`",
+    );
+    let committed_keys = json_keys(&committed);
+    assert!(!committed_keys.is_empty(), "committed report must contain JSON objects");
+
+    let fresh = run_shard_bench(&ShardBenchCfg { txns: 8, shards: 2 });
+    assert!(fresh.guard_violations().is_empty(), "fresh report passes its own frame-ledger guard");
+    assert_eq!(
+        committed_keys,
+        json_keys(&fresh.to_json()),
+        "ShardBenchReport::to_json keys drifted from the committed report — \
+         regenerate reports/BENCH_shard.json with `ccr-experiments \
+         bench-shard --out reports/BENCH_shard.json` in the same commit"
     );
 }
 

@@ -131,7 +131,7 @@ fn assert_minimized_and_replayable(cfg: McConfig, trace: &McTrace, kind: &str) {
     let reparsed: McTrace = trace.to_string().parse().expect("trace must round-trip");
     assert_eq!(reparsed.to_string(), trace.to_string());
     let line = reproducer(&cfg, trace);
-    for flag in ["--txns", "--objects", "--crash-budget", "--backend", "--replay"] {
+    for flag in ["--txns", "--objects", "--crash-budget", "--backend", "--shards", "--replay"] {
         assert!(line.contains(flag), "reproducer missing {flag}: {line}");
     }
     assert!(line.contains("--mutate"), "reproducer must pin the mutation: {line}");
@@ -142,7 +142,48 @@ fn assert_minimized_and_replayable(cfg: McConfig, trace: &McTrace, kind: &str) {
 fn traces_round_trip_and_reject_junk() {
     let t: McTrace = "b0 c0 b1 a1 f k t1 r x d3".parse().expect("valid trace");
     assert_eq!(t.to_string(), "b0 c0 b1 a1 f k t1 r x d3");
-    assert!("b0 q7".parse::<McTrace>().is_err(), "junk token must be rejected");
+    assert!("b0 y7".parse::<McTrace>().is_err(), "junk token must be rejected");
+    let sharded: McTrace = "b0 p0 q0 s3 z".parse().expect("sharded alphabet must parse");
+    assert_eq!(sharded.to_string(), "b0 p0 q0 s3 z");
+}
+
+/// The sharded 2-shard instance (DESIGN.md §15): the extended alphabet
+/// (begin/prepare/decide/crash-subset/coordinator-crash) is exhaustively
+/// explored and must be violation-free on both backends, with state
+/// spaces no smaller than the floors the CI `model-check` job pins.
+#[test]
+fn sharded_instance_matrix_is_violation_free() {
+    for (backend, floor) in [(McBackendKind::Mem, 3000), (McBackendKind::Disk, 12000)] {
+        let cfg = McConfig { shards: 2, ..base(backend, false) };
+        let v = explore(cfg);
+        assert!(v.passed(), "violation on sharded {backend}: {:?}", v.violation);
+        assert!(
+            v.stats.states >= floor,
+            "state space regressed below the pinned floor on {backend}: {:?}",
+            v.stats
+        );
+        assert!(v.stats.terminals > 0, "no terminal states explored: {:?}", v.stats);
+    }
+}
+
+/// Negative control for the eighth oracle leg (global dynamic atomicity
+/// across shards): losing the coordinator's durable decision record after
+/// one participant already applied the commit must surface as a
+/// global-split — one shard committed, the other presumed abort — and the
+/// minimized reproducer must pin the sharded instance explicitly.
+#[test]
+fn lost_decision_record_is_caught_as_a_global_split() {
+    let cfg = McConfig {
+        shards: 2,
+        mutation: Some(Mutation::LoseDecision),
+        ..base(McBackendKind::Disk, false)
+    };
+    let v = explore(cfg);
+    let (violation, trace) = v.violation.expect("the lost decision record must be caught");
+    assert_eq!(violation.kind(), "global-split", "wrong invariant fired: {violation}");
+    assert_minimized_and_replayable(cfg, &trace, violation.kind());
+    let line = reproducer(&cfg, &trace);
+    assert!(line.contains("--shards 2"), "reproducer must pin the shard count: {line}");
 }
 
 /// The generated TLA+ module for each matrix cell passes the structural

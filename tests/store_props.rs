@@ -224,6 +224,91 @@ fn torn_group_flush_recovers_a_prefix_under_both_replayers() {
     sweep::<DuEngine<BankAccount>>(bank_nfc(), "du");
 }
 
+/// Satellite of the sharded 2PC work (DESIGN.md §15): a torn **or missing**
+/// DECIDE record must resolve to presumed abort on *all* participants —
+/// never a mixed outcome where the shard that saw the decision keeps the
+/// commit while the others abort. The sweep prepares a two-shard global
+/// transaction, journals the commit decision on shard 0 only (the
+/// coordinator's own record is never made durable), then loses every
+/// persisted prefix of that decide frame in turn: `n = 0` models the
+/// decision missing outright (crash before phase two), `n >= 1` tears `n`
+/// sectors off the decide flush. A deliberately small sector (16 bytes —
+/// the scanner needs the 13-byte frame head in the first sector) makes the
+/// 22-byte decide frame span two sectors, so the sweep exercises every
+/// expressible persisted prefix of the record: none, and a CRC-torn half.
+#[test]
+fn torn_or_missing_decide_presumed_aborts_every_participant() {
+    use ccr::runtime::shard::{check_uniform_outcome, ShardedSystem};
+
+    type Fleet = ShardedSystem<
+        BankAccount,
+        UipEngine<BankAccount>,
+        FnConflict<BankAccount>,
+        WalBackend<BankAccount>,
+    >;
+
+    /// Two shards, one global transaction touching both, fully prepared.
+    fn prepared_fleet() -> (Fleet, u64) {
+        let cfg = WalConfig { sector: 16, seg_sectors: 128 };
+        let mut fleet = ShardedSystem::new_with(2, |_| {
+            DurableSystem::with_backend(
+                BankAccount::default(),
+                2,
+                bank_nrbc(),
+                WalBackend::new(cfg),
+            )
+        });
+        let g = fleet.begin_global();
+        fleet.invoke_global(g, ObjectId(0), BankInv::Deposit(7)).unwrap();
+        fleet.invoke_global(g, ObjectId(1), BankInv::Deposit(9)).unwrap();
+        fleet.prepare_all(g).expect("both participants vote yes");
+        (fleet, g)
+    }
+
+    let mut torn_positions = 0usize;
+    for n in 0usize.. {
+        let (mut fleet, g) = prepared_fleet();
+        if n > 0 {
+            fleet.resolve_participant(g, 0, true).expect("phase two applies on shard 0");
+            assert_eq!(
+                fleet.shard_mut(0).committed_state(ObjectId(0)),
+                7,
+                "tear {n}: shard 0 applied the commit before the tear"
+            );
+            if !fleet.shard_mut(0).tear_last_flush(n) {
+                // n reached the whole decide flush; the sweep is exhausted
+                // (losing the entire flush is the n == 0 missing case).
+                break;
+            }
+            torn_positions += 1;
+        }
+        fleet.crash_subset(0b11).unwrap_or_else(|e| panic!("tear {n}: crash must recover: {e:?}"));
+        fleet.crash_coordinator();
+        assert_eq!(
+            fleet.in_doubt(),
+            vec![g],
+            "tear {n}: the torn decide must put the transaction back in doubt"
+        );
+        let resolved = fleet.resolve_in_doubt();
+        assert_eq!(resolved, 2, "tear {n}: both participants resolve");
+        assert!(fleet.in_doubt().is_empty(), "tear {n}: nothing stays in doubt");
+        let states: Vec<u64> =
+            (0..2).map(|s| fleet.shard_mut(s).committed_state(ObjectId(s as u32))).collect();
+        check_uniform_outcome(&[(g, vec![0, 1])], |_, s| states[s] != 0)
+            .unwrap_or_else(|v| panic!("tear {n}: mixed outcome: {v:?}"));
+        assert_eq!(
+            states,
+            vec![0, 0],
+            "tear {n}: without a durable decision the outcome is presumed abort everywhere"
+        );
+    }
+    assert!(
+        torn_positions >= 1,
+        "the decide frame must span multiple sectors so the sweep hits a real \
+         torn prefix, not only the missing-record case (saw {torn_positions})"
+    );
+}
+
 /// Exhaustive crash-at-every-device-op sweep during `write_checkpoint`: a
 /// checkpoint is a multi-op sequence (image frames, header rewrite, segment
 /// truncation) and a crash at any point must leave the replay base either
